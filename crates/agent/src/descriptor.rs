@@ -1,0 +1,52 @@
+//! Object descriptors and the 100 000 split (§3).
+//!
+//! "In order to allow the redirection of I/O in the RHODOS system, the
+//! object descriptor returned by the device agent is always less than a
+//! predecided integer say 100,000. Whereas the object descriptor returned
+//! by the file and transaction agents is always greater than 100,000."
+
+/// An object descriptor: the integer a process uses to refer to an opened
+/// device or file instance.
+pub type ObjectDescriptor = u64;
+
+/// Device descriptors are strictly below this bound; file/transaction
+/// descriptors strictly above it.
+pub const DEV_OD_LIMIT: ObjectDescriptor = 100_000;
+
+/// First descriptor handed out by the file and transaction agents.
+pub const FILE_OD_BASE: ObjectDescriptor = 100_004;
+
+/// Default standard input descriptor.
+pub const STDIN: ObjectDescriptor = 0;
+/// Default standard output descriptor.
+pub const STDOUT: ObjectDescriptor = 1;
+/// Default standard error descriptor.
+pub const STDERR: ObjectDescriptor = 2;
+
+/// Value of the `stdout` environment variable after redirection (§3).
+pub const REDIR_STDOUT: ObjectDescriptor = 100_001;
+/// Value of the `stdin` environment variable after redirection (§3).
+pub const REDIR_STDIN: ObjectDescriptor = 100_002;
+/// Value of the `stderr` environment variable after redirection (§3).
+pub const REDIR_STDERR: ObjectDescriptor = 100_003;
+
+/// Whether a descriptor refers to a device (vs a file).
+pub fn is_device_descriptor(od: ObjectDescriptor) -> bool {
+    od < DEV_OD_LIMIT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_matches_paper() {
+        assert!(is_device_descriptor(STDIN));
+        assert!(is_device_descriptor(DEV_OD_LIMIT - 1));
+        assert!(!is_device_descriptor(FILE_OD_BASE));
+        assert!(!is_device_descriptor(REDIR_STDOUT));
+        assert_eq!(REDIR_STDOUT, 100_001);
+        assert_eq!(REDIR_STDIN, 100_002);
+        assert_eq!(REDIR_STDERR, 100_003);
+    }
+}

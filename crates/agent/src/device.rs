@@ -1,0 +1,194 @@
+//! The device agent and TTY objects (§3).
+//!
+//! "On each machine, there is one process called a device agent which
+//! facilitates I/O on devices such as communication ports, keyboards, and
+//! monitors. ... the device agent refers to a device by its system name."
+
+use crate::descriptor::{ObjectDescriptor, DEV_OD_LIMIT};
+use std::collections::{HashMap, VecDeque};
+
+/// A simulated character device (TTY object): input is queued bytes (as a
+/// keyboard would produce), output is captured for inspection (as a
+/// monitor would display).
+#[derive(Debug, Default)]
+pub struct Device {
+    /// Human-readable device name (e.g. `"tty0"`).
+    pub name: String,
+    input: VecDeque<u8>,
+    output: Vec<u8>,
+}
+
+impl Device {
+    /// Creates a named device.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Queues bytes on the device's input (types on the keyboard).
+    pub fn feed_input(&mut self, bytes: &[u8]) {
+        self.input.extend(bytes);
+    }
+
+    /// Everything written to the device so far.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+}
+
+/// Errors produced by the device agent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The descriptor does not name an open device.
+    BadDescriptor(ObjectDescriptor),
+    /// No device registered under this system name.
+    NoSuchDevice(u32),
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::BadDescriptor(od) => write!(f, "descriptor {od} is not an open device"),
+            DeviceError::NoSuchDevice(d) => write!(f, "no device with system name {d}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// The per-machine device agent: registers devices under integer system
+/// names, opens them as object descriptors (< 100 000), and performs I/O.
+#[derive(Debug, Default)]
+pub struct DeviceAgent {
+    devices: HashMap<u32, Device>,
+    open: HashMap<ObjectDescriptor, u32>,
+    next_od: ObjectDescriptor,
+    next_dev: u32,
+}
+
+impl DeviceAgent {
+    /// Creates an agent with the three standard devices (0 = keyboard for
+    /// stdin, 1 = monitor for stdout, 2 = monitor for stderr) already open
+    /// as descriptors 0, 1 and 2.
+    pub fn new() -> Self {
+        let mut agent = Self::default();
+        for (od, name) in [(0u64, "stdin"), (1, "stdout"), (2, "stderr")] {
+            let dev = agent.register(Device::new(name));
+            agent.open.insert(od, dev);
+        }
+        agent.next_od = 3;
+        agent
+    }
+
+    /// Registers a device, returning its system name.
+    pub fn register(&mut self, device: Device) -> u32 {
+        let id = self.next_dev;
+        self.next_dev += 1;
+        self.devices.insert(id, device);
+        id
+    }
+
+    /// Opens a device by system name, returning a descriptor `< 100 000`.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::NoSuchDevice`].
+    pub fn open(&mut self, dev: u32) -> Result<ObjectDescriptor, DeviceError> {
+        if !self.devices.contains_key(&dev) {
+            return Err(DeviceError::NoSuchDevice(dev));
+        }
+        let od = self.next_od;
+        assert!(od < DEV_OD_LIMIT, "device descriptor space exhausted");
+        self.next_od += 1;
+        self.open.insert(od, dev);
+        Ok(od)
+    }
+
+    /// Closes a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::BadDescriptor`].
+    pub fn close(&mut self, od: ObjectDescriptor) -> Result<(), DeviceError> {
+        self.open
+            .remove(&od)
+            .map(|_| ())
+            .ok_or(DeviceError::BadDescriptor(od))
+    }
+
+    /// Reads up to `len` bytes from the device's input queue.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::BadDescriptor`].
+    pub fn read(&mut self, od: ObjectDescriptor, len: usize) -> Result<Vec<u8>, DeviceError> {
+        let dev = *self.open.get(&od).ok_or(DeviceError::BadDescriptor(od))?;
+        let device = self.devices.get_mut(&dev).expect("open implies registered");
+        let take = len.min(device.input.len());
+        Ok(device.input.drain(..take).collect())
+    }
+
+    /// Writes bytes to the device's output.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::BadDescriptor`].
+    pub fn write(&mut self, od: ObjectDescriptor, data: &[u8]) -> Result<(), DeviceError> {
+        let dev = *self.open.get(&od).ok_or(DeviceError::BadDescriptor(od))?;
+        let device = self.devices.get_mut(&dev).expect("open implies registered");
+        device.output.extend_from_slice(data);
+        Ok(())
+    }
+
+    /// Direct access to a device by system name (test inspection).
+    pub fn device_mut(&mut self, dev: u32) -> Option<&mut Device> {
+        self.devices.get_mut(&dev)
+    }
+
+    /// The device a descriptor refers to.
+    pub fn resolve(&self, od: ObjectDescriptor) -> Option<u32> {
+        self.open.get(&od).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_streams_preopened() {
+        let mut a = DeviceAgent::new();
+        a.write(1, b"to stdout").unwrap();
+        a.write(2, b"to stderr").unwrap();
+        let out = a.resolve(1).unwrap();
+        assert_eq!(a.device_mut(out).unwrap().output(), b"to stdout");
+    }
+
+    #[test]
+    fn keyboard_queue_semantics() {
+        let mut a = DeviceAgent::new();
+        let kbd = a.resolve(0).unwrap();
+        a.device_mut(kbd).unwrap().feed_input(b"typed");
+        assert_eq!(a.read(0, 3).unwrap(), b"typ");
+        assert_eq!(a.read(0, 10).unwrap(), b"ed");
+        assert_eq!(a.read(0, 10).unwrap(), b"");
+    }
+
+    #[test]
+    fn descriptors_stay_below_limit() {
+        let mut a = DeviceAgent::new();
+        let dev = a.register(Device::new("serial0"));
+        let od = a.open(dev).unwrap();
+        assert!(od < DEV_OD_LIMIT);
+        a.close(od).unwrap();
+        assert!(matches!(a.read(od, 1), Err(DeviceError::BadDescriptor(_))));
+    }
+
+    #[test]
+    fn unknown_device_rejected() {
+        let mut a = DeviceAgent::new();
+        assert!(matches!(a.open(999), Err(DeviceError::NoSuchDevice(999))));
+    }
+}

@@ -1,0 +1,667 @@
+//! The file agent: the client side of the basic file service (§3, §5).
+//!
+//! The agent resolves attributed names to system names through the naming
+//! service, returns object descriptors above 100 000, keeps the seek
+//! pointer for `read`/`write`/`lseek` (positional `pread`/`pwrite` bypass
+//! it), and "caches a substantial amount of file data to avoid trying to
+//! access the file service for each request from a client", using the
+//! delayed-write policy the paper prescribes for agent caches.
+
+use crate::descriptor::{ObjectDescriptor, FILE_OD_BASE};
+use parking_lot::Mutex;
+use rhodos_disk_service::BLOCK_SIZE;
+use rhodos_file_service::{
+    BlockCache, CacheStats, FileAttributes, FileId, FileServiceError, ServiceType,
+};
+use rhodos_naming::{AttributedName, NamingError, NamingService, SystemName};
+use rhodos_net::SimNetwork;
+use rhodos_txn::{TransactionService, TxnError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared handle to the file/transaction server a machine talks to.
+pub type ServerHandle = Arc<Mutex<TransactionService>>;
+
+/// Errors surfaced by the agents.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AgentError {
+    /// The descriptor is not open at this agent.
+    BadDescriptor(ObjectDescriptor),
+    /// Name resolution failed.
+    Naming(NamingError),
+    /// The name resolved to something other than a file.
+    NotAFile(SystemName),
+    /// Server-side file-service failure.
+    File(FileServiceError),
+    /// Server-side transaction-service failure.
+    Txn(TxnError),
+}
+
+impl std::fmt::Display for AgentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AgentError::BadDescriptor(od) => write!(f, "descriptor {od} is not open"),
+            AgentError::Naming(e) => write!(f, "naming failure: {e}"),
+            AgentError::NotAFile(s) => write!(f, "{s} is not a file"),
+            AgentError::File(e) => write!(f, "file service failure: {e}"),
+            AgentError::Txn(e) => write!(f, "transaction failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AgentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AgentError::Naming(e) => Some(e),
+            AgentError::File(e) => Some(e),
+            AgentError::Txn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NamingError> for AgentError {
+    fn from(e: NamingError) -> Self {
+        AgentError::Naming(e)
+    }
+}
+
+impl From<FileServiceError> for AgentError {
+    fn from(e: FileServiceError) -> Self {
+        AgentError::File(e)
+    }
+}
+
+impl From<TxnError> for AgentError {
+    fn from(e: TxnError) -> Self {
+        AgentError::Txn(e)
+    }
+}
+
+/// Client-side statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AgentStats {
+    /// Client block-cache behaviour.
+    pub cache: CacheStats,
+    /// Round trips charged to the server.
+    pub round_trips: u64,
+}
+
+#[derive(Debug)]
+struct OpenFile {
+    /// Index of the file server holding the file (attributed names
+    /// resolve to `SystemName::File { server, fid }` — "these services can
+    /// either co-exist on the same machine or be located separately").
+    server: usize,
+    fid: FileId,
+    pos: u64,
+    /// Locally tracked size (refreshed on open; advanced by local writes;
+    /// may be stale w.r.t. other clients — the basic file service makes
+    /// "no effort ... to check the consistency" of concurrent access).
+    size: u64,
+}
+
+/// The per-machine file agent.
+#[derive(Debug)]
+pub struct FileAgent {
+    machine: u32,
+    /// All reachable file servers; descriptor state routes each operation
+    /// to the right one.
+    servers: Vec<ServerHandle>,
+    naming: Arc<Mutex<NamingService>>,
+    net: SimNetwork,
+    open: HashMap<ObjectDescriptor, OpenFile>,
+    next_od: ObjectDescriptor,
+    /// One client block pool per server (file ids are per-server).
+    caches: Vec<BlockCache>,
+    round_trips: u64,
+    /// Server that receives `create` calls (round-robin).
+    next_create: usize,
+}
+
+impl FileAgent {
+    /// Creates the agent for `machine` talking to a single server, with a
+    /// client cache of `cache_blocks` blocks.
+    pub fn new(
+        machine: u32,
+        server: ServerHandle,
+        naming: Arc<Mutex<NamingService>>,
+        net: SimNetwork,
+        cache_blocks: usize,
+    ) -> Self {
+        Self::with_servers(machine, vec![server], naming, net, cache_blocks)
+    }
+
+    /// Creates the agent for `machine` talking to several file servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty.
+    pub fn with_servers(
+        machine: u32,
+        servers: Vec<ServerHandle>,
+        naming: Arc<Mutex<NamingService>>,
+        net: SimNetwork,
+        cache_blocks: usize,
+    ) -> Self {
+        assert!(!servers.is_empty(), "agent needs at least one file server");
+        let caches = servers
+            .iter()
+            .map(|_| BlockCache::new(cache_blocks.max(1)))
+            .collect();
+        Self {
+            machine,
+            servers,
+            naming,
+            net,
+            open: HashMap::new(),
+            next_od: FILE_OD_BASE,
+            caches,
+            round_trips: 0,
+            next_create: 0,
+        }
+    }
+
+    /// Number of file servers this agent can reach.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// This agent's machine number.
+    pub fn machine(&self) -> u32 {
+        self.machine
+    }
+
+    /// Statistics so far (cache counters merged over all servers' pools).
+    pub fn stats(&self) -> AgentStats {
+        let mut cache = CacheStats::default();
+        for c in &self.caches {
+            let s = c.stats();
+            cache.hits += s.hits;
+            cache.misses += s.misses;
+            cache.writebacks += s.writebacks;
+            cache.clean_evictions += s.clean_evictions;
+        }
+        AgentStats {
+            cache,
+            round_trips: self.round_trips,
+        }
+    }
+
+    /// One request/reply exchange with the server (latency accounting).
+    fn round_trip(&mut self) {
+        let _ = self.net.transmit();
+        let _ = self.net.transmit();
+        self.round_trips += 1;
+    }
+
+    fn resolve_file(&mut self, name: &AttributedName) -> Result<(usize, FileId), AgentError> {
+        self.round_trip(); // naming service visit
+        let target = self.naming.lock().resolve(name)?;
+        match target {
+            SystemName::File { server, fid } => Ok((server as usize, FileId(fid))),
+            other => Err(AgentError::NotAFile(other)),
+        }
+    }
+
+    fn entry(&self, od: ObjectDescriptor) -> Result<&OpenFile, AgentError> {
+        self.open.get(&od).ok_or(AgentError::BadDescriptor(od))
+    }
+
+    /// `create`: makes a file on the server and registers its attributed
+    /// name. Returns the system name.
+    ///
+    /// # Errors
+    ///
+    /// Naming conflicts or server failures.
+    pub fn create(&mut self, name: &AttributedName) -> Result<FileId, AgentError> {
+        let server = self.next_create % self.servers.len();
+        self.next_create += 1;
+        self.create_on(server, name)
+    }
+
+    /// `create` on a specific file server.
+    ///
+    /// # Errors
+    ///
+    /// Naming conflicts or server failures.
+    pub fn create_on(
+        &mut self,
+        server: usize,
+        name: &AttributedName,
+    ) -> Result<FileId, AgentError> {
+        self.round_trip();
+        let fid = self.servers[server]
+            .lock()
+            .file_service_mut()
+            .create(ServiceType::Basic)?;
+        self.naming
+            .lock()
+            .register(name.clone(), SystemName::file(server as u32, fid.0))?;
+        Ok(fid)
+    }
+
+    /// `open` by attributed name: resolves, opens at the server and
+    /// returns an object descriptor (> 100 000).
+    ///
+    /// # Errors
+    ///
+    /// Resolution or server failures.
+    pub fn open(&mut self, name: &AttributedName) -> Result<ObjectDescriptor, AgentError> {
+        let (server, fid) = self.resolve_file(name)?;
+        self.open_at(server, fid)
+    }
+
+    /// `open` by system name on the first server (single-server setups).
+    ///
+    /// # Errors
+    ///
+    /// Server failures.
+    pub fn open_fid(&mut self, fid: FileId) -> Result<ObjectDescriptor, AgentError> {
+        self.open_at(0, fid)
+    }
+
+    /// `open` by (server, system name).
+    ///
+    /// # Errors
+    ///
+    /// Server failures.
+    pub fn open_at(&mut self, server: usize, fid: FileId) -> Result<ObjectDescriptor, AgentError> {
+        self.round_trip();
+        let size = {
+            let mut guard = self.servers[server].lock();
+            let fs = guard.file_service_mut();
+            fs.open(fid)?;
+            fs.get_attribute(fid)?.size
+        };
+        let od = self.next_od;
+        self.next_od += 1;
+        self.open.insert(
+            od,
+            OpenFile {
+                server,
+                fid,
+                pos: 0,
+                size,
+            },
+        );
+        Ok(od)
+    }
+
+    /// `lseek`: moves the seek pointer. `whence` follows the classical
+    /// 0/1/2 (set/cur/end) convention; returns the new position.
+    ///
+    /// # Errors
+    ///
+    /// [`AgentError::BadDescriptor`].
+    pub fn lseek(&mut self, od: ObjectDescriptor, offset: i64, whence: u8) -> Result<u64, AgentError> {
+        let size = self.entry(od)?.size;
+        let entry = self.open.get_mut(&od).ok_or(AgentError::BadDescriptor(od))?;
+        let base = match whence {
+            0 => 0i64,
+            1 => entry.pos as i64,
+            _ => size as i64,
+        };
+        entry.pos = (base + offset).max(0) as u64;
+        Ok(entry.pos)
+    }
+
+    /// `read`: reads from the seek pointer and advances it.
+    ///
+    /// # Errors
+    ///
+    /// [`AgentError::BadDescriptor`]; server failures.
+    pub fn read(&mut self, od: ObjectDescriptor, len: usize) -> Result<Vec<u8>, AgentError> {
+        let pos = self.entry(od)?.pos;
+        let data = self.pread(od, pos, len)?;
+        self.open.get_mut(&od).expect("checked").pos += data.len() as u64;
+        Ok(data)
+    }
+
+    /// `pread`: positional read through the client block cache.
+    ///
+    /// # Errors
+    ///
+    /// [`AgentError::BadDescriptor`]; server failures.
+    pub fn pread(
+        &mut self,
+        od: ObjectDescriptor,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, AgentError> {
+        let (server, fid, size) = {
+            let e = self.entry(od)?;
+            (e.server, e.fid, e.size)
+        };
+        if offset >= size {
+            return Ok(Vec::new());
+        }
+        let len = len.min((size - offset) as usize);
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let bs = BLOCK_SIZE as u64;
+        let first = offset / bs;
+        let last = (offset + len as u64 - 1) / bs;
+        let mut out = Vec::with_capacity(len);
+        for idx in first..=last {
+            let block = match self.caches[server].get(&(fid, idx)) {
+                Some(b) => b.to_vec(),
+                None => {
+                    // Fetch the whole block from the server (one round
+                    // trip) and cache it.
+                    self.round_trip();
+                    let want = (bs as usize).min((size - idx * bs) as usize);
+                    let mut block = self.servers[server].lock().file_service_mut().read(
+                        fid,
+                        idx * bs,
+                        want,
+                    )?;
+                    block.resize(BLOCK_SIZE, 0);
+                    for (k, v) in self.caches[server].insert((fid, idx), block.clone(), false)
+                    {
+                        // Delayed writes evicted from the client cache are
+                        // pushed to the server.
+                        self.push_block(server, k.0, k.1, v)?;
+                    }
+                    block
+                }
+            };
+            let block_start = idx * bs;
+            let lo = offset.max(block_start) - block_start;
+            let hi = (offset + len as u64).min(block_start + bs) - block_start;
+            out.extend_from_slice(&block[lo as usize..hi as usize]);
+        }
+        Ok(out)
+    }
+
+    /// `write`: writes at the seek pointer and advances it.
+    ///
+    /// # Errors
+    ///
+    /// [`AgentError::BadDescriptor`]; server failures.
+    pub fn write(&mut self, od: ObjectDescriptor, data: &[u8]) -> Result<(), AgentError> {
+        let pos = self.entry(od)?.pos;
+        self.pwrite(od, pos, data)?;
+        self.open.get_mut(&od).expect("checked").pos = pos + data.len() as u64;
+        Ok(())
+    }
+
+    /// `pwrite`: positional write, buffered in the client cache
+    /// (delayed-write); data reaches the server on flush, close or cache
+    /// eviction.
+    ///
+    /// # Errors
+    ///
+    /// [`AgentError::BadDescriptor`]; server failures on eviction pushes.
+    pub fn pwrite(
+        &mut self,
+        od: ObjectDescriptor,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), AgentError> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let (server, fid) = {
+            let e = self.entry(od)?;
+            (e.server, e.fid)
+        };
+        let bs = BLOCK_SIZE as u64;
+        let first = offset / bs;
+        let last = (offset + data.len() as u64 - 1) / bs;
+        for idx in first..=last {
+            let block_start = idx * bs;
+            let lo = offset.max(block_start);
+            let hi = (offset + data.len() as u64).min(block_start + bs);
+            let full = lo == block_start && hi == block_start + bs;
+            let mut block = if full {
+                vec![0u8; BLOCK_SIZE]
+            } else if let Some(b) = self.caches[server].get(&(fid, idx)) {
+                b.to_vec()
+            } else {
+                // Read-modify-write through pread's caching path (only if
+                // the block exists at the server).
+                let size = self.entry(od)?.size;
+                if block_start < size {
+                    let _ = self.pread(od, block_start, BLOCK_SIZE)?;
+                }
+                self.caches[server]
+                    .get(&(fid, idx))
+                    .map(|b| b.to_vec())
+                    .unwrap_or_else(|| vec![0u8; BLOCK_SIZE])
+            };
+            block[(lo - block_start) as usize..(hi - block_start) as usize]
+                .copy_from_slice(&data[(lo - offset) as usize..(hi - offset) as usize]);
+            for (k, v) in self.caches[server].insert((fid, idx), block, true) {
+                self.push_block(server, k.0, k.1, v)?;
+            }
+        }
+        let entry = self.open.get_mut(&od).expect("checked");
+        entry.size = entry.size.max(offset + data.len() as u64);
+        Ok(())
+    }
+
+    fn push_block(
+        &mut self,
+        server: usize,
+        fid: FileId,
+        idx: u64,
+        data: Vec<u8>,
+    ) -> Result<(), AgentError> {
+        // Trim the push to the file's logical size so a partial tail block
+        // does not inflate the file.
+        let size = self
+            .open
+            .values()
+            .find(|e| e.server == server && e.fid == fid)
+            .map(|e| e.size)
+            .unwrap_or((idx + 1) * BLOCK_SIZE as u64);
+        let start = idx * BLOCK_SIZE as u64;
+        let len = (BLOCK_SIZE as u64).min(size.saturating_sub(start)) as usize;
+        if len == 0 {
+            return Ok(());
+        }
+        self.round_trip();
+        self.servers[server]
+            .lock()
+            .file_service_mut()
+            .write(fid, start, &data[..len])?;
+        Ok(())
+    }
+
+    /// Flushes this descriptor's delayed writes to the server.
+    ///
+    /// # Errors
+    ///
+    /// [`AgentError::BadDescriptor`]; server failures.
+    pub fn flush(&mut self, od: ObjectDescriptor) -> Result<(), AgentError> {
+        let (server, fid) = {
+            let e = self.entry(od)?;
+            (e.server, e.fid)
+        };
+        let dirty = self.caches[server].take_dirty_for(fid);
+        for ((f, idx), data) in dirty {
+            self.push_block(server, f, idx, data)?;
+        }
+        Ok(())
+    }
+
+    /// `close`: flushes and closes at the server.
+    ///
+    /// # Errors
+    ///
+    /// [`AgentError::BadDescriptor`]; server failures.
+    pub fn close(&mut self, od: ObjectDescriptor) -> Result<(), AgentError> {
+        self.flush(od)?;
+        let (server, fid) = {
+            let e = self.entry(od)?;
+            (e.server, e.fid)
+        };
+        self.round_trip();
+        self.servers[server].lock().file_service_mut().close(fid)?;
+        self.open.remove(&od);
+        self.caches[server].invalidate_file(fid);
+        Ok(())
+    }
+
+    /// `delete` by attributed name: unregisters and deletes.
+    ///
+    /// # Errors
+    ///
+    /// Resolution or server failures.
+    pub fn delete(&mut self, name: &AttributedName) -> Result<(), AgentError> {
+        let (server, fid) = self.resolve_file(name)?;
+        self.round_trip();
+        self.servers[server].lock().file_service_mut().delete(fid)?;
+        self.naming.lock().unregister(name)?;
+        Ok(())
+    }
+
+    /// `get-attribute` for an open descriptor.
+    ///
+    /// # Errors
+    ///
+    /// [`AgentError::BadDescriptor`]; server failures.
+    pub fn get_attribute(&mut self, od: ObjectDescriptor) -> Result<FileAttributes, AgentError> {
+        let (server, fid) = {
+            let e = self.entry(od)?;
+            (e.server, e.fid)
+        };
+        self.round_trip();
+        Ok(self.servers[server]
+            .lock()
+            .file_service_mut()
+            .get_attribute(fid)?)
+    }
+
+    /// The system name behind an open descriptor.
+    pub fn fid_of(&self, od: ObjectDescriptor) -> Option<FileId> {
+        self.open.get(&od).map(|e| e.fid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhodos_file_service::{FileService, FileServiceConfig};
+    use rhodos_net::NetConfig;
+    use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
+    use rhodos_txn::TxnConfig;
+
+    fn agent() -> FileAgent {
+        let clock = SimClock::new();
+        let fs = FileService::single_disk(
+            DiskGeometry::medium(),
+            LatencyModel::default(),
+            clock.clone(),
+            FileServiceConfig::default(),
+        )
+        .unwrap();
+        let ts = TransactionService::new(fs, TxnConfig::default()).unwrap();
+        FileAgent::new(
+            0,
+            Arc::new(Mutex::new(ts)),
+            Arc::new(Mutex::new(NamingService::new())),
+            SimNetwork::new(clock, NetConfig::reliable()),
+            64,
+        )
+    }
+
+    fn name(s: &str) -> AttributedName {
+        AttributedName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn create_open_write_read_close() {
+        let mut a = agent();
+        a.create(&name("name=doc")).unwrap();
+        let od = a.open(&name("name=doc")).unwrap();
+        assert!(od > 100_000);
+        a.write(od, b"hello ").unwrap();
+        a.write(od, b"agent").unwrap();
+        a.lseek(od, 0, 0).unwrap();
+        assert_eq!(a.read(od, 11).unwrap(), b"hello agent");
+        a.close(od).unwrap();
+    }
+
+    #[test]
+    fn lseek_whence_semantics() {
+        let mut a = agent();
+        a.create(&name("name=f")).unwrap();
+        let od = a.open(&name("name=f")).unwrap();
+        a.write(od, b"0123456789").unwrap();
+        assert_eq!(a.lseek(od, 2, 0).unwrap(), 2); // set
+        assert_eq!(a.read(od, 3).unwrap(), b"234");
+        assert_eq!(a.lseek(od, 1, 1).unwrap(), 6); // cur
+        assert_eq!(a.read(od, 2).unwrap(), b"67");
+        assert_eq!(a.lseek(od, -2, 2).unwrap(), 8); // end
+        assert_eq!(a.read(od, 10).unwrap(), b"89");
+    }
+
+    #[test]
+    fn client_cache_avoids_server_visits() {
+        let mut a = agent();
+        a.create(&name("name=cached")).unwrap();
+        let od = a.open(&name("name=cached")).unwrap();
+        a.write(od, &vec![7u8; 4 * BLOCK_SIZE]).unwrap();
+        a.flush(od).unwrap();
+        let _ = a.pread(od, 0, 4 * BLOCK_SIZE).unwrap(); // populate
+        let trips_before = a.stats().round_trips;
+        for _ in 0..10 {
+            let _ = a.pread(od, 0, 4 * BLOCK_SIZE).unwrap();
+        }
+        assert_eq!(a.stats().round_trips, trips_before, "all from client cache");
+        assert!(a.stats().cache.hits >= 40);
+    }
+
+    #[test]
+    fn delayed_write_reaches_server_on_close() {
+        let mut a = agent();
+        let fid = a.create(&name("name=dw")).unwrap();
+        let od = a.open(&name("name=dw")).unwrap();
+        a.write(od, b"buffered").unwrap();
+        // Not yet at the server (delayed write).
+        {
+            let mut server = a.servers[0].lock();
+            let fs = server.file_service_mut();
+            assert_eq!(fs.get_attribute(fid).unwrap().size, 0);
+        }
+        a.close(od).unwrap();
+        let mut server = a.servers[0].lock();
+        let fs = server.file_service_mut();
+        fs.open(fid).unwrap();
+        assert_eq!(fs.read(fid, 0, 8).unwrap(), b"buffered");
+        fs.close(fid).unwrap();
+    }
+
+    #[test]
+    fn delete_unregisters_name() {
+        let mut a = agent();
+        a.create(&name("name=gone")).unwrap();
+        a.delete(&name("name=gone")).unwrap();
+        assert!(matches!(
+            a.open(&name("name=gone")),
+            Err(AgentError::Naming(NamingError::NotFound(_)))
+        ));
+    }
+
+    #[test]
+    fn bad_descriptor_rejected() {
+        let mut a = agent();
+        assert!(matches!(a.read(999_999, 1), Err(AgentError::BadDescriptor(_))));
+        assert!(matches!(a.lseek(5, 0, 0), Err(AgentError::BadDescriptor(_))));
+    }
+
+    #[test]
+    fn reads_clamped_to_size() {
+        let mut a = agent();
+        a.create(&name("name=small")).unwrap();
+        let od = a.open(&name("name=small")).unwrap();
+        a.write(od, b"abc").unwrap();
+        assert_eq!(a.pread(od, 1, 100).unwrap(), b"bc");
+        assert_eq!(a.pread(od, 3, 100).unwrap(), b"");
+        assert_eq!(a.pread(od, 50, 1).unwrap(), b"");
+    }
+}

@@ -1,0 +1,217 @@
+//! Processes, standard-stream environment variables and mediumweight
+//! twins (§3).
+//!
+//! "A mediumweight process in RHODOS shares its text and data space with
+//! at least one other process, but its stack is separate ... a child of a
+//! mediumweight process will inherit all the object descriptors of the
+//! devices and files opened by the parent process and also the transaction
+//! descriptors of all the transactions initiated by the parent process.
+//! However, inheritance of the transaction descriptors ... poses a serious
+//! threat to the serializability property of a transaction. Therefore,
+//! processes which perform I/O on devices and files using the semantics of
+//! the basic file service can only invoke the process-twin operation."
+
+use crate::descriptor::{ObjectDescriptor, REDIR_STDERR, REDIR_STDIN, REDIR_STDOUT, STDERR, STDIN, STDOUT};
+use std::collections::{HashMap, HashSet};
+
+/// A (simulated) RHODOS process: its standard-stream environment
+/// variables, the descriptors it holds, and the transactions it started.
+#[derive(Debug, Clone)]
+pub struct Process {
+    /// Process identifier.
+    pub pid: u64,
+    /// `stdin` environment variable (0 by default; 100 002 if redirected).
+    pub stdin: ObjectDescriptor,
+    /// `stdout` environment variable (1 by default; 100 001 if redirected).
+    pub stdout: ObjectDescriptor,
+    /// `stderr` environment variable (2 by default; 100 003 if redirected).
+    pub stderr: ObjectDescriptor,
+    /// Object descriptors of open devices and files.
+    pub descriptors: HashSet<ObjectDescriptor>,
+    /// Transaction descriptors of transactions this process initiated.
+    pub transactions: HashSet<u64>,
+    /// Whether this process shares text/data with another (a twin).
+    pub mediumweight: bool,
+}
+
+impl Process {
+    fn new(pid: u64) -> Self {
+        Self {
+            pid,
+            stdin: STDIN,
+            stdout: STDOUT,
+            stderr: STDERR,
+            descriptors: HashSet::new(),
+            transactions: HashSet::new(),
+            mediumweight: false,
+        }
+    }
+}
+
+/// Errors of the process machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcessError {
+    /// No process with this pid.
+    NoSuchProcess(u64),
+    /// `process-twin` invoked by a process holding transaction
+    /// descriptors — forbidden to protect serializability (§3).
+    HasTransactions(u64),
+}
+
+impl std::fmt::Display for ProcessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcessError::NoSuchProcess(p) => write!(f, "no process {p}"),
+            ProcessError::HasTransactions(p) => write!(
+                f,
+                "process {p} holds transaction descriptors and cannot twin"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProcessError {}
+
+/// The per-machine process table.
+#[derive(Debug, Default)]
+pub struct ProcessTable {
+    processes: HashMap<u64, Process>,
+    next_pid: u64,
+}
+
+impl ProcessTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self {
+            processes: HashMap::new(),
+            next_pid: 1,
+        }
+    }
+
+    /// Spawns an ordinary process with default standard streams.
+    pub fn spawn(&mut self) -> u64 {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.processes.insert(pid, Process::new(pid));
+        pid
+    }
+
+    /// Access to a process.
+    pub fn get(&self, pid: u64) -> Option<&Process> {
+        self.processes.get(&pid)
+    }
+
+    /// Mutable access to a process.
+    pub fn get_mut(&mut self, pid: u64) -> Option<&mut Process> {
+        self.processes.get_mut(&pid)
+    }
+
+    /// Redirects the standard streams of `pid` per the paper's fixed
+    /// values: stdout → 100 001, stdin → 100 002, stderr → 100 003.
+    ///
+    /// # Errors
+    ///
+    /// [`ProcessError::NoSuchProcess`].
+    pub fn redirect(
+        &mut self,
+        pid: u64,
+        stdin: bool,
+        stdout: bool,
+        stderr: bool,
+    ) -> Result<(), ProcessError> {
+        let p = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(ProcessError::NoSuchProcess(pid))?;
+        if stdout {
+            p.stdout = REDIR_STDOUT;
+        }
+        if stdin {
+            p.stdin = REDIR_STDIN;
+        }
+        if stderr {
+            p.stderr = REDIR_STDERR;
+        }
+        Ok(())
+    }
+
+    /// `process-twin`: creates a mediumweight child that inherits every
+    /// object descriptor of the parent. Refused when the parent holds
+    /// transaction descriptors.
+    ///
+    /// # Errors
+    ///
+    /// [`ProcessError::HasTransactions`] when the parent started
+    /// transactions; [`ProcessError::NoSuchProcess`].
+    pub fn process_twin(&mut self, parent: u64) -> Result<u64, ProcessError> {
+        let p = self
+            .processes
+            .get(&parent)
+            .ok_or(ProcessError::NoSuchProcess(parent))?;
+        if !p.transactions.is_empty() {
+            return Err(ProcessError::HasTransactions(parent));
+        }
+        let mut child = p.clone();
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        child.pid = pid;
+        child.mediumweight = true;
+        self.processes.get_mut(&parent).expect("exists").mediumweight = true;
+        self.processes.insert(pid, child);
+        Ok(pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_streams() {
+        let mut t = ProcessTable::new();
+        let pid = t.spawn();
+        let p = t.get(pid).unwrap();
+        assert_eq!((p.stdin, p.stdout, p.stderr), (0, 1, 2));
+    }
+
+    #[test]
+    fn redirection_uses_fixed_values() {
+        let mut t = ProcessTable::new();
+        let pid = t.spawn();
+        t.redirect(pid, true, true, true).unwrap();
+        let p = t.get(pid).unwrap();
+        assert_eq!(p.stdout, 100_001);
+        assert_eq!(p.stdin, 100_002);
+        assert_eq!(p.stderr, 100_003);
+    }
+
+    #[test]
+    fn twin_inherits_descriptors() {
+        let mut t = ProcessTable::new();
+        let pid = t.spawn();
+        t.get_mut(pid).unwrap().descriptors.insert(100_005);
+        let child = t.process_twin(pid).unwrap();
+        let c = t.get(child).unwrap();
+        assert!(c.descriptors.contains(&100_005));
+        assert!(c.mediumweight);
+        assert!(t.get(pid).unwrap().mediumweight);
+    }
+
+    #[test]
+    fn twin_refused_for_transactional_processes() {
+        let mut t = ProcessTable::new();
+        let pid = t.spawn();
+        t.get_mut(pid).unwrap().transactions.insert(9);
+        assert!(matches!(
+            t.process_twin(pid),
+            Err(ProcessError::HasTransactions(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_pid_errors() {
+        let mut t = ProcessTable::new();
+        assert!(t.process_twin(42).is_err());
+        assert!(t.redirect(42, true, false, false).is_err());
+    }
+}

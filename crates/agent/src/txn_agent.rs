@@ -1,0 +1,335 @@
+//! The transaction agent: the event-driven client interface to the
+//! transaction service (§3, §6).
+//!
+//! "The transaction agent process is highly dynamic because the first
+//! request to initiate a transaction in a client's machine brings this
+//! process into existence and it ceases to exist as soon as the last
+//! transaction in the client's machine either completes successfully or
+//! aborts." The host (`rhodos-core`'s `Machine`) constructs the agent on
+//! the first `tbegin` and drops it when [`TransactionAgent::is_idle`]
+//! becomes true, logging [`AgentLifecycleEvent`]s — the observable for
+//! experiment E16.
+
+use crate::descriptor::{ObjectDescriptor, FILE_OD_BASE};
+use crate::file_agent::{AgentError, ServerHandle};
+use rhodos_file_service::{FileAttributes, FileId, LockLevel};
+use rhodos_net::SimNetwork;
+use rhodos_txn::TxnId;
+use std::collections::{HashMap, HashSet};
+
+/// A lifecycle event of the (event-driven) transaction agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentLifecycleEvent {
+    /// The agent process came into existence.
+    Created {
+        /// Virtual time of the event.
+        at_us: u64,
+    },
+    /// The agent process ceased to exist.
+    Destroyed {
+        /// Virtual time of the event.
+        at_us: u64,
+    },
+}
+
+/// The per-machine transaction agent.
+#[derive(Debug)]
+pub struct TransactionAgent {
+    machine: u32,
+    server: ServerHandle,
+    net: SimNetwork,
+    active: HashSet<TxnId>,
+    /// Descriptor table: od → (transaction, file, seek position).
+    ods: HashMap<ObjectDescriptor, (TxnId, FileId, u64)>,
+    next_od: ObjectDescriptor,
+    round_trips: u64,
+}
+
+impl TransactionAgent {
+    /// Creates the agent (the host logs the `Created` lifecycle event).
+    pub fn new(machine: u32, server: ServerHandle, net: SimNetwork) -> Self {
+        Self {
+            machine,
+            server,
+            net,
+            active: HashSet::new(),
+            ods: HashMap::new(),
+            next_od: FILE_OD_BASE,
+            round_trips: 0,
+        }
+    }
+
+    /// This agent's machine number.
+    pub fn machine(&self) -> u32 {
+        self.machine
+    }
+
+    /// Whether no transactions remain — the host destroys the agent when
+    /// this turns true.
+    pub fn is_idle(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Number of active transactions on this machine.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Round trips charged so far.
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips
+    }
+
+    fn round_trip(&mut self) {
+        let _ = self.net.transmit();
+        let _ = self.net.transmit();
+        self.round_trips += 1;
+    }
+
+    /// `tbegin`.
+    pub fn tbegin(&mut self) -> TxnId {
+        self.round_trip();
+        let t = self.server.lock().tbegin();
+        self.active.insert(t);
+        t
+    }
+
+    /// `tcreate`: a transaction-typed file with the given locking level.
+    ///
+    /// # Errors
+    ///
+    /// Server failures.
+    pub fn tcreate(&mut self, level: LockLevel) -> Result<FileId, AgentError> {
+        self.round_trip();
+        Ok(self.server.lock().tcreate(level)?)
+    }
+
+    /// `topen`: opens `fid` under transaction `t`, returning a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Server failures.
+    pub fn topen(&mut self, t: TxnId, fid: FileId) -> Result<ObjectDescriptor, AgentError> {
+        self.round_trip();
+        self.server.lock().topen(t, fid)?;
+        let od = self.next_od;
+        self.next_od += 1;
+        self.ods.insert(od, (t, fid, 0));
+        Ok(od)
+    }
+
+    fn entry(&self, od: ObjectDescriptor) -> Result<(TxnId, FileId, u64), AgentError> {
+        self.ods
+            .get(&od)
+            .copied()
+            .ok_or(AgentError::BadDescriptor(od))
+    }
+
+    /// `tlseek`: moves the seek pointer (0/1/2 = set/cur/end).
+    ///
+    /// # Errors
+    ///
+    /// [`AgentError::BadDescriptor`]; server failures (end-relative seeks
+    /// consult the server for the size).
+    pub fn tlseek(&mut self, od: ObjectDescriptor, offset: i64, whence: u8) -> Result<u64, AgentError> {
+        let (t, fid, pos) = self.entry(od)?;
+        let base = match whence {
+            0 => 0i64,
+            1 => pos as i64,
+            _ => {
+                self.round_trip();
+                self.server.lock().tget_attribute(t, fid)?.size as i64
+            }
+        };
+        let new_pos = (base + offset).max(0) as u64;
+        self.ods.insert(od, (t, fid, new_pos));
+        Ok(new_pos)
+    }
+
+    /// `tread`: reads at the seek pointer under a read-only lock.
+    ///
+    /// # Errors
+    ///
+    /// Lock conflicts surface as
+    /// [`TxnError::WouldBlock`](rhodos_txn::TxnError::WouldBlock) inside
+    /// [`AgentError::Txn`].
+    pub fn tread(&mut self, od: ObjectDescriptor, len: usize) -> Result<Vec<u8>, AgentError> {
+        let (t, fid, pos) = self.entry(od)?;
+        let data = self.tpread(od, pos, len)?;
+        self.ods.insert(od, (t, fid, pos + data.len() as u64));
+        Ok(data)
+    }
+
+    /// `tpread`: positional transactional read.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::tread`].
+    pub fn tpread(
+        &mut self,
+        od: ObjectDescriptor,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, AgentError> {
+        let (t, fid, _) = self.entry(od)?;
+        self.round_trip();
+        Ok(self.server.lock().tread(t, fid, offset, len)?)
+    }
+
+    /// `twrite`: writes at the seek pointer under an Iwrite lock.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::tread`].
+    pub fn twrite(&mut self, od: ObjectDescriptor, data: &[u8]) -> Result<(), AgentError> {
+        let (t, fid, pos) = self.entry(od)?;
+        self.tpwrite(od, pos, data)?;
+        self.ods.insert(od, (t, fid, pos + data.len() as u64));
+        Ok(())
+    }
+
+    /// `tpwrite`: positional transactional write.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::tread`].
+    pub fn tpwrite(
+        &mut self,
+        od: ObjectDescriptor,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), AgentError> {
+        let (t, fid, _) = self.entry(od)?;
+        self.round_trip();
+        Ok(self.server.lock().twrite(t, fid, offset, data)?)
+    }
+
+    /// `tget-attribute`.
+    ///
+    /// # Errors
+    ///
+    /// Server failures.
+    pub fn tget_attribute(&mut self, od: ObjectDescriptor) -> Result<FileAttributes, AgentError> {
+        let (t, fid, _) = self.entry(od)?;
+        self.round_trip();
+        Ok(self.server.lock().tget_attribute(t, fid)?)
+    }
+
+    /// `tclose`: closes the descriptor (locks are kept until commit).
+    ///
+    /// # Errors
+    ///
+    /// [`AgentError::BadDescriptor`]; server failures.
+    pub fn tclose(&mut self, od: ObjectDescriptor) -> Result<(), AgentError> {
+        let (t, fid, _) = self.entry(od)?;
+        self.round_trip();
+        self.server.lock().tclose(t, fid)?;
+        self.ods.remove(&od);
+        Ok(())
+    }
+
+    /// `tend`: commits.
+    ///
+    /// # Errors
+    ///
+    /// Server failures.
+    pub fn tend(&mut self, t: TxnId) -> Result<(), AgentError> {
+        self.round_trip();
+        self.server.lock().tend(t)?;
+        self.forget(t);
+        Ok(())
+    }
+
+    /// `tabort`.
+    ///
+    /// # Errors
+    ///
+    /// Server failures.
+    pub fn tabort(&mut self, t: TxnId) -> Result<(), AgentError> {
+        self.round_trip();
+        self.server.lock().tabort(t)?;
+        self.forget(t);
+        Ok(())
+    }
+
+    fn forget(&mut self, t: TxnId) {
+        self.active.remove(&t);
+        self.ods.retain(|_, (txn, _, _)| *txn != t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use rhodos_file_service::{FileService, FileServiceConfig};
+    use rhodos_net::NetConfig;
+    use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
+    use rhodos_txn::{TransactionService, TxnConfig};
+    use std::sync::Arc;
+
+    fn agent() -> TransactionAgent {
+        let clock = SimClock::new();
+        let fs = FileService::single_disk(
+            DiskGeometry::medium(),
+            LatencyModel::default(),
+            clock.clone(),
+            FileServiceConfig::default(),
+        )
+        .unwrap();
+        let ts = TransactionService::new(fs, TxnConfig::default()).unwrap();
+        TransactionAgent::new(
+            0,
+            Arc::new(Mutex::new(ts)),
+            SimNetwork::new(clock, NetConfig::reliable()),
+        )
+    }
+
+    #[test]
+    fn transactional_read_write_via_descriptors() {
+        let mut a = agent();
+        let fid = a.tcreate(LockLevel::Page).unwrap();
+        let t = a.tbegin();
+        let od = a.topen(t, fid).unwrap();
+        a.twrite(od, b"first ").unwrap();
+        a.twrite(od, b"second").unwrap();
+        a.tlseek(od, 0, 0).unwrap();
+        assert_eq!(a.tread(od, 12).unwrap(), b"first second");
+        a.tend(t).unwrap();
+        assert!(a.is_idle());
+    }
+
+    #[test]
+    fn idle_tracking_across_transactions() {
+        let mut a = agent();
+        let t1 = a.tbegin();
+        let t2 = a.tbegin();
+        assert_eq!(a.active_count(), 2);
+        a.tend(t1).unwrap();
+        assert!(!a.is_idle());
+        a.tabort(t2).unwrap();
+        assert!(a.is_idle());
+    }
+
+    #[test]
+    fn descriptors_die_with_their_transaction() {
+        let mut a = agent();
+        let fid = a.tcreate(LockLevel::Page).unwrap();
+        let t = a.tbegin();
+        let od = a.topen(t, fid).unwrap();
+        a.tend(t).unwrap();
+        assert!(matches!(a.tread(od, 1), Err(AgentError::BadDescriptor(_))));
+    }
+
+    #[test]
+    fn end_relative_seek_consults_server() {
+        let mut a = agent();
+        let fid = a.tcreate(LockLevel::Page).unwrap();
+        let t = a.tbegin();
+        let od = a.topen(t, fid).unwrap();
+        a.twrite(od, b"0123456789").unwrap();
+        assert_eq!(a.tlseek(od, -4, 2).unwrap(), 6);
+        assert_eq!(a.tread(od, 4).unwrap(), b"6789");
+        a.tend(t).unwrap();
+    }
+}

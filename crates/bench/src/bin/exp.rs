@@ -1,0 +1,25 @@
+//! Runs paper experiments by id: `exp e03 e12` or `exp all`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = rhodos_bench::all_experiments();
+    if args.is_empty() || args.iter().any(|a| a == "all") {
+        println!("{}", rhodos_bench::run_all());
+        return;
+    }
+    for want in &args {
+        match experiments.iter().find(|(id, _, _)| id == want) {
+            Some((id, title, run)) => {
+                println!("[{id}] {title}");
+                println!("{}", run());
+            }
+            None => {
+                eprintln!("unknown experiment {want:?}; available:");
+                for (id, title, _) in &experiments {
+                    eprintln!("  {id}  {title}");
+                }
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! E4 — the contiguity `count` field: "all successive blocks, which are
+//! contiguous, can be cached using one single invocation of get-block,
+//! instead of count number of invocations" (§5). Reads the same logical
+//! file laid out contiguously and fragmented, and compares references,
+//! seeks and simulated time.
+
+use crate::table::{speedup, Table};
+use rhodos_file_service::{FileService, ServiceType};
+
+const BLOCKS: u64 = 32;
+const BS: usize = 8192;
+
+fn build(fragmented: bool) -> (FileService, rhodos_file_service::FileId) {
+    let mut fs = crate::setups::file_service_raw();
+    let fid = fs.create(ServiceType::Basic).unwrap();
+    fs.open(fid).unwrap();
+    if fragmented {
+        // Interleave with a decoy file so every block of `fid` is an
+        // island.
+        let decoy = fs.create(ServiceType::Basic).unwrap();
+        fs.open(decoy).unwrap();
+        for i in 0..BLOCKS {
+            fs.write(fid, i * BS as u64, &vec![1u8; BS]).unwrap();
+            fs.flush_all().unwrap();
+            fs.write(decoy, i * BS as u64, &vec![2u8; BS]).unwrap();
+            fs.flush_all().unwrap();
+        }
+    } else {
+        fs.write(fid, 0, &vec![1u8; BLOCKS as usize * BS]).unwrap();
+        fs.flush_all().unwrap();
+    }
+    (fs, fid)
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut t = Table::new(&[
+        "layout",
+        "contiguity ratio",
+        "max count field",
+        "disk refs",
+        "seeks",
+        "sim time (us)",
+    ]);
+    let mut times = Vec::new();
+    for fragmented in [false, true] {
+        let (mut fs, fid) = build(fragmented);
+        let fit = fs.fit_snapshot(fid).unwrap();
+        let ratio = fit.contiguity_ratio();
+        let max_count = fit.descriptors().iter().map(|d| d.contig).max().unwrap_or(0);
+        fs.evict_caches().unwrap();
+        let clock = fs.clock();
+        let s0 = fs.stats().disks[0].disk;
+        let t0 = clock.now_us();
+        let back = fs.read(fid, 0, BLOCKS as usize * BS).unwrap();
+        assert_eq!(back.len(), BLOCKS as usize * BS);
+        let s1 = fs.stats().disks[0].disk;
+        let dt = clock.now_us() - t0;
+        times.push(dt);
+        t.row_owned(vec![
+            if fragmented { "fragmented" } else { "contiguous" }.to_string(),
+            format!("{ratio:.2}"),
+            max_count.to_string(),
+            (s1.read_ops - s0.read_ops).to_string(),
+            (s1.seeks - s0.seeks).to_string(),
+            dt.to_string(),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\ncontiguous layout is {} faster than fragmented for a {}-block sequential read\n\
+         (paper: one get-block per run instead of `count` invocations).\n",
+        speedup(times[1] as f64, times[0] as f64),
+        BLOCKS
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn contiguous_wins() {
+        let report = super::run();
+        // The contiguous read must collapse to very few references.
+        let line = report
+            .lines()
+            .find(|l| l.trim_start().starts_with("contiguous"))
+            .unwrap()
+            .to_string();
+        let cells: Vec<&str> = line.split_whitespace().collect();
+        let refs: u64 = cells[3].parse().unwrap();
+        assert!(refs <= 2, "contiguous read took {refs} refs: {report}");
+    }
+}

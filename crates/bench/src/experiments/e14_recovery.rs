@@ -1,0 +1,164 @@
+//! E14 — reliability: "provision of stable storage ensures that all the
+//! important data structures used for file management in the distributed
+//! file facility are recoverable" (§7) and the transaction service
+//! "takes care of all sorts of failures (except for catastrophes)"
+//! (§6.6). Sweeps fault scenarios and reports recovery outcomes.
+
+use crate::table::Table;
+use rhodos_file_service::{FileServiceConfig, LockLevel};
+use rhodos_txn::{TransactionService, TxnConfig};
+
+fn fresh() -> (TransactionService, rhodos_file_service::FileId) {
+    let mut ts = TransactionService::new(
+        crate::setups::file_service(FileServiceConfig::default()),
+        TxnConfig::default(),
+    )
+    .unwrap();
+    let fid = ts.tcreate(LockLevel::Page).unwrap();
+    let t = ts.tbegin();
+    ts.topen(t, fid).unwrap();
+    ts.twrite(t, fid, 0, b"vital committed data").unwrap();
+    ts.tend(t).unwrap();
+    ts.file_service_mut().flush_all().unwrap();
+    (ts, fid)
+}
+
+fn check(ts: &mut TransactionService, fid: rhodos_file_service::FileId) -> bool {
+    let t = ts.tbegin();
+    if ts.topen(t, fid).is_err() {
+        return false;
+    }
+    let ok = ts
+        .tread(t, fid, 0, 20)
+        .map(|d| d == b"vital committed data")
+        .unwrap_or(false);
+    let _ = ts.tend(t);
+    ok
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut t = Table::new(&["fault injected", "recovered", "data intact", "redone txns"]);
+
+    // 1. Pure crash (volatile state lost).
+    {
+        let (mut ts, fid) = fresh();
+        ts.file_service_mut().simulate_crash();
+        let redone = ts.recover().unwrap();
+        t.row_owned(vec![
+            "server crash (caches, directory, lock tables lost)".into(),
+            "yes".into(),
+            if check(&mut ts, fid) { "yes" } else { "NO" }.into(),
+            redone.len().to_string(),
+        ]);
+    }
+
+    // 2. Media failure on the FIT fragment (stable copy saves it).
+    {
+        let (mut ts, fid) = fresh();
+        let descs = ts.file_service_mut().block_descriptors(fid).unwrap();
+        let fit_frag = descs[0].addr - 1; // FIT precedes the first block
+        ts.file_service_mut()
+            .disk_mut(0)
+            .disk_mut()
+            .corrupt_sector(fit_frag)
+            .unwrap();
+        ts.file_service_mut().simulate_crash();
+        let redone = ts.recover().unwrap();
+        t.row_owned(vec![
+            "media failure on the file index table".into(),
+            "yes".into(),
+            if check(&mut ts, fid) { "yes" } else { "NO" }.into(),
+            redone.len().to_string(),
+        ]);
+    }
+
+    // 3. Crash between the commit record and its application (redo).
+    {
+        let (mut ts, fid) = fresh();
+        // A second committed transaction whose application we interrupt by
+        // crashing immediately after the log write; emulate by writing the
+        // commit record path through a normal commit, then crash *after*
+        // tend — and verify idempotent redo does not duplicate it. Then a
+        // genuinely torn case is covered in the crate tests; here we replay
+        // a full recover after a healthy commit to show "0 redo".
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        ts.twrite(t2, fid, 0, b"vital committed data").unwrap();
+        ts.tend(t2).unwrap();
+        ts.file_service_mut().simulate_crash();
+        let redone = ts.recover().unwrap();
+        t.row_owned(vec![
+            "crash right after a commit completed".into(),
+            "yes".into(),
+            if check(&mut ts, fid) { "yes" } else { "NO" }.into(),
+            redone.len().to_string(),
+        ]);
+    }
+
+    // 4. Torn commit record (crash mid log write): rolled back.
+    {
+        let (mut ts, fid) = fresh();
+        ts.file_service_mut()
+            .disk_mut(0)
+            .disk_mut()
+            .faults_mut()
+            .crash_after_sector_writes(1);
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        let r = ts
+            .twrite(t2, fid, 0, b"TORN TORN TORN TORN!")
+            .and_then(|_| ts.tend(t2));
+        let crashed = r.is_err();
+        ts.file_service_mut().simulate_crash();
+        let redone = ts.recover().unwrap();
+        t.row_owned(vec![
+            "crash tearing the commit record".into(),
+            if crashed { "yes" } else { "n/a" }.into(),
+            if check(&mut ts, fid) { "yes (rolled back)" } else { "NO" }.into(),
+            redone.len().to_string(),
+        ]);
+    }
+
+    // 5. Catastrophe: both stable mirrors of the FIT destroyed — the one
+    // case the paper excludes.
+    {
+        let (mut ts, fid) = fresh();
+        let descs = ts.file_service_mut().block_descriptors(fid).unwrap();
+        let fit_frag = descs[0].addr - 1;
+        let disk = ts.file_service_mut().disk_mut(0);
+        disk.disk_mut().corrupt_sector(fit_frag).unwrap();
+        let stable = disk.stable_mut().unwrap();
+        for slot in [2 * fit_frag, 2 * fit_frag + 1] {
+            stable.mirror_a_mut().corrupt_sector(slot).unwrap();
+            stable.mirror_b_mut().corrupt_sector(slot).unwrap();
+        }
+        ts.file_service_mut().simulate_crash();
+        let outcome = ts.recover();
+        t.row_owned(vec![
+            "catastrophe: FIT + both stable mirrors destroyed".into(),
+            if outcome.is_ok() { "yes" } else { "no (reported)" }.into(),
+            "n/a (excluded by the paper)".into(),
+            "-".into(),
+        ]);
+    }
+
+    let mut out = t.render();
+    out.push_str(
+        "\npaper: every failure class except catastrophes recovers; catastrophes\n\
+         (losing a structure AND both stable replicas) are reported, not hidden.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_recoverable_scenarios_keep_data() {
+        let report = super::run();
+        assert!(
+            !report.contains(" NO"),
+            "a recoverable scenario lost data:\n{report}"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! E15 — modification policies (§5): "we decided to implement the
+//! delayed-write policy to save modifications made to data cached by the
+//! file agent. However, the delayed-write policy alone is not sufficient
+//! ... the delayed-write together with write-through policies are adapted
+//! to save modifications made to data cached by the file service."
+//!
+//! Measures the cost and the risk of each policy on a rewrite-heavy
+//! workload: disk writes, simulated time, and the crash-loss window
+//! (dirty blocks that a crash would lose).
+
+use crate::table::{speedup, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rhodos_file_service::{FileServiceConfig, ServiceType, WritePolicy};
+
+const OPS: usize = 800;
+const FILE_BLOCKS: usize = 8;
+
+struct PolicyOutcome {
+    write_refs: u64,
+    sim_us: u64,
+    max_dirty: usize,
+    lost_after_crash: usize,
+}
+
+fn measure(policy: WritePolicy) -> PolicyOutcome {
+    let mut fs = crate::setups::file_service(FileServiceConfig {
+        write_policy: policy,
+        ..Default::default()
+    });
+    let fid = fs.create(ServiceType::Basic).unwrap();
+    fs.open(fid).unwrap();
+    fs.write(fid, 0, &vec![0u8; FILE_BLOCKS * 8192]).unwrap();
+    fs.flush_all().unwrap();
+    let clock = fs.clock();
+    let mut rng = StdRng::seed_from_u64(17);
+    let w0: u64 = fs.stats().disks[0].disk.write_ops;
+    let t0 = clock.now_us();
+    let mut max_dirty = 0usize;
+    for _ in 0..OPS {
+        let b = rng.gen_range(0..FILE_BLOCKS);
+        let off = (b * 8192 + rng.gen_range(0..8000)) as u64;
+        fs.write(fid, off, &[0xC4; 64]).unwrap();
+        max_dirty = max_dirty.max(fs.stats().cache.writebacks as usize); // placeholder, replaced below
+    }
+    // Count dirty blocks resident right now — the crash-loss window.
+    let dirty_now = {
+        // crash and see how many blocks changed vs model: simpler proxy —
+        // flush and count the writebacks it performs.
+        let before = fs.stats().cache.writebacks;
+        fs.flush_all().unwrap();
+        (fs.stats().cache.writebacks - before) as usize
+    };
+    let w1: u64 = fs.stats().disks[0].disk.write_ops;
+    PolicyOutcome {
+        write_refs: w1 - w0,
+        sim_us: clock.now_us() - t0,
+        max_dirty: dirty_now,
+        lost_after_crash: dirty_now,
+    }
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut t = Table::new(&[
+        "policy",
+        "disk write refs",
+        "sim time (us)",
+        "dirty blocks at crash",
+    ]);
+    let mut outcomes = Vec::new();
+    for (label, policy) in [
+        ("delayed-write (agent/basic traffic)", WritePolicy::DelayedWrite),
+        ("write-through (transactional traffic)", WritePolicy::WriteThrough),
+    ] {
+        let o = measure(policy);
+        t.row_owned(vec![
+            label.to_string(),
+            o.write_refs.to_string(),
+            o.sim_us.to_string(),
+            o.lost_after_crash.to_string(),
+        ]);
+        outcomes.push(o);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\ndelayed-write needs {} fewer disk writes ({} vs {}) on {OPS} rewrites of a\n\
+         {FILE_BLOCKS}-block file, at the price of a {}-block crash-loss window —\n\
+         exactly why the file service pairs it with write-through for transactions.\n",
+        speedup(outcomes[1].write_refs as f64, outcomes[0].write_refs as f64),
+        outcomes[0].write_refs,
+        outcomes[1].write_refs,
+        outcomes[0].max_dirty,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delayed_write_batches_and_write_through_is_safe() {
+        let dw = measure(WritePolicy::DelayedWrite);
+        let wt = measure(WritePolicy::WriteThrough);
+        assert!(
+            dw.write_refs * 4 < wt.write_refs,
+            "delayed-write should batch heavily: {} vs {}",
+            dw.write_refs,
+            wt.write_refs
+        );
+        assert_eq!(wt.lost_after_crash, 0, "write-through leaves nothing dirty");
+        assert!(dw.lost_after_crash > 0, "delayed-write has a loss window");
+    }
+}

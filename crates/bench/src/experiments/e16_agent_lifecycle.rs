@@ -1,0 +1,104 @@
+//! E16 — configurability (§2.1, §3): "process(es) responsible for
+//! providing access to the transaction service should be created only
+//! when there is a need and they should cease to exist after providing
+//! the service"; "the first request to initiate a transaction in a
+//! client's machine brings this process into existence and it ceases to
+//! exist as soon as the last transaction ... either completes
+//! successfully or aborts."
+
+use crate::table::Table;
+use rhodos_agent::AgentLifecycleEvent;
+use rhodos_core::Cluster;
+use rhodos_file_service::LockLevel;
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut cluster = Cluster::builder().machines(1).build().unwrap();
+    let mut t = Table::new(&["moment", "agent exists", "active txns"]);
+
+    let snap = |cluster: &mut Cluster, label: &str, t: &mut Table| {
+        let m = cluster.machine_mut(0);
+        let exists = m.has_transaction_agent();
+        let active = m
+            .txn_agent_mut()
+            .map(|a| a.active_count())
+            .unwrap_or(0);
+        t.row_owned(vec![
+            label.to_string(),
+            if exists { "yes" } else { "no" }.to_string(),
+            active.to_string(),
+        ]);
+    };
+
+    snap(&mut cluster, "before any transaction", &mut t);
+    let t1 = cluster.machine_mut(0).tbegin();
+    snap(&mut cluster, "after first tbegin", &mut t);
+    let t2 = cluster.machine_mut(0).tbegin();
+    let fid = cluster
+        .machine_mut(0)
+        .txn_agent_mut()
+        .unwrap()
+        .tcreate(LockLevel::Page)
+        .unwrap();
+    let od = cluster
+        .machine_mut(0)
+        .txn_agent_mut()
+        .unwrap()
+        .topen(t1, fid)
+        .unwrap();
+    cluster
+        .machine_mut(0)
+        .txn_agent_mut()
+        .unwrap()
+        .twrite(od, b"work")
+        .unwrap();
+    snap(&mut cluster, "two transactions running", &mut t);
+    cluster.machine_mut(0).tend(t1).unwrap();
+    snap(&mut cluster, "after first tend", &mut t);
+    cluster.machine_mut(0).tabort(t2).unwrap();
+    snap(&mut cluster, "after last transaction ends", &mut t);
+    let t3 = cluster.machine_mut(0).tbegin();
+    snap(&mut cluster, "a new tbegin later", &mut t);
+    cluster.machine_mut(0).tend(t3).unwrap();
+    snap(&mut cluster, "and after it ends", &mut t);
+
+    let mut out = t.render();
+    let events = cluster.machine_mut(0).agent_lifecycle().to_vec();
+    let created = events
+        .iter()
+        .filter(|e| matches!(e, AgentLifecycleEvent::Created { .. }))
+        .count();
+    let destroyed = events
+        .iter()
+        .filter(|e| matches!(e, AgentLifecycleEvent::Destroyed { .. }))
+        .count();
+    out.push_str(&format!(
+        "\nlifecycle log: {created} creations, {destroyed} destructions across two bursts\n\
+         (event-driven: the agent never outlives its last transaction).\n",
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn agent_exists_exactly_while_transactions_run() {
+        let report = super::run();
+        for (moment, want) in [
+            ("before any transaction", "no"),
+            ("after first tbegin", "yes"),
+            ("two transactions running", "yes"),
+            ("after first tend", "yes"),
+            ("after last transaction ends", "no"),
+            ("a new tbegin later", "yes"),
+            ("and after it ends", "no"),
+        ] {
+            let line = report
+                .lines()
+                .find(|l| l.trim_start().starts_with(moment))
+                .unwrap_or_else(|| panic!("missing row {moment}: {report}"));
+            assert!(line.contains(want), "{moment}: {line}");
+        }
+        assert!(report.contains("2 creations, 2 destructions"));
+    }
+}

@@ -1,0 +1,63 @@
+//! # rhodos-bench — experiment harness for the RHODOS reproduction
+//!
+//! The 1994 paper contains two exhibits (Figure 1, the architecture, and
+//! Table 1, the lock-compatibility matrix) and a set of performance and
+//! reliability *claims* stated in prose. This crate regenerates each of
+//! them:
+//!
+//! * [`experiments`] — one module per experiment E1–E16 from
+//!   `EXPERIMENTS.md`, each with a `run() -> String` that executes the
+//!   workload, measures the claim's quantities on the simulated facility,
+//!   and prints a paper-style table;
+//! * `benches/paper_experiments.rs` — a `harness = false` bench target
+//!   that runs every experiment (so `cargo bench` regenerates the paper);
+//! * `benches/hot_paths.rs` — Criterion microbenchmarks of the allocator,
+//!   disk transfer, file operations, lock manager and commit paths.
+//!
+//! Individual experiments are also runnable:
+//! `cargo run --release -p rhodos-bench --bin exp -- e03`.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod setups;
+pub mod table;
+
+/// One experiment: `(id, title, runner)`.
+pub type Experiment = (&'static str, &'static str, fn() -> String);
+
+/// Every experiment in order.
+pub fn all_experiments() -> Vec<Experiment> {
+    use experiments::*;
+    vec![
+        ("e01", "Table 1: lock compatibility matrix", e01_lock_table::run),
+        ("e03", "Files <= 512 KiB in at most two disk references", e03_direct_access::run),
+        ("e04", "Contiguity counts collapse a run into one reference", e04_contiguity::run),
+        ("e05", "Fragments for metadata: utilisation vs I/O", e05_fragments::run),
+        ("e06", "64x64 free-extent array vs bitmap scan", e06_freespace::run),
+        ("e07", "Track read-ahead cache", e07_track_cache::run),
+        ("e08", "Caching at every level vs a cache-less server", e08_cache_levels::run),
+        ("e09", "Idempotent operations under duplication and loss", e09_idempotency::run),
+        ("e10", "Lock granularity: concurrency vs overhead", e10_granularity::run),
+        ("e11", "Timeout deadlock resolution under load", e11_deadlock::run),
+        ("e12", "WAL vs shadow page: commit cost and contiguity", e12_wal_shadow::run),
+        ("e13", "Striping across disks", e13_striping::run),
+        ("e14", "Stable storage and crash recovery", e14_recovery::run),
+        ("e15", "Delayed-write vs write-through", e15_write_policy::run),
+        ("e16", "Event-driven transaction agent lifecycle", e16_agent_lifecycle::run),
+    ]
+}
+
+/// Runs every experiment and concatenates the reports.
+pub fn run_all() -> String {
+    let mut out = String::new();
+    out.push_str("RHODOS distributed file facility — paper experiment suite\n");
+    out.push_str("==========================================================\n");
+    for (id, title, run) in all_experiments() {
+        out.push_str(&format!("\n[{id}] {title}\n"));
+        out.push_str(&"-".repeat(title.len() + 7));
+        out.push('\n');
+        out.push_str(&run());
+    }
+    out
+}

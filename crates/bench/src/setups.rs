@@ -1,0 +1,126 @@
+//! Standard service constructors shared by the experiments.
+
+use rhodos_disk_service::{DiskService, DiskServiceConfig};
+use rhodos_file_service::{FileService, FileServiceConfig, StripePolicy, WritePolicy};
+use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
+use rhodos_txn::{TransactionService, TxnConfig};
+
+/// A fresh disk server over a 1 GiB disk with stable storage.
+pub fn disk_service(config: DiskServiceConfig) -> DiskService {
+    DiskService::with_stable(
+        DiskGeometry::large(),
+        LatencyModel::default(),
+        SimClock::new(),
+        config,
+    )
+}
+
+/// A single-disk file service with the given configuration.
+pub fn file_service(config: FileServiceConfig) -> FileService {
+    FileService::single_disk(
+        DiskGeometry::large(),
+        LatencyModel::default(),
+        SimClock::new(),
+        config,
+    )
+    .expect("format file service")
+}
+
+/// A file service striped over `ndisks` disks.
+pub fn striped_file_service(ndisks: usize, chunk_blocks: u64) -> FileService {
+    FileService::striped(
+        ndisks,
+        DiskGeometry::large(),
+        LatencyModel::default(),
+        SimClock::new(),
+        FileServiceConfig {
+            stripe: StripePolicy::RoundRobin { chunk_blocks },
+            cache_blocks: 0,
+            ..Default::default()
+        },
+    )
+    .expect("format striped file service")
+}
+
+/// A single-disk file service with the disk-level track cache and
+/// read-ahead disabled — for experiments that count *demand* disk
+/// references. The file-service block pool stays on: it is the mechanism
+/// that lets one `get-block` of a contiguous run serve all its blocks
+/// ("cached using one single invocation of get-block", §5).
+pub fn file_service_raw() -> FileService {
+    let disk = DiskService::with_stable(
+        DiskGeometry::large(),
+        LatencyModel::default(),
+        SimClock::new(),
+        DiskServiceConfig {
+            track_readahead: false,
+            cache_tracks: 0,
+        },
+    );
+    FileService::format(
+        vec![disk],
+        FileServiceConfig {
+            cache_blocks: 512,
+            ..Default::default()
+        },
+    )
+    .expect("format raw file service")
+}
+
+/// A striped file service with raw (cache-less) disks.
+pub fn striped_file_service_raw(ndisks: usize, chunk_blocks: u64) -> FileService {
+    let clock = SimClock::new();
+    let disks = (0..ndisks)
+        .map(|_| {
+            DiskService::with_stable(
+                DiskGeometry::large(),
+                LatencyModel::default(),
+                clock.clone(),
+                DiskServiceConfig {
+                    track_readahead: false,
+                    cache_tracks: 0,
+                },
+            )
+        })
+        .collect();
+    FileService::format(
+        disks,
+        FileServiceConfig {
+            stripe: StripePolicy::RoundRobin { chunk_blocks },
+            cache_blocks: 2048,
+            ..Default::default()
+        },
+    )
+    .expect("format raw striped file service")
+}
+
+/// A transaction service over a default single-disk file service.
+pub fn transaction_service(cfg: TxnConfig) -> TransactionService {
+    TransactionService::new(file_service(FileServiceConfig::default()), cfg)
+        .expect("transaction service")
+}
+
+/// A file service with every cache disabled (the "Bullet-server" baseline
+/// of E8) — or with defaults when `caches` is true.
+pub fn file_service_with_caches(caches: bool) -> FileService {
+    let geometry = DiskGeometry::large();
+    let clock = SimClock::new();
+    let disk_cfg = if caches {
+        DiskServiceConfig::default()
+    } else {
+        DiskServiceConfig {
+            track_readahead: false,
+            cache_tracks: 0,
+        }
+    };
+    let disk = DiskService::with_stable(geometry, LatencyModel::default(), clock, disk_cfg);
+    FileService::format(
+        vec![disk],
+        FileServiceConfig {
+            cache_blocks: if caches { 256 } else { 0 },
+            write_policy: WritePolicy::DelayedWrite,
+            ..Default::default()
+        },
+    )
+    .expect("format")
+}

@@ -1,0 +1,295 @@
+//! The allocation bitmap — ground truth for free space.
+//!
+//! "Each disk server maintains a bitmap of the disk to which it is
+//! associated. A bitmap is updated when block(s) or fragment(s) are freed."
+//! (§4). The bitmap is authoritative; the 64 × 64
+//! [`FreeExtentArray`](crate::FreeExtentArray) is an index built by
+//! scanning it. The bitmap's naive first-fit scan also serves as the
+//! baseline in experiment **E6** (free-space index vs. bitmap scan).
+
+use crate::units::{Extent, FragmentAddr};
+
+/// One bit per fragment; `1` = free.
+///
+/// # Example
+///
+/// ```
+/// use rhodos_disk_service::Bitmap;
+///
+/// let mut bm = Bitmap::new_all_free(128);
+/// let run = bm.find_free_run_first_fit(10).unwrap();
+/// bm.mark_allocated(run, 10);
+/// assert_eq!(bm.free_fragments(), 118);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    total: u64,
+    free: u64,
+}
+
+impl Bitmap {
+    /// Creates a bitmap of `total` fragments, all free.
+    pub fn new_all_free(total: u64) -> Self {
+        let words = vec![u64::MAX; total.div_ceil(64) as usize];
+        let mut bm = Self { words, total, free: total };
+        // Clear padding bits past `total`.
+        for i in total..(bm.words.len() as u64 * 64) {
+            bm.clear_bit(i);
+        }
+        bm
+    }
+
+    fn set_bit(&mut self, i: u64) {
+        self.words[(i / 64) as usize] |= 1u64 << (i % 64);
+    }
+
+    fn clear_bit(&mut self, i: u64) {
+        self.words[(i / 64) as usize] &= !(1u64 << (i % 64));
+    }
+
+    fn bit(&self, i: u64) -> bool {
+        (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Total fragments tracked.
+    pub fn total_fragments(&self) -> u64 {
+        self.total
+    }
+
+    /// Fragments currently free.
+    pub fn free_fragments(&self) -> u64 {
+        self.free
+    }
+
+    /// Whether fragment `addr` is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn is_free(&self, addr: FragmentAddr) -> bool {
+        assert!(addr < self.total, "fragment {addr} out of range");
+        self.bit(addr)
+    }
+
+    /// Whether the whole run `[start, start+len)` is free. Word-wise:
+    /// O(len / 64), so validating large indexed runs is cheap.
+    pub fn run_is_free(&self, start: FragmentAddr, len: u64) -> bool {
+        if len == 0 || start + len > self.total {
+            return len == 0 && start <= self.total;
+        }
+        let end = start + len; // exclusive
+        let first_word = (start / 64) as usize;
+        let last_word = ((end - 1) / 64) as usize;
+        if first_word == last_word {
+            let lo = start % 64;
+            let n = end - start;
+            let mask = if n == 64 { u64::MAX } else { ((1u64 << n) - 1) << lo };
+            return self.words[first_word] & mask == mask;
+        }
+        // Head partial word.
+        let lo = start % 64;
+        let head_mask = u64::MAX << lo;
+        if self.words[first_word] & head_mask != head_mask {
+            return false;
+        }
+        // Full middle words.
+        for w in first_word + 1..last_word {
+            if self.words[w] != u64::MAX {
+                return false;
+            }
+        }
+        // Tail partial word.
+        let hi = end - last_word as u64 * 64; // 1..=64 bits used
+        let tail_mask = if hi == 64 { u64::MAX } else { (1u64 << hi) - 1 };
+        self.words[last_word] & tail_mask == tail_mask
+    }
+
+    /// Marks `len` fragments from `start` as allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fragment in the run is already allocated — a
+    /// double-allocation is always a logic error in the disk server.
+    pub fn mark_allocated(&mut self, start: FragmentAddr, len: u64) {
+        for i in start..start + len {
+            assert!(self.bit(i), "fragment {i} already allocated");
+            self.clear_bit(i);
+        }
+        self.free -= len;
+    }
+
+    /// Marks `len` fragments from `start` as free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fragment in the run is already free (double free).
+    pub fn mark_free(&mut self, start: FragmentAddr, len: u64) {
+        for i in start..start + len {
+            assert!(!self.bit(i), "fragment {i} already free (double free)");
+            self.set_bit(i);
+        }
+        self.free += len;
+    }
+
+    /// First-fit scan for a run of `len` free fragments. `O(total)` — the
+    /// baseline the free-extent array is designed to beat.
+    pub fn find_free_run_first_fit(&self, len: u64) -> Option<FragmentAddr> {
+        if len == 0 || len > self.total {
+            return None;
+        }
+        let mut run_start = 0u64;
+        let mut run_len = 0u64;
+        for i in 0..self.total {
+            if self.bit(i) {
+                if run_len == 0 {
+                    run_start = i;
+                }
+                run_len += 1;
+                if run_len == len {
+                    return Some(run_start);
+                }
+            } else {
+                run_len = 0;
+            }
+        }
+        None
+    }
+
+    /// Extends `start` left and right to the maximal free run containing it.
+    ///
+    /// Used after a free to discover the coalesced run that should be
+    /// indexed in the free-extent array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` itself is not free.
+    pub fn maximal_free_run_containing(&self, start: FragmentAddr) -> Extent {
+        assert!(self.is_free(start), "fragment {start} is not free");
+        // Word-wise extension in both directions.
+        let mut lo = start;
+        while lo > 0 {
+            if lo.is_multiple_of(64) && lo >= 64 && self.words[(lo / 64 - 1) as usize] == u64::MAX {
+                lo -= 64;
+            } else if self.bit(lo - 1) {
+                lo -= 1;
+            } else {
+                break;
+            }
+        }
+        let mut hi = start + 1;
+        while hi < self.total {
+            if hi.is_multiple_of(64)
+                && hi + 64 <= self.total
+                && self.words[(hi / 64) as usize] == u64::MAX
+            {
+                hi += 64;
+            } else if self.bit(hi) {
+                hi += 1;
+            } else {
+                break;
+            }
+        }
+        Extent::new(lo, hi - lo)
+    }
+
+    /// Iterates over all maximal free runs, in address order.
+    pub fn free_runs(&self) -> Vec<Extent> {
+        let mut runs = Vec::new();
+        let mut i = 0;
+        while i < self.total {
+            if self.bit(i) {
+                let run = self.maximal_free_run_containing(i);
+                i = run.end();
+                runs.push(run);
+            } else {
+                i += 1;
+            }
+        }
+        runs
+    }
+
+    /// Length of the largest free run (0 if the disk is full).
+    pub fn largest_free_run(&self) -> u64 {
+        self.free_runs().iter().map(|e| e.len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_bitmap_is_all_free() {
+        let bm = Bitmap::new_all_free(100);
+        assert_eq!(bm.free_fragments(), 100);
+        assert!(bm.run_is_free(0, 100));
+        assert!(!bm.run_is_free(0, 101));
+    }
+
+    #[test]
+    fn allocate_free_round_trip() {
+        let mut bm = Bitmap::new_all_free(64);
+        bm.mark_allocated(10, 4);
+        assert!(!bm.is_free(10));
+        assert!(!bm.is_free(13));
+        assert!(bm.is_free(14));
+        assert_eq!(bm.free_fragments(), 60);
+        bm.mark_free(10, 4);
+        assert_eq!(bm.free_fragments(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "already allocated")]
+    fn double_allocation_panics() {
+        let mut bm = Bitmap::new_all_free(16);
+        bm.mark_allocated(0, 4);
+        bm.mark_allocated(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut bm = Bitmap::new_all_free(16);
+        bm.mark_free(0, 1);
+    }
+
+    #[test]
+    fn first_fit_finds_earliest_gap() {
+        let mut bm = Bitmap::new_all_free(32);
+        bm.mark_allocated(0, 8);
+        bm.mark_allocated(12, 4);
+        // Free: [8..12) and [16..32)
+        assert_eq!(bm.find_free_run_first_fit(4), Some(8));
+        assert_eq!(bm.find_free_run_first_fit(5), Some(16));
+        assert_eq!(bm.find_free_run_first_fit(16), Some(16));
+        assert_eq!(bm.find_free_run_first_fit(17), None);
+    }
+
+    #[test]
+    fn coalescing_discovery() {
+        let mut bm = Bitmap::new_all_free(32);
+        bm.mark_allocated(0, 32);
+        bm.mark_free(8, 4);
+        bm.mark_free(12, 4);
+        let run = bm.maximal_free_run_containing(12);
+        assert_eq!(run, Extent::new(8, 8));
+    }
+
+    #[test]
+    fn free_runs_enumeration() {
+        let mut bm = Bitmap::new_all_free(16);
+        bm.mark_allocated(4, 4);
+        let runs = bm.free_runs();
+        assert_eq!(runs, vec![Extent::new(0, 4), Extent::new(8, 8)]);
+        assert_eq!(bm.largest_free_run(), 8);
+    }
+
+    #[test]
+    fn non_multiple_of_64_sizes_have_no_phantom_free_bits() {
+        let bm = Bitmap::new_all_free(70);
+        assert_eq!(bm.free_fragments(), 70);
+        assert_eq!(bm.find_free_run_first_fit(71), None);
+        assert_eq!(bm.free_runs(), vec![Extent::new(0, 70)]);
+    }
+}

@@ -1,0 +1,785 @@
+//! The disk server: allocation, transfer and stable-storage functions.
+//!
+//! The paper's disk service provides `allocate-block`, `free-block`,
+//! `flush-block`, `get-block` and `put-block` (§4), with semantics
+//! "designed in such a way that any operation on a set of contiguous
+//! blocks/fragments can be accomplished in one single reference to the
+//! disk". This module implements those functions over one [`SimDisk`] plus
+//! an optional mirrored stable store.
+
+use crate::bitmap::Bitmap;
+use crate::error::DiskServiceError;
+use crate::extent_index::{ExtentIndexStats, FreeExtentArray};
+use crate::track_cache::{TrackCache, TrackCacheStats};
+use crate::units::{Extent, FragmentAddr, FRAGMENT_SIZE, FRAGS_PER_BLOCK};
+use rhodos_simdisk::{
+    DiskGeometry, DiskStats, LatencyModel, SimClock, SimDisk, StableStore, StableWriteMode,
+};
+
+/// Where `put` directs the data (§4's `put-block` stable-storage options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StablePolicy {
+    /// Ordinary write: original location only.
+    None,
+    /// Exclusively to stable storage — "as in the case of a shadow page".
+    StableOnly(StableWriteMode),
+    /// To the original location *and* stable storage — "as in the case of
+    /// the file index table".
+    OriginalAndStable(StableWriteMode),
+}
+
+/// Where `get_from` reads the data (§4's `get-block` source option).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadSource {
+    /// Main storage (the default).
+    Main,
+    /// Stable storage.
+    Stable,
+}
+
+/// Tunables for one disk server.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskServiceConfig {
+    /// Whether to cache the remainder of a track after serving a read.
+    pub track_readahead: bool,
+    /// Capacity of the track cache, in tracks. Zero disables caching
+    /// entirely (the "Bullet server" baseline of experiment E8).
+    pub cache_tracks: usize,
+}
+
+impl Default for DiskServiceConfig {
+    fn default() -> Self {
+        Self {
+            track_readahead: true,
+            cache_tracks: 16,
+        }
+    }
+}
+
+/// Aggregated observability for one disk server.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiskServiceStats {
+    /// Counters of the main disk.
+    pub disk: DiskStats,
+    /// Combined counters of the stable-storage mirrors (zero if absent).
+    pub stable: DiskStats,
+    /// Track-cache hits/misses.
+    pub cache: TrackCacheStats,
+    /// Free-extent-index behaviour.
+    pub index: ExtentIndexStats,
+    /// Fragments currently free.
+    pub free_fragments: u64,
+    /// Total fragments on the disk.
+    pub total_fragments: u64,
+}
+
+/// One disk server: "there is one disk server corresponding to each disk
+/// in the RHODOS system" (§4).
+///
+/// See the [crate documentation](crate) for an example.
+#[derive(Debug)]
+pub struct DiskService {
+    disk: SimDisk,
+    stable: Option<StableStore>,
+    bitmap: Bitmap,
+    index: FreeExtentArray,
+    cache: Option<TrackCache>,
+    config: DiskServiceConfig,
+}
+
+impl DiskService {
+    /// Creates a disk server without stable storage.
+    pub fn new(
+        geometry: DiskGeometry,
+        model: LatencyModel,
+        clock: SimClock,
+        config: DiskServiceConfig,
+    ) -> Self {
+        let disk = SimDisk::new(geometry, model, clock);
+        Self::from_disk(disk, None, config)
+    }
+
+    /// Creates a disk server with a mirrored stable store of matching
+    /// capacity (two additional simulated disks).
+    pub fn with_stable(
+        geometry: DiskGeometry,
+        model: LatencyModel,
+        clock: SimClock,
+        config: DiskServiceConfig,
+    ) -> Self {
+        let disk = SimDisk::new(geometry, model, clock.clone());
+        // Two stable slots per fragment (a fragment's 2048 bytes split
+        // across two records, each of which reserves header space).
+        let stable_geom = DiskGeometry::new(geometry.tracks(), geometry.sectors_per_track() * 2);
+        let a = SimDisk::new(stable_geom, model, clock.clone());
+        let b = SimDisk::new(stable_geom, model, clock);
+        Self::from_disk(disk, Some(StableStore::new(a, b)), config)
+    }
+
+    /// Builds a server over an existing disk (lets tests pre-fault it).
+    pub fn from_disk(
+        disk: SimDisk,
+        stable: Option<StableStore>,
+        config: DiskServiceConfig,
+    ) -> Self {
+        let total = disk.geometry().total_sectors();
+        let bitmap = Bitmap::new_all_free(total);
+        let mut index = FreeExtentArray::new();
+        index.rebuild_from(&bitmap);
+        let cache = (config.cache_tracks > 0)
+            .then(|| TrackCache::new(config.cache_tracks, disk.geometry().sectors_per_track()));
+        Self {
+            disk,
+            stable,
+            bitmap,
+            index,
+            cache,
+            config,
+        }
+    }
+
+    /// The disk geometry.
+    pub fn geometry(&self) -> DiskGeometry {
+        self.disk.geometry()
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> SimClock {
+        self.disk.clock().clone()
+    }
+
+    /// Mutable access to the underlying disk (fault injection).
+    pub fn disk_mut(&mut self) -> &mut SimDisk {
+        &mut self.disk
+    }
+
+    /// Mutable access to the stable store, if configured.
+    pub fn stable_mut(&mut self) -> Option<&mut StableStore> {
+        self.stable.as_mut()
+    }
+
+    /// Whether stable storage is configured.
+    pub fn has_stable(&self) -> bool {
+        self.stable.is_some()
+    }
+
+    /// Snapshot of all statistics.
+    pub fn stats(&self) -> DiskServiceStats {
+        DiskServiceStats {
+            disk: self.disk.stats(),
+            stable: self.stable.as_ref().map(|s| s.stats()).unwrap_or_default(),
+            cache: self.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
+            index: self.index.stats(),
+            free_fragments: self.bitmap.free_fragments(),
+            total_fragments: self.bitmap.total_fragments(),
+        }
+    }
+
+    /// Fragments currently free.
+    pub fn free_fragments(&self) -> u64 {
+        self.bitmap.free_fragments()
+    }
+
+    /// Largest contiguous free run, in fragments.
+    pub fn largest_free_run(&self) -> u64 {
+        self.bitmap.largest_free_run()
+    }
+
+    // ---- allocation --------------------------------------------------
+
+    /// Allocates `len` *contiguous* fragments (`allocate-block` for
+    /// `len = 4·n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskServiceError::NoSpace`] when no contiguous run of
+    /// `len` fragments exists.
+    pub fn allocate_contiguous(&mut self, len: u64) -> Result<Extent, DiskServiceError> {
+        self.index
+            .allocate(&mut self.bitmap, len)
+            .ok_or(DiskServiceError::NoSpace {
+                requested: len,
+                largest_free: self.bitmap.largest_free_run(),
+                total_free: self.bitmap.free_fragments(),
+            })
+    }
+
+    /// Allocates one block (four contiguous fragments).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::allocate_contiguous`].
+    pub fn allocate_block(&mut self) -> Result<Extent, DiskServiceError> {
+        self.allocate_contiguous(FRAGS_PER_BLOCK)
+    }
+
+    /// Allocates `len` contiguous fragments from the top of the disk —
+    /// placement for shadow pages and other transient metadata, keeping
+    /// the low region unfragmented for contiguous file growth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskServiceError::NoSpace`] when no contiguous run of
+    /// `len` fragments exists.
+    pub fn allocate_contiguous_top(&mut self, len: u64) -> Result<Extent, DiskServiceError> {
+        self.index
+            .allocate_top(&mut self.bitmap, len)
+            .ok_or(DiskServiceError::NoSpace {
+                requested: len,
+                largest_free: self.bitmap.largest_free_run(),
+                total_free: self.bitmap.free_fragments(),
+            })
+    }
+
+    /// Allocates `len` fragments, contiguously if possible, otherwise as
+    /// several extents (largest-first). Used when a file's blocks "may or
+    /// may not be contiguous on a storage medium" (§5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskServiceError::NoSpace`] when fewer than `len`
+    /// fragments are free in total.
+    pub fn allocate_scattered(&mut self, len: u64) -> Result<Vec<Extent>, DiskServiceError> {
+        if len > self.bitmap.free_fragments() {
+            return Err(DiskServiceError::NoSpace {
+                requested: len,
+                largest_free: self.bitmap.largest_free_run(),
+                total_free: self.bitmap.free_fragments(),
+            });
+        }
+        let mut remaining = len;
+        let mut extents = Vec::new();
+        while remaining > 0 {
+            let chunk = remaining.min(self.bitmap.largest_free_run());
+            debug_assert!(chunk > 0);
+            match self.index.allocate(&mut self.bitmap, chunk) {
+                Some(e) => {
+                    remaining -= e.len;
+                    extents.push(e);
+                }
+                None => {
+                    // Roll back partial allocation before reporting.
+                    for e in extents {
+                        self.index.free(&mut self.bitmap, e);
+                    }
+                    return Err(DiskServiceError::NoSpace {
+                        requested: len,
+                        largest_free: self.bitmap.largest_free_run(),
+                        total_free: self.bitmap.free_fragments(),
+                    });
+                }
+            }
+        }
+        Ok(extents)
+    }
+
+    /// Frees an extent (`free-block`). Invalidate any cached copies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskServiceError::BadExtent`] if the extent exceeds the
+    /// disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free — always a bug in the caller.
+    pub fn free(&mut self, extent: Extent) -> Result<(), DiskServiceError> {
+        if extent.end() > self.bitmap.total_fragments() {
+            return Err(DiskServiceError::BadExtent);
+        }
+        self.index.free(&mut self.bitmap, extent);
+        if let Some(cache) = &mut self.cache {
+            let geom = self.disk.geometry();
+            for f in extent.start..extent.end() {
+                cache.invalidate_fragment(geom.track_of(f), geom.sector_in_track(f));
+            }
+        }
+        Ok(())
+    }
+
+    // ---- transfer ----------------------------------------------------
+
+    fn check_extent(&self, extent: Extent) -> Result<(), DiskServiceError> {
+        if extent.end() > self.bitmap.total_fragments() {
+            return Err(DiskServiceError::BadExtent);
+        }
+        Ok(())
+    }
+
+    /// Reads an extent from main storage (`get-block` with the default
+    /// source): one disk reference for the whole contiguous run, or zero
+    /// if fully cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device failures; see [`DiskServiceError`].
+    pub fn get(&mut self, extent: Extent) -> Result<Vec<u8>, DiskServiceError> {
+        self.get_from(extent, ReadSource::Main)
+    }
+
+    /// Reads an extent from the chosen source (`get-block` with its
+    /// stable-storage option).
+    ///
+    /// # Errors
+    ///
+    /// [`DiskServiceError::NoStableStorage`] if `source` is `Stable` and no
+    /// stable store is configured; otherwise device failures.
+    pub fn get_from(
+        &mut self,
+        extent: Extent,
+        source: ReadSource,
+    ) -> Result<Vec<u8>, DiskServiceError> {
+        self.check_extent(extent)?;
+        match source {
+            ReadSource::Main => self.get_main(extent),
+            ReadSource::Stable => self.get_stable(extent),
+        }
+    }
+
+    fn get_main(&mut self, extent: Extent) -> Result<Vec<u8>, DiskServiceError> {
+        let geom = self.disk.geometry();
+        // Serve fully from cache when possible.
+        if let Some(cache) = &mut self.cache {
+            let all_resident = (extent.start..extent.end())
+                .all(|f| cache.peek_fragment(geom.track_of(f), geom.sector_in_track(f)));
+            if all_resident {
+                let mut out = Vec::with_capacity(extent.len_bytes());
+                for f in extent.start..extent.end() {
+                    let frag = cache
+                        .lookup_fragment(geom.track_of(f), geom.sector_in_track(f))
+                        .expect("peeked fragment must be resident");
+                    out.extend_from_slice(&frag);
+                }
+                return Ok(out);
+            }
+            // Record misses for the fragments we must fetch.
+            for f in extent.start..extent.end() {
+                if !cache.peek_fragment(geom.track_of(f), geom.sector_in_track(f)) {
+                    let _ = cache.lookup_fragment(geom.track_of(f), geom.sector_in_track(f));
+                }
+            }
+        }
+        // One reference for the whole contiguous run.
+        let data = self.disk.read_sectors(extent.start, extent.len)?;
+        if let Some(cache) = &mut self.cache {
+            for (i, f) in (extent.start..extent.end()).enumerate() {
+                let a = i * FRAGMENT_SIZE;
+                cache.fill_fragment(
+                    geom.track_of(f),
+                    geom.sector_in_track(f),
+                    data[a..a + FRAGMENT_SIZE].to_vec(),
+                );
+            }
+            if self.config.track_readahead {
+                // Read-ahead is opportunistic: a media fault elsewhere on
+                // the track must not fail the demand read that succeeded.
+                let _ = self.read_ahead_track(geom.track_of(extent.start));
+            }
+        }
+        Ok(data)
+    }
+
+    /// Caches the not-yet-resident remainder of `track` ("the disk service
+    /// caches the rest of the data from the same track", §4).
+    fn read_ahead_track(&mut self, track: u64) -> Result<(), DiskServiceError> {
+        let geom = self.disk.geometry();
+        let cache = self.cache.as_mut().expect("read-ahead requires a cache");
+        let start = geom.track_start(track);
+        let spt = geom.sectors_per_track();
+        let missing: Vec<u64> =
+            (0..spt).filter(|&s| !cache.peek_fragment(track, s)).collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        // One sequential reference covering the span of missing sectors.
+        let lo = *missing.first().expect("nonempty");
+        let hi = *missing.last().expect("nonempty");
+        let data = self.disk.read_sectors(start + lo, hi - lo + 1)?;
+        for s in &missing {
+            let a = (s - lo) as usize * FRAGMENT_SIZE;
+            cache.fill_fragment(track, *s, data[a..a + FRAGMENT_SIZE].to_vec());
+        }
+        Ok(())
+    }
+
+    fn get_stable(&mut self, extent: Extent) -> Result<Vec<u8>, DiskServiceError> {
+        let stable = self
+            .stable
+            .as_mut()
+            .ok_or(DiskServiceError::NoStableStorage)?;
+        let mut out = Vec::with_capacity(extent.len_bytes());
+        for f in extent.start..extent.end() {
+            let p0 = stable
+                .read(2 * f)?
+                .ok_or(DiskServiceError::Disk(rhodos_simdisk::DiskError::StableLost(2 * f)))?;
+            let p1 = stable
+                .read(2 * f + 1)?
+                .ok_or(DiskServiceError::Disk(rhodos_simdisk::DiskError::StableLost(2 * f + 1)))?;
+            out.extend_from_slice(&p0);
+            out.extend_from_slice(&p1);
+        }
+        if out.len() != extent.len_bytes() {
+            return Err(DiskServiceError::SizeMismatch {
+                expected: extent.len_bytes(),
+                got: out.len(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Writes `data` to `extent` (`put-block`). `policy` selects the
+    /// paper's stable-storage options; the main-location write is one disk
+    /// reference for the whole contiguous run.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskServiceError::SizeMismatch`] if `data` does not exactly fill
+    /// the extent; [`DiskServiceError::NoStableStorage`] if a stable policy
+    /// is requested without stable storage; otherwise device failures.
+    pub fn put(
+        &mut self,
+        extent: Extent,
+        data: &[u8],
+        policy: StablePolicy,
+    ) -> Result<(), DiskServiceError> {
+        self.check_extent(extent)?;
+        if data.len() != extent.len_bytes() {
+            return Err(DiskServiceError::SizeMismatch {
+                expected: extent.len_bytes(),
+                got: data.len(),
+            });
+        }
+        let write_main = !matches!(policy, StablePolicy::StableOnly(_));
+        if write_main {
+            self.disk.write_sectors(extent.start, data)?;
+            // Write-update the cache so subsequent reads hit.
+            if let Some(cache) = &mut self.cache {
+                let geom = self.disk.geometry();
+                for (i, f) in (extent.start..extent.end()).enumerate() {
+                    let a = i * FRAGMENT_SIZE;
+                    cache.fill_fragment(
+                        geom.track_of(f),
+                        geom.sector_in_track(f),
+                        data[a..a + FRAGMENT_SIZE].to_vec(),
+                    );
+                }
+            }
+        }
+        match policy {
+            StablePolicy::None => {}
+            StablePolicy::StableOnly(mode) | StablePolicy::OriginalAndStable(mode) => {
+                let stable = self
+                    .stable
+                    .as_mut()
+                    .ok_or(DiskServiceError::NoStableStorage)?;
+                let half = rhodos_simdisk::SECTOR_SIZE - 20; // STABLE_PAYLOAD
+                for (i, f) in (extent.start..extent.end()).enumerate() {
+                    let frag = &data[i * FRAGMENT_SIZE..(i + 1) * FRAGMENT_SIZE];
+                    stable.write(2 * f, &frag[..half.min(frag.len())], mode)?;
+                    stable.write(2 * f + 1, &frag[half.min(frag.len())..], mode)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes deferred stable writes (`flush-block`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device failures from the stable mirrors.
+    pub fn flush(&mut self) -> Result<(), DiskServiceError> {
+        if let Some(stable) = &mut self.stable {
+            stable.flush_deferred()?;
+        }
+        Ok(())
+    }
+
+    /// Resets the free-space state to "everything free" and re-marks the
+    /// given extents as allocated, rebuilding the free-extent index.
+    ///
+    /// Used by the file service after a crash: the in-memory bitmap is
+    /// reconstructed by walking the directory and every file index table —
+    /// the moral equivalent of an fsck pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the extents overlap each other (the on-disk metadata was
+    /// corrupt in a way the caller should have detected).
+    pub fn rebuild_allocation<I>(&mut self, allocated: I)
+    where
+        I: IntoIterator<Item = Extent>,
+    {
+        self.bitmap = Bitmap::new_all_free(self.disk.geometry().total_sectors());
+        for e in allocated {
+            self.bitmap.mark_allocated(e.start, e.len);
+        }
+        self.index.rebuild_from(&self.bitmap);
+    }
+
+    /// Re-marks `extent` as allocated if it is currently entirely free.
+    /// Returns whether the pin took effect.
+    ///
+    /// Used by transaction recovery: the allocation rebuild only sees
+    /// blocks referenced from file index tables, so the tentative blocks
+    /// named by redo records must be pinned again before being replayed.
+    pub fn repin_extent(&mut self, extent: Extent) -> bool {
+        if extent.end() <= self.bitmap.total_fragments()
+            && self.bitmap.run_is_free(extent.start, extent.len)
+        {
+            self.bitmap.mark_allocated(extent.start, extent.len);
+            self.index.remove_overlapping(extent);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs stable-storage recovery after a crash; returns unrecoverable
+    /// stable slots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device failures encountered while repairing mirrors.
+    pub fn recover(&mut self) -> Result<Vec<FragmentAddr>, DiskServiceError> {
+        self.disk.repair();
+        if let Some(cache) = &mut self.cache {
+            cache.clear();
+        }
+        match &mut self.stable {
+            Some(s) => Ok(s.recover()?),
+            None => Ok(Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhodos_simdisk::SECTOR_SIZE;
+
+    fn svc() -> DiskService {
+        DiskService::with_stable(
+            DiskGeometry::small(),
+            LatencyModel::default(),
+            SimClock::new(),
+            DiskServiceConfig::default(),
+        )
+    }
+
+    fn svc_nocache() -> DiskService {
+        DiskService::new(
+            DiskGeometry::small(),
+            LatencyModel::default(),
+            SimClock::new(),
+            DiskServiceConfig {
+                track_readahead: false,
+                cache_tracks: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn block_is_four_contiguous_fragments() {
+        let mut s = svc();
+        let b = s.allocate_block().unwrap();
+        assert_eq!(b.len, FRAGS_PER_BLOCK);
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut s = svc();
+        let e = s.allocate_contiguous(3).unwrap();
+        let data: Vec<u8> = (0..3 * FRAGMENT_SIZE).map(|i| (i % 256) as u8).collect();
+        s.put(e, &data, StablePolicy::None).unwrap();
+        assert_eq!(s.get(e).unwrap(), data);
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let mut s = svc();
+        let e = s.allocate_contiguous(2).unwrap();
+        let err = s.put(e, &[0u8; 17], StablePolicy::None).unwrap_err();
+        assert!(matches!(err, DiskServiceError::SizeMismatch { .. }));
+    }
+
+    #[test]
+    fn contiguous_get_is_single_disk_reference() {
+        let mut s = svc_nocache();
+        let e = s.allocate_contiguous(8).unwrap();
+        let data = vec![1u8; 8 * FRAGMENT_SIZE];
+        s.put(e, &data, StablePolicy::None).unwrap();
+        let before = s.stats().disk.read_ops;
+        s.get(e).unwrap();
+        assert_eq!(s.stats().disk.read_ops - before, 1);
+    }
+
+    #[test]
+    fn cached_get_takes_no_disk_reference() {
+        let mut s = svc();
+        let e = s.allocate_contiguous(4).unwrap();
+        let data = vec![2u8; 4 * FRAGMENT_SIZE];
+        s.put(e, &data, StablePolicy::None).unwrap();
+        let before = s.stats().disk.read_ops;
+        assert_eq!(s.get(e).unwrap(), data); // write-update made it resident
+        assert_eq!(s.stats().disk.read_ops - before, 0);
+    }
+
+    #[test]
+    fn track_readahead_serves_neighbours() {
+        let mut s = svc();
+        // Two separate extents on the same track.
+        let a = s.allocate_contiguous(2).unwrap();
+        let b = s.allocate_contiguous(2).unwrap();
+        assert_eq!(
+            s.geometry().track_of(a.start),
+            s.geometry().track_of(b.start),
+            "extents should share a track in this geometry"
+        );
+        // Fill from disk (cache is cold for reads — put updates cache, so
+        // clear it first to model a cold start).
+        s.put(a, &vec![1u8; a.len_bytes()], StablePolicy::None).unwrap();
+        s.put(b, &vec![2u8; b.len_bytes()], StablePolicy::None).unwrap();
+        s.recover().unwrap(); // clears the cache
+        let r0 = s.stats().disk.read_ops;
+        s.get(a).unwrap();
+        let after_first = s.stats().disk.read_ops;
+        s.get(b).unwrap(); // should be a read-ahead hit
+        let after_second = s.stats().disk.read_ops;
+        assert!(after_first > r0);
+        assert_eq!(after_second, after_first, "read-ahead should serve b");
+    }
+
+    #[test]
+    fn stable_only_put_leaves_main_untouched() {
+        let mut s = svc();
+        let e = s.allocate_contiguous(1).unwrap();
+        let original = vec![3u8; FRAGMENT_SIZE];
+        s.put(e, &original, StablePolicy::None).unwrap();
+        let shadow = vec![4u8; FRAGMENT_SIZE];
+        s.put(e, &shadow, StablePolicy::StableOnly(StableWriteMode::Sync))
+            .unwrap();
+        assert_eq!(s.get(e).unwrap(), original);
+        assert_eq!(s.get_from(e, ReadSource::Stable).unwrap(), shadow);
+    }
+
+    #[test]
+    fn original_and_stable_writes_both() {
+        let mut s = svc();
+        let e = s.allocate_contiguous(2).unwrap();
+        let data: Vec<u8> = (0..2 * FRAGMENT_SIZE).map(|i| (i * 7 % 251) as u8).collect();
+        s.put(e, &data, StablePolicy::OriginalAndStable(StableWriteMode::Sync))
+            .unwrap();
+        assert_eq!(s.get(e).unwrap(), data);
+        assert_eq!(s.get_from(e, ReadSource::Stable).unwrap(), data);
+    }
+
+    #[test]
+    fn stable_requires_configuration() {
+        let mut s = svc_nocache();
+        let e = s.allocate_contiguous(1).unwrap();
+        let err = s
+            .put(e, &vec![0u8; FRAGMENT_SIZE], StablePolicy::StableOnly(StableWriteMode::Sync))
+            .unwrap_err();
+        assert_eq!(err, DiskServiceError::NoStableStorage);
+    }
+
+    #[test]
+    fn deferred_stable_write_flushes() {
+        let mut s = svc();
+        let e = s.allocate_contiguous(1).unwrap();
+        s.put(
+            e,
+            &vec![9u8; FRAGMENT_SIZE],
+            StablePolicy::OriginalAndStable(StableWriteMode::Deferred),
+        )
+        .unwrap();
+        assert!(s.stable_mut().unwrap().pending_writes() > 0);
+        s.flush().unwrap();
+        assert_eq!(s.stable_mut().unwrap().pending_writes(), 0);
+    }
+
+    #[test]
+    fn allocate_scattered_covers_fragmented_disk() {
+        // A tiny 32-fragment disk that we can fragment completely.
+        let mut s = DiskService::new(
+            DiskGeometry::new(1, 32),
+            LatencyModel::instant(),
+            SimClock::new(),
+            DiskServiceConfig {
+                track_readahead: false,
+                cache_tracks: 0,
+            },
+        );
+        // Fragment the disk: allocate pairs covering everything, free alternating.
+        let runs: Vec<Extent> = (0..16).map(|_| s.allocate_contiguous(2).unwrap()).collect();
+        for (i, r) in runs.iter().enumerate() {
+            if i % 2 == 0 {
+                s.free(*r).unwrap();
+            }
+        }
+        // 16 fragments free but max run is 2: scattered allocation works.
+        let extents = s.allocate_scattered(10).unwrap();
+        let total: u64 = extents.iter().map(|e| e.len).sum();
+        assert_eq!(total, 10);
+        assert!(extents.len() >= 5);
+    }
+
+    #[test]
+    fn scattered_failure_rolls_back() {
+        let mut s = svc_nocache();
+        let free_before = s.free_fragments();
+        let err = s.allocate_scattered(free_before + 1).unwrap_err();
+        assert!(matches!(err, DiskServiceError::NoSpace { .. }));
+        assert_eq!(s.free_fragments(), free_before);
+    }
+
+    #[test]
+    fn free_invalidates_cache() {
+        let mut s = svc();
+        let e = s.allocate_contiguous(1).unwrap();
+        s.put(e, &vec![5u8; FRAGMENT_SIZE], StablePolicy::None).unwrap();
+        s.free(e).unwrap();
+        // Re-allocating the same extent and reading it must go to disk,
+        // not serve the stale cached value.
+        let e2 = s.allocate_contiguous(1).unwrap();
+        // (Allocation order makes e2 == e on an empty disk region.)
+        let _ = s.get(e2).unwrap();
+        // No assertion on contents (disk still has old bytes) — the point
+        // is that the service didn't panic and the read hit the disk.
+        assert!(s.stats().cache.fragment_misses > 0);
+    }
+
+    #[test]
+    fn stable_survives_main_disk_loss() {
+        let mut s = svc();
+        let e = s.allocate_contiguous(1).unwrap();
+        let data = vec![0xCD; FRAGMENT_SIZE];
+        s.put(e, &data, StablePolicy::OriginalAndStable(StableWriteMode::Sync))
+            .unwrap();
+        s.disk_mut().corrupt_sector(e.start).unwrap();
+        s.recover().unwrap(); // drop the cached copy; bad sector persists
+        assert!(matches!(s.get(e), Err(DiskServiceError::Disk(_))));
+        assert_eq!(s.get_from(e, ReadSource::Stable).unwrap(), data);
+    }
+
+    #[test]
+    fn put_charges_exactly_one_write_reference() {
+        let mut s = svc_nocache();
+        let e = s.allocate_contiguous(16).unwrap();
+        let before = s.stats().disk.write_ops;
+        s.put(e, &vec![1u8; 16 * FRAGMENT_SIZE], StablePolicy::None)
+            .unwrap();
+        assert_eq!(s.stats().disk.write_ops - before, 1);
+    }
+
+    #[test]
+    fn stable_payload_constant_matches() {
+        // The put() split assumes STABLE_PAYLOAD == SECTOR_SIZE - 20.
+        assert_eq!(rhodos_simdisk::SECTOR_SIZE - 20, SECTOR_SIZE - 20);
+        assert_eq!(
+            rhodos_simdisk::SECTOR_SIZE - 20,
+            2028usize
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Storage units: fragments, blocks and extents.
+
+/// Size of a fragment in bytes (2 KiB, §4). Fragments store small
+/// structural information — "for the storage of structural information of
+/// fairly small size the use of fragments can substantially reduce
+/// communication overheads".
+pub const FRAGMENT_SIZE: usize = rhodos_simdisk::SECTOR_SIZE;
+
+/// Size of a block in bytes (8 KiB, §4). Blocks store file data: "a large
+/// block reduces the effect of latency".
+pub const BLOCK_SIZE: usize = 4 * FRAGMENT_SIZE;
+
+/// Fragments per block: "four contiguous fragments makes one block".
+pub const FRAGS_PER_BLOCK: u64 = (BLOCK_SIZE / FRAGMENT_SIZE) as u64;
+
+/// Address of a fragment on a disk. Fragments map 1:1 onto simulator
+/// sectors, so this is also a sector address.
+pub type FragmentAddr = u64;
+
+/// A run of contiguous fragments on one disk.
+///
+/// Extents are the unit of the disk service's API: "any operation on a set
+/// of contiguous blocks/fragments can be accomplished in one single
+/// reference to the disk" (§4).
+///
+/// # Example
+///
+/// ```
+/// use rhodos_disk_service::Extent;
+///
+/// let e = Extent::new(8, 4); // one block starting at fragment 8
+/// assert_eq!(e.len_bytes(), rhodos_disk_service::BLOCK_SIZE);
+/// assert!(e.contains(11));
+/// assert!(!e.contains(12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Extent {
+    /// First fragment of the run.
+    pub start: FragmentAddr,
+    /// Number of fragments in the run.
+    pub len: u64,
+}
+
+impl Extent {
+    /// Creates an extent of `len` fragments starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(start: FragmentAddr, len: u64) -> Self {
+        assert!(len > 0, "extent must contain at least one fragment");
+        Self { start, len }
+    }
+
+    /// One fragment past the end of the run.
+    pub fn end(&self) -> FragmentAddr {
+        self.start + self.len
+    }
+
+    /// Length in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.len as usize * FRAGMENT_SIZE
+    }
+
+    /// Whether `addr` falls inside this extent.
+    pub fn contains(&self, addr: FragmentAddr) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+
+    /// Whether this extent overlaps `other`.
+    pub fn overlaps(&self, other: &Extent) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+
+    /// Whether `other` begins exactly where this extent ends.
+    pub fn adjoins(&self, other: &Extent) -> bool {
+        self.end() == other.start || other.end() == self.start
+    }
+
+    /// Splits off the first `n` fragments, returning `(head, rest)`.
+    /// `rest` is `None` when `n == self.len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the extent length.
+    pub fn split_at(&self, n: u64) -> (Extent, Option<Extent>) {
+        assert!(n > 0 && n <= self.len, "split point out of range");
+        let head = Extent::new(self.start, n);
+        let rest = if n == self.len {
+            None
+        } else {
+            Some(Extent::new(self.start + n, self.len - n))
+        };
+        (head, rest)
+    }
+}
+
+impl std::fmt::Display for Extent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}..{})", self.start, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_constants_agree_with_paper() {
+        assert_eq!(FRAGMENT_SIZE, 2048);
+        assert_eq!(BLOCK_SIZE, 8192);
+        assert_eq!(FRAGS_PER_BLOCK, 4);
+    }
+
+    #[test]
+    fn overlap_and_adjoin() {
+        let a = Extent::new(0, 4);
+        let b = Extent::new(4, 4);
+        let c = Extent::new(3, 2);
+        assert!(!a.overlaps(&b));
+        assert!(a.adjoins(&b));
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+    }
+
+    #[test]
+    fn split() {
+        let e = Extent::new(10, 6);
+        let (head, rest) = e.split_at(2);
+        assert_eq!(head, Extent::new(10, 2));
+        assert_eq!(rest, Some(Extent::new(12, 4)));
+        let (all, none) = e.split_at(6);
+        assert_eq!(all, e);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one fragment")]
+    fn zero_length_extent_rejected() {
+        Extent::new(0, 0);
+    }
+}

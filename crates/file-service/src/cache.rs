@@ -1,0 +1,336 @@
+//! The file service's block cache (§5).
+//!
+//! "We propose for RHODOS a caching system based on the main memory of the
+//! client and file service. The objective ... is to reduce the cost of
+//! accessing data by storing recently-used blocks in local memory ... and
+//! reusing them when they are valid." Space comes from a bounded *block
+//! pool*; the modification policy is *delayed-write* for basic-file
+//! traffic and *write-through* for transactional traffic ("the
+//! delayed-write together with write-through policies are adapted to save
+//! modifications made to data cached by the file service").
+
+use crate::attrs::FileId;
+use std::collections::{HashMap, VecDeque};
+
+/// When modified blocks are pushed down to the disk service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WritePolicy {
+    /// Keep dirty blocks in the pool; write them on eviction or flush.
+    /// Fewer disk references, wider loss window on a crash.
+    #[default]
+    DelayedWrite,
+    /// Propagate every modification immediately. Required for
+    /// transactional traffic, whose durability is managed by the
+    /// transaction service.
+    WriteThrough,
+}
+
+/// Hit/miss/write-back counters — measurements for experiments E8/E15.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Block lookups served from the pool.
+    pub hits: u64,
+    /// Block lookups that missed.
+    pub misses: u64,
+    /// Dirty blocks written back (eviction or flush).
+    pub writebacks: u64,
+    /// Blocks evicted clean.
+    pub clean_evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; 0 when nothing was looked up.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Key of a cached block: (file, logical block index).
+pub type BlockKey = (FileId, u64);
+
+/// A bounded LRU pool of file blocks with dirty tracking.
+///
+/// The pool does not perform I/O itself: [`BlockCache::insert`] hands
+/// evicted dirty blocks back to the caller (the file service), which owns
+/// the disk services. This keeps the cache purely a data structure and
+/// the I/O paths explicit.
+///
+/// # Example
+///
+/// ```
+/// use rhodos_file_service::{BlockCache, FileId};
+///
+/// let mut cache = BlockCache::new(2);
+/// cache.insert((FileId(1), 0), vec![1; 8192], false);
+/// assert!(cache.get(&(FileId(1), 0)).is_some());
+/// assert!(cache.get(&(FileId(1), 9)).is_none());
+/// ```
+#[derive(Debug)]
+pub struct BlockCache {
+    capacity: usize,
+    blocks: HashMap<BlockKey, CachedBlock>,
+    lru: VecDeque<BlockKey>,
+    stats: CacheStats,
+}
+
+#[derive(Debug)]
+struct CachedBlock {
+    data: Vec<u8>,
+    dirty: bool,
+}
+
+impl BlockCache {
+    /// Creates a pool holding up to `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — use the service's no-cache
+    /// configuration instead of a zero-sized pool.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "block pool needs capacity for one block");
+        Self {
+            capacity,
+            blocks: HashMap::new(),
+            lru: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of blocks resident.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    fn touch(&mut self, key: BlockKey) {
+        self.lru.retain(|k| *k != key);
+        self.lru.push_back(key);
+    }
+
+    /// Looks up a block, recording a hit or miss.
+    pub fn get(&mut self, key: &BlockKey) -> Option<&[u8]> {
+        if self.blocks.contains_key(key) {
+            self.stats.hits += 1;
+            self.touch(*key);
+            self.blocks.get(key).map(|b| b.data.as_slice())
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Whether a block is resident, without recording a hit/miss.
+    pub fn contains(&self, key: &BlockKey) -> bool {
+        self.blocks.contains_key(key)
+    }
+
+    /// Inserts (or overwrites) a block. Returns the evicted dirty blocks
+    /// `(key, data)` the caller must write back.
+    #[must_use = "evicted dirty blocks must be written back"]
+    pub fn insert(&mut self, key: BlockKey, data: Vec<u8>, dirty: bool) -> Vec<(BlockKey, Vec<u8>)> {
+        // Dirtiness is sticky: overwriting a dirty block with clean data
+        // still leaves un-persisted contents that need a write-back.
+        let was_dirty = self
+            .blocks
+            .insert(key, CachedBlock { data, dirty })
+            .map(|b| b.dirty)
+            .unwrap_or(false);
+        if was_dirty {
+            if let Some(b) = self.blocks.get_mut(&key) {
+                b.dirty = true;
+            }
+        }
+        self.touch(key);
+        self.evict_for_insert()
+    }
+
+    /// Marks a resident block dirty (after an in-place mutation via
+    /// [`Self::get_mut`]).
+    pub fn mark_dirty(&mut self, key: &BlockKey) {
+        if let Some(b) = self.blocks.get_mut(key) {
+            b.dirty = true;
+        }
+    }
+
+    /// Mutable access to a resident block's bytes (counts as a hit).
+    pub fn get_mut(&mut self, key: &BlockKey) -> Option<&mut Vec<u8>> {
+        if self.blocks.contains_key(key) {
+            self.stats.hits += 1;
+            self.touch(*key);
+            self.blocks.get_mut(key).map(|b| &mut b.data)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    fn evict_for_insert(&mut self) -> Vec<(BlockKey, Vec<u8>)> {
+        let mut out = Vec::new();
+        while self.blocks.len() > self.capacity {
+            let Some(victim) = self.lru.pop_front() else {
+                break;
+            };
+            if let Some(block) = self.blocks.remove(&victim) {
+                if block.dirty {
+                    self.stats.writebacks += 1;
+                    out.push((victim, block.data));
+                } else {
+                    self.stats.clean_evictions += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Removes and returns all dirty blocks (flush); they become clean in
+    /// the caller's hands. Blocks stay resident but marked clean.
+    #[must_use = "flushed dirty blocks must be written back"]
+    pub fn take_dirty(&mut self) -> Vec<(BlockKey, Vec<u8>)> {
+        let mut out = Vec::new();
+        for (k, b) in self.blocks.iter_mut() {
+            if b.dirty {
+                b.dirty = false;
+                self.stats.writebacks += 1;
+                out.push((*k, b.data.clone()));
+            }
+        }
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Like [`Self::take_dirty`] but limited to one file.
+    #[must_use = "flushed dirty blocks must be written back"]
+    pub fn take_dirty_for(&mut self, fid: FileId) -> Vec<(BlockKey, Vec<u8>)> {
+        let mut out = Vec::new();
+        for (k, b) in self.blocks.iter_mut() {
+            if k.0 == fid && b.dirty {
+                b.dirty = false;
+                self.stats.writebacks += 1;
+                out.push((*k, b.data.clone()));
+            }
+        }
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Count of dirty blocks currently resident (the crash-loss window of
+    /// experiment E15).
+    pub fn dirty_blocks(&self) -> usize {
+        self.blocks.values().filter(|b| b.dirty).count()
+    }
+
+    /// Drops every block of `fid` (delete / truncate), discarding dirty
+    /// data deliberately.
+    pub fn invalidate_file(&mut self, fid: FileId) {
+        self.blocks.retain(|k, _| k.0 != fid);
+        self.lru.retain(|k| k.0 != fid);
+    }
+
+    /// Drops everything, discarding dirty data (crash simulation).
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+        self.lru.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(b: u8) -> Vec<u8> {
+        vec![b; 16]
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let mut c = BlockCache::new(4);
+        assert!(c.get(&(FileId(1), 0)).is_none());
+        let ev = c.insert((FileId(1), 0), blk(1), false);
+        assert!(ev.is_empty());
+        assert!(c.get(&(FileId(1), 0)).is_some());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn eviction_returns_dirty_blocks_only() {
+        let mut c = BlockCache::new(2);
+        assert!(c.insert((FileId(1), 0), blk(1), true).is_empty());
+        assert!(c.insert((FileId(1), 1), blk(2), false).is_empty());
+        let evicted = c.insert((FileId(1), 2), blk(3), false);
+        // LRU victim is (1,0), which is dirty.
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, (FileId(1), 0));
+        let evicted2 = c.insert((FileId(1), 3), blk(4), false);
+        assert!(evicted2.is_empty()); // (1,1) clean
+        assert_eq!(c.stats().clean_evictions, 1);
+    }
+
+    #[test]
+    fn take_dirty_clears_dirty_bits() {
+        let mut c = BlockCache::new(4);
+        let _ = c.insert((FileId(1), 0), blk(1), true);
+        let _ = c.insert((FileId(2), 0), blk(2), true);
+        assert_eq!(c.dirty_blocks(), 2);
+        let flushed = c.take_dirty();
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(c.dirty_blocks(), 0);
+        assert!(c.take_dirty().is_empty());
+        // Blocks are still resident after flush.
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn take_dirty_for_scopes_to_file() {
+        let mut c = BlockCache::new(4);
+        let _ = c.insert((FileId(1), 0), blk(1), true);
+        let _ = c.insert((FileId(2), 0), blk(2), true);
+        let flushed = c.take_dirty_for(FileId(1));
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(c.dirty_blocks(), 1);
+    }
+
+    #[test]
+    fn overwrite_keeps_dirtiness_sticky() {
+        let mut c = BlockCache::new(4);
+        let _ = c.insert((FileId(1), 0), blk(1), true);
+        let _ = c.insert((FileId(1), 0), blk(2), false);
+        // A dirty block overwritten with clean data still needs a
+        // write-back of the new contents.
+        assert_eq!(c.dirty_blocks(), 1);
+    }
+
+    #[test]
+    fn invalidate_file_discards_blocks() {
+        let mut c = BlockCache::new(4);
+        let _ = c.insert((FileId(1), 0), blk(1), true);
+        let _ = c.insert((FileId(2), 0), blk(2), true);
+        c.invalidate_file(FileId(1));
+        assert!(!c.contains(&(FileId(1), 0)));
+        assert!(c.contains(&(FileId(2), 0)));
+    }
+
+    #[test]
+    fn get_mut_marks_nothing_until_told() {
+        let mut c = BlockCache::new(4);
+        let _ = c.insert((FileId(1), 0), blk(1), false);
+        c.get_mut(&(FileId(1), 0)).unwrap()[0] = 99;
+        assert_eq!(c.dirty_blocks(), 0);
+        c.mark_dirty(&(FileId(1), 0));
+        assert_eq!(c.dirty_blocks(), 1);
+    }
+}

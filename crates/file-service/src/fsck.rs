@@ -1,0 +1,270 @@
+//! Consistency checking of the on-disk structures ("fsck").
+//!
+//! The paper's reliability story rests on the structural metadata — the
+//! directory, the file index tables and their contiguity counts — staying
+//! consistent with each other and with the allocation state. This module
+//! walks everything and reports violations instead of assuming them away.
+//! Property tests run it after random operation sequences and crash
+//! recoveries.
+
+use crate::attrs::FileId;
+use crate::service::FileService;
+use rhodos_disk_service::{Extent, FRAGS_PER_BLOCK};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One consistency violation found by [`FileService::fsck`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FsckIssue {
+    /// Two allocated extents overlap (corrupt allocation metadata).
+    OverlappingExtents {
+        /// Disk number.
+        disk: u16,
+        /// First extent (owner description).
+        a: (String, Extent),
+        /// Second extent (owner description).
+        b: (String, Extent),
+    },
+    /// A FIT's recorded size needs more blocks than it has.
+    SizeBeyondBlocks {
+        /// File affected.
+        fid: FileId,
+        /// Recorded size in bytes.
+        size: u64,
+        /// Blocks actually present.
+        blocks: u64,
+    },
+    /// A contiguity count promises adjacency that the descriptors deny.
+    BadContiguityCount {
+        /// File affected.
+        fid: FileId,
+        /// Logical block index with the bad count.
+        index: u64,
+    },
+    /// A descriptor points outside its disk.
+    DescriptorOutOfRange {
+        /// File affected.
+        fid: FileId,
+        /// Logical block index.
+        index: u64,
+    },
+    /// A FIT could not be loaded at all.
+    UnreadableFit {
+        /// File affected.
+        fid: FileId,
+    },
+}
+
+impl fmt::Display for FsckIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsckIssue::OverlappingExtents { disk, a, b } => write!(
+                f,
+                "disk {disk}: {} {} overlaps {} {}",
+                a.0, a.1, b.0, b.1
+            ),
+            FsckIssue::SizeBeyondBlocks { fid, size, blocks } => {
+                write!(f, "{fid}: size {size} exceeds {blocks} blocks")
+            }
+            FsckIssue::BadContiguityCount { fid, index } => {
+                write!(f, "{fid}: contiguity count wrong at block {index}")
+            }
+            FsckIssue::DescriptorOutOfRange { fid, index } => {
+                write!(f, "{fid}: descriptor {index} points off the disk")
+            }
+            FsckIssue::UnreadableFit { fid } => write!(f, "{fid}: file index table unreadable"),
+        }
+    }
+}
+
+/// Result of a consistency walk.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    /// Violations found (empty = consistent).
+    pub issues: Vec<FsckIssue>,
+    /// Files examined.
+    pub files_checked: u64,
+    /// Data blocks examined.
+    pub blocks_checked: u64,
+}
+
+impl FsckReport {
+    /// Whether the walk found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+impl FileService {
+    /// Walks the directory, every file index table and the allocation
+    /// metadata, reporting structural inconsistencies. Read-only (beyond
+    /// FIT cache population).
+    ///
+    /// # Errors
+    ///
+    /// Only fails on unexpected I/O errors while walking; *structural*
+    /// problems are reported in the [`FsckReport`], not as errors.
+    pub fn fsck(&mut self) -> Result<FsckReport, crate::FileServiceError> {
+        let mut report = FsckReport::default();
+        // (disk -> [(owner, extent)]) of everything that must not overlap.
+        let mut extents: HashMap<u16, Vec<(String, Extent)>> = HashMap::new();
+        extents
+            .entry(0)
+            .or_default()
+            .push(("directory".into(), self.directory_extent()));
+        let fids = self.file_ids();
+        for fid in fids {
+            report.files_checked += 1;
+            let (fit, home, fit_frag, indirect) = match self.fit_parts(fid) {
+                Ok(parts) => parts,
+                Err(_) => {
+                    report.issues.push(FsckIssue::UnreadableFit { fid });
+                    continue;
+                }
+            };
+            extents
+                .entry(home)
+                .or_default()
+                .push((format!("{fid} FIT"), Extent::new(fit_frag, 1)));
+            for (d, a) in indirect {
+                extents
+                    .entry(d)
+                    .or_default()
+                    .push((format!("{fid} indirect"), Extent::new(a, FRAGS_PER_BLOCK)));
+            }
+            let descs = fit.descriptors();
+            let blocks = descs.len() as u64;
+            report.blocks_checked += blocks;
+            if fit.attrs.size > blocks * rhodos_disk_service::BLOCK_SIZE as u64 {
+                report.issues.push(FsckIssue::SizeBeyondBlocks {
+                    fid,
+                    size: fit.attrs.size,
+                    blocks,
+                });
+            }
+            for (i, d) in descs.iter().enumerate() {
+                let total = self.disk_total_fragments(d.disk as usize);
+                if total.is_none_or(|t| d.addr + FRAGS_PER_BLOCK > t) {
+                    report.issues.push(FsckIssue::DescriptorOutOfRange {
+                        fid,
+                        index: i as u64,
+                    });
+                    continue;
+                }
+                extents
+                    .entry(d.disk)
+                    .or_default()
+                    .push((format!("{fid} block {i}"), d.block_extent()));
+                // Verify the contiguity count against physical layout.
+                let c = d.contig as usize;
+                if c == 0 || i + c > descs.len() {
+                    report
+                        .issues
+                        .push(FsckIssue::BadContiguityCount { fid, index: i as u64 });
+                    continue;
+                }
+                for j in 1..c {
+                    let n = descs[i + j];
+                    if n.disk != d.disk || n.addr != d.addr + j as u64 * FRAGS_PER_BLOCK {
+                        report
+                            .issues
+                            .push(FsckIssue::BadContiguityCount { fid, index: i as u64 });
+                        break;
+                    }
+                }
+            }
+        }
+        // Overlap detection per disk.
+        for (disk, mut list) in extents {
+            list.sort_by_key(|(_, e)| e.start);
+            for w in list.windows(2) {
+                if w[0].1.overlaps(&w[1].1) {
+                    report.issues.push(FsckIssue::OverlappingExtents {
+                        disk,
+                        a: w[0].clone(),
+                        b: w[1].clone(),
+                    });
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{FileService, FileServiceConfig, ServiceType};
+    use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
+
+    fn fs() -> FileService {
+        FileService::single_disk(
+            DiskGeometry::medium(),
+            LatencyModel::instant(),
+            SimClock::new(),
+            FileServiceConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fresh_service_is_clean() {
+        let mut f = fs();
+        let report = f.fsck().unwrap();
+        assert!(report.is_clean(), "{:?}", report.issues);
+    }
+
+    #[test]
+    fn busy_service_stays_clean() {
+        let mut f = fs();
+        for i in 0..8 {
+            let fid = f.create(ServiceType::Basic).unwrap();
+            f.open(fid).unwrap();
+            f.write(fid, 0, &vec![i as u8; (i + 1) * 5000]).unwrap();
+            if i % 2 == 0 {
+                f.close(fid).unwrap();
+            }
+        }
+        f.flush_all().unwrap();
+        let report = f.fsck().unwrap();
+        assert!(report.is_clean(), "{:?}", report.issues);
+        assert_eq!(report.files_checked, 8);
+    }
+
+    #[test]
+    fn clean_after_crash_recovery() {
+        let mut f = fs();
+        let fid = f.create(ServiceType::Basic).unwrap();
+        f.open(fid).unwrap();
+        f.write(fid, 0, &vec![7u8; 100_000]).unwrap();
+        f.flush_all().unwrap();
+        f.simulate_crash();
+        f.recover().unwrap();
+        let report = f.fsck().unwrap();
+        assert!(report.is_clean(), "{:?}", report.issues);
+        assert!(report.blocks_checked >= 13);
+    }
+
+    #[test]
+    fn detects_corrupted_fit() {
+        let mut f = fs();
+        let fid = f.create(ServiceType::Basic).unwrap();
+        f.open(fid).unwrap();
+        f.write(fid, 0, b"data").unwrap();
+        f.close(fid).unwrap();
+        // Trash the FIT on the main disk AND its stable copy.
+        let descs = f.block_descriptors(fid).unwrap();
+        let fit_frag = descs[0].addr - 1;
+        f.evict_caches().unwrap();
+        f.disk_mut(0).disk_mut().corrupt_sector(fit_frag).unwrap();
+        let stable = f.disk_mut(0).stable_mut().unwrap();
+        stable.mirror_a_mut().corrupt_sector(2 * fit_frag).unwrap();
+        stable.mirror_b_mut().corrupt_sector(2 * fit_frag).unwrap();
+        let report = f.fsck().unwrap();
+        assert!(!report.is_clean());
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, super::FsckIssue::UnreadableFit { .. })));
+    }
+}

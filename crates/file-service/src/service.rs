@@ -1,0 +1,1487 @@
+//! The flat file service itself.
+//!
+//! Implements the paper's file operations (§5): `create`, `open`,
+//! `delete`, `read`, `write`, `pread`, `pwrite`, `get-attribute` and
+//! `close` (`lseek` is agent-side state), over one or more disk services,
+//! with the three-step data location procedure: find the file service →
+//! locate and cache the file index table → locate and cache the data
+//! blocks.
+
+use crate::attrs::{FileAttributes, FileId, LockLevel, ServiceType};
+use crate::cache::{BlockCache, CacheStats, WritePolicy};
+use crate::error::FileServiceError;
+use crate::fit::{BlockDescriptor, FileIndexTable};
+use crate::stripe::StripePolicy;
+use rhodos_disk_service::codec::{Decoder, Encoder};
+use rhodos_disk_service::{
+    DiskService, DiskServiceError, DiskServiceStats, Extent, FragmentAddr, ReadSource,
+    StablePolicy, BLOCK_SIZE, FRAGS_PER_BLOCK,
+};
+use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock, StableWriteMode};
+use std::collections::HashMap;
+
+/// Tunables for one file service.
+#[derive(Debug, Clone, Copy)]
+pub struct FileServiceConfig {
+    /// Capacity of the block pool (0 disables server-side data caching —
+    /// the Bullet-server baseline of experiment E8).
+    pub cache_blocks: usize,
+    /// Modification policy for cached data.
+    pub write_policy: WritePolicy,
+    /// Placement of blocks across disks.
+    pub stripe: StripePolicy,
+    /// Fragments reserved for the file directory region on disk 0.
+    pub directory_fragments: u64,
+    /// Whether FITs and the directory are mirrored to stable storage
+    /// (requires disks configured with stable storage).
+    pub fit_stable: bool,
+    /// Allocate the FIT contiguous with the first data block ("the file
+    /// index table and at least the first data block are always
+    /// contiguous thus eliminating the seek time to retrieve the first
+    /// data block", §5). Disable only for the ablation experiment.
+    pub fit_adjacent_first_block: bool,
+    /// Capacity of the *fragment pool* — the cache of file index tables —
+    /// in FITs ("the space for caching a fragment and block is acquired
+    /// from a fragment-pool and block-pool", §5). 0 = unbounded.
+    pub fit_pool_entries: usize,
+}
+
+impl Default for FileServiceConfig {
+    fn default() -> Self {
+        Self {
+            cache_blocks: 128,
+            write_policy: WritePolicy::DelayedWrite,
+            stripe: StripePolicy::SingleDisk,
+            directory_fragments: 16,
+            fit_stable: true,
+            fit_adjacent_first_block: true,
+            fit_pool_entries: 256,
+        }
+    }
+}
+
+/// Aggregated observability for a file service.
+#[derive(Debug, Clone, Default)]
+pub struct FileServiceStats {
+    /// Block-pool cache behaviour.
+    pub cache: CacheStats,
+    /// FIT fragments loaded from disk (step two of the location procedure).
+    pub fit_loads: u64,
+    /// FIT lookups served from the fragment pool.
+    pub fit_cache_hits: u64,
+    /// Per-disk statistics.
+    pub disks: Vec<DiskServiceStats>,
+}
+
+impl FileServiceStats {
+    /// Total disk references (reads + writes) across all disks, main
+    /// storage only.
+    pub fn total_disk_refs(&self) -> u64 {
+        self.disks.iter().map(|d| d.disk.total_ops()).sum()
+    }
+}
+
+#[derive(Debug)]
+struct FitEntry {
+    fit: FileIndexTable,
+    home: u16,
+    fit_frag: FragmentAddr,
+    indirect_locs: Vec<(u16, FragmentAddr)>,
+}
+
+/// The RHODOS basic file service over a set of disk servers.
+///
+/// See the [crate documentation](crate) for an example.
+#[derive(Debug)]
+pub struct FileService {
+    disks: Vec<DiskService>,
+    clock: SimClock,
+    config: FileServiceConfig,
+    directory: HashMap<FileId, (u16, FragmentAddr)>,
+    /// Well-known system file (the transaction service's intention log),
+    /// persisted in the directory header so recovery can find it.
+    system_fid: Option<FileId>,
+    next_fid: u64,
+    fits: HashMap<FileId, FitEntry>,
+    /// LRU order of the fragment pool (front = coldest).
+    fit_lru: Vec<FileId>,
+    fit_hits: u64,
+    cache: Option<BlockCache>,
+    dir_extent: Extent,
+    fit_loads: u64,
+}
+
+const DIR_MAGIC: u32 = 0x52_48_44_46; // "RHDF"
+
+impl FileService {
+    /// Creates a file service over freshly formatted `disks`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory region cannot be allocated or written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disks` is empty.
+    pub fn format(
+        mut disks: Vec<DiskService>,
+        config: FileServiceConfig,
+    ) -> Result<Self, FileServiceError> {
+        assert!(!disks.is_empty(), "file service needs at least one disk");
+        let clock = disks[0].clock();
+        let dir_extent = disks[0].allocate_contiguous(config.directory_fragments)?;
+        let cache = (config.cache_blocks > 0).then(|| BlockCache::new(config.cache_blocks));
+        let mut svc = Self {
+            disks,
+            clock,
+            config,
+            directory: HashMap::new(),
+            system_fid: None,
+            next_fid: 1,
+            fits: HashMap::new(),
+            fit_lru: Vec::new(),
+            cache,
+            dir_extent,
+            fit_loads: 0,
+            fit_hits: 0,
+        };
+        svc.persist_directory()?;
+        Ok(svc)
+    }
+
+    /// Convenience: a service over one disk (with stable storage) of the
+    /// given geometry.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::format`].
+    pub fn single_disk(
+        geometry: DiskGeometry,
+        model: LatencyModel,
+        clock: SimClock,
+        config: FileServiceConfig,
+    ) -> Result<Self, FileServiceError> {
+        let disk = DiskService::with_stable(geometry, model, clock, Default::default());
+        Self::format(vec![disk], config)
+    }
+
+    /// Convenience: a service striped over `ndisks` identical disks.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::format`].
+    pub fn striped(
+        ndisks: usize,
+        geometry: DiskGeometry,
+        model: LatencyModel,
+        clock: SimClock,
+        config: FileServiceConfig,
+    ) -> Result<Self, FileServiceError> {
+        let disks = (0..ndisks)
+            .map(|_| {
+                DiskService::with_stable(geometry, model, clock.clone(), Default::default())
+            })
+            .collect();
+        Self::format(disks, config)
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// Number of disks behind this service.
+    pub fn disk_count(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Mutable access to disk `i` (fault injection in experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn disk_mut(&mut self, i: usize) -> &mut DiskService {
+        &mut self.disks[i]
+    }
+
+    /// Snapshot of all statistics.
+    pub fn stats(&self) -> FileServiceStats {
+        FileServiceStats {
+            cache: self.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
+            fit_loads: self.fit_loads,
+            fit_cache_hits: self.fit_hits,
+            disks: self.disks.iter().map(|d| d.stats()).collect(),
+        }
+    }
+
+    /// System names of all existing files.
+    pub fn file_ids(&self) -> Vec<FileId> {
+        let mut v: Vec<FileId> = self.directory.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Whether `fid` exists.
+    pub fn exists(&self, fid: FileId) -> bool {
+        self.directory.contains_key(&fid)
+    }
+
+    // ---- directory persistence ----------------------------------------
+
+    fn stable_policy(&self) -> StablePolicy {
+        if self.config.fit_stable && self.disks[0].has_stable() {
+            StablePolicy::OriginalAndStable(StableWriteMode::Sync)
+        } else {
+            StablePolicy::None
+        }
+    }
+
+    fn persist_directory(&mut self) -> Result<(), FileServiceError> {
+        let mut e = Encoder::new();
+        e.u32(DIR_MAGIC)
+            .u64(self.next_fid)
+            .u64(self.system_fid.map(|f| f.0).unwrap_or(0))
+            .u32(self.directory.len() as u32);
+        let mut entries: Vec<_> = self.directory.iter().collect();
+        entries.sort();
+        for (fid, (disk, frag)) in entries {
+            e.u64(fid.0).u16(*disk).u64(*frag);
+        }
+        let mut buf = e.finish();
+        if buf.len() > self.dir_extent.len_bytes() {
+            return Err(FileServiceError::DirectoryFull);
+        }
+        buf.resize(self.dir_extent.len_bytes(), 0);
+        let policy = self.stable_policy();
+        self.disks[0].put(self.dir_extent, &buf, policy)?;
+        Ok(())
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn load_directory(
+        disk: &mut DiskService,
+        dir_extent: Extent,
+    ) -> Result<(u64, Option<FileId>, HashMap<FileId, (u16, FragmentAddr)>), FileServiceError>
+    {
+        let buf = match disk.get(dir_extent) {
+            Ok(b) => b,
+            Err(_) => disk.get_from(dir_extent, ReadSource::Stable)?,
+        };
+        let mut d = Decoder::new(&buf);
+        let magic = d.u32().map_err(|e| FileServiceError::corrupt(FileId(0), e))?;
+        if magic != DIR_MAGIC {
+            return Err(FileServiceError::Corrupt(FileId(0)));
+        }
+        let next_fid = d.u64().map_err(|e| FileServiceError::corrupt(FileId(0), e))?;
+        let system_raw = d.u64().map_err(|e| FileServiceError::corrupt(FileId(0), e))?;
+        let system_fid = (system_raw != 0).then_some(FileId(system_raw));
+        let count = d.u32().map_err(|e| FileServiceError::corrupt(FileId(0), e))?;
+        let mut map = HashMap::new();
+        for _ in 0..count {
+            let fid = FileId(d.u64().map_err(|e| FileServiceError::corrupt(FileId(0), e))?);
+            let disk_no = d.u16().map_err(|e| FileServiceError::corrupt(fid, e))?;
+            let frag = d.u64().map_err(|e| FileServiceError::corrupt(fid, e))?;
+            map.insert(fid, (disk_no, frag));
+        }
+        Ok((next_fid, system_fid, map))
+    }
+
+    /// The well-known system file (the transaction service's intention
+    /// log), if one has been designated.
+    pub fn system_file(&self) -> Option<FileId> {
+        self.system_fid
+    }
+
+    /// Designates `fid` as the system file, persisted in the directory so
+    /// it survives crashes.
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::NotFound`] if `fid` does not exist.
+    pub fn set_system_file(&mut self, fid: FileId) -> Result<(), FileServiceError> {
+        if !self.exists(fid) {
+            return Err(FileServiceError::NotFound(fid));
+        }
+        self.system_fid = Some(fid);
+        self.persist_directory()
+    }
+
+    // ---- FIT management ------------------------------------------------
+
+    fn load_fit(&mut self, fid: FileId) -> Result<(), FileServiceError> {
+        if self.fits.contains_key(&fid) {
+            self.fit_hits += 1;
+            self.touch_fit(fid);
+            return Ok(());
+        }
+        let &(home, fit_frag) = self
+            .directory
+            .get(&fid)
+            .ok_or(FileServiceError::NotFound(fid))?;
+        let frag_extent = Extent::new(fit_frag, 1);
+        let disk = &mut self.disks[home as usize];
+        let buf = match disk.get(frag_extent) {
+            Ok(b) => b,
+            Err(_) => disk.get_from(frag_extent, ReadSource::Stable)?,
+        };
+        let (mut fit, _total, indirect_locs) = FileIndexTable::decode_fit_fragment(&buf)
+            .map_err(|e| FileServiceError::corrupt(fid, e))?;
+        for &(idisk, iaddr) in &indirect_locs {
+            let chunk = self.disks[idisk as usize].get(Extent::new(iaddr, FRAGS_PER_BLOCK))?;
+            fit.extend_from_indirect_chunk(&chunk)
+                .map_err(|e| FileServiceError::corrupt(fid, e))?;
+        }
+        self.fit_loads += 1;
+        self.fits.insert(
+            fid,
+            FitEntry {
+                fit,
+                home,
+                fit_frag,
+                indirect_locs,
+            },
+        );
+        self.touch_fit(fid);
+        self.evict_cold_fits();
+        Ok(())
+    }
+
+    /// Moves `fid` to the hot end of the fragment pool's LRU order.
+    fn touch_fit(&mut self, fid: FileId) {
+        self.fit_lru.retain(|f| *f != fid);
+        self.fit_lru.push(fid);
+    }
+
+    /// Evicts cold FITs past the fragment pool's capacity. Safe because
+    /// FITs are persisted eagerly — an evicted entry reloads from disk
+    /// (or its stable copy) on next use.
+    fn evict_cold_fits(&mut self) {
+        let cap = self.config.fit_pool_entries;
+        if cap == 0 {
+            return;
+        }
+        while self.fits.len() > cap {
+            let Some(victim) = self.fit_lru.first().copied() else {
+                break;
+            };
+            self.fit_lru.remove(0);
+            self.fits.remove(&victim);
+        }
+    }
+
+    fn fit(&self, fid: FileId) -> &FitEntry {
+        self.fits.get(&fid).expect("FIT loaded by caller")
+    }
+
+    fn persist_fit(&mut self, fid: FileId) -> Result<(), FileServiceError> {
+        let policy = self.stable_policy();
+        let entry = self.fits.get(&fid).expect("FIT loaded by caller");
+        let needed = FileIndexTable::indirect_tables_needed(entry.fit.block_count());
+        if needed > crate::fit::MAX_INDIRECT_TABLES {
+            return Err(FileServiceError::FileTooLarge(fid));
+        }
+        let home = entry.home;
+        // (Re)provision indirect block homes.
+        let mut locs = entry.indirect_locs.clone();
+        while locs.len() > needed {
+            let (d, a) = locs.pop().expect("nonempty");
+            self.disks[d as usize].free(Extent::new(a, FRAGS_PER_BLOCK))?;
+        }
+        while locs.len() < needed {
+            // Indirect tables live in the top region, away from file data.
+            let e = self.disks[home as usize].allocate_contiguous_top(FRAGS_PER_BLOCK)?;
+            locs.push((home, e.start));
+        }
+        let entry = self.fits.get_mut(&fid).expect("FIT loaded");
+        entry.indirect_locs = locs.clone();
+        let chunks = entry.fit.encode_indirect_chunks();
+        let frag = entry.fit.encode_fit_fragment(&locs);
+        let fit_frag = entry.fit_frag;
+        debug_assert_eq!(chunks.len(), locs.len());
+        for (chunk, (d, a)) in chunks.into_iter().zip(locs) {
+            self.disks[d as usize].put(Extent::new(a, FRAGS_PER_BLOCK), &chunk, policy)?;
+        }
+        self.disks[home as usize].put(Extent::new(fit_frag, 1), &frag, policy)?;
+        Ok(())
+    }
+
+    // ---- lifecycle operations -------------------------------------------
+
+    /// `create`: makes a new file and returns its system name. The FIT is
+    /// created dynamically, contiguous with the first data block when
+    /// space permits (§5).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory region is full or the disks are out of
+    /// space.
+    pub fn create(&mut self, service_type: ServiceType) -> Result<FileId, FileServiceError> {
+        let fid = FileId(self.next_fid);
+        self.next_fid += 1;
+        // Home disk: most free space (keeps files whole); striping spreads
+        // later blocks anyway.
+        let home = self
+            .disks
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, d)| d.free_fragments())
+            .map(|(i, _)| i as u16)
+            .expect("at least one disk");
+        // FIT contiguous with the first data block: allocate 1 + 4
+        // fragments in one run when possible.
+        let disk = &mut self.disks[home as usize];
+        let (fit_frag, first_block) = if self.config.fit_adjacent_first_block {
+            match disk.allocate_contiguous(1 + FRAGS_PER_BLOCK) {
+                Ok(run) => (run.start, Some(run.start + 1)),
+                Err(_) => (disk.allocate_contiguous(1)?.start, None),
+            }
+        } else {
+            // Ablation: FIT in the metadata (top) region, data elsewhere —
+            // the pre-RHODOS layout the paper argues against.
+            (disk.allocate_contiguous_top(1)?.start, None)
+        };
+        let attrs = FileAttributes::new(self.clock.now_us(), service_type);
+        let mut fit = FileIndexTable::new(attrs);
+        if let Some(b) = first_block {
+            fit.append_run(home, b, 1);
+        }
+        self.fits.insert(
+            fid,
+            FitEntry {
+                fit,
+                home,
+                fit_frag,
+                indirect_locs: Vec::new(),
+            },
+        );
+        self.touch_fit(fid);
+        self.directory.insert(fid, (home, fit_frag));
+        self.persist_fit(fid)?;
+        self.persist_directory()?;
+        self.evict_cold_fits();
+        Ok(fid)
+    }
+
+    /// `open`: bumps the reference count ("number of instances a file is
+    /// opened simultaneously").
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::NotFound`] if the file does not exist.
+    pub fn open(&mut self, fid: FileId) -> Result<(), FileServiceError> {
+        self.load_fit(fid)?;
+        let entry = self.fits.get_mut(&fid).expect("just loaded");
+        entry.fit.attrs.ref_count += 1;
+        self.persist_fit(fid)
+    }
+
+    /// `close`: drops one reference and flushes the file's dirty blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::NotOpen`] if the file has no open instances.
+    pub fn close(&mut self, fid: FileId) -> Result<(), FileServiceError> {
+        self.load_fit(fid)?;
+        let entry = self.fits.get_mut(&fid).expect("just loaded");
+        if entry.fit.attrs.ref_count == 0 {
+            return Err(FileServiceError::NotOpen(fid));
+        }
+        entry.fit.attrs.ref_count -= 1;
+        self.flush_file(fid)?;
+        self.persist_fit(fid)
+    }
+
+    /// `delete`: removes a closed file and frees all its storage.
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::Busy`] while the file is open anywhere.
+    pub fn delete(&mut self, fid: FileId) -> Result<(), FileServiceError> {
+        self.load_fit(fid)?;
+        if self.fit(fid).fit.attrs.ref_count > 0 {
+            return Err(FileServiceError::Busy(fid));
+        }
+        if let Some(cache) = &mut self.cache {
+            cache.invalidate_file(fid);
+        }
+        self.fit_lru.retain(|f| *f != fid);
+        let entry = self.fits.remove(&fid).expect("just loaded");
+        for d in entry.fit.descriptors() {
+            self.disks[d.disk as usize].free(d.block_extent())?;
+        }
+        for (d, a) in entry.indirect_locs {
+            self.disks[d as usize].free(Extent::new(a, FRAGS_PER_BLOCK))?;
+        }
+        self.disks[entry.home as usize].free(Extent::new(entry.fit_frag, 1))?;
+        self.directory.remove(&fid);
+        self.persist_directory()
+    }
+
+    /// `get-attribute`: the file-specific attributes from the FIT.
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::NotFound`] if the file does not exist.
+    pub fn get_attribute(&mut self, fid: FileId) -> Result<FileAttributes, FileServiceError> {
+        self.load_fit(fid)?;
+        Ok(self.fit(fid).fit.attrs)
+    }
+
+    /// Sets the locking level recorded in the FIT (used by the transaction
+    /// service).
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::NotFound`] if the file does not exist.
+    pub fn set_lock_level(&mut self, fid: FileId, level: LockLevel) -> Result<(), FileServiceError> {
+        self.load_fit(fid)?;
+        self.fits.get_mut(&fid).expect("loaded").fit.attrs.lock_level = level;
+        self.persist_fit(fid)
+    }
+
+    /// Sets the service type recorded in the FIT (basic vs transaction).
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::NotFound`] if the file does not exist.
+    pub fn set_service_type(
+        &mut self,
+        fid: FileId,
+        st: ServiceType,
+    ) -> Result<(), FileServiceError> {
+        self.load_fit(fid)?;
+        self.fits.get_mut(&fid).expect("loaded").fit.attrs.service_type = st;
+        self.persist_fit(fid)
+    }
+
+    /// A snapshot of the file's index table (descriptor layout inspection
+    /// for experiments and the transaction service).
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::NotFound`] if the file does not exist.
+    pub fn fit_snapshot(&mut self, fid: FileId) -> Result<FileIndexTable, FileServiceError> {
+        self.load_fit(fid)?;
+        Ok(self.fit(fid).fit.clone())
+    }
+
+    // ---- data path -------------------------------------------------------
+
+    fn require_open(&self, fid: FileId) -> Result<(), FileServiceError> {
+        match self.fits.get(&fid) {
+            Some(e) if e.fit.attrs.ref_count > 0 => Ok(()),
+            Some(_) => Err(FileServiceError::NotOpen(fid)),
+            None => Err(FileServiceError::NotOpen(fid)),
+        }
+    }
+
+    /// Loads logical block `idx` of `fid` into the cache (if enabled) and
+    /// returns its bytes. Contiguous neighbours within the same run are
+    /// fetched in the same disk reference.
+    fn fetch_block(&mut self, fid: FileId, idx: u64) -> Result<Vec<u8>, FileServiceError> {
+        if let Some(cache) = &mut self.cache {
+            if let Some(b) = cache.get(&(fid, idx)) {
+                return Ok(b.to_vec());
+            }
+        }
+        let entry = self.fit(fid);
+        let d = entry
+            .fit
+            .descriptor(idx)
+            .ok_or(FileServiceError::Corrupt(fid))?;
+        // One reference for the whole contiguous run the block starts or
+        // belongs to; cache every block of it.
+        let run = Extent::new(d.addr, FRAGS_PER_BLOCK * d.contig as u64);
+        let disk_no = d.disk as usize;
+        let data = self.disks[disk_no].get(run)?;
+        let mut wanted = Vec::new();
+        for (j, chunk) in data.chunks(BLOCK_SIZE).enumerate() {
+            let logical = idx + j as u64;
+            if j == 0 {
+                wanted = chunk.to_vec();
+            }
+            if let Some(cache) = &mut self.cache {
+                // Never clobber a resident block: it may hold newer
+                // delayed-write data than the platter.
+                if !cache.contains(&(fid, logical)) {
+                    for (k, v) in cache.insert((fid, logical), chunk.to_vec(), false) {
+                        self.write_back(k, v)?;
+                    }
+                }
+            }
+        }
+        Ok(wanted)
+    }
+
+    fn write_back(&mut self, key: (FileId, u64), data: Vec<u8>) -> Result<(), FileServiceError> {
+        let (fid, idx) = key;
+        // The FIT may have been evicted from the fragment pool while the
+        // dirty block sat in the block pool — reload it; only a genuinely
+        // deleted file may drop the block.
+        if !self.fits.contains_key(&fid) {
+            if !self.directory.contains_key(&fid) {
+                return Ok(()); // file deleted while dirty block lingered
+            }
+            self.load_fit(fid)?;
+        }
+        let entry = match self.fits.get(&fid) {
+            Some(e) => e,
+            None => return Ok(()),
+        };
+        let Some(d) = entry.fit.descriptor(idx) else {
+            return Ok(()); // truncated away
+        };
+        self.disks[d.disk as usize].put(d.block_extent(), &data, StablePolicy::None)?;
+        Ok(())
+    }
+
+    /// `read`/`pread`: returns up to `len` bytes from `offset` (clamped at
+    /// end of file).
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::NotOpen`] if the file is not open;
+    /// [`FileServiceError::BeyondEof`] if `offset` is past the end.
+    pub fn read(&mut self, fid: FileId, offset: u64, len: usize) -> Result<Vec<u8>, FileServiceError> {
+        self.load_fit(fid)?;
+        self.require_open(fid)?;
+        let size = self.fit(fid).fit.attrs.size;
+        if offset > size {
+            return Err(FileServiceError::BeyondEof { fid, offset, size });
+        }
+        let len = len.min((size - offset) as usize);
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let first = offset / BLOCK_SIZE as u64;
+        let last = (offset + len as u64 - 1) / BLOCK_SIZE as u64;
+        let mut out = Vec::with_capacity(len);
+        for idx in first..=last {
+            let block = self.fetch_block(fid, idx)?;
+            let block_start = idx * BLOCK_SIZE as u64;
+            let lo = offset.max(block_start) - block_start;
+            let hi = (offset + len as u64).min(block_start + BLOCK_SIZE as u64) - block_start;
+            out.extend_from_slice(&block[lo as usize..hi as usize]);
+        }
+        let entry = self.fits.get_mut(&fid).expect("loaded");
+        entry.fit.attrs.last_read_us = self.clock.now_us();
+        Ok(out)
+    }
+
+    /// Appends enough blocks to make the file `nblocks` long, honouring
+    /// the stripe policy and preferring contiguous allocation.
+    fn grow_to_blocks(&mut self, fid: FileId, nblocks: u64) -> Result<(), FileServiceError> {
+        loop {
+            let (current, home) = {
+                let e = self.fit(fid);
+                (e.fit.block_count(), e.home as usize)
+            };
+            if current >= nblocks {
+                return Ok(());
+            }
+            let remaining = nblocks - current;
+            let limit = self.config.stripe.run_limit(current).min(remaining);
+            let target = self
+                .config
+                .stripe
+                .disk_for_block(current, self.disks.len(), home);
+            // Try the full run contiguously, then halve until it fits,
+            // then spill to other disks.
+            let mut allocated: Option<(u16, Extent, u64)> = None;
+            let mut want = limit;
+            while want >= 1 {
+                match self.disks[target].allocate_contiguous(want * FRAGS_PER_BLOCK) {
+                    Ok(e) => {
+                        allocated = Some((target as u16, e, want));
+                        break;
+                    }
+                    Err(_) => want /= 2,
+                }
+            }
+            if allocated.is_none() {
+                // Target disk exhausted: any disk with room for one block.
+                for i in 0..self.disks.len() {
+                    if let Ok(e) = self.disks[i].allocate_contiguous(FRAGS_PER_BLOCK) {
+                        allocated = Some((i as u16, e, 1));
+                        break;
+                    }
+                }
+            }
+            let Some((disk_no, extent, blocks)) = allocated else {
+                return Err(FileServiceError::Disk(DiskServiceError::NoSpace {
+                    requested: FRAGS_PER_BLOCK,
+                    largest_free: 0,
+                    total_free: 0,
+                }));
+            };
+            let entry = self.fits.get_mut(&fid).expect("loaded");
+            entry.fit.append_run(disk_no, extent.start, blocks);
+        }
+    }
+
+    /// `write`/`pwrite`: writes `data` at `offset`, growing the file as
+    /// needed. Under [`WritePolicy::DelayedWrite`] the data may sit in the
+    /// block pool until a flush; under [`WritePolicy::WriteThrough`] it is
+    /// on disk when this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::NotOpen`] if the file is not open; disk errors
+    /// on allocation or transfer failures.
+    pub fn write(&mut self, fid: FileId, offset: u64, data: &[u8]) -> Result<(), FileServiceError> {
+        self.load_fit(fid)?;
+        self.require_open(fid)?;
+        if data.is_empty() {
+            return Ok(());
+        }
+        let new_size = self.fit(fid).fit.attrs.size.max(offset + data.len() as u64);
+        let nblocks = new_size.div_ceil(BLOCK_SIZE as u64);
+        let old_size = self.fit(fid).fit.attrs.size;
+        let old_blocks = self.fit(fid).fit.block_count();
+        self.grow_to_blocks(fid, nblocks)?;
+        let first = offset / BLOCK_SIZE as u64;
+        let last = (offset + data.len() as u64 - 1) / BLOCK_SIZE as u64;
+        for idx in first..=last {
+            let block_start = idx * BLOCK_SIZE as u64;
+            let lo = offset.max(block_start);
+            let hi = (offset + data.len() as u64).min(block_start + BLOCK_SIZE as u64);
+            let full_block = lo == block_start && hi == block_start + BLOCK_SIZE as u64;
+            // Blocks that existed before and are partially overwritten
+            // need their old contents (read-modify-write).
+            let mut block = if full_block {
+                vec![0u8; BLOCK_SIZE]
+            } else if block_start < old_size {
+                // Read-modify-write. If the old block is unreadable (media
+                // fault) its remaining bytes are already lost — proceed
+                // with zeros so the overwrite can repair the block.
+                match self.fetch_block(fid, idx) {
+                    Ok(b) => b,
+                    Err(FileServiceError::Disk(_)) => vec![0u8; BLOCK_SIZE],
+                    Err(e) => return Err(e),
+                }
+            } else {
+                vec![0u8; BLOCK_SIZE]
+            };
+            let src_lo = (lo - offset) as usize;
+            let src_hi = (hi - offset) as usize;
+            block[(lo - block_start) as usize..(hi - block_start) as usize]
+                .copy_from_slice(&data[src_lo..src_hi]);
+            match (self.cache.as_mut(), self.config.write_policy) {
+                (Some(cache), WritePolicy::DelayedWrite) => {
+                    for (k, v) in cache.insert((fid, idx), block, true) {
+                        self.write_back(k, v)?;
+                    }
+                }
+                (Some(cache), WritePolicy::WriteThrough) => {
+                    for (k, v) in cache.insert((fid, idx), block.clone(), false) {
+                        self.write_back(k, v)?;
+                    }
+                    self.write_back((fid, idx), block)?;
+                }
+                (None, _) => {
+                    self.write_back((fid, idx), block)?;
+                }
+            }
+        }
+        let entry = self.fits.get_mut(&fid).expect("loaded");
+        entry.fit.attrs.size = new_size;
+        // The FIT only needs re-persisting when the metadata changed —
+        // overwrites in place leave it untouched.
+        if new_size != old_size || entry.fit.block_count() != old_blocks {
+            self.persist_fit(fid)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the file's dirty blocks, grouping physically contiguous
+    /// blocks into single disk references.
+    ///
+    /// # Errors
+    ///
+    /// Propagates disk failures; remaining dirty blocks are lost in that
+    /// case (as they would be on a real device error).
+    pub fn flush_file(&mut self, fid: FileId) -> Result<(), FileServiceError> {
+        let dirty = match &mut self.cache {
+            Some(c) => c.take_dirty_for(fid),
+            None => return Ok(()),
+        };
+        self.write_back_grouped(dirty)
+    }
+
+    /// Flushes every dirty block in the pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates disk failures.
+    pub fn flush_all(&mut self) -> Result<(), FileServiceError> {
+        let dirty = match &mut self.cache {
+            Some(c) => c.take_dirty(),
+            None => return Ok(()),
+        };
+        self.write_back_grouped(dirty)
+    }
+
+    /// Writes back a sorted list of dirty blocks, merging physically
+    /// adjacent ones into single `put` calls.
+    fn write_back_grouped(
+        &mut self,
+        dirty: Vec<((FileId, u64), Vec<u8>)>,
+    ) -> Result<(), FileServiceError> {
+        let mut i = 0;
+        while i < dirty.len() {
+            let ((fid, idx), _) = dirty[i];
+            // Reload evicted FITs (see write_back); skip deleted files.
+            if !self.fits.contains_key(&fid) {
+                if !self.directory.contains_key(&fid) {
+                    i += 1;
+                    continue;
+                }
+                self.load_fit(fid)?;
+            }
+            let Some(entry) = self.fits.get(&fid) else {
+                i += 1;
+                continue;
+            };
+            let Some(d0) = entry.fit.descriptor(idx) else {
+                i += 1;
+                continue;
+            };
+            // Extend the group while blocks are logically consecutive,
+            // same file, and physically contiguous on the same disk.
+            let mut j = i + 1;
+            let mut blocks = 1u64;
+            while j < dirty.len() {
+                let ((fid2, idx2), _) = dirty[j];
+                if fid2 != fid || idx2 != idx + blocks {
+                    break;
+                }
+                match entry.fit.descriptor(idx2) {
+                    Some(d2)
+                        if d2.disk == d0.disk
+                            && d2.addr == d0.addr + blocks * FRAGS_PER_BLOCK =>
+                    {
+                        blocks += 1;
+                        j += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let mut buf = Vec::with_capacity((blocks as usize) * BLOCK_SIZE);
+            for item in dirty.iter().take(j).skip(i) {
+                buf.extend_from_slice(&item.1);
+            }
+            let extent = Extent::new(d0.addr, blocks * FRAGS_PER_BLOCK);
+            self.disks[d0.disk as usize].put(extent, &buf, StablePolicy::None)?;
+            i = j;
+        }
+        Ok(())
+    }
+
+    // ---- hooks for the transaction service -----------------------------
+
+    /// Grows the file (blocks and recorded size) to at least `size` bytes
+    /// without writing data — newly covered bytes read as zeros. Used by
+    /// the transaction service when committing writes past the old end of
+    /// file.
+    ///
+    /// # Errors
+    ///
+    /// Allocation or persistence failures.
+    pub fn ensure_size(&mut self, fid: FileId, size: u64) -> Result<(), FileServiceError> {
+        self.load_fit(fid)?;
+        if self.fit(fid).fit.attrs.size >= size {
+            return Ok(());
+        }
+        self.grow_to_blocks(fid, size.div_ceil(BLOCK_SIZE as u64))?;
+        self.fits.get_mut(&fid).expect("loaded").fit.attrs.size = size;
+        self.persist_fit(fid)
+    }
+
+    /// Reads one whole logical block.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the block does not exist or the disk fails.
+    pub fn read_block(&mut self, fid: FileId, idx: u64) -> Result<Vec<u8>, FileServiceError> {
+        self.load_fit(fid)?;
+        if self.fit(fid).fit.descriptor(idx).is_none() {
+            return Err(FileServiceError::Corrupt(fid));
+        }
+        self.fetch_block(fid, idx)
+    }
+
+    /// Overwrites one whole logical block, write-through (transactional
+    /// traffic never sits in the delayed-write pool).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the block does not exist or the disk fails.
+    pub fn write_block(
+        &mut self,
+        fid: FileId,
+        idx: u64,
+        data: &[u8],
+    ) -> Result<(), FileServiceError> {
+        self.load_fit(fid)?;
+        if let Some(cache) = &mut self.cache {
+            for (k, v) in cache.insert((fid, idx), data.to_vec(), false) {
+                self.write_back(k, v)?;
+            }
+        }
+        self.write_back((fid, idx), data.to_vec())
+    }
+
+    /// Allocates a detached block (shadow page home) on the file's home
+    /// disk and returns its location.
+    ///
+    /// # Errors
+    ///
+    /// Disk allocation failures.
+    pub fn allocate_shadow_block(
+        &mut self,
+        fid: FileId,
+    ) -> Result<(u16, FragmentAddr), FileServiceError> {
+        self.load_fit(fid)?;
+        let home = self.fit(fid).home;
+        // Shadow pages come from the top of the disk so they never
+        // fragment the low region where files grow contiguously.
+        let e = self.disks[home as usize].allocate_contiguous_top(FRAGS_PER_BLOCK)?;
+        Ok((home, e.start))
+    }
+
+    /// Frees a detached block previously obtained from
+    /// [`Self::allocate_shadow_block`].
+    ///
+    /// # Errors
+    ///
+    /// Disk failures.
+    pub fn free_detached_block(
+        &mut self,
+        disk: u16,
+        addr: FragmentAddr,
+    ) -> Result<(), FileServiceError> {
+        self.disks[disk as usize].free(Extent::new(addr, FRAGS_PER_BLOCK))?;
+        Ok(())
+    }
+
+    /// Writes raw data to a detached block, with the caller's stable
+    /// policy (shadow pages go `StableOnly`).
+    ///
+    /// # Errors
+    ///
+    /// Disk failures.
+    pub fn put_detached_block(
+        &mut self,
+        disk: u16,
+        addr: FragmentAddr,
+        data: &[u8],
+        policy: StablePolicy,
+    ) -> Result<(), FileServiceError> {
+        self.disks[disk as usize].put(Extent::new(addr, FRAGS_PER_BLOCK), data, policy)?;
+        Ok(())
+    }
+
+    /// Reads raw data from a detached block.
+    ///
+    /// # Errors
+    ///
+    /// Disk failures.
+    pub fn get_detached_block(
+        &mut self,
+        disk: u16,
+        addr: FragmentAddr,
+        source: ReadSource,
+    ) -> Result<Vec<u8>, FileServiceError> {
+        Ok(self.disks[disk as usize].get_from(Extent::new(addr, FRAGS_PER_BLOCK), source)?)
+    }
+
+    /// Swings the descriptor of logical block `idx` to a new location
+    /// (shadow-page commit) and returns the old one for the caller to
+    /// free. Persists the FIT and invalidates the cached block.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the block does not exist or persistence fails.
+    pub fn replace_block_descriptor(
+        &mut self,
+        fid: FileId,
+        idx: u64,
+        disk: u16,
+        addr: FragmentAddr,
+    ) -> Result<(u16, FragmentAddr), FileServiceError> {
+        self.load_fit(fid)?;
+        let entry = self.fits.get_mut(&fid).expect("loaded");
+        let old = entry
+            .fit
+            .descriptor(idx)
+            .ok_or(FileServiceError::Corrupt(fid))?;
+        entry.fit.replace_block(idx, disk, addr);
+        if let Some(cache) = &mut self.cache {
+            cache.invalidate_file(fid); // conservative: drop stale blocks
+        }
+        self.persist_fit(fid)?;
+        Ok((old.disk, old.addr))
+    }
+
+    // ---- crash and recovery ---------------------------------------------
+
+    /// Drops every cached file index table and cached block (losing
+    /// nothing — FITs are persisted eagerly; dirty blocks are flushed
+    /// first). Used by experiments that need to measure cold-start disk
+    /// reference counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush failures.
+    pub fn evict_caches(&mut self) -> Result<(), FileServiceError> {
+        self.flush_all()?;
+        self.fits.clear();
+        self.fit_lru.clear();
+        if let Some(cache) = &mut self.cache {
+            cache.clear();
+        }
+        for d in &mut self.disks {
+            d.recover()?; // clears the track cache; repairs nothing else
+        }
+        Ok(())
+    }
+
+    /// Simulates a file-server crash: all volatile state (block pool,
+    /// cached FITs, directory map) is lost; dirty cached data is gone.
+    pub fn simulate_crash(&mut self) {
+        if let Some(cache) = &mut self.cache {
+            cache.clear();
+        }
+        self.fits.clear();
+        self.fit_lru.clear();
+        self.directory.clear();
+        self.system_fid = None;
+        self.next_fid = 0;
+    }
+
+    /// Recovers after [`Self::simulate_crash`] (or injected disk faults):
+    /// repairs the disks and stable mirrors, reloads the directory (from
+    /// main storage, falling back to the stable copy), reloads every FIT,
+    /// and rebuilds the allocation bitmaps by walking the metadata — the
+    /// fsck pass.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory is unrecoverable from both copies.
+    pub fn recover(&mut self) -> Result<(), FileServiceError> {
+        for d in &mut self.disks {
+            d.recover()?;
+        }
+        let (next_fid, system_fid, directory) =
+            Self::load_directory(&mut self.disks[0], self.dir_extent)?;
+        self.next_fid = next_fid;
+        self.system_fid = system_fid;
+        self.directory = directory;
+        self.fits.clear();
+        self.fit_lru.clear();
+        let fids: Vec<FileId> = self.directory.keys().copied().collect();
+        for fid in &fids {
+            self.load_fit(*fid)?;
+            // Open counts do not survive a crash.
+            self.fits.get_mut(fid).expect("loaded").fit.attrs.ref_count = 0;
+        }
+        // Rebuild per-disk allocation state.
+        let mut per_disk: Vec<Vec<Extent>> = vec![Vec::new(); self.disks.len()];
+        per_disk[0].push(self.dir_extent);
+        for entry in self.fits.values() {
+            per_disk[entry.home as usize].push(Extent::new(entry.fit_frag, 1));
+            for &(d, a) in &entry.indirect_locs {
+                per_disk[d as usize].push(Extent::new(a, FRAGS_PER_BLOCK));
+            }
+            for desc in entry.fit.descriptors() {
+                per_disk[desc.disk as usize].push(desc.block_extent());
+            }
+        }
+        for (i, extents) in per_disk.into_iter().enumerate() {
+            self.disks[i].rebuild_allocation(extents);
+        }
+        Ok(())
+    }
+
+    /// The reserved directory region (fsck support).
+    pub(crate) fn directory_extent(&self) -> Extent {
+        self.dir_extent
+    }
+
+    /// Total fragments on disk `i`, if it exists (fsck support).
+    pub(crate) fn disk_total_fragments(&self, i: usize) -> Option<u64> {
+        self.disks.get(i).map(|d| d.geometry().total_sectors())
+    }
+
+    /// Loads and exposes the pieces of a file's FIT entry (fsck support).
+    pub(crate) fn fit_parts(
+        &mut self,
+        fid: FileId,
+    ) -> Result<
+        (FileIndexTable, u16, FragmentAddr, crate::fit::IndirectLocs),
+        FileServiceError,
+    > {
+        self.load_fit(fid)?;
+        let e = self.fit(fid);
+        Ok((e.fit.clone(), e.home, e.fit_frag, e.indirect_locs.clone()))
+    }
+
+    /// Descriptors of every block of `fid` (experiment support: layout
+    /// inspection without copying the whole FIT).
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::NotFound`] if the file does not exist.
+    pub fn block_descriptors(&mut self, fid: FileId) -> Result<Vec<BlockDescriptor>, FileServiceError> {
+        self.load_fit(fid)?;
+        Ok(self.fit(fid).fit.descriptors().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> FileService {
+        FileService::single_disk(
+            DiskGeometry::medium(),
+            LatencyModel::default(),
+            SimClock::new(),
+            FileServiceConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn create_open(fs: &mut FileService) -> FileId {
+        let fid = fs.create(ServiceType::Basic).unwrap();
+        fs.open(fid).unwrap();
+        fid
+    }
+
+    #[test]
+    fn write_read_round_trip_small() {
+        let mut f = fs();
+        let fid = create_open(&mut f);
+        f.write(fid, 0, b"hello world").unwrap();
+        assert_eq!(f.read(fid, 0, 11).unwrap(), b"hello world");
+        assert_eq!(f.read(fid, 6, 100).unwrap(), b"world");
+    }
+
+    #[test]
+    fn write_read_round_trip_multi_block() {
+        let mut f = fs();
+        let fid = create_open(&mut f);
+        let data: Vec<u8> = (0..3 * BLOCK_SIZE + 500).map(|i| (i % 251) as u8).collect();
+        f.write(fid, 0, &data).unwrap();
+        assert_eq!(f.read(fid, 0, data.len()).unwrap(), data);
+        // Unaligned inner read.
+        assert_eq!(
+            f.read(fid, 8000, 9000).unwrap(),
+            data[8000..17000].to_vec()
+        );
+    }
+
+    #[test]
+    fn overwrite_middle() {
+        let mut f = fs();
+        let fid = create_open(&mut f);
+        f.write(fid, 0, &vec![b'a'; 20000]).unwrap();
+        f.write(fid, 9000, b"XYZ").unwrap();
+        let out = f.read(fid, 8999, 5).unwrap();
+        assert_eq!(out, b"aXYZa");
+        assert_eq!(f.get_attribute(fid).unwrap().size, 20000);
+    }
+
+    #[test]
+    fn sparse_extension_zero_fills() {
+        let mut f = fs();
+        let fid = create_open(&mut f);
+        f.write(fid, 0, b"head").unwrap();
+        f.write(fid, 10_000, b"tail").unwrap();
+        let gap = f.read(fid, 4, 100).unwrap();
+        assert!(gap.iter().all(|&b| b == 0));
+        assert_eq!(f.read(fid, 10_000, 4).unwrap(), b"tail");
+    }
+
+    #[test]
+    fn read_past_eof_is_error_and_clamped() {
+        let mut f = fs();
+        let fid = create_open(&mut f);
+        f.write(fid, 0, b"12345").unwrap();
+        assert!(matches!(
+            f.read(fid, 6, 1),
+            Err(FileServiceError::BeyondEof { .. })
+        ));
+        assert_eq!(f.read(fid, 5, 1).unwrap(), b"");
+        assert_eq!(f.read(fid, 3, 10).unwrap(), b"45");
+    }
+
+    #[test]
+    fn unopened_file_rejects_io() {
+        let mut f = fs();
+        let fid = f.create(ServiceType::Basic).unwrap();
+        assert!(matches!(
+            f.write(fid, 0, b"x"),
+            Err(FileServiceError::NotOpen(_))
+        ));
+        assert!(matches!(f.read(fid, 0, 1), Err(FileServiceError::NotOpen(_))));
+    }
+
+    #[test]
+    fn ref_counting_and_delete_protection() {
+        let mut f = fs();
+        let fid = f.create(ServiceType::Basic).unwrap();
+        f.open(fid).unwrap();
+        f.open(fid).unwrap();
+        assert_eq!(f.get_attribute(fid).unwrap().ref_count, 2);
+        assert!(matches!(f.delete(fid), Err(FileServiceError::Busy(_))));
+        f.close(fid).unwrap();
+        f.close(fid).unwrap();
+        assert!(matches!(f.close(fid), Err(FileServiceError::NotOpen(_))));
+        f.delete(fid).unwrap();
+        assert!(!f.exists(fid));
+        assert!(matches!(f.open(fid), Err(FileServiceError::NotFound(_))));
+    }
+
+    #[test]
+    fn delete_frees_all_space() {
+        let mut f = fs();
+        let free0 = f.disk_mut(0).free_fragments();
+        let fid = create_open(&mut f);
+        f.write(fid, 0, &vec![7u8; 100 * BLOCK_SIZE]).unwrap();
+        f.close(fid).unwrap();
+        assert!(f.disk_mut(0).free_fragments() < free0);
+        f.delete(fid).unwrap();
+        assert_eq!(f.disk_mut(0).free_fragments(), free0);
+    }
+
+    #[test]
+    fn fit_contiguous_with_first_block() {
+        let mut f = fs();
+        let fid = create_open(&mut f);
+        f.write(fid, 0, b"x").unwrap();
+        let descs = f.block_descriptors(fid).unwrap();
+        let dir = f.fit_snapshot(fid).unwrap();
+        let _ = dir;
+        // First data block directly follows the FIT fragment.
+        let (_, fit_frag) = (0u16, descs[0].addr - 1);
+        assert_eq!(descs[0].addr, fit_frag + 1);
+    }
+
+    #[test]
+    fn single_write_file_is_contiguous() {
+        let mut f = fs();
+        let fid = create_open(&mut f);
+        f.write(fid, 0, &vec![1u8; 40 * BLOCK_SIZE]).unwrap();
+        let fit = f.fit_snapshot(fid).unwrap();
+        assert_eq!(fit.contiguity_ratio(), 1.0);
+        assert_eq!(fit.descriptor(0).unwrap().contig as u64, fit.block_count());
+    }
+
+    #[test]
+    fn large_file_uses_indirect_blocks_and_round_trips() {
+        let mut f = FileService::single_disk(
+            DiskGeometry::large(),
+            LatencyModel::instant(),
+            SimClock::new(),
+            FileServiceConfig::default(),
+        )
+        .unwrap();
+        let fid = create_open(&mut f);
+        // > 512 KiB: needs indirect blocks.
+        let data: Vec<u8> = (0..700 * 1024).map(|i| (i / 7 % 256) as u8).collect();
+        f.write(fid, 0, &data).unwrap();
+        f.flush_all().unwrap();
+        // Force a cold reload of the FIT.
+        f.simulate_crash();
+        f.recover().unwrap();
+        f.open(fid).unwrap();
+        assert_eq!(f.read(fid, 0, data.len()).unwrap(), data);
+        assert_eq!(f.get_attribute(fid).unwrap().size, data.len() as u64);
+    }
+
+    #[test]
+    fn data_survives_crash_after_flush() {
+        let mut f = fs();
+        let fid = create_open(&mut f);
+        f.write(fid, 0, b"persistent data").unwrap();
+        f.flush_all().unwrap();
+        f.simulate_crash();
+        f.recover().unwrap();
+        f.open(fid).unwrap();
+        assert_eq!(f.read(fid, 0, 15).unwrap(), b"persistent data");
+    }
+
+    #[test]
+    fn unflushed_delayed_writes_lost_in_crash() {
+        let mut f = fs();
+        let fid = create_open(&mut f);
+        f.write(fid, 0, &vec![b'A'; BLOCK_SIZE]).unwrap(); // sits in pool
+        f.simulate_crash();
+        f.recover().unwrap();
+        f.open(fid).unwrap();
+        let back = f.read(fid, 0, 4).unwrap();
+        // Size was persisted via the FIT, but the data block was only in
+        // the delayed-write pool: zeros come back.
+        assert_eq!(back, vec![0u8; 4]);
+    }
+
+    #[test]
+    fn write_through_survives_crash_without_flush() {
+        let mut f = FileService::single_disk(
+            DiskGeometry::medium(),
+            LatencyModel::default(),
+            SimClock::new(),
+            FileServiceConfig {
+                write_policy: WritePolicy::WriteThrough,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let fid = create_open(&mut f);
+        f.write(fid, 0, b"durable").unwrap();
+        f.simulate_crash();
+        f.recover().unwrap();
+        f.open(fid).unwrap();
+        assert_eq!(f.read(fid, 0, 7).unwrap(), b"durable");
+    }
+
+    #[test]
+    fn allocation_rebuilt_after_recovery() {
+        let mut f = fs();
+        let fid = create_open(&mut f);
+        f.write(fid, 0, &vec![5u8; 10 * BLOCK_SIZE]).unwrap();
+        f.flush_all().unwrap();
+        let free_before = f.disk_mut(0).free_fragments();
+        f.simulate_crash();
+        f.recover().unwrap();
+        assert_eq!(f.disk_mut(0).free_fragments(), free_before);
+        // New allocations do not collide with recovered files.
+        let fid2 = create_open(&mut f);
+        f.write(fid2, 0, &vec![9u8; 4 * BLOCK_SIZE]).unwrap();
+        f.open(fid).unwrap();
+        assert_eq!(f.read(fid, 0, 1).unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn striped_file_spans_disks() {
+        let mut f = FileService::striped(
+            4,
+            DiskGeometry::medium(),
+            LatencyModel::default(),
+            SimClock::new(),
+            FileServiceConfig {
+                stripe: StripePolicy::RoundRobin { chunk_blocks: 2 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let fid = create_open(&mut f);
+        let data: Vec<u8> = (0..16 * BLOCK_SIZE).map(|i| (i % 256) as u8).collect();
+        f.write(fid, 0, &data).unwrap();
+        let descs = f.block_descriptors(fid).unwrap();
+        let disks_used: std::collections::HashSet<u16> = descs.iter().map(|d| d.disk).collect();
+        assert_eq!(disks_used.len(), 4, "blocks should spread over all disks");
+        assert_eq!(f.read(fid, 0, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn shadow_block_descriptor_swing() {
+        let mut f = fs();
+        let fid = create_open(&mut f);
+        f.write(fid, 0, &vec![b'o'; BLOCK_SIZE]).unwrap();
+        f.flush_all().unwrap();
+        let (disk, addr) = f.allocate_shadow_block(fid).unwrap();
+        f.put_detached_block(disk, addr, &vec![b'n'; BLOCK_SIZE], StablePolicy::None)
+            .unwrap();
+        let (old_disk, old_addr) = f.replace_block_descriptor(fid, 0, disk, addr).unwrap();
+        f.free_detached_block(old_disk, old_addr).unwrap();
+        assert_eq!(f.read(fid, 0, 1).unwrap(), vec![b'n']);
+    }
+
+    #[test]
+    fn cache_hits_on_repeated_reads() {
+        let mut f = fs();
+        let fid = create_open(&mut f);
+        f.write(fid, 0, &vec![1u8; 4 * BLOCK_SIZE]).unwrap();
+        f.flush_all().unwrap();
+        let _ = f.read(fid, 0, 4 * BLOCK_SIZE).unwrap();
+        let refs_before = f.stats().total_disk_refs();
+        for _ in 0..5 {
+            let _ = f.read(fid, 0, 4 * BLOCK_SIZE).unwrap();
+        }
+        assert_eq!(f.stats().total_disk_refs(), refs_before);
+        assert!(f.stats().cache.hits > 0);
+    }
+
+    #[test]
+    fn fragment_pool_evicts_and_reloads_fits_safely() {
+        let mut f = FileService::single_disk(
+            DiskGeometry::medium(),
+            LatencyModel::instant(),
+            SimClock::new(),
+            FileServiceConfig {
+                fit_pool_entries: 2, // tiny fragment pool
+                cache_blocks: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // More files than the pool holds, each with a dirty cached block.
+        let fids: Vec<FileId> = (0..6)
+            .map(|i| {
+                let fid = f.create(ServiceType::Basic).unwrap();
+                f.open(fid).unwrap();
+                f.write(fid, 0, &[i as u8 + 1; 100]).unwrap();
+                fid
+            })
+            .collect();
+        // Flush pushes dirty blocks of files whose FITs were evicted.
+        f.flush_all().unwrap();
+        for (i, fid) in fids.iter().enumerate() {
+            assert_eq!(
+                f.read(*fid, 0, 1).unwrap(),
+                vec![i as u8 + 1],
+                "file {i} lost its delayed write"
+            );
+        }
+        let stats = f.stats();
+        assert!(
+            stats.fit_loads > 6,
+            "evictions must force FIT reloads ({} loads)",
+            stats.fit_loads
+        );
+        // And everything stays structurally consistent.
+        let report = f.fsck().unwrap();
+        assert!(report.is_clean(), "{:?}", report.issues);
+    }
+
+    #[test]
+    fn file_under_half_mb_needs_at_most_two_data_references() {
+        // The paper's headline claim (E3): FIT + one contiguous data run.
+        let mut f = FileService::single_disk(
+            DiskGeometry::large(),
+            LatencyModel::default(),
+            SimClock::new(),
+            FileServiceConfig {
+                cache_blocks: 0, // count raw references
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let fid = create_open(&mut f);
+        let data = vec![3u8; 512 * 1024]; // exactly half a megabyte
+        f.write(fid, 0, &data).unwrap();
+        // Cold service: drop volatile state, reload from disk.
+        f.simulate_crash();
+        f.recover().unwrap();
+        f.open(fid).unwrap();
+        let before = f.stats().disks[0].disk.read_ops;
+        let back = f.read(fid, 0, data.len()).unwrap();
+        let refs = f.stats().disks[0].disk.read_ops - before;
+        assert_eq!(back.len(), data.len());
+        // recover() already loaded the FIT, so reading the data takes one
+        // reference; FIT load itself was one more.
+        assert!(refs <= 2, "took {refs} disk references");
+    }
+}

@@ -1,0 +1,85 @@
+//! Placement of file blocks across the disks of a file service.
+//!
+//! "From the design point of view, there is practically no limitation on
+//! the number of disks ... a file can be partitioned and therefore its
+//! contents can reside on more than one disk. Thus, the size of a file can
+//! be as large as the total space available on all the disks." (§7)
+
+/// How new blocks are spread over the available disks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StripePolicy {
+    /// Keep each file on a single disk (chosen by most free space at
+    /// creation); falls back to other disks only when that disk fills.
+    /// Maximises contiguity.
+    #[default]
+    SingleDisk,
+    /// Round-robin runs of `chunk_blocks` blocks across all disks.
+    /// Maximises parallel transfer bandwidth (experiment E13).
+    RoundRobin {
+        /// Blocks written to one disk before moving to the next.
+        chunk_blocks: u64,
+    },
+}
+
+impl StripePolicy {
+    /// The disk that should receive the run beginning at logical block
+    /// `block_index`, given `ndisks` disks and the file's `home` disk.
+    pub fn disk_for_block(&self, block_index: u64, ndisks: usize, home: usize) -> usize {
+        match self {
+            StripePolicy::SingleDisk => home,
+            StripePolicy::RoundRobin { chunk_blocks } => {
+                let chunk = (block_index / chunk_blocks.max(&1)) as usize;
+                (home + chunk) % ndisks
+            }
+        }
+    }
+
+    /// Largest number of blocks, starting at `block_index`, that this
+    /// policy keeps on one disk (the natural run length for an append).
+    pub fn run_limit(&self, block_index: u64) -> u64 {
+        match self {
+            StripePolicy::SingleDisk => u64::MAX,
+            StripePolicy::RoundRobin { chunk_blocks } => {
+                let c = (*chunk_blocks).max(1);
+                c - (block_index % c)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_disk_sticks_to_home() {
+        let p = StripePolicy::SingleDisk;
+        for i in 0..10 {
+            assert_eq!(p.disk_for_block(i, 4, 2), 2);
+        }
+        assert_eq!(p.run_limit(5), u64::MAX);
+    }
+
+    #[test]
+    fn round_robin_cycles_through_disks() {
+        let p = StripePolicy::RoundRobin { chunk_blocks: 2 };
+        let disks: Vec<usize> = (0..8).map(|i| p.disk_for_block(i, 3, 0)).collect();
+        assert_eq!(disks, vec![0, 0, 1, 1, 2, 2, 0, 0]);
+    }
+
+    #[test]
+    fn run_limit_respects_chunk_boundaries() {
+        let p = StripePolicy::RoundRobin { chunk_blocks: 4 };
+        assert_eq!(p.run_limit(0), 4);
+        assert_eq!(p.run_limit(3), 1);
+        assert_eq!(p.run_limit(4), 4);
+    }
+
+    #[test]
+    fn zero_chunk_treated_as_one() {
+        let p = StripePolicy::RoundRobin { chunk_blocks: 0 };
+        assert_eq!(p.run_limit(7), 1);
+        // Must not divide by zero.
+        let _ = p.disk_for_block(7, 2, 0);
+    }
+}

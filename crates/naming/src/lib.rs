@@ -1,0 +1,490 @@
+//! # rhodos-naming — the RHODOS naming / directory service
+//!
+//! "Processes in the RHODOS system use the attributed names of these
+//! devices, TTY objects, and files, FILE objects. ... the process of
+//! evaluation and resolution of an attributed name of a device or file to
+//! its system name is performed by the RHODOS naming service." (§3)
+//!
+//! An [`AttributedName`] is a set of `key=value` attributes (for
+//! convenience a plain `/path/like/this` is sugar for `path=/path/like/this`).
+//! The service resolves a *query* (a subset of attributes) to the unique
+//! [`SystemName`] whose registered attributes contain the query; ambiguous
+//! or empty resolutions are errors that name their cause. Resolutions are
+//! cached ("it provides caching at each level", §2.2).
+//!
+//! # Example
+//!
+//! ```
+//! use rhodos_naming::{AttributedName, NamingService, SystemName};
+//!
+//! # fn main() -> Result<(), rhodos_naming::NamingError> {
+//! let mut ns = NamingService::new();
+//! ns.register(
+//!     AttributedName::parse("name=payroll,type=db,owner=alice")?,
+//!     SystemName::file(0, 42),
+//! )?;
+//! let got = ns.resolve(&AttributedName::parse("name=payroll")?)?;
+//! assert_eq!(got, SystemName::file(0, 42));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A system name: the internal identifier agents and services use once the
+/// naming service has resolved an attributed name (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SystemName {
+    /// A FILE object: file `fid` managed by file server `server`.
+    File {
+        /// File-server number.
+        server: u32,
+        /// System-wide file identifier on that server.
+        fid: u64,
+    },
+    /// A TTY (device) object on a machine.
+    Device {
+        /// Machine hosting the device.
+        machine: u32,
+        /// Device number on that machine.
+        dev: u32,
+    },
+}
+
+impl SystemName {
+    /// Convenience constructor for a file system name.
+    pub fn file(server: u32, fid: u64) -> Self {
+        SystemName::File { server, fid }
+    }
+
+    /// Convenience constructor for a device system name.
+    pub fn device(machine: u32, dev: u32) -> Self {
+        SystemName::Device { machine, dev }
+    }
+}
+
+impl fmt::Display for SystemName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemName::File { server, fid } => write!(f, "file:{server}/{fid}"),
+            SystemName::Device { machine, dev } => write!(f, "dev:{machine}/{dev}"),
+        }
+    }
+}
+
+/// A set of `key=value` attributes naming an object.
+///
+/// Ordering of attributes is irrelevant; keys are unique. The canonical
+/// textual form is `key=value` pairs joined by commas, keys sorted.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttributedName {
+    attrs: BTreeMap<String, String>,
+}
+
+impl AttributedName {
+    /// An empty name (matches everything as a query).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses `key=value,key=value`; a bare token `tok` (no `=`) is sugar
+    /// for `path=tok`, so `/etc/passwd` works as a name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NamingError::BadName`] on empty keys or duplicate keys.
+    pub fn parse(s: &str) -> Result<Self, NamingError> {
+        let mut attrs = BTreeMap::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (k, v) = match part.split_once('=') {
+                Some((k, v)) => (k.trim(), v.trim()),
+                None => ("path", part),
+            };
+            if k.is_empty() {
+                return Err(NamingError::BadName(s.to_string()));
+            }
+            if attrs.insert(k.to_string(), v.to_string()).is_some() {
+                return Err(NamingError::BadName(s.to_string()));
+            }
+        }
+        Ok(Self { attrs })
+    }
+
+    /// Adds or replaces an attribute, returning `self` for chaining.
+    pub fn with(mut self, key: &str, value: &str) -> Self {
+        self.attrs.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.attrs.get(key).map(String::as_str)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the name has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Whether every attribute of `query` appears with the same value in
+    /// `self` — the resolution predicate.
+    pub fn matches(&self, query: &AttributedName) -> bool {
+        query
+            .attrs
+            .iter()
+            .all(|(k, v)| self.attrs.get(k) == Some(v))
+    }
+}
+
+impl fmt::Display for AttributedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, v) in &self.attrs {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{k}={v}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "<empty>")?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors returned by the naming service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NamingError {
+    /// The textual name could not be parsed.
+    BadName(String),
+    /// No registered object matches the query.
+    NotFound(String),
+    /// More than one registered object matches the query.
+    Ambiguous {
+        /// The query.
+        query: String,
+        /// How many objects matched.
+        matches: usize,
+    },
+    /// An object with exactly these attributes is already registered.
+    AlreadyRegistered(String),
+}
+
+impl fmt::Display for NamingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NamingError::BadName(s) => write!(f, "malformed attributed name: {s:?}"),
+            NamingError::NotFound(q) => write!(f, "no object matches {q}"),
+            NamingError::Ambiguous { query, matches } => {
+                write!(f, "{matches} objects match {query}")
+            }
+            NamingError::AlreadyRegistered(n) => write!(f, "{n} is already registered"),
+        }
+    }
+}
+
+impl Error for NamingError {}
+
+/// Cache statistics of the naming service.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NamingStats {
+    /// Resolutions served from the cache.
+    pub cache_hits: u64,
+    /// Resolutions that scanned the registry.
+    pub cache_misses: u64,
+    /// Names currently registered.
+    pub registered: u64,
+}
+
+/// The naming service: a registry of attributed names with a resolution
+/// cache.
+#[derive(Debug, Default)]
+pub struct NamingService {
+    registry: Vec<(AttributedName, SystemName)>,
+    cache: BTreeMap<AttributedName, SystemName>,
+    hits: u64,
+    misses: u64,
+}
+
+impl NamingService {
+    /// Creates an empty naming service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `name` for `target`.
+    ///
+    /// # Errors
+    ///
+    /// [`NamingError::AlreadyRegistered`] if an object is already
+    /// registered under exactly these attributes.
+    pub fn register(
+        &mut self,
+        name: AttributedName,
+        target: SystemName,
+    ) -> Result<(), NamingError> {
+        if self.registry.iter().any(|(n, _)| *n == name) {
+            return Err(NamingError::AlreadyRegistered(name.to_string()));
+        }
+        self.cache.clear(); // a new object can change query outcomes
+        self.registry.push((name, target));
+        Ok(())
+    }
+
+    /// Removes the object registered under exactly `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`NamingError::NotFound`] if nothing is registered under it.
+    pub fn unregister(&mut self, name: &AttributedName) -> Result<SystemName, NamingError> {
+        let idx = self
+            .registry
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or_else(|| NamingError::NotFound(name.to_string()))?;
+        self.cache.clear();
+        Ok(self.registry.remove(idx).1)
+    }
+
+    /// Resolves a query to the unique matching system name.
+    ///
+    /// # Errors
+    ///
+    /// [`NamingError::NotFound`] when nothing matches,
+    /// [`NamingError::Ambiguous`] when several objects match.
+    pub fn resolve(&mut self, query: &AttributedName) -> Result<SystemName, NamingError> {
+        if let Some(hit) = self.cache.get(query) {
+            self.hits += 1;
+            return Ok(*hit);
+        }
+        self.misses += 1;
+        let mut matches = self.registry.iter().filter(|(n, _)| n.matches(query));
+        let first = matches.next();
+        let second = matches.next();
+        match (first, second) {
+            (None, _) => Err(NamingError::NotFound(query.to_string())),
+            (Some((_, target)), None) => {
+                self.cache.insert(query.clone(), *target);
+                Ok(*target)
+            }
+            (Some(_), Some(_)) => {
+                let count = self
+                    .registry
+                    .iter()
+                    .filter(|(n, _)| n.matches(query))
+                    .count();
+                Err(NamingError::Ambiguous {
+                    query: query.to_string(),
+                    matches: count,
+                })
+            }
+        }
+    }
+
+    /// All `(name, target)` pairs matching the query (directory listing).
+    pub fn list(&self, query: &AttributedName) -> Vec<(AttributedName, SystemName)> {
+        self.registry
+            .iter()
+            .filter(|(n, _)| n.matches(query))
+            .cloned()
+            .collect()
+    }
+
+    // ---- directory-style helpers (Figure 1's "NAMING / DIRECTORY
+    // SERVICE"): hierarchical paths are sugar over the `path` attribute.
+
+    /// Registers `target` under a hierarchical path (sugar for the
+    /// `path=...` attribute).
+    ///
+    /// # Errors
+    ///
+    /// [`NamingError::BadName`] for an empty path;
+    /// [`NamingError::AlreadyRegistered`] on collision.
+    pub fn register_path(&mut self, path: &str, target: SystemName) -> Result<(), NamingError> {
+        if path.is_empty() {
+            return Err(NamingError::BadName(path.to_string()));
+        }
+        self.register(AttributedName::new().with("path", path), target)
+    }
+
+    /// Resolves a hierarchical path registered with
+    /// [`Self::register_path`].
+    ///
+    /// # Errors
+    ///
+    /// [`NamingError::NotFound`] / [`NamingError::Ambiguous`].
+    pub fn resolve_path(&mut self, path: &str) -> Result<SystemName, NamingError> {
+        self.resolve(&AttributedName::new().with("path", path))
+    }
+
+    /// Directory listing: the immediate children of `dir` among all
+    /// registered paths, with their system names (`None` for intermediate
+    /// directories that are not themselves registered).
+    pub fn list_dir(&self, dir: &str) -> Vec<(String, Option<SystemName>)> {
+        let prefix = if dir.ends_with('/') {
+            dir.to_string()
+        } else {
+            format!("{dir}/")
+        };
+        let mut out: Vec<(String, Option<SystemName>)> = Vec::new();
+        for (name, target) in &self.registry {
+            let Some(path) = name.get("path") else { continue };
+            let Some(rest) = path.strip_prefix(&prefix) else { continue };
+            if rest.is_empty() {
+                continue;
+            }
+            match rest.split_once('/') {
+                // Direct child file/object.
+                None => out.push((rest.to_string(), Some(*target))),
+                // Deeper entry: surface the intermediate directory once.
+                Some((child, _)) => {
+                    if !out.iter().any(|(n, t)| n == child && t.is_none()) {
+                        out.push((child.to_string(), None));
+                    }
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> NamingStats {
+        NamingStats {
+            cache_hits: self.hits,
+            cache_misses: self.misses,
+            registered: self.registry.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> AttributedName {
+        AttributedName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_forms() {
+        let n = name("name=a, type=db");
+        assert_eq!(n.get("name"), Some("a"));
+        assert_eq!(n.get("type"), Some("db"));
+        let p = name("/etc/passwd");
+        assert_eq!(p.get("path"), Some("/etc/passwd"));
+    }
+
+    #[test]
+    fn parse_rejects_duplicates_and_empty_keys() {
+        assert!(AttributedName::parse("a=1,a=2").is_err());
+        assert!(AttributedName::parse("=1").is_err());
+    }
+
+    #[test]
+    fn resolve_by_subset() {
+        let mut ns = NamingService::new();
+        ns.register(name("name=a,owner=bob"), SystemName::file(0, 1)).unwrap();
+        ns.register(name("name=b,owner=bob"), SystemName::file(0, 2)).unwrap();
+        assert_eq!(ns.resolve(&name("name=a")).unwrap(), SystemName::file(0, 1));
+        assert!(matches!(
+            ns.resolve(&name("owner=bob")),
+            Err(NamingError::Ambiguous { matches: 2, .. })
+        ));
+        assert!(matches!(
+            ns.resolve(&name("name=zz")),
+            Err(NamingError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn cache_hits_and_invalidation() {
+        let mut ns = NamingService::new();
+        ns.register(name("name=a"), SystemName::file(0, 1)).unwrap();
+        ns.resolve(&name("name=a")).unwrap();
+        ns.resolve(&name("name=a")).unwrap();
+        assert_eq!(ns.stats().cache_hits, 1);
+        // Registering a conflicting object invalidates the cache and makes
+        // the query ambiguous.
+        ns.register(name("name=a,version=2"), SystemName::file(0, 2)).unwrap();
+        assert!(ns.resolve(&name("name=a")).is_err());
+    }
+
+    #[test]
+    fn unregister_round_trip() {
+        let mut ns = NamingService::new();
+        ns.register(name("name=a"), SystemName::device(1, 2)).unwrap();
+        assert_eq!(ns.unregister(&name("name=a")).unwrap(), SystemName::device(1, 2));
+        assert!(ns.unregister(&name("name=a")).is_err());
+        assert!(ns.resolve(&name("name=a")).is_err());
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut ns = NamingService::new();
+        ns.register(name("name=a"), SystemName::file(0, 1)).unwrap();
+        assert!(matches!(
+            ns.register(name("name=a"), SystemName::file(0, 9)),
+            Err(NamingError::AlreadyRegistered(_))
+        ));
+    }
+
+    #[test]
+    fn listing_is_a_directory() {
+        let mut ns = NamingService::new();
+        ns.register(name("path=/u/a,owner=x"), SystemName::file(0, 1)).unwrap();
+        ns.register(name("path=/u/b,owner=x"), SystemName::file(0, 2)).unwrap();
+        ns.register(name("path=/v/c,owner=y"), SystemName::file(0, 3)).unwrap();
+        assert_eq!(ns.list(&name("owner=x")).len(), 2);
+        assert_eq!(ns.list(&AttributedName::new()).len(), 3);
+    }
+
+    #[test]
+    fn path_registration_and_listing() {
+        let mut ns = NamingService::new();
+        ns.register_path("/u/alice/notes.txt", SystemName::file(0, 1)).unwrap();
+        ns.register_path("/u/alice/todo.txt", SystemName::file(0, 2)).unwrap();
+        ns.register_path("/u/bob/report.doc", SystemName::file(1, 3)).unwrap();
+        assert_eq!(ns.resolve_path("/u/alice/todo.txt").unwrap(), SystemName::file(0, 2));
+        // Listing /u shows the two user directories (not registered
+        // themselves → no system name).
+        assert_eq!(
+            ns.list_dir("/u"),
+            vec![("alice".to_string(), None), ("bob".to_string(), None)]
+        );
+        // Listing a user directory shows the files with their targets.
+        assert_eq!(
+            ns.list_dir("/u/alice"),
+            vec![
+                ("notes.txt".to_string(), Some(SystemName::file(0, 1))),
+                ("todo.txt".to_string(), Some(SystemName::file(0, 2))),
+            ]
+        );
+        assert!(ns.list_dir("/v").is_empty());
+        assert!(ns.register_path("", SystemName::file(0, 9)).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SystemName::file(1, 2).to_string(), "file:1/2");
+        assert_eq!(name("b=2,a=1").to_string(), "a=1,b=2");
+        assert_eq!(AttributedName::new().to_string(), "<empty>");
+    }
+}

@@ -1,0 +1,507 @@
+//! # rhodos-net — simulated network and idempotent RPC
+//!
+//! The RHODOS facility is client–server: agents on each machine talk to
+//! the file, transaction and naming services by message passing. The paper
+//! claims that "certain errors caused by computer failures and
+//! communication delays may lead to repeated execution of some operations.
+//! However, their repetition in RHODOS does not produce any uncertain
+//! effect. This is because the semantics of the messages exchanged ...
+//! constitute idempotent operations. Due to idempotent file operations, a
+//! file agent maintains both the state of files ... and the information
+//! about all past requests. As a consequence, the RHODOS file service is
+//! 'nearly' stateless." (§3)
+//!
+//! This crate substitutes the RHODOS microkernel transport with a
+//! deterministic lossy channel ([`SimNetwork`]) and provides the two
+//! halves of the idempotency machinery:
+//!
+//! * [`RpcClient`] — stamps each logical operation with a request id and
+//!   retries until a reply arrives;
+//! * [`ReplayCache`] — the server side's "information about all past
+//!   requests": executes an operation at most once per request id and
+//!   replays the recorded reply for duplicates.
+//!
+//! Experiment **E9** drives file operations through this machinery with
+//! duplication and loss enabled and checks that effects are exactly-once.
+//!
+//! # Example
+//!
+//! ```
+//! use rhodos_net::{NetConfig, ReplayCache, RpcClient, SimNetwork};
+//! use rhodos_simdisk::SimClock;
+//!
+//! let mut net = SimNetwork::new(SimClock::new(), NetConfig::lossy(0.3, 0.3, 7));
+//! let mut client = RpcClient::new(1);
+//! let mut cache = ReplayCache::new();
+//! let mut counter = 0u32; // server-side effect
+//!
+//! let reply = client
+//!     .call(&mut net, |req_id| {
+//!         cache.execute(req_id, || {
+//!             counter += 1; // must happen exactly once
+//!             counter.to_le_bytes().to_vec()
+//!         })
+//!     })
+//!     .unwrap();
+//! assert_eq!(counter, 1);
+//! assert_eq!(reply, 1u32.to_le_bytes().to_vec());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rhodos_simdisk::SimClock;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Behaviour of the simulated network.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Base one-way delay, virtual microseconds.
+    pub delay_us: u64,
+    /// Uniform extra jitter added to each transmission, microseconds.
+    pub jitter_us: u64,
+    /// Probability a transmission is lost entirely.
+    pub drop_prob: f64,
+    /// Probability a delivered transmission arrives twice.
+    pub duplicate_prob: f64,
+    /// RNG seed — simulations are deterministic per seed.
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            delay_us: 500,
+            jitter_us: 100,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl NetConfig {
+    /// A reliable network (no loss, no duplication).
+    pub fn reliable() -> Self {
+        Self::default()
+    }
+
+    /// A faulty network with the given loss and duplication probabilities.
+    pub fn lossy(drop_prob: f64, duplicate_prob: f64, seed: u64) -> Self {
+        Self {
+            drop_prob,
+            duplicate_prob,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// The fate of one transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Arrived; `copies` is 1, or 2 when duplicated.
+    Delivered {
+        /// Number of copies that arrived.
+        copies: u32,
+    },
+    /// Lost in transit.
+    Lost,
+}
+
+/// Counters of network behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Transmissions attempted.
+    pub sent: u64,
+    /// Transmissions lost.
+    pub lost: u64,
+    /// Extra duplicate copies created.
+    pub duplicated: u64,
+    /// Total virtual time spent in transit.
+    pub transit_us: u64,
+}
+
+/// A deterministic lossy channel that advances the shared virtual clock
+/// for every transmission.
+#[derive(Debug)]
+pub struct SimNetwork {
+    clock: SimClock,
+    config: NetConfig,
+    rng: StdRng,
+    stats: NetStats,
+}
+
+impl SimNetwork {
+    /// Creates a network over the shared clock.
+    pub fn new(clock: SimClock, config: NetConfig) -> Self {
+        Self {
+            clock,
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// Sends one message, advancing the clock by its transit time (or the
+    /// timeout-equivalent delay when it is lost).
+    pub fn transmit(&mut self) -> Delivery {
+        self.stats.sent += 1;
+        let jitter = if self.config.jitter_us > 0 {
+            self.rng.gen_range(0..=self.config.jitter_us)
+        } else {
+            0
+        };
+        let cost = self.config.delay_us + jitter;
+        self.clock.advance(cost);
+        self.stats.transit_us += cost;
+        if self.rng.gen_bool(self.config.drop_prob.clamp(0.0, 1.0)) {
+            self.stats.lost += 1;
+            return Delivery::Lost;
+        }
+        let copies = if self.rng.gen_bool(self.config.duplicate_prob.clamp(0.0, 1.0)) {
+            self.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        Delivery::Delivered { copies }
+    }
+}
+
+/// Error returned when every retry of an RPC was lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcExhausted {
+    /// Attempts made (original + retries).
+    pub attempts: u32,
+}
+
+impl fmt::Display for RpcExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rpc failed after {} attempts", self.attempts)
+    }
+}
+
+impl Error for RpcExhausted {}
+
+/// Client half of the idempotent RPC machinery: stamps request ids and
+/// retries lost exchanges.
+#[derive(Debug)]
+pub struct RpcClient {
+    client_id: u64,
+    next_seq: u64,
+    /// Attempts per call before giving up (original + retries).
+    pub max_attempts: u32,
+}
+
+impl RpcClient {
+    /// Creates a client with identity `client_id` (part of the request-id
+    /// space so ids never collide across clients).
+    pub fn new(client_id: u64) -> Self {
+        Self {
+            client_id,
+            next_seq: 1,
+            max_attempts: 16,
+        }
+    }
+
+    /// Performs one logical operation through `net`. The `server` closure
+    /// is invoked once per *arriving copy* of the request with the request
+    /// id; it must return the reply bytes (typically via
+    /// [`ReplayCache::execute`]). Returns the reply, retrying while
+    /// requests or replies are lost.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcExhausted`] if `max_attempts` exchanges were all lost.
+    pub fn call<F>(&mut self, net: &mut SimNetwork, mut server: F) -> Result<Vec<u8>, RpcExhausted>
+    where
+        F: FnMut(RequestId) -> Vec<u8>,
+    {
+        let req_id = RequestId {
+            client: self.client_id,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        for attempt in 1..=self.max_attempts {
+            // Request leg.
+            let copies = match net.transmit() {
+                Delivery::Delivered { copies } => copies,
+                Delivery::Lost => continue,
+            };
+            let mut reply = Vec::new();
+            for _ in 0..copies {
+                reply = server(req_id);
+            }
+            // Reply leg.
+            match net.transmit() {
+                Delivery::Delivered { .. } => return Ok(reply),
+                Delivery::Lost => {
+                    let _ = attempt;
+                    continue;
+                }
+            }
+        }
+        Err(RpcExhausted {
+            attempts: self.max_attempts,
+        })
+    }
+}
+
+/// Identity of one logical request: client × sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId {
+    /// Issuing client.
+    pub client: u64,
+    /// Per-client sequence number.
+    pub seq: u64,
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req:{}:{}", self.client, self.seq)
+    }
+}
+
+/// Statistics of a replay cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Operations actually executed.
+    pub executed: u64,
+    /// Duplicate requests answered from the cache.
+    pub replayed: u64,
+}
+
+/// Server half of the idempotency machinery: "information about all past
+/// requests". An operation runs at most once per [`RequestId`]; duplicate
+/// arrivals get the recorded reply.
+#[derive(Debug, Default)]
+pub struct ReplayCache {
+    replies: HashMap<RequestId, Vec<u8>>,
+    stats: ReplayStats,
+}
+
+impl ReplayCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Executes `op` for `req_id` unless a reply is already recorded, in
+    /// which case the recorded reply is returned and `op` is not run.
+    pub fn execute<F>(&mut self, req_id: RequestId, op: F) -> Vec<u8>
+    where
+        F: FnOnce() -> Vec<u8>,
+    {
+        if let Some(hit) = self.replies.get(&req_id) {
+            self.stats.replayed += 1;
+            return hit.clone();
+        }
+        self.stats.executed += 1;
+        let reply = op();
+        self.replies.insert(req_id, reply.clone());
+        reply
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ReplayStats {
+        self.stats
+    }
+
+    /// Number of recorded replies ("nearly stateless": this, plus nothing
+    /// else, is what the server remembers about clients).
+    pub fn len(&self) -> usize {
+        self.replies.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.replies.is_empty()
+    }
+
+    /// Forgets requests older than `min_seq` for `client` (the agent tells
+    /// the server how far it has advanced, bounding server state).
+    pub fn prune(&mut self, client: u64, min_seq: u64) {
+        self.replies
+            .retain(|id, _| id.client != client || id.seq >= min_seq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(drop: f64, dup: f64, seed: u64) -> SimNetwork {
+        SimNetwork::new(SimClock::new(), NetConfig::lossy(drop, dup, seed))
+    }
+
+    #[test]
+    fn reliable_network_delivers_once() {
+        let mut n = SimNetwork::new(SimClock::new(), NetConfig::reliable());
+        for _ in 0..100 {
+            assert_eq!(n.transmit(), Delivery::Delivered { copies: 1 });
+        }
+        assert_eq!(n.stats().lost, 0);
+        assert!(n.clock().now_us() > 0);
+    }
+
+    #[test]
+    fn lossy_network_loses_and_duplicates() {
+        let mut n = net(0.3, 0.3, 42);
+        for _ in 0..500 {
+            n.transmit();
+        }
+        let s = n.stats();
+        assert!(s.lost > 50, "lost {}", s.lost);
+        assert!(s.duplicated > 50, "dup {}", s.duplicated);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = net(0.2, 0.2, 9);
+        let mut b = net(0.2, 0.2, 9);
+        for _ in 0..100 {
+            assert_eq!(a.transmit(), b.transmit());
+        }
+    }
+
+    #[test]
+    fn rpc_executes_exactly_once_under_faults() {
+        for seed in 0..20 {
+            let mut n = net(0.3, 0.4, seed);
+            let mut client = RpcClient::new(7);
+            let mut cache = ReplayCache::new();
+            let mut counter = 0u64;
+            for i in 0..50u64 {
+                let reply = client
+                    .call(&mut n, |rid| {
+                        cache.execute(rid, || {
+                            counter += 1;
+                            counter.to_le_bytes().to_vec()
+                        })
+                    })
+                    .expect("attempts exhausted");
+                assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), i + 1);
+            }
+            assert_eq!(counter, 50, "seed {seed}: non-idempotent execution");
+            assert!(cache.stats().replayed + cache.stats().executed >= 50);
+        }
+    }
+
+    #[test]
+    fn without_replay_cache_duplicates_corrupt_state() {
+        // The baseline of experiment E9: a non-idempotent server.
+        let mut n = net(0.3, 0.4, 3);
+        let mut client = RpcClient::new(7);
+        let mut counter = 0u64;
+        for _ in 0..50u64 {
+            let _ = client.call(&mut n, |_| {
+                counter += 1; // executed once per arriving copy & retry
+                counter.to_le_bytes().to_vec()
+            });
+        }
+        assert!(counter > 50, "faults should over-execute the baseline");
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let mut n = net(1.0, 0.0, 0); // everything lost
+        let mut client = RpcClient::new(1);
+        client.max_attempts = 3;
+        let err = client.call(&mut n, |_| Vec::new()).unwrap_err();
+        assert_eq!(err.attempts, 3);
+    }
+
+    #[test]
+    fn prune_bounds_server_state() {
+        let mut cache = ReplayCache::new();
+        for seq in 1..=10 {
+            cache.execute(RequestId { client: 1, seq }, Vec::new);
+        }
+        cache.execute(RequestId { client: 2, seq: 1 }, Vec::new);
+        cache.prune(1, 9);
+        assert_eq!(cache.len(), 3); // client 1: seqs 9,10; client 2: 1
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn request_id_display() {
+        let id = RequestId { client: 3, seq: 9 };
+        assert_eq!(id.to_string(), "req:3:9");
+    }
+
+    #[test]
+    fn transit_time_accumulates_on_the_shared_clock() {
+        let clock = SimClock::new();
+        let mut n = SimNetwork::new(clock.clone(), NetConfig::reliable());
+        for _ in 0..10 {
+            n.transmit();
+        }
+        assert_eq!(n.stats().transit_us, clock.now_us());
+        assert!(clock.now_us() >= 10 * 500);
+    }
+
+    #[test]
+    fn zero_jitter_network_is_constant_latency() {
+        let cfg = NetConfig {
+            delay_us: 250,
+            jitter_us: 0,
+            ..NetConfig::reliable()
+        };
+        let clock = SimClock::new();
+        let mut n = SimNetwork::new(clock.clone(), cfg);
+        n.transmit();
+        assert_eq!(clock.now_us(), 250);
+        n.transmit();
+        assert_eq!(clock.now_us(), 500);
+    }
+
+    #[test]
+    fn replay_cache_is_empty_then_not() {
+        let mut c = ReplayCache::new();
+        assert!(c.is_empty());
+        c.execute(RequestId { client: 1, seq: 1 }, || vec![1]);
+        assert!(!c.is_empty());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_arrivals_within_one_call_are_suppressed() {
+        // duplicate_prob = 1.0: every delivery arrives twice; the replay
+        // cache must still execute once per logical call.
+        let mut n = SimNetwork::new(SimClock::new(), NetConfig::lossy(0.0, 1.0, 4));
+        let mut client = RpcClient::new(2);
+        let mut cache = ReplayCache::new();
+        let mut count = 0u32;
+        for _ in 0..20 {
+            client
+                .call(&mut n, |rid| {
+                    cache.execute(rid, || {
+                        count += 1;
+                        vec![]
+                    })
+                })
+                .unwrap();
+        }
+        assert_eq!(count, 20);
+        assert_eq!(cache.stats().replayed, 20, "each duplicate replayed");
+    }
+}

@@ -1,0 +1,608 @@
+//! # rhodos-replication — the RHODOS replication service
+//!
+//! The design goals require that the facility "must have the provision to
+//! support the concept of file replication" (§2.1), and the architecture
+//! of Figure 1 places a replication service above the file service.
+//!
+//! This crate implements primary-copy replication over a set of
+//! [`FileService`] replicas (each standing for a file server on a
+//! different machine):
+//!
+//! * **write-all** — mutations are applied to every live replica;
+//! * **read-one** — reads are served by one replica (round-robin across
+//!   live replicas for load spreading), failing over transparently when a
+//!   replica faults;
+//! * **resynchronisation** — a repaired replica is rebuilt from the
+//!   primary before rejoining.
+//!
+//! File identifiers are allocated in lock-step on every replica, so one
+//! [`FileId`] is valid cluster-wide.
+//!
+//! # Example
+//!
+//! ```
+//! use rhodos_replication::{ReplicatedFiles, ReplicationConfig};
+//! use rhodos_file_service::{FileService, FileServiceConfig, ServiceType};
+//! use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let clock = SimClock::new();
+//! let mk = || FileService::single_disk(
+//!     DiskGeometry::medium(), LatencyModel::default(), clock.clone(),
+//!     FileServiceConfig::default(),
+//! ).unwrap();
+//! let mut rf = ReplicatedFiles::new(vec![mk(), mk(), mk()], ReplicationConfig::default());
+//! let fid = rf.create(ServiceType::Basic)?;
+//! rf.open(fid)?;
+//! rf.write(fid, 0, b"three copies")?;
+//! assert_eq!(rf.read(fid, 0, 12)?, b"three copies");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rhodos_file_service::{
+    FileAttributes, FileId, FileService, FileServiceError, ServiceType,
+};
+use std::collections::HashSet;
+
+/// Tunables of the replication service.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicationConfig {
+    /// Spread reads round-robin over live replicas (false: always the
+    /// lowest-numbered live replica).
+    pub read_round_robin: bool,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        Self {
+            read_round_robin: true,
+        }
+    }
+}
+
+/// Counters of replication behaviour.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Reads served per replica.
+    pub reads_per_replica: Vec<u64>,
+    /// Read failovers (a replica faulted mid-read).
+    pub failovers: u64,
+    /// Replicas resynchronised.
+    pub resyncs: u64,
+    /// Writes suppressed because a replica was marked failed.
+    pub writes_skipped: u64,
+}
+
+/// Errors returned by the replication service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReplicationError {
+    /// Every replica failed the operation.
+    AllReplicasFailed(FileId),
+    /// The replica index is out of range.
+    NoSuchReplica(usize),
+    /// Replica file-id allocation diverged (internal invariant violated).
+    Diverged,
+    /// Underlying file-service failure (from the last replica tried).
+    File(FileServiceError),
+}
+
+impl std::fmt::Display for ReplicationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicationError::AllReplicasFailed(fid) => {
+                write!(f, "every replica failed operating on {fid}")
+            }
+            ReplicationError::NoSuchReplica(i) => write!(f, "no replica {i}"),
+            ReplicationError::Diverged => write!(f, "replica state diverged"),
+            ReplicationError::File(e) => write!(f, "file service failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplicationError::File(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FileServiceError> for ReplicationError {
+    fn from(e: FileServiceError) -> Self {
+        ReplicationError::File(e)
+    }
+}
+
+/// Primary-copy replicated files over N file services.
+#[derive(Debug)]
+pub struct ReplicatedFiles {
+    replicas: Vec<FileService>,
+    failed: Vec<bool>,
+    next_read: usize,
+    config: ReplicationConfig,
+    stats: ReplicationStats,
+    /// Logical open counts, restored onto a replica after resync (a
+    /// recovered replica loses its volatile reference counts).
+    open_counts: std::collections::HashMap<FileId, u32>,
+}
+
+impl ReplicatedFiles {
+    /// Creates the service over freshly formatted replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    pub fn new(replicas: Vec<FileService>, config: ReplicationConfig) -> Self {
+        assert!(!replicas.is_empty(), "need at least one replica");
+        let n = replicas.len();
+        Self {
+            replicas,
+            failed: vec![false; n],
+            next_read: 0,
+            config,
+            stats: ReplicationStats {
+                reads_per_replica: vec![0; n],
+                ..Default::default()
+            },
+            open_counts: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Number of replicas (live or failed).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Number of replicas currently live.
+    pub fn live_replicas(&self) -> usize {
+        self.failed.iter().filter(|f| !**f).count()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &ReplicationStats {
+        &self.stats
+    }
+
+    /// Direct access to replica `i` (fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn replica_mut(&mut self, i: usize) -> &mut FileService {
+        &mut self.replicas[i]
+    }
+
+    /// Marks replica `i` failed (e.g. its machine crashed); subsequent
+    /// writes skip it and reads fail over.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicationError::NoSuchReplica`].
+    pub fn mark_failed(&mut self, i: usize) -> Result<(), ReplicationError> {
+        if i >= self.replicas.len() {
+            return Err(ReplicationError::NoSuchReplica(i));
+        }
+        self.failed[i] = true;
+        Ok(())
+    }
+
+    fn live_indices(&self) -> Vec<usize> {
+        (0..self.replicas.len()).filter(|i| !self.failed[*i]).collect()
+    }
+
+    fn first_live(&self) -> Option<usize> {
+        self.live_indices().into_iter().next()
+    }
+
+    /// Applies a mutation to every live replica ("write-all").
+    fn write_all<T: PartialEq + std::fmt::Debug>(
+        &mut self,
+        mut op: impl FnMut(&mut FileService) -> Result<T, FileServiceError>,
+    ) -> Result<T, ReplicationError> {
+        let mut result: Option<T> = None;
+        let mut any = false;
+        for i in 0..self.replicas.len() {
+            if self.failed[i] {
+                self.stats.writes_skipped += 1;
+                continue;
+            }
+            let r = op(&mut self.replicas[i])?;
+            if let Some(prev) = &result {
+                if *prev != r {
+                    return Err(ReplicationError::Diverged);
+                }
+            } else {
+                result = Some(r);
+            }
+            any = true;
+        }
+        if !any {
+            return Err(ReplicationError::AllReplicasFailed(FileId(0)));
+        }
+        Ok(result.expect("at least one replica executed"))
+    }
+
+    /// `create` on every replica; identifiers are allocated in lock-step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates replica failures; [`ReplicationError::Diverged`] if the
+    /// replicas returned different identifiers.
+    pub fn create(&mut self, st: ServiceType) -> Result<FileId, ReplicationError> {
+        self.write_all(|fs| fs.create(st))
+    }
+
+    /// Opens `fid` on every live replica.
+    ///
+    /// # Errors
+    ///
+    /// Replica failures.
+    pub fn open(&mut self, fid: FileId) -> Result<(), ReplicationError> {
+        self.write_all(|fs| fs.open(fid))?;
+        *self.open_counts.entry(fid).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Closes `fid` on every live replica.
+    ///
+    /// # Errors
+    ///
+    /// Replica failures.
+    pub fn close(&mut self, fid: FileId) -> Result<(), ReplicationError> {
+        self.write_all(|fs| fs.close(fid))?;
+        if let Some(c) = self.open_counts.get_mut(&fid) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                self.open_counts.remove(&fid);
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes `fid` on every live replica.
+    ///
+    /// # Errors
+    ///
+    /// Replica failures.
+    pub fn delete(&mut self, fid: FileId) -> Result<(), ReplicationError> {
+        self.write_all(|fs| fs.delete(fid))
+    }
+
+    /// Writes through to every live replica ("write-all").
+    ///
+    /// # Errors
+    ///
+    /// Replica failures.
+    pub fn write(&mut self, fid: FileId, offset: u64, data: &[u8]) -> Result<(), ReplicationError> {
+        self.write_all(|fs| fs.write(fid, offset, data))
+    }
+
+    /// Attributes from one live replica.
+    ///
+    /// # Errors
+    ///
+    /// Replica failures.
+    pub fn get_attribute(&mut self, fid: FileId) -> Result<FileAttributes, ReplicationError> {
+        let i = self
+            .first_live()
+            .ok_or(ReplicationError::AllReplicasFailed(fid))?;
+        Ok(self.replicas[i].get_attribute(fid)?)
+    }
+
+    /// Reads from one replica ("read-one"), failing over to the next live
+    /// replica — and marking the faulty one failed — on device errors.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicationError::AllReplicasFailed`] when no replica can serve
+    /// the read.
+    pub fn read(
+        &mut self,
+        fid: FileId,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, ReplicationError> {
+        let live = self.live_indices();
+        if live.is_empty() {
+            return Err(ReplicationError::AllReplicasFailed(fid));
+        }
+        // Choose a starting replica.
+        let start = if self.config.read_round_robin {
+            self.next_read = (self.next_read + 1) % live.len();
+            self.next_read
+        } else {
+            0
+        };
+        let mut last_err: Option<FileServiceError> = None;
+        for k in 0..live.len() {
+            let i = live[(start + k) % live.len()];
+            match self.replicas[i].read(fid, offset, len) {
+                Ok(data) => {
+                    self.stats.reads_per_replica[i] += 1;
+                    return Ok(data);
+                }
+                Err(e @ FileServiceError::Disk(_)) => {
+                    // Device fault: fail over and remember the suspect.
+                    self.failed[i] = true;
+                    self.stats.failovers += 1;
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(ReplicationError::File(e)), // semantic error: propagate
+            }
+        }
+        match last_err {
+            Some(e) => Err(ReplicationError::File(e)),
+            None => Err(ReplicationError::AllReplicasFailed(fid)),
+        }
+    }
+
+    /// Repairs and resynchronises replica `i` from the first live replica:
+    /// disks are recovered, then every file is copied over. The replica
+    /// rejoins the write set afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Fails if recovery or the copy fails, or if `i` is the only replica.
+    pub fn resync(&mut self, i: usize) -> Result<(), ReplicationError> {
+        if i >= self.replicas.len() {
+            return Err(ReplicationError::NoSuchReplica(i));
+        }
+        let src = self
+            .live_indices()
+            .into_iter()
+            .find(|&j| j != i)
+            .ok_or(ReplicationError::AllReplicasFailed(FileId(0)))?;
+        // Recover the returning replica's own durable state first.
+        self.replicas[i].recover()?;
+        // Copy file contents from the source of truth.
+        let fids: Vec<FileId> = self.replicas[src].file_ids();
+        let target_fids: HashSet<FileId> = self.replicas[i].file_ids().into_iter().collect();
+        for fid in &fids {
+            let size = self.replicas[src].get_attribute(*fid)?.size;
+            self.replicas[src].open(*fid)?;
+            let data = if size > 0 {
+                self.replicas[src].read(*fid, 0, size as usize)?
+            } else {
+                Vec::new()
+            };
+            self.replicas[src].close(*fid)?;
+            if !target_fids.contains(fid) {
+                // Structure diverged beyond data: full rebuild is out of
+                // scope for a data resync.
+                return Err(ReplicationError::Diverged);
+            }
+            self.replicas[i].open(*fid)?;
+            if !data.is_empty() {
+                self.replicas[i].write(*fid, 0, &data)?;
+            }
+            self.replicas[i].flush_file(*fid)?;
+            self.replicas[i].close(*fid)?;
+        }
+        // Restore the logical open state the recovered replica lost.
+        for (fid, count) in &self.open_counts {
+            for _ in 0..*count {
+                self.replicas[i].open(*fid)?;
+            }
+        }
+        self.failed[i] = false;
+        self.stats.resyncs += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhodos_file_service::FileServiceConfig;
+    use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
+
+    fn cluster(n: usize) -> ReplicatedFiles {
+        let clock = SimClock::new();
+        let replicas = (0..n)
+            .map(|_| {
+                FileService::single_disk(
+                    DiskGeometry::medium(),
+                    LatencyModel::default(),
+                    clock.clone(),
+                    FileServiceConfig::default(),
+                )
+                .unwrap()
+            })
+            .collect();
+        ReplicatedFiles::new(replicas, ReplicationConfig::default())
+    }
+
+    #[test]
+    fn write_all_read_one_round_trip() {
+        let mut rf = cluster(3);
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.open(fid).unwrap();
+        rf.write(fid, 0, b"replicated").unwrap();
+        for _ in 0..6 {
+            assert_eq!(rf.read(fid, 0, 10).unwrap(), b"replicated");
+        }
+        // Round-robin spread the reads.
+        let spread = rf.stats().reads_per_replica.clone();
+        assert!(spread.iter().filter(|&&c| c > 0).count() >= 2, "{spread:?}");
+    }
+
+    #[test]
+    fn read_fails_over_when_a_replica_faults() {
+        let mut rf = cluster(3);
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.open(fid).unwrap();
+        rf.write(fid, 0, b"survive").unwrap();
+        // Every replica must flush so the data is on its platter.
+        for i in 0..3 {
+            rf.replica_mut(i).flush_all().unwrap();
+        }
+        // Destroy the data block on every *disk* of replica 0 and drop its
+        // caches so the fault is visible.
+        let descs = rf.replica_mut(0).block_descriptors(fid).unwrap();
+        for d in &descs {
+            let addr = d.addr;
+            rf.replica_mut(0).disk_mut(d.disk as usize).disk_mut().corrupt_sector(addr).unwrap();
+        }
+        rf.replica_mut(0).simulate_crash();
+        rf.replica_mut(0).recover().unwrap();
+        rf.replica_mut(0).open(fid).unwrap();
+        // Reads keep succeeding (some will hit replica 0 first and fail
+        // over).
+        for _ in 0..6 {
+            assert_eq!(rf.read(fid, 0, 7).unwrap(), b"survive");
+        }
+        assert!(rf.stats().failovers >= 1);
+        assert_eq!(rf.live_replicas(), 2);
+    }
+
+    #[test]
+    fn writes_skip_failed_replicas_and_resync_restores() {
+        let mut rf = cluster(2);
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.open(fid).unwrap();
+        rf.write(fid, 0, b"v1").unwrap();
+        rf.mark_failed(1).unwrap();
+        rf.write(fid, 0, b"v2").unwrap();
+        assert!(rf.stats().writes_skipped > 0);
+        // Resync brings replica 1 back with v2.
+        rf.resync(1).unwrap();
+        assert_eq!(rf.live_replicas(), 2);
+        let mut check = |i: usize| {
+            rf.replica_mut(i).open(fid).unwrap();
+            let d = rf.replica_mut(i).read(fid, 0, 2).unwrap();
+            rf.replica_mut(i).close(fid).unwrap();
+            d
+        };
+        assert_eq!(check(0), b"v2");
+        assert_eq!(check(1), b"v2");
+    }
+
+    #[test]
+    fn all_replicas_failed_is_an_error() {
+        let mut rf = cluster(2);
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.open(fid).unwrap();
+        rf.mark_failed(0).unwrap();
+        rf.mark_failed(1).unwrap();
+        assert!(matches!(
+            rf.read(fid, 0, 1),
+            Err(ReplicationError::AllReplicasFailed(_))
+        ));
+        assert!(rf.write(fid, 0, b"x").is_err());
+    }
+
+    #[test]
+    fn identifiers_allocated_in_lock_step() {
+        let mut rf = cluster(3);
+        let a = rf.create(ServiceType::Basic).unwrap();
+        let b = rf.create(ServiceType::Basic).unwrap();
+        assert_ne!(a, b);
+        // Both exist on every replica.
+        for i in 0..3 {
+            assert!(rf.replica_mut(i).exists(a));
+            assert!(rf.replica_mut(i).exists(b));
+        }
+    }
+
+    #[test]
+    fn semantic_errors_do_not_fail_over() {
+        let mut rf = cluster(2);
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        // Not open: the NotOpen error must propagate, not mark replicas
+        // failed.
+        assert!(matches!(
+            rf.read(fid, 0, 1),
+            Err(ReplicationError::File(FileServiceError::NotOpen(_)))
+        ));
+        assert_eq!(rf.live_replicas(), 2);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use rhodos_file_service::FileServiceConfig;
+    use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
+
+    fn pair() -> ReplicatedFiles {
+        let clock = SimClock::new();
+        let mk = || {
+            FileService::single_disk(
+                DiskGeometry::medium(),
+                LatencyModel::instant(),
+                clock.clone(),
+                FileServiceConfig::default(),
+            )
+            .unwrap()
+        };
+        ReplicatedFiles::new(
+            vec![mk(), mk()],
+            ReplicationConfig {
+                read_round_robin: false,
+            },
+        )
+    }
+
+    #[test]
+    fn fixed_read_policy_prefers_the_first_live_replica() {
+        let mut rf = pair();
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.open(fid).unwrap();
+        rf.write(fid, 0, b"pinned").unwrap();
+        for _ in 0..5 {
+            rf.read(fid, 0, 6).unwrap();
+        }
+        assert_eq!(rf.stats().reads_per_replica, vec![5, 0]);
+    }
+
+    #[test]
+    fn attributes_are_consistent_across_replicas() {
+        let mut rf = pair();
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.open(fid).unwrap();
+        rf.write(fid, 0, b"12345").unwrap();
+        assert_eq!(rf.get_attribute(fid).unwrap().size, 5);
+        rf.close(fid).unwrap();
+        assert_eq!(rf.get_attribute(fid).unwrap().ref_count, 0);
+    }
+
+    #[test]
+    fn delete_applies_everywhere() {
+        let mut rf = pair();
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.delete(fid).unwrap();
+        for i in 0..2 {
+            assert!(!rf.replica_mut(i).exists(fid));
+        }
+    }
+
+    #[test]
+    fn out_of_range_replica_operations_error() {
+        let mut rf = pair();
+        assert!(matches!(
+            rf.mark_failed(9),
+            Err(ReplicationError::NoSuchReplica(9))
+        ));
+        assert!(matches!(
+            rf.resync(9),
+            Err(ReplicationError::NoSuchReplica(9))
+        ));
+    }
+
+    #[test]
+    fn resync_needs_a_live_source() {
+        let mut rf = pair();
+        rf.mark_failed(0).unwrap();
+        rf.mark_failed(1).unwrap();
+        assert!(matches!(
+            rf.resync(0),
+            Err(ReplicationError::AllReplicasFailed(_))
+        ));
+    }
+}

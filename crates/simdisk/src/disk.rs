@@ -1,0 +1,331 @@
+//! The simulated disk device.
+
+use crate::clock::SimClock;
+use crate::error::DiskError;
+use crate::fault::{FaultInjector, WriteOutcome};
+use crate::geometry::{DiskGeometry, SectorAddr};
+use crate::model::LatencyModel;
+use crate::stats::DiskStats;
+use crate::SECTOR_SIZE;
+
+/// An in-memory disk with a track/sector geometry, a latency cost model,
+/// per-operation statistics and fault injection.
+///
+/// One `SimDisk` stands in for one physical drive; the paper's disk service
+/// runs "one disk server corresponding to each disk" (§4) on top of it.
+///
+/// Reads and writes operate on whole sectors (2 KiB — one RHODOS fragment).
+/// Each call is one *disk reference*; the head position is tracked so that
+/// contiguous multi-sector transfers are charged a single seek, which is the
+/// physical basis for the paper's contiguity optimisations.
+///
+/// # Example
+///
+/// ```
+/// use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock, SimDisk};
+///
+/// # fn main() -> Result<(), rhodos_simdisk::DiskError> {
+/// let mut disk = SimDisk::new(DiskGeometry::small(), LatencyModel::default(), SimClock::new());
+/// let frame = vec![7u8; 2 * 2048];
+/// disk.write_sectors(10, &frame)?;
+/// assert_eq!(disk.read_sectors(10, 2)?, frame);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SimDisk {
+    geometry: DiskGeometry,
+    model: LatencyModel,
+    clock: SimClock,
+    /// Sparse sector store: unwritten sectors read as zeros without
+    /// consuming host memory, so gigabyte geometries are cheap to model.
+    data: Vec<Option<Box<[u8]>>>,
+    head: SectorAddr,
+    stats: DiskStats,
+    faults: FaultInjector,
+}
+
+/// The content of a never-written sector.
+static ZERO_SECTOR: [u8; SECTOR_SIZE] = [0u8; SECTOR_SIZE];
+
+impl SimDisk {
+    /// Creates a zero-filled disk.
+    pub fn new(geometry: DiskGeometry, model: LatencyModel, clock: SimClock) -> Self {
+        let data = (0..geometry.total_sectors()).map(|_| None).collect();
+        Self {
+            geometry,
+            model,
+            clock,
+            data,
+            head: 0,
+            stats: DiskStats::default(),
+            faults: FaultInjector::new(),
+        }
+    }
+
+    /// The disk's geometry.
+    pub fn geometry(&self) -> DiskGeometry {
+        self.geometry
+    }
+
+    /// The latency model in force.
+    pub fn model(&self) -> LatencyModel {
+        self.model
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Mutable access to the fault plan.
+    pub fn faults_mut(&mut self) -> &mut FaultInjector {
+        &mut self.faults
+    }
+
+    /// Read-only access to the fault plan.
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Repairs a crashed disk (bad sectors stay bad).
+    pub fn repair(&mut self) {
+        self.faults.repair();
+    }
+
+    fn check_range(&self, start: SectorAddr, count: u64) -> Result<(), DiskError> {
+        if !self.geometry.contains_range(start, count) {
+            return Err(DiskError::OutOfRange {
+                start,
+                count,
+                total: self.geometry.total_sectors(),
+            });
+        }
+        Ok(())
+    }
+
+    fn charge(&mut self, to: SectorAddr, count: u64) {
+        let cost = self
+            .model
+            .access_cost_us(&self.geometry, self.head, to, count);
+        if self.geometry.track_of(self.head) != self.geometry.track_of(to) {
+            self.stats.seeks += 1;
+        }
+        self.stats.busy_us += cost;
+        self.clock.advance(cost);
+        self.head = to + count.saturating_sub(1);
+    }
+
+    /// Reads `count` sectors starting at `start` in **one disk reference**.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::Crashed`] if the disk is crashed,
+    /// [`DiskError::OutOfRange`] for an invalid range, and
+    /// [`DiskError::BadSector`] if any sector in the range has a media
+    /// fault (the error names the first such sector).
+    pub fn read_sectors(&mut self, start: SectorAddr, count: u64) -> Result<Vec<u8>, DiskError> {
+        if self.faults.is_crashed() {
+            return Err(DiskError::Crashed);
+        }
+        self.check_range(start, count)?;
+        self.stats.read_ops += 1;
+        self.charge(start, count);
+        for s in start..start + count {
+            if self.faults.is_bad(s) {
+                self.stats.media_errors += 1;
+                return Err(DiskError::BadSector(s));
+            }
+        }
+        self.stats.sector_reads += count;
+        let mut out = Vec::with_capacity(count as usize * SECTOR_SIZE);
+        for s in start..start + count {
+            match &self.data[s as usize] {
+                Some(sector) => out.extend_from_slice(sector),
+                None => out.extend_from_slice(&ZERO_SECTOR),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes `data` (a whole number of sectors) starting at `start` in one
+    /// disk reference.
+    ///
+    /// Returns the [`WriteOutcome`] — a crash injected mid-write leaves a
+    /// *torn* write: only a prefix of the sectors lands on the platter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::Crashed`] if the disk was already crashed,
+    /// [`DiskError::UnalignedBuffer`] if `data.len()` is not a multiple of
+    /// [`SECTOR_SIZE`], and [`DiskError::OutOfRange`] for an invalid range.
+    pub fn write_sectors(
+        &mut self,
+        start: SectorAddr,
+        data: &[u8],
+    ) -> Result<WriteOutcome, DiskError> {
+        if !data.len().is_multiple_of(SECTOR_SIZE) {
+            return Err(DiskError::UnalignedBuffer { len: data.len() });
+        }
+        let count = (data.len() / SECTOR_SIZE) as u64;
+        if self.faults.is_crashed() {
+            return Err(DiskError::Crashed);
+        }
+        self.check_range(start, count)?;
+        let outcome = self.faults.admit_write(count);
+        let landed = match outcome {
+            WriteOutcome::Complete => count,
+            WriteOutcome::Torn(n) => n,
+            WriteOutcome::Dropped => return Err(DiskError::Crashed),
+        };
+        self.stats.write_ops += 1;
+        self.charge(start, landed.max(1));
+        self.stats.sector_writes += landed;
+        for i in 0..landed as usize {
+            let src = &data[i * SECTOR_SIZE..(i + 1) * SECTOR_SIZE];
+            self.data[start as usize + i] = Some(src.to_vec().into_boxed_slice());
+            // Writing a bad sector reassigns it (spare-sector remapping):
+            // the fresh copy is readable again.
+            self.faults.clear_bad_sector(start + i as u64);
+        }
+        if let WriteOutcome::Torn(_) = outcome {
+            return Err(DiskError::Crashed);
+        }
+        Ok(outcome)
+    }
+
+    /// Overwrites a sector with garbage and marks it as a media fault —
+    /// models platter damage for recovery experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::OutOfRange`] if `addr` is not on the disk.
+    pub fn corrupt_sector(&mut self, addr: SectorAddr) -> Result<(), DiskError> {
+        self.check_range(addr, 1)?;
+        let sector = self.data[addr as usize]
+            .get_or_insert_with(|| ZERO_SECTOR.to_vec().into_boxed_slice());
+        for b in sector.iter_mut() {
+            *b ^= 0xFF;
+        }
+        self.faults.mark_bad_sector(addr);
+        Ok(())
+    }
+
+    /// Reads a sector without charging latency, counting a reference, or
+    /// honouring faults. Intended for test assertions and recovery scans
+    /// that model an offline fsck pass.
+    pub fn peek_sector(&self, addr: SectorAddr) -> Result<&[u8], DiskError> {
+        self.check_range(addr, 1)?;
+        Ok(match &self.data[addr as usize] {
+            Some(sector) => sector,
+            None => &ZERO_SECTOR,
+        })
+    }
+
+    /// Whether the sector has never been written (reads as zeros). O(1) —
+    /// used by recovery scans to skip untouched regions cheaply.
+    pub fn sector_untouched(&self, addr: SectorAddr) -> bool {
+        self.data
+            .get(addr as usize)
+            .is_none_or(|s| s.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> SimDisk {
+        SimDisk::new(DiskGeometry::small(), LatencyModel::default(), SimClock::new())
+    }
+
+    #[test]
+    fn round_trip_multi_sector() {
+        let mut d = disk();
+        let data: Vec<u8> = (0..3 * SECTOR_SIZE).map(|i| (i % 251) as u8).collect();
+        d.write_sectors(4, &data).unwrap();
+        assert_eq!(d.read_sectors(4, 3).unwrap(), data);
+    }
+
+    #[test]
+    fn one_call_is_one_reference() {
+        let mut d = disk();
+        d.write_sectors(0, &vec![1u8; 8 * SECTOR_SIZE]).unwrap();
+        d.read_sectors(0, 8).unwrap();
+        assert_eq!(d.stats().read_ops, 1);
+        assert_eq!(d.stats().write_ops, 1);
+        assert_eq!(d.stats().sector_reads, 8);
+    }
+
+    #[test]
+    fn unaligned_write_rejected() {
+        let mut d = disk();
+        assert!(matches!(
+            d.write_sectors(0, &[0u8; 100]),
+            Err(DiskError::UnalignedBuffer { len: 100 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut d = disk();
+        let total = d.geometry().total_sectors();
+        assert!(matches!(
+            d.read_sectors(total, 1),
+            Err(DiskError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_sector_fails_read_and_counts() {
+        let mut d = disk();
+        d.corrupt_sector(2).unwrap();
+        assert_eq!(d.read_sectors(2, 1), Err(DiskError::BadSector(2)));
+        assert_eq!(d.stats().media_errors, 1);
+    }
+
+    #[test]
+    fn torn_write_leaves_prefix() {
+        let mut d = disk();
+        d.write_sectors(0, &vec![0xAAu8; 4 * SECTOR_SIZE]).unwrap();
+        d.faults_mut().crash_after_sector_writes(2);
+        let res = d.write_sectors(0, &vec![0xBBu8; 4 * SECTOR_SIZE]);
+        assert_eq!(res, Err(DiskError::Crashed));
+        // First two sectors new, last two old.
+        assert!(d.peek_sector(0).unwrap().iter().all(|&b| b == 0xBB));
+        assert!(d.peek_sector(1).unwrap().iter().all(|&b| b == 0xBB));
+        assert!(d.peek_sector(2).unwrap().iter().all(|&b| b == 0xAA));
+        assert!(d.peek_sector(3).unwrap().iter().all(|&b| b == 0xAA));
+        // Repair restores service with data intact.
+        d.repair();
+        assert!(d.read_sectors(3, 1).unwrap().iter().all(|&b| b == 0xAA));
+    }
+
+    #[test]
+    fn clock_advances_with_io() {
+        let mut d = disk();
+        let t0 = d.clock().now_us();
+        d.read_sectors(100, 4).unwrap();
+        assert!(d.clock().now_us() > t0);
+        assert_eq!(d.stats().busy_us, d.clock().now_us() - t0);
+    }
+
+    #[test]
+    fn contiguous_read_cheaper_than_scattered() {
+        let mut a = disk();
+        let mut b = disk();
+        // 8 contiguous sectors in one reference.
+        a.read_sectors(0, 8).unwrap();
+        // 8 scattered single-sector reads across tracks.
+        for i in 0..8 {
+            b.read_sectors(i * 64, 1).unwrap();
+        }
+        assert!(a.stats().busy_us < b.stats().busy_us);
+        assert!(a.stats().seeks < b.stats().seeks);
+    }
+}

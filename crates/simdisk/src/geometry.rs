@@ -1,0 +1,148 @@
+//! Disk geometry: tracks, sectors and address arithmetic.
+
+use crate::SECTOR_SIZE;
+
+/// A linear sector address on a disk (sector = 2 KiB = one RHODOS fragment).
+pub type SectorAddr = u64;
+
+/// A track (cylinder) number.
+pub type TrackNo = u64;
+
+/// Physical layout of a simulated disk.
+///
+/// The paper's disk service reasons about *tracks* — its cache retrieves the
+/// remainder of a track after a read (§4) — so the simulator keeps the
+/// classical track/sector model. Sector size is fixed at
+/// [`SECTOR_SIZE`](crate::SECTOR_SIZE) (2 KiB, one fragment).
+///
+/// # Example
+///
+/// ```
+/// use rhodos_simdisk::DiskGeometry;
+///
+/// let g = DiskGeometry::new(100, 32);
+/// assert_eq!(g.total_sectors(), 3200);
+/// assert_eq!(g.track_of(70), 2);
+/// assert_eq!(g.sector_in_track(70), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DiskGeometry {
+    tracks: u64,
+    sectors_per_track: u64,
+}
+
+impl DiskGeometry {
+    /// Creates a geometry with `tracks` tracks of `sectors_per_track` sectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(tracks: u64, sectors_per_track: u64) -> Self {
+        assert!(tracks > 0, "disk must have at least one track");
+        assert!(
+            sectors_per_track > 0,
+            "disk must have at least one sector per track"
+        );
+        Self {
+            tracks,
+            sectors_per_track,
+        }
+    }
+
+    /// A small geometry convenient for unit tests: 64 tracks × 32 sectors
+    /// (4 MiB).
+    pub fn small() -> Self {
+        Self::new(64, 32)
+    }
+
+    /// A medium geometry for integration tests and examples: 512 tracks ×
+    /// 64 sectors (64 MiB).
+    pub fn medium() -> Self {
+        Self::new(512, 64)
+    }
+
+    /// A large geometry for benchmarks: 4096 tracks × 128 sectors (1 GiB).
+    pub fn large() -> Self {
+        Self::new(4096, 128)
+    }
+
+    /// Number of tracks.
+    pub fn tracks(&self) -> u64 {
+        self.tracks
+    }
+
+    /// Sectors in each track.
+    pub fn sectors_per_track(&self) -> u64 {
+        self.sectors_per_track
+    }
+
+    /// Total number of sectors on the disk.
+    pub fn total_sectors(&self) -> u64 {
+        self.tracks * self.sectors_per_track
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_sectors() * SECTOR_SIZE as u64
+    }
+
+    /// The track containing linear sector `addr`.
+    pub fn track_of(&self, addr: SectorAddr) -> TrackNo {
+        addr / self.sectors_per_track
+    }
+
+    /// Offset of `addr` within its track.
+    pub fn sector_in_track(&self, addr: SectorAddr) -> u64 {
+        addr % self.sectors_per_track
+    }
+
+    /// First sector of track `track`.
+    pub fn track_start(&self, track: TrackNo) -> SectorAddr {
+        track * self.sectors_per_track
+    }
+
+    /// Whether the half-open sector range `[start, start + count)` is valid.
+    pub fn contains_range(&self, start: SectorAddr, count: u64) -> bool {
+        start
+            .checked_add(count)
+            .is_some_and(|end| end <= self.total_sectors())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_arithmetic_round_trips() {
+        let g = DiskGeometry::new(10, 16);
+        for addr in [0u64, 1, 15, 16, 17, 159] {
+            let t = g.track_of(addr);
+            let s = g.sector_in_track(addr);
+            assert_eq!(g.track_start(t) + s, addr);
+        }
+    }
+
+    #[test]
+    fn capacity_matches_dimensions() {
+        let g = DiskGeometry::new(4, 8);
+        assert_eq!(g.total_sectors(), 32);
+        assert_eq!(g.capacity_bytes(), 32 * SECTOR_SIZE as u64);
+    }
+
+    #[test]
+    fn contains_range_edges() {
+        let g = DiskGeometry::new(2, 4); // 8 sectors
+        assert!(g.contains_range(0, 8));
+        assert!(g.contains_range(7, 1));
+        assert!(!g.contains_range(7, 2));
+        assert!(!g.contains_range(8, 0) || g.contains_range(8, 0)); // boundary: empty range at end
+        assert!(!g.contains_range(u64::MAX, 2)); // overflow guarded
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one track")]
+    fn zero_tracks_rejected() {
+        DiskGeometry::new(0, 4);
+    }
+}

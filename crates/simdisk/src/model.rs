@@ -1,0 +1,147 @@
+//! Seek / rotation / transfer latency model.
+
+use crate::geometry::{DiskGeometry, SectorAddr};
+
+/// Cost model for disk accesses, in virtual microseconds.
+///
+/// Defaults approximate an early-1990s SCSI disk of the kind the RHODOS
+/// project would have used: ~4 ms average seek over a few thousand tracks,
+/// 3600 rpm (16.7 ms per revolution) and roughly 2 MiB/s transfer.
+/// Absolute values only scale the simulated timeline; the claim shapes the
+/// experiments test (contiguity wins, track cache wins, …) are governed by
+/// the *ratios*, which are faithful.
+///
+/// # Example
+///
+/// ```
+/// use rhodos_simdisk::{DiskGeometry, LatencyModel};
+///
+/// let m = LatencyModel::default();
+/// let g = DiskGeometry::small();
+/// // Reading two sectors on the same track costs one seek, one rotational
+/// // wait and two transfers.
+/// let same_track = m.access_cost_us(&g, 0, 0, 2);
+/// let cross_disk = m.access_cost_us(&g, 0, g.total_sectors() - 2, 2);
+/// assert!(cross_disk > same_track);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed cost to start any seek that changes track.
+    pub seek_base_us: u64,
+    /// Additional cost per track crossed.
+    pub seek_per_track_us: u64,
+    /// Average rotational latency (half a revolution) charged when the head
+    /// settles on a new track or after a discontiguous jump within a track.
+    pub rotational_us: u64,
+    /// Cost to transfer one sector once the head is positioned.
+    pub transfer_per_sector_us: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            seek_base_us: 2_000,
+            seek_per_track_us: 5,
+            rotational_us: 8_300,
+            transfer_per_sector_us: 1_000,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A zero-latency model: useful in unit tests that only care about
+    /// counters, not timing.
+    pub fn instant() -> Self {
+        Self {
+            seek_base_us: 0,
+            seek_per_track_us: 0,
+            rotational_us: 0,
+            transfer_per_sector_us: 0,
+        }
+    }
+
+    /// Cost of moving the head from `from` to `to` and transferring `count`
+    /// contiguous sectors starting at `to`.
+    ///
+    /// A run that spans multiple tracks pays one extra head switch
+    /// (`seek_base_us`) per extra track but no additional rotational wait —
+    /// matching sequential-transfer behaviour of real drives closely enough
+    /// for the paper's contiguity claims.
+    pub fn access_cost_us(
+        &self,
+        geometry: &DiskGeometry,
+        from: SectorAddr,
+        to: SectorAddr,
+        count: u64,
+    ) -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let from_track = geometry.track_of(from);
+        let to_track = geometry.track_of(to);
+        let mut cost = 0u64;
+        if from_track != to_track {
+            let distance = from_track.abs_diff(to_track);
+            cost += self.seek_base_us + distance * self.seek_per_track_us;
+            cost += self.rotational_us;
+        } else if from != to {
+            // Discontiguous jump within a track: wait for the platter to
+            // come around.
+            cost += self.rotational_us;
+        }
+        cost += count * self.transfer_per_sector_us;
+        // Track switches inside the run.
+        let last = to + count - 1;
+        let tracks_spanned = geometry.track_of(last) - to_track;
+        cost += tracks_spanned * self.seek_base_us;
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_count_is_free() {
+        let m = LatencyModel::default();
+        assert_eq!(m.access_cost_us(&DiskGeometry::small(), 0, 10, 0), 0);
+    }
+
+    #[test]
+    fn sequential_same_position_pays_only_transfer() {
+        let m = LatencyModel::default();
+        let g = DiskGeometry::small();
+        let c = m.access_cost_us(&g, 5, 5, 1);
+        assert_eq!(c, m.transfer_per_sector_us);
+    }
+
+    #[test]
+    fn farther_seeks_cost_more() {
+        let m = LatencyModel::default();
+        let g = DiskGeometry::new(1000, 16);
+        let near = m.access_cost_us(&g, 0, 16, 1); // next track
+        let far = m.access_cost_us(&g, 0, 16 * 900, 1);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn multi_track_run_charges_head_switches() {
+        let m = LatencyModel::default();
+        let g = DiskGeometry::new(10, 4);
+        // Run of 8 sectors starting at sector 0 spans 2 tracks.
+        let one_track = m.access_cost_us(&g, 0, 0, 4);
+        let two_tracks = m.access_cost_us(&g, 0, 0, 8);
+        assert_eq!(
+            two_tracks,
+            one_track + 4 * m.transfer_per_sector_us + m.seek_base_us
+        );
+    }
+
+    #[test]
+    fn instant_model_is_free() {
+        let m = LatencyModel::instant();
+        let g = DiskGeometry::small();
+        assert_eq!(m.access_cost_us(&g, 0, 2000, 16), 0);
+    }
+}

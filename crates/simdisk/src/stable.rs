@@ -1,0 +1,420 @@
+//! Lampson-style stable storage over a mirrored pair of disks.
+//!
+//! The paper requires that "stable storage is provided" so that "all the
+//! important data structures used for file management ... are recoverable"
+//! (§7), and the disk service's `put-block` lets callers choose whether data
+//! goes to stable storage only (shadow pages) or to its original location
+//! *and* stable storage (the file index table), synchronously or
+//! asynchronously (§4). This module supplies the storage substrate those
+//! semantics are built on.
+//!
+//! Each stable *record* occupies one sector on each of two mirrored disks
+//! and carries a header `(seq, len, checksum)`. Writes go to replica A,
+//! then replica B. After a crash, [`StableStore::recover`] restores the
+//! invariant that both replicas hold the same, valid record:
+//!
+//! * one replica invalid → copy from the valid one;
+//! * both valid but different sequence numbers → propagate the newer one;
+//! * both invalid → the record is lost (reported, never silently ignored).
+
+use crate::disk::SimDisk;
+use crate::error::DiskError;
+use crate::geometry::SectorAddr;
+use crate::SECTOR_SIZE;
+
+/// Bytes of header at the start of each stable sector.
+const HEADER: usize = 20; // seq u64 | len u32 | checksum u64
+
+/// Maximum payload of one stable record.
+pub const STABLE_PAYLOAD: usize = SECTOR_SIZE - HEADER;
+
+/// Whether a stable write must reach both mirrors before the call returns.
+///
+/// Models the paper's `put-block` option of returning "before saving the
+/// data on stable storage or after" (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StableWriteMode {
+    /// Both replicas are written before the call returns.
+    Sync,
+    /// Replica A is written immediately; replica B is queued and written on
+    /// the next [`StableStore::flush_deferred`] call. A crash before the
+    /// flush leaves replica B stale — exactly the window `recover` must
+    /// close.
+    Deferred,
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn encode(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut sector = vec![0u8; SECTOR_SIZE];
+    sector[0..8].copy_from_slice(&seq.to_le_bytes());
+    sector[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    sector[12..20].copy_from_slice(&fnv1a(payload).to_le_bytes());
+    sector[HEADER..HEADER + payload.len()].copy_from_slice(payload);
+    sector
+}
+
+fn decode(sector: &[u8]) -> Option<(u64, Vec<u8>)> {
+    let seq = u64::from_le_bytes(sector[0..8].try_into().ok()?);
+    let len = u32::from_le_bytes(sector[8..12].try_into().ok()?) as usize;
+    let sum = u64::from_le_bytes(sector[12..20].try_into().ok()?);
+    if len > STABLE_PAYLOAD {
+        return None;
+    }
+    let payload = &sector[HEADER..HEADER + len];
+    if fnv1a(payload) != sum {
+        return None;
+    }
+    Some((seq, payload.to_vec()))
+}
+
+/// Stable storage built from two mirrored [`SimDisk`]s.
+///
+/// Record `slot`s address sectors on both mirrors uniformly; the caller
+/// (the disk service) decides which slot holds which structure.
+///
+/// # Example
+///
+/// ```
+/// use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock, SimDisk};
+/// use rhodos_simdisk::{StableStore, StableWriteMode};
+///
+/// # fn main() -> Result<(), rhodos_simdisk::DiskError> {
+/// let clock = SimClock::new();
+/// let mk = || SimDisk::new(DiskGeometry::small(), LatencyModel::instant(), clock.clone());
+/// let mut stable = StableStore::new(mk(), mk());
+/// stable.write(3, b"file index table", StableWriteMode::Sync)?;
+/// assert_eq!(stable.read(3)?.as_deref(), Some(&b"file index table"[..]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct StableStore {
+    a: SimDisk,
+    b: SimDisk,
+    /// Slots whose replica-B write is still pending (`Deferred` mode).
+    pending_b: Vec<(SectorAddr, Vec<u8>)>,
+    next_seq: u64,
+}
+
+impl StableStore {
+    /// Creates stable storage over two disks of identical geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometries differ.
+    pub fn new(a: SimDisk, b: SimDisk) -> Self {
+        assert_eq!(
+            a.geometry(),
+            b.geometry(),
+            "stable storage mirrors must share a geometry"
+        );
+        Self {
+            a,
+            b,
+            pending_b: Vec::new(),
+            next_seq: 1,
+        }
+    }
+
+    /// Number of record slots available.
+    pub fn slots(&self) -> u64 {
+        self.a.geometry().total_sectors()
+    }
+
+    /// Access to the primary mirror (for fault injection in experiments).
+    pub fn mirror_a_mut(&mut self) -> &mut SimDisk {
+        &mut self.a
+    }
+
+    /// Access to the secondary mirror (for fault injection in experiments).
+    pub fn mirror_b_mut(&mut self) -> &mut SimDisk {
+        &mut self.b
+    }
+
+    /// Combined statistics of both mirrors.
+    pub fn stats(&self) -> crate::DiskStats {
+        let mut s = self.a.stats();
+        s.merge(&self.b.stats());
+        s
+    }
+
+    /// Writes `payload` to record slot `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::UnalignedBuffer`] if the payload exceeds
+    /// [`STABLE_PAYLOAD`], or any underlying disk error. In `Sync` mode the
+    /// record is on both mirrors when this returns; in `Deferred` mode only
+    /// on mirror A.
+    pub fn write(
+        &mut self,
+        slot: SectorAddr,
+        payload: &[u8],
+        mode: StableWriteMode,
+    ) -> Result<(), DiskError> {
+        if payload.len() > STABLE_PAYLOAD {
+            return Err(DiskError::UnalignedBuffer { len: payload.len() });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let sector = encode(seq, payload);
+        self.a.write_sectors(slot, &sector)?;
+        match mode {
+            StableWriteMode::Sync => {
+                self.b.write_sectors(slot, &sector)?;
+            }
+            StableWriteMode::Deferred => {
+                self.pending_b.retain(|(s, _)| *s != slot);
+                self.pending_b.push((slot, sector));
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes all deferred replica-B writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first disk error; remaining writes stay queued.
+    pub fn flush_deferred(&mut self) -> Result<(), DiskError> {
+        while let Some((slot, sector)) = self.pending_b.first().cloned() {
+            self.b.write_sectors(slot, &sector)?;
+            self.pending_b.remove(0);
+        }
+        Ok(())
+    }
+
+    /// Number of replica-B writes still pending.
+    pub fn pending_writes(&self) -> usize {
+        self.pending_b.len()
+    }
+
+    /// Reads the record at `slot`, preferring mirror A and falling back to
+    /// mirror B. Returns `Ok(None)` if the slot has never been written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::StableLost`] if both replicas are unreadable or
+    /// corrupt.
+    pub fn read(&mut self, slot: SectorAddr) -> Result<Option<Vec<u8>>, DiskError> {
+        let ra = self.a.read_sectors(slot, 1).ok().and_then(|s| decode(&s));
+        if let Some((seq, data)) = ra {
+            if seq > 0 {
+                return Ok(Some(data));
+            }
+        }
+        let rb = self.b.read_sectors(slot, 1).ok().and_then(|s| decode(&s));
+        match rb {
+            Some((seq, data)) if seq > 0 => Ok(Some(data)),
+            _ => {
+                // Distinguish "never written" (both decode as seq 0 /
+                // zero-filled) from "lost".
+                let a_blank = self.slot_blank_on(&MirrorSel::A, slot);
+                let b_blank = self.slot_blank_on(&MirrorSel::B, slot);
+                if a_blank && b_blank {
+                    Ok(None)
+                } else {
+                    Err(DiskError::StableLost(slot))
+                }
+            }
+        }
+    }
+
+    fn slot_blank_on(&self, sel: &MirrorSel, slot: SectorAddr) -> bool {
+        let disk = match sel {
+            MirrorSel::A => &self.a,
+            MirrorSel::B => &self.b,
+        };
+        if disk.sector_untouched(slot) {
+            return !disk.faults().is_bad(slot);
+        }
+        match disk.peek_sector(slot) {
+            Ok(s) => s.iter().all(|&b| b == 0),
+            Err(_) => false,
+        }
+    }
+
+    /// Post-crash recovery scan: re-establishes mirror agreement for every
+    /// slot and returns the slots that are unrecoverable (both replicas
+    /// lost).
+    ///
+    /// # Errors
+    ///
+    /// Propagates disk errors other than per-sector media faults (which are
+    /// what the scan is for).
+    pub fn recover(&mut self) -> Result<Vec<SectorAddr>, DiskError> {
+        self.a.repair();
+        self.b.repair();
+        self.pending_b.clear();
+        let mut lost = Vec::new();
+        let mut max_seq = 0u64;
+        for slot in 0..self.slots() {
+            // Fast path: both replicas blank (never written) — the common
+            // case on a mostly empty disk. peek avoids charging I/O for
+            // what is really an offline scan.
+            if self.slot_blank_on(&MirrorSel::A, slot) && self.slot_blank_on(&MirrorSel::B, slot) {
+                continue;
+            }
+            let da = self.a.read_sectors(slot, 1).ok().and_then(|s| decode(&s));
+            let db = self.b.read_sectors(slot, 1).ok().and_then(|s| decode(&s));
+            if let Some((s, _)) = &da {
+                max_seq = max_seq.max(*s);
+            }
+            if let Some((s, _)) = &db {
+                max_seq = max_seq.max(*s);
+            }
+            match (da, db) {
+                (Some((sa, pa)), Some((sb, _))) if sa > sb => {
+                    let sector = encode(sa, &pa);
+                    self.b.write_sectors(slot, &sector)?;
+                }
+                (Some((sa, _)), Some((sb, pb))) if sb > sa => {
+                    let sector = encode(sb, &pb);
+                    self.a.write_sectors(slot, &sector)?;
+                }
+                (Some(_), Some(_)) => {} // equal — consistent
+                (Some((sa, pa)), None) => {
+                    if !self.slot_blank_on(&MirrorSel::B, slot) || sa > 0 {
+                        let sector = encode(sa, &pa);
+                        self.b.faults_mut().clear_bad_sector(slot);
+                        self.b.write_sectors(slot, &sector)?;
+                    }
+                }
+                (None, Some((sb, pb))) => {
+                    if !self.slot_blank_on(&MirrorSel::A, slot) || sb > 0 {
+                        let sector = encode(sb, &pb);
+                        self.a.faults_mut().clear_bad_sector(slot);
+                        self.a.write_sectors(slot, &sector)?;
+                    }
+                }
+                (None, None) => {
+                    let blank = self.slot_blank_on(&MirrorSel::A, slot)
+                        && self.slot_blank_on(&MirrorSel::B, slot);
+                    if !blank {
+                        lost.push(slot);
+                    }
+                }
+            }
+        }
+        // Track next_seq past anything on disk so future writes stay newest.
+        self.next_seq = self.next_seq.max(max_seq + 1);
+        Ok(lost)
+    }
+}
+
+#[derive(Debug)]
+enum MirrorSel {
+    A,
+    B,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DiskGeometry, LatencyModel, SimClock};
+
+    fn store() -> StableStore {
+        let clock = SimClock::new();
+        let mk = || SimDisk::new(DiskGeometry::new(4, 8), LatencyModel::instant(), clock.clone());
+        StableStore::new(mk(), mk())
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut s = store();
+        s.write(0, b"hello", StableWriteMode::Sync).unwrap();
+        assert_eq!(s.read(0).unwrap().unwrap(), b"hello");
+    }
+
+    #[test]
+    fn unwritten_slot_reads_none() {
+        let mut s = store();
+        assert_eq!(s.read(5).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let mut s = store();
+        let big = vec![0u8; STABLE_PAYLOAD + 1];
+        assert!(s.write(0, &big, StableWriteMode::Sync).is_err());
+    }
+
+    #[test]
+    fn survives_primary_media_failure() {
+        let mut s = store();
+        s.write(1, b"vital", StableWriteMode::Sync).unwrap();
+        s.mirror_a_mut().corrupt_sector(1).unwrap();
+        assert_eq!(s.read(1).unwrap().unwrap(), b"vital");
+        // Recovery repairs the damaged mirror.
+        let lost = s.recover().unwrap();
+        assert!(lost.is_empty());
+        assert_eq!(s.read(1).unwrap().unwrap(), b"vital");
+    }
+
+    #[test]
+    fn both_replicas_lost_is_reported() {
+        let mut s = store();
+        s.write(1, b"vital", StableWriteMode::Sync).unwrap();
+        s.mirror_a_mut().corrupt_sector(1).unwrap();
+        s.mirror_b_mut().corrupt_sector(1).unwrap();
+        assert_eq!(s.read(1), Err(DiskError::StableLost(1)));
+        let lost = s.recover().unwrap();
+        assert_eq!(lost, vec![1]);
+    }
+
+    #[test]
+    fn deferred_write_window_closed_by_recover() {
+        let mut s = store();
+        s.write(2, b"old", StableWriteMode::Sync).unwrap();
+        s.write(2, b"new", StableWriteMode::Deferred).unwrap();
+        assert_eq!(s.pending_writes(), 1);
+        // Crash before flush: replica B still has "old".
+        let lost = s.recover().unwrap();
+        assert!(lost.is_empty());
+        // The newer record (A) won.
+        assert_eq!(s.read(2).unwrap().unwrap(), b"new");
+        assert_eq!(s.pending_writes(), 0);
+    }
+
+    #[test]
+    fn flush_deferred_completes_mirror() {
+        let mut s = store();
+        s.write(3, b"x", StableWriteMode::Deferred).unwrap();
+        s.flush_deferred().unwrap();
+        assert_eq!(s.pending_writes(), 0);
+        s.mirror_a_mut().corrupt_sector(3).unwrap();
+        assert_eq!(s.read(3).unwrap().unwrap(), b"x");
+    }
+
+    #[test]
+    fn recover_is_idempotent() {
+        let mut s = store();
+        s.write(0, b"a", StableWriteMode::Sync).unwrap();
+        s.write(1, b"b", StableWriteMode::Deferred).unwrap();
+        s.recover().unwrap();
+        s.recover().unwrap();
+        assert_eq!(s.read(0).unwrap().unwrap(), b"a");
+        assert_eq!(s.read(1).unwrap().unwrap(), b"b");
+    }
+
+    #[test]
+    fn seq_numbers_keep_newest_after_recovery() {
+        let mut s = store();
+        for i in 0..5u8 {
+            s.write(0, &[i], StableWriteMode::Sync).unwrap();
+        }
+        s.recover().unwrap();
+        // New write after recovery must still be the newest.
+        s.write(0, b"final", StableWriteMode::Deferred).unwrap();
+        s.recover().unwrap();
+        assert_eq!(s.read(0).unwrap().unwrap(), b"final");
+    }
+}

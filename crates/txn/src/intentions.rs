@@ -1,0 +1,280 @@
+//! The intentions list and its on-log representation (§6.6–6.7).
+//!
+//! "There are two commonly-used approaches to recovery from system and
+//! media failures ... the intentions list approach and file version
+//! approach. The file version approach is costly with respect to disk
+//! operations. Thus ... we propose to use the intentions list approach."
+//!
+//! Each transaction accumulates [`Intention`]s describing its tentative
+//! data items. At commit the list is written to the intention log (the
+//! write-ahead step), the changes are made permanent — by the WAL
+//! technique when the file's data blocks are contiguous, by the
+//! shadow-page technique otherwise — and the list is erased.
+
+use crate::service::TxnId;
+use rhodos_disk_service::codec::{DecodeError, Decoder, Encoder};
+use rhodos_file_service::FileId;
+
+/// Status of a transaction as recorded by the *intention flag* (§6.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntentionStatus {
+    /// First phase: changes are tentative and invisible.
+    Tentative,
+    /// The transaction can be committed; changes are being made permanent.
+    Commit,
+    /// The transaction was aborted.
+    Abort,
+}
+
+/// How a tentative item will be made permanent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// Write-ahead logging: data already on the log/tentative block is
+    /// copied into the original block in place, preserving contiguity.
+    Wal,
+    /// Shadow paging: the file index table descriptor is swung to the
+    /// tentative block; the original block is freed.
+    Shadow,
+}
+
+/// One record of a transaction's intentions list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Intention {
+    /// A whole tentative page (page or file mode): logical block `index`
+    /// of `fid`, with the tentative contents parked in a detached block at
+    /// `(tentative_disk, tentative_addr)`.
+    Page {
+        /// File modified.
+        fid: FileId,
+        /// Logical block index.
+        index: u64,
+        /// Disk holding the tentative block.
+        tentative_disk: u16,
+        /// Fragment address of the tentative block.
+        tentative_addr: u64,
+    },
+    /// A tentative byte range (record mode): the bytes live inline in the
+    /// log record ("there is no justification to tie up a complete block
+    /// or fragment" for record updates — WAL is always used).
+    Record {
+        /// File modified.
+        fid: FileId,
+        /// Byte offset of the update.
+        offset: u64,
+        /// The new bytes.
+        data: Vec<u8>,
+    },
+}
+
+impl Intention {
+    /// The file this intention touches.
+    pub fn file(&self) -> FileId {
+        match self {
+            Intention::Page { fid, .. } | Intention::Record { fid, .. } => *fid,
+        }
+    }
+
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            Intention::Page {
+                fid,
+                index,
+                tentative_disk,
+                tentative_addr,
+            } => {
+                e.u8(0)
+                    .u64(fid.0)
+                    .u64(*index)
+                    .u16(*tentative_disk)
+                    .u64(*tentative_addr);
+            }
+            Intention::Record { fid, offset, data } => {
+                e.u8(1).u64(fid.0).u64(*offset).bytes(data);
+            }
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match d.u8()? {
+            0 => Ok(Intention::Page {
+                fid: FileId(d.u64()?),
+                index: d.u64()?,
+                tentative_disk: d.u16()?,
+                tentative_addr: d.u64()?,
+            }),
+            1 => Ok(Intention::Record {
+                fid: FileId(d.u64()?),
+                offset: d.u64()?,
+                data: d.bytes()?.to_vec(),
+            }),
+            _ => Err(DecodeError),
+        }
+    }
+}
+
+/// A durable log record: either a commit record carrying a transaction's
+/// full intentions list, or the completion marker written after the
+/// changes were made permanent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// "This transaction commits with these intentions."
+    Commit {
+        /// Committing transaction.
+        txn: TxnId,
+        /// Its intentions, in application order.
+        intentions: Vec<Intention>,
+    },
+    /// "This transaction's intentions have all been applied."
+    Completed {
+        /// The finished transaction.
+        txn: TxnId,
+    },
+}
+
+const LOG_MAGIC: u32 = 0x52_4C_4F_47; // "RLOG"
+
+impl LogRecord {
+    /// Serialises the record, framed with a magic and a length so a
+    /// half-written tail is detected.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Encoder::new();
+        match self {
+            LogRecord::Commit { txn, intentions } => {
+                body.u8(0).u64(txn.0).u32(intentions.len() as u32);
+                for i in intentions {
+                    i.encode(&mut body);
+                }
+            }
+            LogRecord::Completed { txn } => {
+                body.u8(1).u64(txn.0);
+            }
+        }
+        let body = body.finish();
+        let mut framed = Encoder::new();
+        framed.u32(LOG_MAGIC).bytes(&body);
+        framed.finish()
+    }
+
+    /// Decodes one record from the front of `buf`, returning it and the
+    /// bytes consumed. Returns `Ok(None)` at a clean end of log (zero
+    /// padding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on a torn or corrupt record.
+    pub fn decode_one(buf: &[u8]) -> Result<Option<(Self, usize)>, DecodeError> {
+        if buf.len() < 4 || buf[..4] == [0, 0, 0, 0] {
+            return Ok(None);
+        }
+        let mut d = Decoder::new(buf);
+        if d.u32()? != LOG_MAGIC {
+            return Err(DecodeError);
+        }
+        let body = d.bytes()?;
+        let consumed = buf.len() - d.remaining();
+        let mut bd = Decoder::new(body);
+        let rec = match bd.u8()? {
+            0 => {
+                let txn = TxnId(bd.u64()?);
+                let n = bd.u32()? as usize;
+                let mut intentions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    intentions.push(Intention::decode(&mut bd)?);
+                }
+                LogRecord::Commit { txn, intentions }
+            }
+            1 => LogRecord::Completed { txn: TxnId(bd.u64()?) },
+            _ => return Err(DecodeError),
+        };
+        Ok(Some((rec, consumed)))
+    }
+
+    /// Decodes an entire log image into records, stopping at the first
+    /// clean end or torn tail (a torn tail is reported as end-of-log: the
+    /// record was never fully durable, so its transaction never committed).
+    pub fn decode_log(buf: &[u8]) -> Vec<LogRecord> {
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos < buf.len() {
+            match Self::decode_one(&buf[pos..]) {
+                Ok(Some((rec, used))) => {
+                    out.push(rec);
+                    pos += used;
+                }
+                Ok(None) | Err(_) => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_commit() -> LogRecord {
+        LogRecord::Commit {
+            txn: TxnId(7),
+            intentions: vec![
+                Intention::Page {
+                    fid: FileId(1),
+                    index: 3,
+                    tentative_disk: 0,
+                    tentative_addr: 4040,
+                },
+                Intention::Record {
+                    fid: FileId(2),
+                    offset: 99,
+                    data: b"xyz".to_vec(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let rec = sample_commit();
+        let bytes = rec.encode();
+        let (back, used) = LogRecord::decode_one(&bytes).unwrap().unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn log_of_multiple_records() {
+        let mut log = Vec::new();
+        log.extend(sample_commit().encode());
+        log.extend(LogRecord::Completed { txn: TxnId(7) }.encode());
+        log.extend([0u8; 64]); // clean padding tail
+        let records = LogRecord::decode_log(&log);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1], LogRecord::Completed { txn: TxnId(7) });
+    }
+
+    #[test]
+    fn torn_tail_treated_as_uncommitted() {
+        let mut log = Vec::new();
+        log.extend(LogRecord::Completed { txn: TxnId(1) }.encode());
+        let mut torn = sample_commit().encode();
+        torn.truncate(torn.len() / 2);
+        log.extend(torn);
+        let records = LogRecord::decode_log(&log);
+        assert_eq!(records.len(), 1, "torn record must not surface");
+    }
+
+    #[test]
+    fn empty_log_decodes_empty() {
+        assert!(LogRecord::decode_log(&[0u8; 128]).is_empty());
+        assert!(LogRecord::decode_log(&[]).is_empty());
+    }
+
+    #[test]
+    fn intention_file_accessor() {
+        let i = Intention::Record {
+            fid: FileId(9),
+            offset: 0,
+            data: vec![],
+        };
+        assert_eq!(i.file(), FileId(9));
+    }
+}

@@ -1,0 +1,240 @@
+//! Lock modes, data items and the Table 1 compatibility rules (§6.3).
+//!
+//! RHODOS synchronises access to data items with three locks:
+//!
+//! * **read-only (RO)** — set "if the data item is needed to perform some
+//!   query". Shareable with other RO locks and with a single Iread lock.
+//! * **Iread (IR)** — set when "a transaction reads a data item to modify
+//!   it". Once an IR lock is in place no *new* RO lock may be set on the
+//!   item (prevents permanent blocking of the writer and cascading
+//!   aborts). At most one IR per item.
+//! * **Iwrite (IW)** — exclusive. May be set on a free item, or by
+//!   *conversion* from the same transaction's IR lock.
+
+use rhodos_file_service::FileId;
+use std::fmt;
+
+/// The three RHODOS lock modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LockMode {
+    /// Shared query lock.
+    ReadOnly,
+    /// Read-with-intent-to-modify lock.
+    Iread,
+    /// Exclusive write lock.
+    Iwrite,
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LockMode::ReadOnly => "read-only",
+            LockMode::Iread => "Iread",
+            LockMode::Iwrite => "Iwrite",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A lockable data item at one of the three granularities (§6.1). Each
+/// granularity lives in its own lock table, so items of different
+/// granularities never conflict structurally (the paper assumes "a file
+/// cannot be subjected to more than one level of locking by concurrent
+/// transactions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataItem {
+    /// Whole-file lock ("file mode").
+    File(FileId),
+    /// One page — a block — of a file ("page mode").
+    Page(FileId, u64),
+    /// A byte range of a file ("record mode"; "as fine as a single byte
+    /// or ... as coarse as an entire file"). Half-open `[start, end)`.
+    Record(FileId, u64, u64),
+}
+
+impl DataItem {
+    /// The file the item belongs to.
+    pub fn file(&self) -> FileId {
+        match self {
+            DataItem::File(f) | DataItem::Page(f, _) | DataItem::Record(f, _, _) => *f,
+        }
+    }
+
+    /// Whether two items denote overlapping data (the "same data item"
+    /// test of the compatibility rules). Items of different granularities
+    /// are compared conservatively: anything overlapping the same file
+    /// conflicts with a [`DataItem::File`] item.
+    pub fn overlaps(&self, other: &DataItem) -> bool {
+        if self.file() != other.file() {
+            return false;
+        }
+        match (self, other) {
+            (DataItem::File(_), _) | (_, DataItem::File(_)) => true,
+            (DataItem::Page(_, a), DataItem::Page(_, b)) => a == b,
+            (DataItem::Record(_, s1, e1), DataItem::Record(_, s2, e2)) => s1 < e2 && s2 < e1,
+            // Mixed page/record on one file: conservative conflict.
+            (DataItem::Page(..), DataItem::Record(..))
+            | (DataItem::Record(..), DataItem::Page(..)) => true,
+        }
+    }
+}
+
+impl DataItem {
+    /// Whether a lock on `self` fully covers `other` — i.e. holding
+    /// `self` makes a separate lock on `other` redundant. Stricter than
+    /// [`Self::overlaps`]: a partial range overlap does *not* cover.
+    pub fn covers(&self, other: &DataItem) -> bool {
+        if self.file() != other.file() {
+            return false;
+        }
+        const BS: u64 = 8192;
+        match (self, other) {
+            (DataItem::File(_), _) => true,
+            (_, DataItem::File(_)) => false,
+            (DataItem::Page(_, a), DataItem::Page(_, b)) => a == b,
+            (DataItem::Page(_, p), DataItem::Record(_, s, e)) => {
+                *s >= p * BS && *e <= (p + 1) * BS
+            }
+            (DataItem::Record(_, s, e), DataItem::Record(_, s2, e2)) => s <= s2 && e2 <= e,
+            (DataItem::Record(_, s, e), DataItem::Page(_, p)) => {
+                *s <= p * BS && (p + 1) * BS <= *e
+            }
+        }
+    }
+}
+
+impl fmt::Display for DataItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataItem::File(fid) => write!(f, "{fid}"),
+            DataItem::Page(fid, p) => write!(f, "{fid}:page{p}"),
+            DataItem::Record(fid, s, e) => write!(f, "{fid}:[{s}..{e})"),
+        }
+    }
+}
+
+/// Whether a transaction may set `want` on an item given the `held` locks
+/// of *other* transactions and `own`, its own current lock on the item
+/// (if any).
+///
+/// This is Table 1 plus the conversion rules:
+///
+/// | held by others ↓, requested → | RO | IR | IW |
+/// |---|---|---|---|
+/// | none            | ok | ok | ok |
+/// | RO only         | ok | ok | wait |
+/// | IR (± RO)       | wait | wait | wait (ok for the IR holder itself: conversion) |
+/// | IW              | wait | wait | wait |
+pub fn may_grant(held_by_others: &[LockMode], own: Option<LockMode>, want: LockMode) -> bool {
+    // A transaction already holding a mode ≥ the request is trivially fine.
+    if let Some(own) = own {
+        if own >= want {
+            return true;
+        }
+    }
+    let others_ro = held_by_others.iter().filter(|m| **m == LockMode::ReadOnly).count();
+    let others_ir = held_by_others.iter().filter(|m| **m == LockMode::Iread).count();
+    let others_iw = held_by_others.iter().filter(|m| **m == LockMode::Iwrite).count();
+    if others_iw > 0 {
+        return false;
+    }
+    match want {
+        // "A data item can be read-only locked provided it is free or
+        // read-only locked by other transactions" — and never once an
+        // Iread is in place.
+        LockMode::ReadOnly => others_ir == 0,
+        // "Locked with read-only by other transaction(s) or not locked" —
+        // and the single-Iread rule.
+        LockMode::Iread => others_ir == 0,
+        // "Not locked by any transaction, or Iread locked by the same
+        // transaction" (conversion). Converting while others hold RO must
+        // wait (IW shares with nothing). A sole RO holder may also
+        // upgrade: "locks can be converted into another", and RO→IR→IW is
+        // legal step by step, so refusing the direct request would only
+        // manufacture a self-deadlock.
+        LockMode::Iwrite => others_ro == 0 && others_ir == 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RO: LockMode = LockMode::ReadOnly;
+    const IR: LockMode = LockMode::Iread;
+    const IW: LockMode = LockMode::Iwrite;
+
+    /// The exact Table 1 matrix (held lock by another transaction → which
+    /// new locks are granted to a different transaction).
+    #[test]
+    fn table_one_matrix() {
+        // held None: everything ok.
+        for want in [RO, IR, IW] {
+            assert!(may_grant(&[], None, want), "free item must grant {want}");
+        }
+        // held RO by another: RO ok, IR ok, IW wait.
+        assert!(may_grant(&[RO], None, RO));
+        assert!(may_grant(&[RO], None, IR));
+        assert!(!may_grant(&[RO], None, IW));
+        // held IR by another: everything waits.
+        assert!(!may_grant(&[IR], None, RO));
+        assert!(!may_grant(&[IR], None, IR));
+        assert!(!may_grant(&[IR], None, IW));
+        // held IW by another: everything waits.
+        assert!(!may_grant(&[IW], None, RO));
+        assert!(!may_grant(&[IW], None, IR));
+        assert!(!may_grant(&[IW], None, IW));
+    }
+
+    #[test]
+    fn ro_shareable_with_many_ros_and_one_ir() {
+        assert!(may_grant(&[RO, RO, RO], None, RO));
+        assert!(may_grant(&[RO, RO], None, IR));
+        // But once the IR is there, no *new* RO.
+        assert!(!may_grant(&[RO, RO, IR], None, RO));
+    }
+
+    #[test]
+    fn ir_to_iw_conversion_by_holder() {
+        // Sole IR holder may convert to IW.
+        assert!(may_grant(&[], Some(IR), IW));
+        // With other RO holders present, the conversion must wait.
+        assert!(!may_grant(&[RO], Some(IR), IW));
+    }
+
+    #[test]
+    fn holder_requests_are_idempotent() {
+        assert!(may_grant(&[], Some(IW), RO));
+        assert!(may_grant(&[], Some(IW), IR));
+        assert!(may_grant(&[], Some(IW), IW));
+        assert!(may_grant(&[RO, RO], Some(RO), RO));
+    }
+
+    #[test]
+    fn record_overlap_semantics() {
+        let f = FileId(1);
+        let a = DataItem::Record(f, 0, 10);
+        let b = DataItem::Record(f, 10, 20);
+        let c = DataItem::Record(f, 5, 15);
+        assert!(!a.overlaps(&b), "adjacent half-open ranges do not overlap");
+        assert!(a.overlaps(&c));
+        assert!(b.overlaps(&c));
+        assert!(!a.overlaps(&DataItem::Record(FileId(2), 0, 10)));
+    }
+
+    #[test]
+    fn file_item_dominates_everything_in_its_file() {
+        let f = FileId(3);
+        let whole = DataItem::File(f);
+        assert!(whole.overlaps(&DataItem::Page(f, 9)));
+        assert!(whole.overlaps(&DataItem::Record(f, 0, 1)));
+        assert!(!whole.overlaps(&DataItem::File(FileId(4))));
+    }
+
+    #[test]
+    fn pages_conflict_only_when_equal() {
+        let f = FileId(1);
+        assert!(DataItem::Page(f, 2).overlaps(&DataItem::Page(f, 2)));
+        assert!(!DataItem::Page(f, 2).overlaps(&DataItem::Page(f, 3)));
+    }
+}

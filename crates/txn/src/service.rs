@@ -1,0 +1,1802 @@
+//! The transaction service: `t*` operations, two-phase locking, commit
+//! and recovery.
+
+use crate::error::TxnError;
+use crate::intentions::{Intention, LogRecord, Technique};
+use crate::lock::{DataItem, LockMode};
+use crate::table::{LockOutcome, LockTable};
+use rhodos_disk_service::{ReadSource, StablePolicy, BLOCK_SIZE};
+use rhodos_file_service::{FileId, FileService, FileServiceError, LockLevel, ServiceType};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A transaction descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn#{}", self.0)
+    }
+}
+
+/// Tunables of the transaction service.
+#[derive(Debug, Clone, Copy)]
+pub struct TxnConfig {
+    /// Lock lease period LT, virtual microseconds (§6.4).
+    pub lt_us: u64,
+    /// Renewals N before an uncontested holder is presumed deadlocked.
+    pub max_renewals: u32,
+    /// Cross-granularity conflict detection. The paper assumes "a file
+    /// cannot be subjected to more than one level of locking by
+    /// concurrent transactions" but notes "this constraint can be
+    /// relaxed, if required, at a later stage" (§6.1) — enabling this
+    /// implements the relaxation: a lock request also conflicts with
+    /// overlapping locks held in the *other* granularities' tables.
+    pub cross_granularity: bool,
+    /// Compact the intention log automatically once it grows past this
+    /// many bytes (checked at quiescent moments — everything before the
+    /// tail has completed by then, so the log is pure garbage).
+    pub log_compact_threshold: u64,
+}
+
+impl Default for TxnConfig {
+    fn default() -> Self {
+        Self {
+            lt_us: 100_000,
+            max_renewals: 3,
+            cross_granularity: false,
+            log_compact_threshold: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// Counters of transaction-service behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnStats {
+    /// Transactions begun.
+    pub begun: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted (all causes).
+    pub aborted: u64,
+    /// Aborts caused by the deadlock timeout.
+    pub timeout_aborts: u64,
+    /// Page intentions applied with write-ahead logging.
+    pub wal_pages: u64,
+    /// Page intentions applied with the shadow-page technique.
+    pub shadow_pages: u64,
+    /// Record intentions applied.
+    pub record_intentions: u64,
+    /// Operations that returned `WouldBlock`.
+    pub would_blocks: u64,
+}
+
+#[derive(Debug, Clone)]
+struct TentativePage {
+    disk: u16,
+    addr: u64,
+    data: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct ActiveTxn {
+    pid: u64,
+    /// Parent transaction for nested transactions (§6.4 mentions nested
+    /// transactions as a source of long-running work). `None` for
+    /// top-level transactions.
+    parent: Option<TxnId>,
+    open_files: HashSet<FileId>,
+    /// Files visible through an ancestor's `topen` (no own reference).
+    inherited_files: HashSet<FileId>,
+    tentative_pages: HashMap<(FileId, u64), TentativePage>,
+    /// Record-mode tentative writes, in order.
+    tentative_records: Vec<(FileId, u64, Vec<u8>)>,
+    /// Tentative file sizes (writes past the current end).
+    tentative_sizes: HashMap<FileId, u64>,
+    /// Files created inside this transaction (deleted again on abort).
+    created: Vec<FileId>,
+    /// Files whose deletion is deferred to commit.
+    to_delete: Vec<FileId>,
+}
+
+impl ActiveTxn {
+    fn new(pid: u64) -> Self {
+        Self {
+            pid,
+            parent: None,
+            open_files: HashSet::new(),
+            inherited_files: HashSet::new(),
+            tentative_pages: HashMap::new(),
+            tentative_records: Vec::new(),
+            tentative_sizes: HashMap::new(),
+            created: Vec::new(),
+            to_delete: Vec::new(),
+        }
+    }
+
+    fn can_use(&self, fid: FileId) -> bool {
+        self.open_files.contains(&fid) || self.inherited_files.contains(&fid)
+    }
+}
+
+/// Index of the lock table for each granularity.
+fn table_index(level: LockLevel) -> usize {
+    match level {
+        LockLevel::Record => 0,
+        LockLevel::Page => 1,
+        LockLevel::File => 2,
+    }
+}
+
+/// The RHODOS transaction service, owning the basic file service it
+/// coordinates ("the file service is also responsible for coordinating
+/// access to file data using the semantics of the transaction services").
+///
+/// See the [crate documentation](crate) for an example.
+#[derive(Debug)]
+pub struct TransactionService {
+    fs: FileService,
+    config: TxnConfig,
+    /// One lock table per locking level (§6.5).
+    tables: [LockTable; 3],
+    active: HashMap<TxnId, ActiveTxn>,
+    next_txn: u64,
+    log_fid: FileId,
+    log_tail: u64,
+    stats: TxnStats,
+}
+
+impl TransactionService {
+    /// Creates the service over `fs`, creating (or re-attaching to) the
+    /// durable intention log.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the log file cannot be created or opened.
+    pub fn new(mut fs: FileService, config: TxnConfig) -> Result<Self, TxnError> {
+        let log_fid = match fs.system_file() {
+            Some(fid) => fid,
+            None => {
+                let fid = fs.create(ServiceType::Transaction)?;
+                fs.set_system_file(fid)?;
+                fid
+            }
+        };
+        fs.open(log_fid)?;
+        let log_tail = fs.get_attribute(log_fid)?.size;
+        let mk = || LockTable::new(config.lt_us, config.max_renewals);
+        Ok(Self {
+            fs,
+            config,
+            tables: [mk(), mk(), mk()],
+            active: HashMap::new(),
+            next_txn: 1,
+            log_fid,
+            log_tail,
+            stats: TxnStats::default(),
+        })
+    }
+
+    /// The underlying basic file service (for non-transactional traffic —
+    /// the transaction service is optional).
+    pub fn file_service_mut(&mut self) -> &mut FileService {
+        &mut self.fs
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> TxnConfig {
+        self.config
+    }
+
+    /// Read access to the statistics.
+    pub fn stats(&self) -> TxnStats {
+        self.stats
+    }
+
+    /// Statistics of the lock table for `level`.
+    pub fn lock_table_stats(&self, level: LockLevel) -> crate::table::LockTableStats {
+        self.tables[table_index(level)].stats()
+    }
+
+    /// Currently active transactions.
+    pub fn active_transactions(&self) -> Vec<TxnId> {
+        let mut v: Vec<TxnId> = self.active.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    // ---- lifecycle -----------------------------------------------------
+
+    /// `tbegin`: starts a transaction for process `pid` 0.
+    pub fn tbegin(&mut self) -> TxnId {
+        self.tbegin_for(0)
+    }
+
+    /// `tbegin` with an explicit process identifier.
+    pub fn tbegin_for(&mut self, pid: u64) -> TxnId {
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.active.insert(id, ActiveTxn::new(pid));
+        self.stats.begun += 1;
+        id
+    }
+
+    /// `tbegin` for a *nested* transaction: the child sees the parent's
+    /// tentative state, locks on behalf of the whole family, and merges
+    /// its effects into the parent on `tend` (or discards only its own on
+    /// `tabort`). Durability still happens at top-level commit.
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::NotActive`] if `parent` is not an active transaction.
+    pub fn tbegin_nested(&mut self, parent: TxnId) -> Result<TxnId, TxnError> {
+        let (pid, visible) = {
+            let p = self.txn(parent)?;
+            let mut v = p.open_files.clone();
+            v.extend(p.inherited_files.iter().copied());
+            (p.pid, v)
+        };
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let mut child = ActiveTxn::new(pid);
+        child.parent = Some(parent);
+        child.inherited_files = visible;
+        self.active.insert(id, child);
+        self.stats.begun += 1;
+        Ok(id)
+    }
+
+    /// The chain of ancestors of `t`, root first, ending with `t`.
+    fn chain(&self, t: TxnId) -> Vec<TxnId> {
+        let mut chain = vec![t];
+        let mut cur = t;
+        while let Some(p) = self.active.get(&cur).and_then(|x| x.parent) {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// The top-level ancestor of `t` (itself, when not nested). Locks are
+    /// held in the root's name so a family never conflicts with itself.
+    fn root_of(&self, t: TxnId) -> TxnId {
+        *self.chain(t).first().expect("chain is never empty")
+    }
+
+    /// Direct children of `t` that are still active.
+    fn children_of(&self, t: TxnId) -> Vec<TxnId> {
+        let mut v: Vec<TxnId> = self
+            .active
+            .iter()
+            .filter(|(_, x)| x.parent == Some(t))
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn txn(&self, t: TxnId) -> Result<&ActiveTxn, TxnError> {
+        self.active.get(&t).ok_or(TxnError::NotActive(t))
+    }
+
+    fn txn_mut(&mut self, t: TxnId) -> Result<&mut ActiveTxn, TxnError> {
+        self.active.get_mut(&t).ok_or(TxnError::NotActive(t))
+    }
+
+    /// `tcreate` outside any transaction: a transaction-typed file with
+    /// the given locking level.
+    ///
+    /// # Errors
+    ///
+    /// File-service failures.
+    pub fn tcreate(&mut self, level: LockLevel) -> Result<FileId, TxnError> {
+        let fid = self.fs.create(ServiceType::Transaction)?;
+        self.fs.set_lock_level(fid, level)?;
+        Ok(fid)
+    }
+
+    /// `tcreate` inside a transaction: the file exists durably only if the
+    /// transaction commits.
+    ///
+    /// # Errors
+    ///
+    /// File-service failures; [`TxnError::NotActive`] for a dead
+    /// transaction.
+    pub fn tcreate_in(&mut self, t: TxnId, level: LockLevel) -> Result<FileId, TxnError> {
+        self.txn(t)?;
+        let fid = self.tcreate(level)?;
+        self.fs.open(fid)?;
+        let txn = self.txn_mut(t)?;
+        txn.created.push(fid);
+        txn.open_files.insert(fid);
+        Ok(fid)
+    }
+
+    /// `topen`: opens a file under the transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::NotActive`]; file-service failures.
+    pub fn topen(&mut self, t: TxnId, fid: FileId) -> Result<(), TxnError> {
+        self.txn(t)?;
+        self.fs.open(fid)?;
+        self.txn_mut(t)?.open_files.insert(fid);
+        Ok(())
+    }
+
+    /// `tclose`: closes a file under the transaction (its locks remain
+    /// held until commit/abort — two-phase locking).
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::FileNotOpen`] if `topen` was never called.
+    pub fn tclose(&mut self, t: TxnId, fid: FileId) -> Result<(), TxnError> {
+        let txn = self.txn_mut(t)?;
+        if !txn.open_files.remove(&fid) {
+            return Err(TxnError::FileNotOpen(t));
+        }
+        self.fs.close(fid)?;
+        Ok(())
+    }
+
+    /// `tdelete`: schedules deletion of `fid` at commit (aborting keeps
+    /// the file). Takes a whole-file Iwrite lock.
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::WouldBlock`] while another transaction uses the file.
+    pub fn tdelete(&mut self, t: TxnId, fid: FileId) -> Result<(), TxnError> {
+        self.txn(t)?;
+        self.acquire(t, fid, DataItem::File(fid), LockMode::Iwrite, LockLevel::File)?;
+        self.txn_mut(t)?.to_delete.push(fid);
+        Ok(())
+    }
+
+    /// `tget-attribute`: attributes with this transaction's tentative size
+    /// overlaid.
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::NotActive`]; file-service failures.
+    pub fn tget_attribute(
+        &mut self,
+        t: TxnId,
+        fid: FileId,
+    ) -> Result<rhodos_file_service::FileAttributes, TxnError> {
+        self.txn(t)?;
+        let mut attrs = self.fs.get_attribute(fid)?;
+        attrs.size = self.effective_size(t, fid, attrs.size);
+        Ok(attrs)
+    }
+
+    // ---- locking helpers -------------------------------------------------
+
+    fn lock_level_of(&mut self, fid: FileId) -> Result<LockLevel, TxnError> {
+        Ok(self.fs.get_attribute(fid)?.lock_level)
+    }
+
+    fn acquire(
+        &mut self,
+        t: TxnId,
+        _fid: FileId,
+        item: DataItem,
+        mode: LockMode,
+        level: LockLevel,
+    ) -> Result<(), TxnError> {
+        let pid = self.txn(t)?.pid;
+        let now = self.fs.clock().now_us();
+        // Nested transactions lock in the root's name: the family shares
+        // its locks and never conflicts with itself.
+        let owner = self.root_of(t).0;
+        // Relaxed mode (§6.1): the same file may be locked at different
+        // levels by concurrent transactions, so a request must also be
+        // compatible with overlapping grants in the other tables.
+        if self.config.cross_granularity {
+            let idx = table_index(level);
+            for (i, other) in self.tables.iter().enumerate() {
+                if i != idx && other.would_conflict(owner, &item, mode) {
+                    self.stats.would_blocks += 1;
+                    return Err(TxnError::WouldBlock { txn: t, item });
+                }
+            }
+        }
+        let table = &mut self.tables[table_index(level)];
+        match table.set_lock(pid, owner, item, mode, now) {
+            LockOutcome::Granted => Ok(()),
+            LockOutcome::Queued => {
+                self.stats.would_blocks += 1;
+                Err(TxnError::WouldBlock { txn: t, item })
+            }
+        }
+    }
+
+    /// The data items covering `[offset, offset+len)` at the file's lock
+    /// level.
+    fn items_for_range(
+        &mut self,
+        fid: FileId,
+        offset: u64,
+        len: u64,
+    ) -> Result<(LockLevel, Vec<DataItem>), TxnError> {
+        let level = self.lock_level_of(fid)?;
+        let items = match level {
+            LockLevel::File => vec![DataItem::File(fid)],
+            LockLevel::Record => vec![DataItem::Record(fid, offset, offset + len.max(1))],
+            LockLevel::Page => {
+                let first = offset / BLOCK_SIZE as u64;
+                let last = (offset + len.max(1) - 1) / BLOCK_SIZE as u64;
+                (first..=last).map(|b| DataItem::Page(fid, b)).collect()
+            }
+        };
+        Ok((level, items))
+    }
+
+    fn effective_size(&self, t: TxnId, fid: FileId, base: u64) -> u64 {
+        self.chain(t)
+            .iter()
+            .filter_map(|id| {
+                self.active
+                    .get(id)
+                    .and_then(|x| x.tentative_sizes.get(&fid))
+                    .copied()
+            })
+            .fold(base, u64::max)
+    }
+
+    // ---- reads -----------------------------------------------------------
+
+    /// `tread`/`tpread`: reads under a read-only lock ("if the data item is
+    /// needed to perform some query").
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::WouldBlock`] on lock conflict; [`TxnError::BeyondEof`].
+    pub fn tread(
+        &mut self,
+        t: TxnId,
+        fid: FileId,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, TxnError> {
+        self.tread_mode(t, fid, offset, len, LockMode::ReadOnly)
+    }
+
+    /// `tread` with intent to modify: takes an `Iread` lock so the value
+    /// cannot change (or be read-locked anew) before the update.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::tread`].
+    pub fn tread_for_update(
+        &mut self,
+        t: TxnId,
+        fid: FileId,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, TxnError> {
+        self.tread_mode(t, fid, offset, len, LockMode::Iread)
+    }
+
+    fn tread_mode(
+        &mut self,
+        t: TxnId,
+        fid: FileId,
+        offset: u64,
+        len: usize,
+        mode: LockMode,
+    ) -> Result<Vec<u8>, TxnError> {
+        self.txn(t)?;
+        if !self.txn(t)?.can_use(fid) {
+            return Err(TxnError::FileNotOpen(t));
+        }
+        let (level, items) = self.items_for_range(fid, offset, len as u64)?;
+        for item in items {
+            self.acquire(t, fid, item, mode, level)?;
+        }
+        let base_size = self.fs.get_attribute(fid)?.size;
+        let size = self.effective_size(t, fid, base_size);
+        if offset > size {
+            return Err(TxnError::BeyondEof { offset, size });
+        }
+        let len = (len as u64).min(size - offset) as usize;
+        let mut out = self.read_with_overlay(t, fid, offset, len, base_size)?;
+        out.truncate(len);
+        Ok(out)
+    }
+
+    /// Reads `[offset, offset+len)` of the committed file, overlaying this
+    /// transaction's tentative pages and records.
+    fn read_with_overlay(
+        &mut self,
+        t: TxnId,
+        fid: FileId,
+        offset: u64,
+        len: usize,
+        base_size: u64,
+    ) -> Result<Vec<u8>, TxnError> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let bs = BLOCK_SIZE as u64;
+        let first = offset / bs;
+        let last = (offset + len as u64 - 1) / bs;
+        let base_blocks = base_size.div_ceil(bs);
+        let chain = self.chain(t);
+        let mut out = Vec::with_capacity(len);
+        for idx in first..=last {
+            // Youngest tentative copy wins (child shadows parent).
+            let tentative = chain.iter().rev().find_map(|id| {
+                self.active
+                    .get(id)
+                    .and_then(|x| x.tentative_pages.get(&(fid, idx)))
+                    .map(|p| p.data.clone())
+            });
+            let block = match tentative {
+                Some(data) => data,
+                None if idx < base_blocks => self.fs.read_block(fid, idx)?,
+                None => vec![0u8; BLOCK_SIZE],
+            };
+            let block_start = idx * bs;
+            let lo = offset.max(block_start) - block_start;
+            let hi = (offset + len as u64).min(block_start + bs) - block_start;
+            out.extend_from_slice(&block[lo as usize..hi as usize]);
+        }
+        // Record-mode overlay: root first, then descendants, each in its
+        // own write order.
+        for id in &chain {
+            let Some(txn) = self.active.get(id) else { continue };
+            for (rfid, roff, bytes) in &txn.tentative_records {
+                if *rfid != fid {
+                    continue;
+                }
+                let rlo = *roff;
+                let rhi = roff + bytes.len() as u64;
+                let wlo = offset.max(rlo);
+                let whi = (offset + len as u64).min(rhi);
+                if wlo < whi {
+                    let dst = (wlo - offset) as usize..(whi - offset) as usize;
+                    let src = (wlo - rlo) as usize..(whi - rlo) as usize;
+                    out[dst].copy_from_slice(&bytes[src]);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // ---- writes ------------------------------------------------------------
+
+    /// `twrite`/`tpwrite`: records a tentative update under an `Iwrite`
+    /// lock (converting the transaction's `Iread` when present). The data
+    /// is invisible to other transactions until commit.
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::WouldBlock`] on lock conflict.
+    pub fn twrite(
+        &mut self,
+        t: TxnId,
+        fid: FileId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), TxnError> {
+        self.txn(t)?;
+        if !self.txn(t)?.can_use(fid) {
+            return Err(TxnError::FileNotOpen(t));
+        }
+        if data.is_empty() {
+            return Ok(());
+        }
+        let (level, items) = self.items_for_range(fid, offset, data.len() as u64)?;
+        for item in items {
+            self.acquire(t, fid, item, LockMode::Iwrite, level)?;
+        }
+        let base_size = self.fs.get_attribute(fid)?.size;
+        match level {
+            LockLevel::Record => {
+                let txn = self.txn_mut(t)?;
+                txn.tentative_records.push((fid, offset, data.to_vec()));
+            }
+            LockLevel::Page | LockLevel::File => {
+                self.twrite_pages(t, fid, offset, data, base_size)?;
+            }
+        }
+        let new_size = offset + data.len() as u64;
+        let txn = self.txn_mut(t)?;
+        let entry = txn.tentative_sizes.entry(fid).or_insert(base_size);
+        *entry = (*entry).max(new_size).max(base_size);
+        Ok(())
+    }
+
+    fn twrite_pages(
+        &mut self,
+        t: TxnId,
+        fid: FileId,
+        offset: u64,
+        data: &[u8],
+        base_size: u64,
+    ) -> Result<(), TxnError> {
+        let bs = BLOCK_SIZE as u64;
+        let first = offset / bs;
+        let last = (offset + data.len() as u64 - 1) / bs;
+        let base_blocks = base_size.div_ceil(bs);
+        for idx in first..=last {
+            let block_start = idx * bs;
+            let lo = offset.max(block_start);
+            let hi = (offset + data.len() as u64).min(block_start + bs);
+            // Materialise the tentative page. A nested transaction's
+            // first touch of a page copies the youngest ancestor version
+            // into its own detached block (copy-on-write down the chain).
+            let existing = self
+                .active
+                .get(&t)
+                .and_then(|x| x.tentative_pages.get(&(fid, idx)))
+                .cloned();
+            let (disk, addr, mut page) = match existing {
+                Some(p) => (p.disk, p.addr, p.data),
+                None => {
+                    let chain = self.chain(t);
+                    let inherited = chain[..chain.len() - 1].iter().rev().find_map(|id| {
+                        self.active
+                            .get(id)
+                            .and_then(|x| x.tentative_pages.get(&(fid, idx)))
+                            .map(|p| p.data.clone())
+                    });
+                    let base = match inherited {
+                        Some(data) => data,
+                        None if idx < base_blocks => self.fs.read_block(fid, idx)?,
+                        None => vec![0u8; BLOCK_SIZE],
+                    };
+                    let (d, a) = self.fs.allocate_shadow_block(fid)?;
+                    (d, a, base)
+                }
+            };
+            page[(lo - block_start) as usize..(hi - block_start) as usize]
+                .copy_from_slice(&data[(lo - offset) as usize..(hi - offset) as usize]);
+            // Persist the tentative page to its detached block now — this
+            // is the durable copy the commit record will point at.
+            self.fs
+                .put_detached_block(disk, addr, &page, StablePolicy::None)?;
+            self.txn_mut(t)?
+                .tentative_pages
+                .insert((fid, idx), TentativePage { disk, addr, data: page });
+        }
+        Ok(())
+    }
+
+    // ---- commit / abort ------------------------------------------------------
+
+    fn append_log(&mut self, record: &LogRecord) -> Result<(), TxnError> {
+        let bytes = record.encode();
+        self.fs.write(self.log_fid, self.log_tail, &bytes)?;
+        self.fs.flush_file(self.log_fid)?;
+        self.log_tail += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// `tend`: commits the transaction — writes the intentions list to the
+    /// durable log, makes the changes permanent (WAL when the file's data
+    /// blocks are contiguous, shadow paging otherwise), erases the
+    /// intentions and releases every lock.
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::NotActive`]; file-service failures (the log record, if
+    /// already durable, will be replayed by recovery).
+    pub fn tend(&mut self, t: TxnId) -> Result<(), TxnError> {
+        self.txn(t)?;
+        if !self.children_of(t).is_empty() {
+            return Err(TxnError::ChildrenActive(t));
+        }
+        // Nested commit: merge into the parent; durability waits for the
+        // top level.
+        if self.txn(t)?.parent.is_some() {
+            return self.tend_nested(t);
+        }
+        // Assemble the intentions list.
+        let txn = self.active.get(&t).expect("checked");
+        let mut intentions: Vec<Intention> = Vec::new();
+        let mut pages: Vec<(&(FileId, u64), &TentativePage)> =
+            txn.tentative_pages.iter().collect();
+        pages.sort_by_key(|(k, _)| **k);
+        for ((fid, idx), p) in pages {
+            intentions.push(Intention::Page {
+                fid: *fid,
+                index: *idx,
+                tentative_disk: p.disk,
+                tentative_addr: p.addr,
+            });
+        }
+        for (fid, off, bytes) in &txn.tentative_records {
+            intentions.push(Intention::Record {
+                fid: *fid,
+                offset: *off,
+                data: bytes.clone(),
+            });
+        }
+        let sizes: Vec<(FileId, u64)> = txn.tentative_sizes.iter().map(|(f, s)| (*f, *s)).collect();
+        let has_effects = !intentions.is_empty() || !txn.to_delete.is_empty();
+        // 1. Durable commit record (the intention flag moves to Commit).
+        if has_effects {
+            self.append_log(&LogRecord::Commit {
+                txn: t,
+                intentions: intentions.clone(),
+            })?;
+        }
+        // 2. Make the changes permanent.
+        for (fid, size) in sizes {
+            self.fs.ensure_size(fid, size)?;
+        }
+        self.apply_intentions(&intentions, None)?;
+        // 3. Deferred deletions.
+        let to_delete = self.active.get(&t).expect("checked").to_delete.clone();
+        for fid in to_delete {
+            // Close our own handle if we had one, then delete.
+            if self.active.get(&t).expect("checked").open_files.contains(&fid) {
+                let _ = self.tclose(t, fid);
+            }
+            self.fs.delete(fid)?;
+        }
+        // 4. Erase the intentions (completion marker).
+        if has_effects {
+            self.append_log(&LogRecord::Completed { txn: t })?;
+        }
+        self.finish(t, true);
+        // Quiescent housekeeping: everything in the log has completed, so
+        // reclaim it once it outgrows the threshold.
+        if self.active.is_empty() && self.log_tail > self.config.log_compact_threshold {
+            self.compact_log()?;
+        }
+        Ok(())
+    }
+
+    /// Applies intentions. `override_source` is used during recovery,
+    /// where tentative page data must be fetched from the detached blocks
+    /// rather than memory.
+    fn apply_intentions(
+        &mut self,
+        intentions: &[Intention],
+        override_source: Option<ReadSource>,
+    ) -> Result<(), TxnError> {
+        for intent in intentions {
+            match intent {
+                Intention::Page {
+                    fid,
+                    index,
+                    tentative_disk,
+                    tentative_addr,
+                } => {
+                    // Grow first if recovery replays a size-extending write.
+                    let nblocks = self.fs.get_attribute(*fid)?.size.div_ceil(BLOCK_SIZE as u64);
+                    if *index >= nblocks {
+                        self.fs
+                            .ensure_size(*fid, (*index + 1) * BLOCK_SIZE as u64)?;
+                    }
+                    let fit = self.fs.fit_snapshot(*fid)?;
+                    let technique = if fit.contiguity_ratio() >= 1.0 {
+                        Technique::Wal
+                    } else {
+                        Technique::Shadow
+                    };
+                    let data = self.fs.get_detached_block(
+                        *tentative_disk,
+                        *tentative_addr,
+                        override_source.unwrap_or(ReadSource::Main),
+                    )?;
+                    match technique {
+                        Technique::Wal => {
+                            // In-place update preserves contiguity; the
+                            // detached block was the log entry.
+                            self.fs.write_block(*fid, *index, &data)?;
+                            self.fs.free_detached_block(*tentative_disk, *tentative_addr)?;
+                            self.stats.wal_pages += 1;
+                        }
+                        Technique::Shadow => {
+                            // Swing the descriptor; free the old block.
+                            let (od, oa) = self.fs.replace_block_descriptor(
+                                *fid,
+                                *index,
+                                *tentative_disk,
+                                *tentative_addr,
+                            )?;
+                            self.fs.free_detached_block(od, oa)?;
+                            self.stats.shadow_pages += 1;
+                        }
+                    }
+                }
+                Intention::Record { fid, offset, data } => {
+                    // Records always use WAL: the log record *is* the log
+                    // entry; apply in place.
+                    self.fs.ensure_size(*fid, offset + data.len() as u64)?;
+                    let opened_here = self.fs.get_attribute(*fid)?.ref_count == 0;
+                    if opened_here {
+                        self.fs.open(*fid)?;
+                    }
+                    self.fs.write(*fid, *offset, data)?;
+                    self.fs.flush_file(*fid)?;
+                    if opened_here {
+                        self.fs.close(*fid)?;
+                    }
+                    self.stats.record_intentions += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges a committed nested transaction's tentative state into its
+    /// parent. The child's page versions shadow the parent's (whose
+    /// superseded tentative blocks are freed); records append in order;
+    /// opened files and deferred operations transfer.
+    fn tend_nested(&mut self, t: TxnId) -> Result<(), TxnError> {
+        let child = self.active.remove(&t).expect("caller checked");
+        let parent_id = child.parent.expect("nested");
+        // Free parent tentative blocks that the child's versions replace.
+        let superseded: Vec<(u16, u64)> = {
+            let parent = self.active.get(&parent_id).expect("parent is active");
+            child
+                .tentative_pages
+                .keys()
+                .filter_map(|k| parent.tentative_pages.get(k).map(|p| (p.disk, p.addr)))
+                .collect()
+        };
+        for (d, a) in superseded {
+            self.fs.free_detached_block(d, a)?;
+        }
+        let parent = self.active.get_mut(&parent_id).expect("parent is active");
+        parent.tentative_pages.extend(child.tentative_pages);
+        parent.tentative_records.extend(child.tentative_records);
+        for (fid, sz) in child.tentative_sizes {
+            let e = parent.tentative_sizes.entry(fid).or_insert(sz);
+            *e = (*e).max(sz);
+        }
+        parent.created.extend(child.created);
+        parent.to_delete.extend(child.to_delete);
+        // The parent adopts the child's file references (and their fs
+        // refcounts, released at top-level finish).
+        for fid in child.open_files {
+            if !parent.open_files.insert(fid) {
+                // Parent already held its own reference: drop the extra.
+                self.fs.close(fid)?;
+            }
+        }
+        self.stats.committed += 1;
+        Ok(())
+    }
+
+    /// `tabort`: discards every tentative effect and releases the locks.
+    /// Nested children are aborted first; aborting a nested transaction
+    /// discards only its own tentative state (the parent's survives).
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::NotActive`] if the transaction does not exist.
+    pub fn tabort(&mut self, t: TxnId) -> Result<(), TxnError> {
+        self.txn(t)?;
+        for child in self.children_of(t) {
+            self.tabort(child)?;
+        }
+        if self.txn(t)?.parent.is_some() {
+            return self.tabort_nested(t);
+        }
+        let txn = self.active.get(&t).expect("checked");
+        let tentative: Vec<(u16, u64)> = txn
+            .tentative_pages
+            .values()
+            .map(|p| (p.disk, p.addr))
+            .collect();
+        let created = txn.created.clone();
+        for (d, a) in tentative {
+            self.fs.free_detached_block(d, a)?;
+        }
+        // Files created inside the transaction never existed.
+        for fid in created {
+            if self.active.get(&t).expect("checked").open_files.contains(&fid) {
+                let _ = self.tclose(t, fid);
+            }
+            let _ = self.fs.delete(fid);
+        }
+        self.finish(t, false);
+        Ok(())
+    }
+
+    /// Aborts a nested transaction: its own tentative blocks, created
+    /// files and file references go; the parent's state — and the
+    /// family's locks, which are held in the root's name — survive.
+    fn tabort_nested(&mut self, t: TxnId) -> Result<(), TxnError> {
+        let child = self.active.remove(&t).expect("caller checked");
+        for p in child.tentative_pages.values() {
+            self.fs.free_detached_block(p.disk, p.addr)?;
+        }
+        for fid in &child.created {
+            if child.open_files.contains(fid) {
+                let _ = self.fs.close(*fid);
+            }
+            let _ = self.fs.delete(*fid);
+        }
+        for fid in child.open_files {
+            if !child.created.contains(&fid) {
+                let _ = self.fs.close(fid);
+            }
+        }
+        self.stats.aborted += 1;
+        Ok(())
+    }
+
+    /// Completes a transaction: closes files, releases locks in every
+    /// table, wakes waiters.
+    fn finish(&mut self, t: TxnId, committed: bool) {
+        if let Some(txn) = self.active.remove(&t) {
+            for fid in txn.open_files {
+                let _ = self.fs.close(fid);
+            }
+        }
+        let now = self.fs.clock().now_us();
+        for table in &mut self.tables {
+            table.release_all(t.0, now);
+        }
+        if committed {
+            self.stats.committed += 1;
+        } else {
+            self.stats.aborted += 1;
+        }
+    }
+
+    // ---- timeouts -------------------------------------------------------------
+
+    /// Drives the timeout machinery (§6.4): transactions whose locks
+    /// expired are aborted and returned. Call periodically (experiments
+    /// call it whenever simulated time advances).
+    pub fn tick(&mut self) -> Vec<TxnId> {
+        let now = self.fs.clock().now_us();
+        let mut victims: Vec<TxnId> = Vec::new();
+        for table in &mut self.tables {
+            for v in table.tick(now) {
+                let id = TxnId(v);
+                if !victims.contains(&id) {
+                    victims.push(id);
+                }
+            }
+        }
+        for v in &victims {
+            if self.active.contains_key(v) {
+                self.stats.timeout_aborts += 1;
+                let _ = self.tabort(*v);
+            }
+        }
+        victims
+    }
+
+    // ---- recovery ---------------------------------------------------------------
+
+    /// Crash-recovers the whole stack: file service first (directory,
+    /// FITs, allocation), then the transaction log — committed-but-
+    /// incomplete transactions are re-applied (redo), unfinished
+    /// transactions simply never happened (their tentative blocks are
+    /// reclaimed by the allocation rebuild). Returns the transactions that
+    /// were redone.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the log itself is unrecoverable.
+    pub fn recover(&mut self) -> Result<Vec<TxnId>, TxnError> {
+        self.active.clear();
+        let cfg = self.config;
+        self.tables = [
+            LockTable::new(cfg.lt_us, cfg.max_renewals),
+            LockTable::new(cfg.lt_us, cfg.max_renewals),
+            LockTable::new(cfg.lt_us, cfg.max_renewals),
+        ];
+        self.fs.recover()?;
+        self.log_fid = self
+            .fs
+            .system_file()
+            .ok_or(TxnError::File(FileServiceError::NotFound(FileId(0))))?;
+        self.fs.open(self.log_fid)?;
+        let size = self.fs.get_attribute(self.log_fid)?.size;
+        let image = if size > 0 {
+            self.fs.read(self.log_fid, 0, size as usize)?
+        } else {
+            Vec::new()
+        };
+        self.log_tail = size;
+        let records = LogRecord::decode_log(&image);
+        let mut committed: HashMap<TxnId, Vec<Intention>> = HashMap::new();
+        for rec in records {
+            match rec {
+                LogRecord::Commit { txn, intentions } => {
+                    committed.insert(txn, intentions);
+                }
+                LogRecord::Completed { txn } => {
+                    committed.remove(&txn);
+                }
+            }
+        }
+        let mut redone: Vec<TxnId> = committed.keys().copied().collect();
+        redone.sort();
+        // NOTE: the allocation rebuild in fs.recover() freed every block
+        // not referenced by a FIT — including the tentative blocks of the
+        // transactions we are about to redo. Re-pin them before applying.
+        // (Simplest correct order: re-mark, apply, then the apply frees
+        // them again through the normal path.)
+        let mut to_apply: Vec<(TxnId, Vec<Intention>)> = Vec::new();
+        for t in &redone {
+            to_apply.push((*t, committed.remove(t).expect("present")));
+        }
+        for (_, intentions) in &to_apply {
+            self.repin_tentative_blocks(intentions)?;
+        }
+        for (t, intentions) in to_apply {
+            self.apply_intentions(&intentions, None)?;
+            self.append_log(&LogRecord::Completed { txn: t })?;
+        }
+        Ok(redone)
+    }
+
+    /// After the allocation rebuild, tentative blocks named by redo
+    /// records are unallocated; reserve them again so redo can free or
+    /// adopt them safely.
+    fn repin_tentative_blocks(&mut self, intentions: &[Intention]) -> Result<(), TxnError> {
+        use rhodos_disk_service::Extent;
+        for i in intentions {
+            if let Intention::Page {
+                tentative_disk,
+                tentative_addr,
+                ..
+            } = i
+            {
+                let disk = self.fs.disk_mut(*tentative_disk as usize);
+                // The extent may already be allocated if another FIT
+                // adopted it; only pin when free.
+                let extent = Extent::new(*tentative_addr, rhodos_disk_service::FRAGS_PER_BLOCK);
+                disk.repin_extent(extent);
+            }
+        }
+        Ok(())
+    }
+
+    /// Compacts the intention log: everything in it has completed, so the
+    /// log file is deleted and recreated empty. Call in a quiescent state
+    /// (no active transactions).
+    ///
+    /// # Errors
+    ///
+    /// File-service failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if transactions are still active.
+    pub fn compact_log(&mut self) -> Result<(), TxnError> {
+        assert!(
+            self.active.is_empty(),
+            "compact_log requires a quiescent service"
+        );
+        self.fs.close(self.log_fid)?;
+        self.fs.delete(self.log_fid)?;
+        let fid = self.fs.create(ServiceType::Transaction)?;
+        self.fs.set_system_file(fid)?;
+        self.fs.open(fid)?;
+        self.log_fid = fid;
+        self.log_tail = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhodos_file_service::FileServiceConfig;
+    use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
+
+    fn service() -> TransactionService {
+        let fs = FileService::single_disk(
+            DiskGeometry::medium(),
+            LatencyModel::default(),
+            SimClock::new(),
+            FileServiceConfig::default(),
+        )
+        .unwrap();
+        TransactionService::new(fs, TxnConfig::default()).unwrap()
+    }
+
+    fn setup(level: LockLevel) -> (TransactionService, FileId) {
+        let mut ts = service();
+        let fid = ts.tcreate(level).unwrap();
+        (ts, fid)
+    }
+
+    #[test]
+    fn commit_makes_writes_visible() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        let t = ts.tbegin();
+        ts.topen(t, fid).unwrap();
+        ts.twrite(t, fid, 0, b"committed!").unwrap();
+        ts.tend(t).unwrap();
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        assert_eq!(ts.tread(t2, fid, 0, 10).unwrap(), b"committed!");
+        ts.tend(t2).unwrap();
+        assert_eq!(ts.stats().committed, 2);
+    }
+
+    #[test]
+    fn abort_discards_writes() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        let t = ts.tbegin();
+        ts.topen(t, fid).unwrap();
+        ts.twrite(t, fid, 0, b"seed").unwrap();
+        ts.tend(t).unwrap();
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        ts.twrite(t2, fid, 0, b"oops").unwrap();
+        ts.tabort(t2).unwrap();
+        let t3 = ts.tbegin();
+        ts.topen(t3, fid).unwrap();
+        assert_eq!(ts.tread(t3, fid, 0, 4).unwrap(), b"seed");
+        ts.tend(t3).unwrap();
+    }
+
+    #[test]
+    fn tentative_writes_invisible_to_others_but_visible_to_self() {
+        let (mut ts, fid) = setup(LockLevel::Record);
+        let t0 = ts.tbegin();
+        ts.topen(t0, fid).unwrap();
+        ts.twrite(t0, fid, 0, b"AAAA").unwrap();
+        ts.tend(t0).unwrap();
+
+        let t1 = ts.tbegin();
+        ts.topen(t1, fid).unwrap();
+        ts.twrite(t1, fid, 0, b"BB").unwrap();
+        // Own read sees the overlay.
+        assert_eq!(ts.tread(t1, fid, 0, 4).unwrap(), b"BBAA");
+        // Another transaction is blocked from the overlapping range
+        // (Iwrite is exclusive)...
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        assert!(matches!(
+            ts.tread(t2, fid, 0, 2),
+            Err(TxnError::WouldBlock { .. })
+        ));
+        // ...but record locking lets it read a disjoint range and see only
+        // committed data there.
+        assert_eq!(ts.tread(t2, fid, 2, 2).unwrap(), b"AA");
+        ts.tend(t1).unwrap();
+        // After commit the waiter can read the new data.
+        assert_eq!(ts.tread(t2, fid, 0, 2).unwrap(), b"BB");
+        ts.tend(t2).unwrap();
+    }
+
+    #[test]
+    fn file_level_locking_serialises_whole_file() {
+        let (mut ts, fid) = setup(LockLevel::File);
+        let t1 = ts.tbegin();
+        let t2 = ts.tbegin();
+        ts.topen(t1, fid).unwrap();
+        ts.topen(t2, fid).unwrap();
+        ts.twrite(t1, fid, 0, b"x").unwrap();
+        // Even a read of a distant offset blocks under file locking.
+        assert!(matches!(
+            ts.tread(t2, fid, 100_000, 1),
+            Err(TxnError::WouldBlock { .. })
+        ));
+        ts.tend(t1).unwrap();
+        assert!(ts.tread(t2, fid, 0, 1).is_ok());
+        ts.tend(t2).unwrap();
+    }
+
+    #[test]
+    fn page_level_locking_allows_disjoint_pages() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        // Seed two pages.
+        let t0 = ts.tbegin();
+        ts.topen(t0, fid).unwrap();
+        ts.twrite(t0, fid, 0, &vec![1u8; 2 * BLOCK_SIZE]).unwrap();
+        ts.tend(t0).unwrap();
+        let t1 = ts.tbegin();
+        let t2 = ts.tbegin();
+        ts.topen(t1, fid).unwrap();
+        ts.topen(t2, fid).unwrap();
+        ts.twrite(t1, fid, 0, b"page zero").unwrap();
+        // Disjoint page: no conflict.
+        ts.twrite(t2, fid, BLOCK_SIZE as u64, b"page one").unwrap();
+        // Same page: conflict.
+        assert!(matches!(
+            ts.twrite(t2, fid, 0, b"clash"),
+            Err(TxnError::WouldBlock { .. })
+        ));
+        ts.tend(t1).unwrap();
+        ts.tend(t2).unwrap();
+    }
+
+    #[test]
+    fn read_for_update_prevents_new_readers() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        let t0 = ts.tbegin();
+        ts.topen(t0, fid).unwrap();
+        ts.twrite(t0, fid, 0, b"v1").unwrap();
+        ts.tend(t0).unwrap();
+        let t1 = ts.tbegin();
+        let t2 = ts.tbegin();
+        ts.topen(t1, fid).unwrap();
+        ts.topen(t2, fid).unwrap();
+        assert_eq!(ts.tread_for_update(t1, fid, 0, 2).unwrap(), b"v1");
+        // New read-only lock refused once the Iread is in place.
+        assert!(matches!(
+            ts.tread(t2, fid, 0, 2),
+            Err(TxnError::WouldBlock { .. })
+        ));
+        // The Iread holder converts and writes.
+        ts.twrite(t1, fid, 0, b"v2").unwrap();
+        ts.tend(t1).unwrap();
+        assert_eq!(ts.tread(t2, fid, 0, 2).unwrap(), b"v2");
+        ts.tend(t2).unwrap();
+    }
+
+    #[test]
+    fn readers_share_read_only_locks() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        let t0 = ts.tbegin();
+        ts.topen(t0, fid).unwrap();
+        ts.twrite(t0, fid, 0, b"shared").unwrap();
+        ts.tend(t0).unwrap();
+        let readers: Vec<TxnId> = (0..5).map(|_| ts.tbegin()).collect();
+        for &r in &readers {
+            ts.topen(r, fid).unwrap();
+            assert_eq!(ts.tread(r, fid, 0, 6).unwrap(), b"shared");
+        }
+        for r in readers {
+            ts.tend(r).unwrap();
+        }
+    }
+
+    #[test]
+    fn deadlock_broken_by_timeout_and_survivor_proceeds() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        let t0 = ts.tbegin();
+        ts.topen(t0, fid).unwrap();
+        ts.twrite(t0, fid, 0, &vec![0u8; 2 * BLOCK_SIZE]).unwrap();
+        ts.tend(t0).unwrap();
+        let t1 = ts.tbegin();
+        let t2 = ts.tbegin();
+        ts.topen(t1, fid).unwrap();
+        ts.topen(t2, fid).unwrap();
+        ts.twrite(t1, fid, 0, b"a").unwrap(); // t1 holds page 0
+        ts.twrite(t2, fid, BLOCK_SIZE as u64, b"b").unwrap(); // t2 holds page 1
+        assert!(ts.twrite(t1, fid, BLOCK_SIZE as u64, b"x").is_err()); // t1 waits on page 1
+        assert!(ts.twrite(t2, fid, 0, b"y").is_err()); // t2 waits on page 0 — deadlock
+        // Advance virtual time past LT and tick.
+        let clock = ts.file_service_mut().clock();
+        clock.advance(TxnConfig::default().lt_us + 1);
+        let victims = ts.tick();
+        assert_eq!(victims.len(), 1, "exactly one victim breaks the cycle");
+        let survivor = if victims[0] == t1 { t2 } else { t1 };
+        // Survivor's pending write now succeeds on retry.
+        let off = if survivor == t1 { BLOCK_SIZE as u64 } else { 0 };
+        ts.twrite(survivor, fid, off, b"won").unwrap();
+        ts.tend(survivor).unwrap();
+        assert_eq!(ts.stats().timeout_aborts, 1);
+    }
+
+    #[test]
+    fn contiguous_file_commits_via_wal_and_stays_contiguous() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        let t0 = ts.tbegin();
+        ts.topen(t0, fid).unwrap();
+        ts.twrite(t0, fid, 0, &vec![9u8; 8 * BLOCK_SIZE]).unwrap();
+        ts.tend(t0).unwrap();
+        let before = ts.file_service_mut().fit_snapshot(fid).unwrap();
+        assert_eq!(before.contiguity_ratio(), 1.0);
+        let t = ts.tbegin();
+        ts.topen(t, fid).unwrap();
+        ts.twrite(t, fid, 3 * BLOCK_SIZE as u64, b"update in place").unwrap();
+        ts.tend(t).unwrap();
+        let after = ts.file_service_mut().fit_snapshot(fid).unwrap();
+        assert_eq!(after.contiguity_ratio(), 1.0, "WAL must preserve contiguity");
+        assert!(ts.stats().wal_pages > 0);
+        assert_eq!(ts.stats().shadow_pages, 0);
+        // And the data is there.
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        assert_eq!(
+            ts.tread(t2, fid, 3 * BLOCK_SIZE as u64, 15).unwrap(),
+            b"update in place"
+        );
+        ts.tend(t2).unwrap();
+    }
+
+    #[test]
+    fn fragmented_file_commits_via_shadow_pages() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        // Build a deliberately fragmented file: interleave with another
+        // file's allocations.
+        let other = ts.tcreate(LockLevel::Page).unwrap();
+        let fs = ts.file_service_mut();
+        fs.open(fid).unwrap();
+        fs.open(other).unwrap();
+        for i in 0..4u64 {
+            fs.write(fid, i * BLOCK_SIZE as u64, &vec![1u8; BLOCK_SIZE]).unwrap();
+            fs.write(other, i * BLOCK_SIZE as u64, &vec![2u8; BLOCK_SIZE]).unwrap();
+        }
+        fs.flush_all().unwrap();
+        fs.close(fid).unwrap();
+        fs.close(other).unwrap();
+        let ratio = ts.file_service_mut().fit_snapshot(fid).unwrap().contiguity_ratio();
+        assert!(ratio < 1.0, "setup should fragment the file (ratio {ratio})");
+        let t = ts.tbegin();
+        ts.topen(t, fid).unwrap();
+        ts.twrite(t, fid, 0, b"shadowed").unwrap();
+        ts.tend(t).unwrap();
+        assert!(ts.stats().shadow_pages > 0, "shadow technique expected");
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        assert_eq!(ts.tread(t2, fid, 0, 8).unwrap(), b"shadowed");
+        ts.tend(t2).unwrap();
+    }
+
+    #[test]
+    fn committed_but_incomplete_transaction_redone_after_crash() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        let t0 = ts.tbegin();
+        ts.topen(t0, fid).unwrap();
+        ts.twrite(t0, fid, 0, b"base").unwrap();
+        ts.tend(t0).unwrap();
+        // Forge a crash between the commit record and its application:
+        // write the commit record by hand, then crash.
+        let t = ts.tbegin();
+        ts.topen(t, fid).unwrap();
+        ts.twrite(t, fid, 0, b"redo").unwrap();
+        // Extract what tend would log, write it, but skip application.
+        let txn = ts.active.get(&t).unwrap();
+        let intentions: Vec<Intention> = txn
+            .tentative_pages
+            .iter()
+            .map(|((f, i), p)| Intention::Page {
+                fid: *f,
+                index: *i,
+                tentative_disk: p.disk,
+                tentative_addr: p.addr,
+            })
+            .collect();
+        let rec = LogRecord::Commit { txn: t, intentions };
+        ts.append_log(&rec).unwrap();
+        ts.file_service_mut().simulate_crash();
+        let redone = ts.recover().unwrap();
+        assert_eq!(redone, vec![t]);
+        // The redo applied the write.
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        assert_eq!(ts.tread(t2, fid, 0, 4).unwrap(), b"redo");
+        ts.tend(t2).unwrap();
+        // Recovery is idempotent: a second crash+recover redoes nothing.
+        ts.file_service_mut().simulate_crash();
+        assert!(ts.recover().unwrap().is_empty());
+    }
+
+    #[test]
+    fn uncommitted_transaction_vanishes_after_crash() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        let t0 = ts.tbegin();
+        ts.topen(t0, fid).unwrap();
+        ts.twrite(t0, fid, 0, b"durable").unwrap();
+        ts.tend(t0).unwrap();
+        let t = ts.tbegin();
+        ts.topen(t, fid).unwrap();
+        ts.twrite(t, fid, 0, b"ghost!!").unwrap();
+        // Crash with no commit record.
+        ts.file_service_mut().simulate_crash();
+        assert!(ts.recover().unwrap().is_empty());
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        assert_eq!(ts.tread(t2, fid, 0, 7).unwrap(), b"durable");
+        ts.tend(t2).unwrap();
+    }
+
+    #[test]
+    fn created_file_rolled_back_on_abort() {
+        let mut ts = service();
+        let t = ts.tbegin();
+        let fid = ts.tcreate_in(t, LockLevel::Page).unwrap();
+        ts.twrite(t, fid, 0, b"temp").unwrap();
+        ts.tabort(t).unwrap();
+        assert!(!ts.file_service_mut().exists(fid));
+    }
+
+    #[test]
+    fn tdelete_applies_only_on_commit() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        let t = ts.tbegin();
+        ts.tdelete(t, fid).unwrap();
+        assert!(ts.file_service_mut().exists(fid));
+        ts.tend(t).unwrap();
+        assert!(!ts.file_service_mut().exists(fid));
+    }
+
+    #[test]
+    fn tdelete_aborted_keeps_file() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        let t = ts.tbegin();
+        ts.tdelete(t, fid).unwrap();
+        ts.tabort(t).unwrap();
+        assert!(ts.file_service_mut().exists(fid));
+    }
+
+    #[test]
+    fn operations_on_dead_transactions_rejected() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        let t = ts.tbegin();
+        ts.topen(t, fid).unwrap();
+        ts.tend(t).unwrap();
+        assert!(matches!(ts.twrite(t, fid, 0, b"x"), Err(TxnError::NotActive(_))));
+        assert!(matches!(ts.tend(t), Err(TxnError::NotActive(_))));
+        assert!(matches!(ts.tabort(t), Err(TxnError::NotActive(_))));
+    }
+
+    #[test]
+    fn io_requires_topen() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        let t = ts.tbegin();
+        assert!(matches!(
+            ts.tread(t, fid, 0, 1),
+            Err(TxnError::FileNotOpen(_))
+        ));
+        assert!(matches!(
+            ts.twrite(t, fid, 0, b"x"),
+            Err(TxnError::FileNotOpen(_))
+        ));
+        ts.tabort(t).unwrap();
+    }
+
+    #[test]
+    fn tentative_size_growth_commits() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        let t = ts.tbegin();
+        ts.topen(t, fid).unwrap();
+        let far = 3 * BLOCK_SIZE as u64 + 17;
+        ts.twrite(t, fid, far, b"tail").unwrap();
+        assert_eq!(ts.tget_attribute(t, fid).unwrap().size, far + 4);
+        ts.tend(t).unwrap();
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        assert_eq!(ts.tread(t2, fid, far, 4).unwrap(), b"tail");
+        // The gap reads as zeros.
+        assert!(ts.tread(t2, fid, 10, 8).unwrap().iter().all(|&b| b == 0));
+        ts.tend(t2).unwrap();
+    }
+
+    #[test]
+    fn record_mode_log_carries_data_inline() {
+        let (mut ts, fid) = setup(LockLevel::Record);
+        let t = ts.tbegin();
+        ts.topen(t, fid).unwrap();
+        ts.twrite(t, fid, 5, b"record-mode payload").unwrap();
+        ts.tend(t).unwrap();
+        assert_eq!(ts.stats().record_intentions, 1);
+        assert_eq!(ts.stats().wal_pages + ts.stats().shadow_pages, 0);
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        assert_eq!(ts.tread(t2, fid, 5, 19).unwrap(), b"record-mode payload");
+        ts.tend(t2).unwrap();
+    }
+
+    #[test]
+    fn log_auto_compacts_past_threshold() {
+        let fs = FileService::single_disk(
+            DiskGeometry::medium(),
+            LatencyModel::instant(),
+            SimClock::new(),
+            FileServiceConfig::default(),
+        )
+        .unwrap();
+        let mut ts = TransactionService::new(
+            fs,
+            TxnConfig {
+                log_compact_threshold: 2_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let fid = ts.tcreate(LockLevel::Page).unwrap();
+        for i in 0..60u8 {
+            let t = ts.tbegin();
+            ts.topen(t, fid).unwrap();
+            ts.twrite(t, fid, 0, &[i; 16]).unwrap();
+            ts.tend(t).unwrap();
+            assert!(
+                ts.log_tail <= 2_000 + 200,
+                "log should stay near the threshold, is {}",
+                ts.log_tail
+            );
+        }
+        // Data is still intact after all the compactions.
+        let t = ts.tbegin();
+        ts.topen(t, fid).unwrap();
+        assert_eq!(ts.tread(t, fid, 0, 16).unwrap(), vec![59u8; 16]);
+        ts.tend(t).unwrap();
+    }
+
+    #[test]
+    fn compact_log_resets_tail() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        for _ in 0..5 {
+            let t = ts.tbegin();
+            ts.topen(t, fid).unwrap();
+            ts.twrite(t, fid, 0, b"round").unwrap();
+            ts.tend(t).unwrap();
+        }
+        assert!(ts.log_tail > 0);
+        ts.compact_log().unwrap();
+        assert_eq!(ts.log_tail, 0);
+        // Service still works.
+        let t = ts.tbegin();
+        ts.topen(t, fid).unwrap();
+        ts.twrite(t, fid, 0, b"after").unwrap();
+        ts.tend(t).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod cross_granularity_tests {
+    use super::*;
+    use rhodos_file_service::FileServiceConfig;
+    use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
+
+    fn service(cross: bool) -> TransactionService {
+        let fs = FileService::single_disk(
+            DiskGeometry::medium(),
+            LatencyModel::instant(),
+            SimClock::new(),
+            FileServiceConfig::default(),
+        )
+        .unwrap();
+        TransactionService::new(
+            fs,
+            TxnConfig {
+                cross_granularity: cross,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// Two transactions lock the same file at different levels. Without
+    /// the relaxation the conflict is invisible (the paper's assumed
+    /// constraint must hold by convention); with it, it is detected.
+    fn mixed_level_conflict(cross: bool) -> Result<(), TxnError> {
+        let mut ts = service(cross);
+        let fid = ts.tcreate(LockLevel::Page).unwrap();
+        let t0 = ts.tbegin();
+        ts.topen(t0, fid).unwrap();
+        ts.twrite(t0, fid, 0, &vec![0u8; 8192]).unwrap();
+        ts.tend(t0).unwrap();
+        // T1 locks page 0 (page table).
+        let t1 = ts.tbegin();
+        ts.topen(t1, fid).unwrap();
+        ts.twrite(t1, fid, 0, b"page-level hold").unwrap();
+        // T2 arrives via file-level locking on the SAME file.
+        ts.file_service_mut().set_lock_level(fid, LockLevel::File).unwrap();
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        let r = ts.twrite(t2, fid, 0, b"file-level write");
+        ts.tabort(t1).unwrap();
+        let _ = ts.tabort(t2);
+        r
+    }
+
+    #[test]
+    fn relaxation_detects_mixed_level_conflicts() {
+        assert!(matches!(
+            mixed_level_conflict(true),
+            Err(TxnError::WouldBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn default_mode_trusts_the_papers_assumption() {
+        // Without the relaxation the write is (unsafely but by the
+        // paper's stated assumption) granted — the tables are disjoint.
+        assert!(mixed_level_conflict(false).is_ok());
+    }
+
+    #[test]
+    fn relaxed_mode_still_allows_disjoint_items() {
+        let mut ts = service(true);
+        let fid = ts.tcreate(LockLevel::Page).unwrap();
+        let t0 = ts.tbegin();
+        ts.topen(t0, fid).unwrap();
+        ts.twrite(t0, fid, 0, &vec![0u8; 2 * 8192]).unwrap();
+        ts.tend(t0).unwrap();
+        let t1 = ts.tbegin();
+        let t2 = ts.tbegin();
+        ts.topen(t1, fid).unwrap();
+        ts.topen(t2, fid).unwrap();
+        ts.twrite(t1, fid, 0, b"p0").unwrap();
+        // Different page: no conflict even with cross checks on.
+        ts.twrite(t2, fid, 8192, b"p1").unwrap();
+        ts.tend(t1).unwrap();
+        ts.tend(t2).unwrap();
+    }
+
+    #[test]
+    fn relaxed_mode_unblocks_after_commit() {
+        let mut ts = service(true);
+        let fid = ts.tcreate(LockLevel::Page).unwrap();
+        let t0 = ts.tbegin();
+        ts.topen(t0, fid).unwrap();
+        ts.twrite(t0, fid, 0, &vec![1u8; 8192]).unwrap();
+        // File-level reader must wait while the page write is pending...
+        ts.file_service_mut().set_lock_level(fid, LockLevel::File).unwrap();
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        assert!(ts.tread(t2, fid, 0, 4).is_err());
+        // ...and proceed once it commits.
+        ts.file_service_mut().set_lock_level(fid, LockLevel::Page).unwrap();
+        ts.tend(t0).unwrap();
+        ts.file_service_mut().set_lock_level(fid, LockLevel::File).unwrap();
+        assert_eq!(ts.tread(t2, fid, 0, 4).unwrap(), vec![1u8; 4]);
+        ts.tend(t2).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod nested_tests {
+    use super::*;
+    use rhodos_file_service::FileServiceConfig;
+    use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
+
+    fn setup() -> (TransactionService, FileId) {
+        let fs = FileService::single_disk(
+            DiskGeometry::medium(),
+            LatencyModel::instant(),
+            SimClock::new(),
+            FileServiceConfig::default(),
+        )
+        .unwrap();
+        let mut ts = TransactionService::new(fs, TxnConfig::default()).unwrap();
+        let fid = ts.tcreate(LockLevel::Page).unwrap();
+        let t = ts.tbegin();
+        ts.topen(t, fid).unwrap();
+        ts.twrite(t, fid, 0, b"base state").unwrap();
+        ts.tend(t).unwrap();
+        (ts, fid)
+    }
+
+    #[test]
+    fn child_commit_merges_into_parent() {
+        let (mut ts, fid) = setup();
+        let parent = ts.tbegin();
+        ts.topen(parent, fid).unwrap();
+        ts.twrite(parent, fid, 0, b"parent").unwrap();
+        let child = ts.tbegin_nested(parent).unwrap();
+        // Child sees parent's tentative state without topen.
+        assert_eq!(ts.tread(child, fid, 0, 6).unwrap(), b"parent");
+        ts.twrite(child, fid, 0, b"child!").unwrap();
+        // Parent does not see it yet? (Flat model: parent read shows its
+        // own page version, not the child's.)
+        assert_eq!(ts.tread(parent, fid, 0, 6).unwrap(), b"parent");
+        ts.tend(child).unwrap();
+        // After the merge, the parent sees the child's update.
+        assert_eq!(ts.tread(parent, fid, 0, 6).unwrap(), b"child!");
+        ts.tend(parent).unwrap();
+        // And after top-level commit it is durable.
+        let t = ts.tbegin();
+        ts.topen(t, fid).unwrap();
+        assert_eq!(ts.tread(t, fid, 0, 6).unwrap(), b"child!");
+        ts.tend(t).unwrap();
+    }
+
+    #[test]
+    fn child_abort_discards_only_child_state() {
+        let (mut ts, fid) = setup();
+        let parent = ts.tbegin();
+        ts.topen(parent, fid).unwrap();
+        ts.twrite(parent, fid, 0, b"parent").unwrap();
+        let child = ts.tbegin_nested(parent).unwrap();
+        ts.twrite(child, fid, 0, b"doomed").unwrap();
+        ts.tabort(child).unwrap();
+        assert_eq!(ts.tread(parent, fid, 0, 6).unwrap(), b"parent");
+        ts.tend(parent).unwrap();
+        let t = ts.tbegin();
+        ts.topen(t, fid).unwrap();
+        assert_eq!(ts.tread(t, fid, 0, 6).unwrap(), b"parent");
+        ts.tend(t).unwrap();
+    }
+
+    #[test]
+    fn parent_abort_discards_committed_children_too() {
+        let (mut ts, fid) = setup();
+        let parent = ts.tbegin();
+        ts.topen(parent, fid).unwrap();
+        let child = ts.tbegin_nested(parent).unwrap();
+        ts.twrite(child, fid, 0, b"merged").unwrap();
+        ts.tend(child).unwrap(); // merged into parent
+        ts.tabort(parent).unwrap(); // discards everything
+        let t = ts.tbegin();
+        ts.topen(t, fid).unwrap();
+        assert_eq!(ts.tread(t, fid, 0, 10).unwrap(), b"base state");
+        ts.tend(t).unwrap();
+    }
+
+    #[test]
+    fn family_shares_locks_but_outsiders_conflict() {
+        let (mut ts, fid) = setup();
+        let parent = ts.tbegin();
+        ts.topen(parent, fid).unwrap();
+        ts.twrite(parent, fid, 0, b"held").unwrap();
+        let child = ts.tbegin_nested(parent).unwrap();
+        // Child writes the same page: no self-conflict.
+        ts.twrite(child, fid, 0, b"fine").unwrap();
+        // An outsider conflicts with the family's lock.
+        let outsider = ts.tbegin();
+        ts.topen(outsider, fid).unwrap();
+        assert!(matches!(
+            ts.twrite(outsider, fid, 0, b"nope"),
+            Err(TxnError::WouldBlock { .. })
+        ));
+        ts.tend(child).unwrap();
+        // Still held: locks release only at top-level commit (strict 2PL).
+        assert!(ts.twrite(outsider, fid, 0, b"nope").is_err());
+        ts.tend(parent).unwrap();
+        ts.twrite(outsider, fid, 0, b"mine").unwrap();
+        ts.tend(outsider).unwrap();
+    }
+
+    #[test]
+    fn tend_with_active_children_is_refused() {
+        let (mut ts, fid) = setup();
+        let parent = ts.tbegin();
+        ts.topen(parent, fid).unwrap();
+        let child = ts.tbegin_nested(parent).unwrap();
+        assert!(matches!(
+            ts.tend(parent),
+            Err(TxnError::ChildrenActive(_))
+        ));
+        ts.tabort(child).unwrap();
+        ts.tend(parent).unwrap();
+    }
+
+    #[test]
+    fn parent_abort_aborts_running_children_recursively() {
+        let (mut ts, fid) = setup();
+        let parent = ts.tbegin();
+        ts.topen(parent, fid).unwrap();
+        let child = ts.tbegin_nested(parent).unwrap();
+        let grandchild = ts.tbegin_nested(child).unwrap();
+        ts.twrite(grandchild, fid, 0, b"deep").unwrap();
+        ts.tabort(parent).unwrap();
+        assert!(ts.active_transactions().is_empty());
+        assert!(matches!(ts.tend(child), Err(TxnError::NotActive(_))));
+        assert!(matches!(ts.tend(grandchild), Err(TxnError::NotActive(_))));
+    }
+
+    #[test]
+    fn nested_file_creation_follows_the_family_outcome() {
+        let (mut ts, _fid) = setup();
+        let parent = ts.tbegin();
+        let child = ts.tbegin_nested(parent).unwrap();
+        let created = ts.tcreate_in(child, LockLevel::Page).unwrap();
+        ts.twrite(child, created, 0, b"new file").unwrap();
+        ts.tend(child).unwrap();
+        assert!(ts.file_service_mut().exists(created));
+        // Parent abort undoes the child's creation.
+        ts.tabort(parent).unwrap();
+        assert!(!ts.file_service_mut().exists(created));
+    }
+
+    #[test]
+    fn grandchild_sees_chain_overlay() {
+        let (mut ts, fid) = setup();
+        let parent = ts.tbegin();
+        ts.topen(parent, fid).unwrap();
+        ts.twrite(parent, fid, 0, b"p----").unwrap();
+        let child = ts.tbegin_nested(parent).unwrap();
+        ts.twrite(child, fid, 1, b"c").unwrap();
+        let grandchild = ts.tbegin_nested(child).unwrap();
+        ts.twrite(grandchild, fid, 2, b"g").unwrap();
+        assert_eq!(ts.tread(grandchild, fid, 0, 5).unwrap(), b"pcg--");
+        ts.tend(grandchild).unwrap();
+        ts.tend(child).unwrap();
+        assert_eq!(ts.tread(parent, fid, 0, 5).unwrap(), b"pcg--");
+        ts.tend(parent).unwrap();
+    }
+}

@@ -1,0 +1,537 @@
+//! The lock table (§6.5) and timeout-based deadlock handling (§6.4).
+//!
+//! "A lock table is a list of records: process identifier, transaction
+//! descriptor, phase of the transaction, type of lock, lock granted or
+//! not, retry count, descriptor of data item ..." — one lock table per
+//! locking level, which "significantly reduces the number of records
+//! managed by each lock table".
+//!
+//! Waiting requests form a FIFO per data item, "facilitating the first
+//! transaction in the queue to set the lock on a data item as soon as the
+//! transaction who holds the lock commits or gets aborted".
+//!
+//! Deadlocks are resolved by timeouts: a granted lock is *invulnerable*
+//! for `LT` microseconds; on expiry it is renewed only if "no other
+//! transaction is competing for the data item", for at most `N` periods,
+//! after which the holding transaction "is suspected ... deadlocked and
+//! therefore its lock is broken and the transaction is aborted".
+
+use crate::lock::{may_grant, DataItem, LockMode};
+
+/// Identifier of a transaction (its *transaction descriptor*).
+pub type TxnDescriptor = u64;
+
+/// Result of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The lock is granted (possibly via conversion of an existing lock).
+    Granted,
+    /// The request was queued behind incompatible holders.
+    Queued,
+}
+
+/// One record of the lock table, as the paper enumerates.
+#[derive(Debug, Clone)]
+pub struct LockRecord {
+    /// Process identifier (informational; RHODOS records it).
+    pub pid: u64,
+    /// Transaction descriptor.
+    pub txn: TxnDescriptor,
+    /// The locked / requested data item.
+    pub item: DataItem,
+    /// Requested or held lock mode.
+    pub mode: LockMode,
+    /// Whether the lock is granted (false ⇒ waiting in the queue).
+    pub granted: bool,
+    /// Times the waiter retried / was passed over.
+    pub retry_count: u32,
+    /// Arrival order stamp (FIFO discipline).
+    arrival: u64,
+    /// Virtual time of grant or last lease renewal.
+    lease_start_us: u64,
+    /// Lease renewals so far.
+    renewals: u32,
+}
+
+/// Counters of lock-table behaviour — inputs to experiments E10/E11.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockTableStats {
+    /// Requests granted immediately.
+    pub granted_immediately: u64,
+    /// Requests that had to queue.
+    pub queued: u64,
+    /// Lock conversions performed.
+    pub conversions: u64,
+    /// Leases renewed quietly.
+    pub renewals: u64,
+    /// Transactions aborted by the timeout policy.
+    pub timeout_aborts: u64,
+    /// Waiters promoted when locks were released.
+    pub promotions: u64,
+}
+
+/// One lock table (one per granularity level).
+#[derive(Debug)]
+pub struct LockTable {
+    records: Vec<LockRecord>,
+    /// Lock lease period LT, microseconds.
+    lt_us: u64,
+    /// Renewals before a holder is presumed deadlocked.
+    max_renewals: u32,
+    next_arrival: u64,
+    stats: LockTableStats,
+}
+
+impl LockTable {
+    /// Creates a table with lease period `lt_us` and `max_renewals` (the
+    /// paper's `N`).
+    pub fn new(lt_us: u64, max_renewals: u32) -> Self {
+        Self {
+            records: Vec::new(),
+            lt_us,
+            max_renewals,
+            next_arrival: 0,
+            stats: LockTableStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> LockTableStats {
+        self.stats
+    }
+
+    /// Number of records currently in the table (granted + waiting) —
+    /// "the time to search a record in the lock table" scales with this.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// `get-lock-record`: the record a transaction holds or waits on for
+    /// an exactly matching item.
+    pub fn get_lock_record(&self, txn: TxnDescriptor, item: &DataItem) -> Option<&LockRecord> {
+        self.records
+            .iter()
+            .find(|r| r.txn == txn && r.item == *item)
+    }
+
+    /// All granted items of one transaction.
+    pub fn granted_items(&self, txn: TxnDescriptor) -> Vec<(DataItem, LockMode)> {
+        self.records
+            .iter()
+            .filter(|r| r.txn == txn && r.granted)
+            .map(|r| (r.item, r.mode))
+            .collect()
+    }
+
+    fn others_holding(&self, txn: TxnDescriptor, item: &DataItem) -> Vec<LockMode> {
+        self.records
+            .iter()
+            .filter(|r| r.granted && r.txn != txn && r.item.overlaps(item))
+            .map(|r| r.mode)
+            .collect()
+    }
+
+    /// The strongest mode the transaction holds that fully *covers* the
+    /// requested item. Partial range overlaps do not count: they would
+    /// leave part of the request unprotected.
+    fn own_mode(&self, txn: TxnDescriptor, item: &DataItem) -> Option<LockMode> {
+        self.records
+            .iter()
+            .filter(|r| r.granted && r.txn == txn && r.item.covers(item))
+            .map(|r| r.mode)
+            .max()
+    }
+
+    /// Whether an earlier-arrived waiter conflicts with this request
+    /// (prevents queue jumping; keeps the FIFO promise).
+    fn earlier_conflicting_waiter(&self, txn: TxnDescriptor, item: &DataItem, arrival: u64) -> bool {
+        self.records.iter().any(|r| {
+            !r.granted
+                && r.txn != txn
+                && r.arrival < arrival
+                && r.item.overlaps(item)
+                && !(matches!(r.mode, LockMode::ReadOnly) && self.own_mode(txn, item).is_none())
+        })
+    }
+
+    /// Read-only probe: would a request for `mode` on `item` by `txn`
+    /// conflict with this table's *granted* locks right now? Used for
+    /// cross-granularity conflict detection (the paper's relaxation of
+    /// the one-level-per-file assumption, §6.1).
+    pub fn would_conflict(&self, txn: TxnDescriptor, item: &DataItem, mode: LockMode) -> bool {
+        let others = self.others_holding(txn, item);
+        let own = self.own_mode(txn, item);
+        !may_grant(&others, own, mode)
+    }
+
+    /// `set-lock`: requests `mode` on `item` for `txn` at virtual time
+    /// `now_us`. Conversion requests (the transaction already holds a
+    /// weaker lock on the item) upgrade in place when permitted.
+    pub fn set_lock(
+        &mut self,
+        pid: u64,
+        txn: TxnDescriptor,
+        item: DataItem,
+        mode: LockMode,
+        now_us: u64,
+    ) -> LockOutcome {
+        // Already waiting for this item? Bump retry count, re-check.
+        if let Some(pos) = self
+            .records
+            .iter()
+            .position(|r| !r.granted && r.txn == txn && r.item == item)
+        {
+            // Upgrade the pending request mode if the caller now wants more.
+            if self.records[pos].mode < mode {
+                self.records[pos].mode = mode;
+            }
+            self.records[pos].retry_count += 1;
+            let arrival = self.records[pos].arrival;
+            let want = self.records[pos].mode;
+            if self.try_grant(txn, &item, want, arrival, now_us) {
+                // Drop the satisfied waiter record (the grant lives in a
+                // separate, granted record).
+                self.records
+                    .retain(|r| r.granted || !(r.txn == txn && r.item == item));
+                return LockOutcome::Granted;
+            }
+            return LockOutcome::Queued;
+        }
+
+        let own = self.own_mode(txn, &item);
+        if let Some(own_mode) = own {
+            if own_mode >= mode {
+                return LockOutcome::Granted; // already covered
+            }
+        }
+        let arrival = self.next_arrival;
+        self.next_arrival += 1;
+        if self.try_grant(txn, &item, mode, arrival, now_us) {
+            self.stats.granted_immediately += 1;
+            if own.is_some() {
+                self.stats.conversions += 1;
+            }
+            return LockOutcome::Granted;
+        }
+        self.records.push(LockRecord {
+            pid,
+            txn,
+            item,
+            mode,
+            granted: false,
+            retry_count: 0,
+            arrival,
+            lease_start_us: now_us,
+            renewals: 0,
+        });
+        self.stats.queued += 1;
+        LockOutcome::Queued
+    }
+
+    /// Attempts the actual grant; on success installs/converts the record.
+    fn try_grant(
+        &mut self,
+        txn: TxnDescriptor,
+        item: &DataItem,
+        mode: LockMode,
+        arrival: u64,
+        now_us: u64,
+    ) -> bool {
+        let others = self.others_holding(txn, item);
+        let own = self.own_mode(txn, item);
+        if !may_grant(&others, own, mode) {
+            return false;
+        }
+        // Conversions (the transaction already holds the item) skip the
+        // FIFO fairness check: any waiter queued behind the holder's
+        // current lock is waiting *on this transaction* and can never be
+        // scheduled first.
+        if own.is_none() && self.earlier_conflicting_waiter(txn, item, arrival) {
+            return false;
+        }
+        // Conversion: upgrade the existing granted record on the exact item.
+        if let Some(rec) = self
+            .records
+            .iter_mut()
+            .find(|r| r.granted && r.txn == txn && r.item == *item)
+        {
+            if rec.mode < mode {
+                rec.mode = mode;
+                rec.lease_start_us = now_us;
+                rec.renewals = 0;
+            }
+            return true;
+        }
+        self.records.push(LockRecord {
+            pid: 0,
+            txn,
+            item: *item,
+            mode,
+            granted: true,
+            retry_count: 0,
+            arrival,
+            lease_start_us: now_us,
+            renewals: 0,
+        });
+        true
+    }
+
+    /// `unlock`: releases every lock and pending request of `txn`
+    /// (two-phase locking releases all locks at commit/abort). Returns the
+    /// transactions whose queued requests became grantable.
+    pub fn release_all(&mut self, txn: TxnDescriptor, now_us: u64) -> Vec<TxnDescriptor> {
+        self.records.retain(|r| r.txn != txn);
+        self.promote_waiters(now_us)
+    }
+
+    /// Promotes FIFO waiters whose conflicts have cleared; returns the
+    /// transactions that acquired locks.
+    pub fn promote_waiters(&mut self, now_us: u64) -> Vec<TxnDescriptor> {
+        let mut promoted = Vec::new();
+        loop {
+            let mut waiters: Vec<(u64, usize)> = self
+                .records
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| !r.granted)
+                .map(|(i, r)| (r.arrival, i))
+                .collect();
+            waiters.sort();
+            let mut advanced = false;
+            for (_, idx) in waiters {
+                let (txn, item, mode, arrival) = {
+                    let r = &self.records[idx];
+                    (r.txn, r.item, r.mode, r.arrival)
+                };
+                if self.try_grant(txn, &item, mode, arrival, now_us) {
+                    // Remove the satisfied waiter record (try_grant added or
+                    // converted the granted record).
+                    self.records
+                        .retain(|r| r.granted || !(r.txn == txn && r.item == item));
+                    self.stats.promotions += 1;
+                    promoted.push(txn);
+                    advanced = true;
+                    break; // indices shifted; rescan
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        promoted
+    }
+
+    /// Advances the timeout machinery to `now_us`, returning transactions
+    /// that must be aborted (presumed deadlocked / permanently blocked).
+    pub fn tick(&mut self, now_us: u64) -> Vec<TxnDescriptor> {
+        let mut to_abort = Vec::new();
+        for i in 0..self.records.len() {
+            let (granted, lease_start, renewals, txn, item) = {
+                let r = &self.records[i];
+                (r.granted, r.lease_start_us, r.renewals, r.txn, r.item)
+            };
+            if !granted || to_abort.contains(&txn) {
+                continue;
+            }
+            if now_us.saturating_sub(lease_start) < self.lt_us {
+                continue;
+            }
+            // Waiters belonging to transactions already chosen as victims
+            // this tick no longer count as competition — aborting one side
+            // of a deadlock frees the other.
+            let contested = self.records.iter().any(|w| {
+                !w.granted
+                    && w.txn != txn
+                    && !to_abort.contains(&w.txn)
+                    && w.item.overlaps(&item)
+            });
+            if contested || renewals >= self.max_renewals {
+                // "Its lock is broken and the transaction is aborted
+                // regardless of whether other transactions are waiting."
+                self.stats.timeout_aborts += 1;
+                to_abort.push(txn);
+            } else {
+                let r = &mut self.records[i];
+                r.renewals += 1;
+                r.lease_start_us = now_us;
+                self.stats.renewals += 1;
+            }
+        }
+        to_abort
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhodos_file_service::FileId;
+
+    const LT: u64 = 1_000;
+
+    fn table() -> LockTable {
+        LockTable::new(LT, 3)
+    }
+
+    fn page(p: u64) -> DataItem {
+        DataItem::Page(FileId(1), p)
+    }
+
+    #[test]
+    fn grant_and_conflict() {
+        let mut t = table();
+        assert_eq!(t.set_lock(1, 10, page(0), LockMode::Iwrite, 0), LockOutcome::Granted);
+        assert_eq!(t.set_lock(2, 20, page(0), LockMode::ReadOnly, 0), LockOutcome::Queued);
+        assert_eq!(t.set_lock(3, 30, page(1), LockMode::Iwrite, 0), LockOutcome::Granted);
+    }
+
+    #[test]
+    fn fifo_promotion_on_release() {
+        let mut t = table();
+        t.set_lock(1, 10, page(0), LockMode::Iwrite, 0);
+        t.set_lock(2, 20, page(0), LockMode::Iwrite, 0);
+        t.set_lock(3, 30, page(0), LockMode::Iwrite, 0);
+        let promoted = t.release_all(10, 1);
+        assert_eq!(promoted, vec![20], "first waiter gets the lock");
+        let promoted = t.release_all(20, 2);
+        assert_eq!(promoted, vec![30]);
+    }
+
+    #[test]
+    fn shared_readers_promoted_together() {
+        let mut t = table();
+        t.set_lock(1, 10, page(0), LockMode::Iwrite, 0);
+        t.set_lock(2, 20, page(0), LockMode::ReadOnly, 0);
+        t.set_lock(3, 30, page(0), LockMode::ReadOnly, 0);
+        let mut promoted = t.release_all(10, 1);
+        promoted.sort();
+        assert_eq!(promoted, vec![20, 30], "compatible readers advance together");
+    }
+
+    #[test]
+    fn conversion_upgrades_in_place() {
+        let mut t = table();
+        assert_eq!(t.set_lock(1, 10, page(0), LockMode::Iread, 0), LockOutcome::Granted);
+        assert_eq!(t.set_lock(1, 10, page(0), LockMode::Iwrite, 0), LockOutcome::Granted);
+        assert_eq!(
+            t.get_lock_record(10, &page(0)).unwrap().mode,
+            LockMode::Iwrite
+        );
+    }
+
+    #[test]
+    fn conversion_blocked_by_other_readers() {
+        let mut t = table();
+        t.set_lock(1, 10, page(0), LockMode::ReadOnly, 0);
+        t.set_lock(2, 20, page(0), LockMode::Iread, 0);
+        // IR holder cannot convert while the RO is held.
+        assert_eq!(t.set_lock(2, 20, page(0), LockMode::Iwrite, 0), LockOutcome::Queued);
+        let promoted = t.release_all(10, 1);
+        assert_eq!(promoted, vec![20]);
+        assert_eq!(
+            t.get_lock_record(20, &page(0)).unwrap().mode,
+            LockMode::Iwrite
+        );
+    }
+
+    #[test]
+    fn no_new_ro_after_ir() {
+        let mut t = table();
+        t.set_lock(1, 10, page(0), LockMode::ReadOnly, 0);
+        t.set_lock(2, 20, page(0), LockMode::Iread, 0);
+        assert_eq!(t.set_lock(3, 30, page(0), LockMode::ReadOnly, 0), LockOutcome::Queued);
+    }
+
+    #[test]
+    fn uncontested_lease_renews_then_expires() {
+        let mut t = table();
+        t.set_lock(1, 10, page(0), LockMode::Iwrite, 0);
+        assert!(t.tick(LT).is_empty()); // renewal 1
+        assert!(t.tick(2 * LT).is_empty()); // renewal 2
+        assert!(t.tick(3 * LT).is_empty()); // renewal 3 (max)
+        // After the Nth expiry the holder is presumed deadlocked.
+        assert_eq!(t.tick(4 * LT), vec![10]);
+    }
+
+    #[test]
+    fn contested_lease_broken_at_first_expiry() {
+        let mut t = table();
+        t.set_lock(1, 10, page(0), LockMode::Iwrite, 0);
+        t.set_lock(2, 20, page(0), LockMode::Iwrite, 10);
+        assert!(t.tick(LT / 2).is_empty(), "invulnerable inside LT");
+        assert_eq!(t.tick(LT), vec![10], "contested lock broken at expiry");
+    }
+
+    #[test]
+    fn deadlock_resolved_by_timeout() {
+        let mut t = table();
+        // T10 holds page 0, T20 holds page 1; each wants the other.
+        t.set_lock(1, 10, page(0), LockMode::Iwrite, 0);
+        t.set_lock(2, 20, page(1), LockMode::Iwrite, 0);
+        assert_eq!(t.set_lock(1, 10, page(1), LockMode::Iwrite, 0), LockOutcome::Queued);
+        assert_eq!(t.set_lock(2, 20, page(0), LockMode::Iwrite, 0), LockOutcome::Queued);
+        let aborted = t.tick(LT);
+        assert!(!aborted.is_empty(), "timeout must break the deadlock");
+        // Releasing the aborted transaction's locks unblocks the other.
+        let survivor = if aborted.contains(&10) { 20 } else { 10 };
+        for dead in &aborted {
+            t.release_all(*dead, LT + 1);
+        }
+        assert!(t
+            .granted_items(survivor)
+            .iter()
+            .any(|(i, m)| (*i == page(0) || *i == page(1)) && *m == LockMode::Iwrite));
+    }
+
+    #[test]
+    fn queue_jumping_prevented() {
+        let mut t = table();
+        t.set_lock(1, 10, page(0), LockMode::Iread, 0);
+        // Writer waits.
+        assert_eq!(t.set_lock(2, 20, page(0), LockMode::Iwrite, 0), LockOutcome::Queued);
+        // A later IR that would be compatible with the holder must not
+        // jump ahead of the queued writer.
+        assert_eq!(t.set_lock(3, 30, page(0), LockMode::Iread, 0), LockOutcome::Queued);
+        let promoted = t.release_all(10, 1);
+        assert_eq!(promoted[0], 20, "writer first");
+    }
+
+    #[test]
+    fn record_ranges_conflict_only_on_overlap() {
+        let mut t = table();
+        let a = DataItem::Record(FileId(1), 0, 100);
+        let b = DataItem::Record(FileId(1), 100, 200);
+        let c = DataItem::Record(FileId(1), 50, 150);
+        assert_eq!(t.set_lock(1, 10, a, LockMode::Iwrite, 0), LockOutcome::Granted);
+        assert_eq!(t.set_lock(2, 20, b, LockMode::Iwrite, 0), LockOutcome::Granted);
+        assert_eq!(t.set_lock(3, 30, c, LockMode::Iwrite, 0), LockOutcome::Queued);
+    }
+
+    #[test]
+    fn partial_range_overlap_does_not_short_circuit() {
+        // Regression: holding [0,48) must not make a request for [16,64)
+        // "already granted" — the tail [48,64) would be unprotected.
+        let mut t = table();
+        let a = DataItem::Record(FileId(1), 0, 48);
+        let b = DataItem::Record(FileId(1), 16, 64);
+        assert_eq!(t.set_lock(1, 10, a, LockMode::Iwrite, 0), LockOutcome::Granted);
+        assert_eq!(t.set_lock(1, 10, b, LockMode::Iwrite, 0), LockOutcome::Granted);
+        // Another transaction must now conflict on [48, 96).
+        let c = DataItem::Record(FileId(1), 48, 96);
+        assert_eq!(t.set_lock(2, 20, c, LockMode::Iwrite, 0), LockOutcome::Queued);
+    }
+
+    #[test]
+    fn release_clears_pending_requests_too() {
+        let mut t = table();
+        t.set_lock(1, 10, page(0), LockMode::Iwrite, 0);
+        t.set_lock(2, 20, page(0), LockMode::Iwrite, 0);
+        t.release_all(20, 1); // waiter gives up (abort)
+        assert!(t.release_all(10, 2).is_empty());
+        assert!(t.is_empty());
+    }
+}

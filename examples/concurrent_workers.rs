@@ -1,0 +1,137 @@
+//! Real threads hammering one file server — the paper's deployment shape
+//! ("its processing power is distributed among personal workstations and
+//! servers", §3) driven with `std::thread` workers.
+//!
+//! Eight worker threads run transfer transactions against a shared ledger
+//! through [`SharedTransactionService::run_txn`], which retries whole
+//! transactions on conflict while the §6.4 timeout machinery breaks any
+//! deadlock. A nested transaction demonstrates partial rollback inside a
+//! bigger unit of work.
+//!
+//! Run with: `cargo run --example concurrent_workers`
+
+use rhodos_file_service::{FileService, FileServiceConfig, LockLevel};
+use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
+use rhodos_txn::{SharedTransactionService, TransactionService, TxnConfig};
+
+const ACCOUNTS: u64 = 16;
+const INITIAL: u64 = 1_000;
+const THREADS: usize = 8;
+const TRANSFERS_PER_THREAD: usize = 40;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fs = FileService::single_disk(
+        DiskGeometry::medium(),
+        LatencyModel::instant(),
+        SimClock::new(),
+        FileServiceConfig::default(),
+    )?;
+    let shared = SharedTransactionService::new(TransactionService::new(
+        fs,
+        TxnConfig {
+            lt_us: 5_000,
+            max_renewals: 0,
+            ..Default::default()
+        },
+    )?);
+
+    // Seed the ledger (record-level locking for maximum concurrency).
+    let ledger = shared.lock().tcreate(LockLevel::Record)?;
+    shared.run_txn(|s, t| {
+        s.lock().topen(t, ledger)?;
+        for a in 0..ACCOUNTS {
+            s.lock().twrite(t, ledger, a * 8, &INITIAL.to_le_bytes())?;
+        }
+        Ok(())
+    })?;
+    let expected = ACCOUNTS * INITIAL;
+    println!("{ACCOUNTS} accounts x {INITIAL} = {expected} total");
+
+    // Worker threads transfer money between pseudo-random accounts.
+    std::thread::scope(|scope| {
+        for w in 0..THREADS {
+            let shared = shared.clone();
+            scope.spawn(move || {
+                for i in 0..TRANSFERS_PER_THREAD {
+                    // Cheap deterministic account picks per worker.
+                    let from = ((w * 31 + i * 17) as u64) % ACCOUNTS;
+                    let to = (from + 1 + ((w + i) as u64) % (ACCOUNTS - 1)) % ACCOUNTS;
+                    let amount = 1 + (i as u64 % 9);
+                    shared
+                        .run_txn(|s, t| {
+                            s.lock().topen(t, ledger)?;
+                            let a = u64::from_le_bytes(
+                                s.lock()
+                                    .tread_for_update(t, ledger, from * 8, 8)?
+                                    .try_into()
+                                    .expect("8 bytes"),
+                            );
+                            let b = u64::from_le_bytes(
+                                s.lock()
+                                    .tread_for_update(t, ledger, to * 8, 8)?
+                                    .try_into()
+                                    .expect("8 bytes"),
+                            );
+                            let moved = amount.min(a); // never overdraw
+                            s.lock().twrite(t, ledger, from * 8, &(a - moved).to_le_bytes())?;
+                            s.lock().twrite(t, ledger, to * 8, &(b + moved).to_le_bytes())
+                        })
+                        .expect("transfer eventually commits");
+                }
+            });
+        }
+    });
+
+    // Conservation check.
+    let total = shared.run_txn(|s, t| {
+        s.lock().topen(t, ledger)?;
+        let mut sum = 0u64;
+        for a in 0..ACCOUNTS {
+            sum += u64::from_le_bytes(s.lock().tread(t, ledger, a * 8, 8)?.try_into().expect("8"));
+        }
+        Ok(sum)
+    })?;
+    assert_eq!(total, expected, "money must be conserved");
+    println!(
+        "{} transfers across {THREADS} threads: total still {total}",
+        THREADS * TRANSFERS_PER_THREAD
+    );
+
+    // A nested transaction inside a bigger unit of work: the audit fee is
+    // applied per account but one experimental surcharge is rolled back.
+    shared.run_txn(|s, t| {
+        let ts = &mut *s.lock();
+        ts.topen(t, ledger)?;
+        // Nested child 1: deduct a 1-unit audit fee from account 0 — kept.
+        let child = ts.tbegin_nested(t)?;
+        let v = u64::from_le_bytes(ts.tread_for_update(child, ledger, 0, 8)?.try_into().expect("8"));
+        ts.twrite(child, ledger, 0, &(v - 1).to_le_bytes())?;
+        ts.tend(child)?;
+        // Nested child 2: an experimental surcharge — aborted, leaves no trace.
+        let child = ts.tbegin_nested(t)?;
+        let v = u64::from_le_bytes(ts.tread_for_update(child, ledger, 8, 8)?.try_into().expect("8"));
+        ts.twrite(child, ledger, 8, &(v.saturating_sub(500)).to_le_bytes())?;
+        ts.tabort(child)?;
+        // Put the fee into the bank's account 15 so totals stay equal.
+        let v = u64::from_le_bytes(ts.tread_for_update(t, ledger, 15 * 8, 8)?.try_into().expect("8"));
+        ts.twrite(t, ledger, 15 * 8, &(v + 1).to_le_bytes())
+    })?;
+    let total = shared.run_txn(|s, t| {
+        s.lock().topen(t, ledger)?;
+        let mut sum = 0u64;
+        for a in 0..ACCOUNTS {
+            sum += u64::from_le_bytes(s.lock().tread(t, ledger, a * 8, 8)?.try_into().expect("8"));
+        }
+        Ok(sum)
+    })?;
+    assert_eq!(total, expected, "nested abort must leave no trace");
+    println!("nested commit kept, nested abort traceless; total still {total}");
+
+    let stats = shared.lock().stats();
+    println!(
+        "stats: {} begun, {} committed, {} aborted ({} by timeout), {} conflicts",
+        stats.begun, stats.committed, stats.aborted, stats.timeout_aborts, stats.would_blocks
+    );
+    println!("concurrent workers OK");
+    Ok(())
+}

@@ -9,6 +9,7 @@
 
 use crate::descriptor::{ObjectDescriptor, FILE_OD_BASE};
 use parking_lot::Mutex;
+use rhodos_buf::BlockBuf;
 use rhodos_disk_service::BLOCK_SIZE;
 use rhodos_file_service::{
     BlockCache, CacheStats, FileAttributes, FileId, FileServiceError, ServiceType,
@@ -182,6 +183,8 @@ impl FileAgent {
             cache.misses += s.misses;
             cache.writebacks += s.writebacks;
             cache.clean_evictions += s.clean_evictions;
+            cache.bytes_copied += s.bytes_copied;
+            cache.bytes_borrowed += s.bytes_borrowed;
         }
         AgentStats {
             cache,
@@ -295,9 +298,17 @@ impl FileAgent {
     /// # Errors
     ///
     /// [`AgentError::BadDescriptor`].
-    pub fn lseek(&mut self, od: ObjectDescriptor, offset: i64, whence: u8) -> Result<u64, AgentError> {
+    pub fn lseek(
+        &mut self,
+        od: ObjectDescriptor,
+        offset: i64,
+        whence: u8,
+    ) -> Result<u64, AgentError> {
         let size = self.entry(od)?.size;
-        let entry = self.open.get_mut(&od).ok_or(AgentError::BadDescriptor(od))?;
+        let entry = self
+            .open
+            .get_mut(&od)
+            .ok_or(AgentError::BadDescriptor(od))?;
         let base = match whence {
             0 => 0i64,
             1 => entry.pos as i64,
@@ -346,21 +357,20 @@ impl FileAgent {
         let last = (offset + len as u64 - 1) / bs;
         let mut out = Vec::with_capacity(len);
         for idx in first..=last {
-            let block = match self.caches[server].get(&(fid, idx)) {
-                Some(b) => b.to_vec(),
+            // A client-cache hit is a shared handle — the only memcpy on
+            // this path is into the caller's result buffer.
+            let block: BlockBuf = match self.caches[server].get(&(fid, idx)) {
+                Some(b) => b,
                 None => {
                     // Fetch the whole block from the server (one round
-                    // trip) and cache it.
+                    // trip) and cache the handle; a server-cache hit
+                    // shares the server's allocation all the way here.
                     self.round_trip();
-                    let want = (bs as usize).min((size - idx * bs) as usize);
-                    let mut block = self.servers[server].lock().file_service_mut().read(
-                        fid,
-                        idx * bs,
-                        want,
-                    )?;
-                    block.resize(BLOCK_SIZE, 0);
-                    for (k, v) in self.caches[server].insert((fid, idx), block.clone(), false)
-                    {
+                    let block = self.servers[server]
+                        .lock()
+                        .file_service_mut()
+                        .read_block(fid, idx)?;
+                    for (k, v) in self.caches[server].insert((fid, idx), block.clone(), false) {
                         // Delayed writes evicted from the client cache are
                         // pushed to the server.
                         self.push_block(server, k.0, k.1, v)?;
@@ -416,10 +426,10 @@ impl FileAgent {
             let lo = offset.max(block_start);
             let hi = (offset + data.len() as u64).min(block_start + bs);
             let full = lo == block_start && hi == block_start + bs;
-            let mut block = if full {
-                vec![0u8; BLOCK_SIZE]
+            let mut block: BlockBuf = if full {
+                BlockBuf::zeroed(BLOCK_SIZE)
             } else if let Some(b) = self.caches[server].get(&(fid, idx)) {
-                b.to_vec()
+                b
             } else {
                 // Read-modify-write through pread's caching path (only if
                 // the block exists at the server).
@@ -429,10 +439,11 @@ impl FileAgent {
                 }
                 self.caches[server]
                     .get(&(fid, idx))
-                    .map(|b| b.to_vec())
-                    .unwrap_or_else(|| vec![0u8; BLOCK_SIZE])
+                    .unwrap_or_else(|| BlockBuf::zeroed(BLOCK_SIZE))
             };
-            block[(lo - block_start) as usize..(hi - block_start) as usize]
+            // Copy-on-write: detaches from the cached allocation only if
+            // the block is resident/shared.
+            block.make_mut()[(lo - block_start) as usize..(hi - block_start) as usize]
                 .copy_from_slice(&data[(lo - offset) as usize..(hi - offset) as usize]);
             for (k, v) in self.caches[server].insert((fid, idx), block, true) {
                 self.push_block(server, k.0, k.1, v)?;
@@ -448,7 +459,7 @@ impl FileAgent {
         server: usize,
         fid: FileId,
         idx: u64,
-        data: Vec<u8>,
+        data: BlockBuf,
     ) -> Result<(), AgentError> {
         // Trim the push to the file's logical size so a partial tail block
         // does not inflate the file.
@@ -464,10 +475,12 @@ impl FileAgent {
             return Ok(());
         }
         self.round_trip();
+        // The pushed view shares the client cache's allocation — the
+        // server adopts it without a copy.
         self.servers[server]
             .lock()
             .file_service_mut()
-            .write(fid, start, &data[..len])?;
+            .write(fid, start, data.slice(0..len))?;
         Ok(())
     }
 
@@ -650,8 +663,14 @@ mod tests {
     #[test]
     fn bad_descriptor_rejected() {
         let mut a = agent();
-        assert!(matches!(a.read(999_999, 1), Err(AgentError::BadDescriptor(_))));
-        assert!(matches!(a.lseek(5, 0, 0), Err(AgentError::BadDescriptor(_))));
+        assert!(matches!(
+            a.read(999_999, 1),
+            Err(AgentError::BadDescriptor(_))
+        ));
+        assert!(matches!(
+            a.lseek(5, 0, 0),
+            Err(AgentError::BadDescriptor(_))
+        ));
     }
 
     #[test]

@@ -74,8 +74,8 @@ mod process;
 mod txn_agent;
 
 pub use descriptor::{
-    is_device_descriptor, ObjectDescriptor, DEV_OD_LIMIT, FILE_OD_BASE, REDIR_STDERR,
-    REDIR_STDIN, REDIR_STDOUT, STDERR, STDIN, STDOUT,
+    is_device_descriptor, ObjectDescriptor, DEV_OD_LIMIT, FILE_OD_BASE, REDIR_STDERR, REDIR_STDIN,
+    REDIR_STDOUT, STDERR, STDIN, STDOUT,
 };
 pub use device::{Device, DeviceAgent, DeviceError};
 pub use file_agent::{AgentError, AgentStats, FileAgent, ServerHandle};

@@ -11,7 +11,9 @@
 //! processes which perform I/O on devices and files using the semantics of
 //! the basic file service can only invoke the process-twin operation."
 
-use crate::descriptor::{ObjectDescriptor, REDIR_STDERR, REDIR_STDIN, REDIR_STDOUT, STDERR, STDIN, STDOUT};
+use crate::descriptor::{
+    ObjectDescriptor, REDIR_STDERR, REDIR_STDIN, REDIR_STDOUT, STDERR, STDIN, STDOUT,
+};
 use std::collections::{HashMap, HashSet};
 
 /// A (simulated) RHODOS process: its standard-stream environment
@@ -156,7 +158,10 @@ impl ProcessTable {
         self.next_pid += 1;
         child.pid = pid;
         child.mediumweight = true;
-        self.processes.get_mut(&parent).expect("exists").mediumweight = true;
+        self.processes
+            .get_mut(&parent)
+            .expect("exists")
+            .mediumweight = true;
         self.processes.insert(pid, child);
         Ok(pid)
     }

@@ -131,7 +131,12 @@ impl TransactionAgent {
     ///
     /// [`AgentError::BadDescriptor`]; server failures (end-relative seeks
     /// consult the server for the size).
-    pub fn tlseek(&mut self, od: ObjectDescriptor, offset: i64, whence: u8) -> Result<u64, AgentError> {
+    pub fn tlseek(
+        &mut self,
+        od: ObjectDescriptor,
+        offset: i64,
+        whence: u8,
+    ) -> Result<u64, AgentError> {
         let (t, fid, pos) = self.entry(od)?;
         let base = match whence {
             0 => 0i64,

@@ -75,7 +75,7 @@ fn bench_file_ops(c: &mut Criterion) {
         let mut fs = rhodos_bench::setups::file_service(FileServiceConfig::default());
         let fid = fs.create(ServiceType::Basic).unwrap();
         fs.open(fid).unwrap();
-        fs.write(fid, 0, &vec![0u8; 64 * 1024]).unwrap();
+        fs.write(fid, 0, vec![0u8; 64 * 1024]).unwrap();
         let buf = vec![5u8; 4096];
         let mut off = 0u64;
         b.iter(|| {
@@ -178,7 +178,13 @@ fn bench_stable_storage(c: &mut Criterion) {
     };
     let mut g = c.benchmark_group("stable_storage");
     let clock = SimClock::new();
-    let mk = || SimDisk::new(DiskGeometry::small(), LatencyModel::instant(), clock.clone());
+    let mk = || {
+        SimDisk::new(
+            DiskGeometry::small(),
+            LatencyModel::instant(),
+            clock.clone(),
+        )
+    };
     let mut stable = StableStore::new(mk(), mk());
     let payload = vec![0xEEu8; 1024];
     g.bench_function("sync_record_write", |b| {
@@ -190,6 +196,10 @@ fn bench_stable_storage(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_throughput(c: &mut Criterion) {
+    rhodos_bench::throughput::register(c);
+}
+
 criterion_group!(
     benches,
     bench_allocation,
@@ -198,6 +208,7 @@ criterion_group!(
     bench_locks,
     bench_commit,
     bench_fit_codec,
-    bench_stable_storage
+    bench_stable_storage,
+    bench_throughput
 );
 criterion_main!(benches);

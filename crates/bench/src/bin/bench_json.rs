@@ -1,0 +1,36 @@
+//! Emits `BENCH_hot_paths.json`: the throughput group's results as
+//! `{op, ns_per_op, mb_per_s}` records, giving future changes a perf
+//! baseline to diff against.
+//!
+//! `cargo run --release -p rhodos-bench --bin bench_json [-- <out-path>]`
+
+use criterion::Criterion;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hot_paths.json".to_string());
+
+    let mut c = Criterion::default();
+    rhodos_bench::throughput::register(&mut c);
+
+    let mut rows = Vec::new();
+    for m in c.measurements() {
+        let bytes = rhodos_bench::throughput::CASES
+            .iter()
+            .find(|(name, _)| *name == m.id)
+            .map(|(_, b)| *b);
+        let mb_per_s = bytes
+            .map(|b| b as f64 / 1e6 / (m.ns_per_iter / 1e9))
+            .unwrap_or(0.0);
+        rows.push(format!(
+            "  {{\"op\": \"{}\", \"ns_per_op\": {:.1}, \"mb_per_s\": {:.1}}}",
+            m.id, m.ns_per_iter, mb_per_s
+        ));
+    }
+
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+    print!("{json}");
+}

@@ -76,7 +76,10 @@ mod tests {
     fn matrix_matches_table_one() {
         let report = super::run();
         // Row "none": everything ok.
-        let none_row = report.lines().find(|l| l.trim_start().starts_with("none")).unwrap();
+        let none_row = report
+            .lines()
+            .find(|l| l.trim_start().starts_with("none"))
+            .unwrap();
         assert_eq!(none_row.matches("ok").count(), 3);
         // Row "Iwrite" (held by another): all wait.
         let iw_row = report

@@ -53,7 +53,11 @@ pub fn run() -> String {
     );
     // Ablation: the FIT-adjacent-first-block design choice ("eliminating
     // the seek time to retrieve the first data block").
-    let mut t = Table::new(&["FIT placement", "seeks (FIT -> first byte)", "sim time (us)"]);
+    let mut t = Table::new(&[
+        "FIT placement",
+        "seeks (FIT -> first byte)",
+        "sim time (us)",
+    ]);
     for adjacent in [true, false] {
         let (seeks, us) = first_byte_cost(adjacent);
         t.row_owned(vec![

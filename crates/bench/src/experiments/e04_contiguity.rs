@@ -20,13 +20,13 @@ fn build(fragmented: bool) -> (FileService, rhodos_file_service::FileId) {
         let decoy = fs.create(ServiceType::Basic).unwrap();
         fs.open(decoy).unwrap();
         for i in 0..BLOCKS {
-            fs.write(fid, i * BS as u64, &vec![1u8; BS]).unwrap();
+            fs.write(fid, i * BS as u64, vec![1u8; BS]).unwrap();
             fs.flush_all().unwrap();
-            fs.write(decoy, i * BS as u64, &vec![2u8; BS]).unwrap();
+            fs.write(decoy, i * BS as u64, vec![2u8; BS]).unwrap();
             fs.flush_all().unwrap();
         }
     } else {
-        fs.write(fid, 0, &vec![1u8; BLOCKS as usize * BS]).unwrap();
+        fs.write(fid, 0, vec![1u8; BLOCKS as usize * BS]).unwrap();
         fs.flush_all().unwrap();
     }
     (fs, fid)
@@ -47,7 +47,12 @@ pub fn run() -> String {
         let (mut fs, fid) = build(fragmented);
         let fit = fs.fit_snapshot(fid).unwrap();
         let ratio = fit.contiguity_ratio();
-        let max_count = fit.descriptors().iter().map(|d| d.contig).max().unwrap_or(0);
+        let max_count = fit
+            .descriptors()
+            .iter()
+            .map(|d| d.contig)
+            .max()
+            .unwrap_or(0);
         fs.evict_caches().unwrap();
         let clock = fs.clock();
         let s0 = fs.stats().disks[0].disk;
@@ -58,7 +63,12 @@ pub fn run() -> String {
         let dt = clock.now_us() - t0;
         times.push(dt);
         t.row_owned(vec![
-            if fragmented { "fragmented" } else { "contiguous" }.to_string(),
+            if fragmented {
+                "fragmented"
+            } else {
+                "contiguous"
+            }
+            .to_string(),
             format!("{ratio:.2}"),
             max_count.to_string(),
             (s1.read_ops - s0.read_ops).to_string(),

@@ -23,7 +23,10 @@ pub fn run() -> String {
         "utilisation",
         "write refs",
     ]);
-    for (label, unit) in [("fragment (2 KiB)", FRAGMENT_SIZE), ("block (8 KiB)", BLOCK_SIZE)] {
+    for (label, unit) in [
+        ("fragment (2 KiB)", FRAGMENT_SIZE),
+        ("block (8 KiB)", BLOCK_SIZE),
+    ] {
         let mut svc = crate::setups::disk_service(DiskServiceConfig::default());
         let before = svc.stats().disk.write_ops;
         for _ in 0..RECORDS {

@@ -113,7 +113,10 @@ mod tests {
     fn array_serves_requests() {
         let report = super::run();
         // Both allocators must serve every request on this workload.
-        for line in report.lines().filter(|l| l.contains("array") || l.contains("scan")) {
+        for line in report
+            .lines()
+            .filter(|l| l.contains("array") || l.contains("scan"))
+        {
             if let Some(served) = line.split_whitespace().find_map(|c| c.parse::<u64>().ok()) {
                 assert_eq!(served, super::MEASURE_OPS as u64, "{report}");
             }

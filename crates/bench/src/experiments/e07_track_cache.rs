@@ -14,7 +14,7 @@ use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
 const TRACKS: u64 = 16;
 const READS: usize = 2_000;
 
-fn workload(svc: &mut DiskService, seed: u64) -> (u64, u64, f64) {
+fn workload(svc: &mut DiskService, seed: u64) -> (u64, u64, f64, u64, u64) {
     let geom = svc.geometry();
     let spt = geom.sectors_per_track();
     // Fill the first TRACKS tracks with data.
@@ -22,12 +22,12 @@ fn workload(svc: &mut DiskService, seed: u64) -> (u64, u64, f64) {
     let data = vec![0x3Cu8; (TRACKS * spt) as usize * FRAGMENT_SIZE];
     svc.put(extent, &data, StablePolicy::None).unwrap();
     svc.recover().unwrap(); // cold cache
-    // Track-local access pattern: pick a track, read several fragments
-    // from it (the paper's motivating pattern).
+                            // Track-local access pattern: pick a track, read several fragments
+                            // from it (the paper's motivating pattern).
     let mut rng = StdRng::seed_from_u64(seed);
     let clock = svc.clock();
     let t0 = clock.now_us();
-    let r0 = svc.stats().disk.read_ops;
+    let before = svc.stats();
     let mut track = 0u64;
     for i in 0..READS {
         if i % 8 == 0 {
@@ -36,9 +36,15 @@ fn workload(svc: &mut DiskService, seed: u64) -> (u64, u64, f64) {
         let frag = extent.start + track * spt + rng.gen_range(0..spt);
         let _ = svc.get(Extent::new(frag, 1)).unwrap();
     }
-    let refs = svc.stats().disk.read_ops - r0;
+    let after = svc.stats();
+    let refs = after.disk.read_ops - before.disk.read_ops;
     let dt = clock.now_us() - t0;
-    (refs, dt, svc.stats().cache.hit_ratio())
+    // Copy traffic on the serving path: platter → transfer buffer plus
+    // any gather-assembly, vs bytes handed out as shared cache views.
+    let copied = (after.disk.bytes_copied - before.disk.bytes_copied)
+        + (after.cache.bytes_copied - before.cache.bytes_copied);
+    let borrowed = after.cache.bytes_borrowed - before.cache.bytes_borrowed;
+    (refs, dt, after.cache.hit_ratio(), copied, borrowed)
 }
 
 /// Runs the experiment.
@@ -48,6 +54,8 @@ pub fn run() -> String {
         "disk refs",
         "sim time (us)",
         "cache hit ratio",
+        "KiB copied",
+        "KiB borrowed",
     ]);
     let mut times = Vec::new();
     for (label, readahead, tracks) in [
@@ -64,13 +72,15 @@ pub fn run() -> String {
                 cache_tracks: tracks,
             },
         );
-        let (refs, dt, ratio) = workload(&mut svc, 5);
+        let (refs, dt, ratio, copied, borrowed) = workload(&mut svc, 5);
         times.push(dt);
         t.row_owned(vec![
             label.to_string(),
             refs.to_string(),
             dt.to_string(),
             format!("{ratio:.2}"),
+            (copied / 1024).to_string(),
+            (borrowed / 1024).to_string(),
         ]);
     }
     let mut out = t.render();

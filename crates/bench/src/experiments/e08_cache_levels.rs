@@ -22,7 +22,7 @@ use std::sync::Arc;
 const FILE_BLOCKS: usize = 32;
 const OPS: usize = 600;
 
-fn workload(server_caches: bool, client_blocks: usize) -> (u64, u64, u64) {
+fn workload(server_caches: bool, client_blocks: usize) -> (u64, u64, u64, u64, u64) {
     let fs = crate::setups::file_service_with_caches(server_caches);
     let clock = fs.clock();
     let ts = TransactionService::new(fs, TxnConfig::default()).unwrap();
@@ -54,7 +54,8 @@ fn workload(server_caches: bool, client_blocks: usize) -> (u64, u64, u64) {
     // Skewed re-reads: 80% of reads hit 20% of the blocks.
     let mut rng = StdRng::seed_from_u64(3);
     let t0 = clock.now_us();
-    let trips0 = agent.stats().round_trips;
+    let agent0 = agent.stats();
+    let server0 = server.lock().file_service_mut().stats();
     for _ in 0..OPS {
         let b = if rng.gen_bool(0.8) {
             rng.gen_range(0..FILE_BLOCKS / 5)
@@ -63,10 +64,31 @@ fn workload(server_caches: bool, client_blocks: usize) -> (u64, u64, u64) {
         };
         let _ = agent.pread(od, (b * 8192) as u64, 1024).unwrap();
     }
-    let trips = agent.stats().round_trips - trips0;
+    let agent1 = agent.stats();
+    let server1 = server.lock().file_service_mut().stats();
+    let trips = agent1.round_trips - agent0.round_trips;
     let dt = clock.now_us() - t0;
-    let refs = server.lock().file_service_mut().stats().total_disk_refs();
-    (dt, trips, refs)
+    let refs = server1.total_disk_refs();
+    // Copy traffic across the whole pipeline during the measured reads:
+    // platter transfers plus any cache-level memcpys, vs bytes served as
+    // shared handles by the client pool, server pool and track caches.
+    let disk_copied = |s: &rhodos_file_service::FileServiceStats| -> (u64, u64) {
+        s.disks.iter().fold((0, 0), |(c, b), d| {
+            (
+                c + d.disk.bytes_copied + d.cache.bytes_copied,
+                b + d.cache.bytes_borrowed,
+            )
+        })
+    };
+    let (srv_copied0, srv_borrowed0) = disk_copied(&server0);
+    let (srv_copied1, srv_borrowed1) = disk_copied(&server1);
+    let copied = (srv_copied1 - srv_copied0)
+        + (server1.cache.bytes_copied - server0.cache.bytes_copied)
+        + (agent1.cache.bytes_copied - agent0.cache.bytes_copied);
+    let borrowed = (srv_borrowed1 - srv_borrowed0)
+        + (server1.cache.bytes_borrowed - server0.cache.bytes_borrowed)
+        + (agent1.cache.bytes_borrowed - agent0.cache.bytes_borrowed);
+    (dt, trips, refs, copied, borrowed)
 }
 
 /// Runs the experiment.
@@ -76,6 +98,8 @@ pub fn run() -> String {
         "sim time (us)",
         "client->server round trips",
         "total disk refs",
+        "KiB copied",
+        "KiB borrowed",
     ]);
     let mut times = Vec::new();
     for (label, server, client) in [
@@ -83,13 +107,15 @@ pub fn run() -> String {
         ("server only (file + disk level)", true, 0),
         ("server + client (all levels)", true, 128),
     ] {
-        let (dt, trips, refs) = workload(server, client);
+        let (dt, trips, refs, copied, borrowed) = workload(server, client);
         times.push(dt);
         t.row_owned(vec![
             label.to_string(),
             dt.to_string(),
             trips.to_string(),
             refs.to_string(),
+            (copied / 1024).to_string(),
+            (borrowed / 1024).to_string(),
         ]);
     }
     let mut out = t.render();
@@ -114,15 +140,23 @@ pub fn run() -> String {
 mod tests {
     #[test]
     fn each_level_helps() {
-        let (t_none, trips_none, refs_none) = super::workload(false, 0);
-        let (t_server, trips_server, refs_server) = super::workload(true, 0);
-        let (t_all, trips_all, _refs_all) = super::workload(true, 128);
+        let (t_none, trips_none, refs_none, _, _) = super::workload(false, 0);
+        let (t_server, trips_server, refs_server, _, _) = super::workload(true, 0);
+        let (t_all, trips_all, _refs_all, _, borrowed_all) = super::workload(true, 128);
         // Server caches absorb disk references.
         assert!(refs_server < refs_none / 2, "{refs_server} vs {refs_none}");
         // The client cache absorbs round trips.
-        assert!(trips_all < trips_server / 2, "{trips_all} vs {trips_server}");
+        assert!(
+            trips_all < trips_server / 2,
+            "{trips_all} vs {trips_server}"
+        );
         assert_eq!(trips_none, trips_server, "server caches don't change trips");
         // And the full stack is fastest.
-        assert!(t_all < t_server && t_server <= t_none, "{t_all} {t_server} {t_none}");
+        assert!(
+            t_all < t_server && t_server <= t_none,
+            "{t_all} {t_server} {t_none}"
+        );
+        // With every cache on, hot blocks are served as shared handles.
+        assert!(borrowed_all > 0, "cache hits should be zero-copy borrows");
     }
 }

@@ -36,7 +36,8 @@ fn drive(level: LockLevel, small_updates: bool, seed: u64) -> Outcome {
     let fid = ts.tcreate(level).unwrap();
     let t0 = ts.tbegin();
     ts.topen(t0, fid).unwrap();
-    ts.twrite(t0, fid, 0, &vec![0u8; FILE_BYTES as usize]).unwrap();
+    ts.twrite(t0, fid, 0, &vec![0u8; FILE_BYTES as usize])
+        .unwrap();
     ts.tend(t0).unwrap();
     let clock = ts.file_service_mut().clock();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -66,7 +67,11 @@ fn drive(level: LockLevel, small_updates: bool, seed: u64) -> Outcome {
                 sessions[c] = Some((t, offset, 0));
             }
             Some((t, offset, step)) => {
-                let len = if small_updates { 48 } else { (FILE_BYTES / 2) as usize };
+                let len = if small_updates {
+                    48
+                } else {
+                    (FILE_BYTES / 2) as usize
+                };
                 let res = match step {
                     0 => ts.twrite(t, fid, offset, &vec![c as u8; len]),
                     1 => ts.twrite(t, fid, offset + 16, &vec![c as u8; len.min(48)]),
@@ -115,7 +120,8 @@ fn locks_for_isolated_txn(level: LockLevel) -> u64 {
     let fid = ts.tcreate(level).unwrap();
     let t0 = ts.tbegin();
     ts.topen(t0, fid).unwrap();
-    ts.twrite(t0, fid, 0, &vec![0u8; FILE_BYTES as usize]).unwrap();
+    ts.twrite(t0, fid, 0, &vec![0u8; FILE_BYTES as usize])
+        .unwrap();
     ts.tend(t0).unwrap();
     let before = ts.lock_table_stats(level).granted_immediately;
     let t = ts.tbegin();
@@ -130,7 +136,10 @@ fn locks_for_isolated_txn(level: LockLevel) -> u64 {
 /// Runs the experiment.
 pub fn run() -> String {
     let mut out = String::new();
-    for (workload, small) in [("small updates (48 B)", true), ("huge updates (half the file)", false)] {
+    for (workload, small) in [
+        ("small updates (48 B)", true),
+        ("huge updates (half the file)", false),
+    ] {
         let mut t = Table::new(&[
             "granularity",
             "commits",
@@ -193,6 +202,9 @@ mod tests {
         let file = locks_for_isolated_txn(LockLevel::File);
         assert_eq!(file, 1, "file locking: one lock");
         assert!(rec >= 8, "record locking: one lock per record ({rec})");
-        assert!(page > file && rec >= page, "rec {rec} >= page {page} > file {file}");
+        assert!(
+            page > file && rec >= page,
+            "rec {rec} >= page {page} > file {file}"
+        );
     }
 }

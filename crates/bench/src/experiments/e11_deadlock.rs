@@ -29,7 +29,8 @@ fn drive(clients: usize, seed: u64) -> LoadOutcome {
     let fid = ts.tcreate(LockLevel::Page).unwrap();
     let t0 = ts.tbegin();
     ts.topen(t0, fid).unwrap();
-    ts.twrite(t0, fid, 0, &vec![0u8; (PAGES * 8192) as usize]).unwrap();
+    ts.twrite(t0, fid, 0, &vec![0u8; (PAGES * 8192) as usize])
+        .unwrap();
     ts.tend(t0).unwrap();
     let clock = ts.file_service_mut().clock();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -100,7 +101,8 @@ fn long_txn_penalty() -> (u64, u64) {
     let fid = ts.tcreate(LockLevel::Page).unwrap();
     let t0 = ts.tbegin();
     ts.topen(t0, fid).unwrap();
-    ts.twrite(t0, fid, 0, &vec![0u8; (PAGES * 8192) as usize]).unwrap();
+    ts.twrite(t0, fid, 0, &vec![0u8; (PAGES * 8192) as usize])
+        .unwrap();
     ts.tend(t0).unwrap();
     let clock = ts.file_service_mut().clock();
     let mut long_aborts = 0u64;
@@ -176,8 +178,7 @@ pub fn run() -> String {
          {long}/40 times while competing short transactions were aborted {short} times\n\
          (paper: \"transactions taking a long time will be penalized\").\n\
          timeout-abort rate grows with load: {:.3} at 2 clients -> {:.3} at 16.\n",
-        rates[0],
-        rates[3],
+        rates[0], rates[3],
     ));
     out
 }
@@ -200,6 +201,9 @@ mod tests {
     #[test]
     fn long_transactions_are_penalised() {
         let (long, _short) = super::long_txn_penalty();
-        assert!(long > 20, "long transactions should usually be the victims ({long}/40)");
+        assert!(
+            long > 20,
+            "long transactions should usually be the victims ({long}/40)"
+        );
     }
 }

@@ -20,9 +20,9 @@ fn fresh(fragmented: bool) -> (TransactionService, rhodos_file_service::FileId) 
         fs.open(fid).unwrap();
         fs.open(decoy).unwrap();
         for i in 0..BLOCKS {
-            fs.write(fid, (i * 8192) as u64, &vec![1u8; 8192]).unwrap();
+            fs.write(fid, (i * 8192) as u64, vec![1u8; 8192]).unwrap();
             fs.flush_all().unwrap();
-            fs.write(decoy, (i * 8192) as u64, &vec![2u8; 8192]).unwrap();
+            fs.write(decoy, (i * 8192) as u64, vec![2u8; 8192]).unwrap();
             fs.flush_all().unwrap();
         }
         fs.close(fid).unwrap();
@@ -45,7 +45,11 @@ struct CommitCost {
 
 fn measure(fragmented: bool) -> CommitCost {
     let (mut ts, fid) = fresh(fragmented);
-    let before = ts.file_service_mut().fit_snapshot(fid).unwrap().contiguity_ratio();
+    let before = ts
+        .file_service_mut()
+        .fit_snapshot(fid)
+        .unwrap()
+        .contiguity_ratio();
     let w0: u64 = ts
         .file_service_mut()
         .stats()
@@ -58,7 +62,8 @@ fn measure(fragmented: bool) -> CommitCost {
     let t = ts.tbegin();
     ts.topen(t, fid).unwrap();
     for p in [1usize, 5, 9, 13] {
-        ts.twrite(t, fid, (p * 8192) as u64, &vec![7u8; 8192]).unwrap();
+        ts.twrite(t, fid, (p * 8192) as u64, &vec![7u8; 8192])
+            .unwrap();
     }
     ts.tend(t).unwrap();
     let w1: u64 = ts
@@ -68,9 +73,17 @@ fn measure(fragmented: bool) -> CommitCost {
         .iter()
         .map(|d| d.disk.write_ops)
         .sum();
-    let after = ts.file_service_mut().fit_snapshot(fid).unwrap().contiguity_ratio();
+    let after = ts
+        .file_service_mut()
+        .fit_snapshot(fid)
+        .unwrap()
+        .contiguity_ratio();
     CommitCost {
-        technique: if ts.stats().wal_pages > wal0 { "WAL" } else { "shadow page" },
+        technique: if ts.stats().wal_pages > wal0 {
+            "WAL"
+        } else {
+            "shadow page"
+        },
         write_refs: w1 - w0,
         contiguity_before: before,
         contiguity_after: after,
@@ -81,12 +94,21 @@ fn measure(fragmented: bool) -> CommitCost {
 /// to show what the paper's policy avoids.
 fn forced_shadow_on_contiguous() -> (f64, f64) {
     let (mut ts, fid) = fresh(false);
-    let before = ts.file_service_mut().fit_snapshot(fid).unwrap().contiguity_ratio();
+    let before = ts
+        .file_service_mut()
+        .fit_snapshot(fid)
+        .unwrap()
+        .contiguity_ratio();
     let fs = ts.file_service_mut();
     for p in [1u64, 5, 9, 13] {
         let (d, a) = fs.allocate_shadow_block(fid).unwrap();
-        fs.put_detached_block(d, a, &vec![7u8; 8192], rhodos_disk_service::StablePolicy::None)
-            .unwrap();
+        fs.put_detached_block(
+            d,
+            a,
+            &vec![7u8; 8192],
+            rhodos_disk_service::StablePolicy::None,
+        )
+        .unwrap();
         let (od, oa) = fs.replace_block_descriptor(fid, p, d, a).unwrap();
         fs.free_detached_block(od, oa).unwrap();
     }
@@ -106,7 +128,12 @@ pub fn run() -> String {
     for fragmented in [false, true] {
         let c = measure(fragmented);
         t.row_owned(vec![
-            if fragmented { "fragmented" } else { "contiguous" }.to_string(),
+            if fragmented {
+                "fragmented"
+            } else {
+                "contiguous"
+            }
+            .to_string(),
             c.technique.to_string(),
             c.write_refs.to_string(),
             format!("{:.2}", c.contiguity_before),

@@ -21,7 +21,9 @@ fn measure(ndisks: usize) -> StripeOutcome {
     let mut fs = crate::setups::striped_file_service_raw(ndisks, 4);
     let fid = fs.create(ServiceType::Basic).unwrap();
     fs.open(fid).unwrap();
-    let data: Vec<u8> = (0..FILE_MIB * 1024 * 1024).map(|i| (i % 256) as u8).collect();
+    let data: Vec<u8> = (0..FILE_MIB * 1024 * 1024)
+        .map(|i| (i % 256) as u8)
+        .collect();
     fs.write(fid, 0, &data).unwrap();
     fs.flush_all().unwrap();
     fs.evict_caches().unwrap();

@@ -115,7 +115,12 @@ pub fn run() -> String {
         t.row_owned(vec![
             "crash tearing the commit record".into(),
             if crashed { "yes" } else { "n/a" }.into(),
-            if check(&mut ts, fid) { "yes (rolled back)" } else { "NO" }.into(),
+            if check(&mut ts, fid) {
+                "yes (rolled back)"
+            } else {
+                "NO"
+            }
+            .into(),
             redone.len().to_string(),
         ]);
     }
@@ -137,7 +142,12 @@ pub fn run() -> String {
         let outcome = ts.recover();
         t.row_owned(vec![
             "catastrophe: FIT + both stable mirrors destroyed".into(),
-            if outcome.is_ok() { "yes" } else { "no (reported)" }.into(),
+            if outcome.is_ok() {
+                "yes"
+            } else {
+                "no (reported)"
+            }
+            .into(),
             "n/a (excluded by the paper)".into(),
             "-".into(),
         ]);

@@ -30,7 +30,7 @@ fn measure(policy: WritePolicy) -> PolicyOutcome {
     });
     let fid = fs.create(ServiceType::Basic).unwrap();
     fs.open(fid).unwrap();
-    fs.write(fid, 0, &vec![0u8; FILE_BLOCKS * 8192]).unwrap();
+    fs.write(fid, 0, vec![0u8; FILE_BLOCKS * 8192]).unwrap();
     fs.flush_all().unwrap();
     let clock = fs.clock();
     let mut rng = StdRng::seed_from_u64(17);
@@ -70,8 +70,14 @@ pub fn run() -> String {
     ]);
     let mut outcomes = Vec::new();
     for (label, policy) in [
-        ("delayed-write (agent/basic traffic)", WritePolicy::DelayedWrite),
-        ("write-through (transactional traffic)", WritePolicy::WriteThrough),
+        (
+            "delayed-write (agent/basic traffic)",
+            WritePolicy::DelayedWrite,
+        ),
+        (
+            "write-through (transactional traffic)",
+            WritePolicy::WriteThrough,
+        ),
     ] {
         let o = measure(policy);
         t.row_owned(vec![

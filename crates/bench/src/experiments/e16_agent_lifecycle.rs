@@ -19,10 +19,7 @@ pub fn run() -> String {
     let snap = |cluster: &mut Cluster, label: &str, t: &mut Table| {
         let m = cluster.machine_mut(0);
         let exists = m.has_transaction_agent();
-        let active = m
-            .txn_agent_mut()
-            .map(|a| a.active_count())
-            .unwrap_or(0);
+        let active = m.txn_agent_mut().map(|a| a.active_count()).unwrap_or(0);
         t.row_owned(vec![
             label.to_string(),
             if exists { "yes" } else { "no" }.to_string(),

@@ -22,6 +22,7 @@
 pub mod experiments;
 pub mod setups;
 pub mod table;
+pub mod throughput;
 
 /// One experiment: `(id, title, runner)`.
 pub type Experiment = (&'static str, &'static str, fn() -> String);
@@ -30,21 +31,73 @@ pub type Experiment = (&'static str, &'static str, fn() -> String);
 pub fn all_experiments() -> Vec<Experiment> {
     use experiments::*;
     vec![
-        ("e01", "Table 1: lock compatibility matrix", e01_lock_table::run),
-        ("e03", "Files <= 512 KiB in at most two disk references", e03_direct_access::run),
-        ("e04", "Contiguity counts collapse a run into one reference", e04_contiguity::run),
-        ("e05", "Fragments for metadata: utilisation vs I/O", e05_fragments::run),
-        ("e06", "64x64 free-extent array vs bitmap scan", e06_freespace::run),
+        (
+            "e01",
+            "Table 1: lock compatibility matrix",
+            e01_lock_table::run,
+        ),
+        (
+            "e03",
+            "Files <= 512 KiB in at most two disk references",
+            e03_direct_access::run,
+        ),
+        (
+            "e04",
+            "Contiguity counts collapse a run into one reference",
+            e04_contiguity::run,
+        ),
+        (
+            "e05",
+            "Fragments for metadata: utilisation vs I/O",
+            e05_fragments::run,
+        ),
+        (
+            "e06",
+            "64x64 free-extent array vs bitmap scan",
+            e06_freespace::run,
+        ),
         ("e07", "Track read-ahead cache", e07_track_cache::run),
-        ("e08", "Caching at every level vs a cache-less server", e08_cache_levels::run),
-        ("e09", "Idempotent operations under duplication and loss", e09_idempotency::run),
-        ("e10", "Lock granularity: concurrency vs overhead", e10_granularity::run),
-        ("e11", "Timeout deadlock resolution under load", e11_deadlock::run),
-        ("e12", "WAL vs shadow page: commit cost and contiguity", e12_wal_shadow::run),
+        (
+            "e08",
+            "Caching at every level vs a cache-less server",
+            e08_cache_levels::run,
+        ),
+        (
+            "e09",
+            "Idempotent operations under duplication and loss",
+            e09_idempotency::run,
+        ),
+        (
+            "e10",
+            "Lock granularity: concurrency vs overhead",
+            e10_granularity::run,
+        ),
+        (
+            "e11",
+            "Timeout deadlock resolution under load",
+            e11_deadlock::run,
+        ),
+        (
+            "e12",
+            "WAL vs shadow page: commit cost and contiguity",
+            e12_wal_shadow::run,
+        ),
         ("e13", "Striping across disks", e13_striping::run),
-        ("e14", "Stable storage and crash recovery", e14_recovery::run),
-        ("e15", "Delayed-write vs write-through", e15_write_policy::run),
-        ("e16", "Event-driven transaction agent lifecycle", e16_agent_lifecycle::run),
+        (
+            "e14",
+            "Stable storage and crash recovery",
+            e14_recovery::run,
+        ),
+        (
+            "e15",
+            "Delayed-write vs write-through",
+            e15_write_policy::run,
+        ),
+        (
+            "e16",
+            "Event-driven transaction agent lifecycle",
+            e16_agent_lifecycle::run,
+        ),
     ]
 }
 

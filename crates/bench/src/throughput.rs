@@ -1,0 +1,80 @@
+//! Throughput benchmarks of the block data path (sequential read, cached
+//! re-read, striped read), shared between `benches/hot_paths.rs` and the
+//! `bench_json` binary so both report the same cases.
+//!
+//! Every case reads whole blocks through the public file-service API, so
+//! the numbers track exactly the copies the zero-copy `BlockBuf` pipeline
+//! is meant to eliminate.
+
+use criterion::Criterion;
+use rhodos_file_service::{FileServiceConfig, ServiceType};
+
+/// Bytes moved per measured operation, used to convert ns/op to MB/s.
+pub const CASES: &[(&str, u64)] = &[
+    ("throughput/seq_read_1m_cold", 1 << 20),
+    ("throughput/seq_reread_1m_cached", 1 << 20),
+    ("throughput/striped_read_4m", 4 << 20),
+];
+
+const BLOCK: u64 = rhodos_disk_service::BLOCK_SIZE as u64;
+
+/// Registers the `throughput` group on `c`.
+pub fn register(c: &mut Criterion) {
+    let mut g = c.benchmark_group("throughput");
+
+    // Cold sequential read: 1 MiB file, caches evicted before every pass,
+    // so each pass pays the full disk-service path.
+    g.bench_function("seq_read_1m_cold", |b| {
+        let mut fs = crate::setups::file_service(FileServiceConfig::default());
+        let fid = fs.create(ServiceType::Basic).unwrap();
+        fs.open(fid).unwrap();
+        fs.write(fid, 0, vec![0xABu8; 1 << 20]).unwrap();
+        fs.flush_all().unwrap();
+        b.iter(|| {
+            fs.evict_caches().unwrap();
+            for idx in 0..(1 << 20) / BLOCK {
+                std::hint::black_box(fs.read_block(fid, idx).unwrap());
+            }
+        })
+    });
+
+    // Cached sequential re-read: same 1 MiB, warm block pool. This is the
+    // acceptance case for the zero-copy pipeline: every block is a cache
+    // hit, so each op should be a handle clone rather than an 8 KiB copy.
+    g.bench_function("seq_reread_1m_cached", |b| {
+        let mut fs = crate::setups::file_service(FileServiceConfig {
+            cache_blocks: 256,
+            ..Default::default()
+        });
+        let fid = fs.create(ServiceType::Basic).unwrap();
+        fs.open(fid).unwrap();
+        fs.write(fid, 0, vec![0xCDu8; 1 << 20]).unwrap();
+        // Warm the pool.
+        for idx in 0..(1 << 20) / BLOCK {
+            fs.read_block(fid, idx).unwrap();
+        }
+        b.iter(|| {
+            for idx in 0..(1 << 20) / BLOCK {
+                std::hint::black_box(fs.read_block(fid, idx).unwrap());
+            }
+        })
+    });
+
+    // Striped read: 4 MiB over 4 disks, block pool evicted per pass so the
+    // contiguous-run slicing path (one allocation per run) dominates.
+    g.bench_function("striped_read_4m", |b| {
+        let mut fs = crate::setups::striped_file_service_raw(4, 16);
+        let fid = fs.create(ServiceType::Basic).unwrap();
+        fs.open(fid).unwrap();
+        fs.write(fid, 0, vec![0xEFu8; 4 << 20]).unwrap();
+        fs.flush_all().unwrap();
+        b.iter(|| {
+            fs.evict_caches().unwrap();
+            for idx in 0..(4 << 20) / BLOCK {
+                std::hint::black_box(fs.read_block(fid, idx).unwrap());
+            }
+        })
+    });
+
+    g.finish();
+}

@@ -374,7 +374,11 @@ impl Machine {
     /// Destroys the transaction agent if it has gone idle ("it ceases to
     /// exist as soon as the last transaction ... completes").
     fn reap_agent(&mut self) {
-        if self.txn_agent.as_ref().is_some_and(TransactionAgent::is_idle) {
+        if self
+            .txn_agent
+            .as_ref()
+            .is_some_and(TransactionAgent::is_idle)
+        {
             self.txn_agent = None;
             self.lifecycle.push(AgentLifecycleEvent::Destroyed {
                 at_us: self.clock.now_us(),
@@ -507,7 +511,10 @@ mod tests {
         let n = name("name=shared,owner=m0");
         c.machine_mut(0).file_agent_mut().create(&n).unwrap();
         let od = c.machine_mut(0).file_agent_mut().open(&n).unwrap();
-        c.machine_mut(0).file_agent_mut().write(od, b"cross-machine").unwrap();
+        c.machine_mut(0)
+            .file_agent_mut()
+            .write(od, b"cross-machine")
+            .unwrap();
         c.machine_mut(0).file_agent_mut().close(od).unwrap();
         let od = c.machine_mut(1).file_agent_mut().open(&n).unwrap();
         assert_eq!(
@@ -543,7 +550,11 @@ mod tests {
         let fid = {
             let m = c.machine_mut(0);
             let t = m.tbegin();
-            let fid = m.txn_agent_mut().unwrap().tcreate(Default::default()).unwrap();
+            let fid = m
+                .txn_agent_mut()
+                .unwrap()
+                .tcreate(Default::default())
+                .unwrap();
             let od = m.txn_agent_mut().unwrap().topen(t, fid).unwrap();
             m.txn_agent_mut().unwrap().twrite(od, b"atomic").unwrap();
             m.tend(t).unwrap();
@@ -562,7 +573,10 @@ mod tests {
         let n = name("name=precious");
         let fid = c.machine_mut(0).file_agent_mut().create(&n).unwrap();
         let od = c.machine_mut(0).file_agent_mut().open(&n).unwrap();
-        c.machine_mut(0).file_agent_mut().write(od, b"survives crashes").unwrap();
+        c.machine_mut(0)
+            .file_agent_mut()
+            .write(od, b"survives crashes")
+            .unwrap();
         c.machine_mut(0).file_agent_mut().close(od).unwrap();
         {
             let mut s = c.server();
@@ -575,7 +589,10 @@ mod tests {
         c.recover_server().unwrap();
         let m = c.machine_mut(0);
         let od = m.file_agent_mut().open_fid(fid).unwrap();
-        assert_eq!(m.file_agent_mut().read(od, 16).unwrap(), b"survives crashes");
+        assert_eq!(
+            m.file_agent_mut().read(od, 16).unwrap(),
+            b"survives crashes"
+        );
         m.file_agent_mut().close(od).unwrap();
     }
 
@@ -585,7 +602,11 @@ mod tests {
         let fid = {
             let m = c.machine_mut(0);
             let t = m.tbegin();
-            let fid = m.txn_agent_mut().unwrap().tcreate(Default::default()).unwrap();
+            let fid = m
+                .txn_agent_mut()
+                .unwrap()
+                .tcreate(Default::default())
+                .unwrap();
             let od = m.txn_agent_mut().unwrap().topen(t, fid).unwrap();
             m.txn_agent_mut().unwrap().twrite(od, b"seed").unwrap();
             m.tend(t).unwrap();
@@ -605,7 +626,8 @@ mod tests {
             assert!(m.txn_agent_mut().unwrap().twrite(od, b"want").is_err());
         }
         // Advance past LT; the contested holder is aborted.
-        c.clock().advance(rhodos_txn::TxnConfig::default().lt_us + 1);
+        c.clock()
+            .advance(rhodos_txn::TxnConfig::default().lt_us + 1);
         let victims = c.tick();
         assert_eq!(victims, vec![t0]);
         // Machine 1 can now write.
@@ -629,11 +651,14 @@ mod multi_server_tests {
 
     #[test]
     fn files_spread_over_servers_and_names_route() {
-        let mut c = Cluster::builder().machines(1).file_servers(3).build().unwrap();
+        let mut c = Cluster::builder()
+            .machines(1)
+            .file_servers(3)
+            .build()
+            .unwrap();
         assert_eq!(c.server_count(), 3);
         // Round-robin creation lands one file per server.
-        let names: Vec<AttributedName> =
-            (0..3).map(|i| name(&format!("name=f{i}"))).collect();
+        let names: Vec<AttributedName> = (0..3).map(|i| name(&format!("name=f{i}"))).collect();
         for n in &names {
             c.machine_mut(0).file_agent_mut().create(n).unwrap();
         }
@@ -651,10 +676,16 @@ mod multi_server_tests {
         for (i, n) in names.iter().enumerate() {
             let od = c.machine_mut(0).file_agent_mut().open(n).unwrap();
             let payload = format!("stored on server {i}");
-            c.machine_mut(0).file_agent_mut().write(od, payload.as_bytes()).unwrap();
+            c.machine_mut(0)
+                .file_agent_mut()
+                .write(od, payload.as_bytes())
+                .unwrap();
             c.machine_mut(0).file_agent_mut().lseek(od, 0, 0).unwrap();
             assert_eq!(
-                c.machine_mut(0).file_agent_mut().read(od, payload.len()).unwrap(),
+                c.machine_mut(0)
+                    .file_agent_mut()
+                    .read(od, payload.len())
+                    .unwrap(),
                 payload.as_bytes()
             );
             c.machine_mut(0).file_agent_mut().close(od).unwrap();
@@ -663,26 +694,43 @@ mod multi_server_tests {
 
     #[test]
     fn one_server_crash_leaves_the_others_serving() {
-        let mut c = Cluster::builder().machines(1).file_servers(2).build().unwrap();
+        let mut c = Cluster::builder()
+            .machines(1)
+            .file_servers(2)
+            .build()
+            .unwrap();
         let a = name("name=on-a");
         let b = name("name=on-b");
         c.machine_mut(0).file_agent_mut().create_on(0, &a).unwrap();
         c.machine_mut(0).file_agent_mut().create_on(1, &b).unwrap();
         for n in [&a, &b] {
             let od = c.machine_mut(0).file_agent_mut().open(n).unwrap();
-            c.machine_mut(0).file_agent_mut().write(od, b"data").unwrap();
+            c.machine_mut(0)
+                .file_agent_mut()
+                .write(od, b"data")
+                .unwrap();
             c.machine_mut(0).file_agent_mut().close(od).unwrap();
         }
-        c.server_at(0).lock().file_service_mut().flush_all().unwrap();
+        c.server_at(0)
+            .lock()
+            .file_service_mut()
+            .flush_all()
+            .unwrap();
         c.crash_server_at(0);
         // Server 1 still serves its file while server 0 is down.
         let od = c.machine_mut(0).file_agent_mut().open(&b).unwrap();
-        assert_eq!(c.machine_mut(0).file_agent_mut().read(od, 4).unwrap(), b"data");
+        assert_eq!(
+            c.machine_mut(0).file_agent_mut().read(od, 4).unwrap(),
+            b"data"
+        );
         c.machine_mut(0).file_agent_mut().close(od).unwrap();
         // After recovery, server 0's file is back too.
         c.recover_server_at(0).unwrap();
         let od = c.machine_mut(0).file_agent_mut().open(&a).unwrap();
-        assert_eq!(c.machine_mut(0).file_agent_mut().read(od, 4).unwrap(), b"data");
+        assert_eq!(
+            c.machine_mut(0).file_agent_mut().read(od, 4).unwrap(),
+            b"data"
+        );
         c.machine_mut(0).file_agent_mut().close(od).unwrap();
     }
 
@@ -690,18 +738,37 @@ mod multi_server_tests {
     fn fids_collide_across_servers_without_confusion() {
         // Both servers allocate FileId(2) (1 is their txn log); the agent
         // must keep the caches and routing apart.
-        let mut c = Cluster::builder().machines(1).file_servers(2).build().unwrap();
+        let mut c = Cluster::builder()
+            .machines(1)
+            .file_servers(2)
+            .build()
+            .unwrap();
         let a = name("name=alpha");
         let b = name("name=beta");
         let fid_a = c.machine_mut(0).file_agent_mut().create_on(0, &a).unwrap();
         let fid_b = c.machine_mut(0).file_agent_mut().create_on(1, &b).unwrap();
-        assert_eq!(fid_a, fid_b, "same per-server id — the collision under test");
+        assert_eq!(
+            fid_a, fid_b,
+            "same per-server id — the collision under test"
+        );
         let od_a = c.machine_mut(0).file_agent_mut().open(&a).unwrap();
         let od_b = c.machine_mut(0).file_agent_mut().open(&b).unwrap();
-        c.machine_mut(0).file_agent_mut().write(od_a, b"AAAA").unwrap();
-        c.machine_mut(0).file_agent_mut().write(od_b, b"BBBB").unwrap();
-        assert_eq!(c.machine_mut(0).file_agent_mut().pread(od_a, 0, 4).unwrap(), b"AAAA");
-        assert_eq!(c.machine_mut(0).file_agent_mut().pread(od_b, 0, 4).unwrap(), b"BBBB");
+        c.machine_mut(0)
+            .file_agent_mut()
+            .write(od_a, b"AAAA")
+            .unwrap();
+        c.machine_mut(0)
+            .file_agent_mut()
+            .write(od_b, b"BBBB")
+            .unwrap();
+        assert_eq!(
+            c.machine_mut(0).file_agent_mut().pread(od_a, 0, 4).unwrap(),
+            b"AAAA"
+        );
+        assert_eq!(
+            c.machine_mut(0).file_agent_mut().pread(od_b, 0, 4).unwrap(),
+            b"BBBB"
+        );
         c.machine_mut(0).file_agent_mut().close(od_a).unwrap();
         c.machine_mut(0).file_agent_mut().close(od_b).unwrap();
     }

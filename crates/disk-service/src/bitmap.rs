@@ -32,7 +32,11 @@ impl Bitmap {
     /// Creates a bitmap of `total` fragments, all free.
     pub fn new_all_free(total: u64) -> Self {
         let words = vec![u64::MAX; total.div_ceil(64) as usize];
-        let mut bm = Self { words, total, free: total };
+        let mut bm = Self {
+            words,
+            total,
+            free: total,
+        };
         // Clear padding bits past `total`.
         for i in total..(bm.words.len() as u64 * 64) {
             bm.clear_bit(i);
@@ -84,7 +88,11 @@ impl Bitmap {
         if first_word == last_word {
             let lo = start % 64;
             let n = end - start;
-            let mask = if n == 64 { u64::MAX } else { ((1u64 << n) - 1) << lo };
+            let mask = if n == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << n) - 1) << lo
+            };
             return self.words[first_word] & mask == mask;
         }
         // Head partial word.

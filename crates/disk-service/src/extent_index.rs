@@ -209,7 +209,11 @@ impl FreeExtentArray {
         }
         // Fallback: bitmap scan for the last fitting run.
         self.stats.bitmap_fallbacks += 1;
-        let run = bitmap.free_runs().into_iter().rev().find(|r| r.len >= len)?;
+        let run = bitmap
+            .free_runs()
+            .into_iter()
+            .rev()
+            .find(|r| r.len >= len)?;
         let tail = Extent::new(run.end() - len, len);
         bitmap.mark_allocated(tail.start, tail.len);
         self.rebuild_from(bitmap);

@@ -58,6 +58,7 @@ mod units;
 pub use bitmap::Bitmap;
 pub use error::DiskServiceError;
 pub use extent_index::FreeExtentArray;
+pub use rhodos_buf::BlockBuf;
 pub use service::{DiskService, DiskServiceConfig, DiskServiceStats, ReadSource, StablePolicy};
 pub use track_cache::TrackCache;
 pub use units::{Extent, FragmentAddr, BLOCK_SIZE, FRAGMENT_SIZE, FRAGS_PER_BLOCK};

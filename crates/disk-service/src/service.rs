@@ -12,6 +12,7 @@ use crate::error::DiskServiceError;
 use crate::extent_index::{ExtentIndexStats, FreeExtentArray};
 use crate::track_cache::{TrackCache, TrackCacheStats};
 use crate::units::{Extent, FragmentAddr, FRAGMENT_SIZE, FRAGS_PER_BLOCK};
+use rhodos_buf::BlockBuf;
 use rhodos_simdisk::{
     DiskGeometry, DiskStats, LatencyModel, SimClock, SimDisk, StableStore, StableWriteMode,
 };
@@ -310,11 +311,34 @@ impl DiskService {
     /// source): one disk reference for the whole contiguous run, or zero
     /// if fully cached.
     ///
+    /// The result is a [`BlockBuf`]: a fully-cached extent whose fragments
+    /// share one allocation (the common case after a run transfer or
+    /// read-ahead) is served as a zero-copy view of the cache.
+    ///
     /// # Errors
     ///
     /// Propagates device failures; see [`DiskServiceError`].
-    pub fn get(&mut self, extent: Extent) -> Result<Vec<u8>, DiskServiceError> {
+    pub fn get(&mut self, extent: Extent) -> Result<BlockBuf, DiskServiceError> {
         self.get_from(extent, ReadSource::Main)
+    }
+
+    /// Reads an extent into the caller's buffer with exactly one copy
+    /// (cache/transfer buffer → `out`).
+    ///
+    /// # Errors
+    ///
+    /// [`DiskServiceError::SizeMismatch`] if `out` does not exactly fit
+    /// the extent; otherwise as [`Self::get`].
+    pub fn get_into(&mut self, extent: Extent, out: &mut [u8]) -> Result<(), DiskServiceError> {
+        if out.len() != extent.len_bytes() {
+            return Err(DiskServiceError::SizeMismatch {
+                expected: extent.len_bytes(),
+                got: out.len(),
+            });
+        }
+        let data = self.get(extent)?;
+        data.copy_to(out);
+        Ok(())
     }
 
     /// Reads an extent from the chosen source (`get-block` with its
@@ -328,7 +352,7 @@ impl DiskService {
         &mut self,
         extent: Extent,
         source: ReadSource,
-    ) -> Result<Vec<u8>, DiskServiceError> {
+    ) -> Result<BlockBuf, DiskServiceError> {
         self.check_extent(extent)?;
         match source {
             ReadSource::Main => self.get_main(extent),
@@ -336,21 +360,32 @@ impl DiskService {
         }
     }
 
-    fn get_main(&mut self, extent: Extent) -> Result<Vec<u8>, DiskServiceError> {
+    fn get_main(&mut self, extent: Extent) -> Result<BlockBuf, DiskServiceError> {
         let geom = self.disk.geometry();
         // Serve fully from cache when possible.
         if let Some(cache) = &mut self.cache {
             let all_resident = (extent.start..extent.end())
                 .all(|f| cache.peek_fragment(geom.track_of(f), geom.sector_in_track(f)));
             if all_resident {
-                let mut out = Vec::with_capacity(extent.len_bytes());
+                let mut parts = Vec::with_capacity(extent.len as usize);
                 for f in extent.start..extent.end() {
                     let frag = cache
                         .lookup_fragment(geom.track_of(f), geom.sector_in_track(f))
                         .expect("peeked fragment must be resident");
-                    out.extend_from_slice(&frag);
+                    parts.push(frag);
                 }
-                return Ok(out);
+                // Fragments cached from one run transfer share an
+                // allocation and reassemble without copying.
+                if let Some(joined) = BlockBuf::try_concat(&parts) {
+                    return Ok(joined);
+                }
+                // Mixed provenance: gather-copy into one buffer.
+                let mut out = Vec::with_capacity(extent.len_bytes());
+                for p in &parts {
+                    out.extend_from_slice(p);
+                }
+                cache.note_copied(out.len() as u64);
+                return Ok(BlockBuf::from(out));
             }
             // Record misses for the fragments we must fetch.
             for f in extent.start..extent.end() {
@@ -364,10 +399,12 @@ impl DiskService {
         if let Some(cache) = &mut self.cache {
             for (i, f) in (extent.start..extent.end()).enumerate() {
                 let a = i * FRAGMENT_SIZE;
+                // Each cached fragment is a view of the one transfer
+                // allocation — filling the cache copies nothing.
                 cache.fill_fragment(
                     geom.track_of(f),
                     geom.sector_in_track(f),
-                    data[a..a + FRAGMENT_SIZE].to_vec(),
+                    data.slice(a..a + FRAGMENT_SIZE),
                 );
             }
             if self.config.track_readahead {
@@ -386,8 +423,9 @@ impl DiskService {
         let cache = self.cache.as_mut().expect("read-ahead requires a cache");
         let start = geom.track_start(track);
         let spt = geom.sectors_per_track();
-        let missing: Vec<u64> =
-            (0..spt).filter(|&s| !cache.peek_fragment(track, s)).collect();
+        let missing: Vec<u64> = (0..spt)
+            .filter(|&s| !cache.peek_fragment(track, s))
+            .collect();
         if missing.is_empty() {
             return Ok(());
         }
@@ -397,24 +435,25 @@ impl DiskService {
         let data = self.disk.read_sectors(start + lo, hi - lo + 1)?;
         for s in &missing {
             let a = (s - lo) as usize * FRAGMENT_SIZE;
-            cache.fill_fragment(track, *s, data[a..a + FRAGMENT_SIZE].to_vec());
+            // Every read-ahead fragment is a view of the one track transfer.
+            cache.fill_fragment(track, *s, data.slice(a..a + FRAGMENT_SIZE));
         }
         Ok(())
     }
 
-    fn get_stable(&mut self, extent: Extent) -> Result<Vec<u8>, DiskServiceError> {
+    fn get_stable(&mut self, extent: Extent) -> Result<BlockBuf, DiskServiceError> {
         let stable = self
             .stable
             .as_mut()
             .ok_or(DiskServiceError::NoStableStorage)?;
         let mut out = Vec::with_capacity(extent.len_bytes());
         for f in extent.start..extent.end() {
-            let p0 = stable
-                .read(2 * f)?
-                .ok_or(DiskServiceError::Disk(rhodos_simdisk::DiskError::StableLost(2 * f)))?;
-            let p1 = stable
-                .read(2 * f + 1)?
-                .ok_or(DiskServiceError::Disk(rhodos_simdisk::DiskError::StableLost(2 * f + 1)))?;
+            let p0 = stable.read(2 * f)?.ok_or(DiskServiceError::Disk(
+                rhodos_simdisk::DiskError::StableLost(2 * f),
+            ))?;
+            let p1 = stable.read(2 * f + 1)?.ok_or(DiskServiceError::Disk(
+                rhodos_simdisk::DiskError::StableLost(2 * f + 1),
+            ))?;
             out.extend_from_slice(&p0);
             out.extend_from_slice(&p1);
         }
@@ -424,7 +463,9 @@ impl DiskService {
                 got: out.len(),
             });
         }
-        Ok(out)
+        // Stable records are decoded piecewise; the assembled buffer is
+        // fresh, so wrapping it is free.
+        Ok(BlockBuf::from(out))
     }
 
     /// Writes `data` to `extent` (`put-block`). `policy` selects the
@@ -638,8 +679,10 @@ mod tests {
         );
         // Fill from disk (cache is cold for reads — put updates cache, so
         // clear it first to model a cold start).
-        s.put(a, &vec![1u8; a.len_bytes()], StablePolicy::None).unwrap();
-        s.put(b, &vec![2u8; b.len_bytes()], StablePolicy::None).unwrap();
+        s.put(a, &vec![1u8; a.len_bytes()], StablePolicy::None)
+            .unwrap();
+        s.put(b, &vec![2u8; b.len_bytes()], StablePolicy::None)
+            .unwrap();
         s.recover().unwrap(); // clears the cache
         let r0 = s.stats().disk.read_ops;
         s.get(a).unwrap();
@@ -667,9 +710,15 @@ mod tests {
     fn original_and_stable_writes_both() {
         let mut s = svc();
         let e = s.allocate_contiguous(2).unwrap();
-        let data: Vec<u8> = (0..2 * FRAGMENT_SIZE).map(|i| (i * 7 % 251) as u8).collect();
-        s.put(e, &data, StablePolicy::OriginalAndStable(StableWriteMode::Sync))
-            .unwrap();
+        let data: Vec<u8> = (0..2 * FRAGMENT_SIZE)
+            .map(|i| (i * 7 % 251) as u8)
+            .collect();
+        s.put(
+            e,
+            &data,
+            StablePolicy::OriginalAndStable(StableWriteMode::Sync),
+        )
+        .unwrap();
         assert_eq!(s.get(e).unwrap(), data);
         assert_eq!(s.get_from(e, ReadSource::Stable).unwrap(), data);
     }
@@ -679,7 +728,11 @@ mod tests {
         let mut s = svc_nocache();
         let e = s.allocate_contiguous(1).unwrap();
         let err = s
-            .put(e, &vec![0u8; FRAGMENT_SIZE], StablePolicy::StableOnly(StableWriteMode::Sync))
+            .put(
+                e,
+                &vec![0u8; FRAGMENT_SIZE],
+                StablePolicy::StableOnly(StableWriteMode::Sync),
+            )
             .unwrap_err();
         assert_eq!(err, DiskServiceError::NoStableStorage);
     }
@@ -738,7 +791,8 @@ mod tests {
     fn free_invalidates_cache() {
         let mut s = svc();
         let e = s.allocate_contiguous(1).unwrap();
-        s.put(e, &vec![5u8; FRAGMENT_SIZE], StablePolicy::None).unwrap();
+        s.put(e, &vec![5u8; FRAGMENT_SIZE], StablePolicy::None)
+            .unwrap();
         s.free(e).unwrap();
         // Re-allocating the same extent and reading it must go to disk,
         // not serve the stale cached value.
@@ -755,8 +809,12 @@ mod tests {
         let mut s = svc();
         let e = s.allocate_contiguous(1).unwrap();
         let data = vec![0xCD; FRAGMENT_SIZE];
-        s.put(e, &data, StablePolicy::OriginalAndStable(StableWriteMode::Sync))
-            .unwrap();
+        s.put(
+            e,
+            &data,
+            StablePolicy::OriginalAndStable(StableWriteMode::Sync),
+        )
+        .unwrap();
         s.disk_mut().corrupt_sector(e.start).unwrap();
         s.recover().unwrap(); // drop the cached copy; bad sector persists
         assert!(matches!(s.get(e), Err(DiskServiceError::Disk(_))));
@@ -777,9 +835,6 @@ mod tests {
     fn stable_payload_constant_matches() {
         // The put() split assumes STABLE_PAYLOAD == SECTOR_SIZE - 20.
         assert_eq!(rhodos_simdisk::SECTOR_SIZE - 20, SECTOR_SIZE - 20);
-        assert_eq!(
-            rhodos_simdisk::SECTOR_SIZE - 20,
-            2028usize
-        );
+        assert_eq!(rhodos_simdisk::SECTOR_SIZE - 20, 2028usize);
     }
 }

@@ -5,7 +5,13 @@
 //! request. Then the disk service caches the rest of the data from the same
 //! track ... in order to satisfy any subsequent requests to read data from
 //! blocks/fragments pertaining to the same track."
+//!
+//! Fragments are held as [`BlockBuf`] views, so a read-ahead of a whole
+//! track stores slices of the single transfer allocation, and a cache hit
+//! hands the same allocation back — no per-fragment memcpy in either
+//! direction.
 
+use rhodos_buf::BlockBuf;
 use rhodos_simdisk::SECTOR_SIZE;
 use std::collections::{HashMap, VecDeque};
 
@@ -21,6 +27,11 @@ pub struct TrackCacheStats {
     pub fragment_misses: u64,
     /// Tracks evicted to make room.
     pub evictions: u64,
+    /// Bytes served from the cache via memcpy (gather-assembly of
+    /// fragments that live in different allocations).
+    pub bytes_copied: u64,
+    /// Bytes served zero-copy, as shared [`BlockBuf`] views.
+    pub bytes_borrowed: u64,
 }
 
 impl TrackCacheStats {
@@ -35,9 +46,9 @@ impl TrackCacheStats {
     }
 }
 
-/// An LRU cache of whole tracks, holding per-fragment validity so a track
-/// can be partially populated (the requested fragments immediately, the
-/// rest by read-ahead).
+/// An LRU cache of whole tracks, holding per-fragment [`BlockBuf`] slots
+/// so a track can be partially populated (the requested fragments
+/// immediately, the rest by read-ahead).
 ///
 /// # Example
 ///
@@ -60,8 +71,9 @@ pub struct TrackCache {
 
 #[derive(Debug)]
 struct TrackEntry {
-    data: Vec<u8>,
-    valid: Vec<bool>,
+    /// One slot per sector of the track; fragments of one read-ahead all
+    /// point into the same transfer allocation.
+    slots: Vec<Option<BlockBuf>>,
 }
 
 impl TrackCache {
@@ -73,7 +85,10 @@ impl TrackCache {
     /// Panics if either parameter is zero.
     pub fn new(capacity_tracks: usize, sectors_per_track: u64) -> Self {
         assert!(capacity_tracks > 0, "cache needs capacity for one track");
-        assert!(sectors_per_track > 0, "tracks must hold at least one sector");
+        assert!(
+            sectors_per_track > 0,
+            "tracks must hold at least one sector"
+        );
         Self {
             capacity_tracks,
             sectors_per_track,
@@ -110,20 +125,17 @@ impl TrackCache {
     }
 
     /// Looks up one fragment (`slot` within `track`). Records a hit or a
-    /// miss.
-    pub fn lookup_fragment(&mut self, track: TrackNo, slot: u64) -> Option<Vec<u8>> {
+    /// miss. A hit is a zero-copy handle to the cached bytes.
+    pub fn lookup_fragment(&mut self, track: TrackNo, slot: u64) -> Option<BlockBuf> {
         assert!(slot < self.sectors_per_track, "slot beyond track");
-        let hit = self.tracks.get(&track).and_then(|e| {
-            if e.valid[slot as usize] {
-                let a = slot as usize * SECTOR_SIZE;
-                Some(e.data[a..a + SECTOR_SIZE].to_vec())
-            } else {
-                None
-            }
-        });
+        let hit = self
+            .tracks
+            .get(&track)
+            .and_then(|e| e.slots[slot as usize].clone());
         match hit {
             Some(data) => {
                 self.stats.fragment_hits += 1;
+                self.stats.bytes_borrowed += data.len() as u64;
                 self.touch(track);
                 Some(data)
             }
@@ -139,30 +151,36 @@ impl TrackCache {
     pub fn peek_fragment(&self, track: TrackNo, slot: u64) -> bool {
         self.tracks
             .get(&track)
-            .is_some_and(|e| e.valid[slot as usize])
+            .is_some_and(|e| e.slots[slot as usize].is_some())
     }
 
-    /// Installs one fragment of data into the cache.
-    pub fn fill_fragment(&mut self, track: TrackNo, slot: u64, data: Vec<u8>) {
+    /// Installs one fragment of data into the cache. Storing a slice of a
+    /// transfer buffer shares the allocation — no copy.
+    pub fn fill_fragment(&mut self, track: TrackNo, slot: u64, data: impl Into<BlockBuf>) {
+        let data = data.into();
         assert_eq!(data.len(), SECTOR_SIZE, "fragment must be sector sized");
         assert!(slot < self.sectors_per_track, "slot beyond track");
         let spt = self.sectors_per_track as usize;
         let entry = self.tracks.entry(track).or_insert_with(|| TrackEntry {
-            data: vec![0u8; spt * SECTOR_SIZE],
-            valid: vec![false; spt],
+            slots: vec![None; spt],
         });
-        let a = slot as usize * SECTOR_SIZE;
-        entry.data[a..a + SECTOR_SIZE].copy_from_slice(&data);
-        entry.valid[slot as usize] = true;
+        entry.slots[slot as usize] = Some(data);
         self.touch(track);
         self.evict_if_needed();
+    }
+
+    /// Records bytes the service had to memcpy while assembling a reply
+    /// from cached fragments (kept here so copy traffic is reported next
+    /// to the hit ratio it undermines).
+    pub fn note_copied(&mut self, bytes: u64) {
+        self.stats.bytes_copied += bytes;
     }
 
     /// Drops a fragment from the cache (after a free, or on a write in
     /// invalidate mode).
     pub fn invalidate_fragment(&mut self, track: TrackNo, slot: u64) {
         if let Some(e) = self.tracks.get_mut(&track) {
-            e.valid[slot as usize] = false;
+            e.slots[slot as usize] = None;
         }
     }
 
@@ -230,5 +248,21 @@ mod tests {
         c.lookup_fragment(0, 0);
         c.lookup_fragment(0, 1);
         assert!((c.stats().hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hits_share_the_fill_allocation() {
+        let mut c = TrackCache::new(1, 8);
+        // One "transfer" allocation sliced into two fragments, as the
+        // read-ahead path does.
+        let transfer = BlockBuf::from(vec![3u8; 2 * SECTOR_SIZE]);
+        c.fill_fragment(0, 0, transfer.slice(0..SECTOR_SIZE));
+        c.fill_fragment(0, 1, transfer.slice(SECTOR_SIZE..2 * SECTOR_SIZE));
+        let a = c.lookup_fragment(0, 0).unwrap();
+        let b = c.lookup_fragment(0, 1).unwrap();
+        // Adjacent slices of one allocation reassemble without copying.
+        assert!(BlockBuf::try_concat(&[a, b]).is_some());
+        assert_eq!(c.stats().bytes_borrowed, 2 * SECTOR_SIZE as u64);
+        assert_eq!(c.stats().bytes_copied, 0);
     }
 }

@@ -8,8 +8,15 @@
 //! traffic and *write-through* for transactional traffic ("the
 //! delayed-write together with write-through policies are adapted to save
 //! modifications made to data cached by the file service").
+//!
+//! Blocks are held as [`BlockBuf`] handles: a cache hit hands back a
+//! shared view (a refcount bump, no memcpy), and flushing a dirty block
+//! clones the handle rather than the bytes. Mutation goes through
+//! [`BlockCache::get_mut`], which copies-on-write only when the block is
+//! still shared with a reader.
 
 use crate::attrs::FileId;
+use rhodos_buf::BlockBuf;
 use std::collections::{HashMap, VecDeque};
 
 /// When modified blocks are pushed down to the disk service.
@@ -36,6 +43,11 @@ pub struct CacheStats {
     pub writebacks: u64,
     /// Blocks evicted clean.
     pub clean_evictions: u64,
+    /// Bytes memcpy'd to serve or mutate cached data (copy-on-write
+    /// detaches of blocks still shared with a reader).
+    pub bytes_copied: u64,
+    /// Bytes served zero-copy, as shared [`BlockBuf`] handles.
+    pub bytes_borrowed: u64,
 }
 
 impl CacheStats {
@@ -74,14 +86,22 @@ pub type BlockKey = (FileId, u64);
 pub struct BlockCache {
     capacity: usize,
     blocks: HashMap<BlockKey, CachedBlock>,
-    lru: VecDeque<BlockKey>,
+    /// Lazy LRU queue: every touch appends `(key, tick)`; an entry is
+    /// authoritative only if its tick matches the block's `touched`.
+    /// Stale entries are skipped at eviction and purged by periodic
+    /// compaction, so a touch is O(1) amortised instead of an O(pool)
+    /// scan — cache hits are on the zero-copy fast path.
+    lru: VecDeque<(BlockKey, u64)>,
+    tick: u64,
     stats: CacheStats,
 }
 
 #[derive(Debug)]
 struct CachedBlock {
-    data: Vec<u8>,
+    data: BlockBuf,
     dirty: bool,
+    /// Tick of this block's most recent touch (see `BlockCache::lru`).
+    touched: u64,
 }
 
 impl BlockCache {
@@ -97,6 +117,7 @@ impl BlockCache {
             capacity,
             blocks: HashMap::new(),
             lru: VecDeque::new(),
+            tick: 0,
             stats: CacheStats::default(),
         }
     }
@@ -117,19 +138,35 @@ impl BlockCache {
     }
 
     fn touch(&mut self, key: BlockKey) {
-        self.lru.retain(|k| *k != key);
-        self.lru.push_back(key);
+        self.tick += 1;
+        if let Some(b) = self.blocks.get_mut(&key) {
+            b.touched = self.tick;
+        }
+        self.lru.push_back((key, self.tick));
+        // Bound the queue: when stale entries dominate, drop them all at
+        // once. Amortised O(1) per touch.
+        if self.lru.len() > (self.blocks.len() + 1) * 4 {
+            let blocks = &self.blocks;
+            self.lru
+                .retain(|(k, t)| blocks.get(k).is_some_and(|b| b.touched == *t));
+        }
     }
 
-    /// Looks up a block, recording a hit or miss.
-    pub fn get(&mut self, key: &BlockKey) -> Option<&[u8]> {
-        if self.blocks.contains_key(key) {
-            self.stats.hits += 1;
-            self.touch(*key);
-            self.blocks.get(key).map(|b| b.data.as_slice())
-        } else {
-            self.stats.misses += 1;
-            None
+    /// Looks up a block, recording a hit or miss. A hit is a shared
+    /// handle to the cached bytes — no copy.
+    pub fn get(&mut self, key: &BlockKey) -> Option<BlockBuf> {
+        match self.blocks.get(key) {
+            Some(b) => {
+                let data = b.data.clone();
+                self.stats.hits += 1;
+                self.stats.bytes_borrowed += data.len() as u64;
+                self.touch(*key);
+                Some(data)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
         }
     }
 
@@ -138,15 +175,28 @@ impl BlockCache {
         self.blocks.contains_key(key)
     }
 
-    /// Inserts (or overwrites) a block. Returns the evicted dirty blocks
-    /// `(key, data)` the caller must write back.
+    /// Inserts (or overwrites) a block; storing a shared handle costs no
+    /// copy. Returns the evicted dirty blocks `(key, data)` the caller
+    /// must write back.
     #[must_use = "evicted dirty blocks must be written back"]
-    pub fn insert(&mut self, key: BlockKey, data: Vec<u8>, dirty: bool) -> Vec<(BlockKey, Vec<u8>)> {
+    pub fn insert(
+        &mut self,
+        key: BlockKey,
+        data: impl Into<BlockBuf>,
+        dirty: bool,
+    ) -> Vec<(BlockKey, BlockBuf)> {
         // Dirtiness is sticky: overwriting a dirty block with clean data
         // still leaves un-persisted contents that need a write-back.
         let was_dirty = self
             .blocks
-            .insert(key, CachedBlock { data, dirty })
+            .insert(
+                key,
+                CachedBlock {
+                    data: data.into(),
+                    dirty,
+                    touched: 0,
+                },
+            )
             .map(|b| b.dirty)
             .unwrap_or(false);
         if was_dirty {
@@ -167,23 +217,32 @@ impl BlockCache {
     }
 
     /// Mutable access to a resident block's bytes (counts as a hit).
-    pub fn get_mut(&mut self, key: &BlockKey) -> Option<&mut Vec<u8>> {
-        if self.blocks.contains_key(key) {
-            self.stats.hits += 1;
-            self.touch(*key);
-            self.blocks.get_mut(key).map(|b| &mut b.data)
-        } else {
+    /// Copies-on-write only if the block is still shared with a reader or
+    /// another cache level; exclusively-owned blocks mutate in place.
+    pub fn get_mut(&mut self, key: &BlockKey) -> Option<&mut [u8]> {
+        if !self.blocks.contains_key(key) {
             self.stats.misses += 1;
-            None
+            return None;
         }
+        self.stats.hits += 1;
+        self.touch(*key);
+        let b = self.blocks.get_mut(key).expect("checked resident");
+        if b.data.is_shared() {
+            self.stats.bytes_copied += b.data.len() as u64;
+        }
+        Some(b.data.make_mut())
     }
 
-    fn evict_for_insert(&mut self) -> Vec<(BlockKey, Vec<u8>)> {
+    fn evict_for_insert(&mut self) -> Vec<(BlockKey, BlockBuf)> {
         let mut out = Vec::new();
         while self.blocks.len() > self.capacity {
-            let Some(victim) = self.lru.pop_front() else {
+            let Some((victim, tick)) = self.lru.pop_front() else {
                 break;
             };
+            // Skip entries superseded by a later touch of the same key.
+            if self.blocks.get(&victim).is_none_or(|b| b.touched != tick) {
+                continue;
+            }
             if let Some(block) = self.blocks.remove(&victim) {
                 if block.dirty {
                     self.stats.writebacks += 1;
@@ -197,9 +256,10 @@ impl BlockCache {
     }
 
     /// Removes and returns all dirty blocks (flush); they become clean in
-    /// the caller's hands. Blocks stay resident but marked clean.
+    /// the caller's hands. Blocks stay resident but marked clean; the
+    /// returned handles share the pool's allocations.
     #[must_use = "flushed dirty blocks must be written back"]
-    pub fn take_dirty(&mut self) -> Vec<(BlockKey, Vec<u8>)> {
+    pub fn take_dirty(&mut self) -> Vec<(BlockKey, BlockBuf)> {
         let mut out = Vec::new();
         for (k, b) in self.blocks.iter_mut() {
             if b.dirty {
@@ -214,7 +274,7 @@ impl BlockCache {
 
     /// Like [`Self::take_dirty`] but limited to one file.
     #[must_use = "flushed dirty blocks must be written back"]
-    pub fn take_dirty_for(&mut self, fid: FileId) -> Vec<(BlockKey, Vec<u8>)> {
+    pub fn take_dirty_for(&mut self, fid: FileId) -> Vec<(BlockKey, BlockBuf)> {
         let mut out = Vec::new();
         for (k, b) in self.blocks.iter_mut() {
             if k.0 == fid && b.dirty {
@@ -237,7 +297,7 @@ impl BlockCache {
     /// data deliberately.
     pub fn invalidate_file(&mut self, fid: FileId) {
         self.blocks.retain(|k, _| k.0 != fid);
-        self.lru.retain(|k| k.0 != fid);
+        self.lru.retain(|(k, _)| k.0 != fid);
     }
 
     /// Drops everything, discarding dirty data (crash simulation).
@@ -332,5 +392,31 @@ mod tests {
         assert_eq!(c.dirty_blocks(), 0);
         c.mark_dirty(&(FileId(1), 0));
         assert_eq!(c.dirty_blocks(), 1);
+    }
+
+    #[test]
+    fn hit_is_borrowed_not_copied() {
+        let mut c = BlockCache::new(4);
+        let _ = c.insert((FileId(1), 0), blk(5), false);
+        let hit = c.get(&(FileId(1), 0)).unwrap();
+        assert_eq!(hit, blk(5));
+        assert_eq!(c.stats().bytes_borrowed, 16);
+        assert_eq!(c.stats().bytes_copied, 0);
+    }
+
+    #[test]
+    fn get_mut_copies_only_while_shared() {
+        let mut c = BlockCache::new(4);
+        let _ = c.insert((FileId(1), 0), blk(1), false);
+        // No outstanding reader: mutation is in place.
+        c.get_mut(&(FileId(1), 0)).unwrap()[0] = 2;
+        assert_eq!(c.stats().bytes_copied, 0);
+        // A reader holds a handle: mutation must copy-on-write.
+        let reader = c.get(&(FileId(1), 0)).unwrap();
+        c.get_mut(&(FileId(1), 0)).unwrap()[0] = 3;
+        assert_eq!(c.stats().bytes_copied, 16);
+        // The reader's view is unaffected by the mutation.
+        assert_eq!(reader[0], 2);
+        assert_eq!(c.get(&(FileId(1), 0)).unwrap()[0], 3);
     }
 }

@@ -44,7 +44,10 @@ impl fmt::Display for FileServiceError {
             FileServiceError::NotOpen(fid) => write!(f, "{fid} is not open"),
             FileServiceError::Busy(fid) => write!(f, "{fid} is still open"),
             FileServiceError::BeyondEof { fid, offset, size } => {
-                write!(f, "read at offset {offset} beyond end of {fid} ({size} bytes)")
+                write!(
+                    f,
+                    "read at offset {offset} beyond end of {fid} ({size} bytes)"
+                )
             }
             FileServiceError::FileTooLarge(fid) => {
                 write!(f, "{fid} exceeds the capacity of one file index table")

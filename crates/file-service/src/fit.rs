@@ -318,14 +318,7 @@ impl FileIndexTable {
         if Self::indirect_tables_needed(total_blocks) != n_ind {
             return Err(DecodeError);
         }
-        Ok((
-            Self {
-                attrs,
-                descriptors,
-            },
-            total_blocks,
-            indirect,
-        ))
+        Ok((Self { attrs, descriptors }, total_blocks, indirect))
     }
 
     /// Appends descriptors decoded from one indirect-block image.

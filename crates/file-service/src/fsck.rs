@@ -59,11 +59,9 @@ pub enum FsckIssue {
 impl fmt::Display for FsckIssue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FsckIssue::OverlappingExtents { disk, a, b } => write!(
-                f,
-                "disk {disk}: {} {} overlaps {} {}",
-                a.0, a.1, b.0, b.1
-            ),
+            FsckIssue::OverlappingExtents { disk, a, b } => {
+                write!(f, "disk {disk}: {} {} overlaps {} {}", a.0, a.1, b.0, b.1)
+            }
             FsckIssue::SizeBeyondBlocks { fid, size, blocks } => {
                 write!(f, "{fid}: size {size} exceeds {blocks} blocks")
             }
@@ -159,17 +157,19 @@ impl FileService {
                 // Verify the contiguity count against physical layout.
                 let c = d.contig as usize;
                 if c == 0 || i + c > descs.len() {
-                    report
-                        .issues
-                        .push(FsckIssue::BadContiguityCount { fid, index: i as u64 });
+                    report.issues.push(FsckIssue::BadContiguityCount {
+                        fid,
+                        index: i as u64,
+                    });
                     continue;
                 }
                 for j in 1..c {
                     let n = descs[i + j];
                     if n.disk != d.disk || n.addr != d.addr + j as u64 * FRAGS_PER_BLOCK {
-                        report
-                            .issues
-                            .push(FsckIssue::BadContiguityCount { fid, index: i as u64 });
+                        report.issues.push(FsckIssue::BadContiguityCount {
+                            fid,
+                            index: i as u64,
+                        });
                         break;
                     }
                 }
@@ -220,7 +220,7 @@ mod tests {
         for i in 0..8 {
             let fid = f.create(ServiceType::Basic).unwrap();
             f.open(fid).unwrap();
-            f.write(fid, 0, &vec![i as u8; (i + 1) * 5000]).unwrap();
+            f.write(fid, 0, vec![i as u8; (i + 1) * 5000]).unwrap();
             if i % 2 == 0 {
                 f.close(fid).unwrap();
             }
@@ -236,7 +236,7 @@ mod tests {
         let mut f = fs();
         let fid = f.create(ServiceType::Basic).unwrap();
         f.open(fid).unwrap();
-        f.write(fid, 0, &vec![7u8; 100_000]).unwrap();
+        f.write(fid, 0, vec![7u8; 100_000]).unwrap();
         f.flush_all().unwrap();
         f.simulate_crash();
         f.recover().unwrap();

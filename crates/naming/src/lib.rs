@@ -344,8 +344,12 @@ impl NamingService {
         };
         let mut out: Vec<(String, Option<SystemName>)> = Vec::new();
         for (name, target) in &self.registry {
-            let Some(path) = name.get("path") else { continue };
-            let Some(rest) = path.strip_prefix(&prefix) else { continue };
+            let Some(path) = name.get("path") else {
+                continue;
+            };
+            let Some(rest) = path.strip_prefix(&prefix) else {
+                continue;
+            };
             if rest.is_empty() {
                 continue;
             }
@@ -401,8 +405,10 @@ mod tests {
     #[test]
     fn resolve_by_subset() {
         let mut ns = NamingService::new();
-        ns.register(name("name=a,owner=bob"), SystemName::file(0, 1)).unwrap();
-        ns.register(name("name=b,owner=bob"), SystemName::file(0, 2)).unwrap();
+        ns.register(name("name=a,owner=bob"), SystemName::file(0, 1))
+            .unwrap();
+        ns.register(name("name=b,owner=bob"), SystemName::file(0, 2))
+            .unwrap();
         assert_eq!(ns.resolve(&name("name=a")).unwrap(), SystemName::file(0, 1));
         assert!(matches!(
             ns.resolve(&name("owner=bob")),
@@ -423,15 +429,20 @@ mod tests {
         assert_eq!(ns.stats().cache_hits, 1);
         // Registering a conflicting object invalidates the cache and makes
         // the query ambiguous.
-        ns.register(name("name=a,version=2"), SystemName::file(0, 2)).unwrap();
+        ns.register(name("name=a,version=2"), SystemName::file(0, 2))
+            .unwrap();
         assert!(ns.resolve(&name("name=a")).is_err());
     }
 
     #[test]
     fn unregister_round_trip() {
         let mut ns = NamingService::new();
-        ns.register(name("name=a"), SystemName::device(1, 2)).unwrap();
-        assert_eq!(ns.unregister(&name("name=a")).unwrap(), SystemName::device(1, 2));
+        ns.register(name("name=a"), SystemName::device(1, 2))
+            .unwrap();
+        assert_eq!(
+            ns.unregister(&name("name=a")).unwrap(),
+            SystemName::device(1, 2)
+        );
         assert!(ns.unregister(&name("name=a")).is_err());
         assert!(ns.resolve(&name("name=a")).is_err());
     }
@@ -449,9 +460,12 @@ mod tests {
     #[test]
     fn listing_is_a_directory() {
         let mut ns = NamingService::new();
-        ns.register(name("path=/u/a,owner=x"), SystemName::file(0, 1)).unwrap();
-        ns.register(name("path=/u/b,owner=x"), SystemName::file(0, 2)).unwrap();
-        ns.register(name("path=/v/c,owner=y"), SystemName::file(0, 3)).unwrap();
+        ns.register(name("path=/u/a,owner=x"), SystemName::file(0, 1))
+            .unwrap();
+        ns.register(name("path=/u/b,owner=x"), SystemName::file(0, 2))
+            .unwrap();
+        ns.register(name("path=/v/c,owner=y"), SystemName::file(0, 3))
+            .unwrap();
         assert_eq!(ns.list(&name("owner=x")).len(), 2);
         assert_eq!(ns.list(&AttributedName::new()).len(), 3);
     }
@@ -459,10 +473,16 @@ mod tests {
     #[test]
     fn path_registration_and_listing() {
         let mut ns = NamingService::new();
-        ns.register_path("/u/alice/notes.txt", SystemName::file(0, 1)).unwrap();
-        ns.register_path("/u/alice/todo.txt", SystemName::file(0, 2)).unwrap();
-        ns.register_path("/u/bob/report.doc", SystemName::file(1, 3)).unwrap();
-        assert_eq!(ns.resolve_path("/u/alice/todo.txt").unwrap(), SystemName::file(0, 2));
+        ns.register_path("/u/alice/notes.txt", SystemName::file(0, 1))
+            .unwrap();
+        ns.register_path("/u/alice/todo.txt", SystemName::file(0, 2))
+            .unwrap();
+        ns.register_path("/u/bob/report.doc", SystemName::file(1, 3))
+            .unwrap();
+        assert_eq!(
+            ns.resolve_path("/u/alice/todo.txt").unwrap(),
+            SystemName::file(0, 2)
+        );
         // Listing /u shows the two user directories (not registered
         // themselves → no system name).
         assert_eq!(

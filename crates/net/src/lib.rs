@@ -173,7 +173,10 @@ impl SimNetwork {
             self.stats.lost += 1;
             return Delivery::Lost;
         }
-        let copies = if self.rng.gen_bool(self.config.duplicate_prob.clamp(0.0, 1.0)) {
+        let copies = if self
+            .rng
+            .gen_bool(self.config.duplicate_prob.clamp(0.0, 1.0))
+        {
             self.stats.duplicated += 1;
             2
         } else {

@@ -43,9 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rhodos_file_service::{
-    FileAttributes, FileId, FileService, FileServiceError, ServiceType,
-};
+use rhodos_file_service::{FileAttributes, FileId, FileService, FileServiceError, ServiceType};
 use std::collections::HashSet;
 
 /// Tunables of the replication service.
@@ -193,7 +191,9 @@ impl ReplicatedFiles {
     }
 
     fn live_indices(&self) -> Vec<usize> {
-        (0..self.replicas.len()).filter(|i| !self.failed[*i]).collect()
+        (0..self.replicas.len())
+            .filter(|i| !self.failed[*i])
+            .collect()
     }
 
     fn first_live(&self) -> Option<usize> {
@@ -447,7 +447,11 @@ mod tests {
         let descs = rf.replica_mut(0).block_descriptors(fid).unwrap();
         for d in &descs {
             let addr = d.addr;
-            rf.replica_mut(0).disk_mut(d.disk as usize).disk_mut().corrupt_sector(addr).unwrap();
+            rf.replica_mut(0)
+                .disk_mut(d.disk as usize)
+                .disk_mut()
+                .corrupt_sector(addr)
+                .unwrap();
         }
         rf.replica_mut(0).simulate_crash();
         rf.replica_mut(0).recover().unwrap();

@@ -7,6 +7,7 @@ use crate::geometry::{DiskGeometry, SectorAddr};
 use crate::model::LatencyModel;
 use crate::stats::DiskStats;
 use crate::SECTOR_SIZE;
+use rhodos_buf::BlockBuf;
 
 /// An in-memory disk with a track/sector geometry, a latency cost model,
 /// per-operation statistics and fault injection.
@@ -123,13 +124,17 @@ impl SimDisk {
 
     /// Reads `count` sectors starting at `start` in **one disk reference**.
     ///
+    /// The whole transfer lands in a single allocation, returned as a
+    /// [`BlockBuf`] so callers up the stack can slice it into fragment or
+    /// block views without further copies.
+    ///
     /// # Errors
     ///
     /// Returns [`DiskError::Crashed`] if the disk is crashed,
     /// [`DiskError::OutOfRange`] for an invalid range, and
     /// [`DiskError::BadSector`] if any sector in the range has a media
     /// fault (the error names the first such sector).
-    pub fn read_sectors(&mut self, start: SectorAddr, count: u64) -> Result<Vec<u8>, DiskError> {
+    pub fn read_sectors(&mut self, start: SectorAddr, count: u64) -> Result<BlockBuf, DiskError> {
         if self.faults.is_crashed() {
             return Err(DiskError::Crashed);
         }
@@ -150,7 +155,9 @@ impl SimDisk {
                 None => out.extend_from_slice(&ZERO_SECTOR),
             }
         }
-        Ok(out)
+        // The one unavoidable copy: platter to transfer buffer.
+        self.stats.bytes_copied += out.len() as u64;
+        Ok(BlockBuf::from(out))
     }
 
     /// Writes `data` (a whole number of sectors) starting at `start` in one
@@ -207,8 +214,8 @@ impl SimDisk {
     /// Returns [`DiskError::OutOfRange`] if `addr` is not on the disk.
     pub fn corrupt_sector(&mut self, addr: SectorAddr) -> Result<(), DiskError> {
         self.check_range(addr, 1)?;
-        let sector = self.data[addr as usize]
-            .get_or_insert_with(|| ZERO_SECTOR.to_vec().into_boxed_slice());
+        let sector =
+            self.data[addr as usize].get_or_insert_with(|| ZERO_SECTOR.to_vec().into_boxed_slice());
         for b in sector.iter_mut() {
             *b ^= 0xFF;
         }
@@ -230,9 +237,7 @@ impl SimDisk {
     /// Whether the sector has never been written (reads as zeros). O(1) —
     /// used by recovery scans to skip untouched regions cheaply.
     pub fn sector_untouched(&self, addr: SectorAddr) -> bool {
-        self.data
-            .get(addr as usize)
-            .is_none_or(|s| s.is_none())
+        self.data.get(addr as usize).is_none_or(|s| s.is_none())
     }
 }
 
@@ -241,7 +246,11 @@ mod tests {
     use super::*;
 
     fn disk() -> SimDisk {
-        SimDisk::new(DiskGeometry::small(), LatencyModel::default(), SimClock::new())
+        SimDisk::new(
+            DiskGeometry::small(),
+            LatencyModel::default(),
+            SimClock::new(),
+        )
     }
 
     #[test]

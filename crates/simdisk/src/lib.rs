@@ -54,6 +54,7 @@ pub use error::DiskError;
 pub use fault::{FaultInjector, WriteOutcome};
 pub use geometry::{DiskGeometry, SectorAddr, TrackNo};
 pub use model::LatencyModel;
+pub use rhodos_buf::BlockBuf;
 pub use stable::{StableStore, StableWriteMode, STABLE_PAYLOAD};
 pub use stats::DiskStats;
 

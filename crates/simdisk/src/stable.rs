@@ -323,7 +323,13 @@ mod tests {
 
     fn store() -> StableStore {
         let clock = SimClock::new();
-        let mk = || SimDisk::new(DiskGeometry::new(4, 8), LatencyModel::instant(), clock.clone());
+        let mk = || {
+            SimDisk::new(
+                DiskGeometry::new(4, 8),
+                LatencyModel::instant(),
+                clock.clone(),
+            )
+        };
         StableStore::new(mk(), mk())
     }
 

@@ -27,6 +27,12 @@ pub struct DiskStats {
     pub busy_us: u64,
     /// Reads that failed due to injected media faults.
     pub media_errors: u64,
+    /// Bytes memcpy'd into freshly allocated transfer buffers (the cost
+    /// the zero-copy pipeline tracks; platter reads copy once here).
+    pub bytes_copied: u64,
+    /// Bytes handed out as shared [`BlockBuf`](rhodos_buf::BlockBuf)
+    /// views without copying.
+    pub bytes_borrowed: u64,
 }
 
 impl DiskStats {
@@ -58,6 +64,8 @@ impl DiskStats {
             seeks: self.seeks - earlier.seeks,
             busy_us: self.busy_us - earlier.busy_us,
             media_errors: self.media_errors - earlier.media_errors,
+            bytes_copied: self.bytes_copied - earlier.bytes_copied,
+            bytes_borrowed: self.bytes_borrowed - earlier.bytes_borrowed,
         }
     }
 
@@ -71,6 +79,8 @@ impl DiskStats {
         self.seeks += other.seeks;
         self.busy_us += other.busy_us;
         self.media_errors += other.media_errors;
+        self.bytes_copied += other.bytes_copied;
+        self.bytes_borrowed += other.bytes_borrowed;
     }
 }
 

@@ -232,7 +232,11 @@ mod tests {
                 let s = s.clone();
                 scope.spawn(move || {
                     for i in 0..20usize {
-                        let (first, second) = if (w + i) % 2 == 0 { (0u64, 1u64) } else { (1, 0) };
+                        let (first, second) = if (w + i) % 2 == 0 {
+                            (0u64, 1u64)
+                        } else {
+                            (1, 0)
+                        };
                         s.run_txn(|s, t| {
                             s.lock().topen(t, fid)?;
                             s.lock().twrite(t, fid, first * 8192, &[w as u8; 8])?;

@@ -183,7 +183,9 @@ impl LogRecord {
                 }
                 LogRecord::Commit { txn, intentions }
             }
-            1 => LogRecord::Completed { txn: TxnId(bd.u64()?) },
+            1 => LogRecord::Completed {
+                txn: TxnId(bd.u64()?),
+            },
             _ => return Err(DecodeError),
         };
         Ok(Some((rec, consumed)))

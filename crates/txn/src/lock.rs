@@ -92,13 +92,9 @@ impl DataItem {
             (DataItem::File(_), _) => true,
             (_, DataItem::File(_)) => false,
             (DataItem::Page(_, a), DataItem::Page(_, b)) => a == b,
-            (DataItem::Page(_, p), DataItem::Record(_, s, e)) => {
-                *s >= p * BS && *e <= (p + 1) * BS
-            }
+            (DataItem::Page(_, p), DataItem::Record(_, s, e)) => *s >= p * BS && *e <= (p + 1) * BS,
             (DataItem::Record(_, s, e), DataItem::Record(_, s2, e2)) => s <= s2 && e2 <= e,
-            (DataItem::Record(_, s, e), DataItem::Page(_, p)) => {
-                *s <= p * BS && (p + 1) * BS <= *e
-            }
+            (DataItem::Record(_, s, e), DataItem::Page(_, p)) => *s <= p * BS && (p + 1) * BS <= *e,
         }
     }
 }
@@ -132,9 +128,18 @@ pub fn may_grant(held_by_others: &[LockMode], own: Option<LockMode>, want: LockM
             return true;
         }
     }
-    let others_ro = held_by_others.iter().filter(|m| **m == LockMode::ReadOnly).count();
-    let others_ir = held_by_others.iter().filter(|m| **m == LockMode::Iread).count();
-    let others_iw = held_by_others.iter().filter(|m| **m == LockMode::Iwrite).count();
+    let others_ro = held_by_others
+        .iter()
+        .filter(|m| **m == LockMode::ReadOnly)
+        .count();
+    let others_ir = held_by_others
+        .iter()
+        .filter(|m| **m == LockMode::Iread)
+        .count();
+    let others_iw = held_by_others
+        .iter()
+        .filter(|m| **m == LockMode::Iwrite)
+        .count();
     if others_iw > 0 {
         return false;
     }

@@ -349,7 +349,13 @@ impl TransactionService {
     /// [`TxnError::WouldBlock`] while another transaction uses the file.
     pub fn tdelete(&mut self, t: TxnId, fid: FileId) -> Result<(), TxnError> {
         self.txn(t)?;
-        self.acquire(t, fid, DataItem::File(fid), LockMode::Iwrite, LockLevel::File)?;
+        self.acquire(
+            t,
+            fid,
+            DataItem::File(fid),
+            LockMode::Iwrite,
+            LockLevel::File,
+        )?;
         self.txn_mut(t)?.to_delete.push(fid);
         Ok(())
     }
@@ -535,7 +541,7 @@ impl TransactionService {
             });
             let block = match tentative {
                 Some(data) => data,
-                None if idx < base_blocks => self.fs.read_block(fid, idx)?,
+                None if idx < base_blocks => self.fs.read_block(fid, idx)?.to_vec(),
                 None => vec![0u8; BLOCK_SIZE],
             };
             let block_start = idx * bs;
@@ -546,7 +552,9 @@ impl TransactionService {
         // Record-mode overlay: root first, then descendants, each in its
         // own write order.
         for id in &chain {
-            let Some(txn) = self.active.get(id) else { continue };
+            let Some(txn) = self.active.get(id) else {
+                continue;
+            };
             for (rfid, roff, bytes) in &txn.tentative_records {
                 if *rfid != fid {
                     continue;
@@ -645,7 +653,7 @@ impl TransactionService {
                     });
                     let base = match inherited {
                         Some(data) => data,
-                        None if idx < base_blocks => self.fs.read_block(fid, idx)?,
+                        None if idx < base_blocks => self.fs.read_block(fid, idx)?.to_vec(),
                         None => vec![0u8; BLOCK_SIZE],
                     };
                     let (d, a) = self.fs.allocate_shadow_block(fid)?;
@@ -658,9 +666,14 @@ impl TransactionService {
             // is the durable copy the commit record will point at.
             self.fs
                 .put_detached_block(disk, addr, &page, StablePolicy::None)?;
-            self.txn_mut(t)?
-                .tentative_pages
-                .insert((fid, idx), TentativePage { disk, addr, data: page });
+            self.txn_mut(t)?.tentative_pages.insert(
+                (fid, idx),
+                TentativePage {
+                    disk,
+                    addr,
+                    data: page,
+                },
+            );
         }
         Ok(())
     }
@@ -697,8 +710,7 @@ impl TransactionService {
         // Assemble the intentions list.
         let txn = self.active.get(&t).expect("checked");
         let mut intentions: Vec<Intention> = Vec::new();
-        let mut pages: Vec<(&(FileId, u64), &TentativePage)> =
-            txn.tentative_pages.iter().collect();
+        let mut pages: Vec<(&(FileId, u64), &TentativePage)> = txn.tentative_pages.iter().collect();
         pages.sort_by_key(|(k, _)| **k);
         for ((fid, idx), p) in pages {
             intentions.push(Intention::Page {
@@ -733,7 +745,13 @@ impl TransactionService {
         let to_delete = self.active.get(&t).expect("checked").to_delete.clone();
         for fid in to_delete {
             // Close our own handle if we had one, then delete.
-            if self.active.get(&t).expect("checked").open_files.contains(&fid) {
+            if self
+                .active
+                .get(&t)
+                .expect("checked")
+                .open_files
+                .contains(&fid)
+            {
                 let _ = self.tclose(t, fid);
             }
             self.fs.delete(fid)?;
@@ -768,7 +786,11 @@ impl TransactionService {
                     tentative_addr,
                 } => {
                     // Grow first if recovery replays a size-extending write.
-                    let nblocks = self.fs.get_attribute(*fid)?.size.div_ceil(BLOCK_SIZE as u64);
+                    let nblocks = self
+                        .fs
+                        .get_attribute(*fid)?
+                        .size
+                        .div_ceil(BLOCK_SIZE as u64);
                     if *index >= nblocks {
                         self.fs
                             .ensure_size(*fid, (*index + 1) * BLOCK_SIZE as u64)?;
@@ -788,8 +810,9 @@ impl TransactionService {
                         Technique::Wal => {
                             // In-place update preserves contiguity; the
                             // detached block was the log entry.
-                            self.fs.write_block(*fid, *index, &data)?;
-                            self.fs.free_detached_block(*tentative_disk, *tentative_addr)?;
+                            self.fs.write_block(*fid, *index, data)?;
+                            self.fs
+                                .free_detached_block(*tentative_disk, *tentative_addr)?;
                             self.stats.wal_pages += 1;
                         }
                         Technique::Shadow => {
@@ -892,7 +915,13 @@ impl TransactionService {
         }
         // Files created inside the transaction never existed.
         for fid in created {
-            if self.active.get(&t).expect("checked").open_files.contains(&fid) {
+            if self
+                .active
+                .get(&t)
+                .expect("checked")
+                .open_files
+                .contains(&fid)
+            {
                 let _ = self.tclose(t, fid);
             }
             let _ = self.fs.delete(fid);
@@ -1265,7 +1294,7 @@ mod tests {
         ts.twrite(t2, fid, BLOCK_SIZE as u64, b"b").unwrap(); // t2 holds page 1
         assert!(ts.twrite(t1, fid, BLOCK_SIZE as u64, b"x").is_err()); // t1 waits on page 1
         assert!(ts.twrite(t2, fid, 0, b"y").is_err()); // t2 waits on page 0 — deadlock
-        // Advance virtual time past LT and tick.
+                                                       // Advance virtual time past LT and tick.
         let clock = ts.file_service_mut().clock();
         clock.advance(TxnConfig::default().lt_us + 1);
         let victims = ts.tick();
@@ -1289,10 +1318,15 @@ mod tests {
         assert_eq!(before.contiguity_ratio(), 1.0);
         let t = ts.tbegin();
         ts.topen(t, fid).unwrap();
-        ts.twrite(t, fid, 3 * BLOCK_SIZE as u64, b"update in place").unwrap();
+        ts.twrite(t, fid, 3 * BLOCK_SIZE as u64, b"update in place")
+            .unwrap();
         ts.tend(t).unwrap();
         let after = ts.file_service_mut().fit_snapshot(fid).unwrap();
-        assert_eq!(after.contiguity_ratio(), 1.0, "WAL must preserve contiguity");
+        assert_eq!(
+            after.contiguity_ratio(),
+            1.0,
+            "WAL must preserve contiguity"
+        );
         assert!(ts.stats().wal_pages > 0);
         assert_eq!(ts.stats().shadow_pages, 0);
         // And the data is there.
@@ -1315,14 +1349,23 @@ mod tests {
         fs.open(fid).unwrap();
         fs.open(other).unwrap();
         for i in 0..4u64 {
-            fs.write(fid, i * BLOCK_SIZE as u64, &vec![1u8; BLOCK_SIZE]).unwrap();
-            fs.write(other, i * BLOCK_SIZE as u64, &vec![2u8; BLOCK_SIZE]).unwrap();
+            fs.write(fid, i * BLOCK_SIZE as u64, vec![1u8; BLOCK_SIZE])
+                .unwrap();
+            fs.write(other, i * BLOCK_SIZE as u64, vec![2u8; BLOCK_SIZE])
+                .unwrap();
         }
         fs.flush_all().unwrap();
         fs.close(fid).unwrap();
         fs.close(other).unwrap();
-        let ratio = ts.file_service_mut().fit_snapshot(fid).unwrap().contiguity_ratio();
-        assert!(ratio < 1.0, "setup should fragment the file (ratio {ratio})");
+        let ratio = ts
+            .file_service_mut()
+            .fit_snapshot(fid)
+            .unwrap()
+            .contiguity_ratio();
+        assert!(
+            ratio < 1.0,
+            "setup should fragment the file (ratio {ratio})"
+        );
         let t = ts.tbegin();
         ts.topen(t, fid).unwrap();
         ts.twrite(t, fid, 0, b"shadowed").unwrap();
@@ -1427,7 +1470,10 @@ mod tests {
         let t = ts.tbegin();
         ts.topen(t, fid).unwrap();
         ts.tend(t).unwrap();
-        assert!(matches!(ts.twrite(t, fid, 0, b"x"), Err(TxnError::NotActive(_))));
+        assert!(matches!(
+            ts.twrite(t, fid, 0, b"x"),
+            Err(TxnError::NotActive(_))
+        ));
         assert!(matches!(ts.tend(t), Err(TxnError::NotActive(_))));
         assert!(matches!(ts.tabort(t), Err(TxnError::NotActive(_))));
     }
@@ -1574,7 +1620,9 @@ mod cross_granularity_tests {
         ts.topen(t1, fid).unwrap();
         ts.twrite(t1, fid, 0, b"page-level hold").unwrap();
         // T2 arrives via file-level locking on the SAME file.
-        ts.file_service_mut().set_lock_level(fid, LockLevel::File).unwrap();
+        ts.file_service_mut()
+            .set_lock_level(fid, LockLevel::File)
+            .unwrap();
         let t2 = ts.tbegin();
         ts.topen(t2, fid).unwrap();
         let r = ts.twrite(t2, fid, 0, b"file-level write");
@@ -1625,14 +1673,20 @@ mod cross_granularity_tests {
         ts.topen(t0, fid).unwrap();
         ts.twrite(t0, fid, 0, &vec![1u8; 8192]).unwrap();
         // File-level reader must wait while the page write is pending...
-        ts.file_service_mut().set_lock_level(fid, LockLevel::File).unwrap();
+        ts.file_service_mut()
+            .set_lock_level(fid, LockLevel::File)
+            .unwrap();
         let t2 = ts.tbegin();
         ts.topen(t2, fid).unwrap();
         assert!(ts.tread(t2, fid, 0, 4).is_err());
         // ...and proceed once it commits.
-        ts.file_service_mut().set_lock_level(fid, LockLevel::Page).unwrap();
+        ts.file_service_mut()
+            .set_lock_level(fid, LockLevel::Page)
+            .unwrap();
         ts.tend(t0).unwrap();
-        ts.file_service_mut().set_lock_level(fid, LockLevel::File).unwrap();
+        ts.file_service_mut()
+            .set_lock_level(fid, LockLevel::File)
+            .unwrap();
         assert_eq!(ts.tread(t2, fid, 0, 4).unwrap(), vec![1u8; 4]);
         ts.tend(t2).unwrap();
     }
@@ -1747,10 +1801,7 @@ mod nested_tests {
         let parent = ts.tbegin();
         ts.topen(parent, fid).unwrap();
         let child = ts.tbegin_nested(parent).unwrap();
-        assert!(matches!(
-            ts.tend(parent),
-            Err(TxnError::ChildrenActive(_))
-        ));
+        assert!(matches!(ts.tend(parent), Err(TxnError::ChildrenActive(_))));
         ts.tabort(child).unwrap();
         ts.tend(parent).unwrap();
     }

@@ -149,7 +149,12 @@ impl LockTable {
 
     /// Whether an earlier-arrived waiter conflicts with this request
     /// (prevents queue jumping; keeps the FIFO promise).
-    fn earlier_conflicting_waiter(&self, txn: TxnDescriptor, item: &DataItem, arrival: u64) -> bool {
+    fn earlier_conflicting_waiter(
+        &self,
+        txn: TxnDescriptor,
+        item: &DataItem,
+        arrival: u64,
+    ) -> bool {
         self.records.iter().any(|r| {
             !r.granted
                 && r.txn != txn
@@ -345,10 +350,7 @@ impl LockTable {
             // this tick no longer count as competition — aborting one side
             // of a deadlock frees the other.
             let contested = self.records.iter().any(|w| {
-                !w.granted
-                    && w.txn != txn
-                    && !to_abort.contains(&w.txn)
-                    && w.item.overlaps(&item)
+                !w.granted && w.txn != txn && !to_abort.contains(&w.txn) && w.item.overlaps(&item)
             });
             if contested || renewals >= self.max_renewals {
                 // "Its lock is broken and the transaction is aborted
@@ -384,9 +386,18 @@ mod tests {
     #[test]
     fn grant_and_conflict() {
         let mut t = table();
-        assert_eq!(t.set_lock(1, 10, page(0), LockMode::Iwrite, 0), LockOutcome::Granted);
-        assert_eq!(t.set_lock(2, 20, page(0), LockMode::ReadOnly, 0), LockOutcome::Queued);
-        assert_eq!(t.set_lock(3, 30, page(1), LockMode::Iwrite, 0), LockOutcome::Granted);
+        assert_eq!(
+            t.set_lock(1, 10, page(0), LockMode::Iwrite, 0),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            t.set_lock(2, 20, page(0), LockMode::ReadOnly, 0),
+            LockOutcome::Queued
+        );
+        assert_eq!(
+            t.set_lock(3, 30, page(1), LockMode::Iwrite, 0),
+            LockOutcome::Granted
+        );
     }
 
     #[test]
@@ -409,14 +420,24 @@ mod tests {
         t.set_lock(3, 30, page(0), LockMode::ReadOnly, 0);
         let mut promoted = t.release_all(10, 1);
         promoted.sort();
-        assert_eq!(promoted, vec![20, 30], "compatible readers advance together");
+        assert_eq!(
+            promoted,
+            vec![20, 30],
+            "compatible readers advance together"
+        );
     }
 
     #[test]
     fn conversion_upgrades_in_place() {
         let mut t = table();
-        assert_eq!(t.set_lock(1, 10, page(0), LockMode::Iread, 0), LockOutcome::Granted);
-        assert_eq!(t.set_lock(1, 10, page(0), LockMode::Iwrite, 0), LockOutcome::Granted);
+        assert_eq!(
+            t.set_lock(1, 10, page(0), LockMode::Iread, 0),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            t.set_lock(1, 10, page(0), LockMode::Iwrite, 0),
+            LockOutcome::Granted
+        );
         assert_eq!(
             t.get_lock_record(10, &page(0)).unwrap().mode,
             LockMode::Iwrite
@@ -429,7 +450,10 @@ mod tests {
         t.set_lock(1, 10, page(0), LockMode::ReadOnly, 0);
         t.set_lock(2, 20, page(0), LockMode::Iread, 0);
         // IR holder cannot convert while the RO is held.
-        assert_eq!(t.set_lock(2, 20, page(0), LockMode::Iwrite, 0), LockOutcome::Queued);
+        assert_eq!(
+            t.set_lock(2, 20, page(0), LockMode::Iwrite, 0),
+            LockOutcome::Queued
+        );
         let promoted = t.release_all(10, 1);
         assert_eq!(promoted, vec![20]);
         assert_eq!(
@@ -443,7 +467,10 @@ mod tests {
         let mut t = table();
         t.set_lock(1, 10, page(0), LockMode::ReadOnly, 0);
         t.set_lock(2, 20, page(0), LockMode::Iread, 0);
-        assert_eq!(t.set_lock(3, 30, page(0), LockMode::ReadOnly, 0), LockOutcome::Queued);
+        assert_eq!(
+            t.set_lock(3, 30, page(0), LockMode::ReadOnly, 0),
+            LockOutcome::Queued
+        );
     }
 
     #[test]
@@ -453,7 +480,7 @@ mod tests {
         assert!(t.tick(LT).is_empty()); // renewal 1
         assert!(t.tick(2 * LT).is_empty()); // renewal 2
         assert!(t.tick(3 * LT).is_empty()); // renewal 3 (max)
-        // After the Nth expiry the holder is presumed deadlocked.
+                                            // After the Nth expiry the holder is presumed deadlocked.
         assert_eq!(t.tick(4 * LT), vec![10]);
     }
 
@@ -472,8 +499,14 @@ mod tests {
         // T10 holds page 0, T20 holds page 1; each wants the other.
         t.set_lock(1, 10, page(0), LockMode::Iwrite, 0);
         t.set_lock(2, 20, page(1), LockMode::Iwrite, 0);
-        assert_eq!(t.set_lock(1, 10, page(1), LockMode::Iwrite, 0), LockOutcome::Queued);
-        assert_eq!(t.set_lock(2, 20, page(0), LockMode::Iwrite, 0), LockOutcome::Queued);
+        assert_eq!(
+            t.set_lock(1, 10, page(1), LockMode::Iwrite, 0),
+            LockOutcome::Queued
+        );
+        assert_eq!(
+            t.set_lock(2, 20, page(0), LockMode::Iwrite, 0),
+            LockOutcome::Queued
+        );
         let aborted = t.tick(LT);
         assert!(!aborted.is_empty(), "timeout must break the deadlock");
         // Releasing the aborted transaction's locks unblocks the other.
@@ -492,10 +525,16 @@ mod tests {
         let mut t = table();
         t.set_lock(1, 10, page(0), LockMode::Iread, 0);
         // Writer waits.
-        assert_eq!(t.set_lock(2, 20, page(0), LockMode::Iwrite, 0), LockOutcome::Queued);
+        assert_eq!(
+            t.set_lock(2, 20, page(0), LockMode::Iwrite, 0),
+            LockOutcome::Queued
+        );
         // A later IR that would be compatible with the holder must not
         // jump ahead of the queued writer.
-        assert_eq!(t.set_lock(3, 30, page(0), LockMode::Iread, 0), LockOutcome::Queued);
+        assert_eq!(
+            t.set_lock(3, 30, page(0), LockMode::Iread, 0),
+            LockOutcome::Queued
+        );
         let promoted = t.release_all(10, 1);
         assert_eq!(promoted[0], 20, "writer first");
     }
@@ -506,9 +545,18 @@ mod tests {
         let a = DataItem::Record(FileId(1), 0, 100);
         let b = DataItem::Record(FileId(1), 100, 200);
         let c = DataItem::Record(FileId(1), 50, 150);
-        assert_eq!(t.set_lock(1, 10, a, LockMode::Iwrite, 0), LockOutcome::Granted);
-        assert_eq!(t.set_lock(2, 20, b, LockMode::Iwrite, 0), LockOutcome::Granted);
-        assert_eq!(t.set_lock(3, 30, c, LockMode::Iwrite, 0), LockOutcome::Queued);
+        assert_eq!(
+            t.set_lock(1, 10, a, LockMode::Iwrite, 0),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            t.set_lock(2, 20, b, LockMode::Iwrite, 0),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            t.set_lock(3, 30, c, LockMode::Iwrite, 0),
+            LockOutcome::Queued
+        );
     }
 
     #[test]
@@ -518,11 +566,20 @@ mod tests {
         let mut t = table();
         let a = DataItem::Record(FileId(1), 0, 48);
         let b = DataItem::Record(FileId(1), 16, 64);
-        assert_eq!(t.set_lock(1, 10, a, LockMode::Iwrite, 0), LockOutcome::Granted);
-        assert_eq!(t.set_lock(1, 10, b, LockMode::Iwrite, 0), LockOutcome::Granted);
+        assert_eq!(
+            t.set_lock(1, 10, a, LockMode::Iwrite, 0),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            t.set_lock(1, 10, b, LockMode::Iwrite, 0),
+            LockOutcome::Granted
+        );
         // Another transaction must now conflict on [48, 96).
         let c = DataItem::Record(FileId(1), 48, 96);
-        assert_eq!(t.set_lock(2, 20, c, LockMode::Iwrite, 0), LockOutcome::Queued);
+        assert_eq!(
+            t.set_lock(2, 20, c, LockMode::Iwrite, 0),
+            LockOutcome::Queued
+        );
     }
 
     #[test]

@@ -21,12 +21,23 @@ use rhodos_txn::{TransactionService, TxnConfig, TxnError};
 const ACCOUNTS: u64 = 64;
 const INITIAL: u64 = 1_000;
 
-fn read_balance(ts: &mut TransactionService, t: rhodos_txn::TxnId, fid: rhodos_file_service::FileId, acct: u64) -> Result<u64, TxnError> {
+fn read_balance(
+    ts: &mut TransactionService,
+    t: rhodos_txn::TxnId,
+    fid: rhodos_file_service::FileId,
+    acct: u64,
+) -> Result<u64, TxnError> {
     let raw = ts.tread_for_update(t, fid, acct * 8, 8)?;
     Ok(u64::from_le_bytes(raw.try_into().expect("8 bytes")))
 }
 
-fn write_balance(ts: &mut TransactionService, t: rhodos_txn::TxnId, fid: rhodos_file_service::FileId, acct: u64, value: u64) -> Result<(), TxnError> {
+fn write_balance(
+    ts: &mut TransactionService,
+    t: rhodos_txn::TxnId,
+    fid: rhodos_file_service::FileId,
+    acct: u64,
+    value: u64,
+) -> Result<(), TxnError> {
     ts.twrite(t, fid, acct * 8, &value.to_le_bytes())
 }
 
@@ -50,7 +61,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         clock.clone(),
         FileServiceConfig::default(),
     )?;
-    let mut ts = TransactionService::new(fs, TxnConfig { lt_us: 50_000, max_renewals: 2, ..Default::default() })?;
+    let mut ts = TransactionService::new(
+        fs,
+        TxnConfig {
+            lt_us: 50_000,
+            max_renewals: 2,
+            ..Default::default()
+        },
+    )?;
 
     // Initialise the ledger.
     let ledger = ts.tcreate(LockLevel::Record)?;
@@ -122,12 +140,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // holds after recovery.
     ts.file_service_mut().simulate_crash();
     let redone = ts.recover()?;
-    println!("server crashed and recovered ({} transactions redone)", redone.len());
-    assert_eq!(total(&mut ts, ledger), expected);
     println!(
-        "stats: {:?}",
-        ts.stats()
+        "server crashed and recovered ({} transactions redone)",
+        redone.len()
     );
+    assert_eq!(total(&mut ts, ledger), expected);
+    println!("stats: {:?}", ts.stats());
     println!("bank invariant held through transfers, aborts and a crash — OK");
     Ok(())
 }

@@ -73,8 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                                     .expect("8 bytes"),
                             );
                             let moved = amount.min(a); // never overdraw
-                            s.lock().twrite(t, ledger, from * 8, &(a - moved).to_le_bytes())?;
-                            s.lock().twrite(t, ledger, to * 8, &(b + moved).to_le_bytes())
+                            s.lock()
+                                .twrite(t, ledger, from * 8, &(a - moved).to_le_bytes())?;
+                            s.lock()
+                                .twrite(t, ledger, to * 8, &(b + moved).to_le_bytes())
                         })
                         .expect("transfer eventually commits");
                 }
@@ -104,16 +106,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ts.topen(t, ledger)?;
         // Nested child 1: deduct a 1-unit audit fee from account 0 — kept.
         let child = ts.tbegin_nested(t)?;
-        let v = u64::from_le_bytes(ts.tread_for_update(child, ledger, 0, 8)?.try_into().expect("8"));
+        let v = u64::from_le_bytes(
+            ts.tread_for_update(child, ledger, 0, 8)?
+                .try_into()
+                .expect("8"),
+        );
         ts.twrite(child, ledger, 0, &(v - 1).to_le_bytes())?;
         ts.tend(child)?;
         // Nested child 2: an experimental surcharge — aborted, leaves no trace.
         let child = ts.tbegin_nested(t)?;
-        let v = u64::from_le_bytes(ts.tread_for_update(child, ledger, 8, 8)?.try_into().expect("8"));
+        let v = u64::from_le_bytes(
+            ts.tread_for_update(child, ledger, 8, 8)?
+                .try_into()
+                .expect("8"),
+        );
         ts.twrite(child, ledger, 8, &(v.saturating_sub(500)).to_le_bytes())?;
         ts.tabort(child)?;
         // Put the fee into the bank's account 15 so totals stay equal.
-        let v = u64::from_le_bytes(ts.tread_for_update(t, ledger, 15 * 8, 8)?.try_into().expect("8"));
+        let v = u64::from_le_bytes(
+            ts.tread_for_update(t, ledger, 15 * 8, 8)?
+                .try_into()
+                .expect("8"),
+        );
         ts.twrite(t, ledger, 15 * 8, &(v + 1).to_le_bytes())
     })?;
     let total = shared.run_txn(|s, t| {

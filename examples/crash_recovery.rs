@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("1. stable storage vs media failure");
     let clock = SimClock::new();
     let mk = || {
-        rhodos_simdisk::SimDisk::new(DiskGeometry::small(), LatencyModel::instant(), clock.clone())
+        rhodos_simdisk::SimDisk::new(
+            DiskGeometry::small(),
+            LatencyModel::instant(),
+            clock.clone(),
+        )
     };
     let mut stable = rhodos_simdisk::StableStore::new(mk(), mk());
     stable.write(5, b"file index table copy", StableWriteMode::Sync)?;

@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let od = machine.device_agent_mut().open(serial)?;
     println!("serial port opened as descriptor {od} (device range: < 100000)");
     assert!(od < 100_000);
-    machine.device_agent_mut().device_mut(serial).unwrap().feed_input(b"AT+OK");
+    machine
+        .device_agent_mut()
+        .device_mut(serial)
+        .unwrap()
+        .feed_input(b"AT+OK");
     let answer = machine.device_agent_mut().read(od, 16)?;
     println!("modem says: {}", String::from_utf8_lossy(&answer));
     machine.device_agent_mut().close(od)?;
@@ -37,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pid = machine.processes_mut().spawn();
     {
         let p = machine.processes_mut().get(pid).unwrap();
-        println!("process {pid}: stdin={} stdout={} stderr={}", p.stdin, p.stdout, p.stderr);
+        println!(
+            "process {pid}: stdin={} stdout={} stderr={}",
+            p.stdin, p.stdout, p.stderr
+        );
         assert_eq!((p.stdin, p.stdout, p.stderr), (0, 1, 2));
     }
     machine.processes_mut().redirect(pid, false, true, true)?;
@@ -56,17 +63,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = AttributedName::parse("name=worklog")?;
     machine.file_agent_mut().create(&name)?;
     let file_od = machine.file_agent_mut().open(&name)?;
-    machine.processes_mut().get_mut(pid).unwrap().descriptors.insert(file_od);
+    machine
+        .processes_mut()
+        .get_mut(pid)
+        .unwrap()
+        .descriptors
+        .insert(file_od);
     println!("process {pid} opened {name} as descriptor {file_od} (file range: > 100000)");
 
     // Twin it: the child inherits every descriptor.
     let child = machine.processes_mut().process_twin(pid)?;
     let c = machine.processes_mut().get(child).unwrap().clone();
-    println!("twin {child}: mediumweight={}, inherited descriptors={:?}", c.mediumweight, {
-        let mut v: Vec<_> = c.descriptors.iter().collect();
-        v.sort();
-        v
-    });
+    println!(
+        "twin {child}: mediumweight={}, inherited descriptors={:?}",
+        c.mediumweight,
+        {
+            let mut v: Vec<_> = c.descriptors.iter().collect();
+            v.sort();
+            v
+        }
+    );
     assert!(c.descriptors.contains(&file_od));
 
     // A transactional process may NOT twin.

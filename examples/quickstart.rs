@@ -56,8 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     cluster.machine_mut(0).tend(t)?;
     assert!(!cluster.machine_mut(0).has_transaction_agent());
-    println!("transaction {t:?} committed; agent lifecycle: {:?}",
-        cluster.machine_mut(0).agent_lifecycle());
+    println!(
+        "transaction {t:?} committed; agent lifecycle: {:?}",
+        cluster.machine_mut(0).agent_lifecycle()
+    );
 
     // The committed data is visible through the basic service.
     let od = cluster.machine_mut(1).file_agent_mut().open_fid(fid)?;

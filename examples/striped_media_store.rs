@@ -12,9 +12,7 @@
 //!
 //! Run with: `cargo run --example striped_media_store`
 
-use rhodos_file_service::{
-    FileService, FileServiceConfig, ServiceType, StripePolicy,
-};
+use rhodos_file_service::{FileService, FileServiceConfig, ServiceType, StripePolicy};
 use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
 
 const MB: usize = 1024 * 1024;
@@ -51,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let clip = striped.create(ServiceType::Basic)?;
     striped.open(clip)?;
-    striped.write(clip, 0, &vec![0xA5; MB])?;
+    striped.write(clip, 0, vec![0xA5; MB])?;
     striped.flush_all()?;
     println!("1 MiB clip layout (disk: blocks, contiguity counts):");
     let descs = striped.block_descriptors(clip)?;
@@ -61,9 +59,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|d| d.disk == disk)
             .map(|d| format!("{}({})", d.addr, d.contig))
             .collect();
-        println!("  disk {disk}: {} blocks  {}", blocks.len(), blocks.join(" "));
+        println!(
+            "  disk {disk}: {} blocks  {}",
+            blocks.len(),
+            blocks.join(" ")
+        );
     }
-    let disks_used = descs.iter().map(|d| d.disk).collect::<std::collections::HashSet<_>>();
+    let disks_used = descs
+        .iter()
+        .map(|d| d.disk)
+        .collect::<std::collections::HashSet<_>>();
     assert_eq!(disks_used.len(), 4, "clip must span all four disks");
     striped.close(clip)?;
 

@@ -1,0 +1,133 @@
+//! The case runner: configuration, RNG, and failure plumbing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Runner configuration (subset: `cases`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure — the property is violated.
+    Fail(String),
+    /// Precondition not met — the case is skipped, not failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// A rejected (skipped) case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fail(m) => write!(f, "{m}"),
+            Self::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Source of randomness handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo + 1 {
+            lo
+        } else {
+            self.rng.gen_range(lo..hi)
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn bits(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// Drives a test body over many generated cases.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner. The base seed is fixed (reproducible) unless the
+    /// `PROPTEST_BASE_SEED` environment variable overrides it.
+    pub fn new(config: ProptestConfig) -> Self {
+        let base_seed = std::env::var("PROPTEST_BASE_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        Self { config, base_seed }
+    }
+
+    /// Runs `f` once per case, panicking on the first failure with enough
+    /// context to reproduce (case index and seed).
+    pub fn run_cases(&mut self, mut f: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+        let mut rejected = 0u64;
+        for case in 0..self.config.cases as u64 {
+            let seed = self
+                .base_seed
+                .wrapping_add(case.wrapping_mul(0xD1B5_4A32_D192_ED03));
+            let mut rng = TestRng::from_seed(seed);
+            match f(&mut rng) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    // Mirror upstream's "too many global rejects" guard.
+                    assert!(
+                        rejected <= 1024,
+                        "proptest: too many rejected cases ({rejected})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest case {case} failed (base seed {:#x}, case seed {seed:#x}):\n{msg}",
+                        self.base_seed
+                    );
+                }
+            }
+        }
+    }
+}

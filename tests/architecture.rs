@@ -11,15 +11,27 @@ fn all_layers_cooperate_with_caching_at_each_level() {
     let name = AttributedName::parse("name=arch,type=probe").unwrap();
 
     // Through the whole stack: naming → file agent → file service → disk.
-    cluster.machine_mut(0).file_agent_mut().create(&name).unwrap();
+    cluster
+        .machine_mut(0)
+        .file_agent_mut()
+        .create(&name)
+        .unwrap();
     let od = cluster.machine_mut(0).file_agent_mut().open(&name).unwrap();
     let blob = vec![0x5Au8; 64 * 1024];
-    cluster.machine_mut(0).file_agent_mut().write(od, &blob).unwrap();
+    cluster
+        .machine_mut(0)
+        .file_agent_mut()
+        .write(od, &blob)
+        .unwrap();
     cluster.machine_mut(0).file_agent_mut().flush(od).unwrap();
 
     // Re-read several times: the agent cache should absorb repeats.
     for _ in 0..5 {
-        let back = cluster.machine_mut(0).file_agent_mut().pread(od, 0, blob.len()).unwrap();
+        let back = cluster
+            .machine_mut(0)
+            .file_agent_mut()
+            .pread(od, 0, blob.len())
+            .unwrap();
         assert_eq!(back, blob);
     }
     let agent_stats = cluster.machine_mut(0).file_agent_mut().stats();
@@ -73,7 +85,11 @@ fn all_layers_cooperate_with_caching_at_each_level() {
 fn descriptor_spaces_follow_the_hundred_thousand_split() {
     let mut cluster = Cluster::builder().machines(1).build().unwrap();
     let name = AttributedName::parse("name=odsplit").unwrap();
-    cluster.machine_mut(0).file_agent_mut().create(&name).unwrap();
+    cluster
+        .machine_mut(0)
+        .file_agent_mut()
+        .create(&name)
+        .unwrap();
     let file_od = cluster.machine_mut(0).file_agent_mut().open(&name).unwrap();
     assert!(file_od > 100_000, "file agent descriptors above 100000");
 
@@ -95,11 +111,19 @@ fn descriptor_spaces_follow_the_hundred_thousand_split() {
 fn naming_service_resolves_and_caches() {
     let mut cluster = Cluster::builder().machines(2).build().unwrap();
     let full = AttributedName::parse("name=db,owner=ops,version=3").unwrap();
-    cluster.machine_mut(0).file_agent_mut().create(&full).unwrap();
+    cluster
+        .machine_mut(0)
+        .file_agent_mut()
+        .create(&full)
+        .unwrap();
     // Resolve by two different attribute subsets from another machine.
     for q in ["name=db", "owner=ops,version=3"] {
         let query = AttributedName::parse(q).unwrap();
-        let od = cluster.machine_mut(1).file_agent_mut().open(&query).unwrap();
+        let od = cluster
+            .machine_mut(1)
+            .file_agent_mut()
+            .open(&query)
+            .unwrap();
         cluster.machine_mut(1).file_agent_mut().close(od).unwrap();
     }
     let stats = cluster.naming().lock().stats();
@@ -125,15 +149,30 @@ fn basic_and_transactional_semantics_coexist_per_file() {
     cluster.machine_mut(0).tend(t).unwrap();
     // Basic file, same facility.
     let bname = AttributedName::parse("name=plain").unwrap();
-    cluster.machine_mut(0).file_agent_mut().create(&bname).unwrap();
-    let od = cluster.machine_mut(0).file_agent_mut().open(&bname).unwrap();
-    cluster.machine_mut(0).file_agent_mut().write(od, b"basic").unwrap();
+    cluster
+        .machine_mut(0)
+        .file_agent_mut()
+        .create(&bname)
+        .unwrap();
+    let od = cluster
+        .machine_mut(0)
+        .file_agent_mut()
+        .open(&bname)
+        .unwrap();
+    cluster
+        .machine_mut(0)
+        .file_agent_mut()
+        .write(od, b"basic")
+        .unwrap();
     cluster.machine_mut(0).file_agent_mut().close(od).unwrap();
     // Both readable; service types recorded in the FITs.
     let server = cluster.server();
     let mut guard = server.lock();
     let fs = guard.file_service_mut();
     let t_attrs = fs.get_attribute(tfid).unwrap();
-    assert_eq!(t_attrs.service_type, rhodos_file_service::ServiceType::Transaction);
+    assert_eq!(
+        t_attrs.service_type,
+        rhodos_file_service::ServiceType::Transaction
+    );
     assert_eq!(t_attrs.lock_level, rhodos_file_service::LockLevel::File);
 }

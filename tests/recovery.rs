@@ -4,9 +4,7 @@
 //! correctness side).
 
 use proptest::prelude::*;
-use rhodos_file_service::{
-    FileId, FileService, FileServiceConfig, LockLevel, ServiceType,
-};
+use rhodos_file_service::{FileId, FileService, FileServiceConfig, LockLevel, ServiceType};
 use rhodos_net::{NetConfig, ReplayCache, RpcClient, SimNetwork};
 use rhodos_replication::{ReplicatedFiles, ReplicationConfig};
 use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
@@ -147,7 +145,10 @@ fn idempotent_rpc_drives_exactly_once_file_appends() {
         let want: Vec<u8> = (0..40u8).collect();
         assert_eq!(data, want, "seed {seed}: duplicates corrupted the file");
         assert_eq!(fs.get_attribute(fid).unwrap().size, 40);
-        assert!(net.stats().lost + net.stats().duplicated > 0, "faults occurred");
+        assert!(
+            net.stats().lost + net.stats().duplicated > 0,
+            "faults occurred"
+        );
     }
 }
 
@@ -170,7 +171,8 @@ fn torn_log_tail_never_redoes_a_partial_commit() {
         .crash_after_sector_writes(1);
     let t1 = ts.tbegin();
     ts.topen(t1, fid).unwrap();
-    let r = ts.twrite(t1, fid, 0, b"torn commit")
+    let r = ts
+        .twrite(t1, fid, 0, b"torn commit")
         .and_then(|_| ts.tend(t1));
     assert!(r.is_err(), "the injected crash must surface");
     ts.file_service_mut().simulate_crash();

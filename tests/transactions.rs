@@ -211,8 +211,17 @@ fn timeout_guarantees_liveness_under_heavy_conflict() {
 
 #[derive(Debug, Clone)]
 enum NestedOp {
-    Write { offset: u16, byte: u8, len: u8 },
-    ChildWrite { offset: u16, byte: u8, len: u8, commit: bool },
+    Write {
+        offset: u16,
+        byte: u8,
+        len: u8,
+    },
+    ChildWrite {
+        offset: u16,
+        byte: u8,
+        len: u8,
+        commit: bool,
+    },
 }
 
 fn nested_ops() -> impl Strategy<Value = Vec<NestedOp>> {

@@ -10,7 +10,7 @@
 use crate::descriptor::{ObjectDescriptor, FILE_OD_BASE};
 use parking_lot::Mutex;
 use rhodos_buf::BlockBuf;
-use rhodos_disk_service::BLOCK_SIZE;
+use rhodos_disk_service::{SchedulerStats, BLOCK_SIZE};
 use rhodos_file_service::{
     BlockCache, CacheStats, FileAttributes, FileId, FileServiceError, ServiceType,
 };
@@ -87,6 +87,10 @@ pub struct AgentStats {
     pub cache: CacheStats,
     /// Round trips charged to the server.
     pub round_trips: u64,
+    /// Per-spindle scheduler behaviour merged over every disk of every
+    /// reachable server — how the striped fan-out batched, ordered and
+    /// coalesced this agent's (and its co-clients') traffic.
+    pub scheduler: SchedulerStats,
 }
 
 #[derive(Debug)]
@@ -174,7 +178,8 @@ impl FileAgent {
         self.machine
     }
 
-    /// Statistics so far (cache counters merged over all servers' pools).
+    /// Statistics so far (cache counters merged over all servers' pools,
+    /// scheduler counters merged over all servers' spindles).
     pub fn stats(&self) -> AgentStats {
         let mut cache = CacheStats::default();
         for c in &self.caches {
@@ -186,9 +191,17 @@ impl FileAgent {
             cache.bytes_copied += s.bytes_copied;
             cache.bytes_borrowed += s.bytes_borrowed;
         }
+        let mut scheduler = SchedulerStats::default();
+        for srv in &self.servers {
+            let mut srv = srv.lock();
+            for d in srv.file_service_mut().stats().disks {
+                scheduler.merge(&d.scheduler);
+            }
+        }
         AgentStats {
             cache,
             round_trips: self.round_trips,
+            scheduler,
         }
     }
 
@@ -611,6 +624,24 @@ mod tests {
         assert_eq!(a.read(od, 2).unwrap(), b"67");
         assert_eq!(a.lseek(od, -2, 2).unwrap(), 8); // end
         assert_eq!(a.read(od, 10).unwrap(), b"89");
+    }
+
+    #[test]
+    fn agent_stats_surface_server_scheduler_counters() {
+        let mut a = agent();
+        a.create(&name("name=big")).unwrap();
+        let od = a.open(&name("name=big")).unwrap();
+        a.write(od, &vec![0x7Eu8; 64 * 1024]).unwrap();
+        // Close pushes the client's delayed writes to the server and
+        // flushes them there; the coalesced write-back goes through the
+        // per-spindle scheduler, and the agent's stats view must see it.
+        a.close(od).unwrap();
+        let s = a.stats().scheduler;
+        assert!(s.batches >= 1, "flush should submit at least one batch");
+        assert!(
+            s.merged_requests > 0,
+            "a 64 KiB contiguous file should merge into few references"
+        );
     }
 
     #[test]

@@ -11,10 +11,11 @@
 use crate::table::{speedup, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rhodos_file_service::{FileServiceConfig, ServiceType, WritePolicy};
+use rhodos_file_service::{FileServiceConfig, ParallelIo, ServiceType, WritePolicy};
 
 const OPS: usize = 800;
 const FILE_BLOCKS: usize = 8;
+const SCATTER_FILES: usize = 16;
 
 struct PolicyOutcome {
     write_refs: u64,
@@ -60,6 +61,55 @@ fn measure(policy: WritePolicy) -> PolicyOutcome {
     }
 }
 
+struct ScatterOutcome {
+    write_refs: u64,
+    merged: u64,
+    completion_us: u64,
+}
+
+/// Delayed writes from `SCATTER_FILES` different files, all flushed at
+/// once over 4 striped disks — the workload where write-back grouping
+/// matters most. The serial baseline groups only same-file consecutive
+/// blocks; the per-spindle schedulers sort each disk's whole batch into
+/// elevator order and merge physically adjacent blocks across files.
+fn measure_scatter(mode: ParallelIo) -> ScatterOutcome {
+    let mut fs = crate::setups::striped_file_service_raw_mode(4, 2, mode);
+    let fids: Vec<_> = (0..SCATTER_FILES)
+        .map(|_| {
+            let fid = fs.create(ServiceType::Basic).unwrap();
+            fs.open(fid).unwrap();
+            fs.write(fid, 0, vec![0x31u8; FILE_BLOCKS * 8192]).unwrap();
+            fid
+        })
+        .collect();
+    fs.flush_all().unwrap();
+    // Dirty every block of every file, then flush the lot in one call.
+    for fid in &fids {
+        fs.write(*fid, 0, vec![0x32u8; FILE_BLOCKS * 8192]).unwrap();
+    }
+    let clock = fs.clock();
+    let w0: u64 = fs.stats().disks.iter().map(|d| d.disk.write_ops).sum();
+    let m0: u64 = fs
+        .stats()
+        .disks
+        .iter()
+        .map(|d| d.scheduler.merged_requests)
+        .sum();
+    let t0 = clock.now_us();
+    fs.flush_all().unwrap();
+    let stats = fs.stats();
+    ScatterOutcome {
+        write_refs: stats.disks.iter().map(|d| d.disk.write_ops).sum::<u64>() - w0,
+        merged: stats
+            .disks
+            .iter()
+            .map(|d| d.scheduler.merged_requests)
+            .sum::<u64>()
+            - m0,
+        completion_us: clock.now_us() - t0,
+    }
+}
+
 /// Runs the experiment.
 pub fn run() -> String {
     let mut t = Table::new(&[
@@ -98,6 +148,31 @@ pub fn run() -> String {
         outcomes[1].write_refs,
         outcomes[0].max_dirty,
     ));
+    let mut t2 = Table::new(&[
+        "flush issue mode",
+        "write refs",
+        "merged",
+        "completion (us)",
+    ]);
+    let serial = measure_scatter(ParallelIo::Never);
+    let sched = measure_scatter(ParallelIo::Auto);
+    for (label, o) in [("serial", &serial), ("scheduler", &sched)] {
+        t2.row_owned(vec![
+            label.to_string(),
+            o.write_refs.to_string(),
+            o.merged.to_string(),
+            o.completion_us.to_string(),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&t2.render());
+    out.push_str(&format!(
+        "\nflushing {SCATTER_FILES} dirty files ({FILE_BLOCKS} blocks each, striped over 4 disks)\n\
+         in one call: the serial write-back groups only same-file consecutive blocks;\n\
+         the per-spindle schedulers also merge across files and finish in the busiest\n\
+         spindle's makespan. Crash-loss semantics are identical — both variants write\n\
+         the same bytes to the same addresses, only the grouping differs.\n",
+    ));
     out
 }
 
@@ -117,5 +192,24 @@ mod tests {
         );
         assert_eq!(wt.lost_after_crash, 0, "write-through leaves nothing dirty");
         assert!(dw.lost_after_crash > 0, "delayed-write has a loss window");
+    }
+
+    #[test]
+    fn scheduler_coalesces_scattered_flush_across_files() {
+        let serial = measure_scatter(ParallelIo::Never);
+        let sched = measure_scatter(ParallelIo::Auto);
+        assert!(
+            sched.write_refs < serial.write_refs,
+            "cross-file merging should cut write references: {} vs {}",
+            sched.write_refs,
+            serial.write_refs
+        );
+        assert!(sched.merged > 0, "the elevator should merge something");
+        assert!(
+            sched.completion_us < serial.completion_us,
+            "batched flush should finish sooner: {} vs {}",
+            sched.completion_us,
+            serial.completion_us
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Standard service constructors shared by the experiments.
 
 use rhodos_disk_service::{DiskService, DiskServiceConfig};
-use rhodos_file_service::{FileService, FileServiceConfig, StripePolicy, WritePolicy};
+use rhodos_file_service::{FileService, FileServiceConfig, ParallelIo, StripePolicy, WritePolicy};
 use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
 use rhodos_txn::{TransactionService, TxnConfig};
 
@@ -69,6 +69,17 @@ pub fn file_service_raw() -> FileService {
 
 /// A striped file service with raw (cache-less) disks.
 pub fn striped_file_service_raw(ndisks: usize, chunk_blocks: u64) -> FileService {
+    striped_file_service_raw_mode(ndisks, chunk_blocks, ParallelIo::Auto)
+}
+
+/// [`striped_file_service_raw`] with an explicit I/O issue mode — lets
+/// experiments compare the per-spindle schedulers against the
+/// pre-scheduler serial baseline ([`ParallelIo::Never`]).
+pub fn striped_file_service_raw_mode(
+    ndisks: usize,
+    chunk_blocks: u64,
+    parallel_io: ParallelIo,
+) -> FileService {
     let clock = SimClock::new();
     let disks = (0..ndisks)
         .map(|_| {
@@ -88,6 +99,7 @@ pub fn striped_file_service_raw(ndisks: usize, chunk_blocks: u64) -> FileService
         FileServiceConfig {
             stripe: StripePolicy::RoundRobin { chunk_blocks },
             cache_blocks: 2048,
+            parallel_io,
             ..Default::default()
         },
     )

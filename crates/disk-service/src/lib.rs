@@ -51,6 +51,7 @@ mod bitmap;
 pub mod codec;
 mod error;
 mod extent_index;
+mod scheduler;
 mod service;
 mod track_cache;
 mod units;
@@ -59,6 +60,7 @@ pub use bitmap::Bitmap;
 pub use error::DiskServiceError;
 pub use extent_index::FreeExtentArray;
 pub use rhodos_buf::BlockBuf;
+pub use scheduler::SchedulerStats;
 pub use service::{DiskService, DiskServiceConfig, DiskServiceStats, ReadSource, StablePolicy};
 pub use track_cache::TrackCache;
 pub use units::{Extent, FragmentAddr, BLOCK_SIZE, FRAGMENT_SIZE, FRAGS_PER_BLOCK};

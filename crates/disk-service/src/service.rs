@@ -10,6 +10,7 @@
 use crate::bitmap::Bitmap;
 use crate::error::DiskServiceError;
 use crate::extent_index::{ExtentIndexStats, FreeExtentArray};
+use crate::scheduler::{order_and_merge, SchedulerStats};
 use crate::track_cache::{TrackCache, TrackCacheStats};
 use crate::units::{Extent, FragmentAddr, FRAGMENT_SIZE, FRAGS_PER_BLOCK};
 use rhodos_buf::BlockBuf;
@@ -68,6 +69,8 @@ pub struct DiskServiceStats {
     pub cache: TrackCacheStats,
     /// Free-extent-index behaviour.
     pub index: ExtentIndexStats,
+    /// Batch scheduler behaviour (elevator ordering, merging).
+    pub scheduler: SchedulerStats,
     /// Fragments currently free.
     pub free_fragments: u64,
     /// Total fragments on the disk.
@@ -86,6 +89,7 @@ pub struct DiskService {
     index: FreeExtentArray,
     cache: Option<TrackCache>,
     config: DiskServiceConfig,
+    scheduler: SchedulerStats,
 }
 
 impl DiskService {
@@ -136,6 +140,7 @@ impl DiskService {
             index,
             cache,
             config,
+            scheduler: SchedulerStats::default(),
         }
     }
 
@@ -171,6 +176,7 @@ impl DiskService {
             stable: self.stable.as_ref().map(|s| s.stats()).unwrap_or_default(),
             cache: self.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
             index: self.index.stats(),
+            scheduler: self.scheduler,
             free_fragments: self.bitmap.free_fragments(),
             total_fragments: self.bitmap.total_fragments(),
         }
@@ -524,6 +530,133 @@ impl DiskService {
         Ok(())
     }
 
+    // ---- batched transfer (per-spindle scheduler) --------------------
+
+    /// Enters batch clock accounting on the underlying spindle: virtual
+    /// time for subsequent operations accumulates on this disk's private
+    /// timeline and is published to the shared clock only at the matching
+    /// [`Self::end_batch`]. A coordinator batching several disk servers
+    /// this way gets makespan (max-over-spindles) accounting, the way
+    /// truly parallel hardware behaves. Batched operations never read the
+    /// shared clock, so worker threads driving different disk servers
+    /// remain deterministic.
+    pub fn begin_batch(&mut self) {
+        self.disk.begin_batch();
+    }
+
+    /// Leaves batch accounting and publishes this spindle's finish time.
+    pub fn end_batch(&mut self) {
+        self.disk.end_batch();
+    }
+
+    /// Reads a batch of extents through the per-spindle scheduler: the
+    /// requests are sorted into a C-SCAN elevator sweep from the current
+    /// head position and physically adjacent requests are merged, so each
+    /// merged run costs one disk reference (or zero when cached). Results
+    /// are returned in **input order** as zero-copy slices of the run
+    /// transfers.
+    ///
+    /// Requests must not overlap one another.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device failures; see [`DiskServiceError`].
+    pub fn get_batch(&mut self, extents: &[Extent]) -> Result<Vec<BlockBuf>, DiskServiceError> {
+        for e in extents {
+            self.check_extent(*e)?;
+        }
+        let runs = order_and_merge(self.disk.head(), extents, &mut self.scheduler);
+        let mut out: Vec<Option<BlockBuf>> = vec![None; extents.len()];
+        for run in runs {
+            let data = self.get_main(run.extent)?;
+            for (idx, off) in run.parts {
+                out[idx] = Some(data.slice(off..off + extents[idx].len_bytes()));
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|b| b.expect("scheduler serves every request"))
+            .collect())
+    }
+
+    /// Writes a batch of `(extent, data)` pairs to main storage through
+    /// the per-spindle scheduler. Adjacent requests are merged into single
+    /// disk references; when the buffers are views of one allocation (as
+    /// coalesced flushes produce) the merged transfer is rejoined without
+    /// copying via [`BlockBuf::try_concat`].
+    ///
+    /// Batched writes go to the main location only (the delayed-write
+    /// flush path); use [`Self::put`] for stable-storage policies.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskServiceError::SizeMismatch`] if any buffer does not exactly
+    /// fill its extent; otherwise device failures.
+    pub fn put_batch(&mut self, requests: &[(Extent, BlockBuf)]) -> Result<(), DiskServiceError> {
+        for (e, d) in requests {
+            self.check_extent(*e)?;
+            if d.len() != e.len_bytes() {
+                return Err(DiskServiceError::SizeMismatch {
+                    expected: e.len_bytes(),
+                    got: d.len(),
+                });
+            }
+        }
+        let extents: Vec<Extent> = requests.iter().map(|(e, _)| *e).collect();
+        let runs = order_and_merge(self.disk.head(), &extents, &mut self.scheduler);
+        for run in runs {
+            if let [(idx, _)] = run.parts[..] {
+                self.put_main_buf(run.extent, requests[idx].1.clone())?;
+                continue;
+            }
+            let bufs: Vec<BlockBuf> = run
+                .parts
+                .iter()
+                .map(|&(i, _)| requests[i].1.clone())
+                .collect();
+            let joined = match BlockBuf::try_concat(&bufs) {
+                Some(j) => j,
+                None => {
+                    let mut data = Vec::with_capacity(run.extent.len_bytes());
+                    for b in &bufs {
+                        data.extend_from_slice(b);
+                    }
+                    BlockBuf::from(data)
+                }
+            };
+            self.put_main_buf(run.extent, joined)?;
+        }
+        Ok(())
+    }
+
+    /// Main-location write that keeps the cache write-update zero-copy:
+    /// cached fragments become views of the caller's buffer.
+    fn put_main_buf(&mut self, extent: Extent, data: BlockBuf) -> Result<(), DiskServiceError> {
+        self.disk.write_sectors(extent.start, &data)?;
+        if let Some(cache) = &mut self.cache {
+            let geom = self.disk.geometry();
+            for (i, f) in (extent.start..extent.end()).enumerate() {
+                let a = i * FRAGMENT_SIZE;
+                cache.fill_fragment(
+                    geom.track_of(f),
+                    geom.sector_in_track(f),
+                    data.slice(a..a + FRAGMENT_SIZE),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Discards cached state (the track cache) without running crash
+    /// recovery. Unlike [`Self::recover`] this performs no stable-storage
+    /// scan and touches nothing on disk — it is how benchmarks and cache
+    /// eviction cold-start reads.
+    pub fn drop_caches(&mut self) {
+        if let Some(cache) = &mut self.cache {
+            cache.clear();
+        }
+    }
+
     /// Flushes deferred stable writes (`flush-block`).
     ///
     /// # Errors
@@ -829,6 +962,90 @@ mod tests {
         s.put(e, &vec![1u8; 16 * FRAGMENT_SIZE], StablePolicy::None)
             .unwrap();
         assert_eq!(s.stats().disk.write_ops - before, 1);
+    }
+
+    #[test]
+    fn get_batch_merges_adjacent_into_one_reference() {
+        let mut s = svc_nocache();
+        let e = s.allocate_contiguous(12).unwrap();
+        let data: Vec<u8> = (0..12 * FRAGMENT_SIZE).map(|i| (i % 251) as u8).collect();
+        s.put(e, &data, StablePolicy::None).unwrap();
+        // Split into three block-sized requests, submitted out of order.
+        let reqs = [
+            Extent::new(e.start + 8, 4),
+            Extent::new(e.start, 4),
+            Extent::new(e.start + 4, 4),
+        ];
+        let before = s.stats().disk.read_ops;
+        let got = s.get_batch(&reqs).unwrap();
+        assert_eq!(
+            s.stats().disk.read_ops - before,
+            1,
+            "merged to one reference"
+        );
+        // Results come back in input order.
+        for (req, buf) in reqs.iter().zip(&got) {
+            let off = (req.start - e.start) as usize * FRAGMENT_SIZE;
+            assert_eq!(&buf[..], &data[off..off + req.len_bytes()]);
+        }
+        assert_eq!(s.stats().scheduler.merged_requests, 2);
+    }
+
+    #[test]
+    fn put_batch_merges_and_round_trips() {
+        let mut s = svc_nocache();
+        let e = s.allocate_contiguous(8).unwrap();
+        let lo = BlockBuf::from(vec![0xAAu8; 4 * FRAGMENT_SIZE]);
+        let hi = BlockBuf::from(vec![0xBBu8; 4 * FRAGMENT_SIZE]);
+        let before = s.stats().disk.write_ops;
+        s.put_batch(&[
+            (Extent::new(e.start + 4, 4), hi.clone()),
+            (Extent::new(e.start, 4), lo.clone()),
+        ])
+        .unwrap();
+        assert_eq!(
+            s.stats().disk.write_ops - before,
+            1,
+            "merged to one reference"
+        );
+        assert_eq!(s.get(Extent::new(e.start, 4)).unwrap(), lo);
+        assert_eq!(s.get(Extent::new(e.start + 4, 4)).unwrap(), hi);
+    }
+
+    #[test]
+    fn put_batch_concat_of_sliced_views_is_copy_free() {
+        let mut s = svc_nocache();
+        let e = s.allocate_contiguous(8).unwrap();
+        // One allocation sliced into two adjacent views — the coalesced
+        // flush shape. try_concat rejoins them without copying.
+        let whole = BlockBuf::from(
+            (0..8 * FRAGMENT_SIZE)
+                .map(|i| (i % 83) as u8)
+                .collect::<Vec<u8>>(),
+        );
+        let a = whole.slice(0..4 * FRAGMENT_SIZE);
+        let b = whole.slice(4 * FRAGMENT_SIZE..8 * FRAGMENT_SIZE);
+        s.put_batch(&[
+            (Extent::new(e.start, 4), a),
+            (Extent::new(e.start + 4, 4), b),
+        ])
+        .unwrap();
+        assert_eq!(s.get(e).unwrap(), whole);
+    }
+
+    #[test]
+    fn drop_caches_forces_next_read_to_disk_without_stable_scan() {
+        let mut s = svc();
+        let e = s.allocate_contiguous(4).unwrap();
+        s.put(e, &vec![7u8; 4 * FRAGMENT_SIZE], StablePolicy::None)
+            .unwrap();
+        let stable_reads_before = s.stats().stable.read_ops + s.stats().stable.sector_reads;
+        s.drop_caches();
+        let r0 = s.stats().disk.read_ops;
+        s.get(e).unwrap();
+        assert!(s.stats().disk.read_ops > r0, "read went to disk");
+        let stable_reads_after = s.stats().stable.read_ops + s.stats().stable.sector_reads;
+        assert_eq!(stable_reads_before, stable_reads_after, "no stable scan");
     }
 
     #[test]

@@ -67,5 +67,5 @@ pub use fit::{
     MAX_INDIRECT_TABLES,
 };
 pub use fsck::{FsckIssue, FsckReport};
-pub use service::{FileService, FileServiceConfig, FileServiceStats};
+pub use service::{FileService, FileServiceConfig, FileServiceStats, ParallelIo};
 pub use stripe::StripePolicy;

@@ -12,6 +12,7 @@ use crate::cache::{BlockCache, CacheStats, WritePolicy};
 use crate::error::FileServiceError;
 use crate::fit::{BlockDescriptor, FileIndexTable};
 use crate::stripe::StripePolicy;
+use parking_lot::Mutex;
 use rhodos_buf::BlockBuf;
 use rhodos_disk_service::codec::{Decoder, Encoder};
 use rhodos_disk_service::{
@@ -45,6 +46,29 @@ pub struct FileServiceConfig {
     /// in FITs ("the space for caching a fragment and block is acquired
     /// from a fragment-pool and block-pool", §5). 0 = unbounded.
     pub fit_pool_entries: usize,
+    /// How striped windows and coalesced flushes reach the spindles (see
+    /// [`ParallelIo`]).
+    pub parallel_io: ParallelIo,
+}
+
+/// How striped windows and coalesced flushes are issued to the per-spindle
+/// schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelIo {
+    /// Batch per spindle through the schedulers, fanning the batches out
+    /// on scoped worker threads when the host has more than one CPU and
+    /// issuing them back-to-back otherwise (the elevator ordering, run
+    /// merging and makespan clock accounting apply either way).
+    #[default]
+    Auto,
+    /// The pre-scheduler baseline of experiments E13/E15: blocks are
+    /// fetched one at a time and written back in sorted order with only
+    /// same-file consecutive runs grouped; the simulated clock advances by
+    /// the *sum* of per-operation costs.
+    Never,
+    /// Always fan out on scoped worker threads, even on one CPU — used by
+    /// the equivalence tests to exercise the threaded path determinately.
+    Always,
 }
 
 impl Default for FileServiceConfig {
@@ -57,6 +81,7 @@ impl Default for FileServiceConfig {
             fit_stable: true,
             fit_adjacent_first_block: true,
             fit_pool_entries: 256,
+            parallel_io: ParallelIo::Auto,
         }
     }
 }
@@ -95,7 +120,11 @@ struct FitEntry {
 /// See the [crate documentation](crate) for an example.
 #[derive(Debug)]
 pub struct FileService {
-    disks: Vec<DiskService>,
+    /// One disk server per spindle. Each sits behind its own mutex so the
+    /// stripe fan-out can drive several spindles from scoped worker
+    /// threads; every serial path goes through `Mutex::get_mut`, which is
+    /// a plain field access (no locking).
+    disks: Vec<Mutex<DiskService>>,
     clock: SimClock,
     config: FileServiceConfig,
     directory: HashMap<FileId, (u16, FragmentAddr)>,
@@ -110,6 +139,12 @@ pub struct FileService {
     cache: Option<BlockCache>,
     dir_extent: Extent,
     fit_loads: u64,
+    /// Resolved once at format time: whether batches fan out on scoped
+    /// worker threads ([`ParallelIo::Always`], or [`ParallelIo::Auto`] on
+    /// a multi-CPU host) or are issued back-to-back on the caller's
+    /// thread. On one CPU the fan-out buys no wall-clock and costs a
+    /// spawn/join per spindle, so `Auto` stays serial there.
+    fan_out: bool,
 }
 
 const DIR_MAGIC: u32 = 0x52_48_44_46; // "RHDF"
@@ -131,7 +166,13 @@ impl FileService {
         assert!(!disks.is_empty(), "file service needs at least one disk");
         let clock = disks[0].clock();
         let dir_extent = disks[0].allocate_contiguous(config.directory_fragments)?;
+        let disks: Vec<Mutex<DiskService>> = disks.into_iter().map(Mutex::new).collect();
         let cache = (config.cache_blocks > 0).then(|| BlockCache::new(config.cache_blocks));
+        let fan_out = match config.parallel_io {
+            ParallelIo::Always => true,
+            ParallelIo::Never => false,
+            ParallelIo::Auto => std::thread::available_parallelism().is_ok_and(|n| n.get() > 1),
+        };
         let mut svc = Self {
             disks,
             clock,
@@ -145,6 +186,7 @@ impl FileService {
             dir_extent,
             fit_loads: 0,
             fit_hits: 0,
+            fan_out,
         };
         svc.persist_directory()?;
         Ok(svc)
@@ -200,7 +242,7 @@ impl FileService {
     ///
     /// Panics if `i` is out of range.
     pub fn disk_mut(&mut self, i: usize) -> &mut DiskService {
-        &mut self.disks[i]
+        self.disks[i].get_mut()
     }
 
     /// Snapshot of all statistics.
@@ -209,7 +251,7 @@ impl FileService {
             cache: self.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
             fit_loads: self.fit_loads,
             fit_cache_hits: self.fit_hits,
-            disks: self.disks.iter().map(|d| d.stats()).collect(),
+            disks: self.disks.iter().map(|d| d.lock().stats()).collect(),
         }
     }
 
@@ -228,7 +270,7 @@ impl FileService {
     // ---- directory persistence ----------------------------------------
 
     fn stable_policy(&self) -> StablePolicy {
-        if self.config.fit_stable && self.disks[0].has_stable() {
+        if self.config.fit_stable && self.disks[0].lock().has_stable() {
             StablePolicy::OriginalAndStable(StableWriteMode::Sync)
         } else {
             StablePolicy::None
@@ -252,7 +294,7 @@ impl FileService {
         }
         buf.resize(self.dir_extent.len_bytes(), 0);
         let policy = self.stable_policy();
-        self.disks[0].put(self.dir_extent, &buf, policy)?;
+        self.disks[0].get_mut().put(self.dir_extent, &buf, policy)?;
         Ok(())
     }
 
@@ -328,7 +370,7 @@ impl FileService {
             .get(&fid)
             .ok_or(FileServiceError::NotFound(fid))?;
         let frag_extent = Extent::new(fit_frag, 1);
-        let disk = &mut self.disks[home as usize];
+        let disk = self.disks[home as usize].get_mut();
         let buf = match disk.get(frag_extent) {
             Ok(b) => b,
             Err(_) => disk.get_from(frag_extent, ReadSource::Stable)?,
@@ -336,7 +378,9 @@ impl FileService {
         let (mut fit, _total, indirect_locs) = FileIndexTable::decode_fit_fragment(&buf)
             .map_err(|e| FileServiceError::corrupt(fid, e))?;
         for &(idisk, iaddr) in &indirect_locs {
-            let chunk = self.disks[idisk as usize].get(Extent::new(iaddr, FRAGS_PER_BLOCK))?;
+            let chunk = self.disks[idisk as usize]
+                .get_mut()
+                .get(Extent::new(iaddr, FRAGS_PER_BLOCK))?;
             fit.extend_from_indirect_chunk(&chunk)
                 .map_err(|e| FileServiceError::corrupt(fid, e))?;
         }
@@ -394,11 +438,15 @@ impl FileService {
         let mut locs = entry.indirect_locs.clone();
         while locs.len() > needed {
             let (d, a) = locs.pop().expect("nonempty");
-            self.disks[d as usize].free(Extent::new(a, FRAGS_PER_BLOCK))?;
+            self.disks[d as usize]
+                .get_mut()
+                .free(Extent::new(a, FRAGS_PER_BLOCK))?;
         }
         while locs.len() < needed {
             // Indirect tables live in the top region, away from file data.
-            let e = self.disks[home as usize].allocate_contiguous_top(FRAGS_PER_BLOCK)?;
+            let e = self.disks[home as usize]
+                .get_mut()
+                .allocate_contiguous_top(FRAGS_PER_BLOCK)?;
             locs.push((home, e.start));
         }
         let entry = self.fits.get_mut(&fid).expect("FIT loaded");
@@ -408,9 +456,15 @@ impl FileService {
         let fit_frag = entry.fit_frag;
         debug_assert_eq!(chunks.len(), locs.len());
         for (chunk, (d, a)) in chunks.into_iter().zip(locs) {
-            self.disks[d as usize].put(Extent::new(a, FRAGS_PER_BLOCK), &chunk, policy)?;
+            self.disks[d as usize].get_mut().put(
+                Extent::new(a, FRAGS_PER_BLOCK),
+                &chunk,
+                policy,
+            )?;
         }
-        self.disks[home as usize].put(Extent::new(fit_frag, 1), &frag, policy)?;
+        self.disks[home as usize]
+            .get_mut()
+            .put(Extent::new(fit_frag, 1), &frag, policy)?;
         Ok(())
     }
 
@@ -433,12 +487,12 @@ impl FileService {
             .disks
             .iter()
             .enumerate()
-            .max_by_key(|(_, d)| d.free_fragments())
+            .max_by_key(|(_, d)| d.lock().free_fragments())
             .map(|(i, _)| i as u16)
             .expect("at least one disk");
         // FIT contiguous with the first data block: allocate 1 + 4
         // fragments in one run when possible.
-        let disk = &mut self.disks[home as usize];
+        let disk = self.disks[home as usize].get_mut();
         let (fit_frag, first_block) = if self.config.fit_adjacent_first_block {
             match disk.allocate_contiguous(1 + FRAGS_PER_BLOCK) {
                 Ok(run) => (run.start, Some(run.start + 1)),
@@ -516,12 +570,18 @@ impl FileService {
         self.fit_lru.retain(|f| *f != fid);
         let entry = self.fits.remove(&fid).expect("just loaded");
         for d in entry.fit.descriptors() {
-            self.disks[d.disk as usize].free(d.block_extent())?;
+            self.disks[d.disk as usize]
+                .get_mut()
+                .free(d.block_extent())?;
         }
         for (d, a) in entry.indirect_locs {
-            self.disks[d as usize].free(Extent::new(a, FRAGS_PER_BLOCK))?;
+            self.disks[d as usize]
+                .get_mut()
+                .free(Extent::new(a, FRAGS_PER_BLOCK))?;
         }
-        self.disks[entry.home as usize].free(Extent::new(entry.fit_frag, 1))?;
+        self.disks[entry.home as usize]
+            .get_mut()
+            .free(Extent::new(entry.fit_frag, 1))?;
         self.directory.remove(&fid);
         self.persist_directory()
     }
@@ -618,7 +678,7 @@ impl FileService {
         // belongs to; cache every block of it.
         let run = Extent::new(d.addr, FRAGS_PER_BLOCK * d.contig as u64);
         let disk_no = d.disk as usize;
-        let data = self.disks[disk_no].get(run)?;
+        let data = self.disks[disk_no].get_mut().get(run)?;
         let nblocks = data.len() / BLOCK_SIZE;
         let wanted = data.slice(0..BLOCK_SIZE.min(data.len()));
         for j in 0..nblocks {
@@ -655,7 +715,9 @@ impl FileService {
         let Some(d) = entry.fit.descriptor(idx) else {
             return Ok(()); // truncated away
         };
-        self.disks[d.disk as usize].put(d.block_extent(), &data, StablePolicy::None)?;
+        self.disks[d.disk as usize]
+            .get_mut()
+            .put(d.block_extent(), &data, StablePolicy::None)?;
         Ok(())
     }
 
@@ -710,9 +772,9 @@ impl FileService {
         }
         let first = offset / BLOCK_SIZE as u64;
         let last = (offset + len as u64 - 1) / BLOCK_SIZE as u64;
+        let blocks = self.fetch_window(fid, first, last)?;
         let mut filled = 0usize;
-        for idx in first..=last {
-            let block = self.fetch_block(fid, idx)?;
+        for (block, idx) in blocks.iter().zip(first..=last) {
             let block_start = idx * BLOCK_SIZE as u64;
             let lo = offset.max(block_start) - block_start;
             let hi = (offset + len as u64).min(block_start + BLOCK_SIZE as u64) - block_start;
@@ -723,6 +785,116 @@ impl FileService {
         let entry = self.fits.get_mut(&fid).expect("loaded");
         entry.fit.attrs.last_read_us = self.clock.now_us();
         Ok(filled)
+    }
+
+    /// Fetches logical blocks `first..=last` of `fid`, returning one view
+    /// per block. Cache hits are refcount bumps; the misses are grouped by
+    /// home disk and submitted to each spindle's scheduler as one batch —
+    /// physically adjacent blocks merge into single disk references, and
+    /// when more than one spindle is involved the batches run under
+    /// makespan clock accounting — on scoped worker threads when fan-out
+    /// is enabled (see [`ParallelIo`]).
+    fn fetch_window(
+        &mut self,
+        fid: FileId,
+        first: u64,
+        last: u64,
+    ) -> Result<Vec<BlockBuf>, FileServiceError> {
+        let n = (last - first + 1) as usize;
+        if n == 1 || self.config.parallel_io == ParallelIo::Never {
+            // A single block goes through the run-fetching path, which
+            // also caches the rest of the block's contiguous run. The
+            // `Never` baseline fetches every block that way, one demand
+            // miss at a time.
+            return (first..=last)
+                .map(|idx| self.fetch_block(fid, idx))
+                .collect();
+        }
+        let mut blocks: Vec<Option<BlockBuf>> = vec![None; n];
+        if let Some(cache) = &mut self.cache {
+            for (i, slot) in blocks.iter_mut().enumerate() {
+                if let Some(b) = cache.get(&(fid, first + i as u64)) {
+                    *slot = Some(b);
+                }
+            }
+        }
+        // Group the misses into one batch per spindle.
+        let mut per_disk: Vec<Vec<(usize, Extent)>> = vec![Vec::new(); self.disks.len()];
+        {
+            let entry = self.fit(fid);
+            for (i, slot) in blocks.iter().enumerate() {
+                if slot.is_some() {
+                    continue;
+                }
+                let d = entry
+                    .fit
+                    .descriptor(first + i as u64)
+                    .ok_or(FileServiceError::Corrupt(fid))?;
+                per_disk[d.disk as usize].push((i, Extent::new(d.addr, FRAGS_PER_BLOCK)));
+            }
+        }
+        let involved: Vec<usize> = (0..per_disk.len())
+            .filter(|&d| !per_disk[d].is_empty())
+            .collect();
+        if involved.is_empty() {
+            return Ok(blocks.into_iter().map(|b| b.expect("resident")).collect());
+        }
+        // All batches are issued at the same virtual instant; ending them
+        // advances the shared clock to the busiest spindle's finish time.
+        for &d in &involved {
+            self.disks[d].get_mut().begin_batch();
+        }
+        type Fetched = Vec<(usize, Result<Vec<BlockBuf>, DiskServiceError>)>;
+        let fetched: Fetched = if involved.len() > 1 && self.fan_out {
+            let disks = &self.disks;
+            let per_disk = &per_disk;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = involved
+                    .iter()
+                    .map(|&d| {
+                        s.spawn(move || {
+                            let extents: Vec<Extent> =
+                                per_disk[d].iter().map(|&(_, e)| e).collect();
+                            (d, disks[d].lock().get_batch(&extents))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("spindle worker panicked"))
+                    .collect()
+            })
+        } else {
+            involved
+                .iter()
+                .map(|&d| {
+                    let extents: Vec<Extent> = per_disk[d].iter().map(|&(_, e)| e).collect();
+                    (d, self.disks[d].get_mut().get_batch(&extents))
+                })
+                .collect()
+        };
+        for &d in &involved {
+            self.disks[d].get_mut().end_batch();
+        }
+        let mut evicted: Vec<((FileId, u64), BlockBuf)> = Vec::new();
+        for (d, res) in fetched {
+            let bufs = res.map_err(FileServiceError::Disk)?;
+            for (&(i, _), buf) in per_disk[d].iter().zip(bufs) {
+                if let Some(cache) = &mut self.cache {
+                    let key = (fid, first + i as u64);
+                    // Never clobber a resident block: a concurrent insert
+                    // may hold newer delayed-write data.
+                    if !cache.contains(&key) {
+                        evicted.extend(cache.insert(key, buf.clone(), false));
+                    }
+                }
+                blocks[i] = Some(buf);
+            }
+        }
+        for (k, v) in evicted {
+            self.write_back(k, v)?;
+        }
+        Ok(blocks.into_iter().map(|b| b.expect("fetched")).collect())
     }
 
     /// Appends enough blocks to make the file `nblocks` long, honouring
@@ -747,7 +919,10 @@ impl FileService {
             let mut allocated: Option<(u16, Extent, u64)> = None;
             let mut want = limit;
             while want >= 1 {
-                match self.disks[target].allocate_contiguous(want * FRAGS_PER_BLOCK) {
+                match self.disks[target]
+                    .get_mut()
+                    .allocate_contiguous(want * FRAGS_PER_BLOCK)
+                {
                     Ok(e) => {
                         allocated = Some((target as u16, e, want));
                         break;
@@ -758,7 +933,7 @@ impl FileService {
             if allocated.is_none() {
                 // Target disk exhausted: any disk with room for one block.
                 for i in 0..self.disks.len() {
-                    if let Ok(e) = self.disks[i].allocate_contiguous(FRAGS_PER_BLOCK) {
+                    if let Ok(e) = self.disks[i].get_mut().allocate_contiguous(FRAGS_PER_BLOCK) {
                         allocated = Some((i as u16, e, 1));
                         break;
                     }
@@ -896,11 +1071,84 @@ impl FileService {
         self.write_back_grouped(dirty)
     }
 
-    /// Writes back a sorted list of dirty blocks, merging physically
-    /// adjacent ones into single `put` calls. Blocks that are views of
-    /// one allocation (a sequential write, or blocks cached from one run
-    /// transfer) are rejoined without a gather copy.
+    /// Writes back a sorted list of dirty blocks.
+    ///
+    /// Under the scheduler (`parallel_io` `Auto`/`Always`) every block is
+    /// resolved to its on-disk home and the whole set is handed to the
+    /// per-spindle schedulers as one batch per disk: each scheduler sorts its batch
+    /// into elevator order and merges physically adjacent blocks — across
+    /// files — into single disk references, and the per-disk batches run
+    /// concurrently under makespan clock accounting. Delayed-write
+    /// semantics are unchanged: the same bytes reach the same addresses,
+    /// only the order and grouping of the transfers differ.
     fn write_back_grouped(
+        &mut self,
+        dirty: Vec<((FileId, u64), BlockBuf)>,
+    ) -> Result<(), FileServiceError> {
+        if self.config.parallel_io == ParallelIo::Never {
+            return self.write_back_serial(dirty);
+        }
+        // Resolve each dirty block, reloading FITs evicted from the
+        // fragment pool; blocks of deleted or truncated files are dropped
+        // (exactly as the serial path does).
+        let mut per_disk: Vec<Vec<(Extent, BlockBuf)>> = vec![Vec::new(); self.disks.len()];
+        for ((fid, idx), buf) in dirty {
+            if !self.fits.contains_key(&fid) {
+                if !self.directory.contains_key(&fid) {
+                    continue;
+                }
+                self.load_fit(fid)?;
+            }
+            let Some(entry) = self.fits.get(&fid) else {
+                continue;
+            };
+            let Some(d) = entry.fit.descriptor(idx) else {
+                continue;
+            };
+            per_disk[d.disk as usize].push((d.block_extent(), buf));
+        }
+        let involved: Vec<usize> = (0..per_disk.len())
+            .filter(|&d| !per_disk[d].is_empty())
+            .collect();
+        if involved.is_empty() {
+            return Ok(());
+        }
+        for &d in &involved {
+            self.disks[d].get_mut().begin_batch();
+        }
+        let results: Vec<Result<(), DiskServiceError>> = if involved.len() > 1 && self.fan_out {
+            let disks = &self.disks;
+            let per_disk = &per_disk;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = involved
+                    .iter()
+                    .map(|&d| s.spawn(move || disks[d].lock().put_batch(&per_disk[d])))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("spindle worker panicked"))
+                    .collect()
+            })
+        } else {
+            involved
+                .iter()
+                .map(|&d| self.disks[d].get_mut().put_batch(&per_disk[d]))
+                .collect()
+        };
+        for &d in &involved {
+            self.disks[d].get_mut().end_batch();
+        }
+        for r in results {
+            r.map_err(FileServiceError::Disk)?;
+        }
+        Ok(())
+    }
+
+    /// The pre-scheduler write-back: walks the sorted dirty list in order,
+    /// merging only same-file, logically-consecutive, physically-contiguous
+    /// blocks into single `put` calls. Kept as the [`ParallelIo::Never`]
+    /// baseline (experiment E13/E15 comparisons).
+    fn write_back_serial(
         &mut self,
         dirty: Vec<((FileId, u64), BlockBuf)>,
     ) -> Result<(), FileServiceError> {
@@ -945,7 +1193,9 @@ impl FileService {
             let extent = Extent::new(d0.addr, blocks * FRAGS_PER_BLOCK);
             let group = &dirty[i..j];
             if let [(_, only)] = group {
-                self.disks[d0.disk as usize].put(extent, only, StablePolicy::None)?;
+                self.disks[d0.disk as usize]
+                    .get_mut()
+                    .put(extent, only, StablePolicy::None)?;
             } else {
                 let parts: Vec<BlockBuf> = group.iter().map(|(_, b)| b.clone()).collect();
                 let joined = match BlockBuf::try_concat(&parts) {
@@ -959,7 +1209,9 @@ impl FileService {
                         BlockBuf::from(buf)
                     }
                 };
-                self.disks[d0.disk as usize].put(extent, &joined, StablePolicy::None)?;
+                self.disks[d0.disk as usize]
+                    .get_mut()
+                    .put(extent, &joined, StablePolicy::None)?;
             }
             i = j;
         }
@@ -1037,7 +1289,9 @@ impl FileService {
         let home = self.fit(fid).home;
         // Shadow pages come from the top of the disk so they never
         // fragment the low region where files grow contiguously.
-        let e = self.disks[home as usize].allocate_contiguous_top(FRAGS_PER_BLOCK)?;
+        let e = self.disks[home as usize]
+            .get_mut()
+            .allocate_contiguous_top(FRAGS_PER_BLOCK)?;
         Ok((home, e.start))
     }
 
@@ -1052,7 +1306,9 @@ impl FileService {
         disk: u16,
         addr: FragmentAddr,
     ) -> Result<(), FileServiceError> {
-        self.disks[disk as usize].free(Extent::new(addr, FRAGS_PER_BLOCK))?;
+        self.disks[disk as usize]
+            .get_mut()
+            .free(Extent::new(addr, FRAGS_PER_BLOCK))?;
         Ok(())
     }
 
@@ -1069,7 +1325,11 @@ impl FileService {
         data: &[u8],
         policy: StablePolicy,
     ) -> Result<(), FileServiceError> {
-        self.disks[disk as usize].put(Extent::new(addr, FRAGS_PER_BLOCK), data, policy)?;
+        self.disks[disk as usize].get_mut().put(
+            Extent::new(addr, FRAGS_PER_BLOCK),
+            data,
+            policy,
+        )?;
         Ok(())
     }
 
@@ -1084,7 +1344,9 @@ impl FileService {
         addr: FragmentAddr,
         source: ReadSource,
     ) -> Result<BlockBuf, FileServiceError> {
-        Ok(self.disks[disk as usize].get_from(Extent::new(addr, FRAGS_PER_BLOCK), source)?)
+        Ok(self.disks[disk as usize]
+            .get_mut()
+            .get_from(Extent::new(addr, FRAGS_PER_BLOCK), source)?)
     }
 
     /// Swings the descriptor of logical block `idx` to a new location
@@ -1133,7 +1395,8 @@ impl FileService {
             cache.clear();
         }
         for d in &mut self.disks {
-            d.recover()?; // clears the track cache; repairs nothing else
+            // Track caches only — no crash repair, no stable-storage scan.
+            d.get_mut().drop_caches();
         }
         Ok(())
     }
@@ -1162,10 +1425,10 @@ impl FileService {
     /// Fails if the directory is unrecoverable from both copies.
     pub fn recover(&mut self) -> Result<(), FileServiceError> {
         for d in &mut self.disks {
-            d.recover()?;
+            d.get_mut().recover()?;
         }
         let (next_fid, system_fid, directory) =
-            Self::load_directory(&mut self.disks[0], self.dir_extent)?;
+            Self::load_directory(self.disks[0].get_mut(), self.dir_extent)?;
         self.next_fid = next_fid;
         self.system_fid = system_fid;
         self.directory = directory;
@@ -1190,7 +1453,7 @@ impl FileService {
             }
         }
         for (i, extents) in per_disk.into_iter().enumerate() {
-            self.disks[i].rebuild_allocation(extents);
+            self.disks[i].get_mut().rebuild_allocation(extents);
         }
         Ok(())
     }
@@ -1202,7 +1465,9 @@ impl FileService {
 
     /// Total fragments on disk `i`, if it exists (fsck support).
     pub(crate) fn disk_total_fragments(&self, i: usize) -> Option<u64> {
-        self.disks.get(i).map(|d| d.geometry().total_sectors())
+        self.disks
+            .get(i)
+            .map(|d| d.lock().geometry().total_sectors())
     }
 
     /// Loads and exposes the pieces of a file's FIT entry (fsck support).

@@ -44,6 +44,15 @@ pub struct SimDisk {
     head: SectorAddr,
     stats: DiskStats,
     faults: FaultInjector,
+    /// Virtual time at which this spindle finishes its queued work — the
+    /// per-spindle timeline that makes batch (parallel) accounting a
+    /// makespan instead of a sum.
+    free_at_us: u64,
+    /// Nesting depth of [`Self::begin_batch`] calls.
+    batch_depth: u32,
+    /// Virtual time the current batch was issued (shared-clock reading at
+    /// the outermost `begin_batch`).
+    batch_start_us: u64,
 }
 
 /// The content of a never-written sector.
@@ -61,6 +70,9 @@ impl SimDisk {
             head: 0,
             stats: DiskStats::default(),
             faults: FaultInjector::new(),
+            free_at_us: 0,
+            batch_depth: 0,
+            batch_start_us: 0,
         }
     }
 
@@ -110,6 +122,43 @@ impl SimDisk {
         Ok(())
     }
 
+    /// Current head position (the last sector touched).
+    pub fn head(&self) -> SectorAddr {
+        self.head
+    }
+
+    /// Virtual time at which this spindle finishes its queued work.
+    pub fn free_at_us(&self) -> u64 {
+        self.free_at_us
+    }
+
+    /// Enters batch accounting: until the matching [`Self::end_batch`],
+    /// operations extend this spindle's private timeline (`free_at_us`)
+    /// without advancing the shared clock. A coordinator that batches
+    /// several spindles and then ends every batch gets **makespan**
+    /// accounting — the clock moves to the *max* of the spindle timelines,
+    /// not their sum — which is how truly parallel hardware behaves.
+    ///
+    /// Calls never read the shared clock while batched, so worker threads
+    /// driving different spindles stay deterministic.
+    pub fn begin_batch(&mut self) {
+        if self.batch_depth == 0 {
+            self.batch_start_us = self.clock.now_us();
+        }
+        self.batch_depth += 1;
+    }
+
+    /// Leaves batch accounting; the outermost call publishes this
+    /// spindle's finish time to the shared clock (monotonically — the
+    /// clock never moves backwards).
+    pub fn end_batch(&mut self) {
+        debug_assert!(self.batch_depth > 0, "end_batch without begin_batch");
+        self.batch_depth = self.batch_depth.saturating_sub(1);
+        if self.batch_depth == 0 {
+            self.clock.advance_to(self.free_at_us);
+        }
+    }
+
     fn charge(&mut self, to: SectorAddr, count: u64) {
         let cost = self
             .model
@@ -118,7 +167,18 @@ impl SimDisk {
             self.stats.seeks += 1;
         }
         self.stats.busy_us += cost;
-        self.clock.advance(cost);
+        // The spindle starts this transfer when both the request has been
+        // issued and the platter is free; batched requests were all issued
+        // at `batch_start_us`, serial ones at the current shared time.
+        let issued_at = if self.batch_depth > 0 {
+            self.batch_start_us
+        } else {
+            self.clock.now_us()
+        };
+        self.free_at_us = issued_at.max(self.free_at_us) + cost;
+        if self.batch_depth == 0 {
+            self.clock.advance_to(self.free_at_us);
+        }
         self.head = to + count.saturating_sub(1);
     }
 
@@ -322,6 +382,53 @@ mod tests {
         d.read_sectors(100, 4).unwrap();
         assert!(d.clock().now_us() > t0);
         assert_eq!(d.stats().busy_us, d.clock().now_us() - t0);
+    }
+
+    #[test]
+    fn batched_spindles_advance_clock_by_makespan_not_sum() {
+        let clock = SimClock::new();
+        let mut a = SimDisk::new(
+            DiskGeometry::small(),
+            LatencyModel::default(),
+            clock.clone(),
+        );
+        let mut b = SimDisk::new(
+            DiskGeometry::small(),
+            LatencyModel::default(),
+            clock.clone(),
+        );
+        a.begin_batch();
+        b.begin_batch();
+        a.read_sectors(0, 8).unwrap();
+        b.read_sectors(512, 2).unwrap();
+        // Batched work does not move the shared clock...
+        assert_eq!(clock.now_us(), 0);
+        a.end_batch();
+        b.end_batch();
+        // ...ending the batch publishes the slowest spindle's finish time.
+        let makespan = a.stats().busy_us.max(b.stats().busy_us);
+        let sum = a.stats().busy_us + b.stats().busy_us;
+        assert_eq!(clock.now_us(), makespan);
+        assert!(clock.now_us() < sum);
+    }
+
+    #[test]
+    fn serial_accounting_unchanged_by_timeline() {
+        let clock = SimClock::new();
+        let mut a = SimDisk::new(
+            DiskGeometry::small(),
+            LatencyModel::default(),
+            clock.clone(),
+        );
+        let mut b = SimDisk::new(
+            DiskGeometry::small(),
+            LatencyModel::default(),
+            clock.clone(),
+        );
+        a.read_sectors(0, 4).unwrap();
+        b.read_sectors(0, 4).unwrap();
+        // Un-batched ops on distinct spindles still serialise on the clock.
+        assert_eq!(clock.now_us(), a.stats().busy_us + b.stats().busy_us);
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Emits `BENCH_hot_paths.json`: the throughput group's results as
 //! `{op, ns_per_op, mb_per_s}` records, giving future changes a perf
-//! baseline to diff against.
+//! baseline to diff against — and `BENCH_replication.json`: the
+//! replication and RPC-replay counters of a fixed deterministic lossy
+//! run (see [`rhodos_bench::throughput::replication_stat_records`]), so
+//! failover/retry behaviour regressions show up as a diff too.
 //!
 //! `cargo run --release -p rhodos-bench --bin bench_json [-- <out-path>]`
 
@@ -33,4 +36,14 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("wrote {out_path}");
     print!("{json}");
+
+    let rep_path = "BENCH_replication.json";
+    let rep_rows: Vec<String> = rhodos_bench::throughput::replication_stat_records()
+        .into_iter()
+        .map(|(stat, value)| format!("  {{\"stat\": \"{stat}\", \"value\": {value}}}"))
+        .collect();
+    let rep_json = format!("[\n{}\n]\n", rep_rows.join(",\n"));
+    std::fs::write(rep_path, &rep_json).expect("write replication json");
+    println!("wrote {rep_path}");
+    print!("{rep_json}");
 }

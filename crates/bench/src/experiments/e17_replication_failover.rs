@@ -1,0 +1,265 @@
+//! E17 — replicated files: "the file may be replicated at several disk
+//! servers ... the failure of one such server does not stop the system"
+//! (§3), with operations carried by the idempotent, nearly-stateless RPC
+//! layer. Two exhibits:
+//!
+//! 1. a torn write on one replica of three, with the write-path failover
+//!    fix against the pre-fix abort behaviour (the divergence bug this
+//!    PR removes): the fix masks the fault, keeps the live replicas in
+//!    agreement, and `resync` returns the victim byte-identical;
+//! 2. a lossy-network sweep over the RPC front-end, showing writes
+//!    survive message loss and duplication while each replica's replay
+//!    cache stays bounded by the in-flight window.
+
+use crate::table::Table;
+use rhodos_file_service::{FileService, FileServiceConfig, ServiceType, WritePolicy};
+use rhodos_net::NetConfig;
+use rhodos_replication::{ReplicatedFiles, ReplicatedRpcFiles, ReplicationConfig};
+use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
+
+const OLD: &[u8] = b"committed before fault";
+const NEW: &[u8] = b"committed during fault";
+
+/// Write-through replica so injected faults surface inside the faulting
+/// call; instant latency keeps timestamps identical across replicas, so
+/// platter images can be compared byte for byte.
+fn replica(clock: &SimClock) -> FileService {
+    FileService::single_disk(
+        DiskGeometry::medium(),
+        LatencyModel::instant(),
+        clock.clone(),
+        FileServiceConfig {
+            write_policy: WritePolicy::WriteThrough,
+            ..FileServiceConfig::default()
+        },
+    )
+    .expect("format replica")
+}
+
+fn cluster(write_failover: bool) -> ReplicatedFiles {
+    let clock = SimClock::new();
+    let replicas = (0..3).map(|_| replica(&clock)).collect();
+    ReplicatedFiles::new(
+        replicas,
+        ReplicationConfig {
+            write_failover,
+            ..ReplicationConfig::default()
+        },
+    )
+}
+
+fn fingerprints(fs: &mut FileService) -> Vec<u64> {
+    let mut prints = Vec::new();
+    for d in 0..fs.disk_count() {
+        prints.push(fs.disk_mut(d).disk_mut().image_fingerprint());
+        if let Some(stable) = fs.disk_mut(d).stable_mut() {
+            prints.push(stable.mirror_a_mut().image_fingerprint());
+            prints.push(stable.mirror_b_mut().image_fingerprint());
+        }
+    }
+    prints
+}
+
+/// One torn-write scenario; returns a report row.
+fn torn_write_case(write_failover: bool) -> Vec<String> {
+    let mut rf = cluster(write_failover);
+    let fid = rf.create(ServiceType::Basic).unwrap();
+    rf.open(fid).unwrap();
+    rf.write(fid, 0, OLD).unwrap();
+
+    // Replica 1's disk dies at its next sector write: the write-all
+    // fan-out tears on that replica only.
+    rf.replica_mut(1)
+        .disk_mut(0)
+        .disk_mut()
+        .faults_mut()
+        .crash_after_sector_writes(0);
+    let outcome = rf.write(fid, 0, NEW);
+
+    // How many of the replicas still trusted with the file — the live
+    // set — actually hold the mutation on their platters? Caches are
+    // evicted first: the torn replica's block cache still holds the new
+    // data its disk never accepted.
+    let mut live_total = 0;
+    let mut live_new = 0;
+    for i in 0..3 {
+        if rf.is_failed(i) {
+            continue;
+        }
+        live_total += 1;
+        let fs = rf.replica_mut(i);
+        let _ = fs.evict_caches();
+        if fs.read(fid, 0, NEW.len()).ok().as_deref() == Some(NEW) {
+            live_new += 1;
+        }
+    }
+    let live = rf.live_replicas();
+    let diverged = live_new != 0 && live_new != live_total;
+
+    let repaired = if write_failover {
+        rf.resync(1).unwrap();
+        for i in 0..3 {
+            rf.replica_mut(i).flush_all().unwrap();
+        }
+        let reference = fingerprints(rf.replica_mut(0));
+        let identical = (1..3).all(|i| fingerprints(rf.replica_mut(i)) == reference);
+        let clean = (0..3).all(|i| rf.replica_mut(i).fsck().unwrap().is_clean());
+        if identical && clean {
+            "byte-identical, fsck clean".to_string()
+        } else {
+            "STILL DIVERGED".to_string()
+        }
+    } else {
+        // The pre-fix bug: the fan-out aborted half-applied, so the
+        // surviving replicas themselves disagree — nothing is marked
+        // failed, so the failover machinery cannot even see it.
+        "n/a (live replicas disagree)".to_string()
+    };
+
+    vec![
+        if write_failover {
+            "fixed: fail over, keep writing"
+        } else {
+            "pre-fix: abort fan-out mid-write"
+        }
+        .to_string(),
+        match outcome {
+            Ok(()) => "ok".to_string(),
+            Err(e) => format!("error: {e}"),
+        },
+        rf.stats().failovers.to_string(),
+        live.to_string(),
+        format!("{live_new}/{live_total}"),
+        if diverged { "DIVERGED" } else { "consistent" }.to_string(),
+        repaired,
+    ]
+}
+
+/// One lossy-RPC run; returns a report row.
+fn lossy_case(drop_pm: u16, dup_pm: u16) -> Vec<String> {
+    let clock = SimClock::new();
+    let replicas = (0..3).map(|_| replica(&clock)).collect();
+    let mut rf = ReplicatedRpcFiles::new(
+        replicas,
+        ReplicationConfig::default(),
+        NetConfig::lossy(f64::from(drop_pm) / 1000.0, f64::from(dup_pm) / 1000.0, 17),
+    );
+    rf.set_max_attempts(64);
+
+    let fid = rf.create(ServiceType::Basic).unwrap();
+    rf.open(fid).unwrap();
+    let mut intact = true;
+    for i in 0..120u64 {
+        let payload = i.to_le_bytes();
+        rf.write(fid, (i % 32) * 8, &payload).unwrap();
+        if i % 3 == 0 {
+            let got = rf.read(fid, (i % 32) * 8, 8).unwrap();
+            intact &= got == payload;
+        }
+    }
+    let s = rf.rpc_stats();
+    vec![
+        format!(
+            "{:.1}% / {:.1}%",
+            f64::from(drop_pm) / 10.0,
+            f64::from(dup_pm) / 10.0
+        ),
+        s.calls.to_string(),
+        s.retries.to_string(),
+        s.replayed.to_string(),
+        s.peak_entries.to_string(),
+        s.backoff_us.to_string(),
+        rf.live_replicas().to_string(),
+        if intact && rf.live_replicas() == 3 {
+            "intact"
+        } else {
+            "LOST"
+        }
+        .to_string(),
+    ]
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut a = Table::new(&[
+        "write path",
+        "write outcome",
+        "failovers",
+        "live",
+        "applied (live)",
+        "live replicas",
+        "after repair",
+    ]);
+    a.row_owned(torn_write_case(true));
+    a.row_owned(torn_write_case(false));
+
+    let mut b = Table::new(&[
+        "loss / dup",
+        "rpcs",
+        "retries",
+        "replayed",
+        "peak replies held",
+        "backoff us",
+        "live",
+        "data",
+    ]);
+    for (drop_pm, dup_pm) in [(0, 0), (50, 50), (150, 150), (300, 300)] {
+        b.row_owned(lossy_case(drop_pm, dup_pm));
+    }
+
+    let mut out = String::from("torn write on replica 1 of 3 (write-through):\n");
+    out.push_str(&a.render());
+    out.push_str("\n120 replicated writes over lossy channels (3 replicas, seed 17):\n");
+    out.push_str(&b.render());
+    out.push_str(
+        "\npaper: replica failure does not stop the system (S3) and servers stay\n\
+         nearly stateless (S4): the fixed write path masks the fault and resync\n\
+         returns the replica byte-identical, while under loss and duplication\n\
+         every write commits exactly once and no server ever holds more than\n\
+         the in-flight window of recorded replies.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fixed_path_masks_faults_and_rpc_state_stays_bounded() {
+        let report = super::run();
+        let fixed_row = report
+            .lines()
+            .find(|l| l.contains("fixed: fail over"))
+            .expect("fixed row present");
+        assert!(
+            fixed_row.contains("ok"),
+            "fixed write must succeed:\n{report}"
+        );
+        assert!(
+            fixed_row.contains("consistent") && fixed_row.contains("byte-identical"),
+            "fixed path must keep replicas consistent:\n{report}"
+        );
+        let prefix_row = report
+            .lines()
+            .find(|l| l.contains("pre-fix"))
+            .expect("ablation row present");
+        assert!(
+            prefix_row.contains("DIVERGED"),
+            "the ablation must exhibit the divergence bug:\n{report}"
+        );
+        assert!(!report.contains("LOST"), "lossy sweep lost data:\n{report}");
+        assert!(
+            !report.contains("STILL DIVERGED"),
+            "resync failed to restore byte identity:\n{report}"
+        );
+        // The "nearly stateless" bound: one synchronous client per
+        // channel means at most one recorded reply per server.
+        for line in report.lines().filter(|l| l.contains('%')) {
+            let peak: u64 = line
+                .split_whitespace()
+                .nth(6)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(99);
+            assert!(peak <= 1, "unbounded replay state: {line}");
+        }
+    }
+}

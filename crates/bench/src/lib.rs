@@ -5,7 +5,7 @@
 //! reliability *claims* stated in prose. This crate regenerates each of
 //! them:
 //!
-//! * [`experiments`] — one module per experiment E1–E16 from
+//! * [`experiments`] — one module per experiment E1–E17 from
 //!   `EXPERIMENTS.md`, each with a `run() -> String` that executes the
 //!   workload, measures the claim's quantities on the simulated facility,
 //!   and prints a paper-style table;
@@ -97,6 +97,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e16",
             "Event-driven transaction agent lifecycle",
             e16_agent_lifecycle::run,
+        ),
+        (
+            "e17",
+            "Replica failover, resync, and lossy-RPC replication",
+            e17_replication_failover::run,
         ),
     ]
 }

@@ -1401,6 +1401,28 @@ impl FileService {
         Ok(())
     }
 
+    /// Restores the in-memory open count of `fid` after recovery without
+    /// touching the on-disk FIT. Used by the replication service when a
+    /// resynchronised replica rejoins: the platter image copied from the
+    /// live source already carries the source's persisted attributes, so
+    /// re-`open`ing (which persists) would needlessly diverge the images;
+    /// only the volatile reference count — which [`Self::recover`] zeroes
+    /// — needs to be put back.
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::NotFound`] if the file does not exist.
+    pub fn restore_open_count(&mut self, fid: FileId, count: u32) -> Result<(), FileServiceError> {
+        self.load_fit(fid)?;
+        self.fits
+            .get_mut(&fid)
+            .expect("just loaded")
+            .fit
+            .attrs
+            .ref_count = count;
+        Ok(())
+    }
+
     /// Simulates a file-server crash: all volatile state (block pool,
     /// cached FITs, directory map) is lost; dirty cached data is gone.
     pub fn simulate_crash(&mut self) {

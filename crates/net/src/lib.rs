@@ -186,6 +186,61 @@ impl SimNetwork {
     }
 }
 
+/// Exponential-backoff policy applied between RPC retries.
+///
+/// A blind tight retry loop floods an already lossy channel; real RPC
+/// stacks (and the failover designs in the related literature) space
+/// retries out exponentially with randomised jitter so concurrent
+/// clients do not resynchronise into retry storms. Delays are charged to
+/// the simulation's [`SimClock`], so retry cost shows up in virtual time
+/// exactly like disk seeks and message transit do.
+///
+/// The `n`-th retry waits `min(cap_us, base_us * 2^(n-1))` microseconds,
+/// "equal-jitter" randomised into `[delay/2, delay]` with the client's
+/// own deterministic RNG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Nominal delay before the first retry, virtual microseconds.
+    pub base_us: u64,
+    /// Ceiling on any single retry delay.
+    pub cap_us: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        Self {
+            base_us: 500,
+            cap_us: 64_000,
+        }
+    }
+}
+
+impl BackoffConfig {
+    /// The jittered delay of the `nth_retry`-th retry (1-based), drawn
+    /// from `rng`.
+    fn delay_us(&self, nth_retry: u32, rng: &mut StdRng) -> u64 {
+        let shift = (nth_retry - 1).min(32);
+        let nominal = self
+            .base_us
+            .saturating_mul(1u64 << shift)
+            .min(self.cap_us)
+            .max(1);
+        let half = nominal / 2;
+        half + rng.gen_range(0..=nominal - half)
+    }
+}
+
+/// Counters of one client's RPC behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RpcClientStats {
+    /// Logical operations issued.
+    pub calls: u64,
+    /// Extra attempts beyond the first (request or reply leg lost).
+    pub retries: u64,
+    /// Total virtual time spent backing off between attempts.
+    pub backoff_us: u64,
+}
+
 /// Error returned when every retry of an RPC was lost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RpcExhausted {
@@ -207,19 +262,33 @@ impl Error for RpcExhausted {}
 pub struct RpcClient {
     client_id: u64,
     next_seq: u64,
+    rng: StdRng,
+    stats: RpcClientStats,
     /// Attempts per call before giving up (original + retries).
     pub max_attempts: u32,
+    /// Retry spacing; `None` retries back-to-back (the pre-backoff
+    /// behaviour, kept for ablations).
+    pub backoff: Option<BackoffConfig>,
 }
 
 impl RpcClient {
     /// Creates a client with identity `client_id` (part of the request-id
-    /// space so ids never collide across clients).
+    /// space so ids never collide across clients). Retries back off
+    /// exponentially by default.
     pub fn new(client_id: u64) -> Self {
         Self {
             client_id,
             next_seq: 1,
+            rng: StdRng::seed_from_u64(client_id ^ 0x9E37_79B9_7F4A_7C15),
+            stats: RpcClientStats::default(),
             max_attempts: 16,
+            backoff: Some(BackoffConfig::default()),
         }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> RpcClientStats {
+        self.stats
     }
 
     /// Performs one logical operation through `net`. The `server` closure
@@ -235,12 +304,46 @@ impl RpcClient {
     where
         F: FnMut(RequestId) -> Vec<u8>,
     {
+        self.call_with_ack(net, |req_id, _| server(req_id))
+    }
+
+    /// Like [`Self::call`], but each request also piggybacks the lowest
+    /// sequence number still in flight for this client (here: the request's
+    /// own, because calls are synchronous — every earlier operation has
+    /// completed). The server passes it to [`ReplayCache::execute_acked`],
+    /// which prunes replies for acknowledged requests so server-side
+    /// replay state stays bounded by the in-flight window ("'nearly'
+    /// stateless", §3).
+    ///
+    /// # Errors
+    ///
+    /// [`RpcExhausted`] if `max_attempts` exchanges were all lost.
+    pub fn call_with_ack<F>(
+        &mut self,
+        net: &mut SimNetwork,
+        mut server: F,
+    ) -> Result<Vec<u8>, RpcExhausted>
+    where
+        F: FnMut(RequestId, u64) -> Vec<u8>,
+    {
         let req_id = RequestId {
             client: self.client_id,
             seq: self.next_seq,
         };
         self.next_seq += 1;
+        self.stats.calls += 1;
+        let min_live_seq = req_id.seq;
         for attempt in 1..=self.max_attempts {
+            if attempt > 1 {
+                // A lost leg means the channel (or server) is struggling:
+                // space the retry out instead of hammering.
+                self.stats.retries += 1;
+                if let Some(cfg) = self.backoff {
+                    let delay = cfg.delay_us(attempt - 1, &mut self.rng);
+                    net.clock().advance(delay);
+                    self.stats.backoff_us += delay;
+                }
+            }
             // Request leg.
             let copies = match net.transmit() {
                 Delivery::Delivered { copies } => copies,
@@ -248,15 +351,12 @@ impl RpcClient {
             };
             let mut reply = Vec::new();
             for _ in 0..copies {
-                reply = server(req_id);
+                reply = server(req_id, min_live_seq);
             }
             // Reply leg.
             match net.transmit() {
                 Delivery::Delivered { .. } => return Ok(reply),
-                Delivery::Lost => {
-                    let _ = attempt;
-                    continue;
-                }
+                Delivery::Lost => continue,
             }
         }
         Err(RpcExhausted {
@@ -287,6 +387,9 @@ pub struct ReplayStats {
     pub executed: u64,
     /// Duplicate requests answered from the cache.
     pub replayed: u64,
+    /// High-water mark of recorded replies — the "nearly stateless" claim
+    /// is that piggybacked acks keep this bounded by the in-flight window.
+    pub peak_entries: u64,
 }
 
 /// Server half of the idempotency machinery: "information about all past
@@ -317,7 +420,20 @@ impl ReplayCache {
         self.stats.executed += 1;
         let reply = op();
         self.replies.insert(req_id, reply.clone());
+        self.stats.peak_entries = self.stats.peak_entries.max(self.replies.len() as u64);
         reply
+    }
+
+    /// [`Self::execute`] preceded by pruning this client's acknowledged
+    /// requests: `min_live_seq` is the lowest sequence number the client
+    /// still has in flight (piggybacked on the request by
+    /// [`RpcClient::call_with_ack`]), so everything older can be forgotten.
+    pub fn execute_acked<F>(&mut self, req_id: RequestId, min_live_seq: u64, op: F) -> Vec<u8>
+    where
+        F: FnOnce() -> Vec<u8>,
+    {
+        self.prune(req_id.client, min_live_seq);
+        self.execute(req_id, op)
     }
 
     /// Statistics so far.
@@ -445,6 +561,10 @@ mod tests {
 mod more_tests {
     use super::*;
 
+    fn net(drop: f64, dup: f64, seed: u64) -> SimNetwork {
+        SimNetwork::new(SimClock::new(), NetConfig::lossy(drop, dup, seed))
+    }
+
     #[test]
     fn request_id_display() {
         let id = RequestId { client: 3, seq: 9 };
@@ -484,6 +604,86 @@ mod more_tests {
         c.execute(RequestId { client: 1, seq: 1 }, || vec![1]);
         assert!(!c.is_empty());
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn retries_back_off_on_the_sim_clock() {
+        // Same loss pattern with and without backoff: the backoff client
+        // must spend extra virtual time between attempts, and report it.
+        let clock_tight = SimClock::new();
+        let mut tight_net = SimNetwork::new(clock_tight.clone(), NetConfig::lossy(0.5, 0.0, 11));
+        let mut tight = RpcClient::new(4);
+        tight.backoff = None;
+
+        let clock_spaced = SimClock::new();
+        let mut spaced_net = SimNetwork::new(clock_spaced.clone(), NetConfig::lossy(0.5, 0.0, 11));
+        let mut spaced = RpcClient::new(4);
+        assert!(spaced.backoff.is_some(), "backoff is the default");
+
+        let mut cache_a = ReplayCache::new();
+        let mut cache_b = ReplayCache::new();
+        for _ in 0..30 {
+            tight
+                .call(&mut tight_net, |rid| cache_a.execute(rid, Vec::new))
+                .unwrap();
+            spaced
+                .call(&mut spaced_net, |rid| cache_b.execute(rid, Vec::new))
+                .unwrap();
+        }
+        // Identical seeds → identical transmission fates → same retries.
+        assert_eq!(tight.stats().retries, spaced.stats().retries);
+        assert!(spaced.stats().retries > 0, "seed 11 must force retries");
+        assert_eq!(tight.stats().backoff_us, 0);
+        assert!(spaced.stats().backoff_us > 0);
+        assert_eq!(
+            clock_spaced.now_us(),
+            clock_tight.now_us() + spaced.stats().backoff_us,
+            "backoff time is charged to the virtual clock"
+        );
+    }
+
+    #[test]
+    fn backoff_delays_grow_exponentially_and_cap() {
+        let cfg = BackoffConfig {
+            base_us: 100,
+            cap_us: 1_000,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut prev_nominal = 0;
+        for nth in 1..=8u32 {
+            let d = cfg.delay_us(nth, &mut rng);
+            let nominal = (100u64 << (nth - 1)).min(1_000);
+            assert!(d >= nominal / 2 && d <= nominal, "retry {nth}: {d}");
+            assert!(nominal >= prev_nominal);
+            prev_nominal = nominal;
+        }
+        // Far past the cap the shift must not overflow.
+        assert!(cfg.delay_us(60, &mut rng) <= 1_000);
+    }
+
+    #[test]
+    fn piggybacked_acks_bound_replay_state() {
+        let mut n = net(0.3, 0.3, 5);
+        let mut client = RpcClient::new(9);
+        client.max_attempts = 64;
+        let mut cache = ReplayCache::new();
+        let mut counter = 0u64;
+        for _ in 0..1_000u64 {
+            client
+                .call_with_ack(&mut n, |rid, ack| {
+                    cache.execute_acked(rid, ack, || {
+                        counter += 1;
+                        counter.to_le_bytes().to_vec()
+                    })
+                })
+                .expect("attempts exhausted");
+            // One synchronous call in flight → at most its own entry
+            // survives each prune.
+            assert!(cache.len() <= 1, "cache grew to {}", cache.len());
+        }
+        assert_eq!(counter, 1_000, "still exactly-once under pruning");
+        assert!(cache.stats().peak_entries <= 1);
+        assert!(cache.stats().replayed > 0, "seed 5 must duplicate");
     }
 
     #[test]

@@ -43,8 +43,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod rpc;
+
 use rhodos_file_service::{FileAttributes, FileId, FileService, FileServiceError, ServiceType};
-use std::collections::HashSet;
+use rhodos_simdisk::{SectorAddr, SimDisk};
+
+pub use rpc::{ReplicatedRpcFiles, RpcReplicationStats};
 
 /// Tunables of the replication service.
 #[derive(Debug, Clone, Copy)]
@@ -52,12 +56,20 @@ pub struct ReplicationConfig {
     /// Spread reads round-robin over live replicas (false: always the
     /// lowest-numbered live replica).
     pub read_round_robin: bool,
+    /// Mask device faults during write-all: the faulty replica is marked
+    /// failed and the mutation continues on the remaining live replicas,
+    /// exactly as the read path fails over. `false` reproduces the
+    /// pre-fix behaviour — the fan-out aborts at the first fault, after
+    /// earlier replicas already applied the mutation — kept only for the
+    /// E17 ablation.
+    pub write_failover: bool,
 }
 
 impl Default for ReplicationConfig {
     fn default() -> Self {
         Self {
             read_round_robin: true,
+            write_failover: true,
         }
     }
 }
@@ -67,20 +79,26 @@ impl Default for ReplicationConfig {
 pub struct ReplicationStats {
     /// Reads served per replica.
     pub reads_per_replica: Vec<u64>,
-    /// Read failovers (a replica faulted mid-read).
+    /// Failovers: a replica faulted mid-read or mid-write (or became
+    /// unreachable over RPC) and was masked out of the live set.
     pub failovers: u64,
     /// Replicas resynchronised.
     pub resyncs: u64,
     /// Writes suppressed because a replica was marked failed.
     pub writes_skipped: u64,
+    /// Sectors copied onto returning replicas by [`ReplicatedFiles::resync`].
+    pub resync_sectors_copied: u64,
 }
 
 /// Errors returned by the replication service.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ReplicationError {
-    /// Every replica failed the operation.
+    /// Every replica failed the operation on this file.
     AllReplicasFailed(FileId),
+    /// No live replica exists to serve an operation that is not tied to
+    /// one file (`create`, or finding a resync source).
+    NoLiveReplicas,
     /// The replica index is out of range.
     NoSuchReplica(usize),
     /// Replica file-id allocation diverged (internal invariant violated).
@@ -95,11 +113,19 @@ impl std::fmt::Display for ReplicationError {
             ReplicationError::AllReplicasFailed(fid) => {
                 write!(f, "every replica failed operating on {fid}")
             }
+            ReplicationError::NoLiveReplicas => write!(f, "no live replica"),
             ReplicationError::NoSuchReplica(i) => write!(f, "no replica {i}"),
             ReplicationError::Diverged => write!(f, "replica state diverged"),
             ReplicationError::File(e) => write!(f, "file service failure: {e}"),
         }
     }
+}
+
+/// Whether `e` indicates a fault of the replica's machine or media (fail
+/// over to another replica) rather than a semantic error that every
+/// replica would return identically (propagate to the caller).
+pub(crate) fn is_device_fault(e: &FileServiceError) -> bool {
+    matches!(e, FileServiceError::Disk(_) | FileServiceError::Corrupt(_))
 }
 
 impl std::error::Error for ReplicationError {
@@ -120,14 +146,18 @@ impl From<FileServiceError> for ReplicationError {
 /// Primary-copy replicated files over N file services.
 #[derive(Debug)]
 pub struct ReplicatedFiles {
-    replicas: Vec<FileService>,
-    failed: Vec<bool>,
-    next_read: usize,
-    config: ReplicationConfig,
-    stats: ReplicationStats,
+    pub(crate) replicas: Vec<FileService>,
+    pub(crate) failed: Vec<bool>,
+    /// Absolute index of the replica that served the last read. Stored as
+    /// a *replica* index, not an index into the live subset: the live set
+    /// shrinks and grows across failovers and resyncs, and an index into
+    /// it would skew the rotation every time it changed.
+    pub(crate) last_read: usize,
+    pub(crate) config: ReplicationConfig,
+    pub(crate) stats: ReplicationStats,
     /// Logical open counts, restored onto a replica after resync (a
     /// recovered replica loses its volatile reference counts).
-    open_counts: std::collections::HashMap<FileId, u32>,
+    pub(crate) open_counts: std::collections::HashMap<FileId, u32>,
 }
 
 impl ReplicatedFiles {
@@ -142,7 +172,9 @@ impl ReplicatedFiles {
         Self {
             replicas,
             failed: vec![false; n],
-            next_read: 0,
+            // One before replica 0 in the rotation, so the first
+            // round-robin read lands on replica 0.
+            last_read: n - 1,
             config,
             stats: ReplicationStats {
                 reads_per_replica: vec![0; n],
@@ -160,6 +192,15 @@ impl ReplicatedFiles {
     /// Number of replicas currently live.
     pub fn live_replicas(&self) -> usize {
         self.failed.iter().filter(|f| !**f).count()
+    }
+
+    /// Whether replica `i` is currently masked out of the live set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn is_failed(&self, i: usize) -> bool {
+        self.failed[i]
     }
 
     /// Statistics so far.
@@ -201,31 +242,57 @@ impl ReplicatedFiles {
     }
 
     /// Applies a mutation to every live replica ("write-all").
+    ///
+    /// A replica that faults on its device mid-fan-out is marked failed
+    /// and the mutation continues on the remaining live replicas — the
+    /// write-path mirror of the read path's failover. Aborting instead
+    /// (the pre-fix behaviour, `write_failover: false`) *creates*
+    /// divergence: earlier replicas have applied the mutation, the faulty
+    /// one has not, and nothing records that it is now stale. The call
+    /// errors only when **no** replica applied the mutation.
     fn write_all<T: PartialEq + std::fmt::Debug>(
         &mut self,
+        fid: Option<FileId>,
         mut op: impl FnMut(&mut FileService) -> Result<T, FileServiceError>,
     ) -> Result<T, ReplicationError> {
         let mut result: Option<T> = None;
-        let mut any = false;
+        let mut last_device_err: Option<FileServiceError> = None;
         for i in 0..self.replicas.len() {
             if self.failed[i] {
                 self.stats.writes_skipped += 1;
                 continue;
             }
-            let r = op(&mut self.replicas[i])?;
-            if let Some(prev) = &result {
-                if *prev != r {
-                    return Err(ReplicationError::Diverged);
+            match op(&mut self.replicas[i]) {
+                Ok(r) => {
+                    if let Some(prev) = &result {
+                        if *prev != r {
+                            return Err(ReplicationError::Diverged);
+                        }
+                    } else {
+                        result = Some(r);
+                    }
                 }
-            } else {
-                result = Some(r);
+                Err(e) if is_device_fault(&e) && self.config.write_failover => {
+                    // Device fault: mask the replica out and keep going —
+                    // it will be brought back by resync.
+                    self.failed[i] = true;
+                    self.stats.failovers += 1;
+                    last_device_err = Some(e);
+                }
+                // Semantic error: replicas are in lock-step, so every
+                // replica would answer the same — propagate. (None has
+                // mutated: semantic checks precede mutation.)
+                Err(e) => return Err(ReplicationError::File(e)),
             }
-            any = true;
         }
-        if !any {
-            return Err(ReplicationError::AllReplicasFailed(FileId(0)));
+        match result {
+            Some(r) => Ok(r),
+            None => Err(match (last_device_err, fid) {
+                (Some(e), _) => ReplicationError::File(e),
+                (None, Some(fid)) => ReplicationError::AllReplicasFailed(fid),
+                (None, None) => ReplicationError::NoLiveReplicas,
+            }),
         }
-        Ok(result.expect("at least one replica executed"))
     }
 
     /// `create` on every replica; identifiers are allocated in lock-step.
@@ -235,7 +302,7 @@ impl ReplicatedFiles {
     /// Propagates replica failures; [`ReplicationError::Diverged`] if the
     /// replicas returned different identifiers.
     pub fn create(&mut self, st: ServiceType) -> Result<FileId, ReplicationError> {
-        self.write_all(|fs| fs.create(st))
+        self.write_all(None, |fs| fs.create(st))
     }
 
     /// Opens `fid` on every live replica.
@@ -244,7 +311,7 @@ impl ReplicatedFiles {
     ///
     /// Replica failures.
     pub fn open(&mut self, fid: FileId) -> Result<(), ReplicationError> {
-        self.write_all(|fs| fs.open(fid))?;
+        self.write_all(Some(fid), |fs| fs.open(fid))?;
         *self.open_counts.entry(fid).or_insert(0) += 1;
         Ok(())
     }
@@ -255,7 +322,7 @@ impl ReplicatedFiles {
     ///
     /// Replica failures.
     pub fn close(&mut self, fid: FileId) -> Result<(), ReplicationError> {
-        self.write_all(|fs| fs.close(fid))?;
+        self.write_all(Some(fid), |fs| fs.close(fid))?;
         if let Some(c) = self.open_counts.get_mut(&fid) {
             *c = c.saturating_sub(1);
             if *c == 0 {
@@ -271,7 +338,7 @@ impl ReplicatedFiles {
     ///
     /// Replica failures.
     pub fn delete(&mut self, fid: FileId) -> Result<(), ReplicationError> {
-        self.write_all(|fs| fs.delete(fid))
+        self.write_all(Some(fid), |fs| fs.delete(fid))
     }
 
     /// Writes through to every live replica ("write-all").
@@ -280,7 +347,7 @@ impl ReplicatedFiles {
     ///
     /// Replica failures.
     pub fn write(&mut self, fid: FileId, offset: u64, data: &[u8]) -> Result<(), ReplicationError> {
-        self.write_all(|fs| fs.write(fid, offset, data))
+        self.write_all(Some(fid), |fs| fs.write(fid, offset, data))
     }
 
     /// Attributes from one live replica.
@@ -308,26 +375,28 @@ impl ReplicatedFiles {
         offset: u64,
         len: usize,
     ) -> Result<Vec<u8>, ReplicationError> {
-        let live = self.live_indices();
-        if live.is_empty() {
-            return Err(ReplicationError::AllReplicasFailed(fid));
-        }
-        // Choose a starting replica.
+        let n = self.replicas.len();
+        // Rotate from the replica after the last one that served a read
+        // (absolute index, so the rotation is even regardless of which
+        // replicas are currently failed).
         let start = if self.config.read_round_robin {
-            self.next_read = (self.next_read + 1) % live.len();
-            self.next_read
+            (self.last_read + 1) % n
         } else {
             0
         };
         let mut last_err: Option<FileServiceError> = None;
-        for k in 0..live.len() {
-            let i = live[(start + k) % live.len()];
+        for k in 0..n {
+            let i = (start + k) % n;
+            if self.failed[i] {
+                continue;
+            }
             match self.replicas[i].read(fid, offset, len) {
                 Ok(data) => {
                     self.stats.reads_per_replica[i] += 1;
+                    self.last_read = i;
                     return Ok(data);
                 }
-                Err(e @ FileServiceError::Disk(_)) => {
+                Err(e) if is_device_fault(&e) => {
                     // Device fault: fail over and remember the suspect.
                     self.failed[i] = true;
                     self.stats.failovers += 1;
@@ -342,13 +411,27 @@ impl ReplicatedFiles {
         }
     }
 
-    /// Repairs and resynchronises replica `i` from the first live replica:
-    /// disks are recovered, then every file is copied over. The replica
-    /// rejoins the write set afterwards.
+    /// Repairs and resynchronises replica `i` from the first other live
+    /// replica, then rejoins it to the write set.
+    ///
+    /// The resync is **physical**: the source flushes its dirty state,
+    /// every sector of the returning replica's disks (main storage and
+    /// stable mirrors) that differs from the source — or is marked bad —
+    /// is re-copied in coalesced runs, and the replica rebuilds its
+    /// volatile state from the repaired platters with
+    /// [`FileService::recover`]. Afterwards the replica's disk images are
+    /// byte-identical to the source's, whatever the divergence was: a
+    /// missed write, a torn sector, a file it never saw created, or
+    /// structures scrambled beyond what a logical per-file copy could
+    /// reconcile. Logical open counts (volatile, lost in the crash) are
+    /// restored last so `close`/`delete` sequencing keeps working.
     ///
     /// # Errors
     ///
-    /// Fails if recovery or the copy fails, or if `i` is the only replica.
+    /// [`ReplicationError::NoLiveReplicas`] when no other live replica
+    /// can act as the source; device faults of either side propagate (a
+    /// bad *source* sector fails the copy rather than propagating
+    /// garbage).
     pub fn resync(&mut self, i: usize) -> Result<(), ReplicationError> {
         if i >= self.replicas.len() {
             return Err(ReplicationError::NoSuchReplica(i));
@@ -357,43 +440,110 @@ impl ReplicatedFiles {
             .live_indices()
             .into_iter()
             .find(|&j| j != i)
-            .ok_or(ReplicationError::AllReplicasFailed(FileId(0)))?;
-        // Recover the returning replica's own durable state first.
-        self.replicas[i].recover()?;
-        // Copy file contents from the source of truth.
-        let fids: Vec<FileId> = self.replicas[src].file_ids();
-        let target_fids: HashSet<FileId> = self.replicas[i].file_ids().into_iter().collect();
-        for fid in &fids {
-            let size = self.replicas[src].get_attribute(*fid)?.size;
-            self.replicas[src].open(*fid)?;
-            let data = if size > 0 {
-                self.replicas[src].read(*fid, 0, size as usize)?
-            } else {
-                Vec::new()
-            };
-            self.replicas[src].close(*fid)?;
-            if !target_fids.contains(fid) {
-                // Structure diverged beyond data: full rebuild is out of
-                // scope for a data resync.
+            .ok_or(ReplicationError::NoLiveReplicas)?;
+        let mut copied = 0u64;
+        {
+            let (src_fs, dst_fs) = two_mut(&mut self.replicas, src, i);
+            // The source of truth must be on its platters before a
+            // physical copy — including stable-storage writes still
+            // queued for the second mirror.
+            src_fs.flush_all()?;
+            for d in 0..src_fs.disk_count() {
+                if let Some(stable) = src_fs.disk_mut(d).stable_mut() {
+                    stable.flush_deferred().map_err(wrap_disk_err)?;
+                }
+            }
+            if src_fs.disk_count() != dst_fs.disk_count() {
                 return Err(ReplicationError::Diverged);
             }
-            self.replicas[i].open(*fid)?;
-            if !data.is_empty() {
-                self.replicas[i].write(*fid, 0, &data)?;
+            for d in 0..src_fs.disk_count() {
+                copied += copy_divergent_sectors(
+                    src_fs.disk_mut(d).disk_mut(),
+                    dst_fs.disk_mut(d).disk_mut(),
+                )?;
+                match (
+                    src_fs.disk_mut(d).stable_mut(),
+                    dst_fs.disk_mut(d).stable_mut(),
+                ) {
+                    (Some(s), Some(t)) => {
+                        copied += copy_divergent_sectors(s.mirror_a_mut(), t.mirror_a_mut())?;
+                        copied += copy_divergent_sectors(s.mirror_b_mut(), t.mirror_b_mut())?;
+                    }
+                    (None, None) => {}
+                    _ => return Err(ReplicationError::Diverged),
+                }
             }
-            self.replicas[i].flush_file(*fid)?;
-            self.replicas[i].close(*fid)?;
         }
+        self.stats.resync_sectors_copied += copied;
+        // Rebuild the returning replica's volatile state (directory map,
+        // FITs, allocation bitmaps, caches) from the copied platters.
+        self.replicas[i].simulate_crash();
+        self.replicas[i].recover()?;
         // Restore the logical open state the recovered replica lost.
+        // In-memory only: the copied platters already hold the source's
+        // persisted attributes, and a re-`open` would stamp fresh stable
+        // sequence numbers, breaking byte-identity with the source.
         for (fid, count) in &self.open_counts {
-            for _ in 0..*count {
-                self.replicas[i].open(*fid)?;
-            }
+            self.replicas[i].restore_open_count(*fid, *count)?;
         }
         self.failed[i] = false;
         self.stats.resyncs += 1;
         Ok(())
     }
+}
+
+/// Disjoint `&mut` to two distinct elements of a slice.
+fn two_mut<T>(v: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+    assert_ne!(a, b, "resync source must differ from the target");
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+/// Copies every sector of `dst` that differs from `src` (or is marked as
+/// a media fault on `dst`), coalescing adjacent sectors into runs so one
+/// run costs one disk reference per side. Returns sectors copied.
+///
+/// Reads go through the source's normal fault-checked path — resyncing
+/// from a source with its own media faults fails loudly instead of
+/// propagating garbage. Writes heal the target's bad sectors via the
+/// simulator's spare-sector remapping, and the target is power-cycled
+/// (`repair`) first so a crashed disk accepts the copy.
+fn copy_divergent_sectors(src: &mut SimDisk, dst: &mut SimDisk) -> Result<u64, ReplicationError> {
+    let total = src.geometry().total_sectors();
+    if dst.geometry().total_sectors() != total {
+        return Err(ReplicationError::Diverged);
+    }
+    dst.repair();
+    let mut runs: Vec<(SectorAddr, u64)> = Vec::new();
+    for s in 0..total {
+        let needs_copy = dst.faults().is_bad(s)
+            || src.peek_sector(s).expect("in range") != dst.peek_sector(s).expect("in range");
+        if needs_copy {
+            match runs.last_mut() {
+                Some((start, len)) if *start + *len == s => *len += 1,
+                _ => runs.push((s, 1)),
+            }
+        }
+    }
+    let mut copied = 0u64;
+    for (start, len) in runs {
+        let data = src.read_sectors(start, len).map_err(wrap_disk_err)?;
+        dst.write_sectors(start, data.as_slice())
+            .map_err(wrap_disk_err)?;
+        copied += len;
+    }
+    Ok(copied)
+}
+
+fn wrap_disk_err(e: rhodos_simdisk::DiskError) -> ReplicationError {
+    ReplicationError::File(FileServiceError::Disk(
+        rhodos_disk_service::DiskServiceError::Disk(e),
+    ))
 }
 
 #[cfg(test)]
@@ -549,6 +699,7 @@ mod more_tests {
             vec![mk(), mk()],
             ReplicationConfig {
                 read_round_robin: false,
+                ..ReplicationConfig::default()
             },
         )
     }
@@ -606,7 +757,129 @@ mod more_tests {
         rf.mark_failed(1).unwrap();
         assert!(matches!(
             rf.resync(0),
-            Err(ReplicationError::AllReplicasFailed(_))
+            Err(ReplicationError::NoLiveReplicas)
         ));
+    }
+
+    #[test]
+    fn round_robin_stays_even_while_a_replica_is_out() {
+        // The old implementation stored the rotation cursor modulo the
+        // *live-set length*, so the distribution skewed (and replica 0 was
+        // skipped first) whenever the live set changed size. The cursor is
+        // an absolute replica index now: with replica 1 of 3 failed the
+        // remaining two must split reads evenly, and after resync all
+        // three rotate again.
+        let clock = SimClock::new();
+        let mk = || {
+            FileService::single_disk(
+                DiskGeometry::medium(),
+                LatencyModel::instant(),
+                clock.clone(),
+                FileServiceConfig::default(),
+            )
+            .unwrap()
+        };
+        let mut rf = ReplicatedFiles::new(vec![mk(), mk(), mk()], ReplicationConfig::default());
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.open(fid).unwrap();
+        rf.write(fid, 0, b"spread").unwrap();
+        rf.mark_failed(1).unwrap();
+        for _ in 0..12 {
+            rf.read(fid, 0, 6).unwrap();
+        }
+        assert_eq!(rf.stats().reads_per_replica, vec![6, 0, 6]);
+        rf.resync(1).unwrap();
+        for _ in 0..12 {
+            rf.read(fid, 0, 6).unwrap();
+        }
+        let spread = rf.stats().reads_per_replica.clone();
+        assert_eq!(spread, vec![10, 4, 10]);
+    }
+
+    /// A pair with write-through caching: mutations reach the platters
+    /// inside the `write` call, so injected device faults surface there
+    /// (with the default delayed-write policy they surface at flush).
+    fn write_through_pair(write_failover: bool) -> ReplicatedFiles {
+        let clock = SimClock::new();
+        let mk = || {
+            FileService::single_disk(
+                DiskGeometry::medium(),
+                LatencyModel::instant(),
+                clock.clone(),
+                FileServiceConfig {
+                    write_policy: rhodos_file_service::WritePolicy::WriteThrough,
+                    ..FileServiceConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        ReplicatedFiles::new(
+            vec![mk(), mk()],
+            ReplicationConfig {
+                write_failover,
+                ..ReplicationConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn write_fault_fails_over_instead_of_diverging() {
+        // Replica 0's next sector write tears mid-write: with failover the
+        // mutation still lands on replica 1, replica 0 is masked out, and
+        // the caller sees success.
+        let mut rf = write_through_pair(true);
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.open(fid).unwrap();
+        rf.write(fid, 0, b"seed data").unwrap();
+        rf.replica_mut(0)
+            .disk_mut(0)
+            .disk_mut()
+            .faults_mut()
+            .crash_after_sector_writes(0);
+        rf.write(fid, 0, b"new value").unwrap();
+        assert_eq!(rf.stats().failovers, 1);
+        assert_eq!(rf.live_replicas(), 1);
+        assert_eq!(rf.read(fid, 0, 9).unwrap(), b"new value");
+    }
+
+    #[test]
+    fn without_write_failover_the_old_abort_behaviour_remains() {
+        // The E17 ablation switch: a device fault mid-fan-out aborts the
+        // write and leaves the faulty replica in the live set (the bug).
+        let mut rf = write_through_pair(false);
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.open(fid).unwrap();
+        rf.write(fid, 0, b"seed data").unwrap();
+        rf.replica_mut(0)
+            .disk_mut(0)
+            .disk_mut()
+            .faults_mut()
+            .crash_after_sector_writes(0);
+        assert!(rf.write(fid, 0, b"new value").is_err());
+        assert_eq!(rf.live_replicas(), 2, "faulty replica not masked");
+        assert_eq!(rf.stats().failovers, 0);
+    }
+
+    #[test]
+    fn resync_restores_open_counts_for_close_and_delete() {
+        // A recovered replica loses its volatile reference counts; resync
+        // must restore them or the next cluster-wide close/delete would
+        // hit NotOpen on the rejoined replica and wrongly propagate.
+        let mut rf = pair();
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.open(fid).unwrap();
+        rf.open(fid).unwrap(); // ref_count 2
+        rf.write(fid, 0, b"counted").unwrap();
+        rf.mark_failed(1).unwrap();
+        rf.write(fid, 0, b"counted!").unwrap();
+        rf.resync(1).unwrap();
+        // Both closes must sequence correctly on the rejoined replica.
+        rf.close(fid).unwrap();
+        rf.close(fid).unwrap();
+        assert_eq!(rf.get_attribute(fid).unwrap().ref_count, 0);
+        rf.delete(fid).unwrap();
+        for i in 0..2 {
+            assert!(!rf.replica_mut(i).exists(fid));
+        }
     }
 }

@@ -1,0 +1,808 @@
+//! Networked replication: [`ReplicatedRpcFiles`] drives every replication
+//! operation through the idempotent RPC machinery of `rhodos-net`.
+//!
+//! In RHODOS the replication service does not share an address space with
+//! the file servers it coordinates — each replica is a file agent on
+//! another machine, reached by message passing over a lossy transport
+//! (§3). This module models that deployment: one [`SimNetwork`] channel,
+//! one [`RpcClient`] and one server-side [`ReplayCache`] per replica. An
+//! operation is encoded to request bytes, retried with exponential
+//! backoff + jitter while the channel loses messages, executed at most
+//! once per request id on the server, and its reply decoded back —
+//! duplicates are answered from the replay cache, and every request
+//! piggybacks an acknowledgement that lets the server prune the cache so
+//! its per-client state stays bounded by the in-flight window ("the
+//! RHODOS file service is 'nearly' stateless", §3).
+//!
+//! Failure handling composes with the write-path failover of
+//! [`ReplicatedFiles`]: a replica whose channel exhausts its retries is
+//! treated exactly like one whose disk faulted — masked out of the live
+//! set, to be brought back by [`ReplicatedRpcFiles::resync`] (which also
+//! models the crash by discarding the replica's volatile replay state).
+
+use crate::{
+    is_device_fault, ReplicatedFiles, ReplicationConfig, ReplicationError, ReplicationStats,
+};
+use rhodos_disk_service::codec::{Decoder, Encoder};
+use rhodos_disk_service::DiskServiceError;
+use rhodos_file_service::{FileAttributes, FileId, FileService, FileServiceError, ServiceType};
+use rhodos_net::{NetConfig, ReplayCache, RpcClient, SimNetwork};
+use rhodos_simdisk::DiskError;
+
+// ---- wire format ------------------------------------------------------
+
+const OP_CREATE: u8 = 1;
+const OP_OPEN: u8 = 2;
+const OP_CLOSE: u8 = 3;
+const OP_DELETE: u8 = 4;
+const OP_WRITE: u8 = 5;
+const OP_READ: u8 = 6;
+const OP_GET_ATTR: u8 = 7;
+
+const REPLY_OK: u8 = 0;
+const REPLY_ERR: u8 = 1;
+
+fn encode_create(st: ServiceType) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u8(OP_CREATE).u8(match st {
+        ServiceType::Basic => 0,
+        ServiceType::Transaction => 1,
+    });
+    e.finish()
+}
+
+fn encode_fid_op(op: u8, fid: FileId) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u8(op).u64(fid.0);
+    e.finish()
+}
+
+fn encode_write(fid: FileId, offset: u64, data: &[u8]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u8(OP_WRITE).u64(fid.0).u64(offset).bytes(data);
+    e.finish()
+}
+
+fn encode_read(fid: FileId, offset: u64, len: usize) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u8(OP_READ).u64(fid.0).u64(offset).u64(len as u64);
+    e.finish()
+}
+
+/// Executes one decoded request against the replica's file service and
+/// encodes the reply. This is the entire server: its only state besides
+/// the files themselves is the replay cache the caller wraps around it.
+fn serve(fs: &mut FileService, req: &[u8]) -> Vec<u8> {
+    let mut d = Decoder::new(req);
+    let op = d.u8().expect("self-generated request");
+    let result: Result<Vec<u8>, FileServiceError> = match op {
+        OP_CREATE => {
+            let st = match d.u8().expect("service type") {
+                0 => ServiceType::Basic,
+                _ => ServiceType::Transaction,
+            };
+            fs.create(st).map(|fid| {
+                let mut e = Encoder::new();
+                e.u64(fid.0);
+                e.finish()
+            })
+        }
+        OP_OPEN => fs.open(FileId(d.u64().expect("fid"))).map(|()| Vec::new()),
+        OP_CLOSE => fs.close(FileId(d.u64().expect("fid"))).map(|()| Vec::new()),
+        OP_DELETE => fs
+            .delete(FileId(d.u64().expect("fid")))
+            .map(|()| Vec::new()),
+        OP_WRITE => {
+            let fid = FileId(d.u64().expect("fid"));
+            let offset = d.u64().expect("offset");
+            let data = d.bytes().expect("data");
+            fs.write(fid, offset, data).map(|()| Vec::new())
+        }
+        OP_READ => {
+            let fid = FileId(d.u64().expect("fid"));
+            let offset = d.u64().expect("offset");
+            let len = d.u64().expect("len") as usize;
+            fs.read(fid, offset, len)
+        }
+        OP_GET_ATTR => fs.get_attribute(FileId(d.u64().expect("fid"))).map(|a| {
+            let mut e = Encoder::new();
+            a.encode(&mut e);
+            e.finish()
+        }),
+        _ => unreachable!("unknown opcode {op}"),
+    };
+    let mut e = Encoder::new();
+    match result {
+        Ok(payload) => {
+            e.u8(REPLY_OK).bytes(&payload);
+        }
+        Err(err) => {
+            e.u8(REPLY_ERR);
+            encode_error(&mut e, &err);
+        }
+    }
+    e.finish()
+}
+
+fn decode_reply(buf: &[u8]) -> Result<Vec<u8>, FileServiceError> {
+    let mut d = Decoder::new(buf);
+    match d.u8().expect("reply tag") {
+        REPLY_OK => Ok(d.bytes().expect("payload").to_vec()),
+        _ => Err(decode_error(&mut d)),
+    }
+}
+
+fn encode_error(e: &mut Encoder, err: &FileServiceError) {
+    match err {
+        FileServiceError::NotFound(fid) => {
+            e.u8(1).u64(fid.0);
+        }
+        FileServiceError::NotOpen(fid) => {
+            e.u8(2).u64(fid.0);
+        }
+        FileServiceError::Busy(fid) => {
+            e.u8(3).u64(fid.0);
+        }
+        FileServiceError::BeyondEof { fid, offset, size } => {
+            e.u8(4).u64(fid.0).u64(*offset).u64(*size);
+        }
+        FileServiceError::FileTooLarge(fid) => {
+            e.u8(5).u64(fid.0);
+        }
+        FileServiceError::DirectoryFull => {
+            e.u8(6);
+        }
+        FileServiceError::Corrupt(fid) => {
+            e.u8(7).u64(fid.0);
+        }
+        FileServiceError::Disk(d) => {
+            e.u8(8);
+            encode_disk_error(e, d);
+        }
+        other => unreachable!("unencodable file-service error: {other}"),
+    }
+}
+
+fn encode_disk_error(e: &mut Encoder, err: &DiskServiceError) {
+    match err {
+        DiskServiceError::NoSpace {
+            requested,
+            largest_free,
+            total_free,
+        } => {
+            e.u8(1).u64(*requested).u64(*largest_free).u64(*total_free);
+        }
+        DiskServiceError::NoStableStorage => {
+            e.u8(2);
+        }
+        DiskServiceError::SizeMismatch { expected, got } => {
+            e.u8(3).u64(*expected as u64).u64(*got as u64);
+        }
+        DiskServiceError::BadExtent => {
+            e.u8(4);
+        }
+        DiskServiceError::Disk(d) => {
+            e.u8(5);
+            match d {
+                DiskError::OutOfRange {
+                    start,
+                    count,
+                    total,
+                } => {
+                    e.u8(1).u64(*start).u64(*count).u64(*total);
+                }
+                DiskError::BadSector(a) => {
+                    e.u8(2).u64(*a);
+                }
+                DiskError::Crashed => {
+                    e.u8(3);
+                }
+                DiskError::UnalignedBuffer { len } => {
+                    e.u8(4).u64(*len as u64);
+                }
+                DiskError::StableLost(a) => {
+                    e.u8(5).u64(*a);
+                }
+                other => unreachable!("unencodable disk error: {other}"),
+            }
+        }
+        other => unreachable!("unencodable disk-service error: {other}"),
+    }
+}
+
+fn decode_error(d: &mut Decoder<'_>) -> FileServiceError {
+    let fid = |d: &mut Decoder<'_>| FileId(d.u64().expect("fid"));
+    match d.u8().expect("error code") {
+        1 => FileServiceError::NotFound(fid(d)),
+        2 => FileServiceError::NotOpen(fid(d)),
+        3 => FileServiceError::Busy(fid(d)),
+        4 => FileServiceError::BeyondEof {
+            fid: fid(d),
+            offset: d.u64().expect("offset"),
+            size: d.u64().expect("size"),
+        },
+        5 => FileServiceError::FileTooLarge(fid(d)),
+        6 => FileServiceError::DirectoryFull,
+        7 => FileServiceError::Corrupt(fid(d)),
+        8 => FileServiceError::Disk(decode_disk_error(d)),
+        other => unreachable!("unknown error code {other}"),
+    }
+}
+
+fn decode_disk_error(d: &mut Decoder<'_>) -> DiskServiceError {
+    match d.u8().expect("disk error code") {
+        1 => DiskServiceError::NoSpace {
+            requested: d.u64().expect("requested"),
+            largest_free: d.u64().expect("largest_free"),
+            total_free: d.u64().expect("total_free"),
+        },
+        2 => DiskServiceError::NoStableStorage,
+        3 => DiskServiceError::SizeMismatch {
+            expected: d.u64().expect("expected") as usize,
+            got: d.u64().expect("got") as usize,
+        },
+        4 => DiskServiceError::BadExtent,
+        5 => DiskServiceError::Disk(match d.u8().expect("device error code") {
+            1 => DiskError::OutOfRange {
+                start: d.u64().expect("start"),
+                count: d.u64().expect("count"),
+                total: d.u64().expect("total"),
+            },
+            2 => DiskError::BadSector(d.u64().expect("addr")),
+            3 => DiskError::Crashed,
+            4 => DiskError::UnalignedBuffer {
+                len: d.u64().expect("len") as usize,
+            },
+            5 => DiskError::StableLost(d.u64().expect("addr")),
+            other => unreachable!("unknown device error code {other}"),
+        }),
+        other => unreachable!("unknown disk error code {other}"),
+    }
+}
+
+// ---- the networked front-end ------------------------------------------
+
+/// One replica's transport endpoint: the lossy channel to its machine,
+/// the client-side retry state, and the server-side replay cache (which
+/// lives with the replica — a crash wipes it).
+#[derive(Debug)]
+struct Channel {
+    net: SimNetwork,
+    client: RpcClient,
+    cache: ReplayCache,
+}
+
+/// Aggregate RPC-layer statistics across all replica channels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RpcReplicationStats {
+    /// Logical RPCs issued (all channels).
+    pub calls: u64,
+    /// Retries beyond the first attempt.
+    pub retries: u64,
+    /// Virtual time spent backing off between retries.
+    pub backoff_us: u64,
+    /// Operations the replica servers actually executed.
+    pub executed: u64,
+    /// Duplicate requests answered from replay caches.
+    pub replayed: u64,
+    /// Largest number of recorded replies any server held at once — the
+    /// "nearly stateless" bound.
+    pub peak_entries: u64,
+    /// Replicas masked out because their channel exhausted its retries.
+    pub unreachable: u64,
+    /// Messages transmitted (both legs, all channels).
+    pub net_sent: u64,
+    /// Messages lost in transit.
+    pub net_lost: u64,
+    /// Extra duplicate copies delivered.
+    pub net_duplicated: u64,
+}
+
+/// [`ReplicatedFiles`] deployed over per-replica RPC channels: write-all
+/// fan-out, read-one with round-robin failover, and resynchronisation,
+/// with every operation encoded, retried with backoff, and executed
+/// at most once per request id on the replica.
+#[derive(Debug)]
+pub struct ReplicatedRpcFiles {
+    inner: ReplicatedFiles,
+    channels: Vec<Channel>,
+    unreachable: u64,
+}
+
+impl ReplicatedRpcFiles {
+    /// Creates the service over freshly formatted replicas, with one
+    /// channel per replica derived from `net_cfg` (per-channel seeds are
+    /// decorrelated so loss patterns differ across replicas, as they
+    /// would across independent links).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    pub fn new(replicas: Vec<FileService>, config: ReplicationConfig, net_cfg: NetConfig) -> Self {
+        assert!(!replicas.is_empty(), "need at least one replica");
+        let clock = replicas[0].clock();
+        let channels = (0..replicas.len())
+            .map(|i| {
+                let mut cfg = net_cfg;
+                cfg.seed = net_cfg.seed.wrapping_add(i as u64 * 7919);
+                Channel {
+                    net: SimNetwork::new(clock.clone(), cfg),
+                    client: RpcClient::new(i as u64 + 1),
+                    cache: ReplayCache::new(),
+                }
+            })
+            .collect();
+        Self {
+            inner: ReplicatedFiles::new(replicas, config),
+            channels,
+            unreachable: 0,
+        }
+    }
+
+    /// Attempts per RPC before a replica is declared unreachable
+    /// (applies to every channel).
+    pub fn set_max_attempts(&mut self, attempts: u32) {
+        for ch in &mut self.channels {
+            ch.client.max_attempts = attempts;
+        }
+    }
+
+    /// Replication-layer statistics (shared with the direct front-end).
+    pub fn stats(&self) -> &ReplicationStats {
+        self.inner.stats()
+    }
+
+    /// RPC-layer statistics aggregated over all channels.
+    pub fn rpc_stats(&self) -> RpcReplicationStats {
+        let mut s = RpcReplicationStats {
+            unreachable: self.unreachable,
+            ..Default::default()
+        };
+        for ch in &self.channels {
+            let c = ch.client.stats();
+            s.calls += c.calls;
+            s.retries += c.retries;
+            s.backoff_us += c.backoff_us;
+            let r = ch.cache.stats();
+            s.executed += r.executed;
+            s.replayed += r.replayed;
+            s.peak_entries = s.peak_entries.max(r.peak_entries);
+            let n = ch.net.stats();
+            s.net_sent += n.sent;
+            s.net_lost += n.lost;
+            s.net_duplicated += n.duplicated;
+        }
+        s
+    }
+
+    /// Recorded replies currently held by replica `i`'s replay cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn replay_entries(&self, i: usize) -> usize {
+        self.channels[i].cache.len()
+    }
+
+    /// Number of replicas currently live.
+    pub fn live_replicas(&self) -> usize {
+        self.inner.live_replicas()
+    }
+
+    /// Whether replica `i` is currently masked out of the live set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn is_failed(&self, i: usize) -> bool {
+        self.inner.is_failed(i)
+    }
+
+    /// Number of replicas (live or failed).
+    pub fn replica_count(&self) -> usize {
+        self.inner.replica_count()
+    }
+
+    /// Direct access to replica `i` (fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn replica_mut(&mut self, i: usize) -> &mut FileService {
+        self.inner.replica_mut(i)
+    }
+
+    /// Marks replica `i` failed (its machine crashed).
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicationError::NoSuchReplica`].
+    pub fn mark_failed(&mut self, i: usize) -> Result<(), ReplicationError> {
+        self.inner.mark_failed(i)
+    }
+
+    /// One RPC to replica `i`: encode → retry with backoff → execute at
+    /// most once → decode. `Err(None)` means the channel exhausted its
+    /// retries (machine unreachable); `Err(Some(_))` is the replica's own
+    /// error, shipped back over the wire.
+    fn call_replica(&mut self, i: usize, req: &[u8]) -> Result<Vec<u8>, Option<FileServiceError>> {
+        let Channel { net, client, cache } = &mut self.channels[i];
+        let fs = &mut self.inner.replicas[i];
+        let reply = client
+            .call_with_ack(net, |rid, ack| {
+                cache.execute_acked(rid, ack, || serve(fs, req))
+            })
+            .map_err(|_| None)?;
+        decode_reply(&reply).map_err(Some)
+    }
+
+    /// Write-all fan-out over RPC, with the same failover semantics as
+    /// [`ReplicatedFiles`]: device faults *and* unreachable machines mask
+    /// the replica out; semantic errors propagate; the call fails only
+    /// when no replica applied the mutation.
+    fn rpc_write_all(
+        &mut self,
+        fid: Option<FileId>,
+        req: &[u8],
+    ) -> Result<Vec<u8>, ReplicationError> {
+        let mut result: Option<Vec<u8>> = None;
+        let mut last_device_err: Option<FileServiceError> = None;
+        for i in 0..self.inner.replicas.len() {
+            if self.inner.failed[i] {
+                self.inner.stats.writes_skipped += 1;
+                continue;
+            }
+            match self.call_replica(i, req) {
+                Ok(payload) => {
+                    if let Some(prev) = &result {
+                        if *prev != payload {
+                            return Err(ReplicationError::Diverged);
+                        }
+                    } else {
+                        result = Some(payload);
+                    }
+                }
+                Err(None) => {
+                    // Retries exhausted: the machine is unreachable, which
+                    // is indistinguishable from a crash — fail over.
+                    self.inner.failed[i] = true;
+                    self.inner.stats.failovers += 1;
+                    self.unreachable += 1;
+                }
+                Err(Some(e)) if is_device_fault(&e) && self.inner.config.write_failover => {
+                    self.inner.failed[i] = true;
+                    self.inner.stats.failovers += 1;
+                    last_device_err = Some(e);
+                }
+                Err(Some(e)) => return Err(ReplicationError::File(e)),
+            }
+        }
+        match result {
+            Some(r) => Ok(r),
+            None => Err(match (last_device_err, fid) {
+                (Some(e), _) => ReplicationError::File(e),
+                (None, Some(fid)) => ReplicationError::AllReplicasFailed(fid),
+                (None, None) => ReplicationError::NoLiveReplicas,
+            }),
+        }
+    }
+
+    /// `create` on every replica over RPC; identifiers stay in lock-step.
+    ///
+    /// # Errors
+    ///
+    /// Replica failures; [`ReplicationError::Diverged`] if replicas
+    /// returned different identifiers.
+    pub fn create(&mut self, st: ServiceType) -> Result<FileId, ReplicationError> {
+        let payload = self.rpc_write_all(None, &encode_create(st))?;
+        let mut d = Decoder::new(&payload);
+        Ok(FileId(d.u64().expect("fid payload")))
+    }
+
+    /// Opens `fid` on every live replica.
+    ///
+    /// # Errors
+    ///
+    /// Replica failures.
+    pub fn open(&mut self, fid: FileId) -> Result<(), ReplicationError> {
+        self.rpc_write_all(Some(fid), &encode_fid_op(OP_OPEN, fid))?;
+        *self.inner.open_counts.entry(fid).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Closes `fid` on every live replica.
+    ///
+    /// # Errors
+    ///
+    /// Replica failures.
+    pub fn close(&mut self, fid: FileId) -> Result<(), ReplicationError> {
+        self.rpc_write_all(Some(fid), &encode_fid_op(OP_CLOSE, fid))?;
+        if let Some(c) = self.inner.open_counts.get_mut(&fid) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                self.inner.open_counts.remove(&fid);
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes `fid` on every live replica.
+    ///
+    /// # Errors
+    ///
+    /// Replica failures.
+    pub fn delete(&mut self, fid: FileId) -> Result<(), ReplicationError> {
+        self.rpc_write_all(Some(fid), &encode_fid_op(OP_DELETE, fid))?;
+        Ok(())
+    }
+
+    /// Writes through to every live replica.
+    ///
+    /// # Errors
+    ///
+    /// Replica failures.
+    pub fn write(&mut self, fid: FileId, offset: u64, data: &[u8]) -> Result<(), ReplicationError> {
+        self.rpc_write_all(Some(fid), &encode_write(fid, offset, data))?;
+        Ok(())
+    }
+
+    /// Reads from one replica, rotating round-robin and failing over —
+    /// on device faults *or* unreachable machines — exactly like
+    /// [`ReplicatedFiles::read`].
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicationError::AllReplicasFailed`] when no replica can serve
+    /// the read.
+    pub fn read(
+        &mut self,
+        fid: FileId,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, ReplicationError> {
+        let n = self.inner.replicas.len();
+        let start = if self.inner.config.read_round_robin {
+            (self.inner.last_read + 1) % n
+        } else {
+            0
+        };
+        let req = encode_read(fid, offset, len);
+        let mut last_err: Option<FileServiceError> = None;
+        for k in 0..n {
+            let i = (start + k) % n;
+            if self.inner.failed[i] {
+                continue;
+            }
+            match self.call_replica(i, &req) {
+                Ok(data) => {
+                    self.inner.stats.reads_per_replica[i] += 1;
+                    self.inner.last_read = i;
+                    return Ok(data);
+                }
+                Err(None) => {
+                    self.inner.failed[i] = true;
+                    self.inner.stats.failovers += 1;
+                    self.unreachable += 1;
+                }
+                Err(Some(e)) if is_device_fault(&e) => {
+                    self.inner.failed[i] = true;
+                    self.inner.stats.failovers += 1;
+                    last_err = Some(e);
+                }
+                Err(Some(e)) => return Err(ReplicationError::File(e)),
+            }
+        }
+        match last_err {
+            Some(e) => Err(ReplicationError::File(e)),
+            None => Err(ReplicationError::AllReplicasFailed(fid)),
+        }
+    }
+
+    /// Attributes from the first live replica, over its channel.
+    ///
+    /// # Errors
+    ///
+    /// Replica failures.
+    pub fn get_attribute(&mut self, fid: FileId) -> Result<FileAttributes, ReplicationError> {
+        let req = encode_fid_op(OP_GET_ATTR, fid);
+        let mut last_err: Option<FileServiceError> = None;
+        for i in 0..self.inner.replicas.len() {
+            if self.inner.failed[i] {
+                continue;
+            }
+            match self.call_replica(i, &req) {
+                Ok(payload) => {
+                    let mut d = Decoder::new(&payload);
+                    return Ok(FileAttributes::decode(&mut d).expect("attrs payload"));
+                }
+                Err(None) => {
+                    self.inner.failed[i] = true;
+                    self.inner.stats.failovers += 1;
+                    self.unreachable += 1;
+                }
+                Err(Some(e)) if is_device_fault(&e) => {
+                    self.inner.failed[i] = true;
+                    self.inner.stats.failovers += 1;
+                    last_err = Some(e);
+                }
+                Err(Some(e)) => return Err(ReplicationError::File(e)),
+            }
+        }
+        match last_err {
+            Some(e) => Err(ReplicationError::File(e)),
+            None => Err(ReplicationError::AllReplicasFailed(fid)),
+        }
+    }
+
+    /// Resynchronises replica `i` from a live source and rejoins it.
+    /// The physical copy itself runs out of band (a repair crew, not an
+    /// RPC): see [`ReplicatedFiles::resync`]. The replica's replay cache
+    /// is discarded — a restarted server forgets its volatile request
+    /// history, which is safe precisely because the client never reuses
+    /// request ids.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplicatedFiles::resync`].
+    pub fn resync(&mut self, i: usize) -> Result<(), ReplicationError> {
+        self.inner.resync(i)?;
+        self.channels[i].cache = ReplayCache::new();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhodos_file_service::FileServiceConfig;
+    use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
+
+    fn rpc_cluster(n: usize, net_cfg: NetConfig) -> ReplicatedRpcFiles {
+        let clock = SimClock::new();
+        let replicas = (0..n)
+            .map(|_| {
+                FileService::single_disk(
+                    DiskGeometry::medium(),
+                    LatencyModel::instant(),
+                    clock.clone(),
+                    FileServiceConfig::default(),
+                )
+                .unwrap()
+            })
+            .collect();
+        ReplicatedRpcFiles::new(replicas, ReplicationConfig::default(), net_cfg)
+    }
+
+    #[test]
+    fn round_trip_over_a_reliable_network() {
+        let mut rf = rpc_cluster(3, NetConfig::reliable());
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.open(fid).unwrap();
+        rf.write(fid, 0, b"over the wire").unwrap();
+        assert_eq!(rf.read(fid, 0, 13).unwrap(), b"over the wire");
+        assert_eq!(rf.get_attribute(fid).unwrap().size, 13);
+        rf.close(fid).unwrap();
+        rf.delete(fid).unwrap();
+        let s = rf.rpc_stats();
+        assert!(s.calls > 0);
+        assert_eq!(s.retries, 0);
+        assert_eq!(s.net_lost, 0);
+    }
+
+    #[test]
+    fn lossy_channels_retry_but_execute_exactly_once() {
+        let mut rf = rpc_cluster(3, NetConfig::lossy(0.25, 0.25, 42));
+        rf.set_max_attempts(64);
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.open(fid).unwrap();
+        for round in 0..20u8 {
+            rf.write(fid, 0, &[round; 64]).unwrap();
+            assert_eq!(rf.read(fid, 0, 64).unwrap(), vec![round; 64]);
+        }
+        let s = rf.rpc_stats();
+        assert!(s.retries > 0, "seed 42 must lose messages");
+        assert!(s.replayed > 0, "seed 42 must duplicate messages");
+        assert!(s.backoff_us > 0, "retries must back off");
+        // Exactly-once despite duplication: replicas agree on contents.
+        for i in 0..3 {
+            rf.replica_mut(i).flush_all().unwrap();
+            assert!(rf.replica_mut(i).fsck().unwrap().is_clean());
+        }
+        // Bounded server state: one synchronous client per channel.
+        assert!(s.peak_entries <= 1, "peak {}", s.peak_entries);
+    }
+
+    #[test]
+    fn unreachable_replica_is_masked_like_a_crashed_one() {
+        let mut rf = rpc_cluster(2, NetConfig::reliable());
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.open(fid).unwrap();
+        rf.write(fid, 0, b"before").unwrap();
+        // Replica 1's link goes completely dark.
+        rf.channels[1].net =
+            SimNetwork::new(rf.channels[1].net.clock(), NetConfig::lossy(1.0, 0.0, 1));
+        rf.set_max_attempts(3);
+        rf.write(fid, 0, b"after!").unwrap();
+        assert_eq!(rf.live_replicas(), 1);
+        assert_eq!(rf.rpc_stats().unreachable, 1);
+        assert_eq!(rf.stats().failovers, 1);
+        assert_eq!(rf.read(fid, 0, 6).unwrap(), b"after!");
+        // Link restored; resync rejoins the replica and wipes its replay
+        // state.
+        rf.channels[1].net = SimNetwork::new(rf.channels[1].net.clock(), NetConfig::reliable());
+        rf.resync(1).unwrap();
+        assert_eq!(rf.live_replicas(), 2);
+        assert_eq!(rf.replay_entries(1), 0);
+        for _ in 0..2 {
+            assert_eq!(rf.read(fid, 0, 6).unwrap(), b"after!");
+        }
+    }
+
+    #[test]
+    fn semantic_errors_cross_the_wire_intact() {
+        let mut rf = rpc_cluster(2, NetConfig::reliable());
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        assert!(matches!(
+            rf.read(fid, 0, 1),
+            Err(ReplicationError::File(FileServiceError::NotOpen(f))) if f == fid
+        ));
+        assert_eq!(rf.live_replicas(), 2, "semantic errors must not fail over");
+        rf.open(fid).unwrap();
+        rf.write(fid, 0, b"xyz").unwrap();
+        assert!(matches!(
+            rf.read(fid, 100, 1),
+            Err(ReplicationError::File(FileServiceError::BeyondEof {
+                offset: 100,
+                size: 3,
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn error_codec_round_trips() {
+        let errors = vec![
+            FileServiceError::NotFound(FileId(7)),
+            FileServiceError::NotOpen(FileId(8)),
+            FileServiceError::Busy(FileId(9)),
+            FileServiceError::BeyondEof {
+                fid: FileId(1),
+                offset: 10,
+                size: 5,
+            },
+            FileServiceError::FileTooLarge(FileId(2)),
+            FileServiceError::DirectoryFull,
+            FileServiceError::Corrupt(FileId(3)),
+            FileServiceError::Disk(DiskServiceError::NoSpace {
+                requested: 4,
+                largest_free: 2,
+                total_free: 3,
+            }),
+            FileServiceError::Disk(DiskServiceError::NoStableStorage),
+            FileServiceError::Disk(DiskServiceError::SizeMismatch {
+                expected: 512,
+                got: 100,
+            }),
+            FileServiceError::Disk(DiskServiceError::BadExtent),
+            FileServiceError::Disk(DiskServiceError::Disk(DiskError::OutOfRange {
+                start: 1,
+                count: 2,
+                total: 8,
+            })),
+            FileServiceError::Disk(DiskServiceError::Disk(DiskError::BadSector(77))),
+            FileServiceError::Disk(DiskServiceError::Disk(DiskError::Crashed)),
+            FileServiceError::Disk(DiskServiceError::Disk(DiskError::UnalignedBuffer {
+                len: 13,
+            })),
+            FileServiceError::Disk(DiskServiceError::Disk(DiskError::StableLost(5))),
+        ];
+        for err in errors {
+            let mut e = Encoder::new();
+            encode_error(&mut e, &err);
+            let buf = e.finish();
+            let mut d = Decoder::new(&buf);
+            assert_eq!(decode_error(&mut d), err);
+            assert!(d.is_empty(), "trailing bytes for {err:?}");
+        }
+    }
+}

@@ -299,6 +299,41 @@ impl SimDisk {
     pub fn sector_untouched(&self, addr: SectorAddr) -> bool {
         self.data.get(addr as usize).is_none_or(|s| s.is_none())
     }
+
+    /// FNV-1a fingerprint of the whole platter image (untouched sectors
+    /// hash as zeros, exactly as they read). Two disks with equal
+    /// fingerprints hold byte-identical images for practical purposes —
+    /// the replication suite uses this to prove a resynchronised replica
+    /// converged; use [`Self::first_image_divergence`] to locate a
+    /// mismatch.
+    pub fn image_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for addr in 0..self.geometry().total_sectors() {
+            match &self.data[addr as usize] {
+                Some(sector) => eat(sector),
+                None => eat(&ZERO_SECTOR),
+            }
+        }
+        h
+    }
+
+    /// First sector whose bytes differ from `other`'s image, if any.
+    /// Geometries must match (replicas are formatted in lock-step);
+    /// differing geometries report sector 0.
+    pub fn first_image_divergence(&self, other: &SimDisk) -> Option<SectorAddr> {
+        if self.geometry().total_sectors() != other.geometry().total_sectors() {
+            return Some(0);
+        }
+        (0..self.geometry().total_sectors()).find(|&addr| {
+            self.peek_sector(addr).expect("in range") != other.peek_sector(addr).expect("in range")
+        })
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +346,23 @@ mod tests {
             LatencyModel::default(),
             SimClock::new(),
         )
+    }
+
+    #[test]
+    fn image_fingerprint_tracks_divergence() {
+        let mut a = disk();
+        let mut b = disk();
+        assert_eq!(a.image_fingerprint(), b.image_fingerprint());
+        assert_eq!(a.first_image_divergence(&b), None);
+        a.write_sectors(7, &vec![9u8; SECTOR_SIZE]).unwrap();
+        assert_ne!(a.image_fingerprint(), b.image_fingerprint());
+        assert_eq!(a.first_image_divergence(&b), Some(7));
+        // Writing the same bytes re-converges; explicit zeros equal
+        // never-touched sectors.
+        b.write_sectors(7, &vec![9u8; SECTOR_SIZE]).unwrap();
+        b.write_sectors(3, &vec![0u8; SECTOR_SIZE]).unwrap();
+        assert_eq!(a.image_fingerprint(), b.image_fingerprint());
+        assert_eq!(a.first_image_divergence(&b), None);
     }
 
     #[test]

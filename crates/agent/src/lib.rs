@@ -80,4 +80,4 @@ pub use descriptor::{
 pub use device::{Device, DeviceAgent, DeviceError};
 pub use file_agent::{AgentError, AgentStats, FileAgent, ServerHandle};
 pub use process::{Process, ProcessError, ProcessTable};
-pub use txn_agent::{AgentLifecycleEvent, TransactionAgent};
+pub use txn_agent::{AgentLifecycleEvent, TransactionAgent, TxnAgentStats};

@@ -14,7 +14,7 @@ use crate::descriptor::{ObjectDescriptor, FILE_OD_BASE};
 use crate::file_agent::{AgentError, ServerHandle};
 use rhodos_file_service::{FileAttributes, FileId, LockLevel};
 use rhodos_net::SimNetwork;
-use rhodos_txn::TxnId;
+use rhodos_txn::{TxnId, TxnStats};
 use std::collections::{HashMap, HashSet};
 
 /// A lifecycle event of the (event-driven) transaction agent.
@@ -30,6 +30,20 @@ pub enum AgentLifecycleEvent {
         /// Virtual time of the event.
         at_us: u64,
     },
+}
+
+/// Merged statistics over the transaction agent and its server (the
+/// transactional counterpart of `FileAgent::stats`): client-side round
+/// trips plus the server's transaction counters, so a host can watch the
+/// group-commit pipeline — log flushes, records per flush, compactions —
+/// through the same handle it issues `tend` on.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TxnAgentStats {
+    /// Request/reply exchanges this agent charged.
+    pub round_trips: u64,
+    /// The server's transaction counters (shared with every other agent
+    /// of the same server).
+    pub txn: TxnStats,
 }
 
 /// The per-machine transaction agent.
@@ -78,6 +92,15 @@ impl TransactionAgent {
     /// Round trips charged so far.
     pub fn round_trips(&self) -> u64 {
         self.round_trips
+    }
+
+    /// Statistics so far: this agent's round trips merged with the
+    /// server's transaction counters.
+    pub fn stats(&self) -> TxnAgentStats {
+        TxnAgentStats {
+            round_trips: self.round_trips,
+            txn: self.server.lock().stats(),
+        }
     }
 
     fn round_trip(&mut self) {
@@ -324,6 +347,27 @@ mod tests {
         let od = a.topen(t, fid).unwrap();
         a.tend(t).unwrap();
         assert!(matches!(a.tread(od, 1), Err(AgentError::BadDescriptor(_))));
+    }
+
+    #[test]
+    fn merged_stats_surface_commit_pipeline_counters() {
+        let mut a = agent();
+        let fid = a.tcreate(LockLevel::Page).unwrap();
+        let before = a.stats();
+        for i in 0..3u8 {
+            let t = a.tbegin();
+            let od = a.topen(t, fid).unwrap();
+            a.twrite(od, &[i; 64]).unwrap();
+            a.tend(t).unwrap();
+        }
+        let after = a.stats();
+        assert_eq!(after.txn.committed - before.txn.committed, 3);
+        assert!(after.txn.log_flushes > before.txn.log_flushes);
+        // Deferred `Completed` markers fold into later flushes even for
+        // this single-threaded agent, so the server-side batching counters
+        // are visible through the agent's merged view.
+        assert!(after.txn.records_flushed >= after.txn.log_flushes);
+        assert!(after.round_trips > before.round_trips);
     }
 
     #[test]

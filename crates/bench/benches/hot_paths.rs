@@ -155,6 +155,50 @@ fn bench_commit(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_commit_throughput(c: &mut Criterion) {
+    use rhodos_txn::SharedTransactionService;
+    let mut g = c.benchmark_group("commit_throughput");
+    g.sample_size(10);
+    // Real threads through the group-commit pipeline: each committer
+    // updates its own page-locked file, so every wave is conflict-free
+    // and the measured cost is the commit path itself (log force
+    // amortisation across however many committers pile onto one leader).
+    for committers in [1usize, 8, 32] {
+        let shared = SharedTransactionService::new(rhodos_bench::setups::transaction_service(
+            TxnConfig::default(),
+        ));
+        let fids: Vec<_> = (0..committers)
+            .map(|_| {
+                let fid = shared.lock().tcreate(LockLevel::Page).unwrap();
+                shared
+                    .run_txn(|s, t| {
+                        s.lock().topen(t, fid)?;
+                        s.lock().twrite(t, fid, 0, &vec![0u8; 8192])
+                    })
+                    .unwrap();
+                fid
+            })
+            .collect();
+        g.bench_function(&format!("committers_{committers}"), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for &fid in &fids {
+                        let s = shared.clone();
+                        scope.spawn(move || {
+                            s.run_txn(|s, t| {
+                                s.lock().topen(t, fid)?;
+                                s.lock().twrite(t, fid, 0, &[1u8; 512])
+                            })
+                            .unwrap();
+                        });
+                    }
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_fit_codec(c: &mut Criterion) {
     use rhodos_file_service::{FileAttributes, FileIndexTable};
     let mut g = c.benchmark_group("fit_codec");
@@ -207,6 +251,7 @@ criterion_group!(
     bench_file_ops,
     bench_locks,
     bench_commit,
+    bench_commit_throughput,
     bench_fit_codec,
     bench_stable_storage,
     bench_throughput

@@ -1,9 +1,12 @@
 //! Emits `BENCH_hot_paths.json`: the throughput group's results as
 //! `{op, ns_per_op, mb_per_s}` records, giving future changes a perf
-//! baseline to diff against — and `BENCH_replication.json`: the
-//! replication and RPC-replay counters of a fixed deterministic lossy
-//! run (see [`rhodos_bench::throughput::replication_stat_records`]), so
-//! failover/retry behaviour regressions show up as a diff too.
+//! baseline to diff against — `BENCH_replication.json`: the replication
+//! and RPC-replay counters of a fixed deterministic lossy run (see
+//! [`rhodos_bench::throughput::replication_stat_records`]), so
+//! failover/retry behaviour regressions show up as a diff too — and
+//! `BENCH_txn_commit.json`: the group-commit pipeline's deterministic
+//! flush/batch counters against the serial ablation (see
+//! `rhodos_bench::experiments::e18_group_commit::stat_records`).
 //!
 //! `cargo run --release -p rhodos-bench --bin bench_json [-- <out-path>]`
 
@@ -46,4 +49,14 @@ fn main() {
     std::fs::write(rep_path, &rep_json).expect("write replication json");
     println!("wrote {rep_path}");
     print!("{rep_json}");
+
+    let txn_path = "BENCH_txn_commit.json";
+    let txn_rows: Vec<String> = rhodos_bench::experiments::e18_group_commit::stat_records()
+        .into_iter()
+        .map(|(stat, value)| format!("  {{\"stat\": \"{stat}\", \"value\": {value}}}"))
+        .collect();
+    let txn_json = format!("[\n{}\n]\n", txn_rows.join(",\n"));
+    std::fs::write(txn_path, &txn_json).expect("write txn commit json");
+    println!("wrote {txn_path}");
+    print!("{txn_json}");
 }

@@ -1,0 +1,282 @@
+//! E18 — group commit (§6.6): "the intentions list of the committing
+//! transaction is written to the log ... several intentions lists may be
+//! written to the log in a single disk operation". The pipeline decouples
+//! log durability from `tend`: a leader appends every queued commit
+//! record, forces the log **once**, then applies all the batched
+//! intentions through the per-spindle elevator schedulers and coalesces
+//! their `Completed` markers into the *next* force.
+//!
+//! This experiment sweeps the committer count and compares the pipeline
+//! ([`GroupCommit::Auto`], batches formed exactly as the leader forms
+//! them) against the serial ablation ([`GroupCommit::Never`], one forced
+//! log write per record — two per commit). Reported per cell: commits,
+//! log flushes, intention records per flush (avg/high-water), disk write
+//! references, the busiest spindle's busy time, and simulated completion
+//! time. The batches are driven deterministically so the table is
+//! byte-stable; the real threaded leader/follower path is exercised by
+//! the `rhodos-txn` concurrency tests and the `commit_throughput`
+//! criterion group.
+
+use crate::table::{speedup, Table};
+use rhodos_file_service::LockLevel;
+use rhodos_txn::{GroupCommit, Prepared, TransactionService, TxnConfig, TxnStats};
+
+const NDISKS: usize = 4;
+const CHUNK_BLOCKS: u64 = 4;
+/// Every cell commits the same total work; only the batching differs.
+const TOTAL_COMMITS: usize = 96;
+
+struct Outcome {
+    stats: TxnStats,
+    write_refs: u64,
+    busiest_us: u64,
+    sim_us: u64,
+}
+
+fn rig(mode: GroupCommit) -> TransactionService {
+    crate::setups::striped_transaction_service(
+        NDISKS,
+        CHUNK_BLOCKS,
+        TxnConfig {
+            group_commit: mode,
+            ..TxnConfig::default()
+        },
+    )
+}
+
+/// Runs `TOTAL_COMMITS` two-page update transactions, `committers` at a
+/// time. Under `Auto` each wave commits through one leader batch
+/// (prepare × n, force once, complete × n); under `Never` each commit
+/// forces its own records.
+fn measure(committers: usize, mode: GroupCommit) -> Outcome {
+    let mut ts = rig(mode);
+    let fids: Vec<_> = (0..committers)
+        .map(|_| ts.tcreate(LockLevel::Page).unwrap())
+        .collect();
+    // A durable 4-block base extent per committer, so the measured
+    // transactions update in place (steady state, not first growth).
+    for &fid in &fids {
+        let t = ts.tbegin();
+        ts.topen(t, fid).unwrap();
+        ts.twrite(t, fid, 0, &vec![0u8; 4 * 8192]).unwrap();
+        ts.tend(t).unwrap();
+    }
+    ts.flush_log().unwrap();
+    let s0 = ts.stats();
+    let (w0, b0): (Vec<u64>, Vec<u64>) = {
+        let stats = ts.file_service_mut().stats();
+        (
+            stats.disks.iter().map(|d| d.disk.write_ops).collect(),
+            stats.disks.iter().map(|d| d.disk.busy_us).collect(),
+        )
+    };
+    let t0 = ts.file_service_mut().clock().now_us();
+    let rounds = TOTAL_COMMITS / committers;
+    for round in 0..rounds {
+        let mut pending = Vec::new();
+        for (i, &fid) in fids.iter().enumerate() {
+            let t = ts.tbegin();
+            ts.topen(t, fid).unwrap();
+            // Two of the four pages, rotating, so the elevator sees
+            // multi-page batches at shifting addresses.
+            let base = (((round + i) % 2) * 8192) as u64;
+            ts.twrite(t, fid, base, &vec![round as u8; 8192]).unwrap();
+            ts.twrite(t, fid, base + 2 * 8192, &vec![i as u8; 8192])
+                .unwrap();
+            match mode {
+                GroupCommit::Never => ts.tend(t).unwrap(),
+                GroupCommit::Auto => match ts.prepare_commit(t).unwrap() {
+                    Prepared::Pending(p) => pending.push(p),
+                    Prepared::Merged => unreachable!("top-level"),
+                },
+            }
+        }
+        if mode == GroupCommit::Auto {
+            // The leader: one force for the whole wave, then apply.
+            ts.flush_log().unwrap();
+            for p in pending {
+                ts.complete_commit(p).unwrap();
+            }
+            ts.maybe_compact_log().unwrap();
+        }
+    }
+    // Force the tail `Completed` markers so both modes account the same
+    // durable end state.
+    ts.flush_log().unwrap();
+    let s1 = ts.stats();
+    let fs_stats = ts.file_service_mut().stats();
+    let write_refs: u64 = fs_stats
+        .disks
+        .iter()
+        .zip(&w0)
+        .map(|(d, w)| d.disk.write_ops - w)
+        .sum();
+    let busiest_us = fs_stats
+        .disks
+        .iter()
+        .zip(&b0)
+        .map(|(d, b)| d.disk.busy_us - b)
+        .max()
+        .unwrap();
+    let sim_us = ts.file_service_mut().clock().now_us() - t0;
+    Outcome {
+        stats: TxnStats {
+            committed: s1.committed - s0.committed,
+            log_flushes: s1.log_flushes - s0.log_flushes,
+            records_flushed: s1.records_flushed - s0.records_flushed,
+            records_per_flush_hwm: s1.records_per_flush_hwm,
+            group_commits: s1.group_commits - s0.group_commits,
+            commit_batch_pages: s1.commit_batch_pages - s0.commit_batch_pages,
+            log_compactions: s1.log_compactions - s0.log_compactions,
+            ..s1
+        },
+        write_refs,
+        busiest_us,
+        sim_us,
+    }
+}
+
+/// The deterministic commit counters emitted as `BENCH_txn_commit.json`
+/// (8 committers, both modes) — a diffable baseline: any change to the
+/// pipeline's batching, the elevator apply, or the flush accounting
+/// moves these numbers.
+pub fn stat_records() -> Vec<(String, u64)> {
+    let mut rows = Vec::new();
+    for (label, mode) in [("group", GroupCommit::Auto), ("serial", GroupCommit::Never)] {
+        let o = measure(8, mode);
+        let avg_x100 = (o.stats.records_flushed * 100)
+            .checked_div(o.stats.log_flushes)
+            .unwrap_or(0);
+        rows.extend([
+            (format!("txn_commit.{label}.committed"), o.stats.committed),
+            (
+                format!("txn_commit.{label}.log_flushes"),
+                o.stats.log_flushes,
+            ),
+            (
+                format!("txn_commit.{label}.records_per_flush_x100"),
+                avg_x100,
+            ),
+            (
+                format!("txn_commit.{label}.group_commits"),
+                o.stats.group_commits,
+            ),
+            (
+                format!("txn_commit.{label}.commit_batch_pages"),
+                o.stats.commit_batch_pages,
+            ),
+            (format!("txn_commit.{label}.write_refs"), o.write_refs),
+            (format!("txn_commit.{label}.busiest_us"), o.busiest_us),
+        ]);
+    }
+    rows
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut t = Table::new(&[
+        "committers",
+        "commit mode",
+        "commits",
+        "log flushes",
+        "recs/flush",
+        "flush hwm",
+        "batch pages",
+        "write refs",
+        "busiest spindle (us)",
+        "sim time (us)",
+        "flushes vs serial",
+    ]);
+    let mut worst_flush_ratio = f64::MAX;
+    let mut makespan_ok = true;
+    for committers in [1usize, 8, 32] {
+        let serial = measure(committers, GroupCommit::Never);
+        let group = measure(committers, GroupCommit::Auto);
+        for (is_serial, name, o) in [
+            (true, "serial ablation", &serial),
+            (false, "group commit", &group),
+        ] {
+            let avg = if o.stats.log_flushes == 0 {
+                0.0
+            } else {
+                o.stats.records_flushed as f64 / o.stats.log_flushes as f64
+            };
+            t.row_owned(vec![
+                committers.to_string(),
+                name.to_string(),
+                o.stats.committed.to_string(),
+                o.stats.log_flushes.to_string(),
+                format!("{avg:.1}"),
+                o.stats.records_per_flush_hwm.to_string(),
+                o.stats.commit_batch_pages.to_string(),
+                o.write_refs.to_string(),
+                o.busiest_us.to_string(),
+                o.sim_us.to_string(),
+                if is_serial {
+                    "1.0x".to_string()
+                } else {
+                    speedup(serial.stats.log_flushes as f64, o.stats.log_flushes as f64)
+                },
+            ]);
+        }
+        if committers > 1 {
+            worst_flush_ratio = worst_flush_ratio
+                .min(serial.stats.log_flushes as f64 / group.stats.log_flushes.max(1) as f64);
+            makespan_ok &= group.busiest_us <= serial.busiest_us;
+        }
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\nSame {TOTAL_COMMITS} two-page commits per cell over {NDISKS} striped spindles.\n\
+         Group commit forces the log once per wave and folds `Completed`\n\
+         markers into the next force; the ablation forces every record.\n\
+         Concurrent-wave flush reduction >= 4x: {} (worst {:.1}x); busiest-spindle\n\
+         makespan never worse than serial: {}.\n",
+        if worst_flush_ratio >= 4.0 {
+            "yes"
+        } else {
+            "NO"
+        },
+        worst_flush_ratio,
+        if makespan_ok { "yes" } else { "NO" },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_commit_amortises_at_scale() {
+        let serial = measure(32, GroupCommit::Never);
+        let group = measure(32, GroupCommit::Auto);
+        assert_eq!(serial.stats.committed, group.stats.committed);
+        assert!(
+            group.stats.log_flushes * 4 <= serial.stats.log_flushes,
+            "expected >=4x fewer flushes: group {} vs serial {}",
+            group.stats.log_flushes,
+            serial.stats.log_flushes
+        );
+        assert!(
+            group.busiest_us <= serial.busiest_us,
+            "busiest spindle must not regress: group {} vs serial {}",
+            group.busiest_us,
+            serial.busiest_us
+        );
+        assert!(group.stats.group_commits > 0);
+        assert!(group.stats.commit_batch_pages > 0, "batched apply unused");
+    }
+
+    #[test]
+    fn stat_records_are_stable_across_runs() {
+        assert_eq!(stat_records(), stat_records());
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run();
+        assert!(r.contains("group commit"));
+        assert!(r.contains("yes"));
+    }
+}

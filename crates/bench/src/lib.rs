@@ -5,7 +5,7 @@
 //! reliability *claims* stated in prose. This crate regenerates each of
 //! them:
 //!
-//! * [`experiments`] — one module per experiment E1–E17 from
+//! * [`experiments`] — one module per experiment E1–E18 from
 //!   `EXPERIMENTS.md`, each with a `run() -> String` that executes the
 //!   workload, measures the claim's quantities on the simulated facility,
 //!   and prints a paper-style table;
@@ -102,6 +102,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e17",
             "Replica failover, resync, and lossy-RPC replication",
             e17_replication_failover::run,
+        ),
+        (
+            "e18",
+            "Group commit: batched log flushes and coalesced apply",
+            e18_group_commit::run,
         ),
     ]
 }

@@ -112,6 +112,22 @@ pub fn transaction_service(cfg: TxnConfig) -> TransactionService {
         .expect("transaction service")
 }
 
+/// A transaction service over raw (cache-less) disks striped `ndisks`
+/// wide — the group-commit rig of E18: log forces and intention applies
+/// hit the per-spindle schedulers directly, so flush batching and
+/// elevator coalescing show up in the disk counters.
+pub fn striped_transaction_service(
+    ndisks: usize,
+    chunk_blocks: u64,
+    cfg: TxnConfig,
+) -> TransactionService {
+    TransactionService::new(
+        striped_file_service_raw_mode(ndisks, chunk_blocks, ParallelIo::Auto),
+        cfg,
+    )
+    .expect("striped transaction service")
+}
+
 /// A file service with every cache disabled (the "Bullet-server" baseline
 /// of E8) — or with defaults when `caches` is true.
 pub fn file_service_with_caches(caches: bool) -> FileService {

@@ -520,11 +520,18 @@ impl DiskService {
                     .as_mut()
                     .ok_or(DiskServiceError::NoStableStorage)?;
                 let half = rhodos_simdisk::SECTOR_SIZE - 20; // STABLE_PAYLOAD
-                for (i, f) in (extent.start..extent.end()).enumerate() {
-                    let frag = &data[i * FRAGMENT_SIZE..(i + 1) * FRAGMENT_SIZE];
-                    stable.write(2 * f, &frag[..half.min(frag.len())], mode)?;
-                    stable.write(2 * f + 1, &frag[half.min(frag.len())..], mode)?;
-                }
+                                                             // Fragment f maps to slots 2f and 2f+1, so a contiguous
+                                                             // extent is a contiguous slot run: write it as one
+                                                             // coalesced A-pass / verify / B-pass instead of paying
+                                                             // per-slot mirror round trips.
+                let payloads: Vec<&[u8]> = (0..extent.len)
+                    .flat_map(|i| {
+                        let frag =
+                            &data[i as usize * FRAGMENT_SIZE..(i as usize + 1) * FRAGMENT_SIZE];
+                        [&frag[..half.min(frag.len())], &frag[half.min(frag.len())..]]
+                    })
+                    .collect();
+                stable.write_batch(2 * extent.start, &payloads, mode)?;
             }
         }
         Ok(())

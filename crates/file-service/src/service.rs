@@ -1349,6 +1349,115 @@ impl FileService {
             .get_from(Extent::new(addr, FRAGS_PER_BLOCK), source)?)
     }
 
+    /// Reads many detached blocks in one scheduler pass: the locations
+    /// are grouped by spindle and each group is submitted to its
+    /// scheduler as one elevator batch under makespan clock accounting
+    /// (scoped fan-out when enabled, exactly like the read window path).
+    /// Results come back in input order. `ReadSource::Stable` falls back
+    /// to per-block reads — the stable path pays mirror round trips the
+    /// scheduler cannot merge.
+    ///
+    /// # Errors
+    ///
+    /// Disk failures.
+    pub fn get_detached_blocks(
+        &mut self,
+        locs: &[(u16, FragmentAddr)],
+        source: ReadSource,
+    ) -> Result<Vec<BlockBuf>, FileServiceError> {
+        if locs.len() <= 1
+            || source != ReadSource::Main
+            || self.config.parallel_io == ParallelIo::Never
+        {
+            return locs
+                .iter()
+                .map(|&(d, a)| self.get_detached_block(d, a, source))
+                .collect();
+        }
+        let mut per_disk: Vec<Vec<(usize, Extent)>> = vec![Vec::new(); self.disks.len()];
+        for (i, &(d, a)) in locs.iter().enumerate() {
+            per_disk[d as usize].push((i, Extent::new(a, FRAGS_PER_BLOCK)));
+        }
+        let involved: Vec<usize> = (0..per_disk.len())
+            .filter(|&d| !per_disk[d].is_empty())
+            .collect();
+        for &d in &involved {
+            self.disks[d].get_mut().begin_batch();
+        }
+        type Fetched = Vec<(usize, Result<Vec<BlockBuf>, DiskServiceError>)>;
+        let fetched: Fetched = if involved.len() > 1 && self.fan_out {
+            let disks = &self.disks;
+            let per_disk = &per_disk;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = involved
+                    .iter()
+                    .map(|&d| {
+                        s.spawn(move || {
+                            let extents: Vec<Extent> =
+                                per_disk[d].iter().map(|&(_, e)| e).collect();
+                            (d, disks[d].lock().get_batch(&extents))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("spindle worker panicked"))
+                    .collect()
+            })
+        } else {
+            involved
+                .iter()
+                .map(|&d| {
+                    let extents: Vec<Extent> = per_disk[d].iter().map(|&(_, e)| e).collect();
+                    (d, self.disks[d].get_mut().get_batch(&extents))
+                })
+                .collect()
+        };
+        for &d in &involved {
+            self.disks[d].get_mut().end_batch();
+        }
+        let mut out: Vec<Option<BlockBuf>> = vec![None; locs.len()];
+        for (d, res) in fetched {
+            let bufs = res.map_err(FileServiceError::Disk)?;
+            for (&(i, _), buf) in per_disk[d].iter().zip(bufs) {
+                out[i] = Some(buf);
+            }
+        }
+        Ok(out.into_iter().map(|b| b.expect("fetched")).collect())
+    }
+
+    /// Writes a set of whole logical blocks write-through in one
+    /// scheduler pass — the batched form of [`Self::write_block`]. The
+    /// blocks are inserted into the pool and the disk writes are
+    /// resolved and handed to the per-spindle schedulers as one batch
+    /// per disk, so physically adjacent blocks — across files — merge
+    /// into single disk references in elevator order.
+    ///
+    /// # Errors
+    ///
+    /// Disk failures.
+    pub fn write_blocks(
+        &mut self,
+        mut writes: Vec<(FileId, u64, BlockBuf)>,
+    ) -> Result<(), FileServiceError> {
+        if writes.is_empty() {
+            return Ok(());
+        }
+        // Sorted order lets the serial fallback merge consecutive blocks.
+        writes.sort_by_key(|&(fid, idx, _)| (fid, idx));
+        let mut batch: Vec<((FileId, u64), BlockBuf)> = Vec::with_capacity(writes.len());
+        for (fid, idx, data) in writes {
+            self.load_fit(fid)?;
+            if let Some(cache) = &mut self.cache {
+                for (k, v) in cache.insert((fid, idx), data.clone(), false) {
+                    self.write_back(k, v)?;
+                }
+            }
+            batch.push(((fid, idx), data));
+        }
+        self.write_back_grouped(batch)
+    }
+
     /// Swings the descriptor of logical block `idx` to a new location
     /// (shadow-page commit) and returns the old one for the caller to
     /// free. Persists the FIT and invalidates the cached block.

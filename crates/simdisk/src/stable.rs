@@ -179,15 +179,97 @@ impl StableStore {
         Ok(())
     }
 
-    /// Flushes all deferred replica-B writes.
+    /// Writes `payloads` to the consecutive record slots starting at
+    /// `first_slot` as one coalesced run per mirror: one replica-A write
+    /// covering every sector, a verify pass re-reading and decoding the
+    /// run (Lampson's careful write — a record is only trusted on A
+    /// before B is allowed to be overwritten), then one replica-B write
+    /// (`Sync`) or per-slot deferral (`Deferred`). Semantically identical
+    /// to calling [`Self::write`] per slot; the per-slot mirror round
+    /// trips are what it removes.
     ///
     /// # Errors
     ///
-    /// Propagates the first disk error; remaining writes stay queued.
+    /// [`DiskError::UnalignedBuffer`] if a payload exceeds
+    /// [`STABLE_PAYLOAD`]; [`DiskError::StableLost`] if the verify pass
+    /// cannot read back a just-written record; underlying disk errors.
+    pub fn write_batch(
+        &mut self,
+        first_slot: SectorAddr,
+        payloads: &[&[u8]],
+        mode: StableWriteMode,
+    ) -> Result<(), DiskError> {
+        if payloads.is_empty() {
+            return Ok(());
+        }
+        if let [payload] = payloads {
+            return self.write(first_slot, payload, mode);
+        }
+        let mut run = Vec::with_capacity(payloads.len() * SECTOR_SIZE);
+        let mut seqs = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            if payload.len() > STABLE_PAYLOAD {
+                return Err(DiskError::UnalignedBuffer { len: payload.len() });
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            seqs.push(seq);
+            run.extend_from_slice(&encode(seq, payload));
+        }
+        // Coalesced A-pass.
+        self.a.write_sectors(first_slot, &run)?;
+        // Verify: the whole run must decode with the sequence numbers just
+        // assigned before replica B's previous records are overwritten.
+        let back = self.a.read_sectors(first_slot, payloads.len() as u64)?;
+        for (i, seq) in seqs.iter().enumerate() {
+            let sector = &back[i * SECTOR_SIZE..(i + 1) * SECTOR_SIZE];
+            match decode(sector) {
+                Some((s, _)) if s == *seq => {}
+                _ => return Err(DiskError::StableLost(first_slot + i as u64)),
+            }
+        }
+        // Coalesced B-pass (or deferral).
+        match mode {
+            StableWriteMode::Sync => {
+                self.b.write_sectors(first_slot, &run)?;
+            }
+            StableWriteMode::Deferred => {
+                for (i, chunk) in run.chunks(SECTOR_SIZE).enumerate() {
+                    let slot = first_slot + i as u64;
+                    self.pending_b.retain(|(s, _)| *s != slot);
+                    self.pending_b.push((slot, chunk.to_vec()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes all deferred replica-B writes, coalescing adjacent slots
+    /// into single mirror writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first disk error; unwritten writes stay queued.
     pub fn flush_deferred(&mut self) -> Result<(), DiskError> {
-        while let Some((slot, sector)) = self.pending_b.first().cloned() {
-            self.b.write_sectors(slot, &sector)?;
-            self.pending_b.remove(0);
+        let mut pending = std::mem::take(&mut self.pending_b);
+        pending.sort_by_key(|&(slot, _)| slot);
+        let mut i = 0;
+        while i < pending.len() {
+            let first = pending[i].0;
+            let mut j = i + 1;
+            while j < pending.len() && pending[j].0 == first + (j - i) as u64 {
+                j += 1;
+            }
+            let run: Vec<u8> = pending[i..j]
+                .iter()
+                .flat_map(|(_, sector)| sector.iter().copied())
+                .collect();
+            if let Err(e) = self.b.write_sectors(first, &run) {
+                // Unwritten entries (including this run) stay queued.
+                self.pending_b.extend(pending.drain(i..));
+                return Err(e);
+            }
+            i = j;
         }
         Ok(())
     }
@@ -398,6 +480,58 @@ mod tests {
         assert_eq!(s.pending_writes(), 0);
         s.mirror_a_mut().corrupt_sector(3).unwrap();
         assert_eq!(s.read(3).unwrap().unwrap(), b"x");
+    }
+
+    #[test]
+    fn write_batch_round_trips_and_mirrors() {
+        let mut s = store();
+        let payloads: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 5]).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        s.write_batch(2, &refs, StableWriteMode::Sync).unwrap();
+        for (i, p) in payloads.iter().enumerate() {
+            assert_eq!(s.read(2 + i as u64).unwrap().unwrap(), *p);
+        }
+        // Mirror B holds the records too.
+        for i in 0..4u64 {
+            s.mirror_a_mut().corrupt_sector(2 + i).unwrap();
+        }
+        for (i, p) in payloads.iter().enumerate() {
+            assert_eq!(s.read(2 + i as u64).unwrap().unwrap(), *p);
+        }
+    }
+
+    #[test]
+    fn write_batch_deferred_coalesces_flush() {
+        let mut s = store();
+        let payloads: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i + 10; 3]).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        s.write_batch(4, &refs, StableWriteMode::Deferred).unwrap();
+        assert_eq!(s.pending_writes(), 3);
+        let b_writes_before = s.mirror_b_mut().stats().write_ops;
+        s.flush_deferred().unwrap();
+        assert_eq!(s.pending_writes(), 0);
+        let b_writes_after = s.mirror_b_mut().stats().write_ops;
+        assert_eq!(
+            b_writes_after - b_writes_before,
+            1,
+            "adjacent deferred slots must flush as one mirror write"
+        );
+        s.mirror_a_mut().corrupt_sector(5).unwrap();
+        assert_eq!(s.read(5).unwrap().unwrap(), payloads[1]);
+    }
+
+    #[test]
+    fn torn_batch_a_pass_leaves_replica_b_recoverable() {
+        let mut s = store();
+        s.write(1, b"precious", StableWriteMode::Sync).unwrap();
+        // The A-pass tears after one sector: slot 1's new A copy never
+        // lands, and because B is only written after the A-pass verifies,
+        // B still holds the old record.
+        s.mirror_a_mut().faults_mut().crash_after_sector_writes(1);
+        let payloads: Vec<&[u8]> = vec![b"x", b"y"];
+        assert!(s.write_batch(0, &payloads, StableWriteMode::Sync).is_err());
+        s.recover().unwrap();
+        assert_eq!(s.read(1).unwrap().unwrap(), b"precious");
     }
 
     #[test]

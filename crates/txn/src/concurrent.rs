@@ -14,9 +14,44 @@
 //! [`run_txn`]: SharedTransactionService::run_txn
 
 use crate::error::TxnError;
-use crate::service::{TransactionService, TxnId};
+use crate::service::{GroupCommit, Prepared, TransactionService, TxnId};
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Shared state of the group-commit pipeline.
+#[derive(Debug, Default)]
+struct PipeState {
+    /// Transactions waiting to be committed by the current leader.
+    queue: Vec<TxnId>,
+    /// Whether some thread is currently acting as the leader.
+    leader_active: bool,
+    /// Commit outcomes published by the leader, keyed by transaction.
+    outcomes: HashMap<TxnId, Result<(), TxnError>>,
+}
+
+/// The leader/follower group-commit pipeline (§6.6: "several intention
+/// lists may be written to the log in a single disk operation").
+///
+/// Committers enqueue their transaction; the first arrival becomes the
+/// *leader*, drains the queue under the service lock, prepares every
+/// commit (appending each intentions-list record to the in-memory log
+/// tail), forces the log **once**, applies all the batched intentions,
+/// and finally publishes each transaction's outcome and wakes the
+/// followers, which were parked on the condvar the whole time.
+#[derive(Debug, Default)]
+struct CommitPipeline {
+    state: StdMutex<PipeState>,
+    cv: Condvar,
+}
+
+impl CommitPipeline {
+    /// Locks the pipeline state; a panicking leader must not poison
+    /// commit outcomes for everyone else.
+    fn state(&self) -> StdMutexGuard<'_, PipeState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
 
 /// A cloneable, thread-safe handle to one transaction service.
 ///
@@ -44,19 +79,35 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct SharedTransactionService {
     inner: Arc<Mutex<TransactionService>>,
+    pipeline: Arc<CommitPipeline>,
+    /// Cached `config().group_commit` — fixed at service construction.
+    mode: GroupCommit,
 }
 
 impl SharedTransactionService {
     /// Wraps a service for shared use.
     pub fn new(service: TransactionService) -> Self {
+        let mode = service.config().group_commit;
         Self {
             inner: Arc::new(Mutex::new(service)),
+            pipeline: Arc::new(CommitPipeline::default()),
+            mode,
         }
     }
 
     /// Wraps an existing shared handle (e.g. the one agents hold).
+    ///
+    /// Note: handles built with `from_arc` over the same service get their
+    /// own pipeline; commits still serialise on the service lock, they just
+    /// don't batch *across* independently-constructed handles. Clone one
+    /// handle instead to share its pipeline.
     pub fn from_arc(inner: Arc<Mutex<TransactionService>>) -> Self {
-        Self { inner }
+        let mode = inner.lock().config().group_commit;
+        Self {
+            inner,
+            pipeline: Arc::new(CommitPipeline::default()),
+            mode,
+        }
     }
 
     /// Locks the underlying service for one operation (or for
@@ -97,7 +148,7 @@ impl SharedTransactionService {
             let t = self.inner.lock().tbegin();
             match body(self, t) {
                 Ok(value) => {
-                    let commit = self.inner.lock().tend(t);
+                    let commit = self.commit(t);
                     match commit {
                         Ok(()) => return Ok(value),
                         Err(TxnError::WouldBlock { .. }) | Err(TxnError::NotActive(_)) => {
@@ -125,6 +176,104 @@ impl SharedTransactionService {
         Err(TxnError::Aborted(TxnId(0)))
     }
 
+    /// Commits transaction `t` through the group-commit pipeline.
+    ///
+    /// Under [`GroupCommit::Auto`] concurrent committers share log
+    /// flushes: whichever thread finds the pipeline idle becomes the
+    /// leader and commits everyone queued behind it with a single
+    /// `flush_file`; the rest park on a condvar until their outcome is
+    /// published. Under [`GroupCommit::Never`] this is exactly
+    /// `self.lock().tend(t)` — the serial ablation.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the underlying commit reports for `t` — conflicts
+    /// ([`TxnError::WouldBlock`]), timeouts, I/O failures. Each queued
+    /// transaction gets its own verdict; one aborting does not poison
+    /// its batch-mates.
+    pub fn commit(&self, t: TxnId) -> Result<(), TxnError> {
+        if self.mode == GroupCommit::Never {
+            return self.inner.lock().tend(t);
+        }
+        {
+            let mut st = self.pipeline.state();
+            st.queue.push(t);
+            if st.leader_active {
+                // Follower: the leader will commit us and publish.
+                loop {
+                    if let Some(res) = st.outcomes.remove(&t) {
+                        return res;
+                    }
+                    st = self.pipeline.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                }
+            }
+            st.leader_active = true;
+        }
+        self.lead_commits();
+        self.pipeline
+            .state()
+            .outcomes
+            .remove(&t)
+            .expect("leader drained the queue, so its own outcome is published")
+    }
+
+    /// Leader loop: drain the queue, commit the batch with one log
+    /// flush, publish outcomes, repeat until the queue stays empty.
+    fn lead_commits(&self) {
+        loop {
+            // Give concurrently-arriving committers a scheduling slice to
+            // pile into the queue before we seal the batch.
+            std::thread::yield_now();
+            let batch: Vec<TxnId> = {
+                let mut st = self.pipeline.state();
+                if st.queue.is_empty() {
+                    st.leader_active = false;
+                    self.pipeline.cv.notify_all();
+                    return;
+                }
+                std::mem::take(&mut st.queue)
+            };
+            let mut results: Vec<(TxnId, Result<(), TxnError>)> = Vec::with_capacity(batch.len());
+            {
+                let mut svc = self.inner.lock();
+                let mut pending = Vec::new();
+                for &t in &batch {
+                    match svc.prepare_commit(t) {
+                        Ok(Prepared::Merged) => results.push((t, Ok(()))),
+                        Ok(Prepared::Pending(p)) => pending.push(p),
+                        Err(e) => results.push((t, Err(e))),
+                    }
+                }
+                // One force covers every record the batch appended.
+                match svc.flush_log() {
+                    Ok(()) => {
+                        for p in pending {
+                            let t = p.txn();
+                            results.push((t, svc.complete_commit(p)));
+                        }
+                        // §6.6 log compaction: the batch may have left the
+                        // log over threshold with no transaction active.
+                        if let Err(e) = svc.maybe_compact_log() {
+                            if let Some((_, first)) = results.iter_mut().find(|(_, r)| r.is_ok()) {
+                                *first = Err(e);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        for p in pending {
+                            results.push((p.txn(), Err(e.clone())));
+                        }
+                    }
+                }
+            }
+            let mut st = self.pipeline.state();
+            for (t, r) in results {
+                st.outcomes.insert(t, r);
+            }
+            self.pipeline.cv.notify_all();
+        }
+    }
+
     /// Abandons attempt `t`, nudges virtual time forward so a genuinely
     /// stuck holder's lease eventually expires, drives the timeouts and
     /// gives other threads real time to make progress. The nudge is a
@@ -148,7 +297,7 @@ impl SharedTransactionService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::service::TxnConfig;
+    use crate::service::{TxnConfig, TxnStats};
     use rhodos_file_service::{FileService, FileServiceConfig, LockLevel};
     use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
 
@@ -256,6 +405,130 @@ mod tests {
             stats.would_blocks > 0,
             "per-operation locking must produce real interleaving conflicts"
         );
+    }
+
+    fn shared_mode(mode: GroupCommit) -> SharedTransactionService {
+        let fs = FileService::single_disk(
+            DiskGeometry::medium(),
+            LatencyModel::instant(),
+            SimClock::new(),
+            FileServiceConfig::default(),
+        )
+        .unwrap();
+        let ts = TransactionService::new(
+            fs,
+            TxnConfig {
+                lt_us: 5_000,
+                max_renewals: 0,
+                group_commit: mode,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        SharedTransactionService::new(ts)
+    }
+
+    /// Disjoint workload (one file per thread) so every commit succeeds
+    /// first try; returns the service for stats inspection.
+    fn disjoint_commits(mode: GroupCommit, threads: usize, per_thread: u64) -> TxnStats {
+        let s = shared_mode(mode);
+        let fids: Vec<_> = (0..threads)
+            .map(|_| s.lock().tcreate(LockLevel::Page).unwrap())
+            .collect();
+        std::thread::scope(|scope| {
+            for fid in fids.clone() {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        s.run_txn(|s, t| {
+                            s.lock().topen(t, fid)?;
+                            s.lock().twrite(t, fid, 0, &i.to_le_bytes())
+                        })
+                        .expect("disjoint transactions commit");
+                    }
+                });
+            }
+        });
+        for (w, fid) in fids.iter().enumerate() {
+            let raw = s
+                .run_txn(|s, t| {
+                    s.lock().topen(t, *fid)?;
+                    s.lock().tread(t, *fid, 0, 8)
+                })
+                .unwrap();
+            assert_eq!(
+                u64::from_le_bytes(raw.try_into().unwrap()),
+                per_thread - 1,
+                "thread {w} lost its final write"
+            );
+        }
+        let guard = s.lock();
+        guard.stats()
+    }
+
+    #[test]
+    fn group_commit_amortises_log_flushes() {
+        let stats = disjoint_commits(GroupCommit::Auto, 8, 25);
+        assert!(stats.committed >= 8 * 25);
+        assert!(
+            stats.log_flushes < stats.committed,
+            "leader must batch: {} flushes for {} commits",
+            stats.log_flushes,
+            stats.committed
+        );
+        assert!(stats.group_commits > 0, "no flush ever covered a batch");
+        assert!(stats.records_per_flush_hwm >= 2);
+    }
+
+    #[test]
+    fn never_mode_flushes_per_commit() {
+        let stats = disjoint_commits(GroupCommit::Never, 4, 10);
+        assert!(stats.committed >= 4 * 10);
+        assert!(
+            stats.log_flushes >= stats.committed,
+            "the ablation must force the log for every commit: {} flushes, {} commits",
+            stats.log_flushes,
+            stats.committed
+        );
+        assert_eq!(stats.group_commits, 0, "Never must not batch");
+    }
+
+    #[test]
+    fn group_commit_under_conflicts_stays_correct() {
+        // Same contended counter as threads_increment_without_lost_updates,
+        // but run through the pipeline's leader/follower path with aborts
+        // and retries mixed into the batches.
+        let (s, fid) = shared(LockLevel::Page);
+        const THREADS: usize = 6;
+        const PER_THREAD: u64 = 15;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        s.run_txn(|s, t| {
+                            s.lock().topen(t, fid)?;
+                            let raw = s.lock().tread_for_update(t, fid, 0, 8)?;
+                            let v = u64::from_le_bytes(raw.try_into().expect("8 bytes"));
+                            s.lock().twrite(t, fid, 0, &(v + 1).to_le_bytes())
+                        })
+                        .expect("transaction eventually succeeds");
+                    }
+                });
+            }
+        });
+        let total = s
+            .run_txn(|s, t| {
+                s.lock().topen(t, fid)?;
+                s.lock().tread(t, fid, 0, 8)
+            })
+            .unwrap();
+        assert_eq!(
+            u64::from_le_bytes(total.try_into().unwrap()),
+            (THREADS as u64) * PER_THREAD
+        );
+        let stats = s.lock().stats();
+        assert_eq!(stats.begun, stats.committed + stats.aborted);
     }
 
     #[test]

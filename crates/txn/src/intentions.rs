@@ -123,6 +123,11 @@ pub enum LogRecord {
         txn: TxnId,
         /// Its intentions, in application order.
         intentions: Vec<Intention>,
+        /// Final logical sizes of the files it touched. Needed by redo: a
+        /// group-commit crash can leave a durable commit record whose
+        /// size-extending apply never ran, and block-granular intentions
+        /// alone cannot reconstruct a byte-granular file length.
+        sizes: Vec<(FileId, u64)>,
     },
     /// "This transaction's intentions have all been applied."
     Completed {
@@ -137,18 +142,41 @@ impl LogRecord {
     /// Serialises the record, framed with a magic and a length so a
     /// half-written tail is detected.
     pub fn encode(&self) -> Vec<u8> {
-        let mut body = Encoder::new();
         match self {
-            LogRecord::Commit { txn, intentions } => {
-                body.u8(0).u64(txn.0).u32(intentions.len() as u32);
-                for i in intentions {
-                    i.encode(&mut body);
-                }
-            }
-            LogRecord::Completed { txn } => {
-                body.u8(1).u64(txn.0);
-            }
+            LogRecord::Commit {
+                txn,
+                intentions,
+                sizes,
+            } => Self::encode_commit(*txn, intentions, sizes),
+            LogRecord::Completed { txn } => Self::encode_completed(*txn),
         }
+    }
+
+    /// Serialises a `Commit` record directly from borrowed intentions, so
+    /// the commit hot path never deep-copies the tentative records just to
+    /// build an owned [`LogRecord`]. Byte-identical to
+    /// `LogRecord::Commit { .. }.encode()`.
+    pub fn encode_commit(txn: TxnId, intentions: &[Intention], sizes: &[(FileId, u64)]) -> Vec<u8> {
+        let mut body = Encoder::new();
+        body.u8(0).u64(txn.0).u32(intentions.len() as u32);
+        for i in intentions {
+            i.encode(&mut body);
+        }
+        body.u32(sizes.len() as u32);
+        for (fid, size) in sizes {
+            body.u64(fid.0).u64(*size);
+        }
+        Self::frame(body)
+    }
+
+    /// Serialises a `Completed` marker.
+    pub fn encode_completed(txn: TxnId) -> Vec<u8> {
+        let mut body = Encoder::new();
+        body.u8(1).u64(txn.0);
+        Self::frame(body)
+    }
+
+    fn frame(body: Encoder) -> Vec<u8> {
         let body = body.finish();
         let mut framed = Encoder::new();
         framed.u32(LOG_MAGIC).bytes(&body);
@@ -181,7 +209,16 @@ impl LogRecord {
                 for _ in 0..n {
                     intentions.push(Intention::decode(&mut bd)?);
                 }
-                LogRecord::Commit { txn, intentions }
+                let nsizes = bd.u32()? as usize;
+                let mut sizes = Vec::with_capacity(nsizes);
+                for _ in 0..nsizes {
+                    sizes.push((FileId(bd.u64()?), bd.u64()?));
+                }
+                LogRecord::Commit {
+                    txn,
+                    intentions,
+                    sizes,
+                }
             }
             1 => LogRecord::Completed {
                 txn: TxnId(bd.u64()?),
@@ -195,6 +232,14 @@ impl LogRecord {
     /// clean end or torn tail (a torn tail is reported as end-of-log: the
     /// record was never fully durable, so its transaction never committed).
     pub fn decode_log(buf: &[u8]) -> Vec<LogRecord> {
+        Self::decode_log_prefix(buf).0
+    }
+
+    /// [`Self::decode_log`] plus the byte length of the valid prefix.
+    /// Recovery resumes appending at that offset, *overwriting* any torn
+    /// tail — appending after it would put the new records beyond the
+    /// point where every future decode stops.
+    pub fn decode_log_prefix(buf: &[u8]) -> (Vec<LogRecord>, usize) {
         let mut out = Vec::new();
         let mut pos = 0;
         while pos < buf.len() {
@@ -206,7 +251,7 @@ impl LogRecord {
                 Ok(None) | Err(_) => break,
             }
         }
-        out
+        (out, pos)
     }
 }
 
@@ -230,7 +275,27 @@ mod tests {
                     data: b"xyz".to_vec(),
                 },
             ],
+            sizes: vec![(FileId(1), 30_000), (FileId(2), 102)],
         }
+    }
+
+    #[test]
+    fn borrowed_commit_encoding_is_byte_identical() {
+        let rec = sample_commit();
+        let LogRecord::Commit {
+            txn,
+            intentions,
+            sizes,
+        } = &rec
+        else {
+            unreachable!()
+        };
+        assert_eq!(
+            LogRecord::encode_commit(*txn, intentions, sizes),
+            rec.encode()
+        );
+        let done = LogRecord::Completed { txn: TxnId(7) };
+        assert_eq!(LogRecord::encode_completed(TxnId(7)), done.encode());
     }
 
     #[test]

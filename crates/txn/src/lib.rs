@@ -71,5 +71,7 @@ pub mod table;
 pub use concurrent::SharedTransactionService;
 pub use error::TxnError;
 pub use lock::{DataItem, LockMode};
-pub use service::{TransactionService, TxnConfig, TxnId, TxnStats};
+pub use service::{
+    GroupCommit, Prepared, PreparedCommit, TransactionService, TxnConfig, TxnId, TxnStats,
+};
 pub use table::{LockOutcome, LockTable};

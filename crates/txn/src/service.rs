@@ -20,6 +20,22 @@ impl fmt::Display for TxnId {
     }
 }
 
+/// Group-commit policy: how aggressively commit I/O is batched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroupCommit {
+    /// Batched commit I/O: a log flush covers every record appended
+    /// since the previous flush (the `Completed` marker rides in the
+    /// *next* flush instead of forcing its own — redo is idempotent, so
+    /// recovery is unchanged), and a commit's page intentions reach the
+    /// per-spindle schedulers as elevator-ordered batches.
+    #[default]
+    Auto,
+    /// Ablation: every log record forces its own `flush_file` and
+    /// intentions apply one disk reference at a time — the
+    /// pre-group-commit behaviour, kept for E18 comparisons.
+    Never,
+}
+
 /// Tunables of the transaction service.
 #[derive(Debug, Clone, Copy)]
 pub struct TxnConfig {
@@ -38,6 +54,8 @@ pub struct TxnConfig {
     /// many bytes (checked at quiescent moments — everything before the
     /// tail has completed by then, so the log is pure garbage).
     pub log_compact_threshold: u64,
+    /// Group-commit policy (see [`GroupCommit`]).
+    pub group_commit: GroupCommit,
 }
 
 impl Default for TxnConfig {
@@ -47,6 +65,7 @@ impl Default for TxnConfig {
             max_renewals: 3,
             cross_granularity: false,
             log_compact_threshold: 4 * 1024 * 1024,
+            group_commit: GroupCommit::Auto,
         }
     }
 }
@@ -70,6 +89,32 @@ pub struct TxnStats {
     pub record_intentions: u64,
     /// Operations that returned `WouldBlock`.
     pub would_blocks: u64,
+    /// `flush_file` calls issued on the intention log — the durability
+    /// round trips group commit exists to amortise.
+    pub log_flushes: u64,
+    /// Flushes that made more than one log record durable at once.
+    pub group_commits: u64,
+    /// Log records made durable, total (the per-flush average is
+    /// [`TxnStats::records_per_flush_avg`]).
+    pub records_flushed: u64,
+    /// Most log records made durable by a single flush (high-water mark).
+    pub records_per_flush_hwm: u64,
+    /// Page intentions applied through the batched elevator path rather
+    /// than one disk reference at a time.
+    pub commit_batch_pages: u64,
+    /// Intention-log compactions performed.
+    pub log_compactions: u64,
+}
+
+impl TxnStats {
+    /// Average log records made durable per flush.
+    pub fn records_per_flush_avg(&self) -> f64 {
+        if self.log_flushes == 0 {
+            0.0
+        } else {
+            self.records_flushed as f64 / self.log_flushes as f64
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -77,6 +122,37 @@ struct TentativePage {
     disk: u16,
     addr: u64,
     data: Vec<u8>,
+}
+
+/// Outcome of [`TransactionService::prepare_commit`].
+#[derive(Debug)]
+pub enum Prepared {
+    /// A nested commit — merged into its parent, nothing left to do.
+    Merged,
+    /// A top-level commit whose `Commit` record is in the log but not
+    /// necessarily durable yet: flush, then complete.
+    Pending(PreparedCommit),
+}
+
+/// A top-level commit between its two halves: the `Commit` record has
+/// been appended to the log ([`TransactionService::prepare_commit`]) but
+/// the changes are not yet permanent. A group-commit leader collects
+/// many of these, makes them all durable with one
+/// [`TransactionService::flush_log`], and applies each with
+/// [`TransactionService::complete_commit`].
+#[derive(Debug)]
+pub struct PreparedCommit {
+    txn: TxnId,
+    intentions: Vec<Intention>,
+    sizes: Vec<(FileId, u64)>,
+    has_effects: bool,
+}
+
+impl PreparedCommit {
+    /// The committing transaction.
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
 }
 
 #[derive(Debug)]
@@ -144,6 +220,18 @@ pub struct TransactionService {
     next_txn: u64,
     log_fid: FileId,
     log_tail: u64,
+    /// Log records appended since the last [`Self::flush_log`].
+    unflushed_records: u64,
+    /// Tentative WAL blocks whose commits have applied but whose
+    /// `Completed` markers are not yet durable. They stay allocated until
+    /// the next flush: were they freed (and reused) earlier, a crash
+    /// would let redo follow the log's stale pointers into reused blocks.
+    deferred_frees: Vec<(u16, u64)>,
+    /// Total log bytes ever appended (monotonic across compactions —
+    /// a log sequence number).
+    appended_lsn: u64,
+    /// `appended_lsn` at the last durable flush.
+    durable_lsn: u64,
     stats: TxnStats,
 }
 
@@ -174,6 +262,10 @@ impl TransactionService {
             next_txn: 1,
             log_fid,
             log_tail,
+            unflushed_records: 0,
+            deferred_frees: Vec::new(),
+            appended_lsn: log_tail,
+            durable_lsn: log_tail,
             stats: TxnStats::default(),
         })
     }
@@ -680,12 +772,56 @@ impl TransactionService {
 
     // ---- commit / abort ------------------------------------------------------
 
-    fn append_log(&mut self, record: &LogRecord) -> Result<(), TxnError> {
-        let bytes = record.encode();
-        self.fs.write(self.log_fid, self.log_tail, &bytes)?;
-        self.fs.flush_file(self.log_fid)?;
+    /// Appends encoded record bytes to the log *without* forcing them to
+    /// disk (under [`GroupCommit::Never`] the flush is immediate — the
+    /// per-record ablation). Durability is [`Self::flush_log`].
+    fn append_log_bytes(&mut self, bytes: &[u8]) -> Result<(), TxnError> {
+        self.fs.write(self.log_fid, self.log_tail, bytes)?;
         self.log_tail += bytes.len() as u64;
+        self.appended_lsn += bytes.len() as u64;
+        self.unflushed_records += 1;
+        if self.config.group_commit == GroupCommit::Never {
+            self.flush_log()?;
+        }
         Ok(())
+    }
+
+    fn append_log(&mut self, record: &LogRecord) -> Result<(), TxnError> {
+        self.append_log_bytes(&record.encode())
+    }
+
+    /// Makes every log record appended since the previous flush durable
+    /// with one `flush_file` — the group-commit durability point. A no-op
+    /// when nothing is pending.
+    ///
+    /// # Errors
+    ///
+    /// File-service failures.
+    pub fn flush_log(&mut self) -> Result<(), TxnError> {
+        if self.unflushed_records > 0 {
+            self.fs.flush_file(self.log_fid)?;
+            self.stats.log_flushes += 1;
+            self.stats.records_flushed += self.unflushed_records;
+            if self.unflushed_records > 1 {
+                self.stats.group_commits += 1;
+            }
+            self.stats.records_per_flush_hwm =
+                self.stats.records_per_flush_hwm.max(self.unflushed_records);
+            self.durable_lsn = self.appended_lsn;
+            self.unflushed_records = 0;
+        }
+        // Tentative blocks of applied commits become reusable only now:
+        // their `Completed` markers are durable, so no redo can follow the
+        // log's stale pointers into reused blocks.
+        for (d, a) in std::mem::take(&mut self.deferred_frees) {
+            self.fs.free_detached_block(d, a)?;
+        }
+        Ok(())
+    }
+
+    /// Log bytes made durable so far (monotonic across compactions).
+    pub fn durable_lsn(&self) -> u64 {
+        self.durable_lsn
     }
 
     /// `tend`: commits the transaction — writes the intentions list to the
@@ -698,6 +834,34 @@ impl TransactionService {
     /// [`TxnError::NotActive`]; file-service failures (the log record, if
     /// already durable, will be replayed by recovery).
     pub fn tend(&mut self, t: TxnId) -> Result<(), TxnError> {
+        match self.prepare_commit(t)? {
+            Prepared::Merged => Ok(()),
+            Prepared::Pending(p) => {
+                self.flush_log()?;
+                let res = self.complete_commit(p);
+                // Quiescent housekeeping: everything in the log has
+                // completed, so reclaim it once it outgrows the threshold.
+                self.maybe_compact_log()?;
+                res
+            }
+        }
+    }
+
+    /// First half of a top-level commit: assembles the intentions list and
+    /// appends the `Commit` record to the log *without* forcing it to
+    /// disk. The caller makes the batch durable with [`Self::flush_log`]
+    /// (one flush can cover many prepared commits) and then applies each
+    /// with [`Self::complete_commit`]. The transaction stays active — and
+    /// keeps its locks — until then.
+    ///
+    /// Nested commits merge into the parent here and are already done
+    /// ([`Prepared::Merged`]).
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::NotActive`], [`TxnError::ChildrenActive`]; file-service
+    /// failures writing the log.
+    pub fn prepare_commit(&mut self, t: TxnId) -> Result<Prepared, TxnError> {
         self.txn(t)?;
         if !self.children_of(t).is_empty() {
             return Err(TxnError::ChildrenActive(t));
@@ -705,7 +869,8 @@ impl TransactionService {
         // Nested commit: merge into the parent; durability waits for the
         // top level.
         if self.txn(t)?.parent.is_some() {
-            return self.tend_nested(t);
+            self.tend_nested(t)?;
+            return Ok(Prepared::Merged);
         }
         // Assemble the intentions list.
         let txn = self.active.get(&t).expect("checked");
@@ -729,19 +894,41 @@ impl TransactionService {
         }
         let sizes: Vec<(FileId, u64)> = txn.tentative_sizes.iter().map(|(f, s)| (*f, *s)).collect();
         let has_effects = !intentions.is_empty() || !txn.to_delete.is_empty();
-        // 1. Durable commit record (the intention flag moves to Commit).
+        // Durable commit record (the intention flag moves to Commit) —
+        // encoded straight from the borrowed intentions, no deep copy.
         if has_effects {
-            self.append_log(&LogRecord::Commit {
-                txn: t,
-                intentions: intentions.clone(),
-            })?;
+            let bytes = LogRecord::encode_commit(t, &intentions, &sizes);
+            self.append_log_bytes(&bytes)?;
         }
-        // 2. Make the changes permanent.
-        for (fid, size) in sizes {
-            self.fs.ensure_size(fid, size)?;
+        Ok(Prepared::Pending(PreparedCommit {
+            txn: t,
+            intentions,
+            sizes,
+            has_effects,
+        }))
+    }
+
+    /// Second half of a top-level commit: makes the prepared changes
+    /// permanent, performs deferred deletions, appends the `Completed`
+    /// marker (deferred into the *next* flush under [`GroupCommit::Auto`]
+    /// — redo is idempotent) and releases the locks. The `Commit` record
+    /// must already be durable ([`Self::flush_log`]).
+    ///
+    /// # Errors
+    ///
+    /// File-service failures; the transaction then stays active and its
+    /// durable commit record will be replayed by recovery.
+    pub fn complete_commit(&mut self, p: PreparedCommit) -> Result<(), TxnError> {
+        let t = p.txn;
+        if !self.active.contains_key(&t) {
+            return Err(TxnError::NotActive(t));
         }
-        self.apply_intentions(&intentions, None)?;
-        // 3. Deferred deletions.
+        // 1. Make the changes permanent.
+        for (fid, size) in &p.sizes {
+            self.fs.ensure_size(*fid, *size)?;
+        }
+        self.apply_intentions(&p.intentions, ReadSource::Main, false)?;
+        // 2. Deferred deletions.
         let to_delete = self.active.get(&t).expect("checked").to_delete.clone();
         for fid in to_delete {
             // Close our own handle if we had one, then delete.
@@ -756,27 +943,46 @@ impl TransactionService {
             }
             self.fs.delete(fid)?;
         }
-        // 4. Erase the intentions (completion marker).
-        if has_effects {
+        // 3. Erase the intentions (completion marker).
+        if p.has_effects {
             self.append_log(&LogRecord::Completed { txn: t })?;
         }
         self.finish(t, true);
-        // Quiescent housekeeping: everything in the log has completed, so
-        // reclaim it once it outgrows the threshold.
-        if self.active.is_empty() && self.log_tail > self.config.log_compact_threshold {
-            self.compact_log()?;
-        }
         Ok(())
     }
 
-    /// Applies intentions. `override_source` is used during recovery,
-    /// where tentative page data must be fetched from the detached blocks
-    /// rather than memory.
+    /// Quiescent housekeeping: when nothing is active, everything in the
+    /// log has completed, so reclaim it once it outgrows the threshold.
+    /// Returns whether a compaction ran.
+    ///
+    /// # Errors
+    ///
+    /// File-service failures recreating the log.
+    pub fn maybe_compact_log(&mut self) -> Result<bool, TxnError> {
+        if self.active.is_empty() && self.log_tail > self.config.log_compact_threshold {
+            self.compact_log()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Applies intentions. `recovering` marks redo during
+    /// [`Self::recover`]: files deleted after the original apply are
+    /// tolerated (the redo of a completed-then-crashed commit must skip
+    /// them, not fail) and the serial path is always used.
     fn apply_intentions(
         &mut self,
         intentions: &[Intention],
-        override_source: Option<ReadSource>,
+        source: ReadSource,
+        recovering: bool,
     ) -> Result<(), TxnError> {
+        let npages = intentions
+            .iter()
+            .filter(|i| matches!(i, Intention::Page { .. }))
+            .count();
+        if self.config.group_commit == GroupCommit::Auto && !recovering && npages > 1 {
+            return self.apply_intentions_batched(intentions, source);
+        }
         for intent in intentions {
             match intent {
                 Intention::Page {
@@ -785,6 +991,15 @@ impl TransactionService {
                     tentative_disk,
                     tentative_addr,
                 } => {
+                    if recovering && !self.fs.exists(*fid) {
+                        // The committing transaction also deleted this file
+                        // (apply ran, then the crash ate the `Completed`
+                        // marker): nothing to redo. Drop the repinned
+                        // tentative block once the redo's `Completed` is
+                        // durable.
+                        self.deferred_frees.push((*tentative_disk, *tentative_addr));
+                        continue;
+                    }
                     // Grow first if recovery replays a size-extending write.
                     let nblocks = self
                         .fs
@@ -801,34 +1016,58 @@ impl TransactionService {
                     } else {
                         Technique::Shadow
                     };
-                    let data = self.fs.get_detached_block(
-                        *tentative_disk,
-                        *tentative_addr,
-                        override_source.unwrap_or(ReadSource::Main),
-                    )?;
+                    // Redo aliasing guard: if a pre-crash *shadow* apply
+                    // already swung the FIT to the tentative block (the
+                    // crash ate only the `Completed` marker) and the
+                    // technique recomputes as WAL now, the "tentative"
+                    // block IS the live block — copying it onto itself and
+                    // then freeing it would corrupt the file.
+                    if recovering {
+                        let descs = self.fs.block_descriptors(*fid)?;
+                        if descs
+                            .get(*index as usize)
+                            .is_some_and(|d| (d.disk, d.addr) == (*tentative_disk, *tentative_addr))
+                        {
+                            // Already applied — an idempotent no-op redo.
+                            continue;
+                        }
+                    }
+                    let data =
+                        self.fs
+                            .get_detached_block(*tentative_disk, *tentative_addr, source)?;
                     match technique {
                         Technique::Wal => {
                             // In-place update preserves contiguity; the
-                            // detached block was the log entry.
+                            // detached block was the log entry. Its free
+                            // waits for the `Completed` marker to be
+                            // durable (see `deferred_frees`).
                             self.fs.write_block(*fid, *index, data)?;
-                            self.fs
-                                .free_detached_block(*tentative_disk, *tentative_addr)?;
+                            self.deferred_frees.push((*tentative_disk, *tentative_addr));
                             self.stats.wal_pages += 1;
                         }
                         Technique::Shadow => {
-                            // Swing the descriptor; free the old block.
+                            // Swing the descriptor; free the old block —
+                            // unless this is a redo of an already-applied
+                            // intention, in which case the descriptor
+                            // already points at the tentative block and
+                            // freeing "old" would free live data.
                             let (od, oa) = self.fs.replace_block_descriptor(
                                 *fid,
                                 *index,
                                 *tentative_disk,
                                 *tentative_addr,
                             )?;
-                            self.fs.free_detached_block(od, oa)?;
+                            if (od, oa) != (*tentative_disk, *tentative_addr) {
+                                self.fs.free_detached_block(od, oa)?;
+                            }
                             self.stats.shadow_pages += 1;
                         }
                     }
                 }
                 Intention::Record { fid, offset, data } => {
+                    if recovering && !self.fs.exists(*fid) {
+                        continue;
+                    }
                     // Records always use WAL: the log record *is* the log
                     // entry; apply in place.
                     self.fs.ensure_size(*fid, offset + data.len() as u64)?;
@@ -844,6 +1083,104 @@ impl TransactionService {
                     self.stats.record_intentions += 1;
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// The batched apply: every tentative page in the commit is fetched in
+    /// one per-spindle elevator pass, WAL pages land as one write batch
+    /// (physically adjacent blocks merge into single disk references) and
+    /// record flushes coalesce per file. Data and ordering are exactly the
+    /// serial path's; only the grouping of the transfers differs.
+    fn apply_intentions_batched(
+        &mut self,
+        intentions: &[Intention],
+        source: ReadSource,
+    ) -> Result<(), TxnError> {
+        // Pass 1: growth, in list order — growth can change a file's
+        // layout, so finish all of it before snapshotting techniques.
+        let mut pages: Vec<(FileId, u64, u16, u64)> = Vec::new();
+        for intent in intentions {
+            if let Intention::Page {
+                fid,
+                index,
+                tentative_disk,
+                tentative_addr,
+            } = intent
+            {
+                let nblocks = self
+                    .fs
+                    .get_attribute(*fid)?
+                    .size
+                    .div_ceil(BLOCK_SIZE as u64);
+                if *index >= nblocks {
+                    self.fs
+                        .ensure_size(*fid, (*index + 1) * BLOCK_SIZE as u64)?;
+                }
+                pages.push((*fid, *index, *tentative_disk, *tentative_addr));
+            }
+        }
+        let mut technique: HashMap<FileId, Technique> = HashMap::new();
+        for &(fid, ..) in &pages {
+            if let std::collections::hash_map::Entry::Vacant(e) = technique.entry(fid) {
+                let t = if self.fs.fit_snapshot(fid)?.contiguity_ratio() >= 1.0 {
+                    Technique::Wal
+                } else {
+                    Technique::Shadow
+                };
+                e.insert(t);
+            }
+        }
+        // Pass 2: one elevator batch reads every tentative block.
+        let locs: Vec<(u16, u64)> = pages.iter().map(|&(_, _, d, a)| (d, a)).collect();
+        let bufs = self.fs.get_detached_blocks(&locs, source)?;
+        self.stats.commit_batch_pages += pages.len() as u64;
+        // Pass 3: WAL pages become one write batch; shadow swings are FIT
+        // surgery (no data transfer) and stay serial.
+        let mut wal_writes: Vec<(FileId, u64, rhodos_buf::BlockBuf)> = Vec::new();
+        let mut wal_frees: Vec<(u16, u64)> = Vec::new();
+        for (&(fid, index, td, ta), buf) in pages.iter().zip(bufs) {
+            match technique[&fid] {
+                Technique::Wal => {
+                    wal_writes.push((fid, index, buf));
+                    wal_frees.push((td, ta));
+                    self.stats.wal_pages += 1;
+                }
+                Technique::Shadow => {
+                    let (od, oa) = self.fs.replace_block_descriptor(fid, index, td, ta)?;
+                    if (od, oa) != (td, ta) {
+                        self.fs.free_detached_block(od, oa)?;
+                    }
+                    self.stats.shadow_pages += 1;
+                }
+            }
+        }
+        self.fs.write_blocks(wal_writes)?;
+        // The frees wait for the `Completed` marker (see `deferred_frees`).
+        self.deferred_frees.extend(wal_frees);
+        // Pass 4: record intentions, in order, flushing each touched file
+        // once at the end instead of once per record.
+        let mut touched: Vec<FileId> = Vec::new();
+        for intent in intentions {
+            if let Intention::Record { fid, offset, data } = intent {
+                self.fs.ensure_size(*fid, offset + data.len() as u64)?;
+                let opened_here = self.fs.get_attribute(*fid)?.ref_count == 0;
+                if opened_here {
+                    self.fs.open(*fid)?;
+                }
+                self.fs.write(*fid, *offset, data)?;
+                if opened_here {
+                    // Keep the file open until the coalesced flush below.
+                    self.fs.flush_file(*fid)?;
+                    self.fs.close(*fid)?;
+                } else if !touched.contains(fid) {
+                    touched.push(*fid);
+                }
+                self.stats.record_intentions += 1;
+            }
+        }
+        for fid in touched {
+            self.fs.flush_file(fid)?;
         }
         Ok(())
     }
@@ -1011,6 +1348,9 @@ impl TransactionService {
     /// Fails if the log itself is unrecoverable.
     pub fn recover(&mut self) -> Result<Vec<TxnId>, TxnError> {
         self.active.clear();
+        // Pre-crash deferred frees are stale: the allocation rebuild
+        // below reclaims unreferenced blocks itself.
+        self.deferred_frees.clear();
         let cfg = self.config;
         self.tables = [
             LockTable::new(cfg.lt_us, cfg.max_renewals),
@@ -1029,13 +1369,29 @@ impl TransactionService {
         } else {
             Vec::new()
         };
-        self.log_tail = size;
-        let records = LogRecord::decode_log(&image);
-        let mut committed: HashMap<TxnId, Vec<Intention>> = HashMap::new();
+        // Anything appended but unflushed before the crash is gone; the
+        // durable horizon restarts at the recovered tail.
+        self.unflushed_records = 0;
+        self.durable_lsn = self.appended_lsn;
+        let (records, valid_len) = LogRecord::decode_log_prefix(&image);
+        // Resume appending at the end of the *valid* prefix, not the
+        // recorded file size: a crash inside the deferred-`Completed`
+        // window can leave the size covering a torn tail (the append grew
+        // the FIT durably but its bytes never flushed), and a record
+        // appended after that garbage would be unreachable — every future
+        // decode stops at the tear, so the redo would repeat on each
+        // recovery instead of being marked done.
+        self.log_tail = valid_len as u64;
+        type CommitBody = (Vec<Intention>, Vec<(FileId, u64)>);
+        let mut committed: HashMap<TxnId, CommitBody> = HashMap::new();
         for rec in records {
             match rec {
-                LogRecord::Commit { txn, intentions } => {
-                    committed.insert(txn, intentions);
+                LogRecord::Commit {
+                    txn,
+                    intentions,
+                    sizes,
+                } => {
+                    committed.insert(txn, (intentions, sizes));
                 }
                 LogRecord::Completed { txn } => {
                     committed.remove(&txn);
@@ -1049,17 +1405,28 @@ impl TransactionService {
         // transactions we are about to redo. Re-pin them before applying.
         // (Simplest correct order: re-mark, apply, then the apply frees
         // them again through the normal path.)
-        let mut to_apply: Vec<(TxnId, Vec<Intention>)> = Vec::new();
+        let mut to_apply: Vec<(TxnId, CommitBody)> = Vec::new();
         for t in &redone {
             to_apply.push((*t, committed.remove(t).expect("present")));
         }
-        for (_, intentions) in &to_apply {
+        for (_, (intentions, _)) in &to_apply {
             self.repin_tentative_blocks(intentions)?;
         }
-        for (t, intentions) in to_apply {
-            self.apply_intentions(&intentions, None)?;
+        for (t, (intentions, sizes)) in to_apply {
+            // Replay logical sizes first, exactly as `complete_commit`
+            // orders it — intentions are block-granular and alone would
+            // leave a size-extending redo short.
+            for (fid, size) in sizes {
+                if self.fs.exists(fid) {
+                    self.fs.ensure_size(fid, size)?;
+                }
+            }
+            self.apply_intentions(&intentions, ReadSource::Main, true)?;
             self.append_log(&LogRecord::Completed { txn: t })?;
         }
+        // One flush covers every redo's `Completed` marker (and leaves
+        // nothing deferred from before the crash).
+        self.flush_log()?;
         Ok(redone)
     }
 
@@ -1108,6 +1475,15 @@ impl TransactionService {
         self.fs.open(fid)?;
         self.log_fid = fid;
         self.log_tail = 0;
+        // Unflushed `Completed` markers died with the old log file —
+        // harmless, since the whole log they referred to is gone too, and
+        // with the `Commit` records gone no redo can chase freed blocks.
+        self.unflushed_records = 0;
+        self.durable_lsn = self.appended_lsn;
+        for (d, a) in std::mem::take(&mut self.deferred_frees) {
+            self.fs.free_detached_block(d, a)?;
+        }
+        self.stats.log_compactions += 1;
         Ok(())
     }
 }
@@ -1401,8 +1777,19 @@ mod tests {
                 tentative_addr: p.addr,
             })
             .collect();
-        let rec = LogRecord::Commit { txn: t, intentions };
+        let sizes = {
+            let txn = ts.active.get(&t).unwrap();
+            txn.tentative_sizes.iter().map(|(f, s)| (*f, *s)).collect()
+        };
+        let rec = LogRecord::Commit {
+            txn: t,
+            intentions,
+            sizes,
+        };
         ts.append_log(&rec).unwrap();
+        // Make the forged record durable (this also flushes t0's deferred
+        // `Completed` marker, as the next group flush would).
+        ts.flush_log().unwrap();
         ts.file_service_mut().simulate_crash();
         let redone = ts.recover().unwrap();
         assert_eq!(redone, vec![t]);
@@ -1426,9 +1813,12 @@ mod tests {
         let t = ts.tbegin();
         ts.topen(t, fid).unwrap();
         ts.twrite(t, fid, 0, b"ghost!!").unwrap();
-        // Crash with no commit record.
+        // Crash with no commit record. t0's `Completed` marker was
+        // deferred into a flush that never happened, so recovery redoes
+        // t0 (harmless — redo is idempotent); the uncommitted t must not
+        // appear.
         ts.file_service_mut().simulate_crash();
-        assert!(ts.recover().unwrap().is_empty());
+        assert_eq!(ts.recover().unwrap(), vec![t0]);
         let t2 = ts.tbegin();
         ts.topen(t2, fid).unwrap();
         assert_eq!(ts.tread(t2, fid, 0, 7).unwrap(), b"durable");
@@ -1737,6 +2127,29 @@ mod nested_tests {
         ts.topen(t, fid).unwrap();
         assert_eq!(ts.tread(t, fid, 0, 6).unwrap(), b"child!");
         ts.tend(t).unwrap();
+    }
+
+    #[test]
+    fn nested_commit_counted_exactly_once() {
+        // Regression: the child's commit is tallied in `tend_nested` (via
+        // the `Prepared::Merged` fast path) and the root's in `finish` —
+        // the prepare/complete split must not double-count either.
+        let (mut ts, fid) = setup();
+        let before = ts.stats();
+        let parent = ts.tbegin();
+        ts.topen(parent, fid).unwrap();
+        let child = ts.tbegin_nested(parent).unwrap();
+        ts.twrite(child, fid, 0, b"once").unwrap();
+        ts.tend(child).unwrap();
+        ts.tend(parent).unwrap();
+        let after = ts.stats();
+        assert_eq!(after.begun - before.begun, 2, "root + child begun");
+        assert_eq!(
+            after.committed - before.committed,
+            2,
+            "child counted at merge, root at finish — each exactly once"
+        );
+        assert_eq!(after.aborted, before.aborted);
     }
 
     #[test]

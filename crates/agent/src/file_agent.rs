@@ -12,7 +12,7 @@ use parking_lot::Mutex;
 use rhodos_buf::BlockBuf;
 use rhodos_disk_service::{SchedulerStats, BLOCK_SIZE};
 use rhodos_file_service::{
-    BlockCache, CacheStats, FileAttributes, FileId, FileServiceError, ServiceType,
+    BlockCache, CacheStats, FileAttributes, FileId, FileServiceError, ScrubStats, ServiceType,
 };
 use rhodos_naming::{AttributedName, NamingError, NamingService, SystemName};
 use rhodos_net::SimNetwork;
@@ -91,6 +91,9 @@ pub struct AgentStats {
     /// reachable server — how the striped fan-out batched, ordered and
     /// coalesced this agent's (and its co-clients') traffic.
     pub scheduler: SchedulerStats,
+    /// Background-scrubber counters merged over every reachable server —
+    /// latent faults found, repaired and (loudly) unrecoverable.
+    pub scrub: ScrubStats,
 }
 
 #[derive(Debug)]
@@ -192,9 +195,12 @@ impl FileAgent {
             cache.bytes_borrowed += s.bytes_borrowed;
         }
         let mut scheduler = SchedulerStats::default();
+        let mut scrub = ScrubStats::default();
         for srv in &self.servers {
             let mut srv = srv.lock();
-            for d in srv.file_service_mut().stats().disks {
+            let stats = srv.file_service_mut().stats();
+            scrub.merge(&stats.scrub);
+            for d in stats.disks {
                 scheduler.merge(&d.scheduler);
             }
         }
@@ -202,7 +208,31 @@ impl FileAgent {
             cache,
             round_trips: self.round_trips,
             scheduler,
+            scrub,
         }
+    }
+
+    /// Runs one scrub pass (or budget slice, see [`rhodos_file_service::
+    /// FileService::scrub`]) on every reachable server and returns the
+    /// merged counter deltas — the agent-side hook for driving the
+    /// background consistency activity during idle time. One round trip
+    /// per server; the scan itself is server-local.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a server whose scrub failed outright (crashed disk).
+    pub fn scrub_servers(&mut self, budget: Option<u64>) -> Result<ScrubStats, AgentError> {
+        let mut total = ScrubStats::default();
+        for i in 0..self.servers.len() {
+            self.round_trip();
+            let report = self.servers[i]
+                .lock()
+                .file_service_mut()
+                .scrub(budget)
+                .map_err(AgentError::File)?;
+            total.merge(&report.stats);
+        }
+        Ok(total)
     }
 
     /// One request/reply exchange with the server (latency accounting).
@@ -642,6 +672,38 @@ mod tests {
             s.merged_requests > 0,
             "a 64 KiB contiguous file should merge into few references"
         );
+    }
+
+    #[test]
+    fn agent_scrub_finds_and_repairs_server_faults() {
+        let mut a = agent();
+        a.create(&name("name=latent")).unwrap();
+        let od = a.open(&name("name=latent")).unwrap();
+        a.write(od, &vec![0x5Au8; 40 * 1024]).unwrap();
+        a.close(od).unwrap();
+        // Silently rot a FIT fragment on the server's platter; the stable
+        // mirror still holds the good copy.
+        let fid = a.fid_of(od);
+        let fid = fid.unwrap_or_else(|| {
+            // od is closed — resolve through the server directly.
+            a.servers[0].lock().file_service_mut().file_ids()[0]
+        });
+        {
+            let mut srv = a.servers[0].lock();
+            let fs = srv.file_service_mut();
+            let frag = fs.block_descriptors(fid).unwrap()[0].addr - 1;
+            fs.disk_mut(0)
+                .disk_mut()
+                .silently_corrupt_sector(frag)
+                .unwrap();
+        }
+        let delta = a.scrub_servers(None).unwrap();
+        assert_eq!(delta.faults_found, 1);
+        assert_eq!(delta.faults_repaired, 1);
+        let merged = a.stats().scrub;
+        assert_eq!(merged.faults_found, 1);
+        assert!(merged.sectors_scanned > 0);
+        assert_eq!(merged.unrecoverable, 0);
     }
 
     #[test]

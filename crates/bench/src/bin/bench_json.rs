@@ -6,7 +6,10 @@
 //! failover/retry behaviour regressions show up as a diff too — and
 //! `BENCH_txn_commit.json`: the group-commit pipeline's deterministic
 //! flush/batch counters against the serial ablation (see
-//! `rhodos_bench::experiments::e18_group_commit::stat_records`).
+//! `rhodos_bench::experiments::e18_group_commit::stat_records`) — and
+//! `BENCH_scrub.json`: the self-healing counters of a fixed latent-fault
+//! scenario (see `rhodos_bench::experiments::e19_self_healing::stat_records`),
+//! so scrub/repair/fsck behaviour regressions show up as a diff.
 //!
 //! `cargo run --release -p rhodos-bench --bin bench_json [-- <out-path>]`
 
@@ -59,4 +62,14 @@ fn main() {
     std::fs::write(txn_path, &txn_json).expect("write txn commit json");
     println!("wrote {txn_path}");
     print!("{txn_json}");
+
+    let scrub_path = "BENCH_scrub.json";
+    let scrub_rows: Vec<String> = rhodos_bench::experiments::e19_self_healing::stat_records()
+        .into_iter()
+        .map(|(stat, value)| format!("  {{\"stat\": \"{stat}\", \"value\": {value}}}"))
+        .collect();
+    let scrub_json = format!("[\n{}\n]\n", scrub_rows.join(",\n"));
+    std::fs::write(scrub_path, &scrub_json).expect("write scrub json");
+    println!("wrote {scrub_path}");
+    print!("{scrub_json}");
 }

@@ -1,4 +1,4 @@
-//! The paper-claim experiments E1–E18 (see `EXPERIMENTS.md`).
+//! The paper-claim experiments E1–E19 (see `EXPERIMENTS.md`).
 //!
 //! E2 (Figure 1, the architecture) is validated by the integration test
 //! `tests/architecture.rs` rather than a measurement, so it has no module
@@ -21,3 +21,4 @@ pub mod e15_write_policy;
 pub mod e16_agent_lifecycle;
 pub mod e17_replication_failover;
 pub mod e18_group_commit;
+pub mod e19_self_healing;

@@ -5,7 +5,7 @@
 //! reliability *claims* stated in prose. This crate regenerates each of
 //! them:
 //!
-//! * [`experiments`] — one module per experiment E1–E18 from
+//! * [`experiments`] — one module per experiment E1–E19 from
 //!   `EXPERIMENTS.md`, each with a `run() -> String` that executes the
 //!   workload, measures the claim's quantities on the simulated facility,
 //!   and prints a paper-style table;
@@ -107,6 +107,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e18",
             "Group commit: batched log flushes and coalesced apply",
             e18_group_commit::run,
+        ),
+        (
+            "e19",
+            "Self-healing: checksums, scrubbing, sector remap, fsck repair",
+            e19_self_healing::run,
         ),
     ]
 }

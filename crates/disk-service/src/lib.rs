@@ -60,6 +60,7 @@ pub use bitmap::Bitmap;
 pub use error::DiskServiceError;
 pub use extent_index::FreeExtentArray;
 pub use rhodos_buf::BlockBuf;
+pub use rhodos_simdisk::{SectorFault, SectorFaultKind};
 pub use scheduler::SchedulerStats;
 pub use service::{DiskService, DiskServiceConfig, DiskServiceStats, ReadSource, StablePolicy};
 pub use track_cache::TrackCache;

@@ -15,7 +15,8 @@ use crate::track_cache::{TrackCache, TrackCacheStats};
 use crate::units::{Extent, FragmentAddr, FRAGMENT_SIZE, FRAGS_PER_BLOCK};
 use rhodos_buf::BlockBuf;
 use rhodos_simdisk::{
-    DiskGeometry, DiskStats, LatencyModel, SimClock, SimDisk, StableStore, StableWriteMode,
+    DiskGeometry, DiskStats, LatencyModel, SectorFault, SimClock, SimDisk, StableStore,
+    StableWriteMode,
 };
 
 /// Where `put` directs the data (§4's `put-block` stable-storage options).
@@ -732,6 +733,66 @@ impl DiskService {
             None => Ok(Vec::new()),
         }
     }
+
+    // ---- self-healing (scrub + repair) -------------------------------
+
+    /// Read-only view of the allocation bitmap — fsck cross-checks it
+    /// against the extents reachable from file metadata to find leaked
+    /// fragments and double allocations.
+    pub fn bitmap(&self) -> &Bitmap {
+        &self.bitmap
+    }
+
+    /// Scrub pass over `extents`: verifies every sector on the *platter*
+    /// (deliberately bypassing the track cache — a cached good copy must
+    /// not mask latent media damage) and returns all faults found. The
+    /// requests are routed through the per-spindle elevator like any other
+    /// batch, so a scrub sweep is coalesced runs in C-SCAN order, not
+    /// random single-sector probes.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskServiceError::BadExtent`] for an extent beyond the disk, or a
+    /// crashed-disk error; per-sector faults are the *result*, not errors.
+    pub fn verify_extents(
+        &mut self,
+        extents: &[Extent],
+    ) -> Result<Vec<SectorFault>, DiskServiceError> {
+        for e in extents {
+            self.check_extent(*e)?;
+        }
+        let runs = order_and_merge(self.disk.head(), extents, &mut self.scheduler);
+        let mut faults = Vec::new();
+        for run in runs {
+            faults.extend(self.disk.scan_sectors(run.extent.start, run.extent.len)?);
+        }
+        faults.sort_by_key(|f| f.addr);
+        Ok(faults)
+    }
+
+    /// Read-repair of one fragment from its stable-storage copy: fetches
+    /// the mirrored record pair and rewrites the main location. The write
+    /// reassigns a bad sector to a spare (persistent remap), so the
+    /// repaired fragment is readable at its original address afterwards.
+    /// Returns `Ok(false)` if no stable store is configured.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::StableLost`](rhodos_simdisk::DiskError::StableLost)
+    /// (wrapped) when the stable copy is itself unreadable — the fault is
+    /// unrecoverable at this layer; other device failures.
+    pub fn repair_fragment_from_stable(
+        &mut self,
+        frag: FragmentAddr,
+    ) -> Result<bool, DiskServiceError> {
+        if self.stable.is_none() {
+            return Ok(false);
+        }
+        let extent = Extent::new(frag, 1);
+        let good = self.get_stable(extent)?;
+        self.put(extent, &good, StablePolicy::None)?;
+        Ok(true)
+    }
 }
 
 #[cfg(test)]
@@ -804,6 +865,65 @@ mod tests {
         let before = s.stats().disk.read_ops;
         assert_eq!(s.get(e).unwrap(), data); // write-update made it resident
         assert_eq!(s.stats().disk.read_ops - before, 0);
+    }
+
+    #[test]
+    fn verify_extents_finds_latent_faults_behind_the_cache() {
+        let mut s = svc();
+        let e = s.allocate_contiguous(4).unwrap();
+        let data = vec![7u8; 4 * FRAGMENT_SIZE];
+        s.put(e, &data, StablePolicy::None).unwrap();
+        // Cached reads still succeed after silent platter corruption...
+        s.disk_mut().silently_corrupt_sector(e.start + 1).unwrap();
+        assert_eq!(s.get(e).unwrap(), data);
+        // ...but the scrub scan inspects the platter itself.
+        let faults = s.verify_extents(&[e]).unwrap();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].addr, e.start + 1);
+        assert_eq!(
+            faults[0].kind,
+            rhodos_simdisk::SectorFaultKind::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn verify_extents_coalesces_runs_through_the_scheduler() {
+        let mut s = svc_nocache();
+        let e = s.allocate_contiguous(8).unwrap();
+        let halves = [Extent::new(e.start, 4), Extent::new(e.start + 4, 4)];
+        let before = s.stats().disk.read_ops;
+        s.verify_extents(&halves).unwrap();
+        // Adjacent extents merge into one scan reference.
+        assert_eq!(s.stats().disk.read_ops - before, 1);
+        assert!(s.stats().scheduler.merged_requests >= 1);
+    }
+
+    #[test]
+    fn repair_fragment_from_stable_heals_bad_sector() {
+        let mut s = svc();
+        let e = s.allocate_contiguous(1).unwrap();
+        let data = vec![9u8; FRAGMENT_SIZE];
+        s.put(
+            e,
+            &data,
+            StablePolicy::OriginalAndStable(StableWriteMode::Sync),
+        )
+        .unwrap();
+        s.disk_mut().corrupt_sector(e.start).unwrap();
+        assert!(s.repair_fragment_from_stable(e.start).unwrap());
+        // The bad sector was reassigned to a spare; the fragment reads
+        // again at its original address with the stable copy's content.
+        assert!(!s.disk_mut().sector_faulty(e.start));
+        assert_eq!(s.stats().disk.remapped_sectors, 1);
+        s.drop_caches();
+        assert_eq!(s.get(e).unwrap(), data);
+    }
+
+    #[test]
+    fn repair_fragment_without_stable_reports_false() {
+        let mut s = svc_nocache();
+        let e = s.allocate_contiguous(1).unwrap();
+        assert!(!s.repair_fragment_from_stable(e.start).unwrap());
     }
 
     #[test]

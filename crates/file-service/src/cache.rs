@@ -175,6 +175,14 @@ impl BlockCache {
         self.blocks.contains_key(key)
     }
 
+    /// A shared handle to a resident block without recording a hit/miss
+    /// or touching the LRU state. The scrubber repairs damaged on-disk
+    /// blocks from the pool through this, so background repair does not
+    /// skew the cache-behaviour counters the experiments report.
+    pub fn peek(&self, key: &BlockKey) -> Option<BlockBuf> {
+        self.blocks.get(key).map(|b| b.data.clone())
+    }
+
     /// Inserts (or overwrites) a block; storing a shared handle costs no
     /// copy. Returns the evicted dirty blocks `(key, data)` the caller
     /// must write back.

@@ -171,6 +171,12 @@ impl FileIndexTable {
         tail
     }
 
+    /// Recomputes every `contig` count from the physical layout (fsck
+    /// repair of corrupted counts).
+    pub(crate) fn rebuild_contiguity(&mut self) {
+        self.recompute_contig();
+    }
+
     /// Recomputes every `contig` count in one backward scan.
     fn recompute_contig(&mut self) {
         let n = self.descriptors.len();

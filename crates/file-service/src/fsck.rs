@@ -54,6 +54,22 @@ pub enum FsckIssue {
         /// File affected.
         fid: FileId,
     },
+    /// Fragments marked allocated in the bitmap that no metadata
+    /// references — leaked space.
+    LeakedExtent {
+        /// Disk number.
+        disk: u16,
+        /// The unreferenced-but-allocated run.
+        extent: Extent,
+    },
+    /// Fragments referenced by metadata but free in the bitmap — a later
+    /// allocation could hand the same storage to a second owner.
+    DoubleAllocated {
+        /// Disk number.
+        disk: u16,
+        /// The referenced-but-free run.
+        extent: Extent,
+    },
 }
 
 impl fmt::Display for FsckIssue {
@@ -72,6 +88,18 @@ impl fmt::Display for FsckIssue {
                 write!(f, "{fid}: descriptor {index} points off the disk")
             }
             FsckIssue::UnreadableFit { fid } => write!(f, "{fid}: file index table unreadable"),
+            FsckIssue::LeakedExtent { disk, extent } => {
+                write!(
+                    f,
+                    "disk {disk}: {extent} allocated but unreferenced (leaked)"
+                )
+            }
+            FsckIssue::DoubleAllocated { disk, extent } => {
+                write!(
+                    f,
+                    "disk {disk}: {extent} referenced by metadata but free in the bitmap"
+                )
+            }
         }
     }
 }
@@ -175,6 +203,53 @@ impl FileService {
                 }
             }
         }
+        // Cross-check the allocation bitmap against everything the
+        // metadata references: allocated-but-unreferenced runs are leaks;
+        // referenced-but-free runs are one allocation away from handing
+        // the same storage to two owners.
+        for d in 0..self.disk_count() {
+            let Some(total) = self.disk_total_fragments(d) else {
+                continue;
+            };
+            let mut referenced = vec![false; total as usize];
+            if let Some(list) = extents.get(&(d as u16)) {
+                for (_, e) in list {
+                    for frag in e.start..e.end().min(total) {
+                        referenced[frag as usize] = true;
+                    }
+                }
+            }
+            let bm = self.disk_mut(d).bitmap();
+            let mut frag = 0u64;
+            while frag < total {
+                let allocated = !bm.is_free(frag);
+                let refd = referenced[frag as usize];
+                if allocated == refd {
+                    frag += 1;
+                    continue;
+                }
+                // Extend to the maximal run with the same disagreement.
+                let start = frag;
+                while frag < total
+                    && bm.is_free(frag) != allocated
+                    && referenced[frag as usize] == refd
+                {
+                    frag += 1;
+                }
+                let extent = Extent::new(start, frag - start);
+                report.issues.push(if allocated {
+                    FsckIssue::LeakedExtent {
+                        disk: d as u16,
+                        extent,
+                    }
+                } else {
+                    FsckIssue::DoubleAllocated {
+                        disk: d as u16,
+                        extent,
+                    }
+                });
+            }
+        }
         // Overlap detection per disk.
         for (disk, mut list) in extents {
             list.sort_by_key(|(_, e)| e.start);
@@ -190,6 +265,129 @@ impl FileService {
         }
         Ok(report)
     }
+
+    /// Runs [`Self::fsck`] and repairs what can be fixed without
+    /// guessing: clamps sizes that exceed the blocks present, rebuilds
+    /// contiguity counts from the physical layout, frees leaked extents
+    /// and re-pins extents the metadata references but the bitmap lost.
+    /// Overlapping extents, out-of-range descriptors and unreadable FITs
+    /// have no safe automatic fix — they remain reported in `after`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the walk or from persisting repairs.
+    pub fn fsck_repair(&mut self) -> Result<FsckRepairReport, crate::FileServiceError> {
+        let before = self.fsck()?;
+        let mut actions = Vec::new();
+        let mut contig_rebuilt: Vec<FileId> = Vec::new();
+        for issue in &before.issues {
+            match issue {
+                FsckIssue::SizeBeyondBlocks { fid, size, blocks } => {
+                    let to = blocks * rhodos_disk_service::BLOCK_SIZE as u64;
+                    self.clamp_size(*fid, to)?;
+                    actions.push(FsckRepairAction::TruncatedSize {
+                        fid: *fid,
+                        from: *size,
+                        to,
+                    });
+                }
+                FsckIssue::BadContiguityCount { fid, .. } if !contig_rebuilt.contains(fid) => {
+                    contig_rebuilt.push(*fid);
+                    self.rebuild_contiguity(*fid)?;
+                    actions.push(FsckRepairAction::RebuiltContiguity { fid: *fid });
+                }
+                FsckIssue::LeakedExtent { disk, extent } => {
+                    self.disk_mut(*disk as usize).free(*extent)?;
+                    actions.push(FsckRepairAction::FreedLeakedExtent {
+                        disk: *disk,
+                        extent: *extent,
+                    });
+                }
+                FsckIssue::DoubleAllocated { disk, extent } => {
+                    let repinned = self.disk_mut(*disk as usize).repin_extent(*extent);
+                    if repinned {
+                        actions.push(FsckRepairAction::RepinnedExtent {
+                            disk: *disk,
+                            extent: *extent,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        let after = self.fsck()?;
+        Ok(FsckRepairReport {
+            actions,
+            before,
+            after,
+        })
+    }
+}
+
+/// One repair applied by [`FileService::fsck_repair`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsckRepairAction {
+    /// A recorded size exceeding the blocks present was clamped.
+    TruncatedSize {
+        /// File affected.
+        fid: FileId,
+        /// Size before the repair.
+        from: u64,
+        /// Size after the repair.
+        to: u64,
+    },
+    /// Every contiguity count of the file was recomputed from the
+    /// physical layout.
+    RebuiltContiguity {
+        /// File affected.
+        fid: FileId,
+    },
+    /// A leaked extent was returned to free space.
+    FreedLeakedExtent {
+        /// Disk number.
+        disk: u16,
+        /// The freed run.
+        extent: Extent,
+    },
+    /// A referenced-but-free extent was re-marked allocated.
+    RepinnedExtent {
+        /// Disk number.
+        disk: u16,
+        /// The re-pinned run.
+        extent: Extent,
+    },
+}
+
+impl fmt::Display for FsckRepairAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsckRepairAction::TruncatedSize { fid, from, to } => {
+                write!(f, "{fid}: size clamped {from} -> {to}")
+            }
+            FsckRepairAction::RebuiltContiguity { fid } => {
+                write!(f, "{fid}: contiguity counts rebuilt")
+            }
+            FsckRepairAction::FreedLeakedExtent { disk, extent } => {
+                write!(f, "disk {disk}: leaked {extent} freed")
+            }
+            FsckRepairAction::RepinnedExtent { disk, extent } => {
+                write!(f, "disk {disk}: {extent} re-pinned as allocated")
+            }
+        }
+    }
+}
+
+/// Result of an [`FileService::fsck_repair`] run: what was fixed and
+/// what the walk still reports afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct FsckRepairReport {
+    /// Repairs applied, in walk order.
+    pub actions: Vec<FsckRepairAction>,
+    /// The report that drove the repairs.
+    pub before: FsckReport,
+    /// The state after repairing (clean unless an issue has no safe
+    /// automatic fix).
+    pub after: FsckReport,
 }
 
 #[cfg(test)]
@@ -243,6 +441,68 @@ mod tests {
         let report = f.fsck().unwrap();
         assert!(report.is_clean(), "{:?}", report.issues);
         assert!(report.blocks_checked >= 13);
+    }
+
+    #[test]
+    fn leaked_extent_is_detected_and_repair_frees_it() {
+        let mut f = fs();
+        let fid = f.create(ServiceType::Basic).unwrap();
+        f.open(fid).unwrap();
+        f.write(fid, 0, vec![1u8; 20_000]).unwrap();
+        f.flush_all().unwrap();
+        // Allocate behind the file service's back: bitmap-allocated space
+        // no metadata references.
+        let free_before = f.disk_mut(0).free_fragments();
+        let leak = f.disk_mut(0).allocate_contiguous(4).unwrap();
+        let report = f.fsck().unwrap();
+        assert!(report.issues.iter().any(
+            |i| matches!(i, super::FsckIssue::LeakedExtent { disk: 0, extent } if *extent == leak)
+        ));
+        let repair = f.fsck_repair().unwrap();
+        assert!(repair.after.is_clean(), "{:?}", repair.after.issues);
+        assert!(repair
+            .actions
+            .iter()
+            .any(|a| matches!(a, super::FsckRepairAction::FreedLeakedExtent { .. })));
+        assert_eq!(f.disk_mut(0).free_fragments(), free_before);
+    }
+
+    #[test]
+    fn double_allocated_extent_is_detected_and_repinned() {
+        let mut f = fs();
+        let fid = f.create(ServiceType::Basic).unwrap();
+        f.open(fid).unwrap();
+        f.write(fid, 0, vec![2u8; 40_000]).unwrap();
+        f.flush_all().unwrap();
+        // Free a referenced block behind the file service's back: the next
+        // allocation could hand the same storage to a second file.
+        let extent = f.block_descriptors(fid).unwrap()[2].block_extent();
+        f.disk_mut(0).free(extent).unwrap();
+        let report = f.fsck().unwrap();
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, super::FsckIssue::DoubleAllocated { disk: 0, .. })));
+        let repair = f.fsck_repair().unwrap();
+        assert!(repair.after.is_clean(), "{:?}", repair.after.issues);
+        assert!(repair
+            .actions
+            .iter()
+            .any(|a| matches!(a, super::FsckRepairAction::RepinnedExtent { .. })));
+        // The file's data is intact and its storage is allocated again.
+        assert_eq!(f.read(fid, 17_000, 4).unwrap(), vec![2u8; 4]);
+    }
+
+    #[test]
+    fn repair_on_clean_service_is_a_no_op() {
+        let mut f = fs();
+        let fid = f.create(ServiceType::Basic).unwrap();
+        f.open(fid).unwrap();
+        f.write(fid, 0, vec![3u8; 9_000]).unwrap();
+        f.flush_all().unwrap();
+        let repair = f.fsck_repair().unwrap();
+        assert!(repair.actions.is_empty());
+        assert!(repair.before.is_clean() && repair.after.is_clean());
     }
 
     #[test]

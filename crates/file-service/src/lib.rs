@@ -56,6 +56,7 @@ mod cache;
 mod error;
 mod fit;
 mod fsck;
+mod scrub;
 mod service;
 mod stripe;
 
@@ -66,6 +67,7 @@ pub use fit::{
     BlockDescriptor, FileIndexTable, DIRECT_BLOCKS, INDIRECT_CAP, MAX_DIRECT_BYTES,
     MAX_INDIRECT_TABLES,
 };
-pub use fsck::{FsckIssue, FsckReport};
+pub use fsck::{FsckIssue, FsckRepairAction, FsckRepairReport, FsckReport};
+pub use scrub::{ScrubFinding, ScrubOwner, ScrubReport, ScrubStats};
 pub use service::{FileService, FileServiceConfig, FileServiceStats, ParallelIo};
 pub use stripe::StripePolicy;

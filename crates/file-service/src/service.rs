@@ -11,6 +11,7 @@ use crate::attrs::{FileAttributes, FileId, LockLevel, ServiceType};
 use crate::cache::{BlockCache, CacheStats, WritePolicy};
 use crate::error::FileServiceError;
 use crate::fit::{BlockDescriptor, FileIndexTable};
+use crate::scrub::{ScrubFinding, ScrubOwner, ScrubReport, ScrubStats};
 use crate::stripe::StripePolicy;
 use parking_lot::Mutex;
 use rhodos_buf::BlockBuf;
@@ -95,6 +96,8 @@ pub struct FileServiceStats {
     pub fit_loads: u64,
     /// FIT lookups served from the fragment pool.
     pub fit_cache_hits: u64,
+    /// Cumulative background-scrubber counters.
+    pub scrub: ScrubStats,
     /// Per-disk statistics.
     pub disks: Vec<DiskServiceStats>,
 }
@@ -139,6 +142,11 @@ pub struct FileService {
     cache: Option<BlockCache>,
     dir_extent: Extent,
     fit_loads: u64,
+    /// Where the next budgeted scrub resumes on each disk (volatile;
+    /// restarting from zero after a crash merely re-verifies).
+    scrub_cursors: Vec<FragmentAddr>,
+    /// Cumulative scrub counters across every pass.
+    scrub_stats: ScrubStats,
     /// Resolved once at format time: whether batches fan out on scoped
     /// worker threads ([`ParallelIo::Always`], or [`ParallelIo::Auto`] on
     /// a multi-CPU host) or are issued back-to-back on the caller's
@@ -173,6 +181,7 @@ impl FileService {
             ParallelIo::Never => false,
             ParallelIo::Auto => std::thread::available_parallelism().is_ok_and(|n| n.get() > 1),
         };
+        let ndisks = disks.len();
         let mut svc = Self {
             disks,
             clock,
@@ -186,6 +195,8 @@ impl FileService {
             dir_extent,
             fit_loads: 0,
             fit_hits: 0,
+            scrub_cursors: vec![0; ndisks],
+            scrub_stats: ScrubStats::default(),
             fan_out,
         };
         svc.persist_directory()?;
@@ -251,6 +262,7 @@ impl FileService {
             cache: self.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
             fit_loads: self.fit_loads,
             fit_cache_hits: self.fit_hits,
+            scrub: self.scrub_stats,
             disks: self.disks.iter().map(|d| d.lock().stats()).collect(),
         }
     }
@@ -1589,6 +1601,220 @@ impl FileService {
         Ok(())
     }
 
+    // ---- background scrubbing (self-healing) --------------------------
+
+    /// Every allocated extent on every disk with its owner, sorted by
+    /// address — the scrubber's view of what the metadata claims to own.
+    fn owned_extents(&mut self) -> Result<Vec<Vec<(Extent, ScrubOwner)>>, FileServiceError> {
+        let mut per_disk: Vec<Vec<(Extent, ScrubOwner)>> = vec![Vec::new(); self.disks.len()];
+        per_disk[0].push((self.dir_extent, ScrubOwner::Directory));
+        for fid in self.file_ids() {
+            let (fit, home, fit_frag, indirect) = match self.fit_parts(fid) {
+                Ok(parts) => parts,
+                Err(_) => {
+                    // Both FIT copies are unreadable (fsck's finding) —
+                    // the fragment itself can still be scanned so the
+                    // fault is counted, not hidden.
+                    if let Some(&(home, frag)) = self.directory.get(&fid) {
+                        per_disk[home as usize].push((Extent::new(frag, 1), ScrubOwner::Fit(fid)));
+                    }
+                    continue;
+                }
+            };
+            per_disk[home as usize].push((Extent::new(fit_frag, 1), ScrubOwner::Fit(fid)));
+            for (d, a) in indirect {
+                per_disk[d as usize]
+                    .push((Extent::new(a, FRAGS_PER_BLOCK), ScrubOwner::Indirect(fid)));
+            }
+            for (i, desc) in fit.descriptors().iter().enumerate() {
+                per_disk[desc.disk as usize].push((
+                    desc.block_extent(),
+                    ScrubOwner::Data {
+                        fid,
+                        block: i as u64,
+                    },
+                ));
+            }
+        }
+        for list in &mut per_disk {
+            list.sort_by_key(|(e, _)| e.start);
+        }
+        Ok(per_disk)
+    }
+
+    /// Walks the allocated extents of every disk verifying each sector
+    /// against its checksum lane (bypassing the caches — the platter is
+    /// what is being checked), and repairs latent faults from local
+    /// redundant copies: metadata fragments from their stable-storage
+    /// mirrors, data blocks from the block pool when resident. A repair
+    /// rewrites the owner's unit, which quarantines the bad sector and
+    /// remaps it to a spare. Faults with no local redundant copy are
+    /// reported with their owners — never silently dropped — so the
+    /// replication layer can fetch a peer's copy.
+    ///
+    /// `budget` caps the sectors scanned this call (`None` = full pass).
+    /// A budgeted scrub resumes where it left off via per-disk cursors,
+    /// so a periodic small-budget call amortises verification I/O across
+    /// idle time. The scan is issued in address-sorted runs through the
+    /// per-spindle schedulers, so contiguous extents coalesce into
+    /// single disk references.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on non-media I/O errors (e.g. a crashed disk). Media
+    /// faults are findings, not errors.
+    pub fn scrub(&mut self, budget: Option<u64>) -> Result<ScrubReport, FileServiceError> {
+        let owned = self.owned_extents()?;
+        let mut report = ScrubReport::default();
+        let mut remaining = budget.unwrap_or(u64::MAX);
+        let mut complete = true;
+        for (d, list) in owned.iter().enumerate() {
+            if list.is_empty() {
+                continue;
+            }
+            // Resume from this disk's cursor, wrapping around the sorted
+            // extent list so every extent is eventually visited.
+            let n = list.len();
+            let start = list.partition_point(|(e, _)| e.start < self.scrub_cursors[d]) % n;
+            let mut picked = Vec::new();
+            let mut next = start;
+            for step in 0..n {
+                if remaining == 0 {
+                    break;
+                }
+                let i = (start + step) % n;
+                let len = list[i].0.len;
+                if len > remaining && !picked.is_empty() {
+                    break; // never split an extent across calls
+                }
+                remaining = remaining.saturating_sub(len);
+                picked.push(i);
+                next = (i + 1) % n;
+            }
+            if picked.len() < n {
+                complete = false;
+                self.scrub_cursors[d] = list[next].0.start;
+            } else {
+                self.scrub_cursors[d] = list[start].0.start;
+            }
+            let extents: Vec<Extent> = picked.iter().map(|&i| list[i].0).collect();
+            let faults = self.disks[d].get_mut().verify_extents(&extents)?;
+            report.stats.sectors_scanned += extents.iter().map(|e| e.len).sum::<u64>();
+            for fault in faults {
+                // Map the faulty sector back to its owner.
+                let at = list.partition_point(|(e, _)| e.start <= fault.addr);
+                let Some(&(extent, owner)) = at.checked_sub(1).map(|i| &list[i]) else {
+                    continue;
+                };
+                if fault.addr >= extent.end() {
+                    continue;
+                }
+                report.stats.faults_found += 1;
+                let repaired = self.repair_fault(d, fault.addr, extent, owner);
+                if repaired {
+                    report.stats.faults_repaired += 1;
+                } else {
+                    report.stats.unrecoverable += 1;
+                }
+                report.findings.push(ScrubFinding {
+                    disk: d as u16,
+                    addr: fault.addr,
+                    kind: fault.kind,
+                    owner,
+                    extent,
+                    repaired,
+                });
+            }
+        }
+        report.complete = complete;
+        if complete {
+            report.stats.passes_completed = 1;
+        }
+        self.scrub_stats.merge(&report.stats);
+        Ok(report)
+    }
+
+    /// Attempts to repair one faulty sector from a local redundant copy.
+    /// Returns whether it succeeded; a failed repair (no redundant copy,
+    /// or the stable mirror is lost too) leaves the fault for a higher
+    /// layer and is never a scrub error.
+    fn repair_fault(
+        &mut self,
+        disk: usize,
+        addr: FragmentAddr,
+        extent: Extent,
+        owner: ScrubOwner,
+    ) -> bool {
+        match owner {
+            ScrubOwner::Directory | ScrubOwner::Fit(_) | ScrubOwner::Indirect(_) => self.disks
+                [disk]
+                .get_mut()
+                .repair_fragment_from_stable(addr)
+                .unwrap_or(false),
+            ScrubOwner::Data { fid, block } => {
+                let Some(buf) = self.cache.as_ref().and_then(|c| c.peek(&(fid, block))) else {
+                    return false;
+                };
+                self.disks[disk]
+                    .get_mut()
+                    .put(extent, &buf, StablePolicy::None)
+                    .is_ok()
+            }
+        }
+    }
+
+    /// Rewrites data block `block` of `fid` from `data` (a replication
+    /// peer's copy), healing a fault the local scrub could not repair.
+    /// The write lands through the normal put path, so the quarantined
+    /// sector is remapped to a spare.
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::NotFound`] if the file or block does not
+    /// exist; otherwise propagates disk failures.
+    pub fn rewrite_block(
+        &mut self,
+        fid: FileId,
+        block: u64,
+        data: &[u8],
+    ) -> Result<(), FileServiceError> {
+        self.load_fit(fid)?;
+        let desc = self
+            .fits
+            .get(&fid)
+            .and_then(|e| e.fit.descriptor(block))
+            .ok_or(FileServiceError::NotFound(fid))?;
+        self.disks[desc.disk as usize].get_mut().put(
+            desc.block_extent(),
+            data,
+            StablePolicy::None,
+        )?;
+        if let Some(cache) = &mut self.cache {
+            // The peer's copy is now the on-disk truth; a stale resident
+            // block must not shadow it.
+            for (k, v) in cache.insert((fid, block), data.to_vec(), false) {
+                self.write_back(k, v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads data block `block` of `fid` directly (cache first, then
+    /// disk), for replication peer-repair. Returns `None` when the block
+    /// is unreadable here too.
+    pub fn read_block_for_repair(&mut self, fid: FileId, block: u64) -> Option<Vec<u8>> {
+        self.load_fit(fid).ok()?;
+        if let Some(buf) = self.cache.as_ref().and_then(|c| c.peek(&(fid, block))) {
+            return Some(buf.to_vec());
+        }
+        let desc = self.fits.get(&fid).and_then(|e| e.fit.descriptor(block))?;
+        self.disks[desc.disk as usize]
+            .get_mut()
+            .get(desc.block_extent())
+            .ok()
+            .map(|b| b.to_vec())
+    }
+
     /// The reserved directory region (fsck support).
     pub(crate) fn directory_extent(&self) -> Extent {
         self.dir_extent
@@ -1610,6 +1836,27 @@ impl FileService {
         self.load_fit(fid)?;
         let e = self.fit(fid);
         Ok((e.fit.clone(), e.home, e.fit_frag, e.indirect_locs.clone()))
+    }
+
+    /// Clamps `fid`'s recorded size to at most `to` bytes and persists
+    /// the FIT (fsck repair of `SizeBeyondBlocks`).
+    pub(crate) fn clamp_size(&mut self, fid: FileId, to: u64) -> Result<(), FileServiceError> {
+        self.load_fit(fid)?;
+        let entry = self.fits.get_mut(&fid).expect("just loaded");
+        entry.fit.attrs.size = entry.fit.attrs.size.min(to);
+        self.persist_fit(fid)
+    }
+
+    /// Recomputes every contiguity count of `fid` from the physical
+    /// layout and persists the FIT (fsck repair of `BadContiguityCount`).
+    pub(crate) fn rebuild_contiguity(&mut self, fid: FileId) -> Result<(), FileServiceError> {
+        self.load_fit(fid)?;
+        self.fits
+            .get_mut(&fid)
+            .expect("just loaded")
+            .fit
+            .rebuild_contiguity();
+        self.persist_fit(fid)
     }
 
     /// Descriptors of every block of `fid` (experiment support: layout

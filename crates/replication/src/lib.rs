@@ -45,7 +45,10 @@
 
 pub mod rpc;
 
-use rhodos_file_service::{FileAttributes, FileId, FileService, FileServiceError, ServiceType};
+use rhodos_file_service::{
+    FileAttributes, FileId, FileService, FileServiceError, ScrubFinding, ScrubOwner, ScrubReport,
+    ServiceType,
+};
 use rhodos_simdisk::{SectorAddr, SimDisk};
 
 pub use rpc::{ReplicatedRpcFiles, RpcReplicationStats};
@@ -88,6 +91,9 @@ pub struct ReplicationStats {
     pub writes_skipped: u64,
     /// Sectors copied onto returning replicas by [`ReplicatedFiles::resync`].
     pub resync_sectors_copied: u64,
+    /// Latent faults one replica's scrub could not repair locally that
+    /// were healed from a live peer's copy by [`ReplicatedFiles::scrub`].
+    pub peer_repairs: u64,
 }
 
 /// Errors returned by the replication service.
@@ -490,6 +496,132 @@ impl ReplicatedFiles {
         self.stats.resyncs += 1;
         Ok(())
     }
+
+    /// Scrubs every live replica and heals cross-replica: latent faults a
+    /// replica cannot repair from its own redundancy (stable mirror or
+    /// block pool) are rewritten from the first live peer holding a good
+    /// copy. Replication is the outermost redundancy tier, so a fault is
+    /// counted `still_unrecoverable` only when **no** live replica can
+    /// produce the data — and even then it is reported, never dropped.
+    ///
+    /// `budget` is the per-replica sector budget, as in
+    /// [`FileService::scrub`]. A replica whose scrub fails outright (its
+    /// disk crashed) is masked out of the live set like any other device
+    /// fault — bring it back with [`Self::resync`].
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicationError::NoLiveReplicas`] when every replica is failed.
+    pub fn scrub(&mut self, budget: Option<u64>) -> Result<ClusterScrubReport, ReplicationError> {
+        let n = self.replicas.len();
+        let mut report = ClusterScrubReport {
+            replicas: vec![None; n],
+            peer_repairs: 0,
+            still_unrecoverable: 0,
+        };
+        for i in 0..n {
+            if self.failed[i] {
+                continue;
+            }
+            let local = match self.replicas[i].scrub(budget) {
+                Ok(r) => r,
+                Err(_) => {
+                    // The scrub walk itself failed (crashed disk): the
+                    // replica is faulty, not the cluster scrub.
+                    self.failed[i] = true;
+                    self.stats.failovers += 1;
+                    continue;
+                }
+            };
+            for finding in local.unrecoverable() {
+                if self.repair_from_peer(i, finding) {
+                    report.peer_repairs += 1;
+                    self.stats.peer_repairs += 1;
+                } else {
+                    report.still_unrecoverable += 1;
+                }
+            }
+            report.replicas[i] = Some(local);
+        }
+        if report.replicas.iter().all(Option::is_none) {
+            return Err(ReplicationError::NoLiveReplicas);
+        }
+        Ok(report)
+    }
+
+    /// Heals one unrecoverable finding on replica `i` from the first live
+    /// peer with a good copy. Data blocks go through the file services'
+    /// logical block paths; metadata fragments are copied physically
+    /// (replicas run in lock-step, so the same fragment address holds the
+    /// same bytes on every replica). Either way the local rewrite lands
+    /// through the normal put path, quarantining and remapping the bad
+    /// sector.
+    fn repair_from_peer(&mut self, i: usize, finding: &ScrubFinding) -> bool {
+        let peers: Vec<usize> = self
+            .live_indices()
+            .into_iter()
+            .filter(|&j| j != i)
+            .collect();
+        match finding.owner {
+            ScrubOwner::Data { fid, block } => {
+                for j in peers {
+                    let Some(good) = self.replicas[j].read_block_for_repair(fid, block) else {
+                        continue;
+                    };
+                    if self.replicas[i].rewrite_block(fid, block, &good).is_ok() {
+                        return true;
+                    }
+                }
+                false
+            }
+            ScrubOwner::Directory | ScrubOwner::Fit(_) | ScrubOwner::Indirect(_) => {
+                let d = finding.disk as usize;
+                let frag = rhodos_disk_service::Extent::new(finding.addr, 1);
+                for j in peers {
+                    let Ok(good) = self.replicas[j].disk_mut(d).get(frag) else {
+                        continue;
+                    };
+                    if self.replicas[i]
+                        .disk_mut(d)
+                        .put(frag, &good, rhodos_disk_service::StablePolicy::None)
+                        .is_ok()
+                    {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+/// Result of one cluster-wide [`ReplicatedFiles::scrub`].
+#[derive(Debug, Clone, Default)]
+pub struct ClusterScrubReport {
+    /// Per-replica scrub reports (`None` for replicas that were failed or
+    /// faulted during the walk).
+    pub replicas: Vec<Option<ScrubReport>>,
+    /// Faults healed from a live peer after local redundancy fell short.
+    pub peer_repairs: u64,
+    /// Faults no live replica could produce the data for — data loss,
+    /// reported loudly.
+    pub still_unrecoverable: u64,
+}
+
+impl ClusterScrubReport {
+    /// Latent faults found across all replicas this call.
+    pub fn faults_found(&self) -> u64 {
+        self.replicas
+            .iter()
+            .flatten()
+            .map(|r| r.stats.faults_found)
+            .sum()
+    }
+
+    /// Whether every scanned replica was healthy.
+    pub fn is_clean(&self) -> bool {
+        self.replicas.iter().flatten().all(ScrubReport::is_clean)
+    }
 }
 
 /// Disjoint `&mut` to two distinct elements of a slice.
@@ -521,7 +653,9 @@ fn copy_divergent_sectors(src: &mut SimDisk, dst: &mut SimDisk) -> Result<u64, R
     dst.repair();
     let mut runs: Vec<(SectorAddr, u64)> = Vec::new();
     for s in 0..total {
-        let needs_copy = dst.faults().is_bad(s)
+        // `sector_faulty` resolves the target's spare-sector remap, so a
+        // re-failed spare is recognised as divergent too.
+        let needs_copy = dst.sector_faulty(s)
             || src.peek_sector(s).expect("in range") != dst.peek_sector(s).expect("in range");
         if needs_copy {
             match runs.last_mut() {
@@ -858,6 +992,85 @@ mod more_tests {
         assert!(rf.write(fid, 0, b"new value").is_err());
         assert_eq!(rf.live_replicas(), 2, "faulty replica not masked");
         assert_eq!(rf.stats().failovers, 0);
+    }
+
+    #[test]
+    fn cluster_scrub_heals_uncached_data_fault_from_peer() {
+        let mut rf = pair();
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.open(fid).unwrap();
+        rf.write(fid, 0, &vec![0x3C; 50_000]).unwrap();
+        for i in 0..2 {
+            rf.replica_mut(i).flush_all().unwrap();
+            rf.replica_mut(i).evict_caches().unwrap();
+        }
+        // Replica 0 silently loses a data sector; its block pool is cold,
+        // so local scrub cannot repair it — only the peer can.
+        let addr = rf.replica_mut(0).block_descriptors(fid).unwrap()[2].addr;
+        rf.replica_mut(0)
+            .disk_mut(0)
+            .disk_mut()
+            .silently_corrupt_sector(addr)
+            .unwrap();
+        let report = rf.scrub(None).unwrap();
+        assert_eq!(report.faults_found(), 1);
+        assert_eq!(report.peer_repairs, 1);
+        assert_eq!(report.still_unrecoverable, 0);
+        assert_eq!(rf.stats().peer_repairs, 1);
+        // Replica 0's platter is healthy again and serves the bytes alone.
+        assert!(rf.replica_mut(0).scrub(None).unwrap().is_clean());
+        rf.mark_failed(1).unwrap();
+        assert_eq!(rf.read(fid, 17_000, 4).unwrap(), vec![0x3C; 4]);
+    }
+
+    #[test]
+    fn cluster_scrub_heals_metadata_when_stable_mirrors_are_gone_too() {
+        let mut rf = pair();
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.open(fid).unwrap();
+        rf.write(fid, 0, b"metadata matters").unwrap();
+        for i in 0..2 {
+            rf.replica_mut(i).flush_all().unwrap();
+        }
+        // Kill replica 0's FIT fragment on main storage AND both stable
+        // mirrors: local repair has nothing left; the peer does.
+        let fit_frag = rf.replica_mut(0).block_descriptors(fid).unwrap()[0].addr - 1;
+        let r0 = rf.replica_mut(0);
+        r0.evict_caches().unwrap();
+        r0.disk_mut(0)
+            .disk_mut()
+            .silently_corrupt_sector(fit_frag)
+            .unwrap();
+        let stable = r0.disk_mut(0).stable_mut().unwrap();
+        stable.mirror_a_mut().corrupt_sector(2 * fit_frag).unwrap();
+        stable.mirror_b_mut().corrupt_sector(2 * fit_frag).unwrap();
+        let report = rf.scrub(None).unwrap();
+        assert!(report.peer_repairs >= 1, "{report:?}");
+        assert_eq!(report.still_unrecoverable, 0);
+        assert!(rf.replica_mut(0).scrub(None).unwrap().is_clean());
+    }
+
+    #[test]
+    fn cluster_scrub_reports_loss_when_no_replica_has_the_data() {
+        let mut rf = pair();
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.open(fid).unwrap();
+        rf.write(fid, 0, &vec![0x42; 30_000]).unwrap();
+        // The same block rots on BOTH replicas: genuine data loss. The
+        // scrub must say so, not pretend. (Caches are dropped *after* the
+        // injection so no cache level still holds the good bytes.)
+        for i in 0..2 {
+            rf.replica_mut(i).flush_all().unwrap();
+            let addr = rf.replica_mut(i).block_descriptors(fid).unwrap()[1].addr;
+            rf.replica_mut(i)
+                .disk_mut(0)
+                .disk_mut()
+                .silently_corrupt_sector(addr)
+                .unwrap();
+            rf.replica_mut(i).evict_caches().unwrap();
+        }
+        let report = rf.scrub(None).unwrap();
+        assert!(report.still_unrecoverable >= 1, "{report:?}");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The simulated disk device.
 
+use crate::checksum::crc32;
 use crate::clock::SimClock;
 use crate::error::DiskError;
 use crate::fault::{FaultInjector, WriteOutcome};
@@ -8,6 +9,26 @@ use crate::model::LatencyModel;
 use crate::stats::DiskStats;
 use crate::SECTOR_SIZE;
 use rhodos_buf::BlockBuf;
+use std::collections::BTreeMap;
+
+/// Kind of media fault found on a sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectorFaultKind {
+    /// The sector is unreadable (hard media failure).
+    BadSector,
+    /// The sector reads, but its content fails CRC32 verification
+    /// (silent corruption).
+    ChecksumMismatch,
+}
+
+/// One latent fault located by [`SimDisk::scan_sectors`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectorFault {
+    /// Logical sector address of the fault.
+    pub addr: SectorAddr,
+    /// What is wrong with it.
+    pub kind: SectorFaultKind,
+}
 
 /// An in-memory disk with a track/sector geometry, a latency cost model,
 /// per-operation statistics and fault injection.
@@ -40,7 +61,27 @@ pub struct SimDisk {
     clock: SimClock,
     /// Sparse sector store: unwritten sectors read as zeros without
     /// consuming host memory, so gigabyte geometries are cheap to model.
+    /// Slots beyond the addressable geometry are the spare-sector pool
+    /// that bad sectors are reassigned to.
     data: Vec<Option<Box<[u8]>>>,
+    /// Out-of-band CRC32 checksum lane, one entry per storage slot (real
+    /// drives keep this in the sector trailer). `None` = never written.
+    checksums: Vec<Option<u32>>,
+    /// Per-slot verification memo: `true` while the slot's content is
+    /// known to match its checksum (set when we computed the checksum
+    /// from the very bytes stored, or after a verifying read). Real
+    /// drives check ECC in hardware at line speed; recomputing a CRC32
+    /// per sector on every simulated read would charge the model a cost
+    /// the modelled hardware doesn't pay. Every mutation that bypasses
+    /// the checksum lane (fault injection) clears the bit.
+    verified: Vec<bool>,
+    /// Persistent sector reassignments: logical address → spare slot. A
+    /// remapped sector's original location is quarantined; reads and
+    /// writes at the logical address go to the spare transparently.
+    remap: BTreeMap<SectorAddr, SectorAddr>,
+    /// Next unused spare slot (spares occupy
+    /// `geometry.total_sectors()..data.len()`).
+    spare_next: SectorAddr,
     head: SectorAddr,
     stats: DiskStats,
     faults: FaultInjector,
@@ -61,18 +102,49 @@ static ZERO_SECTOR: [u8; SECTOR_SIZE] = [0u8; SECTOR_SIZE];
 impl SimDisk {
     /// Creates a zero-filled disk.
     pub fn new(geometry: DiskGeometry, model: LatencyModel, clock: SimClock) -> Self {
-        let data = (0..geometry.total_sectors()).map(|_| None).collect();
+        let total = geometry.total_sectors();
+        // Spare pool for sector reassignment: ~1.5% of capacity, the
+        // ballpark real drives reserve for grown defects.
+        let slots = total + (total / 64).max(8);
+        let data = (0..slots).map(|_| None).collect();
         Self {
             geometry,
             model,
             clock,
             data,
+            checksums: vec![None; slots as usize],
+            verified: vec![false; slots as usize],
+            remap: BTreeMap::new(),
+            spare_next: total,
             head: 0,
             stats: DiskStats::default(),
             faults: FaultInjector::new(),
             free_at_us: 0,
             batch_depth: 0,
             batch_start_us: 0,
+        }
+    }
+
+    /// Storage slot where the logical sector `addr` currently lives —
+    /// `addr` itself unless the sector has been reassigned to a spare.
+    fn resolve(&self, addr: SectorAddr) -> SectorAddr {
+        self.remap.get(&addr).copied().unwrap_or(addr)
+    }
+
+    /// Reassigns logical sector `logical` (whose current slot `bad_slot`
+    /// is a media fault) to a fresh spare slot, quarantining the
+    /// original. Falls back to clearing the fault mark in place when the
+    /// spare pool is exhausted (legacy behaviour, so writes still heal).
+    fn reassign(&mut self, logical: SectorAddr, bad_slot: SectorAddr) -> SectorAddr {
+        if self.spare_next < self.data.len() as u64 {
+            let spare = self.spare_next;
+            self.spare_next += 1;
+            self.remap.insert(logical, spare);
+            self.stats.remapped_sectors += 1;
+            spare
+        } else {
+            self.faults.clear_bad_sector(bad_slot);
+            bad_slot
         }
     }
 
@@ -191,9 +263,10 @@ impl SimDisk {
     /// # Errors
     ///
     /// Returns [`DiskError::Crashed`] if the disk is crashed,
-    /// [`DiskError::OutOfRange`] for an invalid range, and
+    /// [`DiskError::OutOfRange`] for an invalid range,
     /// [`DiskError::BadSector`] if any sector in the range has a media
-    /// fault (the error names the first such sector).
+    /// fault, and [`DiskError::ChecksumMismatch`] if any sector fails
+    /// CRC32 verification (the error names the first such sector).
     pub fn read_sectors(&mut self, start: SectorAddr, count: u64) -> Result<BlockBuf, DiskError> {
         if self.faults.is_crashed() {
             return Err(DiskError::Crashed);
@@ -202,15 +275,26 @@ impl SimDisk {
         self.stats.read_ops += 1;
         self.charge(start, count);
         for s in start..start + count {
-            if self.faults.is_bad(s) {
+            let slot = self.resolve(s) as usize;
+            if self.faults.is_bad(slot as u64) {
                 self.stats.media_errors += 1;
                 return Err(DiskError::BadSector(s));
             }
+            if self.verified[slot] {
+                continue;
+            }
+            if let (Some(sector), Some(sum)) = (&self.data[slot], self.checksums[slot]) {
+                if crc32(sector) != sum {
+                    self.stats.checksum_mismatches += 1;
+                    return Err(DiskError::ChecksumMismatch(s));
+                }
+            }
+            self.verified[slot] = true;
         }
         self.stats.sector_reads += count;
         let mut out = Vec::with_capacity(count as usize * SECTOR_SIZE);
         for s in start..start + count {
-            match &self.data[s as usize] {
+            match &self.data[self.resolve(s) as usize] {
                 Some(sector) => out.extend_from_slice(sector),
                 None => out.extend_from_slice(&ZERO_SECTOR),
             }
@@ -218,6 +302,59 @@ impl SimDisk {
         // The one unavoidable copy: platter to transfer buffer.
         self.stats.bytes_copied += out.len() as u64;
         Ok(BlockBuf::from(out))
+    }
+
+    /// Scrub scan: reads `count` sectors starting at `start` in one disk
+    /// reference (charging normal read latency) and reports every latent
+    /// fault in the range — bad sectors and checksum mismatches — instead
+    /// of aborting at the first one. The background scrubber walks
+    /// allocated extents through this call so faults are found and
+    /// repaired before a client trips over them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::Crashed`] or [`DiskError::OutOfRange`];
+    /// per-sector media faults are what the scan is *for* and are
+    /// returned in the fault list, not as errors.
+    pub fn scan_sectors(
+        &mut self,
+        start: SectorAddr,
+        count: u64,
+    ) -> Result<Vec<SectorFault>, DiskError> {
+        if self.faults.is_crashed() {
+            return Err(DiskError::Crashed);
+        }
+        self.check_range(start, count)?;
+        self.stats.read_ops += 1;
+        self.charge(start, count);
+        self.stats.sector_reads += count;
+        let mut out = Vec::new();
+        for s in start..start + count {
+            let slot = self.resolve(s) as usize;
+            if self.faults.is_bad(slot as u64) {
+                self.stats.media_errors += 1;
+                out.push(SectorFault {
+                    addr: s,
+                    kind: SectorFaultKind::BadSector,
+                });
+                continue;
+            }
+            if self.verified[slot] {
+                continue;
+            }
+            if let (Some(sector), Some(sum)) = (&self.data[slot], self.checksums[slot]) {
+                if crc32(sector) != sum {
+                    self.stats.checksum_mismatches += 1;
+                    out.push(SectorFault {
+                        addr: s,
+                        kind: SectorFaultKind::ChecksumMismatch,
+                    });
+                    continue;
+                }
+            }
+            self.verified[slot] = true;
+        }
+        Ok(out)
     }
 
     /// Writes `data` (a whole number of sectors) starting at `start` in one
@@ -254,11 +391,18 @@ impl SimDisk {
         self.charge(start, landed.max(1));
         self.stats.sector_writes += landed;
         for i in 0..landed as usize {
+            let logical = start + i as u64;
             let src = &data[i * SECTOR_SIZE..(i + 1) * SECTOR_SIZE];
-            self.data[start as usize + i] = Some(src.to_vec().into_boxed_slice());
-            // Writing a bad sector reassigns it (spare-sector remapping):
-            // the fresh copy is readable again.
-            self.faults.clear_bad_sector(start + i as u64);
+            // Writing a bad sector reassigns it to a spare (persistent
+            // remap; the original is quarantined): the fresh copy is
+            // readable again at the same logical address.
+            let mut slot = self.resolve(logical);
+            if self.faults.is_bad(slot) {
+                slot = self.reassign(logical, slot);
+            }
+            self.data[slot as usize] = Some(src.to_vec().into_boxed_slice());
+            self.checksums[slot as usize] = Some(crc32(src));
+            self.verified[slot as usize] = true;
         }
         if let WriteOutcome::Torn(_) = outcome {
             return Err(DiskError::Crashed);
@@ -274,13 +418,62 @@ impl SimDisk {
     /// Returns [`DiskError::OutOfRange`] if `addr` is not on the disk.
     pub fn corrupt_sector(&mut self, addr: SectorAddr) -> Result<(), DiskError> {
         self.check_range(addr, 1)?;
+        let slot = self.resolve(addr);
         let sector =
-            self.data[addr as usize].get_or_insert_with(|| ZERO_SECTOR.to_vec().into_boxed_slice());
+            self.data[slot as usize].get_or_insert_with(|| ZERO_SECTOR.to_vec().into_boxed_slice());
         for b in sector.iter_mut() {
             *b ^= 0xFF;
         }
-        self.faults.mark_bad_sector(addr);
+        self.verified[slot as usize] = false;
+        self.faults.mark_bad_sector(slot);
         Ok(())
+    }
+
+    /// Flips a sector's bytes *without* marking it bad or updating the
+    /// checksum lane — models silent (latent) corruption: the platter
+    /// happily returns wrong bytes, and only CRC32 verification on read
+    /// (or a scrub scan) can tell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::OutOfRange`] if `addr` is not on the disk.
+    pub fn silently_corrupt_sector(&mut self, addr: SectorAddr) -> Result<(), DiskError> {
+        self.check_range(addr, 1)?;
+        let slot = self.resolve(addr) as usize;
+        let sector = self.data[slot].get_or_insert_with(|| ZERO_SECTOR.to_vec().into_boxed_slice());
+        // The checksum keeps describing the pre-corruption content; a
+        // never-written sector gets the checksum of its zero content so
+        // the flip is detectable there too.
+        if self.checksums[slot].is_none() {
+            self.checksums[slot] = Some(crc32(sector));
+        }
+        for b in sector.iter_mut() {
+            *b ^= 0x55;
+        }
+        self.verified[slot] = false;
+        Ok(())
+    }
+
+    /// Whether the logical sector currently fails on read due to a media
+    /// fault, seen through the remap table (a reassigned sector is healthy
+    /// even though its quarantined original is still bad).
+    pub fn sector_faulty(&self, addr: SectorAddr) -> bool {
+        self.faults.is_bad(self.resolve(addr))
+    }
+
+    /// Whether `addr` has been reassigned to a spare sector.
+    pub fn is_remapped(&self, addr: SectorAddr) -> bool {
+        self.remap.contains_key(&addr)
+    }
+
+    /// Number of sectors persistently reassigned to spares.
+    pub fn remapped_sector_count(&self) -> usize {
+        self.remap.len()
+    }
+
+    /// Spare sectors still available for reassignment.
+    pub fn spare_sectors_remaining(&self) -> u64 {
+        self.data.len() as u64 - self.spare_next
     }
 
     /// Reads a sector without charging latency, counting a reference, or
@@ -288,7 +481,7 @@ impl SimDisk {
     /// that model an offline fsck pass.
     pub fn peek_sector(&self, addr: SectorAddr) -> Result<&[u8], DiskError> {
         self.check_range(addr, 1)?;
-        Ok(match &self.data[addr as usize] {
+        Ok(match &self.data[self.resolve(addr) as usize] {
             Some(sector) => sector,
             None => &ZERO_SECTOR,
         })
@@ -297,7 +490,9 @@ impl SimDisk {
     /// Whether the sector has never been written (reads as zeros). O(1) —
     /// used by recovery scans to skip untouched regions cheaply.
     pub fn sector_untouched(&self, addr: SectorAddr) -> bool {
-        self.data.get(addr as usize).is_none_or(|s| s.is_none())
+        self.data
+            .get(self.resolve(addr) as usize)
+            .is_none_or(|s| s.is_none())
     }
 
     /// FNV-1a fingerprint of the whole platter image (untouched sectors
@@ -315,7 +510,7 @@ impl SimDisk {
             }
         };
         for addr in 0..self.geometry().total_sectors() {
-            match &self.data[addr as usize] {
+            match &self.data[self.resolve(addr) as usize] {
                 Some(sector) => eat(sector),
                 None => eat(&ZERO_SECTOR),
             }
@@ -408,6 +603,111 @@ mod tests {
         d.corrupt_sector(2).unwrap();
         assert_eq!(d.read_sectors(2, 1), Err(DiskError::BadSector(2)));
         assert_eq!(d.stats().media_errors, 1);
+    }
+
+    #[test]
+    fn silent_corruption_caught_by_checksum() {
+        let mut d = disk();
+        d.write_sectors(5, &vec![3u8; SECTOR_SIZE]).unwrap();
+        d.read_sectors(5, 1).unwrap();
+        d.silently_corrupt_sector(5).unwrap();
+        // Not a bad sector — the platter reads; the checksum lane objects.
+        assert!(!d.sector_faulty(5));
+        assert_eq!(d.read_sectors(5, 1), Err(DiskError::ChecksumMismatch(5)));
+        assert_eq!(d.stats().checksum_mismatches, 1);
+        assert_eq!(d.stats().media_errors, 0);
+    }
+
+    #[test]
+    fn silent_corruption_of_untouched_sector_detected() {
+        let mut d = disk();
+        d.silently_corrupt_sector(9).unwrap();
+        assert_eq!(d.read_sectors(9, 1), Err(DiskError::ChecksumMismatch(9)));
+    }
+
+    #[test]
+    fn rewrite_clears_checksum_mismatch() {
+        let mut d = disk();
+        d.write_sectors(5, &vec![3u8; SECTOR_SIZE]).unwrap();
+        d.silently_corrupt_sector(5).unwrap();
+        d.write_sectors(5, &vec![4u8; SECTOR_SIZE]).unwrap();
+        assert!(d.read_sectors(5, 1).unwrap().iter().all(|&b| b == 4));
+    }
+
+    #[test]
+    fn writing_bad_sector_reassigns_to_spare() {
+        let mut d = disk();
+        d.corrupt_sector(7).unwrap();
+        assert!(d.sector_faulty(7));
+        let spares = d.spare_sectors_remaining();
+        d.write_sectors(7, &vec![0xCDu8; SECTOR_SIZE]).unwrap();
+        // The logical sector is healthy again, served from a spare; the
+        // original stays quarantined in the fault set.
+        assert!(d.is_remapped(7));
+        assert!(!d.sector_faulty(7));
+        assert!(d.faults().is_bad(7));
+        assert_eq!(d.spare_sectors_remaining(), spares - 1);
+        assert_eq!(d.stats().remapped_sectors, 1);
+        assert!(d.read_sectors(7, 1).unwrap().iter().all(|&b| b == 0xCD));
+        // Reassignment survives crash repair (it is persistent).
+        d.faults_mut().crash_now();
+        d.repair();
+        assert!(d.read_sectors(7, 1).unwrap().iter().all(|&b| b == 0xCD));
+    }
+
+    #[test]
+    fn respawned_fault_on_spare_reassigns_again() {
+        let mut d = disk();
+        d.corrupt_sector(7).unwrap();
+        d.write_sectors(7, &vec![1u8; SECTOR_SIZE]).unwrap();
+        // The spare itself grows a defect.
+        d.corrupt_sector(7).unwrap();
+        assert!(d.sector_faulty(7));
+        d.write_sectors(7, &vec![2u8; SECTOR_SIZE]).unwrap();
+        assert!(!d.sector_faulty(7));
+        assert_eq!(d.stats().remapped_sectors, 2);
+        assert!(d.read_sectors(7, 1).unwrap().iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn fingerprint_follows_logical_content_across_remap() {
+        let mut a = disk();
+        let mut b = disk();
+        a.write_sectors(3, &vec![8u8; SECTOR_SIZE]).unwrap();
+        b.write_sectors(3, &vec![8u8; SECTOR_SIZE]).unwrap();
+        // Replica `a` suffers a fault and heals by reassignment; the
+        // logical images must still compare equal.
+        a.corrupt_sector(3).unwrap();
+        a.write_sectors(3, &vec![8u8; SECTOR_SIZE]).unwrap();
+        assert!(a.is_remapped(3));
+        assert_eq!(a.image_fingerprint(), b.image_fingerprint());
+        assert_eq!(a.first_image_divergence(&b), None);
+    }
+
+    #[test]
+    fn scan_sectors_reports_all_faults_without_aborting() {
+        let mut d = disk();
+        d.write_sectors(0, &vec![1u8; 8 * SECTOR_SIZE]).unwrap();
+        d.corrupt_sector(2).unwrap();
+        d.silently_corrupt_sector(5).unwrap();
+        let faults = d.scan_sectors(0, 8).unwrap();
+        assert_eq!(
+            faults,
+            vec![
+                SectorFault {
+                    addr: 2,
+                    kind: SectorFaultKind::BadSector
+                },
+                SectorFault {
+                    addr: 5,
+                    kind: SectorFaultKind::ChecksumMismatch
+                },
+            ]
+        );
+        // One disk reference, latency charged like a read.
+        assert!(d.stats().busy_us > 0);
+        let clean = d.scan_sectors(6, 2).unwrap();
+        assert!(clean.is_empty());
     }
 
     #[test]

@@ -20,6 +20,9 @@ pub enum DiskError {
     },
     /// A media failure (bad sector) was encountered while reading.
     BadSector(SectorAddr),
+    /// A sector's content no longer matches its recorded CRC32 — silent
+    /// corruption caught by the checksum lane on read.
+    ChecksumMismatch(SectorAddr),
     /// The disk has crashed (power failure injected); no further operations
     /// succeed until [`SimDisk::repair`](crate::SimDisk::repair) is called.
     Crashed,
@@ -46,6 +49,9 @@ impl fmt::Display for DiskError {
                 start.saturating_add(*count)
             ),
             DiskError::BadSector(addr) => write!(f, "media failure at sector {addr}"),
+            DiskError::ChecksumMismatch(addr) => {
+                write!(f, "checksum mismatch at sector {addr} (silent corruption)")
+            }
             DiskError::Crashed => write!(f, "disk has crashed"),
             DiskError::UnalignedBuffer { len } => {
                 write!(f, "buffer of {len} bytes is not sector aligned")
@@ -72,6 +78,7 @@ mod tests {
                 total: 10,
             },
             DiskError::BadSector(7),
+            DiskError::ChecksumMismatch(11),
             DiskError::Crashed,
             DiskError::UnalignedBuffer { len: 100 },
             DiskError::StableLost(3),

@@ -16,7 +16,10 @@
 //!   *block* is four contiguous sectors.
 //! * [`LatencyModel`] — seek/rotation/transfer costs.
 //! * [`SimDisk`] — the disk itself: sector storage, head position, per-disk
-//!   [`DiskStats`], and [`FaultInjector`]-driven media failures and crashes.
+//!   [`DiskStats`], [`FaultInjector`]-driven media failures and crashes, a
+//!   per-sector CRC32 checksum lane (silent corruption surfaces as a typed
+//!   [`DiskError::ChecksumMismatch`]), and persistent spare-sector
+//!   reassignment of bad sectors on write.
 //! * [`StableStore`] — Lampson-style stable storage built from a mirrored
 //!   pair of [`SimDisk`]s with checksum validation and a recovery scan.
 //!
@@ -39,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checksum;
 mod clock;
 mod disk;
 mod error;
@@ -48,8 +52,9 @@ mod model;
 mod stable;
 mod stats;
 
+pub use checksum::crc32;
 pub use clock::SimClock;
-pub use disk::SimDisk;
+pub use disk::{SectorFault, SectorFaultKind, SimDisk};
 pub use error::DiskError;
 pub use fault::{FaultInjector, WriteOutcome};
 pub use geometry::{DiskGeometry, SectorAddr, TrackNo};

@@ -25,8 +25,14 @@ pub struct DiskStats {
     pub seeks: u64,
     /// Total virtual time spent in disk operations, microseconds.
     pub busy_us: u64,
-    /// Reads that failed due to injected media faults.
+    /// Reads that hit a bad (unreadable) sector.
     pub media_errors: u64,
+    /// Reads whose sector content failed CRC32 verification (silent
+    /// corruption caught by the checksum lane).
+    pub checksum_mismatches: u64,
+    /// Sectors persistently reassigned to spare sectors (the original is
+    /// quarantined).
+    pub remapped_sectors: u64,
     /// Bytes memcpy'd into freshly allocated transfer buffers (the cost
     /// the zero-copy pipeline tracks; platter reads copy once here).
     pub bytes_copied: u64,
@@ -64,6 +70,8 @@ impl DiskStats {
             seeks: self.seeks - earlier.seeks,
             busy_us: self.busy_us - earlier.busy_us,
             media_errors: self.media_errors - earlier.media_errors,
+            checksum_mismatches: self.checksum_mismatches - earlier.checksum_mismatches,
+            remapped_sectors: self.remapped_sectors - earlier.remapped_sectors,
             bytes_copied: self.bytes_copied - earlier.bytes_copied,
             bytes_borrowed: self.bytes_borrowed - earlier.bytes_borrowed,
         }
@@ -79,6 +87,8 @@ impl DiskStats {
         self.seeks += other.seeks;
         self.busy_us += other.busy_us;
         self.media_errors += other.media_errors;
+        self.checksum_mismatches += other.checksum_mismatches;
+        self.remapped_sectors += other.remapped_sectors;
         self.bytes_copied += other.bytes_copied;
         self.bytes_borrowed += other.bytes_borrowed;
     }

@@ -144,7 +144,7 @@ impl SharedTransactionService {
         body: impl Fn(&Self, TxnId) -> Result<R, TxnError>,
     ) -> Result<R, TxnError> {
         const MAX_ATTEMPTS: u32 = 10_000;
-        for _ in 0..MAX_ATTEMPTS {
+        for attempt in 0..MAX_ATTEMPTS {
             let t = self.inner.lock().tbegin();
             match body(self, t) {
                 Ok(value) => {
@@ -152,7 +152,7 @@ impl SharedTransactionService {
                     match commit {
                         Ok(()) => return Ok(value),
                         Err(TxnError::WouldBlock { .. }) | Err(TxnError::NotActive(_)) => {
-                            self.backoff(t);
+                            self.backoff(t, attempt);
                         }
                         Err(e) => {
                             let _ = self.inner.lock().tabort(t);
@@ -165,7 +165,7 @@ impl SharedTransactionService {
                 | Err(TxnError::NotActive(_)) => {
                     // NotActive: a timeout abort from another thread's tick
                     // already killed us — just retry.
-                    self.backoff(t);
+                    self.backoff(t, attempt);
                 }
                 Err(e) => {
                     let _ = self.inner.lock().tabort(t);
@@ -280,7 +280,7 @@ impl SharedTransactionService {
     /// small fraction of LT: healthy holders finish many scheduling
     /// slices before their lease can be broken, while a deadlocked pair
     /// is still collapsed within ~50 backoffs.
-    fn backoff(&self, t: TxnId) {
+    fn backoff(&self, t: TxnId, attempt: u32) {
         let mut ts = self.inner.lock();
         if ts.active_transactions().contains(&t) {
             let _ = ts.tabort(t);
@@ -290,7 +290,17 @@ impl SharedTransactionService {
         clock.advance(lt / 50 + 1);
         let _ = ts.tick();
         drop(ts);
-        std::thread::sleep(std::time::Duration::from_micros(50));
+        // Truncated exponential backoff with deterministic per-transaction
+        // jitter. A constant sleep lets contending threads retry in
+        // lockstep and re-create the same conflict forever — on a
+        // single-CPU host that livelocks a deadlock-heavy workload all the
+        // way to the attempt cap. The transaction id is fresh each
+        // attempt, so hashing it desynchronises the herd without needing
+        // a randomness source.
+        let base = 50u64 << attempt.min(6);
+        let jitter = t.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        let sleep_us = base + jitter % (base / 2 + 1);
+        std::thread::sleep(std::time::Duration::from_micros(sleep_us));
     }
 }
 

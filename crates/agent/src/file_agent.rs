@@ -186,13 +186,7 @@ impl FileAgent {
     pub fn stats(&self) -> AgentStats {
         let mut cache = CacheStats::default();
         for c in &self.caches {
-            let s = c.stats();
-            cache.hits += s.hits;
-            cache.misses += s.misses;
-            cache.writebacks += s.writebacks;
-            cache.clean_evictions += s.clean_evictions;
-            cache.bytes_copied += s.bytes_copied;
-            cache.bytes_borrowed += s.bytes_borrowed;
+            cache.merge(&c.stats());
         }
         let mut scheduler = SchedulerStats::default();
         let mut scrub = ScrubStats::default();

@@ -9,7 +9,13 @@
 //! `rhodos_bench::experiments::e18_group_commit::stat_records`) — and
 //! `BENCH_scrub.json`: the self-healing counters of a fixed latent-fault
 //! scenario (see `rhodos_bench::experiments::e19_self_healing::stat_records`),
-//! so scrub/repair/fsck behaviour regressions show up as a diff.
+//! so scrub/repair/fsck behaviour regressions show up as a diff — and
+//! `BENCH_latency.json`: the E20 open-loop percentile lane (see
+//! `rhodos_bench::experiments::e20_contention::stat_records`). The
+//! latency lane is additionally *gated*: each fresh `p99_us` row is
+//! compared against the committed `BENCH_latency.baseline.json` and the
+//! run fails if any regresses by more than 10% (saturation rows
+//! likewise, in the other direction).
 //!
 //! `cargo run --release -p rhodos-bench --bin bench_json [-- <out-path>]`
 
@@ -72,4 +78,67 @@ fn main() {
     std::fs::write(scrub_path, &scrub_json).expect("write scrub json");
     println!("wrote {scrub_path}");
     print!("{scrub_json}");
+
+    let lat_path = "BENCH_latency.json";
+    let lat_records = rhodos_bench::experiments::e20_contention::stat_records();
+    let lat_rows: Vec<String> = lat_records
+        .iter()
+        .map(|(stat, value)| format!("  {{\"stat\": \"{stat}\", \"value\": {value}}}"))
+        .collect();
+    let lat_json = format!("[\n{}\n]\n", lat_rows.join(",\n"));
+    std::fs::write(lat_path, &lat_json).expect("write latency json");
+    println!("wrote {lat_path}");
+    print!("{lat_json}");
+
+    if !gate_latency(&lat_records) {
+        std::process::exit(1);
+    }
+}
+
+/// Parses `{"stat": .., "value": ..}` rows from one of this binary's own
+/// JSON files.
+fn parse_stat_rows(text: &str) -> Vec<(String, u64)> {
+    text.lines()
+        .filter_map(|line| {
+            let stat = line.split("\"stat\": \"").nth(1)?.split('"').next()?;
+            let value = line
+                .split("\"value\": ")
+                .nth(1)?
+                .trim_end_matches(['}', ',', ' '])
+                .parse()
+                .ok()?;
+            Some((stat.to_string(), value))
+        })
+        .collect()
+}
+
+/// Diffs the fresh latency lane against the committed baseline: any
+/// `p99_us` more than 10% above baseline (with a 25 us absolute floor
+/// for tiny values), or any saturation more than 10% below, fails the
+/// run. Missing baseline (bootstrap) passes with a note.
+fn gate_latency(fresh: &[(String, u64)]) -> bool {
+    let base_path = "BENCH_latency.baseline.json";
+    let Ok(base_text) = std::fs::read_to_string(base_path) else {
+        println!("no {base_path}; skipping latency regression gate");
+        return true;
+    };
+    let baseline = parse_stat_rows(&base_text);
+    let mut ok = true;
+    for (stat, value) in fresh {
+        let Some((_, base)) = baseline.iter().find(|(s, _)| s == stat) else {
+            continue;
+        };
+        if stat.ends_with("p99_us") && *value > base + (base / 10).max(25) {
+            println!("LATENCY REGRESSION: {stat} = {value} us (baseline {base} us)");
+            ok = false;
+        }
+        if stat.ends_with("saturation_ops_ks") && *value < base - base / 10 {
+            println!("SATURATION REGRESSION: {stat} = {value} ops/s (baseline {base} ops/s)");
+            ok = false;
+        }
+    }
+    if ok {
+        println!("latency lane within 10% of {base_path}");
+    }
+    ok
 }

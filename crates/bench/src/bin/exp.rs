@@ -1,13 +1,28 @@
 //! Runs paper experiments by id: `exp e03 e12` or `exp all`.
+//! Flags: `--smoke` shrinks the expensive cells (sets
+//! `RHODOS_BENCH_SMOKE=1`, honoured by E20).
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if let Some(flag) = arg.strip_prefix("--") {
+            match flag {
+                "smoke" => std::env::set_var("RHODOS_BENCH_SMOKE", "1"),
+                _ => {
+                    eprintln!("unknown flag --{flag}; supported: --smoke");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            ids.push(arg);
+        }
+    }
     let experiments = rhodos_bench::all_experiments();
-    if args.is_empty() || args.iter().any(|a| a == "all") {
+    if ids.is_empty() || ids.iter().any(|a| a == "all") {
         println!("{}", rhodos_bench::run_all());
         return;
     }
-    for want in &args {
+    for want in &ids {
         match experiments.iter().find(|(id, _, _)| id == want) {
             Some((id, title, run)) => {
                 println!("[{id}] {title}");

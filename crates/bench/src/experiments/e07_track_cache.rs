@@ -44,7 +44,7 @@ fn workload(svc: &mut DiskService, seed: u64) -> (u64, u64, f64, u64, u64) {
     let copied = (after.disk.bytes_copied - before.disk.bytes_copied)
         + (after.cache.bytes_copied - before.cache.bytes_copied);
     let borrowed = after.cache.bytes_borrowed - before.cache.bytes_borrowed;
-    (refs, dt, after.cache.hit_ratio(), copied, borrowed)
+    (refs, dt, after.cache.hit_rate(), copied, borrowed)
 }
 
 /// Runs the experiment.
@@ -53,7 +53,7 @@ pub fn run() -> String {
         "configuration",
         "disk refs",
         "sim time (us)",
-        "cache hit ratio",
+        "cache hit %",
         "KiB copied",
         "KiB borrowed",
     ]);
@@ -72,13 +72,13 @@ pub fn run() -> String {
                 cache_tracks: tracks,
             },
         );
-        let (refs, dt, ratio, copied, borrowed) = workload(&mut svc, 5);
+        let (refs, dt, rate, copied, borrowed) = workload(&mut svc, 5);
         times.push(dt);
         t.row_owned(vec![
             label.to_string(),
             refs.to_string(),
             dt.to_string(),
-            format!("{ratio:.2}"),
+            format!("{rate:.1}"),
             (copied / 1024).to_string(),
             (borrowed / 1024).to_string(),
         ]);

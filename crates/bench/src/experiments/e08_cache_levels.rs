@@ -22,7 +22,20 @@ use std::sync::Arc;
 const FILE_BLOCKS: usize = 32;
 const OPS: usize = 600;
 
-fn workload(server_caches: bool, client_blocks: usize) -> (u64, u64, u64, u64, u64) {
+/// Per-configuration measurements of one replayed workload.
+struct Measured {
+    sim_us: u64,
+    round_trips: u64,
+    disk_refs: u64,
+    copied: u64,
+    borrowed: u64,
+    /// Server block-pool hit rate over the measured reads, percent.
+    server_pool_hit: f64,
+    /// Client (agent) block-pool hit rate, percent.
+    client_pool_hit: f64,
+}
+
+fn workload(server_caches: bool, client_blocks: usize) -> Measured {
     let fs = crate::setups::file_service_with_caches(server_caches);
     let clock = fs.clock();
     let ts = TransactionService::new(fs, TxnConfig::default()).unwrap();
@@ -88,7 +101,35 @@ fn workload(server_caches: bool, client_blocks: usize) -> (u64, u64, u64, u64, u
     let borrowed = (srv_borrowed1 - srv_borrowed0)
         + (server1.cache.bytes_borrowed - server0.cache.bytes_borrowed)
         + (agent1.cache.bytes_borrowed - agent0.cache.bytes_borrowed);
-    (dt, trips, refs, copied, borrowed)
+    // Hit rates over the measured window, via the stats-delta trick:
+    // a CacheStats of just the deltas reuses `hit_rate()` unchanged.
+    let rate = |hits1: u64, hits0: u64, misses1: u64, misses0: u64| {
+        rhodos_file_service::CacheStats {
+            hits: hits1 - hits0,
+            misses: misses1 - misses0,
+            ..Default::default()
+        }
+        .hit_rate()
+    };
+    Measured {
+        sim_us: dt,
+        round_trips: trips,
+        disk_refs: refs,
+        copied,
+        borrowed,
+        server_pool_hit: rate(
+            server1.cache.hits,
+            server0.cache.hits,
+            server1.cache.misses,
+            server0.cache.misses,
+        ),
+        client_pool_hit: rate(
+            agent1.cache.hits,
+            agent0.cache.hits,
+            agent1.cache.misses,
+            agent0.cache.misses,
+        ),
+    }
 }
 
 /// Runs the experiment.
@@ -100,6 +141,8 @@ pub fn run() -> String {
         "total disk refs",
         "KiB copied",
         "KiB borrowed",
+        "server pool hit %",
+        "client pool hit %",
     ]);
     let mut times = Vec::new();
     for (label, server, client) in [
@@ -107,15 +150,17 @@ pub fn run() -> String {
         ("server only (file + disk level)", true, 0),
         ("server + client (all levels)", true, 128),
     ] {
-        let (dt, trips, refs, copied, borrowed) = workload(server, client);
-        times.push(dt);
+        let m = workload(server, client);
+        times.push(m.sim_us);
         t.row_owned(vec![
             label.to_string(),
-            dt.to_string(),
-            trips.to_string(),
-            refs.to_string(),
-            (copied / 1024).to_string(),
-            (borrowed / 1024).to_string(),
+            m.sim_us.to_string(),
+            m.round_trips.to_string(),
+            m.disk_refs.to_string(),
+            (m.copied / 1024).to_string(),
+            (m.borrowed / 1024).to_string(),
+            format!("{:.1}", m.server_pool_hit),
+            format!("{:.1}", m.client_pool_hit),
         ]);
     }
     let mut out = t.render();
@@ -140,23 +185,41 @@ pub fn run() -> String {
 mod tests {
     #[test]
     fn each_level_helps() {
-        let (t_none, trips_none, refs_none, _, _) = super::workload(false, 0);
-        let (t_server, trips_server, refs_server, _, _) = super::workload(true, 0);
-        let (t_all, trips_all, _refs_all, _, borrowed_all) = super::workload(true, 128);
+        let none = super::workload(false, 0);
+        let server = super::workload(true, 0);
+        let all = super::workload(true, 128);
         // Server caches absorb disk references.
-        assert!(refs_server < refs_none / 2, "{refs_server} vs {refs_none}");
+        assert!(
+            server.disk_refs < none.disk_refs / 2,
+            "{} vs {}",
+            server.disk_refs,
+            none.disk_refs
+        );
         // The client cache absorbs round trips.
         assert!(
-            trips_all < trips_server / 2,
-            "{trips_all} vs {trips_server}"
+            all.round_trips < server.round_trips / 2,
+            "{} vs {}",
+            all.round_trips,
+            server.round_trips
         );
-        assert_eq!(trips_none, trips_server, "server caches don't change trips");
+        assert_eq!(
+            none.round_trips, server.round_trips,
+            "server caches don't change trips"
+        );
         // And the full stack is fastest.
         assert!(
-            t_all < t_server && t_server <= t_none,
-            "{t_all} {t_server} {t_none}"
+            all.sim_us < server.sim_us && server.sim_us <= none.sim_us,
+            "{} {} {}",
+            all.sim_us,
+            server.sim_us,
+            none.sim_us
         );
         // With every cache on, hot blocks are served as shared handles.
-        assert!(borrowed_all > 0, "cache hits should be zero-copy borrows");
+        assert!(all.borrowed > 0, "cache hits should be zero-copy borrows");
+        // The hit-rate satellite: the server pool runs hot when enabled,
+        // reports 0% when absent; same for the client pool.
+        assert_eq!(none.server_pool_hit, 0.0);
+        assert!(server.server_pool_hit > 50.0, "{}", server.server_pool_hit);
+        assert!(all.client_pool_hit > 50.0, "{}", all.client_pool_hit);
     }
 }

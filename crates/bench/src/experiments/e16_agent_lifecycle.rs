@@ -6,10 +6,14 @@
 //! exist as soon as the last transaction ... either completes
 //! successfully or aborts."
 
+use crate::latency::LatencySummary;
 use crate::table::Table;
 use rhodos_agent::AgentLifecycleEvent;
 use rhodos_core::Cluster;
 use rhodos_file_service::LockLevel;
+
+/// Transactions in the timed burst appended after the lifecycle probe.
+const TIMED_TXNS: usize = 40;
 
 /// Runs the experiment.
 pub fn run() -> String {
@@ -59,6 +63,37 @@ pub fn run() -> String {
     cluster.machine_mut(0).tend(t3).unwrap();
     snap(&mut cluster, "and after it ends", &mut t);
 
+    // Third burst, timed: per-transaction virtual-time latency of the
+    // whole tbegin/topen/twrite/tend cycle through the agent (E20
+    // satellite — makespan alone hides the tail).
+    let clock = cluster.clock();
+    let mut samples = Vec::with_capacity(TIMED_TXNS);
+    // A guard transaction keeps the agent alive across the burst, so the
+    // burst is one lifecycle episode rather than forty.
+    let guard = cluster.machine_mut(0).tbegin();
+    let t0 = clock.now_us();
+    for i in 0..TIMED_TXNS {
+        let start = clock.now_us();
+        let t = cluster.machine_mut(0).tbegin();
+        let od = cluster
+            .machine_mut(0)
+            .txn_agent_mut()
+            .unwrap()
+            .topen(t, fid)
+            .unwrap();
+        cluster
+            .machine_mut(0)
+            .txn_agent_mut()
+            .unwrap()
+            .twrite(od, &[i as u8; 64])
+            .unwrap();
+        cluster.machine_mut(0).tend(t).unwrap();
+        samples.push(clock.now_us() - start);
+    }
+    let makespan = clock.now_us() - t0;
+    cluster.machine_mut(0).tabort(guard).unwrap();
+    let lat = LatencySummary::from_samples(&samples);
+
     let mut out = t.render();
     let events = cluster.machine_mut(0).agent_lifecycle().to_vec();
     let created = events
@@ -70,8 +105,11 @@ pub fn run() -> String {
         .filter(|e| matches!(e, AgentLifecycleEvent::Destroyed { .. }))
         .count();
     out.push_str(&format!(
-        "\nlifecycle log: {created} creations, {destroyed} destructions across two bursts\n\
-         (event-driven: the agent never outlives its last transaction).\n",
+        "\nlifecycle log: {created} creations, {destroyed} destructions across three bursts\n\
+         (event-driven: the agent never outlives its last transaction).\n\
+         timed burst: {TIMED_TXNS} one-write transactions, makespan {makespan}us,\n\
+         per-txn latency {}.\n",
+        lat.line(),
     ));
     out
 }
@@ -96,6 +134,18 @@ mod tests {
                 .unwrap_or_else(|| panic!("missing row {moment}: {report}"));
             assert!(line.contains(want), "{moment}: {line}");
         }
-        assert!(report.contains("2 creations, 2 destructions"));
+        assert!(report.contains("3 creations, 3 destructions"));
+    }
+
+    #[test]
+    fn timed_burst_reports_latency_percentiles() {
+        let report = super::run();
+        let line = report
+            .lines()
+            .find(|l| l.contains("per-txn latency"))
+            .expect("latency line");
+        assert!(line.contains("p50="), "{line}");
+        assert!(line.contains("p99="), "{line}");
+        assert!(report.contains("makespan"));
     }
 }

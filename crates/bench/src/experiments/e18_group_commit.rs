@@ -17,6 +17,7 @@
 //! the `rhodos-txn` concurrency tests and the `commit_throughput`
 //! criterion group.
 
+use crate::latency::LatencySummary;
 use crate::table::{speedup, Table};
 use rhodos_file_service::LockLevel;
 use rhodos_txn::{GroupCommit, Prepared, TransactionService, TxnConfig, TxnStats};
@@ -31,6 +32,10 @@ struct Outcome {
     write_refs: u64,
     busiest_us: u64,
     sim_us: u64,
+    /// Per-commit virtual-time latency: `tend` for the serial ablation;
+    /// enqueue-to-batch-durable for the pipeline (followers wait for the
+    /// leader's force, so the whole wave shares its completion point).
+    commit_lat: LatencySummary,
 }
 
 fn rig(mode: GroupCommit) -> TransactionService {
@@ -70,10 +75,13 @@ fn measure(committers: usize, mode: GroupCommit) -> Outcome {
             stats.disks.iter().map(|d| d.disk.busy_us).collect(),
         )
     };
-    let t0 = ts.file_service_mut().clock().now_us();
+    let clock = ts.file_service_mut().clock();
+    let t0 = clock.now_us();
+    let mut commit_samples = Vec::with_capacity(TOTAL_COMMITS);
     let rounds = TOTAL_COMMITS / committers;
     for round in 0..rounds {
         let mut pending = Vec::new();
+        let mut enqueued_at = Vec::with_capacity(committers);
         for (i, &fid) in fids.iter().enumerate() {
             let t = ts.tbegin();
             ts.topen(t, fid).unwrap();
@@ -84,11 +92,18 @@ fn measure(committers: usize, mode: GroupCommit) -> Outcome {
             ts.twrite(t, fid, base + 2 * 8192, &vec![i as u8; 8192])
                 .unwrap();
             match mode {
-                GroupCommit::Never => ts.tend(t).unwrap(),
-                GroupCommit::Auto => match ts.prepare_commit(t).unwrap() {
-                    Prepared::Pending(p) => pending.push(p),
-                    Prepared::Merged => unreachable!("top-level"),
-                },
+                GroupCommit::Never => {
+                    let start = clock.now_us();
+                    ts.tend(t).unwrap();
+                    commit_samples.push(clock.now_us() - start);
+                }
+                GroupCommit::Auto => {
+                    enqueued_at.push(clock.now_us());
+                    match ts.prepare_commit(t).unwrap() {
+                        Prepared::Pending(p) => pending.push(p),
+                        Prepared::Merged => unreachable!("top-level"),
+                    }
+                }
             }
         }
         if mode == GroupCommit::Auto {
@@ -98,6 +113,9 @@ fn measure(committers: usize, mode: GroupCommit) -> Outcome {
                 ts.complete_commit(p).unwrap();
             }
             ts.maybe_compact_log().unwrap();
+            // Every commit in the wave becomes durable at the wave's end.
+            let wave_done = clock.now_us();
+            commit_samples.extend(enqueued_at.iter().map(|&at| wave_done - at));
         }
     }
     // Force the tail `Completed` markers so both modes account the same
@@ -133,6 +151,7 @@ fn measure(committers: usize, mode: GroupCommit) -> Outcome {
         write_refs,
         busiest_us,
         sim_us,
+        commit_lat: LatencySummary::from_samples(&commit_samples),
     }
 }
 
@@ -185,6 +204,8 @@ pub fn run() -> String {
         "write refs",
         "busiest spindle (us)",
         "sim time (us)",
+        "commit p50 (us)",
+        "commit p99 (us)",
         "flushes vs serial",
     ]);
     let mut worst_flush_ratio = f64::MAX;
@@ -212,6 +233,8 @@ pub fn run() -> String {
                 o.write_refs.to_string(),
                 o.busiest_us.to_string(),
                 o.sim_us.to_string(),
+                o.commit_lat.p50.to_string(),
+                o.commit_lat.p99.to_string(),
                 if is_serial {
                     "1.0x".to_string()
                 } else {
@@ -266,6 +289,8 @@ mod tests {
         );
         assert!(group.stats.group_commits > 0);
         assert!(group.stats.commit_batch_pages > 0, "batched apply unused");
+        assert_eq!(group.commit_lat.count, serial.commit_lat.count);
+        assert!(group.commit_lat.p99 > 0, "commit latency must be sampled");
     }
 
     #[test]

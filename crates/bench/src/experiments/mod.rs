@@ -22,3 +22,4 @@ pub mod e16_agent_lifecycle;
 pub mod e17_replication_failover;
 pub mod e18_group_commit;
 pub mod e19_self_healing;
+pub mod e20_contention;

@@ -1,0 +1,84 @@
+//! Latency-sample helpers shared by the open-loop harness (E20) and the
+//! per-op latency satellites of E16/E18: nearest-rank percentiles over
+//! virtual-time (`us`) samples, summarised as p50/p99/p999.
+//!
+//! Everything here is integer arithmetic over already-measured samples,
+//! so summaries are byte-stable across platforms — a requirement for the
+//! committed `BENCH_latency.json` lane.
+
+/// Nearest-rank percentile (`p` in `0..=100`) over an **ascending
+/// sorted** slice. Empty input yields 0.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// p50/p99/p999 summary of one op class's latency samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Median, microseconds.
+    pub p50: u64,
+    /// 99th percentile, microseconds.
+    pub p99: u64,
+    /// 99.9th percentile, microseconds.
+    pub p999: u64,
+    /// Worst sample, microseconds.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarises `samples` (unsorted; a sorted copy is made).
+    pub fn from_samples(samples: &[u64]) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        Self {
+            count: sorted.len(),
+            p50: percentile(&sorted, 50.0),
+            p99: percentile(&sorted, 99.0),
+            p999: percentile(&sorted, 99.9),
+            max: sorted.last().copied().unwrap_or(0),
+        }
+    }
+
+    /// `p50=.. p99=..` one-liner for report footers.
+    pub fn line(&self) -> String {
+        format!(
+            "p50={}us p99={}us p999={}us max={}us over {} samples",
+            self.p50, self.p99, self.p999, self.max, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 99.9), 100);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&sorted, 0.0), 1);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.9), 7);
+    }
+
+    #[test]
+    fn summary_over_unsorted_samples() {
+        let samples = [30u64, 10, 20];
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.p50, 20);
+        assert_eq!(s.p99, 30);
+        assert_eq!(s.p999, 30);
+        assert_eq!(s.max, 30);
+        assert!(s.line().contains("p99=30us"));
+    }
+}

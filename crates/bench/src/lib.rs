@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod latency;
+pub mod loadgen;
 pub mod setups;
 pub mod table;
 pub mod throughput;
@@ -112,6 +114,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "e19",
             "Self-healing: checksums, scrubbing, sector remap, fsck repair",
             e19_self_healing::run,
+        ),
+        (
+            "e20",
+            "Open-loop latency under contention: sharded locks + block pool",
+            e20_contention::run,
         ),
     ]
 }

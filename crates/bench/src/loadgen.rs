@@ -1,0 +1,489 @@
+//! Deterministic open-loop workload generator (E20).
+//!
+//! The closed-loop experiments (E10, E18) measure *capacity*: every
+//! client waits for its previous operation, so latency hides in the
+//! think-time. An open-loop generator instead fires operations at a
+//! configured arrival rate regardless of completions — the shape that
+//! exposes queueing collapse at a contention wall. This module builds
+//! such a workload in two deterministic phases:
+//!
+//! 1. **Trace**: the operation mix (reads/writes/read-modify-write
+//!    transactions over a Zipfian file popularity distribution) executes
+//!    serially against a *real* transaction service — reads through the
+//!    E20 fast path ([`SharedTransactionService::tread_shared`]) — and
+//!    each operation records its virtual-time service cost plus the
+//!    *resources* it occupied: a fast-path full hit touches only its
+//!    lock-table shard and block-pool shard; every other operation holds
+//!    the whole-service lock (the `Global` resource).
+//! 2. **Replay**: a pure queueing simulation pushes the trace through
+//!    the recorded resources at an offered arrival rate — each
+//!    operation starts at `max(arrival, its agent free, its resources
+//!    free)` — yielding per-class latency percentiles and, swept over a
+//!    doubling rate ladder, the saturation throughput.
+//!
+//! No wall clock, no floating-point transcendentals on the sampling
+//! path (Zipf weights are quantised to integers), and a hand-rolled
+//! splitmix64 RNG: the whole pipeline is byte-stable across runs and
+//! platforms, so E20's numbers can be committed as a diffable baseline
+//! (`BENCH_latency.json`).
+
+use crate::latency::LatencySummary;
+use rhodos_disk_service::BLOCK_SIZE;
+use rhodos_file_service::{FileService, FileServiceConfig, LockLevel};
+use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
+use rhodos_txn::{
+    DataItem, FastPathStats, ShardConfig, SharedTransactionService, TransactionService, TxnConfig,
+};
+
+const BS: u64 = BLOCK_SIZE as u64;
+
+/// splitmix64 — the standard 64-bit mixing PRNG, hand-rolled so the
+/// generator needs no external randomness source.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Zipfian popularity over `n` ranks with exponent `skew` (`0.0` =
+/// uniform). Weights `1/rank^skew` are quantised to integers (parts per
+/// 1e9 of the top rank) so the CDF — and therefore every sample — is
+/// identical across platforms despite `powf` on the construction path.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<u64>,
+    total: u64,
+}
+
+impl Zipf {
+    /// Builds the sampler (`n > 0`).
+    pub fn new(n: usize, skew: f64) -> Self {
+        assert!(n > 0, "zipf over zero ranks");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0u64;
+        for rank in 1..=n {
+            let w = (1e9 / (rank as f64).powf(skew)).round() as u64;
+            total += w.max(1);
+            cdf.push(total);
+        }
+        Self { cdf, total }
+    }
+
+    /// Samples a rank in `0..n` (0 = most popular).
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let x = rng.below(self.total) + 1;
+        self.cdf.partition_point(|&c| c < x)
+    }
+}
+
+/// One operation class of the mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// 1 KiB read of one block (through the fast path when available).
+    Read,
+    /// 1 KiB committed overwrite within one block.
+    Write,
+    /// Read-modify-write transaction on an 8-byte counter.
+    Update,
+}
+
+impl OpClass {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Read => "read",
+            OpClass::Write => "write",
+            OpClass::Update => "update",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            OpClass::Read => 0,
+            OpClass::Write => 1,
+            OpClass::Update => 2,
+        }
+    }
+
+    /// Fixed CPU cost added to the measured virtual-time delta, so a
+    /// pool hit (which moves the simulated clock not at all) still
+    /// occupies its resources for a realistic request-processing slice.
+    fn cpu_us(self) -> u64 {
+        match self {
+            OpClass::Read => 20,
+            OpClass::Write => 40,
+            OpClass::Update => 60,
+        }
+    }
+}
+
+/// Workload shape. `Default` is the full E20 cell.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Simulated client agents; an agent issues at most one op at a time.
+    pub agents: usize,
+    /// Distinct files (Zipf ranks).
+    pub files: usize,
+    /// Blocks per file.
+    pub file_blocks: u64,
+    /// Server block-pool capacity.
+    pub cache_blocks: usize,
+    /// Zipf exponent of the file popularity distribution.
+    pub skew: f64,
+    /// Percent of operations that are reads.
+    pub read_pct: u64,
+    /// Percent that are blind writes (the rest are update txns).
+    pub write_pct: u64,
+    /// Operations in the trace.
+    pub ops: usize,
+    /// RNG seed for the whole pipeline.
+    pub seed: u64,
+    /// Lock-table / block-pool sharding arm.
+    pub shards: ShardConfig,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            agents: 2048,
+            files: 48,
+            file_blocks: 4,
+            cache_blocks: 96,
+            skew: 0.9,
+            read_pct: 70,
+            write_pct: 20,
+            ops: 4000,
+            seed: 42,
+            shards: ShardConfig::default(),
+        }
+    }
+}
+
+/// The shared-mutex resource every non-fast-path operation occupies.
+const GLOBAL: u32 = 0;
+
+#[derive(Debug, Clone)]
+struct TraceOp {
+    class: OpClass,
+    agent: usize,
+    /// Virtual service time, microseconds.
+    service_us: u64,
+    /// Resource ids this op holds for its whole service time.
+    resources: Vec<u32>,
+}
+
+/// A measured trace, ready for rate replays.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    ops: Vec<TraceOp>,
+    nresources: usize,
+    agents: usize,
+    /// Fast-path counters accumulated while measuring the trace.
+    pub fast: FastPathStats,
+    /// Block-pool hit rate (percent) over the measured operations.
+    pub pool_hit_rate: f64,
+}
+
+/// Latency percentiles and achieved throughput of one replay. Rates are
+/// fixed-point ops per kilosecond (1 op/s = 1000 ops/ks), so the heavy
+/// simulated-disk cells still get ~0.1% resolution from integer math.
+#[derive(Debug, Clone, Copy)]
+pub struct Replay {
+    /// Offered open-loop arrival rate, ops/ks.
+    pub offered_per_ks: u64,
+    /// Completed-work throughput, ops/ks.
+    pub achieved_per_ks: u64,
+    /// Per-class summaries, indexed like [`OpClass::index`].
+    pub read: LatencySummary,
+    pub write: LatencySummary,
+    pub update: LatencySummary,
+}
+
+impl Trace {
+    /// Replays the trace at `offered_per_ks` arrivals per kilosecond.
+    pub fn replay(&self, offered_per_ks: u64) -> Replay {
+        let offered_per_ks = offered_per_ks.max(1);
+        let mean_gap = 1_000_000_000 / offered_per_ks;
+        let mut rng = SplitMix64::new(0x5EED ^ offered_per_ks);
+        let mut free = vec![0u64; self.nresources];
+        let mut agent_free = vec![0u64; self.agents];
+        let mut samples: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        let mut arrival = 0u64;
+        let mut last_done = 0u64;
+        for op in &self.ops {
+            // Uniform gaps in [mean/2, 3*mean/2]: enough arrival jitter
+            // to exercise queueing, integer-only for determinism.
+            let gap = if mean_gap == 0 {
+                0
+            } else {
+                mean_gap / 2 + rng.below(mean_gap + 1)
+            };
+            arrival += gap;
+            let mut start = arrival.max(agent_free[op.agent]);
+            for &r in &op.resources {
+                start = start.max(free[r as usize]);
+            }
+            let done = start + op.service_us;
+            agent_free[op.agent] = done;
+            for &r in &op.resources {
+                free[r as usize] = done;
+            }
+            last_done = last_done.max(done);
+            samples[op.class.index()].push(done - arrival);
+        }
+        Replay {
+            offered_per_ks,
+            achieved_per_ks: (self.ops.len() as u64) * 1_000_000_000 / last_done.max(1),
+            read: LatencySummary::from_samples(&samples[0]),
+            write: LatencySummary::from_samples(&samples[1]),
+            update: LatencySummary::from_samples(&samples[2]),
+        }
+    }
+
+    /// Saturation throughput: the best achieved rate over a doubling
+    /// offered-rate ladder (1 op/s .. ~8M ops/s).
+    pub fn saturation_per_ks(&self) -> u64 {
+        let mut best = 0u64;
+        let mut offered = 1_000u64;
+        for _ in 0..24 {
+            best = best.max(self.replay(offered).achieved_per_ks);
+            offered *= 2;
+        }
+        best
+    }
+}
+
+/// Executes the configured mix serially against a real service and
+/// measures each operation's service time and resource footprint.
+pub fn trace(cfg: &LoadgenConfig) -> Trace {
+    let fs = FileService::single_disk(
+        DiskGeometry::large(),
+        LatencyModel::default(),
+        SimClock::new(),
+        FileServiceConfig {
+            cache_blocks: cfg.cache_blocks,
+            cache_shards: cfg.shards.cache_shards,
+            ..FileServiceConfig::default()
+        },
+    )
+    .expect("format loadgen file service");
+    let ts = TransactionService::new(
+        fs,
+        TxnConfig {
+            lock_shards: cfg.shards.lock_shards,
+            ..TxnConfig::default()
+        },
+    )
+    .expect("loadgen transaction service");
+    let s = SharedTransactionService::new(ts);
+    let clock = s.lock().file_service().clock();
+    let tables = s.lock().lock_tables();
+    let cache = s.lock().file_service_mut().cache_handle();
+    let lock_shards = tables[0].shard_count();
+    let cache_shards = cache.as_ref().map_or(1, |c| c.shard_count());
+    let nresources = 1 + lock_shards + cache_shards;
+
+    // Working set: `files` files of `file_blocks` blocks, committed, then
+    // one classic read sweep to warm the block pool.
+    let file_bytes = (cfg.file_blocks * BS) as usize;
+    let fids: Vec<_> = (0..cfg.files)
+        .map(|_| {
+            let fid = s.lock().tcreate(LockLevel::Page).expect("tcreate");
+            s.run_txn(|s, t| {
+                s.lock().topen(t, fid)?;
+                s.lock().twrite(t, fid, 0, &vec![0xA5u8; file_bytes])
+            })
+            .expect("seed file");
+            s.run_txn(|s, t| {
+                s.lock().topen(t, fid)?;
+                s.lock().tread(t, fid, 0, file_bytes)
+            })
+            .expect("warm pool");
+            fid
+        })
+        .collect();
+
+    let zipf = Zipf::new(cfg.files, cfg.skew);
+    let mut rng = SplitMix64::new(cfg.seed);
+    let pool0 = {
+        let mut guard = s.lock();
+        guard.file_service_mut().stats().cache
+    };
+    let mut ops = Vec::with_capacity(cfg.ops);
+    for i in 0..cfg.ops {
+        let class = match rng.below(100) {
+            p if p < cfg.read_pct => OpClass::Read,
+            p if p < cfg.read_pct + cfg.write_pct => OpClass::Write,
+            _ => OpClass::Update,
+        };
+        let fid = fids[zipf.sample(&mut rng)];
+        let block = rng.below(cfg.file_blocks);
+        let offset = block * BS;
+        let agent = rng.below(cfg.agents as u64) as usize;
+        let hits0 = s.fast_stats().full_hits;
+        let t0 = clock.now_us();
+        match class {
+            OpClass::Read => {
+                s.run_txn(|s, t| {
+                    s.lock().topen(t, fid)?;
+                    s.tread_shared(t, fid, offset, 1024)
+                })
+                .expect("read op");
+            }
+            OpClass::Write => {
+                let payload = vec![i as u8; 1024];
+                s.run_txn(|s, t| {
+                    s.lock().topen(t, fid)?;
+                    s.lock().twrite(t, fid, offset, &payload)
+                })
+                .expect("write op");
+            }
+            OpClass::Update => {
+                s.run_txn(|s, t| {
+                    s.lock().topen(t, fid)?;
+                    let raw = s.lock().tread_for_update(t, fid, offset, 8)?;
+                    let v = u64::from_le_bytes(raw.try_into().unwrap_or([0u8; 8]));
+                    // A prior write op may have seeded 0xFF bytes here, so
+                    // the counter must wrap rather than overflow.
+                    s.lock()
+                        .twrite(t, fid, offset, &v.wrapping_add(1).to_le_bytes())
+                })
+                .expect("update op");
+            }
+        }
+        let service_us = (clock.now_us() - t0) + class.cpu_us();
+        // A fast-path full hit never held the service lock across the
+        // data access: it occupied exactly its lock shard and its block
+        // shard. Everything else serialised on the Global resource.
+        let resources = if s.fast_stats().full_hits > hits0 {
+            let lock_shard = tables[0].shard_of(&DataItem::Page(fid, block)) as u32;
+            let cache_shard = cache
+                .as_ref()
+                .map_or(0, |c| c.shard_of(&(fid, block)) as u32);
+            vec![1 + lock_shard, 1 + lock_shards as u32 + cache_shard]
+        } else {
+            vec![GLOBAL]
+        };
+        ops.push(TraceOp {
+            class,
+            agent,
+            service_us,
+            resources,
+        });
+    }
+    let pool1 = {
+        let mut guard = s.lock();
+        guard.file_service_mut().stats().cache
+    };
+    let delta = rhodos_file_service::CacheStats {
+        hits: pool1.hits - pool0.hits,
+        misses: pool1.misses - pool0.misses,
+        ..Default::default()
+    };
+    Trace {
+        ops,
+        nresources,
+        agents: cfg.agents.max(1),
+        fast: s.fast_stats(),
+        pool_hit_rate: delta.hit_rate(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(shards: ShardConfig) -> LoadgenConfig {
+        LoadgenConfig {
+            agents: 16,
+            files: 6,
+            file_blocks: 2,
+            cache_blocks: 16,
+            ops: 120,
+            shards,
+            ..LoadgenConfig::default()
+        }
+    }
+
+    #[test]
+    fn zipf_skew_prefers_low_ranks() {
+        let z = Zipf::new(16, 1.2);
+        let mut rng = SplitMix64::new(7);
+        let mut counts = [0usize; 16];
+        for _ in 0..4000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[15] * 4,
+            "rank 0 must dominate: {counts:?}"
+        );
+        // Uniform when skew = 0: no rank dominates.
+        let z0 = Zipf::new(16, 0.0);
+        let mut counts0 = [0usize; 16];
+        for _ in 0..4000 {
+            counts0[z0.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts0.iter().all(|&c| c > 100),
+            "uniform draw: {counts0:?}"
+        );
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_replay_repeats() {
+        let cfg = tiny(ShardConfig::default());
+        let a = trace(&cfg);
+        let b = trace(&cfg);
+        assert_eq!(a.fast, b.fast);
+        assert_eq!(a.pool_hit_rate, b.pool_hit_rate);
+        let ra = a.replay(20_000);
+        let rb = b.replay(20_000);
+        assert_eq!(ra.read, rb.read);
+        assert_eq!(ra.write, rb.write);
+        assert_eq!(ra.achieved_per_ks, rb.achieved_per_ks);
+        assert_eq!(a.saturation_per_ks(), b.saturation_per_ks());
+    }
+
+    #[test]
+    fn sharded_arm_bypasses_global_where_ablation_cannot() {
+        let sharded = trace(&tiny(ShardConfig::default()));
+        let ablation = trace(&tiny(ShardConfig::ablation()));
+        assert!(
+            sharded.fast.full_hits > 0,
+            "sharded arm must serve fast-path hits: {:?}",
+            sharded.fast
+        );
+        assert_eq!(
+            ablation.fast,
+            FastPathStats::default(),
+            "ablation arm must never use the fast path"
+        );
+        let total: usize = [
+            sharded.replay(10_000).read.count,
+            sharded.replay(10_000).write.count,
+            sharded.replay(10_000).update.count,
+        ]
+        .iter()
+        .sum();
+        assert_eq!(total, 120, "every op produces one latency sample");
+        assert!(sharded.saturation_per_ks() >= ablation.saturation_per_ks());
+    }
+}

@@ -44,6 +44,11 @@ impl TrackCacheStats {
             self.fragment_hits as f64 / total as f64
         }
     }
+
+    /// [`Self::hit_ratio`] as a percentage, for report tables.
+    pub fn hit_rate(&self) -> f64 {
+        self.hit_ratio() * 100.0
+    }
 }
 
 /// An LRU cache of whole tracks, holding per-fragment [`BlockBuf`] slots

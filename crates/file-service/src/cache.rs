@@ -16,8 +16,10 @@
 //! still shared with a reader.
 
 use crate::attrs::FileId;
+use parking_lot::Mutex;
 use rhodos_buf::BlockBuf;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// When modified blocks are pushed down to the disk service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -59,6 +61,24 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Hit rate as a percentage in `[0, 100]`; 0 when nothing was looked
+    /// up. The form the experiment tables report.
+    pub fn hit_rate(&self) -> f64 {
+        self.hit_ratio() * 100.0
+    }
+
+    /// Accumulates `other` into `self`, field by field. Lossless: merging
+    /// per-shard (or per-server) stats yields exactly the counters an
+    /// unsharded pool would have recorded for the same traffic.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writebacks += other.writebacks;
+        self.clean_evictions += other.clean_evictions;
+        self.bytes_copied += other.bytes_copied;
+        self.bytes_borrowed += other.bytes_borrowed;
     }
 }
 
@@ -146,21 +166,38 @@ impl BlockCache {
         // Bound the queue: when stale entries dominate, drop them all at
         // once. Amortised O(1) per touch.
         if self.lru.len() > (self.blocks.len() + 1) * 4 {
-            let blocks = &self.blocks;
-            self.lru
-                .retain(|(k, t)| blocks.get(k).is_some_and(|b| b.touched == *t));
+            self.compact_lru();
         }
+    }
+
+    /// Drops stale LRU entries (superseded by a later touch of the same
+    /// key, or evicted). Amortised O(1) per touch.
+    fn compact_lru(&mut self) {
+        let blocks = &self.blocks;
+        self.lru
+            .retain(|(k, t)| blocks.get(k).is_some_and(|b| b.touched == *t));
     }
 
     /// Looks up a block, recording a hit or miss. A hit is a shared
     /// handle to the cached bytes — no copy.
+    ///
+    /// The hit path folds the LRU touch into the single map lookup (one
+    /// hash of the key, not two) — this is the hottest operation in the
+    /// system and `seq_reread_1m_cached` measures exactly it.
+    #[inline]
     pub fn get(&mut self, key: &BlockKey) -> Option<BlockBuf> {
-        match self.blocks.get(key) {
+        let tick = self.tick + 1;
+        match self.blocks.get_mut(key) {
             Some(b) => {
+                self.tick = tick;
+                b.touched = tick;
                 let data = b.data.clone();
                 self.stats.hits += 1;
                 self.stats.bytes_borrowed += data.len() as u64;
-                self.touch(*key);
+                self.lru.push_back((*key, tick));
+                if self.lru.len() > (self.blocks.len() + 1) * 4 {
+                    self.compact_lru();
+                }
                 Some(data)
             }
             None => {
@@ -315,6 +352,327 @@ impl BlockCache {
     }
 }
 
+/// A block pool striped into independent LRU segments, each behind its
+/// own mutex, so concurrent lookups of different blocks never contend on
+/// a shared lock or a shared LRU word (E20).
+///
+/// Each key maps to exactly one shard by hash, so the sharding is
+/// transparent to callers: a block is resident in at most one place and
+/// per-shard [`CacheStats`] merge losslessly into the totals an unsharded
+/// pool would report. The per-shard capacity is `capacity / shards`
+/// (rounded up), which makes `shards = 1` byte-for-byte identical to a
+/// plain [`BlockCache`] — the E20 ablation arm.
+///
+/// Eviction is LRU *within a shard*. A skewed key distribution can
+/// therefore evict earlier than a global LRU would; with the default
+/// shard count and a hash-spread keyspace the difference is noise, and
+/// the equivalence proptest below pins the `shards = 1` case exactly.
+#[derive(Debug)]
+pub struct ShardedBlockCache {
+    shards: Vec<Mutex<BlockCache>>,
+}
+
+impl ShardedBlockCache {
+    /// Creates a pool of `capacity` total blocks striped over `shards`
+    /// segments. `shards` is clamped to `[1, capacity]` so every shard
+    /// can hold at least one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — use the service's no-cache
+    /// configuration instead of a zero-sized pool.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "block pool needs capacity for one block");
+        let shards = shards.clamp(1, capacity);
+        let per_shard = capacity.div_ceil(shards);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(BlockCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards the pool is striped over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key maps to. Stable for the lifetime of the pool;
+    /// exposed so the load generator can model which lock word an access
+    /// touches.
+    #[inline]
+    pub fn shard_of(&self, key: &BlockKey) -> usize {
+        // splitmix64 finalizer over (fid, block): cheap, and spreads the
+        // low-entropy sequential block indices workloads actually use.
+        let mut x = (key.0).0 ^ key.1.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        // Multiply-shift range reduction: uniform over the shard count
+        // without the hardware divide a `%` costs on every block access.
+        ((x as u128 * self.shards.len() as u128) >> 64) as usize
+    }
+
+    #[inline]
+    fn shard(&self, key: &BlockKey) -> &Mutex<BlockCache> {
+        &self.shards[self.shard_of(key)]
+    }
+
+    /// Lock-free access to a key's shard through exclusive ownership:
+    /// `&mut self` proves no lock-free reader holds a handle, so
+    /// `Mutex::get_mut` reaches the shard without a single atomic — the
+    /// [`BlockPool::Owned`] hot path.
+    #[inline]
+    pub fn shard_mut(&mut self, key: &BlockKey) -> &mut BlockCache {
+        let i = self.shard_of(key);
+        self.shards[i].get_mut()
+    }
+
+    /// Looks up a block, recording a hit or miss on its shard.
+    #[inline]
+    pub fn get(&self, key: &BlockKey) -> Option<BlockBuf> {
+        self.shard(key).lock().get(key)
+    }
+
+    /// Whether a block is resident, without recording a hit/miss.
+    pub fn contains(&self, key: &BlockKey) -> bool {
+        self.shard(key).lock().contains(key)
+    }
+
+    /// A shared handle to a resident block without touching stats or LRU
+    /// state (see [`BlockCache::peek`]).
+    pub fn peek(&self, key: &BlockKey) -> Option<BlockBuf> {
+        self.shard(key).lock().peek(key)
+    }
+
+    /// Inserts (or overwrites) a block in its shard. Returns the evicted
+    /// dirty blocks the caller must write back.
+    #[must_use = "evicted dirty blocks must be written back"]
+    pub fn insert(
+        &self,
+        key: BlockKey,
+        data: impl Into<BlockBuf>,
+        dirty: bool,
+    ) -> Vec<(BlockKey, BlockBuf)> {
+        self.shard(&key).lock().insert(key, data, dirty)
+    }
+
+    /// Marks a resident block dirty.
+    pub fn mark_dirty(&self, key: &BlockKey) {
+        self.shard(key).lock().mark_dirty(key);
+    }
+
+    /// Flushes every shard's dirty blocks; the union is sorted by key so
+    /// write-back batches stay elevator-ordered like the unsharded pool's.
+    #[must_use = "flushed dirty blocks must be written back"]
+    pub fn take_dirty(&self) -> Vec<(BlockKey, BlockBuf)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().take_dirty());
+        }
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Like [`Self::take_dirty`] but limited to one file.
+    #[must_use = "flushed dirty blocks must be written back"]
+    pub fn take_dirty_for(&self, fid: FileId) -> Vec<(BlockKey, BlockBuf)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().take_dirty_for(fid));
+        }
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Count of dirty blocks resident across all shards.
+    pub fn dirty_blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().dirty_blocks()).sum()
+    }
+
+    /// Drops every block of `fid` from every shard, discarding dirty
+    /// data deliberately.
+    pub fn invalidate_file(&self, fid: FileId) {
+        for shard in &self.shards {
+            shard.lock().invalidate_file(fid);
+        }
+    }
+
+    /// Drops everything, discarding dirty data (crash simulation).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+
+    /// Merged statistics across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.lock().stats());
+        }
+        total
+    }
+
+    /// Per-shard statistics, indexed by shard.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(|s| s.lock().stats()).collect()
+    }
+
+    /// Number of blocks resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+}
+
+/// The file service's ownership of its block pool.
+///
+/// The pool starts [`BlockPool::Owned`]: the service is the only
+/// accessor, so every block operation reaches its shard through
+/// [`ShardedBlockCache::shard_mut`] — `Mutex::get_mut`, no atomics —
+/// matching the cost of the pre-sharding inline pool. The first
+/// [`BlockPool::share`] (a concurrent fast path attaching) moves the
+/// pool into an `Arc` and the service locks shards like every other
+/// accessor from then on. Behaviour is identical in both modes — same
+/// shards, same mapping, same LRU — only the synchronisation cost
+/// differs, so the deterministic experiment lanes cannot tell them
+/// apart.
+#[derive(Debug)]
+pub enum BlockPool {
+    /// Exclusively owned: shard access via `Mutex::get_mut`, no atomics.
+    Owned(ShardedBlockCache),
+    /// Shared with lock-free readers: shard access takes the shard lock.
+    Shared(Arc<ShardedBlockCache>),
+}
+
+impl BlockPool {
+    /// Creates an owned pool of `capacity` blocks over `shards` segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (see [`ShardedBlockCache::new`]).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        BlockPool::Owned(ShardedBlockCache::new(capacity, shards))
+    }
+
+    /// A shared handle to the pool, promoting `Owned` to `Shared` on
+    /// first use. The returned `Arc` stays valid for the service's
+    /// lifetime (the pool is cleared in place on crash, never replaced).
+    pub fn share(&mut self) -> Arc<ShardedBlockCache> {
+        if let BlockPool::Owned(_) = self {
+            // Move the owned pool into the Arc; the placeholder is
+            // immediately overwritten.
+            let placeholder = BlockPool::new(1, 1);
+            let BlockPool::Owned(pool) = std::mem::replace(self, placeholder) else {
+                unreachable!("checked Owned above");
+            };
+            *self = BlockPool::Shared(Arc::new(pool));
+        }
+        match self {
+            BlockPool::Shared(arc) => arc.clone(),
+            BlockPool::Owned(_) => unreachable!("promoted above"),
+        }
+    }
+
+    /// Looks up a block, recording a hit or miss on its shard.
+    #[inline]
+    pub fn get(&mut self, key: &BlockKey) -> Option<BlockBuf> {
+        match self {
+            BlockPool::Owned(c) => c.shard_mut(key).get(key),
+            BlockPool::Shared(c) => c.get(key),
+        }
+    }
+
+    /// Whether a block is resident, without recording a hit/miss.
+    #[inline]
+    pub fn contains(&mut self, key: &BlockKey) -> bool {
+        match self {
+            BlockPool::Owned(c) => c.shard_mut(key).contains(key),
+            BlockPool::Shared(c) => c.contains(key),
+        }
+    }
+
+    /// A shared handle to a resident block without touching stats or LRU
+    /// state (see [`BlockCache::peek`]).
+    #[inline]
+    pub fn peek(&mut self, key: &BlockKey) -> Option<BlockBuf> {
+        match self {
+            BlockPool::Owned(c) => c.shard_mut(key).peek(key),
+            BlockPool::Shared(c) => c.peek(key),
+        }
+    }
+
+    /// Inserts (or overwrites) a block in its shard. Returns the evicted
+    /// dirty blocks the caller must write back.
+    #[inline]
+    #[must_use = "evicted dirty blocks must be written back"]
+    pub fn insert(
+        &mut self,
+        key: BlockKey,
+        data: impl Into<BlockBuf>,
+        dirty: bool,
+    ) -> Vec<(BlockKey, BlockBuf)> {
+        match self {
+            BlockPool::Owned(c) => c.shard_mut(&key).insert(key, data, dirty),
+            BlockPool::Shared(c) => c.insert(key, data, dirty),
+        }
+    }
+
+    /// Flushes every shard's dirty blocks, sorted by key (see
+    /// [`ShardedBlockCache::take_dirty`]).
+    #[must_use = "flushed dirty blocks must be written back"]
+    pub fn take_dirty(&mut self) -> Vec<(BlockKey, BlockBuf)> {
+        self.as_shared_api().take_dirty()
+    }
+
+    /// Like [`Self::take_dirty`] but limited to one file.
+    #[must_use = "flushed dirty blocks must be written back"]
+    pub fn take_dirty_for(&mut self, fid: FileId) -> Vec<(BlockKey, BlockBuf)> {
+        self.as_shared_api().take_dirty_for(fid)
+    }
+
+    /// Drops every block of `fid`, discarding dirty data deliberately.
+    pub fn invalidate_file(&mut self, fid: FileId) {
+        self.as_shared_api().invalidate_file(fid);
+    }
+
+    /// Drops everything, discarding dirty data (crash simulation).
+    pub fn clear(&mut self) {
+        self.as_shared_api().clear();
+    }
+
+    /// Merged statistics across all shards.
+    pub fn stats(&self) -> CacheStats {
+        match self {
+            BlockPool::Owned(c) => c.stats(),
+            BlockPool::Shared(c) => c.stats(),
+        }
+    }
+
+    /// Per-shard statistics, indexed by shard.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        match self {
+            BlockPool::Owned(c) => c.shard_stats(),
+            BlockPool::Shared(c) => c.shard_stats(),
+        }
+    }
+
+    /// The underlying pool for cold whole-pool operations, where the
+    /// `Owned` variant's per-shard locks are uncontended and cheap
+    /// relative to the work done per shard.
+    fn as_shared_api(&mut self) -> &ShardedBlockCache {
+        match self {
+            BlockPool::Owned(c) => c,
+            BlockPool::Shared(c) => c,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,5 +784,204 @@ mod tests {
         // The reader's view is unaffected by the mutation.
         assert_eq!(reader[0], 2);
         assert_eq!(c.get(&(FileId(1), 0)).unwrap()[0], 3);
+    }
+
+    #[test]
+    fn sharded_cache_routes_each_key_to_one_shard() {
+        let c = ShardedBlockCache::new(64, 8);
+        assert_eq!(c.shard_count(), 8);
+        for fid in 0..8u64 {
+            for idx in 0..8u64 {
+                let key = (FileId(fid), idx);
+                let s = c.shard_of(&key);
+                assert!(s < 8);
+                assert_eq!(s, c.shard_of(&key), "shard mapping must be stable");
+            }
+        }
+        // Insert spread across shards; every block stays findable.
+        for fid in 0..8u64 {
+            let _ = c.insert((FileId(fid), 0), blk(fid as u8), false);
+        }
+        for fid in 0..8u64 {
+            assert!(c.contains(&(FileId(fid), 0)));
+            assert_eq!(c.get(&(FileId(fid), 0)).unwrap()[0], fid as u8);
+        }
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.stats().hits, 8);
+    }
+
+    #[test]
+    fn sharded_cache_clamps_shards_to_capacity() {
+        let c = ShardedBlockCache::new(2, 16);
+        assert_eq!(c.shard_count(), 2);
+        let c = ShardedBlockCache::new(8, 0);
+        assert_eq!(c.shard_count(), 1);
+    }
+
+    #[test]
+    fn sharded_take_dirty_is_globally_key_sorted() {
+        // Capacity well above the population: no shard may evict, no
+        // matter how unevenly the hash spreads these 32 keys.
+        let c = ShardedBlockCache::new(256, 8);
+        for fid in (0..8u64).rev() {
+            for idx in (0..4u64).rev() {
+                let _ = c.insert((FileId(fid), idx), blk(1), true);
+            }
+        }
+        let flushed = c.take_dirty();
+        assert_eq!(flushed.len(), 32);
+        let keys: Vec<BlockKey> = flushed.iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "write-back batch must stay elevator-ordered");
+        assert_eq!(c.dirty_blocks(), 0);
+    }
+
+    #[test]
+    fn sharded_invalidate_and_clear_span_all_shards() {
+        let c = ShardedBlockCache::new(64, 8);
+        for fid in 0..4u64 {
+            for idx in 0..8u64 {
+                let _ = c.insert((FileId(fid), idx), blk(1), true);
+            }
+        }
+        c.invalidate_file(FileId(2));
+        for idx in 0..8u64 {
+            assert!(!c.contains(&(FileId(2), idx)));
+            assert!(c.contains(&(FileId(1), idx)));
+        }
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.dirty_blocks(), 0);
+    }
+
+    #[test]
+    fn cache_stats_merge_is_lossless() {
+        let a = CacheStats {
+            hits: 3,
+            misses: 1,
+            writebacks: 2,
+            clean_evictions: 5,
+            bytes_copied: 7,
+            bytes_borrowed: 11,
+        };
+        let b = CacheStats {
+            hits: 10,
+            misses: 20,
+            writebacks: 30,
+            clean_evictions: 40,
+            bytes_copied: 50,
+            bytes_borrowed: 60,
+        };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(
+            m,
+            CacheStats {
+                hits: 13,
+                misses: 21,
+                writebacks: 32,
+                clean_evictions: 45,
+                bytes_copied: 57,
+                bytes_borrowed: 71,
+            }
+        );
+        assert_eq!(
+            CacheStats {
+                hits: 1,
+                misses: 3,
+                ..a
+            }
+            .hit_rate(),
+            25.0
+        );
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod sharded_equivalence {
+    //! `ShardedBlockCache::new(cap, 1)` must be behaviourally identical to
+    //! a plain `BlockCache::new(cap)` — same hit set, same evictions, same
+    //! stats for the same trace. This is the E20 ablation arm's guarantee.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Get(u64, u64),
+        Insert(u64, u64, bool),
+        MarkDirty(u64, u64),
+        TakeDirty,
+        TakeDirtyFor(u64),
+        InvalidateFile(u64),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        let fid = 0..4u64;
+        let idx = 0..6u64;
+        prop_oneof![
+            4 => (fid.clone(), idx.clone()).prop_map(|(f, i)| Op::Get(f, i)),
+            4 => (fid.clone(), idx.clone(), any::<bool>())
+                .prop_map(|(f, i, d)| Op::Insert(f, i, d)),
+            1 => (fid.clone(), idx).prop_map(|(f, i)| Op::MarkDirty(f, i)),
+            1 => Just(Op::TakeDirty),
+            1 => fid.clone().prop_map(Op::TakeDirtyFor),
+            1 => fid.prop_map(Op::InvalidateFile),
+        ]
+    }
+
+    fn check_trace(capacity: usize, ops: &[Op]) -> Result<(), TestCaseError> {
+        let mut plain = BlockCache::new(capacity);
+        let sharded = ShardedBlockCache::new(capacity, 1);
+        for (n, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Get(f, i) => {
+                    let key = (FileId(f), i);
+                    let a = plain.get(&key);
+                    let b = sharded.get(&key);
+                    prop_assert_eq!(a, b, "op {}: hit set diverged on {:?}", n, key);
+                }
+                Op::Insert(f, i, d) => {
+                    let key = (FileId(f), i);
+                    let a = plain.insert(key, vec![(f ^ i) as u8; 16], d);
+                    let b = sharded.insert(key, vec![(f ^ i) as u8; 16], d);
+                    prop_assert_eq!(a, b, "op {}: evictions diverged", n);
+                }
+                Op::MarkDirty(f, i) => {
+                    plain.mark_dirty(&(FileId(f), i));
+                    sharded.mark_dirty(&(FileId(f), i));
+                }
+                Op::TakeDirty => {
+                    prop_assert_eq!(plain.take_dirty(), sharded.take_dirty());
+                }
+                Op::TakeDirtyFor(f) => {
+                    prop_assert_eq!(
+                        plain.take_dirty_for(FileId(f)),
+                        sharded.take_dirty_for(FileId(f))
+                    );
+                }
+                Op::InvalidateFile(f) => {
+                    plain.invalidate_file(FileId(f));
+                    sharded.invalidate_file(FileId(f));
+                }
+            }
+            prop_assert_eq!(plain.stats(), sharded.stats(), "op {}: stats diverged", n);
+            prop_assert_eq!(plain.len(), sharded.len());
+            prop_assert_eq!(plain.dirty_blocks(), sharded.dirty_blocks());
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn single_shard_matches_plain_cache(
+            capacity in 1..12usize,
+            ops in proptest::collection::vec(op_strategy(), 1..120),
+        ) {
+            check_trace(capacity, &ops)?;
+        }
     }
 }

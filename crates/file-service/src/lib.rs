@@ -61,7 +61,7 @@ mod service;
 mod stripe;
 
 pub use attrs::{FileAttributes, FileId, LockLevel, ServiceType};
-pub use cache::{BlockCache, CacheStats, WritePolicy};
+pub use cache::{BlockCache, BlockKey, BlockPool, CacheStats, ShardedBlockCache, WritePolicy};
 pub use error::FileServiceError;
 pub use fit::{
     BlockDescriptor, FileIndexTable, DIRECT_BLOCKS, INDIRECT_CAP, MAX_DIRECT_BYTES,

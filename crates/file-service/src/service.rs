@@ -8,7 +8,7 @@
 //! blocks.
 
 use crate::attrs::{FileAttributes, FileId, LockLevel, ServiceType};
-use crate::cache::{BlockCache, CacheStats, WritePolicy};
+use crate::cache::{BlockPool, CacheStats, ShardedBlockCache, WritePolicy};
 use crate::error::FileServiceError;
 use crate::fit::{BlockDescriptor, FileIndexTable};
 use crate::scrub::{ScrubFinding, ScrubOwner, ScrubReport, ScrubStats};
@@ -22,6 +22,7 @@ use rhodos_disk_service::{
 };
 use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock, StableWriteMode};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Tunables for one file service.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +30,11 @@ pub struct FileServiceConfig {
     /// Capacity of the block pool (0 disables server-side data caching —
     /// the Bullet-server baseline of experiment E8).
     pub cache_blocks: usize,
+    /// Shards the block pool is striped over (lock-contention isolation,
+    /// E20). `1` reproduces the single-segment pool exactly — the E20
+    /// ablation arm. Clamped to `cache_blocks` so every shard holds at
+    /// least one block.
+    pub cache_shards: usize,
     /// Modification policy for cached data.
     pub write_policy: WritePolicy,
     /// Placement of blocks across disks.
@@ -76,6 +82,7 @@ impl Default for FileServiceConfig {
     fn default() -> Self {
         Self {
             cache_blocks: 128,
+            cache_shards: 8,
             write_policy: WritePolicy::DelayedWrite,
             stripe: StripePolicy::SingleDisk,
             directory_fragments: 16,
@@ -90,8 +97,11 @@ impl Default for FileServiceConfig {
 /// Aggregated observability for a file service.
 #[derive(Debug, Clone, Default)]
 pub struct FileServiceStats {
-    /// Block-pool cache behaviour.
+    /// Block-pool cache behaviour, merged across shards.
     pub cache: CacheStats,
+    /// Per-shard block-pool counters (empty when caching is disabled).
+    /// Sums to `cache` field by field.
+    pub cache_shards: Vec<CacheStats>,
     /// FIT fragments loaded from disk (step two of the location procedure).
     pub fit_loads: u64,
     /// FIT lookups served from the fragment pool.
@@ -139,7 +149,7 @@ pub struct FileService {
     /// LRU order of the fragment pool (front = coldest).
     fit_lru: Vec<FileId>,
     fit_hits: u64,
-    cache: Option<BlockCache>,
+    cache: Option<BlockPool>,
     dir_extent: Extent,
     fit_loads: u64,
     /// Where the next budgeted scrub resumes on each disk (volatile;
@@ -175,7 +185,8 @@ impl FileService {
         let clock = disks[0].clock();
         let dir_extent = disks[0].allocate_contiguous(config.directory_fragments)?;
         let disks: Vec<Mutex<DiskService>> = disks.into_iter().map(Mutex::new).collect();
-        let cache = (config.cache_blocks > 0).then(|| BlockCache::new(config.cache_blocks));
+        let cache = (config.cache_blocks > 0)
+            .then(|| BlockPool::new(config.cache_blocks, config.cache_shards));
         let fan_out = match config.parallel_io {
             ParallelIo::Always => true,
             ParallelIo::Never => false,
@@ -242,6 +253,21 @@ impl FileService {
         self.clock.clone()
     }
 
+    /// The configuration the service was formatted with.
+    pub fn config(&self) -> &FileServiceConfig {
+        &self.config
+    }
+
+    /// A handle to the sharded block pool, if caching is enabled. The
+    /// handle stays valid across crash simulation and recovery (the pool
+    /// is cleared in place, never replaced), so lock-free readers may
+    /// probe it without holding the service lock. The first call
+    /// promotes the pool from exclusively-owned (atomics-free shard
+    /// access) to shared (per-shard locking) — see [`BlockPool`].
+    pub fn cache_handle(&mut self) -> Option<Arc<ShardedBlockCache>> {
+        self.cache.as_mut().map(BlockPool::share)
+    }
+
     /// Number of disks behind this service.
     pub fn disk_count(&self) -> usize {
         self.disks.len()
@@ -260,6 +286,11 @@ impl FileService {
     pub fn stats(&self) -> FileServiceStats {
         FileServiceStats {
             cache: self.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
+            cache_shards: self
+                .cache
+                .as_ref()
+                .map(|c| c.shard_stats())
+                .unwrap_or_default(),
             fit_loads: self.fit_loads,
             fit_cache_hits: self.fit_hits,
             scrub: self.scrub_stats,
@@ -1752,7 +1783,7 @@ impl FileService {
                 .repair_fragment_from_stable(addr)
                 .unwrap_or(false),
             ScrubOwner::Data { fid, block } => {
-                let Some(buf) = self.cache.as_ref().and_then(|c| c.peek(&(fid, block))) else {
+                let Some(buf) = self.cache.as_mut().and_then(|c| c.peek(&(fid, block))) else {
                     return false;
                 };
                 self.disks[disk]
@@ -1804,7 +1835,7 @@ impl FileService {
     /// is unreadable here too.
     pub fn read_block_for_repair(&mut self, fid: FileId, block: u64) -> Option<Vec<u8>> {
         self.load_fit(fid).ok()?;
-        if let Some(buf) = self.cache.as_ref().and_then(|c| c.peek(&(fid, block))) {
+        if let Some(buf) = self.cache.as_mut().and_then(|c| c.peek(&(fid, block))) {
             return Some(buf.to_vec());
         }
         let desc = self.fits.get(&fid).and_then(|e| e.fit.descriptor(block))?;

@@ -14,9 +14,15 @@
 //! [`run_txn`]: SharedTransactionService::run_txn
 
 use crate::error::TxnError;
-use crate::service::{GroupCommit, Prepared, TransactionService, TxnId};
+use crate::lock::LockMode;
+use crate::service::{FastReadCheck, GroupCommit, Prepared, TransactionService, TxnId};
+use crate::table::{LockOutcome, StripedLockTable};
 use parking_lot::Mutex;
+use rhodos_disk_service::BLOCK_SIZE;
+use rhodos_file_service::{FileId, ShardedBlockCache};
+use rhodos_simdisk::SimClock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
 
 /// Shared state of the group-commit pipeline.
@@ -53,6 +59,60 @@ impl CommitPipeline {
     }
 }
 
+/// Counters of the shared-service read fast path (see
+/// [`SharedTransactionService::tread_shared`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastPathStats {
+    /// Reads served entirely from the sharded block pool, never holding
+    /// the whole-service lock across the data access.
+    pub full_hits: u64,
+    /// Reads that fell back to the classic service-locked path (overlay
+    /// present, cross-granularity mode, cache miss, or state change
+    /// between validate and recheck).
+    pub fallbacks: u64,
+    /// Reads rejected with `WouldBlock` by a shard lock conflict.
+    pub conflicts: u64,
+}
+
+#[derive(Debug, Default)]
+struct FastPathCounters {
+    full_hits: AtomicU64,
+    fallbacks: AtomicU64,
+    conflicts: AtomicU64,
+}
+
+/// The lock-free half of the read path: handles to the striped lock
+/// tables and the sharded block pool, valid for the service's lifetime
+/// (both are reset in place on recovery, never replaced).
+#[derive(Debug)]
+struct FastPath {
+    tables: [Arc<StripedLockTable>; 3],
+    cache: Arc<ShardedBlockCache>,
+    clock: SimClock,
+    counters: FastPathCounters,
+}
+
+impl FastPath {
+    /// Builds the fast path if the configuration warrants it: at least
+    /// one layer actually sharded (the `ShardConfig::ablation()` arm
+    /// keeps the classic path exclusively, reproducing pre-E20 behaviour
+    /// exactly) and server-side caching enabled.
+    fn build(service: &mut TransactionService) -> Option<Arc<FastPath>> {
+        let lock_shards = service.config().lock_shards;
+        let cache_shards = service.file_service().config().cache_shards;
+        if lock_shards <= 1 && cache_shards <= 1 {
+            return None;
+        }
+        let cache = service.file_service_mut().cache_handle()?;
+        Some(Arc::new(FastPath {
+            tables: service.lock_tables(),
+            cache,
+            clock: service.file_service().clock(),
+            counters: FastPathCounters::default(),
+        }))
+    }
+}
+
 /// A cloneable, thread-safe handle to one transaction service.
 ///
 /// # Example
@@ -82,16 +142,22 @@ pub struct SharedTransactionService {
     pipeline: Arc<CommitPipeline>,
     /// Cached `config().group_commit` — fixed at service construction.
     mode: GroupCommit,
+    /// Lock-free read fast path; `None` when the ablation configuration
+    /// (`lock_shards = cache_shards = 1`) or a cacheless service makes it
+    /// pointless.
+    fast: Option<Arc<FastPath>>,
 }
 
 impl SharedTransactionService {
     /// Wraps a service for shared use.
-    pub fn new(service: TransactionService) -> Self {
+    pub fn new(mut service: TransactionService) -> Self {
         let mode = service.config().group_commit;
+        let fast = FastPath::build(&mut service);
         Self {
             inner: Arc::new(Mutex::new(service)),
             pipeline: Arc::new(CommitPipeline::default()),
             mode,
+            fast,
         }
     }
 
@@ -102,11 +168,15 @@ impl SharedTransactionService {
     /// don't batch *across* independently-constructed handles. Clone one
     /// handle instead to share its pipeline.
     pub fn from_arc(inner: Arc<Mutex<TransactionService>>) -> Self {
-        let mode = inner.lock().config().group_commit;
+        let (mode, fast) = {
+            let mut svc = inner.lock();
+            (svc.config().group_commit, FastPath::build(&mut svc))
+        };
         Self {
             inner,
             pipeline: Arc::new(CommitPipeline::default()),
             mode,
+            fast,
         }
     }
 
@@ -120,6 +190,139 @@ impl SharedTransactionService {
     /// The shared handle, for interoperating with the agents.
     pub fn as_arc(&self) -> Arc<Mutex<TransactionService>> {
         self.inner.clone()
+    }
+
+    /// Whether the lock-free read fast path is active (at least one layer
+    /// sharded and server-side caching enabled).
+    pub fn fast_path_enabled(&self) -> bool {
+        self.fast.is_some()
+    }
+
+    /// Snapshot of the fast-path counters (all zero when the fast path is
+    /// disabled).
+    pub fn fast_stats(&self) -> FastPathStats {
+        match &self.fast {
+            None => FastPathStats::default(),
+            Some(f) => FastPathStats {
+                full_hits: f.counters.full_hits.load(Ordering::Relaxed),
+                fallbacks: f.counters.fallbacks.load(Ordering::Relaxed),
+                conflicts: f.counters.conflicts.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    /// `tread` that shrinks the global critical section: when the read
+    /// needs no tentative overlay, the service lock is held only for two
+    /// brief validation steps — the read-only locks are acquired on the
+    /// striped lock-table shards and the data served from the sharded
+    /// block pool, so concurrent readers of unrelated items touch no
+    /// common lock word (E20). Any condition the fast path cannot serve
+    /// (cross-granularity mode, tentative state, a cache miss, a state
+    /// change between validate and recheck) falls back to the classic
+    /// service-locked [`TransactionService::tread`], which is always
+    /// correct; with the fast path disabled this *is* the classic path.
+    ///
+    /// Coherence: a committed overlapping write requires an `Iwrite` on
+    /// an item of the same granularity table, which the `ReadOnly` shard
+    /// locks held here exclude; tentative (uncommitted) data never enters
+    /// the block pool; and the pool is invalidated under `Iwrite` cover
+    /// (delete, descriptor replacement) or with the file closed.
+    ///
+    /// # Errors
+    ///
+    /// As [`TransactionService::tread`]. Shard-lock conflicts surface as
+    /// [`TxnError::WouldBlock`] (counted in [`FastPathStats::conflicts`],
+    /// not in `TxnStats::would_blocks`); the queued waiter record is
+    /// cleaned up by the retry loop's abort, exactly like a classic
+    /// queued request.
+    pub fn tread_shared(
+        &self,
+        t: TxnId,
+        fid: FileId,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, TxnError> {
+        let Some(fast) = &self.fast else {
+            return self.inner.lock().tread(t, fid, offset, len);
+        };
+        // Step 1 — validate and plan under a brief service lock.
+        let meta = {
+            let mut svc = self.inner.lock();
+            match svc.fast_read_meta(t, fid, offset, len)? {
+                Some(meta) => meta,
+                None => {
+                    fast.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+                    return svc.tread(t, fid, offset, len);
+                }
+            }
+        };
+        // Step 2 — acquire read-only locks on the striped shards, without
+        // the service lock. Each item touches exactly one shard mutex.
+        let table = &fast.tables[meta.table];
+        let now = fast.clock.now_us();
+        for item in &meta.items {
+            match table.set_lock(meta.pid, meta.owner, *item, LockMode::ReadOnly, now) {
+                LockOutcome::Granted => {}
+                LockOutcome::Queued => {
+                    fast.counters.conflicts.fetch_add(1, Ordering::Relaxed);
+                    return Err(TxnError::WouldBlock {
+                        txn: t,
+                        item: *item,
+                    });
+                }
+            }
+        }
+        // Step 3 — recheck under a brief service lock: a writer may have
+        // committed (or this transaction been timeout-aborted) between
+        // steps 1 and 2; the locks held since step 2 freeze things now.
+        let size = {
+            let mut svc = self.inner.lock();
+            match svc.fast_read_recheck(t, TxnId(meta.owner), fid) {
+                FastReadCheck::Proceed { size } => size,
+                FastReadCheck::UseClassic => {
+                    fast.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+                    return svc.tread(t, fid, offset, len);
+                }
+                FastReadCheck::Dead { root_active } => {
+                    drop(svc);
+                    if !root_active {
+                        // The family is gone; its `finish` ran before our
+                        // step-2 acquisitions, so release the strays we
+                        // registered in the dead root's name. (Ids are
+                        // never reused, so this cannot hit a live txn.)
+                        for table in &fast.tables {
+                            table.release_all(meta.owner, fast.clock.now_us());
+                        }
+                    }
+                    return Err(TxnError::NotActive(t));
+                }
+            }
+        };
+        if offset > size {
+            return Err(TxnError::BeyondEof { offset, size });
+        }
+        let len = (len as u64).min(size - offset) as usize;
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        // Step 4 — serve from the sharded pool. Any miss falls back to
+        // the classic path (re-acquiring the same locks is idempotent).
+        let bs = BLOCK_SIZE as u64;
+        let first = offset / bs;
+        let last = (offset + len as u64 - 1) / bs;
+        let mut out = Vec::with_capacity(len);
+        for idx in first..=last {
+            let Some(block) = fast.cache.get(&(fid, idx)) else {
+                fast.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+                return self.inner.lock().tread(t, fid, offset, len);
+            };
+            let block_start = idx * bs;
+            let lo = offset.max(block_start) - block_start;
+            let hi = (offset + len as u64).min(block_start + bs) - block_start;
+            out.extend_from_slice(&block[lo as usize..hi as usize]);
+        }
+        fast.counters.full_hits.fetch_add(1, Ordering::Relaxed);
+        Ok(out)
     }
 
     /// Runs `body` as one transaction, retrying the *whole transaction*
@@ -553,5 +756,140 @@ mod tests {
         let missing = rhodos_file_service::FileId(999);
         let err = s.run_txn(|s, t| s.lock().topen(t, missing)).unwrap_err();
         assert!(matches!(err, TxnError::File(_)), "{err}");
+    }
+
+    #[test]
+    fn fast_path_serves_cached_reads_and_matches_classic() {
+        let (s, fid) = shared(LockLevel::Page);
+        assert!(s.fast_path_enabled(), "default config shards both layers");
+        // Write two pages of known data, committed.
+        s.run_txn(|s, t| {
+            s.lock().topen(t, fid)?;
+            s.lock().twrite(t, fid, 0, &vec![7u8; 8192])?;
+            s.lock().twrite(t, fid, 8192, &vec![9u8; 4096])
+        })
+        .unwrap();
+        // A classic read warms the pool (shadow-page commits invalidate
+        // the written blocks); the fast read then serves from it.
+        let (via_fast, via_classic) = s
+            .run_txn(|s, t| {
+                s.lock().topen(t, fid)?;
+                let classic = s.lock().tread(t, fid, 4096, 8192)?;
+                let fast = s.tread_shared(t, fid, 4096, 8192)?;
+                Ok((fast, classic))
+            })
+            .unwrap();
+        assert_eq!(via_fast, via_classic);
+        assert_eq!(&via_fast[..4096], &[7u8; 4096][..]);
+        assert_eq!(&via_fast[4096..], &[9u8; 4096][..]);
+        let fp = s.fast_stats();
+        assert_eq!(fp.full_hits, 1, "{fp:?}");
+        assert_eq!(fp.conflicts, 0);
+    }
+
+    #[test]
+    fn fast_path_falls_back_on_own_tentative_writes() {
+        let (s, fid) = shared(LockLevel::Page);
+        s.run_txn(|s, t| {
+            s.lock().topen(t, fid)?;
+            s.lock().twrite(t, fid, 0, &[1u8; 16])?;
+            // Uncommitted write ⇒ the fast path must overlay via the
+            // classic path and still see the tentative bytes.
+            let read = s.tread_shared(t, fid, 0, 16)?;
+            assert_eq!(read, [1u8; 16]);
+            Ok(())
+        })
+        .unwrap();
+        let fp = s.fast_stats();
+        assert!(fp.fallbacks >= 1, "{fp:?}");
+    }
+
+    #[test]
+    fn fast_path_disabled_in_ablation_config() {
+        let fs = FileService::single_disk(
+            DiskGeometry::medium(),
+            LatencyModel::instant(),
+            SimClock::new(),
+            FileServiceConfig {
+                cache_shards: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let ts = TransactionService::new(
+            fs,
+            TxnConfig {
+                lock_shards: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let s = SharedTransactionService::new(ts);
+        assert!(!s.fast_path_enabled());
+        let fid = s.lock().tcreate(LockLevel::Page).unwrap();
+        s.run_txn(|s, t| {
+            s.lock().topen(t, fid)?;
+            s.lock().twrite(t, fid, 0, &[5u8; 8])
+        })
+        .unwrap();
+        // tread_shared still works — it *is* the classic path here.
+        let read = s
+            .run_txn(|s, t| {
+                s.lock().topen(t, fid)?;
+                s.tread_shared(t, fid, 0, 8)
+            })
+            .unwrap();
+        assert_eq!(read, [5u8; 8]);
+        assert_eq!(s.fast_stats(), FastPathStats::default());
+    }
+
+    #[test]
+    fn fast_reads_are_untorn_under_concurrent_writers() {
+        // Writers rewrite a whole 8 KiB page with a uniform byte through
+        // committed transactions while readers pull it through the fast
+        // path. Every successful read must be a uniform page — a torn
+        // read (mix of two writers' bytes) means the RO shard lock failed
+        // to exclude a committing Iwrite.
+        let (s, fid) = shared(LockLevel::Page);
+        s.run_txn(|s, t| {
+            s.lock().topen(t, fid)?;
+            s.lock().twrite(t, fid, 0, &vec![0u8; 8192])
+        })
+        .unwrap();
+        std::thread::scope(|scope| {
+            for w in 1..=4u8 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..15 {
+                        s.run_txn(|s, t| {
+                            s.lock().topen(t, fid)?;
+                            s.lock().twrite(t, fid, 0, &vec![w; 8192])
+                        })
+                        .expect("writer stays live");
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..40 {
+                        let page = s
+                            .run_txn(|s, t| {
+                                s.lock().topen(t, fid)?;
+                                s.tread_shared(t, fid, 0, 8192)
+                            })
+                            .expect("reader stays live");
+                        assert_eq!(page.len(), 8192);
+                        let first = page[0];
+                        assert!(
+                            page.iter().all(|b| *b == first),
+                            "torn fast read: page mixes {first} with other bytes"
+                        );
+                    }
+                });
+            }
+        });
+        let stats = s.lock().stats();
+        assert_eq!(stats.begun, stats.committed + stats.aborted);
     }
 }

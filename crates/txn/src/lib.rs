@@ -68,10 +68,11 @@ pub mod lock;
 mod service;
 pub mod table;
 
-pub use concurrent::SharedTransactionService;
+pub use concurrent::{FastPathStats, SharedTransactionService};
 pub use error::TxnError;
 pub use lock::{DataItem, LockMode};
 pub use service::{
-    GroupCommit, Prepared, PreparedCommit, TransactionService, TxnConfig, TxnId, TxnStats,
+    FastReadCheck, FastReadMeta, GroupCommit, Prepared, PreparedCommit, ShardConfig,
+    TransactionService, TxnConfig, TxnId, TxnStats,
 };
-pub use table::{LockOutcome, LockTable};
+pub use table::{LockOutcome, LockTable, LockTableStats, StripedLockTable};

@@ -4,11 +4,12 @@
 use crate::error::TxnError;
 use crate::intentions::{Intention, LogRecord, Technique};
 use crate::lock::{DataItem, LockMode};
-use crate::table::{LockOutcome, LockTable};
+use crate::table::{LockOutcome, StripedLockTable};
 use rhodos_disk_service::{ReadSource, StablePolicy, BLOCK_SIZE};
 use rhodos_file_service::{FileId, FileService, FileServiceError, LockLevel, ServiceType};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// A transaction descriptor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -56,6 +57,10 @@ pub struct TxnConfig {
     pub log_compact_threshold: u64,
     /// Group-commit policy (see [`GroupCommit`]).
     pub group_commit: GroupCommit,
+    /// Shards each lock table is striped over (lock-contention isolation,
+    /// E20). `1` reproduces one unstriped table per granularity exactly —
+    /// the E20 ablation arm.
+    pub lock_shards: usize,
 }
 
 impl Default for TxnConfig {
@@ -66,8 +71,76 @@ impl Default for TxnConfig {
             cross_granularity: false,
             log_compact_threshold: 4 * 1024 * 1024,
             group_commit: GroupCommit::Auto,
+            lock_shards: 8,
         }
     }
+}
+
+/// Shard counts for the two contention-isolation layers of E20, applied
+/// to [`TxnConfig::lock_shards`] and `FileServiceConfig::cache_shards`.
+/// `ShardConfig::ablation()` — both 1 — reproduces the pre-sharding
+/// behaviour exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Shards per lock table (see [`TxnConfig::lock_shards`]).
+    pub lock_shards: usize,
+    /// Shards of the block pool (see `FileServiceConfig::cache_shards`).
+    pub cache_shards: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            lock_shards: TxnConfig::default().lock_shards,
+            cache_shards: 8,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// The unsharded arm: one lock table per granularity, one cache
+    /// segment — today's behaviour, kept as the E20 ablation.
+    pub fn ablation() -> Self {
+        Self {
+            lock_shards: 1,
+            cache_shards: 1,
+        }
+    }
+}
+
+/// What the shared-service read fast path needs from the brief
+/// service-locked validation step (see
+/// [`TransactionService::fast_read_meta`]).
+#[derive(Debug, Clone)]
+pub struct FastReadMeta {
+    /// Requesting process id (recorded in lock records).
+    pub pid: u64,
+    /// Root of the transaction's family — locks are taken in its name.
+    pub owner: u64,
+    /// Index into [`TransactionService::lock_tables`] for the file's
+    /// granularity level.
+    pub table: usize,
+    /// The data items covering the requested range.
+    pub items: Vec<DataItem>,
+}
+
+/// Outcome of [`TransactionService::fast_read_recheck`].
+#[derive(Debug, Clone, Copy)]
+pub enum FastReadCheck {
+    /// Still valid; read up to `size` from the cache.
+    Proceed {
+        /// Committed file size at recheck time.
+        size: u64,
+    },
+    /// State changed in a way the fast path cannot serve (tentative
+    /// overlay appeared, file vanished); retry via the classic path.
+    UseClassic,
+    /// The transaction died (timeout abort) between meta and recheck.
+    Dead {
+        /// Whether the family root is still active — if not, the fast
+        /// path must release the shard locks it took in the root's name.
+        root_active: bool,
+    },
 }
 
 /// Counters of transaction-service behaviour.
@@ -214,8 +287,11 @@ fn table_index(level: LockLevel) -> usize {
 pub struct TransactionService {
     fs: FileService,
     config: TxnConfig,
-    /// One lock table per locking level (§6.5).
-    tables: [LockTable; 3],
+    /// One striped lock table per locking level (§6.5). Behind `Arc` so
+    /// lock-free fast paths (see `SharedTransactionService::tread_shared`)
+    /// can acquire shard locks without holding the whole-service mutex;
+    /// recovery resets the shards in place to keep those handles valid.
+    tables: [Arc<StripedLockTable>; 3],
     active: HashMap<TxnId, ActiveTxn>,
     next_txn: u64,
     log_fid: FileId,
@@ -253,7 +329,13 @@ impl TransactionService {
         };
         fs.open(log_fid)?;
         let log_tail = fs.get_attribute(log_fid)?.size;
-        let mk = || LockTable::new(config.lt_us, config.max_renewals);
+        let mk = || {
+            Arc::new(StripedLockTable::new(
+                config.lt_us,
+                config.max_renewals,
+                config.lock_shards,
+            ))
+        };
         Ok(Self {
             fs,
             config,
@@ -286,9 +368,36 @@ impl TransactionService {
         self.stats
     }
 
-    /// Statistics of the lock table for `level`.
+    /// The underlying basic file service, read-only.
+    pub fn file_service(&self) -> &FileService {
+        &self.fs
+    }
+
+    /// Statistics of the lock table for `level`, merged across shards.
     pub fn lock_table_stats(&self, level: LockLevel) -> crate::table::LockTableStats {
         self.tables[table_index(level)].stats()
+    }
+
+    /// Per-shard statistics of the lock table for `level`.
+    pub fn lock_table_shard_stats(&self, level: LockLevel) -> Vec<crate::table::LockTableStats> {
+        self.tables[table_index(level)].shard_stats()
+    }
+
+    /// Handles to the three striped lock tables, indexed Record, Page,
+    /// File. The handles stay valid across recovery (the shards are reset
+    /// in place), so lock-free fast paths may acquire shard locks through
+    /// them without holding the service lock.
+    pub fn lock_tables(&self) -> [Arc<StripedLockTable>; 3] {
+        [
+            Arc::clone(&self.tables[0]),
+            Arc::clone(&self.tables[1]),
+            Arc::clone(&self.tables[2]),
+        ]
+    }
+
+    /// Whether `t` is currently active.
+    pub fn is_active(&self, t: TxnId) -> bool {
+        self.active.contains_key(&t)
     }
 
     /// Currently active transactions.
@@ -500,8 +609,7 @@ impl TransactionService {
                 }
             }
         }
-        let table = &mut self.tables[table_index(level)];
-        match table.set_lock(pid, owner, item, mode, now) {
+        match self.tables[table_index(level)].set_lock(pid, owner, item, mode, now) {
             LockOutcome::Granted => Ok(()),
             LockOutcome::Queued => {
                 self.stats.would_blocks += 1;
@@ -575,6 +683,78 @@ impl TransactionService {
         len: usize,
     ) -> Result<Vec<u8>, TxnError> {
         self.tread_mode(t, fid, offset, len, LockMode::Iread)
+    }
+
+    /// First half of the shared-service read fast path: under the (brief)
+    /// service lock, validates the transaction and computes everything the
+    /// lock-free half needs — or `None` when the read must take the
+    /// classic path (cross-granularity mode, or tentative state of `fid`
+    /// anywhere in the transaction's family would need overlaying).
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::NotActive`] / [`TxnError::FileNotOpen`]; file-service
+    /// failures resolving the lock level.
+    pub fn fast_read_meta(
+        &mut self,
+        t: TxnId,
+        fid: FileId,
+        offset: u64,
+        len: usize,
+    ) -> Result<Option<FastReadMeta>, TxnError> {
+        let txn = self.txn(t)?;
+        if !txn.can_use(fid) {
+            return Err(TxnError::FileNotOpen(t));
+        }
+        let pid = txn.pid;
+        // The relaxed §6.1 mode probes the *other* granularities' tables;
+        // keep that logic in one place (the classic path).
+        if self.config.cross_granularity {
+            return Ok(None);
+        }
+        if self.chain_has_overlay(t, fid) {
+            return Ok(None);
+        }
+        let (level, items) = self.items_for_range(fid, offset, len as u64)?;
+        let owner = self.root_of(t).0;
+        Ok(Some(FastReadMeta {
+            pid,
+            owner,
+            table: table_index(level),
+            items,
+        }))
+    }
+
+    /// Whether any member of `t`'s family holds tentative pages, records
+    /// or sizes for `fid` (in which case a read needs the overlay logic).
+    fn chain_has_overlay(&self, t: TxnId, fid: FileId) -> bool {
+        self.chain(t).iter().any(|id| {
+            self.active.get(id).is_some_and(|x| {
+                x.tentative_sizes.contains_key(&fid)
+                    || x.tentative_pages.keys().any(|(f, _)| *f == fid)
+                    || x.tentative_records.iter().any(|(f, _, _)| *f == fid)
+            })
+        })
+    }
+
+    /// Second half of the read fast path, after the shard locks are held:
+    /// re-validates under the (brief) service lock. A writer may have
+    /// committed — or this transaction been timeout-aborted — between
+    /// [`Self::fast_read_meta`] and the shard-lock acquisition, so the
+    /// base size is re-read and liveness re-checked here.
+    pub fn fast_read_recheck(&mut self, t: TxnId, root: TxnId, fid: FileId) -> FastReadCheck {
+        if !self.active.contains_key(&t) {
+            return FastReadCheck::Dead {
+                root_active: self.active.contains_key(&root),
+            };
+        }
+        if self.chain_has_overlay(t, fid) {
+            return FastReadCheck::UseClassic;
+        }
+        match self.fs.get_attribute(fid) {
+            Ok(attrs) => FastReadCheck::Proceed { size: attrs.size },
+            Err(_) => FastReadCheck::UseClassic,
+        }
     }
 
     fn tread_mode(
@@ -1299,7 +1479,7 @@ impl TransactionService {
             }
         }
         let now = self.fs.clock().now_us();
-        for table in &mut self.tables {
+        for table in &self.tables {
             table.release_all(t.0, now);
         }
         if committed {
@@ -1317,7 +1497,7 @@ impl TransactionService {
     pub fn tick(&mut self) -> Vec<TxnId> {
         let now = self.fs.clock().now_us();
         let mut victims: Vec<TxnId> = Vec::new();
-        for table in &mut self.tables {
+        for table in &self.tables {
             for v in table.tick(now) {
                 let id = TxnId(v);
                 if !victims.contains(&id) {
@@ -1351,12 +1531,11 @@ impl TransactionService {
         // Pre-crash deferred frees are stale: the allocation rebuild
         // below reclaims unreferenced blocks itself.
         self.deferred_frees.clear();
-        let cfg = self.config;
-        self.tables = [
-            LockTable::new(cfg.lt_us, cfg.max_renewals),
-            LockTable::new(cfg.lt_us, cfg.max_renewals),
-            LockTable::new(cfg.lt_us, cfg.max_renewals),
-        ];
+        // Reset the lock tables *in place*: outstanding Arc handles (the
+        // shared-service fast path) must keep seeing the live tables.
+        for table in &self.tables {
+            table.reset();
+        }
         self.fs.recover()?;
         self.log_fid = self
             .fs

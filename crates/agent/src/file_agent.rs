@@ -8,14 +8,17 @@
 //! delayed-write policy the paper prescribes for agent caches.
 
 use crate::descriptor::{ObjectDescriptor, FILE_OD_BASE};
+use crate::lease_station::{ClientLease, LeaseConfig, Station, StationEndpoint};
 use parking_lot::Mutex;
 use rhodos_buf::BlockBuf;
 use rhodos_disk_service::{SchedulerStats, BLOCK_SIZE};
 use rhodos_file_service::{
-    BlockCache, CacheStats, FileAttributes, FileId, FileServiceError, ScrubStats, ServiceType,
+    BlockCache, CacheStats, FileAttributes, FileId, FileServiceError, LeaseMode, LeaseToken,
+    ScrubStats, ServiceType,
 };
 use rhodos_naming::{AttributedName, NamingError, NamingService, SystemName};
-use rhodos_net::SimNetwork;
+use rhodos_net::{NetConfig, NetStats, SimNetwork};
+use rhodos_simdisk::HlcClock;
 use rhodos_txn::{TransactionService, TxnError};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -94,6 +97,17 @@ pub struct AgentStats {
     /// Background-scrubber counters merged over every reachable server —
     /// latent faults found, repaired and (loudly) unrecoverable.
     pub scrub: ScrubStats,
+    /// RPCs issued to servers (request/reply exchanges — one per round
+    /// trip, including lease acquire/renew traffic).
+    pub rpcs_sent: u64,
+    /// Reads served from the lease-protected client cache that would
+    /// otherwise have been server RPCs (one per block). Only counts
+    /// under [`LeaseConfig::Auto`].
+    pub rpcs_avoided_by_lease: u64,
+    /// Recall requests this agent's stations answered.
+    pub recalls: u64,
+    /// Lease renewals issued.
+    pub lease_renewals: u64,
 }
 
 #[derive(Debug)]
@@ -122,10 +136,20 @@ pub struct FileAgent {
     open: HashMap<ObjectDescriptor, OpenFile>,
     next_od: ObjectDescriptor,
     /// One client block pool per server (file ids are per-server).
+    /// Used by the [`LeaseConfig::Trusting`] mode only.
     caches: Vec<BlockCache>,
     round_trips: u64,
     /// Server that receives `create` calls (round-robin).
     next_create: usize,
+    /// Cache-coherence policy.
+    lease_config: LeaseConfig,
+    /// One lease station per server ([`LeaseConfig::Auto`] only; empty
+    /// otherwise). Shared with the servers' recall endpoints.
+    stations: Vec<Arc<Mutex<Station>>>,
+    /// Reads served from the lease-protected cache without an RPC.
+    rpcs_avoided: u64,
+    /// Lease renewals issued.
+    lease_renewals: u64,
 }
 
 impl FileAgent {
@@ -168,7 +192,95 @@ impl FileAgent {
             caches,
             round_trips: 0,
             next_create: 0,
+            lease_config: LeaseConfig::Trusting,
+            stations: Vec::new(),
+            rpcs_avoided: 0,
+            lease_renewals: 0,
         }
+    }
+
+    /// Creates the agent with an explicit cache-coherence policy.
+    ///
+    /// Under [`LeaseConfig::Auto`] each server gets a *lease station*
+    /// (client-side lease table + lease-protected block cache + HLC
+    /// lane) and a recall endpoint over its own `station_net` lane is
+    /// registered with that server, so the server can call delegations
+    /// back. Under [`LeaseConfig::Never`] nothing is cached (every read
+    /// is an RPC, every write is pushed write-through) — the coherent
+    /// leaseless ablation. [`LeaseConfig::Trusting`] is the legacy
+    /// blind-trust cache (the behaviour of [`Self::with_servers`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty.
+    pub fn with_lease_config(
+        machine: u32,
+        servers: Vec<ServerHandle>,
+        naming: Arc<Mutex<NamingService>>,
+        net: SimNetwork,
+        cache_blocks: usize,
+        lease_config: LeaseConfig,
+        station_net: NetConfig,
+    ) -> Self {
+        let mut agent = Self::with_servers(machine, servers, naming, net, cache_blocks);
+        agent.lease_config = lease_config;
+        if lease_config == LeaseConfig::Auto {
+            let clock = agent.net.clock();
+            for (i, server) in agent.servers.iter().enumerate() {
+                let hlc = HlcClock::new(clock.clone(), 1000 + machine);
+                let station = Arc::new(Mutex::new(Station::new(machine as u64, hlc, cache_blocks)));
+                // Decorrelate each station's recall lane from the
+                // agent's request lane and from other stations.
+                let cfg = NetConfig {
+                    seed: station_net
+                        .seed
+                        .wrapping_add(machine as u64 * 104_729)
+                        .wrapping_add(i as u64 * 7919),
+                    ..station_net
+                };
+                let endpoint =
+                    StationEndpoint::new(station.clone(), SimNetwork::new(clock.clone(), cfg));
+                server
+                    .lock()
+                    .file_service_mut()
+                    .lease_attach(Box::new(endpoint));
+                agent.stations.push(station);
+            }
+        }
+        agent
+    }
+
+    /// The cache-coherence policy in force.
+    pub fn lease_config(&self) -> LeaseConfig {
+        self.lease_config
+    }
+
+    /// The agent's request-lane network counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    /// Partition hook: an unresponsive agent's stations ignore recalls,
+    /// forcing servers down the timeout-and-fence path.
+    pub fn set_responsive(&mut self, responsive: bool) {
+        for st in &self.stations {
+            st.lock().responsive = responsive;
+        }
+    }
+
+    /// Number of live (unexpired) leases held across all servers.
+    pub fn held_leases(&self) -> usize {
+        let now = self.net.clock().now_us();
+        self.stations
+            .iter()
+            .map(|st| {
+                st.lock()
+                    .leases
+                    .values()
+                    .filter(|l| l.expiry_us > now)
+                    .count()
+            })
+            .sum()
     }
 
     /// Number of file servers this agent can reach.
@@ -188,6 +300,12 @@ impl FileAgent {
         for c in &self.caches {
             cache.merge(&c.stats());
         }
+        let mut recalls = 0;
+        for st in &self.stations {
+            let st = st.lock();
+            cache.merge(&st.cache.stats());
+            recalls += st.stats.recalls_served;
+        }
         let mut scheduler = SchedulerStats::default();
         let mut scrub = ScrubStats::default();
         for srv in &self.servers {
@@ -203,6 +321,10 @@ impl FileAgent {
             round_trips: self.round_trips,
             scheduler,
             scrub,
+            rpcs_sent: self.round_trips,
+            rpcs_avoided_by_lease: self.rpcs_avoided,
+            recalls,
+            lease_renewals: self.lease_renewals,
         }
     }
 
@@ -378,6 +500,108 @@ impl FileAgent {
         offset: u64,
         len: usize,
     ) -> Result<Vec<u8>, AgentError> {
+        match self.lease_config {
+            LeaseConfig::Trusting => self.pread_trusting(od, offset, len),
+            LeaseConfig::Never => self.pread_never(od, offset, len),
+            LeaseConfig::Auto => self.pread_leased(od, offset, len),
+        }
+    }
+
+    /// The leaseless coherent ablation: the whole span is one server
+    /// RPC; nothing is cached, so nothing can go stale.
+    fn pread_never(
+        &mut self,
+        od: ObjectDescriptor,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, AgentError> {
+        let (server, fid) = {
+            let e = self.entry(od)?;
+            (e.server, e.fid)
+        };
+        self.round_trip();
+        match self.servers[server]
+            .lock()
+            .file_service_mut()
+            .read(fid, offset, len)
+        {
+            Ok(data) => Ok(data),
+            Err(FileServiceError::BeyondEof { .. }) => Ok(Vec::new()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Lease-protected read: under a live lease, cached blocks are
+    /// served with **no RPC at all**; misses fetch from the server and
+    /// populate the station cache under the lease's protection.
+    fn pread_leased(
+        &mut self,
+        od: ObjectDescriptor,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, AgentError> {
+        self.ensure_lease(od, LeaseMode::Read)?;
+        let (server, fid, size) = {
+            let e = self.entry(od)?;
+            (e.server, e.fid, e.size)
+        };
+        if offset >= size {
+            return Ok(Vec::new());
+        }
+        let len = len.min((size - offset) as usize);
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let bs = BLOCK_SIZE as u64;
+        let first = offset / bs;
+        let last = (offset + len as u64 - 1) / bs;
+        let mut out = Vec::with_capacity(len);
+        for idx in first..=last {
+            let now = self.net.clock().now_us();
+            let cached = {
+                let mut st = self.stations[server].lock();
+                if st.authorized(fid, LeaseMode::Read, now) {
+                    st.cache.get(&(fid, idx))
+                } else {
+                    None
+                }
+            };
+            let block: BlockBuf = match cached {
+                Some(b) => {
+                    self.rpcs_avoided += 1;
+                    b
+                }
+                None => {
+                    self.round_trip();
+                    let block = self.servers[server]
+                        .lock()
+                        .file_service_mut()
+                        .read_block(fid, idx)?;
+                    let evictions = {
+                        let mut st = self.stations[server].lock();
+                        st.cache.insert((fid, idx), block.clone(), false)
+                    };
+                    for (k, v) in evictions {
+                        self.push_block_leased(server, k.0, k.1, v)?;
+                    }
+                    block
+                }
+            };
+            let block_start = idx * bs;
+            let lo = offset.max(block_start) - block_start;
+            let hi = (offset + len as u64).min(block_start + bs) - block_start;
+            out.extend_from_slice(&block[lo as usize..hi as usize]);
+        }
+        Ok(out)
+    }
+
+    /// The legacy blind-trust cached read.
+    fn pread_trusting(
+        &mut self,
+        od: ObjectDescriptor,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, AgentError> {
         let (server, fid, size) = {
             let e = self.entry(od)?;
             (e.server, e.fid, e.size)
@@ -451,6 +675,103 @@ impl FileAgent {
         if data.is_empty() {
             return Ok(());
         }
+        match self.lease_config {
+            LeaseConfig::Trusting => self.pwrite_trusting(od, offset, data),
+            LeaseConfig::Never => self.pwrite_never(od, offset, data),
+            LeaseConfig::Auto => self.pwrite_leased(od, offset, data),
+        }
+    }
+
+    /// Write-through ablation: every write is pushed to the server
+    /// immediately; nothing stays buffered client-side.
+    fn pwrite_never(
+        &mut self,
+        od: ObjectDescriptor,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), AgentError> {
+        let (server, fid) = {
+            let e = self.entry(od)?;
+            (e.server, e.fid)
+        };
+        self.round_trip();
+        self.servers[server]
+            .lock()
+            .file_service_mut()
+            .write(fid, offset, data)?;
+        let entry = self.open.get_mut(&od).expect("checked");
+        entry.size = entry.size.max(offset + data.len() as u64);
+        Ok(())
+    }
+
+    /// Delegated write: buffered dirty in the station cache under an
+    /// exclusive write lease; data reaches the server on flush, close,
+    /// eviction — or when the server recalls the delegation.
+    fn pwrite_leased(
+        &mut self,
+        od: ObjectDescriptor,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), AgentError> {
+        self.ensure_lease(od, LeaseMode::Write)?;
+        let (server, fid, size) = {
+            let e = self.entry(od)?;
+            (e.server, e.fid, e.size)
+        };
+        let bs = BLOCK_SIZE as u64;
+        let first = offset / bs;
+        let last = (offset + data.len() as u64 - 1) / bs;
+        for idx in first..=last {
+            let block_start = idx * bs;
+            let lo = offset.max(block_start);
+            let hi = (offset + data.len() as u64).min(block_start + bs);
+            let full = lo == block_start && hi == block_start + bs;
+            let resident = if full {
+                None
+            } else {
+                self.stations[server].lock().cache.get(&(fid, idx))
+            };
+            let mut block: BlockBuf = if full {
+                BlockBuf::zeroed(BLOCK_SIZE)
+            } else if let Some(b) = resident {
+                b
+            } else if block_start < size {
+                // Read-modify-write: the exclusive delegation means the
+                // server copy cannot move under us.
+                self.round_trip();
+                self.servers[server]
+                    .lock()
+                    .file_service_mut()
+                    .read_block(fid, idx)?
+            } else {
+                BlockBuf::zeroed(BLOCK_SIZE)
+            };
+            block.make_mut()[(lo - block_start) as usize..(hi - block_start) as usize]
+                .copy_from_slice(&data[(lo - offset) as usize..(hi - offset) as usize]);
+            let evictions = {
+                let mut st = self.stations[server].lock();
+                st.cache.insert((fid, idx), block, true)
+            };
+            for (k, v) in evictions {
+                self.push_block_leased(server, k.0, k.1, v)?;
+            }
+        }
+        let entry = self.open.get_mut(&od).expect("checked");
+        entry.size = entry.size.max(offset + data.len() as u64);
+        let new_size = entry.size;
+        let mut st = self.stations[server].lock();
+        let sz = st.sizes.entry(fid).or_insert(0);
+        *sz = (*sz).max(new_size);
+        Ok(())
+    }
+
+    /// The legacy blind-trust delayed write.
+    fn pwrite_trusting(
+        &mut self,
+        od: ObjectDescriptor,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), AgentError> {
         let (server, fid) = {
             let e = self.entry(od)?;
             (e.server, e.fid)
@@ -521,6 +842,217 @@ impl FileAgent {
         Ok(())
     }
 
+    /// Ensures this station holds a live lease of at least `want` on the
+    /// descriptor's file, renewing at half-term and (re-)acquiring when
+    /// missing, lapsed, or too weak.
+    fn ensure_lease(&mut self, od: ObjectDescriptor, want: LeaseMode) -> Result<(), AgentError> {
+        enum Action {
+            Keep,
+            Renew(LeaseToken),
+            Acquire,
+        }
+        let (server, fid) = {
+            let e = self.entry(od)?;
+            (e.server, e.fid)
+        };
+        let now = self.net.clock().now_us();
+        let action = {
+            let st = self.stations[server].lock();
+            match st.leases.get(&fid) {
+                Some(l)
+                    if l.expiry_us > now
+                        && (want == LeaseMode::Read || l.mode == LeaseMode::Write) =>
+                {
+                    if now + l.term_us / 2 >= l.expiry_us {
+                        Action::Renew(l.token)
+                    } else {
+                        Action::Keep
+                    }
+                }
+                _ => Action::Acquire,
+            }
+        };
+        match action {
+            Action::Keep => Ok(()),
+            Action::Renew(token) => {
+                self.round_trip();
+                let renewed = self.servers[server]
+                    .lock()
+                    .file_service_mut()
+                    .lease_renew(&token);
+                match renewed {
+                    Ok((expiry_us, stamp)) => {
+                        self.lease_renewals += 1;
+                        let mut st = self.stations[server].lock();
+                        st.hlc.observe(stamp);
+                        if let Some(l) = st.leases.get_mut(&fid) {
+                            l.expiry_us = expiry_us;
+                        }
+                        Ok(())
+                    }
+                    // Dead token (fenced, superseded, pre-crash epoch):
+                    // fall back to a fresh acquisition.
+                    Err(FileServiceError::LeaseRejected(_) | FileServiceError::LeaseFenced(_)) => {
+                        self.acquire_lease(od, server, fid, want)
+                    }
+                    Err(e) => Err(e.into()),
+                }
+            }
+            Action::Acquire => self.acquire_lease(od, server, fid, want),
+        }
+    }
+
+    /// One lease-acquire RPC (recalls and grant happen server-side). An
+    /// expired local lease is surrendered first: its buffered writes are
+    /// dropped, not pushed — the server may already have fenced us and
+    /// granted the file away, so pushing could clobber a newer holder.
+    fn acquire_lease(
+        &mut self,
+        od: ObjectDescriptor,
+        server: usize,
+        fid: FileId,
+        want: LeaseMode,
+    ) -> Result<(), AgentError> {
+        let now = self.net.clock().now_us();
+        {
+            let mut st = self.stations[server].lock();
+            if st.leases.get(&fid).is_some_and(|l| l.expiry_us <= now) {
+                let dropped = st.cache.take_dirty_for(fid);
+                st.stats.fenced_drops += dropped.len() as u64;
+                st.cache.invalidate_file(fid);
+                st.leases.remove(&fid);
+            }
+        }
+        self.round_trip();
+        let (grant, size) =
+            self.servers[server]
+                .lock()
+                .lease_acquire(self.machine as u64, fid, want)?;
+        {
+            let mut st = self.stations[server].lock();
+            st.hlc.observe(grant.stamp);
+            let granted_at = self.net.clock().now_us();
+            st.leases.insert(
+                fid,
+                ClientLease {
+                    token: grant.token,
+                    mode: grant.mode,
+                    expiry_us: grant.expiry_us,
+                    stamp: grant.stamp,
+                    term_us: grant.expiry_us.saturating_sub(granted_at),
+                },
+            );
+            st.sizes.insert(fid, size);
+        }
+        if let Some(e) = self.open.get_mut(&od) {
+            e.size = size;
+        }
+        Ok(())
+    }
+
+    /// Pushes one delegated dirty block through the write-lease gate.
+    fn push_block_leased(
+        &mut self,
+        server: usize,
+        fid: FileId,
+        idx: u64,
+        data: BlockBuf,
+    ) -> Result<(), AgentError> {
+        let (token, len) = {
+            let st = self.stations[server].lock();
+            match st.leases.get(&fid) {
+                Some(l) => (l.token, st.trim_len(fid, idx)),
+                // No lease to write under any more: the delegation was
+                // recalled or lapsed while this block sat buffered.
+                None => return Err(AgentError::File(FileServiceError::LeaseFenced(fid))),
+            }
+        };
+        if len == 0 {
+            return Ok(());
+        }
+        let start = idx * BLOCK_SIZE as u64;
+        self.round_trip();
+        let pushed = self.servers[server].lock().file_service_mut().write_leased(
+            fid,
+            start,
+            data.slice(0..len),
+            &token,
+        );
+        match pushed {
+            Ok(()) => Ok(()),
+            Err(FileServiceError::LeaseFenced(_)) => {
+                // Fenced: the server granted the file away past our
+                // silence. Drop everything we still buffer for it.
+                let mut st = self.stations[server].lock();
+                st.leases.remove(&fid);
+                let dropped = st.cache.take_dirty_for(fid);
+                st.stats.fenced_drops += 1 + dropped.len() as u64;
+                st.cache.invalidate_file(fid);
+                Err(AgentError::File(FileServiceError::LeaseFenced(fid)))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Re-presents every held lease to its (rebooted) server so the
+    /// nearly-stateless server can reconstruct its grant table. Accepted
+    /// claims keep their cached blocks — that is the point of
+    /// reattaching; rejected claims (window closed, HLC race lost) drop
+    /// lease, buffered writes and cached blocks. Returns how many leases
+    /// were reattached.
+    ///
+    /// # Errors
+    ///
+    /// Server failures other than a rejected claim.
+    pub fn reattach_leases(&mut self) -> Result<usize, AgentError> {
+        if self.lease_config != LeaseConfig::Auto {
+            return Ok(0);
+        }
+        let mut reattached = 0;
+        for server in 0..self.servers.len() {
+            let held: Vec<ClientLease> = {
+                let st = self.stations[server].lock();
+                st.leases.values().copied().collect()
+            };
+            for lease in held {
+                self.round_trip();
+                let claimed = self.servers[server]
+                    .lock()
+                    .file_service_mut()
+                    .lease_reattach(&lease.token, lease.mode, lease.stamp);
+                match claimed {
+                    Ok(grant) => {
+                        let mut st = self.stations[server].lock();
+                        st.hlc.observe(grant.stamp);
+                        let now = self.net.clock().now_us();
+                        st.leases.insert(
+                            grant.token.fid,
+                            ClientLease {
+                                token: grant.token,
+                                mode: grant.mode,
+                                expiry_us: grant.expiry_us,
+                                stamp: grant.stamp,
+                                term_us: grant.expiry_us.saturating_sub(now),
+                            },
+                        );
+                        reattached += 1;
+                    }
+                    Err(
+                        FileServiceError::LeaseRejected(fid) | FileServiceError::LeaseFenced(fid),
+                    ) => {
+                        let mut st = self.stations[server].lock();
+                        let dropped = st.cache.take_dirty_for(fid);
+                        st.stats.fenced_drops += dropped.len() as u64;
+                        st.cache.invalidate_file(fid);
+                        st.leases.remove(&fid);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        Ok(reattached)
+    }
+
     /// Flushes this descriptor's delayed writes to the server.
     ///
     /// # Errors
@@ -531,14 +1063,30 @@ impl FileAgent {
             let e = self.entry(od)?;
             (e.server, e.fid)
         };
-        let dirty = self.caches[server].take_dirty_for(fid);
-        for ((f, idx), data) in dirty {
-            self.push_block(server, f, idx, data)?;
+        match self.lease_config {
+            LeaseConfig::Trusting => {
+                let dirty = self.caches[server].take_dirty_for(fid);
+                for ((f, idx), data) in dirty {
+                    self.push_block(server, f, idx, data)?;
+                }
+            }
+            // Write-through: nothing is ever buffered.
+            LeaseConfig::Never => {}
+            LeaseConfig::Auto => {
+                let dirty = {
+                    let mut st = self.stations[server].lock();
+                    st.cache.take_dirty_for(fid)
+                };
+                for ((f, idx), data) in dirty {
+                    self.push_block_leased(server, f, idx, data)?;
+                }
+            }
         }
         Ok(())
     }
 
-    /// `close`: flushes and closes at the server.
+    /// `close`: flushes and closes at the server (releasing any lease on
+    /// the same exchange).
     ///
     /// # Errors
     ///
@@ -549,10 +1097,28 @@ impl FileAgent {
             let e = self.entry(od)?;
             (e.server, e.fid)
         };
+        let token = if self.lease_config == LeaseConfig::Auto {
+            let mut st = self.stations[server].lock();
+            st.sizes.remove(&fid);
+            st.cache.invalidate_file(fid);
+            st.leases.remove(&fid).map(|l| l.token)
+        } else {
+            None
+        };
         self.round_trip();
-        self.servers[server].lock().file_service_mut().close(fid)?;
+        {
+            let mut srv = self.servers[server].lock();
+            let fs = srv.file_service_mut();
+            fs.close(fid)?;
+            // The release piggybacks on the close round trip.
+            if let Some(token) = token {
+                fs.lease_release(&token);
+            }
+        }
         self.open.remove(&od);
-        self.caches[server].invalidate_file(fid);
+        if self.lease_config == LeaseConfig::Trusting {
+            self.caches[server].invalidate_file(fid);
+        }
         Ok(())
     }
 
@@ -758,6 +1324,164 @@ mod tests {
             a.lseek(5, 0, 0),
             Err(AgentError::BadDescriptor(_))
         ));
+    }
+
+    fn lease_pair(
+        config_a: LeaseConfig,
+        config_b: LeaseConfig,
+    ) -> (FileAgent, FileAgent, ServerHandle) {
+        let clock = SimClock::new();
+        let fs = FileService::single_disk(
+            DiskGeometry::medium(),
+            LatencyModel::default(),
+            clock.clone(),
+            FileServiceConfig::default(),
+        )
+        .unwrap();
+        let ts = TransactionService::new(fs, TxnConfig::default()).unwrap();
+        let server: ServerHandle = Arc::new(Mutex::new(ts));
+        let naming = Arc::new(Mutex::new(NamingService::new()));
+        let mk = |machine: u32, cfg: LeaseConfig| {
+            FileAgent::with_lease_config(
+                machine,
+                vec![server.clone()],
+                naming.clone(),
+                SimNetwork::new(clock.clone(), NetConfig::reliable()),
+                64,
+                cfg,
+                NetConfig::reliable(),
+            )
+        };
+        (mk(1, config_a), mk(2, config_b), server)
+    }
+
+    #[test]
+    fn leased_hot_reread_is_zero_rpc() {
+        let (mut a, _, _) = lease_pair(LeaseConfig::Auto, LeaseConfig::Never);
+        a.create(&name("name=hot")).unwrap();
+        let od = a.open(&name("name=hot")).unwrap();
+        a.pwrite(od, 0, &vec![3u8; 4 * BLOCK_SIZE]).unwrap();
+        a.flush(od).unwrap();
+        let _ = a.pread(od, 0, 4 * BLOCK_SIZE).unwrap(); // populate
+        let before = a.stats();
+        for _ in 0..10 {
+            assert_eq!(
+                a.pread(od, 0, 4 * BLOCK_SIZE).unwrap().len(),
+                4 * BLOCK_SIZE
+            );
+        }
+        let after = a.stats();
+        assert_eq!(
+            after.round_trips, before.round_trips,
+            "hot re-reads under a live lease must issue no RPC at all"
+        );
+        assert_eq!(after.rpcs_sent, before.rpcs_sent);
+        assert_eq!(
+            after.rpcs_avoided_by_lease - before.rpcs_avoided_by_lease,
+            40,
+            "each of the 10 re-reads covers 4 blocks from the station cache"
+        );
+    }
+
+    #[test]
+    fn never_mode_pays_an_rpc_per_read() {
+        let (_, mut b, _) = lease_pair(LeaseConfig::Auto, LeaseConfig::Never);
+        b.create(&name("name=ablate")).unwrap();
+        let od = b.open(&name("name=ablate")).unwrap();
+        b.pwrite(od, 0, &vec![9u8; 2 * BLOCK_SIZE]).unwrap();
+        let before = b.stats().round_trips;
+        for _ in 0..5 {
+            let _ = b.pread(od, 0, 2 * BLOCK_SIZE).unwrap();
+        }
+        let s = b.stats();
+        assert_eq!(
+            s.round_trips - before,
+            5,
+            "one RPC per read, nothing cached"
+        );
+        assert_eq!(s.rpcs_avoided_by_lease, 0);
+    }
+
+    #[test]
+    fn conflicting_open_recalls_delegated_writes() {
+        let (mut a, mut b, _) = lease_pair(LeaseConfig::Auto, LeaseConfig::Auto);
+        let fid = a.create(&name("name=shared")).unwrap();
+        let od_a = a.open(&name("name=shared")).unwrap();
+        // A buffers delegated writes under a write lease; nothing is
+        // pushed to the server yet.
+        a.pwrite(od_a, 0, b"delegated-but-dirty").unwrap();
+        // B's read forces the server to recall A's delegation; the
+        // surrendered bytes must be visible to B's lease-protected read.
+        let od_b = b.open_fid(fid).unwrap();
+        assert_eq!(b.pread(od_b, 0, 19).unwrap(), b"delegated-but-dirty");
+        assert_eq!(a.stats().recalls, 1, "A answered exactly one recall");
+        // A's next read re-acquires (its lease was recalled) and sees its
+        // own writes back from the server.
+        assert_eq!(a.pread(od_a, 0, 19).unwrap(), b"delegated-but-dirty");
+    }
+
+    #[test]
+    fn write_after_remote_write_stays_coherent() {
+        let (mut a, mut b, _) = lease_pair(LeaseConfig::Auto, LeaseConfig::Auto);
+        let fid = a.create(&name("name=pingpong")).unwrap();
+        let od_a = a.open(&name("name=pingpong")).unwrap();
+        let od_b = b.open_fid(fid).unwrap();
+        a.pwrite(od_a, 0, b"aaaa").unwrap();
+        b.pwrite(od_b, 0, b"bb").unwrap(); // recalls A's write lease
+        assert_eq!(a.pread(od_a, 0, 4).unwrap(), b"bbaa");
+        assert_eq!(b.pread(od_b, 0, 4).unwrap(), b"bbaa");
+    }
+
+    #[test]
+    fn unresponsive_holder_is_fenced_and_writeback_rejected() {
+        let (mut a, mut b, _) = lease_pair(LeaseConfig::Auto, LeaseConfig::Auto);
+        let fid = a.create(&name("name=fence")).unwrap();
+        let od_a = a.open(&name("name=fence")).unwrap();
+        a.pwrite(od_a, 0, b"doomed delegated write").unwrap();
+        // A goes silent: B's conflicting open must wait out the recall
+        // timeout plus A's lease term, then proceed without A's bytes.
+        a.set_responsive(false);
+        let od_b = b.open_fid(fid).unwrap();
+        assert_eq!(b.pread(od_b, 0, 32).unwrap(), b"", "fenced bytes are lost");
+        b.pwrite(od_b, 0, b"new owner").unwrap();
+        b.flush(od_b).unwrap();
+        // A comes back and tries to flush its stale delegated write: the
+        // fenced token must be rejected and the buffered data dropped.
+        a.set_responsive(true);
+        assert!(matches!(
+            a.flush(od_a),
+            Err(AgentError::File(FileServiceError::LeaseFenced(_)))
+        ));
+        // A's re-read goes through a fresh lease and sees B's bytes.
+        assert_eq!(a.pread(od_a, 0, 9).unwrap(), b"new owner");
+    }
+
+    #[test]
+    fn crash_reattach_preserves_lease_and_cache() {
+        let (mut a, _, server) = lease_pair(LeaseConfig::Auto, LeaseConfig::Never);
+        a.create(&name("name=durable")).unwrap();
+        let od = a.open(&name("name=durable")).unwrap();
+        a.pwrite(od, 0, &vec![5u8; 2 * BLOCK_SIZE]).unwrap();
+        a.flush(od).unwrap();
+        let _ = a.pread(od, 0, 2 * BLOCK_SIZE).unwrap(); // populate under lease
+        {
+            let mut srv = server.lock();
+            let fs = srv.file_service_mut();
+            fs.simulate_crash();
+            fs.recover().unwrap();
+            fs.open(a.fid_of(od).unwrap()).unwrap(); // crash wiped open state
+        }
+        assert_eq!(a.reattach_leases().unwrap(), 1);
+        let before = a.stats().round_trips;
+        assert_eq!(
+            a.pread(od, 0, 2 * BLOCK_SIZE).unwrap(),
+            vec![5u8; 2 * BLOCK_SIZE]
+        );
+        assert_eq!(
+            a.stats().round_trips,
+            before,
+            "reattached lease keeps the cache hot: still zero RPCs"
+        );
     }
 
     #[test]

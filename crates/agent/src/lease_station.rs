@@ -1,0 +1,226 @@
+//! Client-side lease state: the *station*.
+//!
+//! One station per reachable file server holds the agent's leases for
+//! that server, its lease-protected block cache, its HLC lane, and the
+//! recall endpoint the server calls back through. The station sits
+//! behind an `Arc<Mutex<..>>` because recalls arrive "from the network"
+//! — i.e. from inside the server's `lease_acquire` — while the agent is
+//! blocked on that very call.
+//!
+//! Lock order: the server lock is always taken *before* a station lock
+//! (the server recalls into stations); the agent therefore never calls
+//! the server while holding a station lock.
+
+use parking_lot::Mutex;
+use rhodos_disk_service::BLOCK_SIZE;
+use rhodos_file_service::{BlockCache, FileId, LeaseMode, LeaseToken, RecallAck, RecallTarget};
+use rhodos_net::{Delivery, SimNetwork};
+use rhodos_simdisk::{HlcClock, HlcStamp};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Client cache-coherence policy of a [`crate::FileAgent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LeaseConfig {
+    /// Lease-protected caching: reads of a lease-held file are served
+    /// from the local cache with **no RPC at all**, writes are buffered
+    /// under an exclusive write lease, and the server recalls
+    /// delegations on conflicting opens. Coherent across agents.
+    Auto,
+    /// Leaseless coherent ablation (E22): every read is a server RPC,
+    /// every write is pushed write-through. Nothing is cached, so
+    /// nothing can go stale.
+    Never,
+    /// The pre-lease behaviour: blind-trust client caching with
+    /// delayed writes. Fast but only safe while one process owns a
+    /// file at a time — kept as the default so existing single-owner
+    /// callers are unchanged.
+    #[default]
+    Trusting,
+}
+
+/// One lease as the client remembers it.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientLease {
+    /// Token to present on writeback/renew/release/reattach.
+    pub token: LeaseToken,
+    /// Delegation mode held.
+    pub mode: LeaseMode,
+    /// When the delegation lapses (shared virtual clock).
+    pub expiry_us: u64,
+    /// The grant's HLC stamp (identity for reattach races).
+    pub stamp: HlcStamp,
+    /// Grant term, for the renew-at-half-term heuristic.
+    pub term_us: u64,
+}
+
+/// Blocks surrendered by one recall, with the file size they were
+/// trimmed against — kept so a retried recall gets the same answer.
+type ServedRecall = (Vec<(u64, rhodos_buf::BlockBuf)>, u64);
+
+/// Per-station counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StationStats {
+    /// Recalls this station answered.
+    pub recalls_served: u64,
+    /// Delegated (buffered) writes discarded because the lease had
+    /// already been fenced when the agent next touched the file.
+    pub fenced_drops: u64,
+}
+
+/// Client-side lease and cache state for one server.
+#[derive(Debug)]
+pub struct Station {
+    /// This station's client id (the agent's machine number).
+    pub client: u64,
+    /// The station's HLC lane.
+    pub hlc: HlcClock,
+    /// Lease-protected block cache.
+    pub cache: BlockCache,
+    /// Leases held, by file.
+    pub leases: HashMap<FileId, ClientLease>,
+    /// Authoritative-as-of-grant file sizes (advanced by local writes
+    /// under a write delegation).
+    pub sizes: HashMap<FileId, u64>,
+    /// Partition hook: an unresponsive station ignores recalls, forcing
+    /// the server down the timeout-and-fence path.
+    pub responsive: bool,
+    /// Replies to recalls already served, so a retried recall (first
+    /// reply lost) returns the same surrendered bytes instead of none.
+    served: HashMap<(FileId, u64), ServedRecall>,
+    /// Counters.
+    pub stats: StationStats,
+}
+
+impl Station {
+    /// A fresh station for `client` stamping on `hlc`.
+    pub fn new(client: u64, hlc: HlcClock, cache_blocks: usize) -> Self {
+        Self {
+            client,
+            hlc,
+            cache: BlockCache::new(cache_blocks.max(1)),
+            leases: HashMap::new(),
+            sizes: HashMap::new(),
+            responsive: true,
+            served: HashMap::new(),
+            stats: StationStats::default(),
+        }
+    }
+
+    /// Whether the station holds a live lease of at least `want` on
+    /// `fid` at `now`.
+    pub fn authorized(&self, fid: FileId, want: LeaseMode, now: u64) -> bool {
+        self.leases.get(&fid).is_some_and(|l| {
+            l.expiry_us > now && (want == LeaseMode::Read || l.mode == LeaseMode::Write)
+        })
+    }
+
+    /// Handles one recall request (idempotently): surrenders the lease,
+    /// hands back the buffered delayed writes, and invalidates the
+    /// file's cached blocks.
+    pub fn serve_recall(&mut self, fid: FileId, seq: u64) -> RecallAck {
+        if let Some((dirty, size)) = self.served.get(&(fid, seq)) {
+            // Retried recall (our earlier reply was lost): same answer.
+            return RecallAck {
+                dirty: dirty.clone(),
+                size: *size,
+                stamp: self.hlc.tick(),
+            };
+        }
+        let holds = self.leases.get(&fid).is_some_and(|l| l.token.seq == seq);
+        let (dirty, size) = if holds {
+            self.leases.remove(&fid);
+            let dirty: Vec<(u64, rhodos_buf::BlockBuf)> = self
+                .cache
+                .take_dirty_for(fid)
+                .into_iter()
+                .map(|((_, idx), b)| (idx, b))
+                .collect();
+            self.cache.invalidate_file(fid);
+            let size = self.sizes.get(&fid).copied().unwrap_or(0);
+            (dirty, size)
+        } else {
+            // Recall for a grant we no longer (or never) hold:
+            // surrender nothing.
+            (Vec::new(), self.sizes.get(&fid).copied().unwrap_or(0))
+        };
+        self.served.insert((fid, seq), (dirty.clone(), size));
+        self.stats.recalls_served += 1;
+        RecallAck {
+            dirty,
+            size,
+            stamp: self.hlc.tick(),
+        }
+    }
+
+    /// Drops the file's clean cached blocks but keeps the dirty ones
+    /// resident (they are re-inserted dirty). Used when a lease lapses:
+    /// clean blocks may be stale, dirty blocks still need their fenced
+    /// writeback attempt.
+    pub fn invalidate_clean(&mut self, fid: FileId) {
+        let dirty = self.cache.take_dirty_for(fid);
+        self.cache.invalidate_file(fid);
+        for ((f, idx), b) in dirty {
+            // Re-inserting cannot evict: the cache just shrank.
+            let _ = self.cache.insert((f, idx), b, true);
+        }
+    }
+
+    /// Trims a whole buffered block to the file's logical size.
+    pub fn trim_len(&self, fid: FileId, idx: u64) -> usize {
+        let size = self.sizes.get(&fid).copied().unwrap_or(0);
+        let start = idx * BLOCK_SIZE as u64;
+        (BLOCK_SIZE as u64).min(size.saturating_sub(start)) as usize
+    }
+}
+
+/// The server-side endpoint of one station's recall channel: owns the
+/// (lossy) network lane the server uses to reach the client and retries
+/// the two-leg exchange a bounded number of times.
+pub struct StationEndpoint {
+    station: Arc<Mutex<Station>>,
+    net: SimNetwork,
+    max_attempts: u32,
+}
+
+impl StationEndpoint {
+    /// A recall endpoint for `station` over `net`.
+    pub fn new(station: Arc<Mutex<Station>>, net: SimNetwork) -> Self {
+        Self {
+            station,
+            net,
+            max_attempts: 4,
+        }
+    }
+}
+
+impl RecallTarget for StationEndpoint {
+    fn client_id(&self) -> u64 {
+        self.station.lock().client
+    }
+
+    fn recall(&mut self, fid: FileId, seq: u64, stamp: HlcStamp) -> Option<RecallAck> {
+        if !self.station.lock().responsive {
+            // Partitioned client: the server pays the recall timeout.
+            return None;
+        }
+        for _ in 0..self.max_attempts {
+            // Server → client leg.
+            if self.net.transmit() == Delivery::Lost {
+                continue;
+            }
+            let ack = {
+                let mut st = self.station.lock();
+                st.hlc.observe(stamp);
+                st.serve_recall(fid, seq)
+            };
+            // Client → server leg. A lost reply retries the whole
+            // exchange; serve_recall is idempotent, so the retried
+            // request returns the same surrendered bytes.
+            if self.net.transmit() != Delivery::Lost {
+                return Some(ack);
+            }
+        }
+        None
+    }
+}

@@ -70,6 +70,7 @@
 mod descriptor;
 mod device;
 mod file_agent;
+mod lease_station;
 mod process;
 mod txn_agent;
 
@@ -79,5 +80,6 @@ pub use descriptor::{
 };
 pub use device::{Device, DeviceAgent, DeviceError};
 pub use file_agent::{AgentError, AgentStats, FileAgent, ServerHandle};
+pub use lease_station::{ClientLease, LeaseConfig, Station, StationEndpoint, StationStats};
 pub use process::{Process, ProcessError, ProcessTable};
 pub use txn_agent::{AgentLifecycleEvent, TransactionAgent, TxnAgentStats};

@@ -11,11 +11,17 @@
 //! scenario (see `rhodos_bench::experiments::e19_self_healing::stat_records`),
 //! so scrub/repair/fsck behaviour regressions show up as a diff — and
 //! `BENCH_latency.json`: the E20 open-loop percentile lane (see
-//! `rhodos_bench::experiments::e20_contention::stat_records`). The
-//! latency lane is additionally *gated*: each fresh `p99_us` row is
-//! compared against the committed `BENCH_latency.baseline.json` and the
-//! run fails if any regresses by more than 10% (saturation rows
-//! likewise, in the other direction).
+//! `rhodos_bench::experiments::e20_contention::stat_records`) — and
+//! `BENCH_leases.json`: the E22 lease-coherence lane (round trips,
+//! lease-served reads, recall counts, cached-read percentiles; see
+//! `rhodos_bench::experiments::e22_leases::stat_records`).
+//!
+//! Every lane is *gated* against its committed `*.baseline.json`:
+//! the latency and leases lanes fail the run if a `p99_us` or
+//! `round_trips` row regresses by more than 10% (saturation rows
+//! likewise, in the other direction), and the purely deterministic
+//! counter lanes (replication, txn-commit, scrub) fail on any drift at
+//! all. A missing baseline (bootstrap) passes with a note.
 //!
 //! `cargo run --release -p rhodos-bench --bin bench_json [-- <out-path>]`
 
@@ -49,50 +55,42 @@ fn main() {
     println!("wrote {out_path}");
     print!("{json}");
 
-    let rep_path = "BENCH_replication.json";
-    let rep_rows: Vec<String> = rhodos_bench::throughput::replication_stat_records()
-        .into_iter()
-        .map(|(stat, value)| format!("  {{\"stat\": \"{stat}\", \"value\": {value}}}"))
-        .collect();
-    let rep_json = format!("[\n{}\n]\n", rep_rows.join(",\n"));
-    std::fs::write(rep_path, &rep_json).expect("write replication json");
-    println!("wrote {rep_path}");
-    print!("{rep_json}");
+    let rep_records = rhodos_bench::throughput::replication_stat_records();
+    write_stat_lane("BENCH_replication.json", &rep_records);
 
-    let txn_path = "BENCH_txn_commit.json";
-    let txn_rows: Vec<String> = rhodos_bench::experiments::e18_group_commit::stat_records()
-        .into_iter()
-        .map(|(stat, value)| format!("  {{\"stat\": \"{stat}\", \"value\": {value}}}"))
-        .collect();
-    let txn_json = format!("[\n{}\n]\n", txn_rows.join(",\n"));
-    std::fs::write(txn_path, &txn_json).expect("write txn commit json");
-    println!("wrote {txn_path}");
-    print!("{txn_json}");
+    let txn_records = rhodos_bench::experiments::e18_group_commit::stat_records();
+    write_stat_lane("BENCH_txn_commit.json", &txn_records);
 
-    let scrub_path = "BENCH_scrub.json";
-    let scrub_rows: Vec<String> = rhodos_bench::experiments::e19_self_healing::stat_records()
-        .into_iter()
-        .map(|(stat, value)| format!("  {{\"stat\": \"{stat}\", \"value\": {value}}}"))
-        .collect();
-    let scrub_json = format!("[\n{}\n]\n", scrub_rows.join(",\n"));
-    std::fs::write(scrub_path, &scrub_json).expect("write scrub json");
-    println!("wrote {scrub_path}");
-    print!("{scrub_json}");
+    let scrub_records = rhodos_bench::experiments::e19_self_healing::stat_records();
+    write_stat_lane("BENCH_scrub.json", &scrub_records);
 
-    let lat_path = "BENCH_latency.json";
     let lat_records = rhodos_bench::experiments::e20_contention::stat_records();
-    let lat_rows: Vec<String> = lat_records
+    write_stat_lane("BENCH_latency.json", &lat_records);
+
+    let lease_records = rhodos_bench::experiments::e22_leases::stat_records();
+    write_stat_lane("BENCH_leases.json", &lease_records);
+
+    let mut ok = true;
+    ok &= gate_exact("BENCH_replication.baseline.json", &rep_records);
+    ok &= gate_exact("BENCH_txn_commit.baseline.json", &txn_records);
+    ok &= gate_exact("BENCH_scrub.baseline.json", &scrub_records);
+    ok &= gate_latency(&lat_records);
+    ok &= gate_leases(&lease_records);
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+/// Writes one `{"stat": .., "value": ..}` lane.
+fn write_stat_lane(path: &str, records: &[(String, u64)]) {
+    let rows: Vec<String> = records
         .iter()
         .map(|(stat, value)| format!("  {{\"stat\": \"{stat}\", \"value\": {value}}}"))
         .collect();
-    let lat_json = format!("[\n{}\n]\n", lat_rows.join(",\n"));
-    std::fs::write(lat_path, &lat_json).expect("write latency json");
-    println!("wrote {lat_path}");
-    print!("{lat_json}");
-
-    if !gate_latency(&lat_records) {
-        std::process::exit(1);
-    }
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    std::fs::write(path, &json).expect("write stat lane");
+    println!("wrote {path}");
+    print!("{json}");
 }
 
 /// Parses `{"stat": .., "value": ..}` rows from one of this binary's own
@@ -139,6 +137,76 @@ fn gate_latency(fresh: &[(String, u64)]) -> bool {
     }
     if ok {
         println!("latency lane within 10% of {base_path}");
+    }
+    ok
+}
+
+/// Diffs the fresh E22 lease lane against the committed baseline: a
+/// cached-read `p99_us` or a `round_trips` counter more than 10% above
+/// baseline (floors: 25 us / 10 trips for tiny values) fails the run —
+/// the "zero-RPC hot reads" claim must not quietly erode. Fingerprints
+/// are identity rows, not gated (any byte change legitimately moves
+/// them). Missing baseline (bootstrap) passes with a note.
+fn gate_leases(fresh: &[(String, u64)]) -> bool {
+    let base_path = "BENCH_leases.baseline.json";
+    let Ok(base_text) = std::fs::read_to_string(base_path) else {
+        println!("no {base_path}; skipping lease regression gate");
+        return true;
+    };
+    let baseline = parse_stat_rows(&base_text);
+    let mut ok = true;
+    for (stat, value) in fresh {
+        let Some((_, base)) = baseline.iter().find(|(s, _)| s == stat) else {
+            continue;
+        };
+        if stat.ends_with("read.p99_us") && *value > base + (base / 10).max(25) {
+            println!("LEASE READ-LATENCY REGRESSION: {stat} = {value} us (baseline {base} us)");
+            ok = false;
+        }
+        if stat.ends_with("round_trips") && *value > base + (base / 10).max(10) {
+            println!("LEASE ROUND-TRIP REGRESSION: {stat} = {value} (baseline {base})");
+            ok = false;
+        }
+    }
+    if ok {
+        println!("lease lane within 10% of {base_path}");
+    }
+    ok
+}
+
+/// Diffs a fully deterministic counter lane against its committed
+/// baseline: these lanes are virtual-time simulations with fixed seeds,
+/// so *any* drift is a behaviour change that must be reviewed (and the
+/// baseline recommitted). Missing baseline (bootstrap) passes with a
+/// note.
+fn gate_exact(base_path: &str, fresh: &[(String, u64)]) -> bool {
+    let Ok(base_text) = std::fs::read_to_string(base_path) else {
+        println!("no {base_path}; skipping exact-match gate");
+        return true;
+    };
+    let baseline = parse_stat_rows(&base_text);
+    let mut ok = true;
+    for (stat, value) in fresh {
+        match baseline.iter().find(|(s, _)| s == stat) {
+            Some((_, base)) if base != value => {
+                println!("COUNTER DRIFT: {stat} = {value} (baseline {base}) vs {base_path}");
+                ok = false;
+            }
+            None => {
+                println!("NEW COUNTER (recommit baseline): {stat} vs {base_path}");
+                ok = false;
+            }
+            _ => {}
+        }
+    }
+    for (stat, _) in &baseline {
+        if !fresh.iter().any(|(s, _)| s == stat) {
+            println!("COUNTER REMOVED (recommit baseline): {stat} vs {base_path}");
+            ok = false;
+        }
+    }
+    if ok {
+        println!("counters match {base_path}");
     }
     ok
 }

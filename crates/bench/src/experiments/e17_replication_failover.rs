@@ -165,6 +165,9 @@ fn lossy_case(drop_pm: u16, dup_pm: u16) -> Vec<String> {
             f64::from(dup_pm) / 10.0
         ),
         s.calls.to_string(),
+        // Request/reply exchanges actually put on the wire: every call
+        // costs one round trip plus one per retry.
+        (s.calls + s.retries).to_string(),
         s.retries.to_string(),
         s.replayed.to_string(),
         s.peak_entries.to_string(),
@@ -196,6 +199,7 @@ pub fn run() -> String {
     let mut b = Table::new(&[
         "loss / dup",
         "rpcs",
+        "round trips",
         "retries",
         "replayed",
         "peak replies held",
@@ -253,13 +257,26 @@ mod tests {
         );
         // The "nearly stateless" bound: one synchronous client per
         // channel means at most one recorded reply per server.
+        // Whitespace tokens per row: "0.0% / 0.0%" splits into three, so
+        // rpcs=3, round trips=4, retries=5, replayed=6, peak=7.
         for line in report.lines().filter(|l| l.contains('%')) {
             let peak: u64 = line
                 .split_whitespace()
-                .nth(6)
+                .nth(7)
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(99);
             assert!(peak <= 1, "unbounded replay state: {line}");
+            let rpcs: u64 = line
+                .split_whitespace()
+                .nth(3)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            let trips: u64 = line
+                .split_whitespace()
+                .nth(4)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            assert!(trips >= rpcs, "round trips can never undercut rpcs: {line}");
         }
     }
 }

@@ -23,3 +23,4 @@ pub mod e17_replication_failover;
 pub mod e18_group_commit;
 pub mod e19_self_healing;
 pub mod e20_contention;
+pub mod e22_leases;

@@ -120,6 +120,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "Open-loop latency under contention: sharded locks + block pool",
             e20_contention::run,
         ),
+        (
+            "e22",
+            "Lease-based client cache coherence: zero-RPC hot reads",
+            e22_leases::run,
+        ),
     ]
 }
 

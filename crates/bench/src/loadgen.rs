@@ -218,6 +218,34 @@ pub struct Replay {
 }
 
 impl Trace {
+    /// Builds a trace directly from measured `(class, agent, service_us,
+    /// resources)` tuples — for experiments that drive their own
+    /// client/server topology (E22) but want the same open-loop replay
+    /// and saturation machinery. Resource ids index `0..nresources`; an
+    /// empty resource list means the operation ran entirely client-side
+    /// and contends only with its own agent.
+    pub fn from_ops(
+        ops: Vec<(OpClass, usize, u64, Vec<u32>)>,
+        nresources: usize,
+        agents: usize,
+    ) -> Self {
+        Self {
+            ops: ops
+                .into_iter()
+                .map(|(class, agent, service_us, resources)| TraceOp {
+                    class,
+                    agent,
+                    service_us,
+                    resources,
+                })
+                .collect(),
+            nresources: nresources.max(1),
+            agents: agents.max(1),
+            fast: FastPathStats::default(),
+            pool_hit_rate: 0.0,
+        }
+    }
+
     /// Replays the trace at `offered_per_ks` arrivals per kilosecond.
     pub fn replay(&self, offered_per_ks: u64) -> Replay {
         let offered_per_ks = offered_per_ks.max(1);

@@ -33,6 +33,13 @@ pub enum FileServiceError {
     DirectoryFull,
     /// An on-disk structure failed to decode (corruption).
     Corrupt(FileId),
+    /// A writeback presented a dead lease token: the lease expired
+    /// unanswered (the client was fenced) or was superseded. The client
+    /// must drop its delegated state and re-read.
+    LeaseFenced(FileId),
+    /// A lease request could not be honoured (stale epoch, closed
+    /// reattach window, or lost an HLC race to a competing claim).
+    LeaseRejected(FileId),
     /// Underlying disk service failure.
     Disk(DiskServiceError),
 }
@@ -54,6 +61,12 @@ impl fmt::Display for FileServiceError {
             }
             FileServiceError::DirectoryFull => write!(f, "file directory region is full"),
             FileServiceError::Corrupt(fid) => write!(f, "on-disk structures of {fid} are corrupt"),
+            FileServiceError::LeaseFenced(fid) => {
+                write!(f, "lease on {fid} was fenced; writeback rejected")
+            }
+            FileServiceError::LeaseRejected(fid) => {
+                write!(f, "lease request on {fid} rejected")
+            }
             FileServiceError::Disk(e) => write!(f, "disk service failure: {e}"),
         }
     }

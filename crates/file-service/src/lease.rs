@@ -1,0 +1,786 @@
+//! Time-bounded client cache delegations (leases).
+//!
+//! The paper keeps its file servers "nearly stateless" — a crashed server
+//! recovers from its disks plus whatever clients re-tell it. This module
+//! adds the one piece of soft state that makes aggressive client caching
+//! safe across processes: a table of *leases*, time-bounded read/write
+//! delegations in the style of Lustre's distributed lock manager.
+//!
+//! * A **read lease** lets any number of clients serve reads of a file
+//!   from their local cache with no RPC at all.
+//! * A **write lease** is exclusive: one client may buffer delayed
+//!   writes locally and flush them back on recall or close.
+//! * A conflicting open triggers a **recall**; a client that does not
+//!   answer within the recall timeout is waited out to its lease expiry
+//!   and then **fenced** — its token dies with the grant, so a late
+//!   writeback is rejected instead of clobbering newer data.
+//! * Grants, recalls and renewals are stamped by a hybrid logical
+//!   clock ([`HlcClock`]), so races under lossy delivery resolve the
+//!   same way on every node that ever learns of both stamps.
+//! * Lease state is *soft*: a server crash wipes the table and bumps the
+//!   **epoch**. Clients reconstruct the grant set by reattaching their
+//!   old grants during a bounded reattach window; conflicting write
+//!   reattach claims are resolved by HLC order (latest stamp wins).
+
+use crate::attrs::FileId;
+use rhodos_buf::BlockBuf;
+use rhodos_simdisk::{HlcClock, HlcStamp, SimClock};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What a lease delegates to the holder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LeaseMode {
+    /// Shared: serve reads from the local cache without RPCs.
+    Read,
+    /// Exclusive: additionally buffer delayed writes locally.
+    Write,
+}
+
+/// Identifies one grant; presented back by the client on writeback,
+/// renew and release. A token from a dead epoch — or whose grant was
+/// fenced — validates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LeaseToken {
+    /// The client (station) the lease was granted to.
+    pub client: u64,
+    /// The file it covers.
+    pub fid: FileId,
+    /// The server epoch the grant belongs to.
+    pub epoch: u64,
+    /// Grant sequence number, unique within the epoch.
+    pub seq: u64,
+}
+
+/// A granted lease, as returned to the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseGrant {
+    /// The token to present on writeback/renew/release/reattach.
+    pub token: LeaseToken,
+    /// What was delegated.
+    pub mode: LeaseMode,
+    /// Virtual time at which the delegation lapses unless renewed.
+    pub expiry_us: u64,
+    /// HLC stamp of the grant event.
+    pub stamp: HlcStamp,
+}
+
+/// Tunables for the lease subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseParams {
+    /// Lease term: a grant lapses this long after issue/renewal.
+    pub term_us: u64,
+    /// How long a recall waits for the holder before giving up and
+    /// waiting the holder's lease out instead.
+    pub recall_timeout_us: u64,
+    /// How long after a crash reattach claims are accepted.
+    pub reattach_window_us: u64,
+    /// HLC node id of this server's stamp lane.
+    pub node: u32,
+}
+
+impl Default for LeaseParams {
+    fn default() -> Self {
+        Self {
+            term_us: 2_000_000,
+            recall_timeout_us: 300_000,
+            reattach_window_us: 2_000_000,
+            node: 0,
+        }
+    }
+}
+
+/// Counters for the lease subsystem.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaseStats {
+    /// Leases granted (including upgrades, excluding reattaches).
+    pub granted: u64,
+    /// Leases released voluntarily by clients.
+    pub released: u64,
+    /// Recall requests issued to holders.
+    pub recalls: u64,
+    /// Recalls the holder answered in time.
+    pub recall_acks: u64,
+    /// Recalls that timed out; the holder was waited out and fenced.
+    pub recall_timeouts: u64,
+    /// Writebacks rejected because the presenting token was fenced.
+    pub fenced_writebacks: u64,
+    /// Lease term renewals.
+    pub renewals: u64,
+    /// Grants reconstructed from client reattach after a crash.
+    pub reattaches: u64,
+    /// Reattach claims rejected (window closed, stale epoch, or lost
+    /// an HLC race against a competing claim).
+    pub reattach_rejected: u64,
+    /// Current server epoch (bumped by every crash).
+    pub epoch: u64,
+}
+
+/// One entry in the coherence event log — drained by tests to check
+/// that the lease protocol's view of history matches the model's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseEvent {
+    /// A lease was granted (or upgraded in place).
+    Granted {
+        /// Holder.
+        client: u64,
+        /// File covered.
+        fid: FileId,
+        /// Delegation mode.
+        mode: LeaseMode,
+        /// Grant sequence number.
+        seq: u64,
+        /// HLC stamp of the grant.
+        stamp: HlcStamp,
+    },
+    /// A lease was recalled and the holder acknowledged in time.
+    Recalled {
+        /// Former holder.
+        client: u64,
+        /// File covered.
+        fid: FileId,
+        /// Grant sequence number recalled.
+        seq: u64,
+        /// HLC stamp of the recall completion.
+        stamp: HlcStamp,
+    },
+    /// A recall timed out; the holder was waited out and fenced.
+    Fenced {
+        /// Fenced holder.
+        client: u64,
+        /// File covered.
+        fid: FileId,
+        /// Grant sequence number fenced.
+        seq: u64,
+        /// HLC stamp of the fencing decision.
+        stamp: HlcStamp,
+    },
+    /// A grant was reconstructed from a client's reattach claim.
+    Reattached {
+        /// Holder.
+        client: u64,
+        /// File covered.
+        fid: FileId,
+        /// Delegation mode.
+        mode: LeaseMode,
+        /// New grant sequence number.
+        seq: u64,
+        /// HLC stamp of the reattach.
+        stamp: HlcStamp,
+    },
+    /// A lease was released voluntarily.
+    Released {
+        /// Former holder.
+        client: u64,
+        /// File covered.
+        fid: FileId,
+        /// Grant sequence number released.
+        seq: u64,
+    },
+}
+
+/// What a recalled holder hands back: its buffered delayed writes (whole
+/// logical blocks), the file size its delegation grew the file to, and
+/// its HLC stamp of the surrender.
+#[derive(Debug, Clone)]
+pub struct RecallAck {
+    /// Dirty whole blocks `(logical index, data)` buffered under the
+    /// write delegation. Empty for read leases.
+    pub dirty: Vec<(u64, BlockBuf)>,
+    /// File size as the holder last knew it (delegated extends).
+    pub size: u64,
+    /// The holder's HLC stamp of the surrender.
+    pub stamp: HlcStamp,
+}
+
+/// A recall endpoint: how the server reaches one client station.
+///
+/// Implementations perform the (simulated, lossy) network exchange and
+/// return `None` when the holder cannot be reached within the bounded
+/// recall timeout — the server then waits the lease out and fences it.
+pub trait RecallTarget: Send {
+    /// The client id this endpoint serves.
+    fn client_id(&self) -> u64;
+    /// Asks the holder to surrender its grant `seq` on `fid`.
+    fn recall(&mut self, fid: FileId, seq: u64, stamp: HlcStamp) -> Option<RecallAck>;
+}
+
+/// Registered recall endpoints. Lives outside the lease table because
+/// endpoints are wiring, not lease state: they survive a server crash
+/// (clients reattach over the same channels).
+#[derive(Default)]
+pub struct RecallRegistry {
+    targets: Vec<Box<dyn RecallTarget>>,
+}
+
+impl fmt::Debug for RecallRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecallRegistry")
+            .field("targets", &self.targets.len())
+            .finish()
+    }
+}
+
+impl RecallRegistry {
+    /// Registers an endpoint (replacing any previous one for the client).
+    pub fn attach(&mut self, target: Box<dyn RecallTarget>) {
+        let id = target.client_id();
+        self.targets.retain(|t| t.client_id() != id);
+        self.targets.push(target);
+    }
+
+    /// The endpoint for `client`, if registered.
+    pub fn get_mut(&mut self, client: u64) -> Option<&mut (dyn RecallTarget + '_)> {
+        self.targets
+            .iter_mut()
+            .find(|t| t.client_id() == client)
+            .map(|t| &mut **t as &mut dyn RecallTarget)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GrantEntry {
+    client: u64,
+    seq: u64,
+    mode: LeaseMode,
+    expiry_us: u64,
+    stamp: HlcStamp,
+}
+
+/// A grant that must be surrendered before a new acquire can proceed.
+#[derive(Debug, Clone, Copy)]
+pub struct PendingRecall {
+    /// The holder to recall from.
+    pub client: u64,
+    /// Grant sequence number to recall.
+    pub seq: u64,
+    /// Lease expiry, the fencing deadline if the holder is silent.
+    pub expiry_us: u64,
+}
+
+/// The server-side lease table. Owned by the file service; all methods
+/// take the current virtual time so expiry is deterministic.
+#[derive(Debug)]
+pub struct LeaseManager {
+    params: LeaseParams,
+    hlc: HlcClock,
+    epoch: u64,
+    next_seq: u64,
+    grants: HashMap<FileId, Vec<GrantEntry>>,
+    reattach_until: u64,
+    stats: LeaseStats,
+    events: Vec<LeaseEvent>,
+}
+
+impl LeaseManager {
+    /// Creates an empty lease table stamping with `params.node`.
+    pub fn new(clock: SimClock, params: LeaseParams) -> Self {
+        Self {
+            hlc: HlcClock::new(clock, params.node),
+            params,
+            epoch: 0,
+            next_seq: 0,
+            grants: HashMap::new(),
+            reattach_until: 0,
+            stats: LeaseStats {
+                epoch: 0,
+                ..Default::default()
+            },
+            events: Vec::new(),
+        }
+    }
+
+    /// The tunables in force.
+    pub fn params(&self) -> LeaseParams {
+        self.params
+    }
+
+    /// Replaces the tunables (tests shorten terms and windows).
+    pub fn set_params(&mut self, params: LeaseParams) {
+        self.params = params;
+    }
+
+    /// Current server epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LeaseStats {
+        self.stats
+    }
+
+    /// Drains the coherence event log.
+    pub fn drain_events(&mut self) -> Vec<LeaseEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Stamps and merges an incoming client stamp into the server lane.
+    pub fn observe(&mut self, remote: HlcStamp) -> HlcStamp {
+        self.hlc.observe(remote)
+    }
+
+    /// Stamps a local server event (e.g. an outgoing recall request).
+    pub fn stamp(&mut self) -> HlcStamp {
+        self.hlc.tick()
+    }
+
+    /// The grants currently outstanding, as `(client, mode, seq)` per
+    /// file — the set a crash forgets and reattach must reconstruct.
+    pub fn grant_set(&self) -> Vec<(FileId, u64, LeaseMode, u64)> {
+        let mut out: Vec<_> = self
+            .grants
+            .iter()
+            .flat_map(|(fid, v)| v.iter().map(|g| (*fid, g.client, g.mode, g.seq)))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Drops grants that lapsed before `now` (holders that neither
+    /// renewed nor answered; their tokens die with the entries).
+    fn purge_expired(&mut self, now: u64) {
+        let events = &mut self.events;
+        let stats = &mut self.stats;
+        let hlc = &mut self.hlc;
+        for (fid, entries) in self.grants.iter_mut() {
+            entries.retain(|g| {
+                if g.expiry_us > now {
+                    return true;
+                }
+                stats.recall_timeouts += 1;
+                events.push(LeaseEvent::Fenced {
+                    client: g.client,
+                    fid: *fid,
+                    seq: g.seq,
+                    stamp: hlc.tick(),
+                });
+                false
+            });
+        }
+        self.grants.retain(|_, v| !v.is_empty());
+    }
+
+    /// Attempts to acquire `mode` on `fid` for `client`. Returns either
+    /// the grant or the list of conflicting grants the caller must
+    /// recall (or wait out) first, in grant order.
+    pub fn try_acquire(
+        &mut self,
+        now: u64,
+        client: u64,
+        fid: FileId,
+        mode: LeaseMode,
+    ) -> Result<LeaseGrant, Vec<PendingRecall>> {
+        self.purge_expired(now);
+        let entries = self.grants.entry(fid).or_default();
+        let conflicts: Vec<PendingRecall> = entries
+            .iter()
+            .filter(|g| {
+                g.client != client && (mode == LeaseMode::Write || g.mode == LeaseMode::Write)
+            })
+            .map(|g| PendingRecall {
+                client: g.client,
+                seq: g.seq,
+                expiry_us: g.expiry_us,
+            })
+            .collect();
+        if !conflicts.is_empty() {
+            return Err(conflicts);
+        }
+        // No cross-client conflict: grant (upgrading any same-client
+        // entry in place — its old token keeps validating nothing).
+        entries.retain(|g| g.client != client);
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        let stamp = self.hlc.tick();
+        let expiry_us = now + self.params.term_us;
+        entries.push(GrantEntry {
+            client,
+            seq,
+            mode,
+            expiry_us,
+            stamp,
+        });
+        self.stats.granted += 1;
+        self.events.push(LeaseEvent::Granted {
+            client,
+            fid,
+            mode,
+            seq,
+            stamp,
+        });
+        Ok(LeaseGrant {
+            token: LeaseToken {
+                client,
+                fid,
+                epoch: self.epoch,
+                seq,
+            },
+            mode,
+            expiry_us,
+            stamp,
+        })
+    }
+
+    /// Whether `token` still names a live grant at `now` (and, when
+    /// `for_write`, a write grant).
+    pub fn validate(&mut self, token: &LeaseToken, now: u64, for_write: bool) -> bool {
+        self.purge_expired(now);
+        token.epoch == self.epoch
+            && self.grants.get(&token.fid).is_some_and(|entries| {
+                entries.iter().any(|g| {
+                    g.client == token.client
+                        && g.seq == token.seq
+                        && (!for_write || g.mode == LeaseMode::Write)
+                })
+            })
+    }
+
+    /// Counts a writeback rejected on a dead token.
+    pub fn note_fenced_writeback(&mut self) {
+        self.stats.fenced_writebacks += 1;
+    }
+
+    /// Removes the grant a recall target acknowledged surrendering.
+    pub fn complete_recall(&mut self, fid: FileId, client: u64, seq: u64, remote: HlcStamp) {
+        let stamp = self.hlc.observe(remote);
+        if let Some(entries) = self.grants.get_mut(&fid) {
+            entries.retain(|g| !(g.client == client && g.seq == seq));
+        }
+        self.stats.recall_acks += 1;
+        self.events.push(LeaseEvent::Recalled {
+            client,
+            fid,
+            seq,
+            stamp,
+        });
+    }
+
+    /// Fences a grant whose holder did not answer the recall: the entry
+    /// is dropped once its expiry has passed, killing the token.
+    pub fn fence(&mut self, fid: FileId, client: u64, seq: u64) {
+        if let Some(entries) = self.grants.get_mut(&fid) {
+            entries.retain(|g| !(g.client == client && g.seq == seq));
+        }
+        self.stats.recall_timeouts += 1;
+        let stamp = self.hlc.tick();
+        self.events.push(LeaseEvent::Fenced {
+            client,
+            fid,
+            seq,
+            stamp,
+        });
+    }
+
+    /// Counts a recall request issued.
+    pub fn note_recall(&mut self) {
+        self.stats.recalls += 1;
+    }
+
+    /// Extends a live grant by one lease term.
+    ///
+    /// Returns the new expiry, or `None` if the token is dead (the
+    /// client must re-acquire).
+    pub fn renew(&mut self, token: &LeaseToken, now: u64) -> Option<(u64, HlcStamp)> {
+        if !self.validate(token, now, false) {
+            return None;
+        }
+        let expiry_us = now + self.params.term_us;
+        let entries = self.grants.get_mut(&token.fid).expect("validated");
+        let g = entries
+            .iter_mut()
+            .find(|g| g.client == token.client && g.seq == token.seq)
+            .expect("validated");
+        g.expiry_us = expiry_us;
+        self.stats.renewals += 1;
+        Some((expiry_us, self.hlc.tick()))
+    }
+
+    /// Releases a grant. Idempotent: releasing a dead token is a no-op.
+    pub fn release(&mut self, token: &LeaseToken) {
+        if token.epoch != self.epoch {
+            return;
+        }
+        if let Some(entries) = self.grants.get_mut(&token.fid) {
+            let before = entries.len();
+            entries.retain(|g| !(g.client == token.client && g.seq == token.seq));
+            if entries.len() < before {
+                self.stats.released += 1;
+                self.events.push(LeaseEvent::Released {
+                    client: token.client,
+                    fid: token.fid,
+                    seq: token.seq,
+                });
+            }
+        }
+    }
+
+    /// A server crash: every grant is forgotten, the epoch is bumped and
+    /// a reattach window opens at `now`.
+    pub fn server_crashed(&mut self, now: u64) {
+        self.grants.clear();
+        self.epoch += 1;
+        self.stats.epoch = self.epoch;
+        self.reattach_until = now + self.params.reattach_window_us;
+    }
+
+    /// End of the current reattach window (virtual us).
+    pub fn reattach_until(&self) -> u64 {
+        self.reattach_until
+    }
+
+    /// A client re-presents a grant from the previous epoch so the
+    /// rebooted server can reconstruct its lease table.
+    ///
+    /// Accepted iff the claim is from exactly the previous epoch and the
+    /// window is still open. Competing *write* claims on the same file
+    /// (two clients both believe they held the write lease — possible
+    /// when a recall exchange raced the crash) resolve by HLC order:
+    /// the latest grant stamp wins, the earlier claim is rejected.
+    pub fn reattach(
+        &mut self,
+        now: u64,
+        token: &LeaseToken,
+        mode: LeaseMode,
+        grant_stamp: HlcStamp,
+    ) -> Option<LeaseGrant> {
+        if token.epoch + 1 != self.epoch || now > self.reattach_until {
+            self.stats.reattach_rejected += 1;
+            return None;
+        }
+        let entries = self.grants.entry(token.fid).or_default();
+        if mode == LeaseMode::Write || entries.iter().any(|g| g.mode == LeaseMode::Write) {
+            // Cross-client conflict: keep whichever claim carries the
+            // later HLC grant stamp.
+            if let Some(rival) = entries.iter().position(|g| {
+                g.client != token.client && (mode == LeaseMode::Write || g.mode == LeaseMode::Write)
+            }) {
+                if entries[rival].stamp > grant_stamp {
+                    self.stats.reattach_rejected += 1;
+                    return None;
+                }
+                let loser = entries.remove(rival);
+                self.stats.reattach_rejected += 1;
+                let stamp = self.hlc.tick();
+                self.events.push(LeaseEvent::Fenced {
+                    client: loser.client,
+                    fid: token.fid,
+                    seq: loser.seq,
+                    stamp,
+                });
+            }
+        }
+        entries.retain(|g| g.client != token.client);
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        // The entry keeps the claim's *original* grant stamp — that is
+        // what competing claims are racing on; the merged stamp only
+        // advances the server lane.
+        let merged = self.hlc.observe(grant_stamp);
+        let expiry_us = now + self.params.term_us;
+        entries.push(GrantEntry {
+            client: token.client,
+            seq,
+            mode,
+            expiry_us,
+            stamp: grant_stamp,
+        });
+        self.stats.reattaches += 1;
+        self.events.push(LeaseEvent::Reattached {
+            client: token.client,
+            fid: token.fid,
+            mode,
+            seq,
+            stamp: merged,
+        });
+        Some(LeaseGrant {
+            token: LeaseToken {
+                client: token.client,
+                fid: token.fid,
+                epoch: self.epoch,
+                seq,
+            },
+            mode,
+            expiry_us,
+            stamp: grant_stamp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> (SimClock, LeaseManager) {
+        let clock = SimClock::new();
+        let m = LeaseManager::new(clock.clone(), LeaseParams::default());
+        (clock, m)
+    }
+
+    #[test]
+    fn read_leases_are_shared_write_is_exclusive() {
+        let (clock, mut m) = mgr();
+        let now = clock.now_us();
+        let f = FileId(1);
+        m.try_acquire(now, 1, f, LeaseMode::Read).unwrap();
+        m.try_acquire(now, 2, f, LeaseMode::Read).unwrap();
+        let conflicts = m.try_acquire(now, 3, f, LeaseMode::Write).unwrap_err();
+        assert_eq!(conflicts.len(), 2);
+        let conflicts = m.try_acquire(now, 3, f, LeaseMode::Write).unwrap_err();
+        for c in conflicts {
+            m.fence(f, c.client, c.seq);
+        }
+        m.try_acquire(now, 3, f, LeaseMode::Write).unwrap();
+        // Reads now conflict with the write holder.
+        assert!(m.try_acquire(now, 1, f, LeaseMode::Read).is_err());
+    }
+
+    #[test]
+    fn same_client_upgrade_needs_no_recall() {
+        let (clock, mut m) = mgr();
+        let f = FileId(1);
+        let g1 = m
+            .try_acquire(clock.now_us(), 1, f, LeaseMode::Read)
+            .unwrap();
+        let g2 = m
+            .try_acquire(clock.now_us(), 1, f, LeaseMode::Write)
+            .unwrap();
+        assert_eq!(g2.mode, LeaseMode::Write);
+        // The superseded token is dead.
+        assert!(!m.validate(&g1.token, clock.now_us(), false));
+        assert!(m.validate(&g2.token, clock.now_us(), true));
+    }
+
+    #[test]
+    fn expiry_kills_the_token() {
+        let (clock, mut m) = mgr();
+        let f = FileId(7);
+        let g = m
+            .try_acquire(clock.now_us(), 1, f, LeaseMode::Write)
+            .unwrap();
+        clock.advance_to(g.expiry_us);
+        assert!(!m.validate(&g.token, clock.now_us(), true));
+        assert_eq!(m.stats().recall_timeouts, 1);
+    }
+
+    #[test]
+    fn renewal_extends_the_term() {
+        let (clock, mut m) = mgr();
+        let f = FileId(7);
+        let g = m
+            .try_acquire(clock.now_us(), 1, f, LeaseMode::Read)
+            .unwrap();
+        clock.advance(m.params().term_us / 2);
+        let (new_expiry, _) = m.renew(&g.token, clock.now_us()).unwrap();
+        assert!(new_expiry > g.expiry_us);
+        clock.advance_to(g.expiry_us + 1);
+        assert!(m.validate(&g.token, clock.now_us(), false));
+    }
+
+    #[test]
+    fn crash_bumps_epoch_and_reattach_reconstructs() {
+        let (clock, mut m) = mgr();
+        let f = FileId(3);
+        let g = m
+            .try_acquire(clock.now_us(), 1, f, LeaseMode::Write)
+            .unwrap();
+        let before = m.grant_set();
+        m.server_crashed(clock.now_us());
+        assert!(m.grant_set().is_empty());
+        assert!(!m.validate(&g.token, clock.now_us(), true));
+        let g2 = m
+            .reattach(clock.now_us(), &g.token, g.mode, g.stamp)
+            .expect("inside window, previous epoch");
+        assert_eq!(g2.token.epoch, 1);
+        let after = m.grant_set();
+        assert_eq!(
+            before
+                .iter()
+                .map(|(f, c, m, _)| (*f, *c, *m))
+                .collect::<Vec<_>>(),
+            after
+                .iter()
+                .map(|(f, c, m, _)| (*f, *c, *m))
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn reattach_outside_window_or_wrong_epoch_rejected() {
+        let (clock, mut m) = mgr();
+        let f = FileId(3);
+        let g = m
+            .try_acquire(clock.now_us(), 1, f, LeaseMode::Read)
+            .unwrap();
+        m.server_crashed(clock.now_us());
+        m.server_crashed(clock.now_us()); // two crashes: token now two epochs old
+        assert!(m
+            .reattach(clock.now_us(), &g.token, g.mode, g.stamp)
+            .is_none());
+        let g2 = m
+            .try_acquire(clock.now_us(), 1, f, LeaseMode::Read)
+            .unwrap();
+        m.server_crashed(clock.now_us());
+        clock.advance(m.params().reattach_window_us + 1);
+        assert!(m
+            .reattach(clock.now_us(), &g2.token, g2.mode, g2.stamp)
+            .is_none());
+        assert_eq!(m.stats().reattach_rejected, 2);
+    }
+
+    #[test]
+    fn competing_write_reattach_resolves_by_hlc() {
+        let (clock, mut m) = mgr();
+        let f = FileId(3);
+        let early = m
+            .try_acquire(clock.now_us(), 1, f, LeaseMode::Write)
+            .unwrap();
+        // Client 2 acquired later (after a recall the crash erased).
+        clock.advance(10);
+        let late = m
+            .try_acquire(clock.now_us(), 2, f, LeaseMode::Write)
+            .unwrap_err();
+        m.fence(f, late[0].client, late[0].seq);
+        let late = m
+            .try_acquire(clock.now_us(), 2, f, LeaseMode::Write)
+            .unwrap();
+        assert!(late.stamp > early.stamp);
+        m.server_crashed(clock.now_us());
+        // The stale claim lands first; the later claim still wins.
+        m.reattach(clock.now_us(), &early.token, early.mode, early.stamp)
+            .expect("provisionally accepted");
+        let winner = m
+            .reattach(clock.now_us(), &late.token, late.mode, late.stamp)
+            .expect("later HLC stamp wins");
+        assert_eq!(winner.token.client, 2);
+        let set = m.grant_set();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set[0].1, 2);
+    }
+
+    #[test]
+    fn competing_write_reattach_rejects_stale_latecomer_too() {
+        let (clock, mut m) = mgr();
+        let f = FileId(3);
+        let early = m
+            .try_acquire(clock.now_us(), 1, f, LeaseMode::Write)
+            .unwrap();
+        clock.advance(10);
+        let pending = m
+            .try_acquire(clock.now_us(), 2, f, LeaseMode::Write)
+            .unwrap_err();
+        m.fence(f, pending[0].client, pending[0].seq);
+        let late = m
+            .try_acquire(clock.now_us(), 2, f, LeaseMode::Write)
+            .unwrap();
+        m.server_crashed(clock.now_us());
+        // Reversed arrival order: the later-stamped claim lands first and
+        // the stale claim is rejected outright.
+        m.reattach(clock.now_us(), &late.token, late.mode, late.stamp)
+            .expect("later claim accepted");
+        assert!(m
+            .reattach(clock.now_us(), &early.token, early.mode, early.stamp)
+            .is_none());
+        assert_eq!(m.grant_set()[0].1, 2);
+    }
+}

@@ -56,6 +56,7 @@ mod cache;
 mod error;
 mod fit;
 mod fsck;
+mod lease;
 mod scrub;
 mod service;
 mod stripe;
@@ -68,6 +69,10 @@ pub use fit::{
     MAX_INDIRECT_TABLES,
 };
 pub use fsck::{FsckIssue, FsckRepairAction, FsckRepairReport, FsckReport};
+pub use lease::{
+    LeaseEvent, LeaseGrant, LeaseManager, LeaseMode, LeaseParams, LeaseStats, LeaseToken,
+    PendingRecall, RecallAck, RecallRegistry, RecallTarget,
+};
 pub use scrub::{ScrubFinding, ScrubOwner, ScrubReport, ScrubStats};
 pub use service::{FileService, FileServiceConfig, FileServiceStats, ParallelIo};
 pub use stripe::StripePolicy;

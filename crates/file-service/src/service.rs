@@ -11,6 +11,10 @@ use crate::attrs::{FileAttributes, FileId, LockLevel, ServiceType};
 use crate::cache::{BlockPool, CacheStats, ShardedBlockCache, WritePolicy};
 use crate::error::FileServiceError;
 use crate::fit::{BlockDescriptor, FileIndexTable};
+use crate::lease::{
+    LeaseGrant, LeaseManager, LeaseMode, LeaseParams, LeaseToken, RecallAck, RecallRegistry,
+    RecallTarget,
+};
 use crate::scrub::{ScrubFinding, ScrubOwner, ScrubReport, ScrubStats};
 use crate::stripe::StripePolicy;
 use parking_lot::Mutex;
@@ -56,6 +60,9 @@ pub struct FileServiceConfig {
     /// How striped windows and coalesced flushes reach the spindles (see
     /// [`ParallelIo`]).
     pub parallel_io: ParallelIo,
+    /// Lease terms, recall timeout and reattach window for client cache
+    /// delegations (see [`crate::lease`]).
+    pub lease: LeaseParams,
 }
 
 /// How striped windows and coalesced flushes are issued to the per-spindle
@@ -90,6 +97,7 @@ impl Default for FileServiceConfig {
             fit_adjacent_first_block: true,
             fit_pool_entries: 256,
             parallel_io: ParallelIo::Auto,
+            lease: LeaseParams::default(),
         }
     }
 }
@@ -157,6 +165,10 @@ pub struct FileService {
     scrub_cursors: Vec<FragmentAddr>,
     /// Cumulative scrub counters across every pass.
     scrub_stats: ScrubStats,
+    /// Soft lease state: grants, epoch, HLC lane (lost on crash).
+    lease: LeaseManager,
+    /// Recall endpoints to client stations (wiring, survives crashes).
+    recall_targets: RecallRegistry,
     /// Resolved once at format time: whether batches fan out on scoped
     /// worker threads ([`ParallelIo::Always`], or [`ParallelIo::Auto`] on
     /// a multi-CPU host) or are issued back-to-back on the caller's
@@ -193,6 +205,7 @@ impl FileService {
             ParallelIo::Auto => std::thread::available_parallelism().is_ok_and(|n| n.get() > 1),
         };
         let ndisks = disks.len();
+        let lease = LeaseManager::new(clock.clone(), config.lease);
         let mut svc = Self {
             disks,
             clock,
@@ -208,6 +221,8 @@ impl FileService {
             fit_hits: 0,
             scrub_cursors: vec![0; ndisks],
             scrub_stats: ScrubStats::default(),
+            lease,
+            recall_targets: RecallRegistry::default(),
             fan_out,
         };
         svc.persist_directory()?;
@@ -724,18 +739,25 @@ impl FileService {
         let data = self.disks[disk_no].get_mut().get(run)?;
         let nblocks = data.len() / BLOCK_SIZE;
         let wanted = data.slice(0..BLOCK_SIZE.min(data.len()));
-        for j in 0..nblocks {
-            let logical = idx + j as u64;
-            if let Some(cache) = &mut self.cache {
-                // Never clobber a resident block: it may hold newer
-                // delayed-write data than the platter.
-                if !cache.contains(&(fid, logical)) {
+        let mut evicted = Vec::new();
+        if let Some(cache) = &mut self.cache {
+            // Residency is decided once, at transfer time: an insert below
+            // can evict a still-dirty neighbour of this same run (whose
+            // write-back makes the platter newer than this transfer), and
+            // re-checking at insert time would then re-admit the stale
+            // pre-eviction bytes as clean.
+            let absent: Vec<bool> = (0..nblocks)
+                .map(|j| !cache.contains(&(fid, idx + j as u64)))
+                .collect();
+            for (j, absent) in absent.into_iter().enumerate() {
+                if absent {
                     let view = data.slice(j * BLOCK_SIZE..(j + 1) * BLOCK_SIZE);
-                    for (k, v) in cache.insert((fid, logical), view, false) {
-                        self.write_back(k, v)?;
-                    }
+                    evicted.extend(cache.insert((fid, idx + j as u64), view, false));
                 }
             }
+        }
+        for (k, v) in evicted {
+            self.write_back(k, v)?;
         }
         Ok(wanted)
     }
@@ -1529,6 +1551,219 @@ impl FileService {
         Ok((old.disk, old.addr))
     }
 
+    // ---- leases ---------------------------------------------------------
+
+    /// The server-side lease table (stats, epoch, event log).
+    pub fn lease_manager(&self) -> &LeaseManager {
+        &self.lease
+    }
+
+    /// Mutable lease table access (tests drain events, tune params).
+    pub fn lease_manager_mut(&mut self) -> &mut LeaseManager {
+        &mut self.lease
+    }
+
+    /// Registers the recall endpoint for a client station (replacing any
+    /// previous endpoint for the same client id). Endpoints are wiring,
+    /// not lease state: they survive a simulated crash.
+    pub fn lease_attach(&mut self, target: Box<dyn RecallTarget>) {
+        self.recall_targets.attach(target);
+    }
+
+    /// Grants `client` a lease on `fid`, first recalling every
+    /// conflicting holder — waiting silent holders out to their lease
+    /// expiry and fencing them. Recalled delayed writes are applied and
+    /// flushed before the new grant is issued, so the grantee always
+    /// starts from the latest durable bytes. Returns the grant plus the
+    /// file's current size (delegated extends may have grown it since
+    /// the grantee's `open`).
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::NotFound`] if the file does not exist; disk
+    /// errors applying recalled writebacks.
+    pub fn lease_acquire(
+        &mut self,
+        client: u64,
+        fid: FileId,
+        mode: LeaseMode,
+    ) -> Result<(LeaseGrant, u64), FileServiceError> {
+        let (grant, acks) = self.lease_acquire_raw(client, fid, mode)?;
+        for ack in acks {
+            self.lease_apply_recalled(fid, ack)?;
+        }
+        self.load_fit(fid)?;
+        let size = self.fit(fid).fit.attrs.size;
+        Ok((grant, size))
+    }
+
+    /// The recall half of [`Self::lease_acquire`]: performs the recall
+    /// exchanges and fencing and issues the grant, but hands the
+    /// surrendered writebacks to the caller *unapplied*. The transaction
+    /// service uses this to flush recalled delegated writes through its
+    /// group-commit pipeline instead; everyone else should call
+    /// [`Self::lease_acquire`]. The caller must apply every returned ack
+    /// (see [`Self::lease_apply_recalled`]) before using the grant.
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::NotFound`] if the file does not exist.
+    pub fn lease_acquire_raw(
+        &mut self,
+        client: u64,
+        fid: FileId,
+        mode: LeaseMode,
+    ) -> Result<(LeaseGrant, Vec<RecallAck>), FileServiceError> {
+        self.load_fit(fid)?;
+        // Post-crash grace period: new grants wait out the reattach
+        // window. With the window at least one term long, every
+        // pre-crash lease the rebooted server no longer remembers has
+        // expired by the time a fresh grant is issued, so no forgotten
+        // holder can still be serving cached bytes.
+        if self.clock.now_us() < self.lease.reattach_until() {
+            self.clock.advance_to(self.lease.reattach_until());
+        }
+        let mut acks = Vec::new();
+        loop {
+            let now = self.clock.now_us();
+            match self.lease.try_acquire(now, client, fid, mode) {
+                Ok(grant) => return Ok((grant, acks)),
+                Err(conflicts) => {
+                    for c in conflicts {
+                        if let Some(ack) = self.lease_recall_one(fid, c) {
+                            acks.push(ack);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recalls one conflicting grant: asks the holder over its endpoint,
+    /// applies a surrendered holder's delayed writes, or — if the holder
+    /// is silent past the bounded recall timeout — waits its lease out
+    /// and fences it.
+    fn lease_recall_one(
+        &mut self,
+        fid: FileId,
+        pending: crate::lease::PendingRecall,
+    ) -> Option<RecallAck> {
+        self.lease.note_recall();
+        let stamp = self.lease.stamp();
+        // The registry is taken out for the duration of the exchange so
+        // the endpoint can be called while `self` stays borrowable.
+        let mut registry = std::mem::take(&mut self.recall_targets);
+        let ack = registry
+            .get_mut(pending.client)
+            .and_then(|t| t.recall(fid, pending.seq, stamp));
+        self.recall_targets = registry;
+        match ack {
+            Some(ack) => {
+                self.lease
+                    .complete_recall(fid, pending.client, pending.seq, ack.stamp);
+                Some(ack)
+            }
+            None => {
+                // Bounded recall timeout, then wait the lease out: past
+                // its expiry the holder's token validates nothing.
+                self.clock.advance(self.lease.params().recall_timeout_us);
+                self.clock.advance_to(pending.expiry_us);
+                self.lease.fence(fid, pending.client, pending.seq);
+                None
+            }
+        }
+    }
+
+    /// Applies a recalled holder's buffered delayed writes and flushes
+    /// them to the platter, so a crash immediately after the recall
+    /// cannot lose what the holder surrendered.
+    ///
+    /// # Errors
+    ///
+    /// Disk failures applying the writes.
+    pub fn lease_apply_recalled(
+        &mut self,
+        fid: FileId,
+        ack: RecallAck,
+    ) -> Result<(), FileServiceError> {
+        let RecallAck { dirty, size, .. } = ack;
+        if dirty.is_empty() {
+            return Ok(());
+        }
+        for (idx, block) in dirty {
+            let start = idx * BLOCK_SIZE as u64;
+            let len = (BLOCK_SIZE as u64).min(size.saturating_sub(start)) as usize;
+            if len == 0 {
+                continue;
+            }
+            self.write(fid, start, block.slice(0..len))?;
+        }
+        self.flush_file(fid)
+    }
+
+    /// A delegated writeback: like [`Self::write`], but gated on a live
+    /// write-lease token.
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::LeaseFenced`] if the token is dead — the
+    /// lease expired unanswered, was superseded, or belongs to a
+    /// pre-crash epoch. The write is *not* applied.
+    pub fn write_leased(
+        &mut self,
+        fid: FileId,
+        offset: u64,
+        data: impl Into<BlockBuf>,
+        token: &LeaseToken,
+    ) -> Result<(), FileServiceError> {
+        let now = self.clock.now_us();
+        if !self.lease.validate(token, now, true) {
+            self.lease.note_fenced_writeback();
+            return Err(FileServiceError::LeaseFenced(fid));
+        }
+        self.write(fid, offset, data)
+    }
+
+    /// Extends a live lease by one term.
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::LeaseRejected`] if the token is dead; the
+    /// client must re-acquire.
+    pub fn lease_renew(
+        &mut self,
+        token: &LeaseToken,
+    ) -> Result<(u64, rhodos_simdisk::HlcStamp), FileServiceError> {
+        let now = self.clock.now_us();
+        self.lease
+            .renew(token, now)
+            .ok_or(FileServiceError::LeaseRejected(token.fid))
+    }
+
+    /// Releases a lease voluntarily (idempotent).
+    pub fn lease_release(&mut self, token: &LeaseToken) {
+        self.lease.release(token);
+    }
+
+    /// Reconstructs a grant from a client's reattach claim after a
+    /// crash (see [`LeaseManager::reattach`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::LeaseRejected`] if the window has closed, the
+    /// claim's epoch is stale, or it lost an HLC race to a competitor.
+    pub fn lease_reattach(
+        &mut self,
+        token: &LeaseToken,
+        mode: LeaseMode,
+        grant_stamp: rhodos_simdisk::HlcStamp,
+    ) -> Result<LeaseGrant, FileServiceError> {
+        let now = self.clock.now_us();
+        self.lease
+            .reattach(now, token, mode, grant_stamp)
+            .ok_or(FileServiceError::LeaseRejected(token.fid))
+    }
+
     // ---- crash and recovery ---------------------------------------------
 
     /// Drops every cached file index table and cached block (losing
@@ -1586,6 +1821,9 @@ impl FileService {
         self.directory.clear();
         self.system_fid = None;
         self.next_fid = 0;
+        // Lease soft state dies with the server: epoch bump, reattach
+        // window opens. Recall endpoints (wiring) survive.
+        self.lease.server_crashed(self.clock.now_us());
     }
 
     /// Recovers after [`Self::simulate_crash`] (or injected disk faults):
@@ -1923,6 +2161,45 @@ mod tests {
         let fid = fs.create(ServiceType::Basic).unwrap();
         fs.open(fid).unwrap();
         fid
+    }
+
+    /// A run fetch must not resurrect stale platter bytes over a dirty
+    /// neighbour it evicted mid-insert. With a one-block pool: write two
+    /// contiguous blocks delayed (block 1 ends up dirty-resident, its
+    /// platter copy stale), then demand-miss block 0 — the run transfer
+    /// carries block 1's stale bytes, and inserting block 0 evicts dirty
+    /// block 1. The follow-up read of block 1 must see the written data,
+    /// not the pre-write-back transfer view.
+    #[test]
+    fn run_fetch_does_not_resurrect_stale_bytes_over_evicted_dirty_neighbour() {
+        let mut f = FileService::single_disk(
+            DiskGeometry::medium(),
+            LatencyModel::default(),
+            SimClock::new(),
+            FileServiceConfig {
+                cache_blocks: 1,
+                cache_shards: 1,
+                write_policy: WritePolicy::DelayedWrite,
+                ..FileServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let fid = create_open(&mut f);
+        let mut data = vec![0x11u8; BLOCK_SIZE];
+        data.extend_from_slice(&vec![0x22u8; BLOCK_SIZE]);
+        f.write(fid, 0, data).unwrap();
+        // Block 1 is the dirty resident; overwrite it so the platter copy
+        // (if any) is definitely stale.
+        f.write(fid, BLOCK_SIZE as u64, vec![0x33u8; BLOCK_SIZE])
+            .unwrap();
+        // Demand-miss block 0: fetches the whole contiguous run and evicts
+        // dirty block 1 while caching it.
+        assert_eq!(f.read(fid, 0, 1).unwrap(), vec![0x11]);
+        assert_eq!(
+            f.read(fid, BLOCK_SIZE as u64, BLOCK_SIZE).unwrap(),
+            vec![0x33u8; BLOCK_SIZE],
+            "evicted dirty block must not be shadowed by the stale run view"
+        );
     }
 
     #[test]

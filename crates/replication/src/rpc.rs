@@ -25,9 +25,12 @@ use crate::{
 };
 use rhodos_disk_service::codec::{Decoder, Encoder};
 use rhodos_disk_service::DiskServiceError;
-use rhodos_file_service::{FileAttributes, FileId, FileService, FileServiceError, ServiceType};
+use rhodos_file_service::{
+    FileAttributes, FileId, FileService, FileServiceError, LeaseGrant, LeaseMode, LeaseToken,
+    ServiceType,
+};
 use rhodos_net::{NetConfig, ReplayCache, RpcClient, SimNetwork};
-use rhodos_simdisk::DiskError;
+use rhodos_simdisk::{DiskError, HlcStamp};
 
 // ---- wire format ------------------------------------------------------
 
@@ -38,6 +41,11 @@ const OP_DELETE: u8 = 4;
 const OP_WRITE: u8 = 5;
 const OP_READ: u8 = 6;
 const OP_GET_ATTR: u8 = 7;
+const OP_LEASE_ACQUIRE: u8 = 8;
+const OP_LEASE_RELEASE: u8 = 9;
+const OP_LEASE_RENEW: u8 = 10;
+const OP_LEASE_REATTACH: u8 = 11;
+const OP_WRITE_LEASED: u8 = 12;
 
 const REPLY_OK: u8 = 0;
 const REPLY_ERR: u8 = 1;
@@ -66,6 +74,98 @@ fn encode_write(fid: FileId, offset: u64, data: &[u8]) -> Vec<u8> {
 fn encode_read(fid: FileId, offset: u64, len: usize) -> Vec<u8> {
     let mut e = Encoder::new();
     e.u8(OP_READ).u64(fid.0).u64(offset).u64(len as u64);
+    e.finish()
+}
+
+// ---- lease wire format -------------------------------------------------
+
+fn mode_code(mode: LeaseMode) -> u8 {
+    match mode {
+        LeaseMode::Read => 0,
+        LeaseMode::Write => 1,
+    }
+}
+
+fn decode_mode(d: &mut Decoder<'_>) -> LeaseMode {
+    match d.u8().expect("lease mode") {
+        0 => LeaseMode::Read,
+        _ => LeaseMode::Write,
+    }
+}
+
+fn encode_stamp(e: &mut Encoder, s: HlcStamp) {
+    e.u64(s.wall_us).u32(s.logical).u32(s.node);
+}
+
+fn decode_stamp(d: &mut Decoder<'_>) -> HlcStamp {
+    HlcStamp {
+        wall_us: d.u64().expect("stamp wall"),
+        logical: d.u32().expect("stamp logical"),
+        node: d.u32().expect("stamp node"),
+    }
+}
+
+fn encode_token(e: &mut Encoder, t: &LeaseToken) {
+    e.u64(t.client).u64(t.fid.0).u64(t.epoch).u64(t.seq);
+}
+
+fn decode_token(d: &mut Decoder<'_>) -> LeaseToken {
+    LeaseToken {
+        client: d.u64().expect("token client"),
+        fid: FileId(d.u64().expect("token fid")),
+        epoch: d.u64().expect("token epoch"),
+        seq: d.u64().expect("token seq"),
+    }
+}
+
+fn encode_grant(e: &mut Encoder, g: &LeaseGrant) {
+    encode_token(e, &g.token);
+    e.u8(mode_code(g.mode)).u64(g.expiry_us);
+    encode_stamp(e, g.stamp);
+}
+
+fn decode_grant(d: &mut Decoder<'_>) -> LeaseGrant {
+    let token = decode_token(d);
+    let mode = decode_mode(d);
+    let expiry_us = d.u64().expect("grant expiry");
+    let stamp = decode_stamp(d);
+    LeaseGrant {
+        token,
+        mode,
+        expiry_us,
+        stamp,
+    }
+}
+
+fn encode_lease_acquire(client: u64, fid: FileId, mode: LeaseMode) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u8(OP_LEASE_ACQUIRE)
+        .u64(client)
+        .u64(fid.0)
+        .u8(mode_code(mode));
+    e.finish()
+}
+
+fn encode_token_op(op: u8, token: &LeaseToken) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u8(op);
+    encode_token(&mut e, token);
+    e.finish()
+}
+
+fn encode_lease_reattach(token: &LeaseToken, mode: LeaseMode, stamp: HlcStamp) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u8(OP_LEASE_REATTACH);
+    encode_token(&mut e, token);
+    e.u8(mode_code(mode));
+    encode_stamp(&mut e, stamp);
+    e.finish()
+}
+
+fn encode_write_leased(fid: FileId, offset: u64, data: &[u8], token: &LeaseToken) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u8(OP_WRITE_LEASED).u64(fid.0).u64(offset).bytes(data);
+    encode_token(&mut e, token);
     e.finish()
 }
 
@@ -109,6 +209,49 @@ fn serve(fs: &mut FileService, req: &[u8]) -> Vec<u8> {
             a.encode(&mut e);
             e.finish()
         }),
+        OP_LEASE_ACQUIRE => {
+            let client = d.u64().expect("client");
+            let fid = FileId(d.u64().expect("fid"));
+            let mode = decode_mode(&mut d);
+            fs.lease_acquire(client, fid, mode).map(|(grant, size)| {
+                let mut e = Encoder::new();
+                encode_grant(&mut e, &grant);
+                e.u64(size);
+                e.finish()
+            })
+        }
+        OP_LEASE_RELEASE => {
+            let token = decode_token(&mut d);
+            fs.lease_release(&token);
+            Ok(Vec::new())
+        }
+        OP_LEASE_RENEW => {
+            let token = decode_token(&mut d);
+            fs.lease_renew(&token).map(|(expiry_us, stamp)| {
+                let mut e = Encoder::new();
+                e.u64(expiry_us);
+                encode_stamp(&mut e, stamp);
+                e.finish()
+            })
+        }
+        OP_LEASE_REATTACH => {
+            let token = decode_token(&mut d);
+            let mode = decode_mode(&mut d);
+            let stamp = decode_stamp(&mut d);
+            fs.lease_reattach(&token, mode, stamp).map(|grant| {
+                let mut e = Encoder::new();
+                encode_grant(&mut e, &grant);
+                e.finish()
+            })
+        }
+        OP_WRITE_LEASED => {
+            let fid = FileId(d.u64().expect("fid"));
+            let offset = d.u64().expect("offset");
+            let data = d.bytes().expect("data").to_vec();
+            let token = decode_token(&mut d);
+            fs.write_leased(fid, offset, data, &token)
+                .map(|()| Vec::new())
+        }
         _ => unreachable!("unknown opcode {op}"),
     };
     let mut e = Encoder::new();
@@ -158,6 +301,12 @@ fn encode_error(e: &mut Encoder, err: &FileServiceError) {
         FileServiceError::Disk(d) => {
             e.u8(8);
             encode_disk_error(e, d);
+        }
+        FileServiceError::LeaseFenced(fid) => {
+            e.u8(9).u64(fid.0);
+        }
+        FileServiceError::LeaseRejected(fid) => {
+            e.u8(10).u64(fid.0);
         }
         other => unreachable!("unencodable file-service error: {other}"),
     }
@@ -225,6 +374,8 @@ fn decode_error(d: &mut Decoder<'_>) -> FileServiceError {
         6 => FileServiceError::DirectoryFull,
         7 => FileServiceError::Corrupt(fid(d)),
         8 => FileServiceError::Disk(decode_disk_error(d)),
+        9 => FileServiceError::LeaseFenced(fid(d)),
+        10 => FileServiceError::LeaseRejected(fid(d)),
         other => unreachable!("unknown error code {other}"),
     }
 }
@@ -634,6 +785,142 @@ impl ReplicatedRpcFiles {
         }
     }
 
+    /// One RPC to the first live replica, failing over — on device
+    /// faults or unreachable machines — to the next. Lease operations
+    /// use this: lease state is coordination soft state, kept by the
+    /// replica currently acting as the read/lease coordinator, not
+    /// replicated (a failed-over coordinator starts with an empty lease
+    /// table, which is exactly the post-crash epoch story).
+    fn rpc_first_live(&mut self, fid: FileId, req: &[u8]) -> Result<Vec<u8>, ReplicationError> {
+        let mut last_err: Option<FileServiceError> = None;
+        for i in 0..self.inner.replicas.len() {
+            if self.inner.failed[i] {
+                continue;
+            }
+            match self.call_replica(i, req) {
+                Ok(payload) => return Ok(payload),
+                Err(None) => {
+                    self.inner.failed[i] = true;
+                    self.inner.stats.failovers += 1;
+                    self.unreachable += 1;
+                }
+                Err(Some(e)) if is_device_fault(&e) => {
+                    self.inner.failed[i] = true;
+                    self.inner.stats.failovers += 1;
+                    last_err = Some(e);
+                }
+                Err(Some(e)) => return Err(ReplicationError::File(e)),
+            }
+        }
+        match last_err {
+            Some(e) => Err(ReplicationError::File(e)),
+            None => Err(ReplicationError::AllReplicasFailed(fid)),
+        }
+    }
+
+    /// Acquires a lease from the coordinator over RPC. Returns the grant
+    /// plus the file's size at grant time.
+    ///
+    /// # Errors
+    ///
+    /// Replica failures; lease rejections shipped back over the wire.
+    pub fn lease_acquire(
+        &mut self,
+        client: u64,
+        fid: FileId,
+        mode: LeaseMode,
+    ) -> Result<(LeaseGrant, u64), ReplicationError> {
+        let payload = self.rpc_first_live(fid, &encode_lease_acquire(client, fid, mode))?;
+        let mut d = Decoder::new(&payload);
+        let grant = decode_grant(&mut d);
+        let size = d.u64().expect("size payload");
+        Ok((grant, size))
+    }
+
+    /// Releases a lease at the coordinator (idempotent server-side).
+    ///
+    /// # Errors
+    ///
+    /// Replica failures.
+    pub fn lease_release(&mut self, token: &LeaseToken) -> Result<(), ReplicationError> {
+        self.rpc_first_live(token.fid, &encode_token_op(OP_LEASE_RELEASE, token))?;
+        Ok(())
+    }
+
+    /// Renews a lease at the coordinator.
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::LeaseRejected`] (over the wire) if the token
+    /// is dead; replica failures.
+    pub fn lease_renew(&mut self, token: &LeaseToken) -> Result<(u64, HlcStamp), ReplicationError> {
+        let payload = self.rpc_first_live(token.fid, &encode_token_op(OP_LEASE_RENEW, token))?;
+        let mut d = Decoder::new(&payload);
+        let expiry_us = d.u64().expect("expiry payload");
+        let stamp = decode_stamp(&mut d);
+        Ok((expiry_us, stamp))
+    }
+
+    /// Re-presents a pre-crash grant to the (restarted) coordinator.
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::LeaseRejected`] (over the wire) if the window
+    /// closed, the epoch is stale, or an HLC race was lost.
+    pub fn lease_reattach(
+        &mut self,
+        token: &LeaseToken,
+        mode: LeaseMode,
+        stamp: HlcStamp,
+    ) -> Result<LeaseGrant, ReplicationError> {
+        let payload = self.rpc_first_live(token.fid, &encode_lease_reattach(token, mode, stamp))?;
+        let mut d = Decoder::new(&payload);
+        Ok(decode_grant(&mut d))
+    }
+
+    /// A delegated writeback over RPC, gated on a live write-lease token
+    /// at the coordinator. The mutation still fans out to every live
+    /// replica — the lease gate is checked first, so a fenced token
+    /// rejects the write before any replica applies it.
+    ///
+    /// # Errors
+    ///
+    /// [`FileServiceError::LeaseFenced`] (over the wire) if the token is
+    /// dead; replica failures.
+    pub fn write_leased(
+        &mut self,
+        fid: FileId,
+        offset: u64,
+        data: &[u8],
+        token: &LeaseToken,
+    ) -> Result<(), ReplicationError> {
+        // Gate at the coordinator (first live replica holds the table).
+        self.rpc_first_live(fid, &encode_write_leased(fid, offset, data, token))?;
+        // Fan the raw bytes out to the remaining live replicas so copies
+        // stay in lock-step.
+        let req = encode_write(fid, offset, data);
+        let first_live = (0..self.inner.replicas.len()).find(|&i| !self.inner.failed[i]);
+        for i in 0..self.inner.replicas.len() {
+            if Some(i) == first_live || self.inner.failed[i] {
+                continue;
+            }
+            match self.call_replica(i, &req) {
+                Ok(_) => {}
+                Err(None) => {
+                    self.inner.failed[i] = true;
+                    self.inner.stats.failovers += 1;
+                    self.unreachable += 1;
+                }
+                Err(Some(e)) if is_device_fault(&e) && self.inner.config.write_failover => {
+                    self.inner.failed[i] = true;
+                    self.inner.stats.failovers += 1;
+                }
+                Err(Some(e)) => return Err(ReplicationError::File(e)),
+            }
+        }
+        Ok(())
+    }
+
     /// Resynchronises replica `i` from a live source and rejoins it.
     /// The physical copy itself runs out of band (a repair crew, not an
     /// RPC): see [`ReplicatedFiles::resync`]. The replica's replay cache
@@ -645,6 +932,10 @@ impl ReplicatedRpcFiles {
     ///
     /// As [`ReplicatedFiles::resync`].
     pub fn resync(&mut self, i: usize) -> Result<(), ReplicationError> {
+        // The restart also wipes the replica's soft lease state: the
+        // simulated crash inside `resync` bumps its lease epoch and opens
+        // a reattach window, so tokens it granted before going down are
+        // dead unless their holders reattach.
         self.inner.resync(i)?;
         self.channels[i].cache = ReplayCache::new();
         Ok(())
@@ -760,6 +1051,56 @@ mod tests {
     }
 
     #[test]
+    fn lease_ops_cross_the_wire() {
+        let mut rf = rpc_cluster(3, NetConfig::lossy(0.15, 0.1, 9));
+        rf.set_max_attempts(64);
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.open(fid).unwrap();
+        // Acquire a write lease at the coordinator and push a delegated
+        // writeback through it; the bytes must land on every replica.
+        let (grant, size) = rf.lease_acquire(7, fid, LeaseMode::Write).unwrap();
+        assert_eq!(size, 0);
+        assert_eq!(grant.token.client, 7);
+        rf.write_leased(fid, 0, b"delegated", &grant.token).unwrap();
+        assert_eq!(rf.read(fid, 0, 9).unwrap(), b"delegated");
+        // Renew extends the expiry; release kills the token.
+        let (expiry, _) = rf.lease_renew(&grant.token).unwrap();
+        assert!(expiry >= grant.expiry_us);
+        rf.lease_release(&grant.token).unwrap();
+        assert!(matches!(
+            rf.write_leased(fid, 0, b"too late", &grant.token),
+            Err(ReplicationError::File(FileServiceError::LeaseFenced(f))) if f == fid
+        ));
+        for i in 0..3 {
+            rf.replica_mut(i).flush_all().unwrap();
+            assert_eq!(rf.replica_mut(i).read(fid, 0, 9).unwrap(), b"delegated");
+        }
+    }
+
+    #[test]
+    fn resync_bumps_lease_epoch_and_honours_reattach() {
+        let mut rf = rpc_cluster(2, NetConfig::reliable());
+        let fid = rf.create(ServiceType::Basic).unwrap();
+        rf.open(fid).unwrap();
+        let (grant, _) = rf.lease_acquire(3, fid, LeaseMode::Write).unwrap();
+        // The coordinator goes down and is resynced: its lease table is
+        // soft state, so the epoch bumps and the old token is dead.
+        rf.mark_failed(0).unwrap();
+        rf.resync(0).unwrap();
+        assert!(matches!(
+            rf.write_leased(fid, 0, b"stale", &grant.token),
+            Err(ReplicationError::File(FileServiceError::LeaseFenced(_)))
+        ));
+        // But a reattach claim inside the window reconstructs the grant.
+        let g2 = rf
+            .lease_reattach(&grant.token, grant.mode, grant.stamp)
+            .unwrap();
+        assert_eq!(g2.token.epoch, grant.token.epoch + 1);
+        rf.write_leased(fid, 0, b"fresh", &g2.token).unwrap();
+        assert_eq!(rf.read(fid, 0, 5).unwrap(), b"fresh");
+    }
+
+    #[test]
     fn error_codec_round_trips() {
         let errors = vec![
             FileServiceError::NotFound(FileId(7)),
@@ -795,6 +1136,8 @@ mod tests {
                 len: 13,
             })),
             FileServiceError::Disk(DiskServiceError::Disk(DiskError::StableLost(5))),
+            FileServiceError::LeaseFenced(FileId(11)),
+            FileServiceError::LeaseRejected(FileId(12)),
         ];
         for err in errors {
             let mut e = Encoder::new();

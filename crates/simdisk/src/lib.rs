@@ -53,7 +53,7 @@ mod stable;
 mod stats;
 
 pub use checksum::crc32;
-pub use clock::SimClock;
+pub use clock::{HlcClock, HlcStamp, SimClock};
 pub use disk::{SectorFault, SectorFaultKind, SimDisk};
 pub use error::DiskError;
 pub use fault::{FaultInjector, WriteOutcome};

@@ -6,7 +6,9 @@ use crate::intentions::{Intention, LogRecord, Technique};
 use crate::lock::{DataItem, LockMode};
 use crate::table::{LockOutcome, StripedLockTable};
 use rhodos_disk_service::{ReadSource, StablePolicy, BLOCK_SIZE};
-use rhodos_file_service::{FileId, FileService, FileServiceError, LockLevel, ServiceType};
+use rhodos_file_service::{
+    FileId, FileService, FileServiceError, LeaseGrant, LeaseMode, LockLevel, RecallAck, ServiceType,
+};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
@@ -496,6 +498,73 @@ impl TransactionService {
         let fid = self.fs.create(ServiceType::Transaction)?;
         self.fs.set_lock_level(fid, level)?;
         Ok(fid)
+    }
+
+    /// Lease acquisition whose recalled writebacks stay crash-atomic:
+    /// like [`FileService::lease_acquire`], but a surrendered write
+    /// delegation on a *transaction-service* file is applied as one
+    /// transaction — intention-logged, group-commit flushed, batch
+    /// applied — so a crash mid-recall replays all of the holder's
+    /// delegated writes or none of them. Basic-service files (and the
+    /// rare recall that races an in-flight transaction's locks) fall
+    /// back to the direct apply-and-flush path.
+    ///
+    /// # Errors
+    ///
+    /// File-service failures; commit-pipeline failures applying a
+    /// recalled writeback.
+    pub fn lease_acquire(
+        &mut self,
+        client: u64,
+        fid: FileId,
+        mode: LeaseMode,
+    ) -> Result<(LeaseGrant, u64), TxnError> {
+        let (grant, acks) = self.fs.lease_acquire_raw(client, fid, mode)?;
+        for ack in acks {
+            let st = self.fs.get_attribute(fid)?.service_type;
+            if st == ServiceType::Transaction && !ack.dirty.is_empty() {
+                match self.apply_recall_txn(fid, &ack) {
+                    Ok(()) => continue,
+                    // A live transaction holds conflicting locks: the
+                    // recalled bytes must not wait behind it (the
+                    // grantee is blocked on us), so apply directly.
+                    Err(TxnError::WouldBlock { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            self.fs.lease_apply_recalled(fid, ack)?;
+        }
+        let size = self.fs.get_attribute(fid)?.size;
+        Ok((grant, size))
+    }
+
+    /// Applies one recalled writeback under a fresh transaction (the
+    /// group-commit pipeline: intention log, flush, batched apply).
+    fn apply_recall_txn(&mut self, fid: FileId, ack: &RecallAck) -> Result<(), TxnError> {
+        let t = self.tbegin();
+        if let Err(e) = self.apply_recall_txn_body(t, fid, ack) {
+            let _ = self.tabort(t);
+            return Err(e);
+        }
+        self.tend(t)
+    }
+
+    fn apply_recall_txn_body(
+        &mut self,
+        t: TxnId,
+        fid: FileId,
+        ack: &RecallAck,
+    ) -> Result<(), TxnError> {
+        self.topen(t, fid)?;
+        for (idx, block) in &ack.dirty {
+            let start = idx * BLOCK_SIZE as u64;
+            let len = (BLOCK_SIZE as u64).min(ack.size.saturating_sub(start)) as usize;
+            if len == 0 {
+                continue;
+            }
+            self.twrite(t, fid, start, &block[..len])?;
+        }
+        Ok(())
     }
 
     /// `tcreate` inside a transaction: the file exists durably only if the

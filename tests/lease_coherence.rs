@@ -1,0 +1,378 @@
+//! Property suite for the lease-based client cache coherence tentpole
+//! (PR 7): random multi-agent read/write scripts run twice — once with
+//! [`LeaseConfig::Auto`] (delegations, recalls, fencing) and once with
+//! the leaseless [`LeaseConfig::Never`] ablation (every read an RPC,
+//! every write write-through) — and the two byte histories must agree:
+//!
+//! 1. with a **reliable** recall lane, scripts may leave delegated
+//!    writes buffered dirty at the client: every recall hand-off must
+//!    surrender them, so reads and final server images stay
+//!    byte-identical to the ablation;
+//! 2. with a **lossy, duplicating** recall lane, recalls fail and
+//!    holders get fenced: as long as the script flushes each write in
+//!    place (no dirty window across other agents' operations), fencing
+//!    must only ever cost re-acquisition — never a stale byte;
+//! 3. a server crash + recovery wipes the grant table: every client's
+//!    `reattach_leases` must reconstruct its grants inside the reattach
+//!    window, keep hot re-reads at zero RPCs, and leave recall-on-
+//!    conflict working against the reconstructed state;
+//! 4. an unresponsive write-delegation holder is fenced by waiting out
+//!    its term: the surrendered-nothing bytes stay invisible, and the
+//!    holder's eventual stale write-back is rejected
+//!    ([`FileServiceError::LeaseFenced`]), its buffered data dropped.
+//!
+//! The fast subset runs in the normal test job; the full sweeps are
+//! `#[ignore]`d and driven with `--ignored` under a pinned
+//! `PROPTEST_BASE_SEED` matrix ({1, 7, 42}) in CI's bench-smoke step.
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use rhodos_agent::{AgentError, FileAgent, LeaseConfig, ServerHandle};
+use rhodos_disk_service::BLOCK_SIZE;
+use rhodos_file_service::{FileService, FileServiceConfig, FileServiceError};
+use rhodos_naming::{AttributedName, NamingService};
+use rhodos_net::{NetConfig, SimNetwork};
+use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
+use rhodos_txn::{TransactionService, TxnConfig};
+use std::sync::Arc;
+
+const AGENTS: usize = 3;
+const FILES: usize = 2;
+const FILE_BLOCKS: usize = 3;
+
+/// One scripted operation. `write: None` is a read; `flush` pushes the
+/// write in place (the write-through-equivalent shape loss tolerates).
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    agent: usize,
+    file: usize,
+    off: usize,
+    len: usize,
+    write: Option<u8>,
+    flush: bool,
+}
+
+fn steps(max: usize, always_flush: bool) -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        (
+            0..AGENTS,
+            0..FILES,
+            0..FILE_BLOCKS * BLOCK_SIZE - 1,
+            1..=2 * BLOCK_SIZE,
+            any::<u8>(),
+            0u8..4,
+        )
+            .prop_map(move |(agent, file, off, len, byte, kind)| Step {
+                agent,
+                file,
+                off,
+                len,
+                // kind 0–1: read; 2: buffered write; 3: write + flush.
+                write: (kind >= 2).then_some(byte),
+                flush: always_flush || kind == 3,
+            }),
+        1..max,
+    )
+}
+
+/// A cluster of `AGENTS` agents on one server: agent 0 creates and seeds
+/// `FILES` files of `FILE_BLOCKS` blocks, the rest open them by fid.
+fn cluster(
+    lease: LeaseConfig,
+    station_net: NetConfig,
+) -> (Vec<FileAgent>, Vec<Vec<u64>>, ServerHandle) {
+    let clock = SimClock::new();
+    let fs = FileService::single_disk(
+        DiskGeometry::medium(),
+        LatencyModel::instant(),
+        clock.clone(),
+        FileServiceConfig::default(),
+    )
+    .unwrap();
+    let server: ServerHandle = Arc::new(Mutex::new(
+        TransactionService::new(fs, TxnConfig::default()).unwrap(),
+    ));
+    let naming = Arc::new(Mutex::new(NamingService::new()));
+    let mut agents: Vec<FileAgent> = (0..AGENTS)
+        .map(|m| {
+            FileAgent::with_lease_config(
+                m as u32,
+                vec![server.clone()],
+                naming.clone(),
+                SimNetwork::new(clock.clone(), NetConfig::reliable()),
+                FILES * FILE_BLOCKS + 4,
+                lease,
+                station_net,
+            )
+        })
+        .collect();
+    let mut ods = vec![Vec::new(); AGENTS];
+    let mut fids = Vec::new();
+    for f in 0..FILES {
+        let name = AttributedName::parse(&format!("name=lc-{f}")).unwrap();
+        let fid = agents[0].create(&name).unwrap();
+        let od = agents[0].open_fid(fid).unwrap();
+        agents[0]
+            .pwrite(od, 0, &vec![0xA5u8; FILE_BLOCKS * BLOCK_SIZE])
+            .unwrap();
+        agents[0].flush(od).unwrap();
+        ods[0].push(od);
+        fids.push(fid);
+    }
+    for (a, agent) in agents.iter_mut().enumerate().skip(1) {
+        for &fid in &fids {
+            ods[a].push(agent.open_fid(fid).unwrap());
+        }
+    }
+    (agents, ods, server)
+}
+
+/// Every read's bytes, plus the final server-side image of each file.
+type ByteHistory = (Vec<Vec<u8>>, Vec<Vec<u8>>);
+
+/// Runs `script` on a fresh cluster; returns every read's bytes plus the
+/// final server-side image of each file (after flushing all agents).
+fn run_script(
+    script: &[Step],
+    lease: LeaseConfig,
+    station_net: NetConfig,
+) -> Result<ByteHistory, AgentError> {
+    let (mut agents, ods, server) = cluster(lease, station_net);
+    let mut reads = Vec::new();
+    for s in script {
+        let od = ods[s.agent][s.file];
+        match s.write {
+            None => reads.push(agents[s.agent].pread(od, s.off as u64, s.len)?),
+            Some(b) => {
+                agents[s.agent].pwrite(od, s.off as u64, &vec![b; s.len])?;
+                if s.flush {
+                    agents[s.agent].flush(od)?;
+                }
+            }
+        }
+    }
+    for (a, agent_ods) in ods.iter().enumerate() {
+        for &od in agent_ods {
+            agents[a].flush(od)?;
+        }
+    }
+    let mut images = Vec::new();
+    let mut srv = server.lock();
+    let fs = srv.file_service_mut();
+    for &od in &ods[0] {
+        let fid = agents[0].fid_of(od).unwrap();
+        let size = fs.get_attribute(fid).unwrap().size as usize;
+        images.push(fs.read(fid, 0, size).unwrap());
+    }
+    Ok((reads, images))
+}
+
+fn identical_histories(
+    script: &[Step],
+    station_net: NetConfig,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let (auto_reads, auto_images) =
+        run_script(script, LeaseConfig::Auto, station_net).expect("auto arm");
+    let (never_reads, never_images) =
+        run_script(script, LeaseConfig::Never, NetConfig::reliable()).expect("never arm");
+    prop_assert_eq!(
+        auto_reads,
+        never_reads,
+        "a leased read returned stale bytes"
+    );
+    prop_assert_eq!(
+        auto_images,
+        never_images,
+        "final server images diverged from the write-through ablation"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Reliable recall lane, delegated writes left dirty across other
+    /// agents' operations: every hand-off goes through a recall and the
+    /// byte history must match the leaseless ablation exactly.
+    #[test]
+    fn delegated_dirty_writes_stay_coherent(script in steps(16, false)) {
+        identical_histories(&script, NetConfig::reliable())?;
+    }
+
+    /// Lossy + duplicating recall lane: recalls get dropped (holders are
+    /// fenced, leases expire, clients re-acquire) and recall deliveries
+    /// get duplicated (acks must be idempotent) — still no stale byte as
+    /// long as writes flush in place.
+    #[test]
+    fn lossy_recalls_fence_but_never_leak_stale_bytes(
+        script in steps(16, true),
+        seed in any::<u64>(),
+    ) {
+        identical_histories(&script, NetConfig::lossy(0.3, 0.3, seed))?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Full sweep of the reliable-lane property. Run with `--ignored`
+    /// under the pinned `PROPTEST_BASE_SEED` matrix in CI.
+    #[test]
+    #[ignore = "full lease-coherence sweep; CI runs it with --ignored"]
+    fn delegated_dirty_writes_stay_coherent_full(script in steps(48, false)) {
+        identical_histories(&script, NetConfig::reliable())?;
+    }
+
+    /// Full sweep of the lossy-lane property.
+    #[test]
+    #[ignore = "full lease-coherence sweep; CI runs it with --ignored"]
+    fn lossy_recalls_fence_but_never_leak_stale_bytes_full(
+        script in steps(48, true),
+        seed in any::<u64>(),
+    ) {
+        identical_histories(&script, NetConfig::lossy(0.3, 0.3, seed))?;
+    }
+}
+
+// ---------------------------------------------------- crash + reattach --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A server crash wipes the grant table; every client's reattach must
+    /// reconstruct exactly the grants it held (one per distinct file it
+    /// touched), keep its cache hot (zero-RPC re-reads of the same
+    /// bytes), and leave recall-on-conflict working against the
+    /// reconstructed grant set.
+    #[test]
+    fn crash_reattach_reconstructs_the_grant_set(
+        touches in proptest::collection::vec((0..AGENTS, 0..FILES), 1..12),
+    ) {
+        let (mut agents, ods, server) = cluster(LeaseConfig::Auto, NetConfig::reliable());
+        // Populate: reads only. Agent 0 still holds the write delegations
+        // it took while seeding, so the first foreign read of a file
+        // recalls that delegation — the authoritative per-agent grant
+        // count is the agent's own live-lease tally, not the touch list.
+        let mut touched = vec![std::collections::BTreeSet::new(); AGENTS];
+        for &(a, f) in &touches {
+            let _ = agents[a].pread(ods[a][f], 0, BLOCK_SIZE).unwrap();
+            touched[a].insert(f);
+        }
+        let held: Vec<usize> = agents.iter().map(FileAgent::held_leases).collect();
+        for (a, agent) in agents.iter().enumerate().skip(1) {
+            // Read leases are shared: nothing recalls a reader, so every
+            // non-seeding agent holds exactly one grant per touched file.
+            prop_assert_eq!(agent.held_leases(), touched[a].len());
+        }
+        {
+            let mut srv = server.lock();
+            let fs = srv.file_service_mut();
+            fs.simulate_crash();
+            fs.recover().unwrap();
+            // The crash dropped server-side open state; reopen every fid.
+            for &od in &ods[0] {
+                fs.open(agents[0].fid_of(od).unwrap()).unwrap();
+            }
+        }
+        for (a, agent) in agents.iter_mut().enumerate() {
+            prop_assert_eq!(
+                agent.reattach_leases().unwrap(),
+                held[a],
+                "reattach must reconstruct every live grant"
+            );
+        }
+        // Hot re-reads stay zero-RPC and serve the seeded bytes — but only
+        // where the lease survived: agent 0's leftover *write* delegations
+        // get recalled by the first foreign read, so only the foreign
+        // readers' shared read leases are guaranteed to still stand.
+        for &(a, f) in &touches {
+            if a == 0 {
+                continue;
+            }
+            let before = agents[a].stats().round_trips;
+            let data = agents[a].pread(ods[a][f], 0, BLOCK_SIZE).unwrap();
+            prop_assert_eq!(&data, &vec![0xA5u8; BLOCK_SIZE]);
+            prop_assert_eq!(agents[a].stats().round_trips, before);
+        }
+        // The reconstructed grant set still drives recalls: a conflicting
+        // write recalls the read holders and is visible everywhere.
+        let recalls_before: u64 = agents.iter().map(|a| a.stats().recalls).sum();
+        let foreign_readers = (1..AGENTS).filter(|a| touched[*a].contains(&0)).count();
+        agents[0].pwrite(ods[0][0], 0, b"post-crash write").unwrap();
+        agents[0].flush(ods[0][0]).unwrap();
+        for a in 0..AGENTS {
+            prop_assert_eq!(agents[a].pread(ods[a][0], 0, 16).unwrap(), b"post-crash write");
+        }
+        let recalls_after: u64 = agents.iter().map(|a| a.stats().recalls).sum();
+        if foreign_readers > 0 {
+            prop_assert!(
+                recalls_after > recalls_before,
+                "a conflicting write must recall the reconstructed read grants"
+            );
+        }
+    }
+}
+
+// -------------------------------------------------- fencing the silent --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// An unresponsive write-delegation holder gets fenced by waiting out
+    /// its term: its buffered bytes stay invisible, the new owner's bytes
+    /// win, and the fenced holder's late write-back is rejected with its
+    /// dirty data dropped.
+    #[test]
+    fn fenced_holder_cannot_push_stale_delegated_writes(
+        f in 0..FILES,
+        off in 0..(FILE_BLOCKS - 1) * BLOCK_SIZE,
+        len in 1..=BLOCK_SIZE,
+        doomed in any::<u8>(),
+    ) {
+        prop_assume!(doomed != 0xA5 && doomed != 0x42);
+        let (mut agents, ods, _server) = cluster(LeaseConfig::Auto, NetConfig::reliable());
+        agents[1].pwrite(ods[1][f], off as u64, &vec![doomed; len]).unwrap();
+        agents[1].set_responsive(false);
+        // Agent 2's conflicting read waits out the recall timeout plus
+        // agent 1's term, then proceeds without the surrendered bytes.
+        let read = agents[2].pread(ods[2][f], off as u64, len).unwrap();
+        prop_assert_eq!(&read, &vec![0xA5u8; len], "fenced bytes must stay invisible");
+        agents[2].pwrite(ods[2][f], off as u64, &vec![0x42u8; len]).unwrap();
+        agents[2].flush(ods[2][f]).unwrap();
+        // The fenced holder comes back: its stale write-back is rejected.
+        agents[1].set_responsive(true);
+        prop_assert!(matches!(
+            agents[1].flush(ods[1][f]),
+            Err(AgentError::File(FileServiceError::LeaseFenced(_)))
+        ));
+        prop_assert_eq!(
+            agents[1].pread(ods[1][f], off as u64, len).unwrap(),
+            vec![0x42u8; len],
+            "the fenced holder re-reads the new owner's bytes"
+        );
+    }
+}
+
+// ------------------------------------------------------------ hot path --
+
+/// The tentpole's headline: once a read lease covers a file, re-reading
+/// it touches no network at all (acceptance criterion "leases-on re-read
+/// of a hot file is 0 RPCs").
+#[test]
+fn hot_reread_is_zero_rpc_under_a_live_lease() {
+    let (mut agents, ods, _server) = cluster(LeaseConfig::Auto, NetConfig::reliable());
+    let _ = agents[1]
+        .pread(ods[1][0], 0, FILE_BLOCKS * BLOCK_SIZE)
+        .unwrap();
+    let trips = agents[1].stats().round_trips;
+    let sent = agents[1].net_stats().sent;
+    for _ in 0..20 {
+        let data = agents[1]
+            .pread(ods[1][0], 0, FILE_BLOCKS * BLOCK_SIZE)
+            .unwrap();
+        assert_eq!(data, vec![0xA5u8; FILE_BLOCKS * BLOCK_SIZE]);
+    }
+    assert_eq!(agents[1].stats().round_trips, trips, "zero round trips");
+    assert_eq!(agents[1].net_stats().sent, sent, "zero packets");
+    assert!(agents[1].stats().rpcs_avoided_by_lease >= 20);
+}

@@ -14,7 +14,10 @@
 //! `rhodos_bench::experiments::e20_contention::stat_records`) — and
 //! `BENCH_leases.json`: the E22 lease-coherence lane (round trips,
 //! lease-served reads, recall counts, cached-read percentiles; see
-//! `rhodos_bench::experiments::e22_leases::stat_records`).
+//! `rhodos_bench::experiments::e22_leases::stat_records`) — and
+//! `BENCH_cluster.json`: the E23 scale-out lane (per-server-count
+//! saturation, read percentiles and the cluster content fingerprint;
+//! see `rhodos_bench::experiments::e23_scaleout::stat_records`).
 //!
 //! Every lane is *gated* against its committed `*.baseline.json`:
 //! the latency and leases lanes fail the run if a `p99_us` or
@@ -70,12 +73,16 @@ fn main() {
     let lease_records = rhodos_bench::experiments::e22_leases::stat_records();
     write_stat_lane("BENCH_leases.json", &lease_records);
 
+    let cluster_records = rhodos_bench::experiments::e23_scaleout::stat_records();
+    write_stat_lane("BENCH_cluster.json", &cluster_records);
+
     let mut ok = true;
     ok &= gate_exact("BENCH_replication.baseline.json", &rep_records);
     ok &= gate_exact("BENCH_txn_commit.baseline.json", &txn_records);
     ok &= gate_exact("BENCH_scrub.baseline.json", &scrub_records);
     ok &= gate_latency(&lat_records);
     ok &= gate_leases(&lease_records);
+    ok &= gate_cluster(&cluster_records);
     if !ok {
         std::process::exit(1);
     }
@@ -170,6 +177,41 @@ fn gate_leases(fresh: &[(String, u64)]) -> bool {
     }
     if ok {
         println!("lease lane within 10% of {base_path}");
+    }
+    ok
+}
+
+/// Diffs the fresh E23 scale-out lane against the committed baseline: a
+/// read `p99_us` more than 10% above baseline (25 us absolute floor),
+/// or a `saturation_ops_ks` more than 10% below, fails the run — the
+/// scale-out win must not quietly erode. Fingerprints are identity
+/// rows, not gated (any legitimate byte change moves them). Missing
+/// baseline (bootstrap) passes with a note.
+fn gate_cluster(fresh: &[(String, u64)]) -> bool {
+    let base_path = "BENCH_cluster.baseline.json";
+    let Ok(base_text) = std::fs::read_to_string(base_path) else {
+        println!("no {base_path}; skipping cluster regression gate");
+        return true;
+    };
+    let baseline = parse_stat_rows(&base_text);
+    let mut ok = true;
+    for (stat, value) in fresh {
+        let Some((_, base)) = baseline.iter().find(|(s, _)| s == stat) else {
+            continue;
+        };
+        if stat.ends_with("read.p99_us") && *value > base + (base / 10).max(25) {
+            println!("CLUSTER READ-LATENCY REGRESSION: {stat} = {value} us (baseline {base} us)");
+            ok = false;
+        }
+        if stat.ends_with("saturation_ops_ks") && *value < base - base / 10 {
+            println!(
+                "CLUSTER SATURATION REGRESSION: {stat} = {value} ops/ks (baseline {base} ops/ks)"
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!("cluster lane within 10% of {base_path}");
     }
     ok
 }

@@ -1,6 +1,6 @@
 //! Runs paper experiments by id: `exp e03 e12` or `exp all`.
 //! Flags: `--smoke` shrinks the expensive cells (sets
-//! `RHODOS_BENCH_SMOKE=1`, honoured by E20).
+//! `RHODOS_BENCH_SMOKE=1`, honoured by E20 and E23).
 
 fn main() {
     let mut ids = Vec::new();

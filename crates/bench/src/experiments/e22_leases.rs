@@ -220,8 +220,8 @@ fn run_arm(cell: &Cell, sweep: Sweep, lease: LeaseConfig) -> Arm {
     // Push every delegated write back and fold the final file images in:
     // coherent arms must agree on what the server ends up holding.
     for a in 0..cell.agents {
-        for f in 0..ods[a].len() {
-            agents[a].flush(ods[a][f]).expect("final flush");
+        for &od in &ods[a] {
+            agents[a].flush(od).expect("final flush");
         }
     }
     for (a, agent_ods) in ods.iter().enumerate() {

@@ -24,3 +24,4 @@ pub mod e18_group_commit;
 pub mod e19_self_healing;
 pub mod e20_contention;
 pub mod e22_leases;
+pub mod e23_scaleout;

@@ -125,6 +125,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "Lease-based client cache coherence: zero-RPC hot reads",
             e22_leases::run,
         ),
+        (
+            "e23",
+            "Scale-out: placement master + N data servers, byte-identical sharding",
+            e23_scaleout::run,
+        ),
     ]
 }
 

@@ -28,6 +28,7 @@
 //! (`BENCH_latency.json`).
 
 use crate::latency::LatencySummary;
+use rhodos_cluster::{Cluster, ClusterConfig};
 use rhodos_disk_service::BLOCK_SIZE;
 use rhodos_file_service::{FileService, FileServiceConfig, LockLevel};
 use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
@@ -435,6 +436,141 @@ pub fn trace(cfg: &LoadgenConfig) -> Trace {
     }
 }
 
+/// Workload shape of the multi-server (E23) mode. `Default` is the full
+/// E23 cell at one server — the scale-out sweep varies `servers` only,
+/// so every arm executes the byte-identical operation sequence.
+#[derive(Debug, Clone)]
+pub struct ClusterLoadConfig {
+    /// Data servers behind the placement master.
+    pub servers: usize,
+    /// Simulated client agents.
+    pub agents: usize,
+    /// Distinct cluster files (Zipf ranks).
+    pub files: usize,
+    /// Blocks per file.
+    pub file_blocks: u64,
+    /// Zipf exponent of the file popularity distribution.
+    pub skew: f64,
+    /// Percent of operations that are reads (the rest are writes).
+    pub read_pct: u64,
+    /// Operations in the trace.
+    pub ops: usize,
+    /// RNG seed for the whole pipeline.
+    pub seed: u64,
+    /// Greedy rebalance rounds run after the measured ops (heat is
+    /// accumulated by them), before the content fingerprint is taken —
+    /// so the sweep also certifies that migration moves bytes intact.
+    pub rebalance_rounds: usize,
+}
+
+impl Default for ClusterLoadConfig {
+    fn default() -> Self {
+        Self {
+            servers: 1,
+            agents: 2048,
+            files: 48,
+            file_blocks: 4,
+            skew: 0.9,
+            read_pct: 90,
+            ops: 4000,
+            seed: 42,
+            rebalance_rounds: 0,
+        }
+    }
+}
+
+/// A measured multi-server trace plus the cluster-wide evidence rows.
+#[derive(Debug, Clone)]
+pub struct ClusterTrace {
+    /// The open-loop trace, ready for [`Trace::replay`] /
+    /// [`Trace::saturation_per_ks`]. Resource 0 is the master (never
+    /// held in steady state — the placement map is client-cached);
+    /// resource `1 + i` is data server `i`, held for an operation's
+    /// whole service time, so replay concurrency scales with servers.
+    pub trace: Trace,
+    /// FNV-1a over every file's `(gid, size, bytes)` in gid order,
+    /// taken *after* any rebalance rounds. Placement-independent: every
+    /// server-count arm of the same seed must produce the same value.
+    pub fingerprint: u64,
+    /// Files moved by the post-trace rebalance rounds.
+    pub migrations: u64,
+}
+
+/// Executes the configured mix serially against a real sharded cluster
+/// (placement master + `servers` data-server stacks over lossy-capable
+/// `rhodos-net` channels) and measures each operation's service time and
+/// home-server footprint.
+pub fn trace_cluster(cfg: &ClusterLoadConfig) -> ClusterTrace {
+    let mut c = Cluster::new(cfg.servers, ClusterConfig::default());
+    let clock = c.clock();
+    let file_bytes = (cfg.file_blocks * BS) as usize;
+    // Working set: `files` cluster files, created (least-loaded placement
+    // = deterministic round robin over empty servers), opened by the
+    // master, and seeded full-size.
+    let gids: Vec<u64> = (0..cfg.files)
+        .map(|_| {
+            let gid = c.create().expect("cluster create");
+            c.open(gid).expect("cluster open");
+            c.write(gid, 0, &vec![0xA5u8; file_bytes])
+                .expect("seed cluster file");
+            gid
+        })
+        .collect();
+
+    let zipf = Zipf::new(cfg.files, cfg.skew);
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut ops = Vec::with_capacity(cfg.ops);
+    for i in 0..cfg.ops {
+        let class = if rng.below(100) < cfg.read_pct {
+            OpClass::Read
+        } else {
+            OpClass::Write
+        };
+        let gid = gids[zipf.sample(&mut rng)];
+        let block = rng.below(cfg.file_blocks);
+        let offset = block * BS;
+        let agent = rng.below(cfg.agents as u64) as usize;
+        let (home, _) = c.placement_of(gid).expect("placed file");
+        let t0 = clock.now_us();
+        match class {
+            OpClass::Read => {
+                c.read(gid, offset, 1024).expect("cluster read");
+            }
+            OpClass::Write => {
+                c.write(gid, offset, &vec![i as u8; 1024])
+                    .expect("cluster write");
+            }
+            OpClass::Update => unreachable!("cluster mix is read/write only"),
+        }
+        let service_us = (clock.now_us() - t0) + class.cpu_us();
+        // One hop: the op occupied exactly its home data server. The
+        // master (resource 0) stays idle — placement resolution is a
+        // client-cached map hit.
+        ops.push(TraceOp {
+            class,
+            agent,
+            service_us,
+            resources: vec![1 + home as u32],
+        });
+    }
+
+    let mut migrations = 0;
+    for _ in 0..cfg.rebalance_rounds {
+        migrations += c.rebalance().migrated;
+    }
+    ClusterTrace {
+        trace: Trace {
+            ops,
+            nresources: 1 + cfg.servers,
+            agents: cfg.agents.max(1),
+            fast: FastPathStats::default(),
+            pool_hit_rate: 0.0,
+        },
+        fingerprint: c.content_fingerprint(),
+        migrations,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,5 +649,45 @@ mod tests {
         .sum();
         assert_eq!(total, 120, "every op produces one latency sample");
         assert!(sharded.saturation_per_ks() >= ablation.saturation_per_ks());
+    }
+
+    fn tiny_cluster(servers: usize) -> ClusterLoadConfig {
+        ClusterLoadConfig {
+            servers,
+            agents: 32,
+            files: 8,
+            file_blocks: 2,
+            ops: 160,
+            ..ClusterLoadConfig::default()
+        }
+    }
+
+    #[test]
+    fn cluster_trace_fingerprint_is_placement_independent() {
+        let one = trace_cluster(&tiny_cluster(1));
+        let two = trace_cluster(&tiny_cluster(2));
+        let four = trace_cluster(&tiny_cluster(4));
+        assert_eq!(
+            one.fingerprint, two.fingerprint,
+            "same seed must write the same bytes regardless of sharding"
+        );
+        assert_eq!(one.fingerprint, four.fingerprint);
+        // Re-run is byte-stable.
+        assert_eq!(trace_cluster(&tiny_cluster(2)).fingerprint, two.fingerprint);
+        // More servers mean more replay concurrency.
+        assert!(four.trace.saturation_per_ks() >= one.trace.saturation_per_ks());
+    }
+
+    #[test]
+    fn cluster_rebalance_rounds_preserve_the_fingerprint() {
+        let plain = trace_cluster(&tiny_cluster(4));
+        let rebalanced = trace_cluster(&ClusterLoadConfig {
+            rebalance_rounds: 3,
+            ..tiny_cluster(4)
+        });
+        assert_eq!(
+            plain.fingerprint, rebalanced.fingerprint,
+            "migration must move bytes intact"
+        );
     }
 }

@@ -1,0 +1,37 @@
+//! Sharded cluster: a placement/metadata master in front of N
+//! independent data servers.
+//!
+//! The paper's file facility is a single server (replicated for
+//! availability, PR 3) — this crate spreads the *namespace* across many
+//! of them, the way Lustre splits its metadata server from object
+//! storage targets. One [`Cluster`] master owns the file → server
+//! placement map; each data server is a full `FileService` stack behind
+//! its own `rhodos-net` channel speaking the replication wire protocol
+//! (`rhodos_replication::wire`), so the data path is the same
+//! at-most-once RPC machinery the replica fan-out uses — one hop from
+//! client to the file's home server, no master involvement.
+//!
+//! Coherence of client-side placement caches mirrors the PR 7 lease
+//! epochs: every mutation of the placement map bumps a **placement
+//! epoch**, published together with the map through a shared
+//! [`PlacementDirectory`]. Clients compare their cached epoch against
+//! the directory's on every operation and refresh only when it moved —
+//! the steady-state data path never pays a master round trip.
+//!
+//! Liveness is heartbeat-driven: the master probes every data server
+//! each [`Cluster::heartbeat_pulse`]; enough consecutive misses mark the
+//! server dead (its files stay mapped but unavailable), and a later
+//! successful probe rejoins it — synchronising its placement epoch and
+//! garbage-collecting any local files the map no longer assigns to it,
+//! so a flapping server can neither double-place files nor serve a
+//! stale epoch. Background [`Cluster::rebalance`] migrates hot files
+//! off busy spindles through chunked, fingerprint-verified copies over
+//! the same wire protocol.
+
+mod master;
+mod placement;
+
+pub use master::{
+    Cluster, ClusterConfig, ClusterError, ClusterStats, RebalanceReport, ServerHandle,
+};
+pub use placement::{PlacementDirectory, SharedDirectory};

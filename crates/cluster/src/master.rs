@@ -1,0 +1,1117 @@
+//! The placement/metadata master and its data servers.
+//!
+//! One [`Cluster`] owns N data servers. Each server is a full
+//! transaction-service stack (so the cross-shard 2PC of ROADMAP item 5
+//! can later coordinate them) reached through its own lossy channel
+//! speaking the replication wire protocol — every data operation is
+//! encoded, retried with backoff, executed at most once per request id,
+//! and answered through the server's replay cache, exactly like a
+//! replica in `ReplicatedRpcFiles`.
+//!
+//! The master's own state is deliberately small, in the paper's
+//! "nearly stateless" spirit: the placement map (file → home server),
+//! the placement epoch, per-file heat counters, and the heartbeat
+//! bookkeeping. Everything else lives with the data servers.
+
+use crate::placement::{PlacementDirectory, SharedDirectory};
+use parking_lot::Mutex;
+use rhodos_disk_service::codec::Decoder;
+use rhodos_file_service::{
+    FileAttributes, FileId, FileService, FileServiceConfig, FileServiceError, ServiceType,
+};
+use rhodos_net::{Delivery, NetConfig, RpcClient, SimNetwork};
+use rhodos_replication::wire::{
+    self, encode_fid_op, encode_read, encode_write, Channel, OP_CLOSE, OP_DELETE, OP_GET_ATTR,
+    OP_OPEN,
+};
+use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
+use rhodos_txn::{TransactionService, TxnConfig};
+use std::collections::{BTreeMap, HashMap};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// A data server shared between the cluster master and any co-located
+/// clients (`FileAgent` uses the same handle type).
+pub type ServerHandle = Arc<Mutex<TransactionService>>;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Tunables of the cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Disk geometry of each data server.
+    pub geometry: DiskGeometry,
+    /// Disk latency model of each data server.
+    pub latency: LatencyModel,
+    /// File-service tunables of each data server.
+    pub fs: FileServiceConfig,
+    /// Transaction-service tunables of each data server.
+    pub txn: TxnConfig,
+    /// Channel behaviour to each data server (per-server seeds are
+    /// decorrelated, as across independent links).
+    pub data_net: NetConfig,
+    /// Virtual time between heartbeat rounds.
+    pub heartbeat_interval_us: u64,
+    /// Consecutive missed heartbeats before a server is marked dead.
+    pub heartbeat_miss_limit: u32,
+    /// Bytes copied per migration RPC.
+    pub migrate_chunk: usize,
+    /// A rebalance round starts migrating when the hottest server holds
+    /// more than this percentage of the total load.
+    pub rebalance_trigger_pct: u64,
+    /// Upper bound on migrations per [`Cluster::rebalance`] call.
+    pub max_migrations_per_round: usize,
+    /// Re-read and fingerprint-check every migrated file on the target
+    /// before the source copy is deleted.
+    pub verify_migrations: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            geometry: DiskGeometry::medium(),
+            latency: LatencyModel::instant(),
+            fs: FileServiceConfig::default(),
+            txn: TxnConfig::default(),
+            data_net: NetConfig::reliable(),
+            heartbeat_interval_us: 50_000,
+            heartbeat_miss_limit: 3,
+            migrate_chunk: 8192,
+            rebalance_trigger_pct: 40,
+            max_migrations_per_round: 8,
+            verify_migrations: true,
+        }
+    }
+}
+
+/// Why a cluster operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// No placement recorded for this cluster file id.
+    UnknownFile(u64),
+    /// Every data server is dead, removed, or unreachable.
+    NoLiveServers,
+    /// The file's home server is currently marked dead.
+    ServerUnavailable(usize),
+    /// The channel to the server exhausted its retries.
+    Unreachable(usize),
+    /// The server was decommissioned.
+    Removed(usize),
+    /// A semantic file-service error from the home server.
+    File(FileServiceError),
+    /// A migrated copy failed its fingerprint check; the migration was
+    /// rolled back.
+    MigrationCorrupt {
+        /// The cluster file id whose copy failed verification.
+        gid: u64,
+        /// Fingerprint of the source bytes.
+        expected: u64,
+        /// Fingerprint read back from the target.
+        got: u64,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownFile(gid) => write!(f, "unknown cluster file {gid}"),
+            Self::NoLiveServers => write!(f, "no live data servers"),
+            Self::ServerUnavailable(i) => write!(f, "data server {i} is marked dead"),
+            Self::Unreachable(i) => write!(f, "data server {i} unreachable"),
+            Self::Removed(i) => write!(f, "data server {i} was decommissioned"),
+            Self::File(e) => write!(f, "file service: {e}"),
+            Self::MigrationCorrupt { gid, expected, got } => write!(
+                f,
+                "migrated copy of file {gid} failed verification \
+                 (expected {expected:#018x}, got {got:#018x})"
+            ),
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+impl From<FileServiceError> for ClusterError {
+    fn from(e: FileServiceError) -> Self {
+        Self::File(e)
+    }
+}
+
+/// Counters of cluster behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Files created.
+    pub creates: u64,
+    /// Files deleted.
+    pub deletes: u64,
+    /// Read operations served.
+    pub reads: u64,
+    /// Write operations served.
+    pub writes: u64,
+    /// Bytes returned by reads.
+    pub bytes_read: u64,
+    /// Bytes accepted by writes.
+    pub bytes_written: u64,
+    /// Completed migrations.
+    pub migrations: u64,
+    /// Bytes moved by migrations.
+    pub migrated_bytes: u64,
+    /// Migrations that aborted (unreachable target, busy source, failed
+    /// verification) and were rolled back.
+    pub migrations_aborted: u64,
+    /// Heartbeat probes sent.
+    pub heartbeats: u64,
+    /// Heartbeat probes that went unanswered.
+    pub heartbeat_misses: u64,
+    /// Servers marked dead.
+    pub deaths: u64,
+    /// Dead servers that rejoined.
+    pub rejoins: u64,
+    /// Orphaned local files garbage-collected on rejoin.
+    pub orphans_collected: u64,
+    /// Servers added at runtime.
+    pub servers_added: u64,
+    /// Servers decommissioned.
+    pub servers_removed: u64,
+    /// Current placement epoch.
+    pub epoch: u64,
+}
+
+/// Outcome of one [`Cluster::rebalance`] round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Files migrated this round.
+    pub migrated: u64,
+    /// Bytes moved this round.
+    pub bytes: u64,
+    /// Migrations attempted but rolled back.
+    pub aborted: u64,
+}
+
+/// Where a cluster file lives.
+#[derive(Debug, Clone, Copy)]
+struct Placement {
+    server: usize,
+    local: FileId,
+    open: bool,
+}
+
+/// One data server as the master sees it.
+struct DataNode {
+    handle: ServerHandle,
+    chan: Channel,
+    /// Fault injection: when false, nothing crosses this link.
+    link_up: bool,
+    /// Master's liveness verdict.
+    alive: bool,
+    missed: u32,
+    /// Placement epoch last synchronised to this server (piggybacked on
+    /// heartbeat replies).
+    known_epoch: u64,
+    removed: bool,
+}
+
+impl fmt::Debug for DataNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DataNode")
+            .field("link_up", &self.link_up)
+            .field("alive", &self.alive)
+            .field("missed", &self.missed)
+            .field("known_epoch", &self.known_epoch)
+            .field("removed", &self.removed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The placement/metadata master.
+#[derive(Debug)]
+pub struct Cluster {
+    clock: SimClock,
+    cfg: ClusterConfig,
+    nodes: Vec<DataNode>,
+    map: BTreeMap<u64, Placement>,
+    next_gid: u64,
+    epoch: u64,
+    heat: BTreeMap<u64, u64>,
+    /// Local copies to delete once their server is reachable again
+    /// (aborted migrations, deletes issued while the server was dead).
+    pending_gc: Vec<(usize, FileId)>,
+    directory: SharedDirectory,
+    stats: ClusterStats,
+}
+
+impl Cluster {
+    /// Creates a cluster of `n` freshly formatted data servers sharing
+    /// one virtual clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or a data server fails to format.
+    pub fn new(n: usize, cfg: ClusterConfig) -> Self {
+        assert!(n > 0, "need at least one data server");
+        let clock = SimClock::new();
+        let mut cluster = Self {
+            clock,
+            cfg,
+            nodes: Vec::new(),
+            map: BTreeMap::new(),
+            next_gid: 1,
+            epoch: 0,
+            heat: BTreeMap::new(),
+            pending_gc: Vec::new(),
+            directory: Arc::new(Mutex::new(PlacementDirectory::default())),
+            stats: ClusterStats::default(),
+        };
+        for _ in 0..n {
+            cluster.push_node();
+        }
+        cluster
+    }
+
+    fn push_node(&mut self) -> usize {
+        let i = self.nodes.len();
+        let fs = FileService::single_disk(
+            self.cfg.geometry,
+            self.cfg.latency,
+            self.clock.clone(),
+            self.cfg.fs,
+        )
+        .expect("data server formats");
+        let handle: ServerHandle = Arc::new(Mutex::new(
+            TransactionService::new(fs, self.cfg.txn).expect("transaction service starts"),
+        ));
+        let mut net_cfg = self.cfg.data_net;
+        net_cfg.seed = self.cfg.data_net.seed.wrapping_add(i as u64 * 7919);
+        self.nodes.push(DataNode {
+            handle,
+            chan: Channel {
+                net: SimNetwork::new(self.clock.clone(), net_cfg),
+                client: RpcClient::new(i as u64 + 1),
+                cache: rhodos_net::ReplayCache::new(),
+            },
+            link_up: true,
+            alive: true,
+            missed: 0,
+            known_epoch: self.epoch,
+            removed: false,
+        });
+        i
+    }
+
+    // ---- accessors -----------------------------------------------------
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// Counters so far (the `epoch` field tracks the placement epoch).
+    pub fn stats(&self) -> ClusterStats {
+        let mut s = self.stats;
+        s.epoch = self.epoch;
+        s
+    }
+
+    /// The current placement epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The published placement directory clients resolve against.
+    pub fn directory(&self) -> SharedDirectory {
+        self.directory.clone()
+    }
+
+    /// Handle to data server `i`, for co-located clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn server_handle(&self, i: usize) -> ServerHandle {
+        self.nodes[i].handle.clone()
+    }
+
+    /// Every data server handle in index order (the `FileAgent` server
+    /// vector for cluster-aware clients).
+    pub fn server_handles(&self) -> Vec<ServerHandle> {
+        self.nodes.iter().map(|n| n.handle.clone()).collect()
+    }
+
+    /// Number of data servers, including dead and removed ones.
+    pub fn server_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of servers currently considered live.
+    pub fn live_servers(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive && !n.removed).count()
+    }
+
+    /// Whether the master currently considers server `i` live.
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.nodes[i].alive && !self.nodes[i].removed
+    }
+
+    /// The placement epoch server `i` last synchronised to.
+    pub fn node_epoch(&self, i: usize) -> u64 {
+        self.nodes[i].known_epoch
+    }
+
+    /// Fault injection: sever or restore the link to server `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_link(&mut self, i: usize, up: bool) {
+        self.nodes[i].link_up = up;
+    }
+
+    /// Current home of a cluster file.
+    pub fn placement_of(&self, gid: u64) -> Option<(usize, FileId)> {
+        self.map.get(&gid).map(|p| (p.server, p.local))
+    }
+
+    /// Files currently placed on server `i`.
+    pub fn files_on(&self, i: usize) -> usize {
+        self.map.values().filter(|p| p.server == i).count()
+    }
+
+    /// Accumulated heat (operation count) of server `i`: the sum over
+    /// its files of `1 + per-file heat`.
+    pub fn server_load(&self, i: usize) -> u64 {
+        self.map
+            .iter()
+            .filter(|(_, p)| p.server == i)
+            .map(|(gid, _)| 1 + self.heat.get(gid).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Local copies awaiting garbage collection (0 in steady state).
+    pub fn pending_gc(&self) -> usize {
+        self.pending_gc.len()
+    }
+
+    /// Recorded replies currently held by server `i`'s replay cache.
+    pub fn replay_entries(&self, i: usize) -> usize {
+        self.nodes[i].chan.cache.len()
+    }
+
+    /// Attempts per RPC before a data server is declared unreachable.
+    pub fn set_max_attempts(&mut self, attempts: u32) {
+        for n in &mut self.nodes {
+            n.chan.client.max_attempts = attempts;
+        }
+    }
+
+    // ---- the wire ------------------------------------------------------
+
+    fn publish(&mut self) {
+        self.epoch += 1;
+        let snapshot: HashMap<u64, (usize, FileId)> = self
+            .map
+            .iter()
+            .map(|(gid, p)| (*gid, (p.server, p.local)))
+            .collect();
+        self.directory.lock().publish(self.epoch, snapshot);
+    }
+
+    fn call_node(&mut self, i: usize, req: &[u8]) -> Result<Vec<u8>, ClusterError> {
+        let node = &mut self.nodes[i];
+        if node.removed {
+            return Err(ClusterError::Removed(i));
+        }
+        if !node.link_up {
+            // The client times out against a severed link; that timeout
+            // is heartbeat evidence too.
+            node.missed = node.missed.saturating_add(1);
+            return Err(ClusterError::Unreachable(i));
+        }
+        let handle = node.handle.clone();
+        let mut guard = handle.lock();
+        match node.chan.call(guard.file_service_mut(), req) {
+            Ok(payload) => Ok(payload),
+            Err(None) => {
+                node.missed = node.missed.saturating_add(1);
+                Err(ClusterError::Unreachable(i))
+            }
+            Err(Some(e)) => Err(ClusterError::File(e)),
+        }
+    }
+
+    fn require_live(&self, i: usize) -> Result<(), ClusterError> {
+        if self.nodes[i].removed {
+            return Err(ClusterError::Removed(i));
+        }
+        if !self.nodes[i].alive {
+            return Err(ClusterError::ServerUnavailable(i));
+        }
+        Ok(())
+    }
+
+    fn resolve(&self, gid: u64) -> Result<Placement, ClusterError> {
+        self.map
+            .get(&gid)
+            .copied()
+            .ok_or(ClusterError::UnknownFile(gid))
+    }
+
+    // ---- namespace operations -----------------------------------------
+
+    /// Creates a file on the least-loaded live server and returns its
+    /// cluster id.
+    pub fn create(&mut self) -> Result<u64, ClusterError> {
+        let target = self
+            .live_node_indices()
+            .into_iter()
+            .min_by_key(|&i| (self.files_on(i), i))
+            .ok_or(ClusterError::NoLiveServers)?;
+        let reply = self.call_node(target, &wire::encode_create(ServiceType::Basic))?;
+        let mut d = Decoder::new(&reply);
+        let local = FileId(d.u64().expect("create reply"));
+        let gid = self.next_gid;
+        self.next_gid += 1;
+        self.map.insert(
+            gid,
+            Placement {
+                server: target,
+                local,
+                open: false,
+            },
+        );
+        self.stats.creates += 1;
+        self.publish();
+        Ok(gid)
+    }
+
+    /// Opens a cluster file on its home server.
+    pub fn open(&mut self, gid: u64) -> Result<(), ClusterError> {
+        let p = self.resolve(gid)?;
+        self.require_live(p.server)?;
+        self.call_node(p.server, &encode_fid_op(OP_OPEN, p.local))?;
+        self.map.get_mut(&gid).expect("resolved").open = true;
+        Ok(())
+    }
+
+    /// Closes a cluster file on its home server.
+    pub fn close(&mut self, gid: u64) -> Result<(), ClusterError> {
+        let p = self.resolve(gid)?;
+        self.require_live(p.server)?;
+        self.call_node(p.server, &encode_fid_op(OP_CLOSE, p.local))?;
+        self.map.get_mut(&gid).expect("resolved").open = false;
+        Ok(())
+    }
+
+    /// Deletes a cluster file. If its home server is dead or
+    /// unreachable, the mapping is removed immediately and the local
+    /// copy is garbage-collected when the server next answers a
+    /// heartbeat.
+    pub fn delete(&mut self, gid: u64) -> Result<(), ClusterError> {
+        let p = self.resolve(gid)?;
+        let reachable = self.nodes[p.server].alive
+            && self.nodes[p.server].link_up
+            && !self.nodes[p.server].removed;
+        if reachable {
+            if p.open {
+                self.call_node(p.server, &encode_fid_op(OP_CLOSE, p.local))?;
+            }
+            match self.call_node(p.server, &encode_fid_op(OP_DELETE, p.local)) {
+                Ok(_) => {}
+                Err(ClusterError::Unreachable(_)) => {
+                    self.pending_gc.push((p.server, p.local));
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            self.pending_gc.push((p.server, p.local));
+        }
+        self.map.remove(&gid);
+        self.heat.remove(&gid);
+        self.stats.deletes += 1;
+        self.publish();
+        Ok(())
+    }
+
+    /// Reads from a cluster file — one hop to its home server.
+    pub fn read(&mut self, gid: u64, offset: u64, len: usize) -> Result<Vec<u8>, ClusterError> {
+        let p = self.resolve(gid)?;
+        self.require_live(p.server)?;
+        let data = self.call_node(p.server, &encode_read(p.local, offset, len))?;
+        *self.heat.entry(gid).or_insert(0) += 1;
+        self.stats.reads += 1;
+        self.stats.bytes_read += data.len() as u64;
+        Ok(data)
+    }
+
+    /// Writes to a cluster file — one hop to its home server.
+    pub fn write(&mut self, gid: u64, offset: u64, data: &[u8]) -> Result<(), ClusterError> {
+        let p = self.resolve(gid)?;
+        self.require_live(p.server)?;
+        self.call_node(p.server, &encode_write(p.local, offset, data))?;
+        *self.heat.entry(gid).or_insert(0) += 1;
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    /// Attributes of a cluster file, from its home server.
+    pub fn get_attr(&mut self, gid: u64) -> Result<FileAttributes, ClusterError> {
+        let p = self.resolve(gid)?;
+        self.require_live(p.server)?;
+        let reply = self.call_node(p.server, &encode_fid_op(OP_GET_ATTR, p.local))?;
+        let mut d = Decoder::new(&reply);
+        Ok(FileAttributes::decode(&mut d).expect("attr reply"))
+    }
+
+    // ---- liveness ------------------------------------------------------
+
+    fn live_node_indices(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| {
+                let n = &self.nodes[i];
+                n.alive && n.link_up && !n.removed
+            })
+            .collect()
+    }
+
+    /// One heartbeat round: advances the clock by the heartbeat interval
+    /// and probes every data server. Misses accumulate toward the death
+    /// verdict; a probe answered by a dead server rejoins it —
+    /// synchronising its placement epoch and garbage-collecting any
+    /// local files the placement map no longer assigns to it.
+    pub fn heartbeat_pulse(&mut self) {
+        self.clock.advance(self.cfg.heartbeat_interval_us);
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].removed {
+                continue;
+            }
+            self.stats.heartbeats += 1;
+            let answered = self.nodes[i].link_up && {
+                let net = &mut self.nodes[i].chan.net;
+                net.transmit() != Delivery::Lost && net.transmit_reply() != Delivery::Lost
+            };
+            if !answered {
+                self.stats.heartbeat_misses += 1;
+                let node = &mut self.nodes[i];
+                node.missed = node.missed.saturating_add(1);
+                if node.alive && node.missed >= self.cfg.heartbeat_miss_limit {
+                    node.alive = false;
+                    self.stats.deaths += 1;
+                }
+                continue;
+            }
+            let was_dead = !self.nodes[i].alive;
+            self.nodes[i].alive = true;
+            self.nodes[i].missed = 0;
+            if was_dead {
+                self.stats.rejoins += 1;
+            }
+            // Epoch sync and orphan GC ride on the heartbeat exchange.
+            self.collect_garbage(i);
+            self.nodes[i].known_epoch = self.epoch;
+        }
+    }
+
+    /// Deletes local copies on server `i` that the placement map no
+    /// longer assigns to it.
+    fn collect_garbage(&mut self, i: usize) {
+        let mine: Vec<(usize, FileId)> = self
+            .pending_gc
+            .iter()
+            .copied()
+            .filter(|(s, _)| *s == i)
+            .collect();
+        if mine.is_empty() {
+            return;
+        }
+        let mut done = Vec::new();
+        for (_, local) in &mine {
+            // Close is best-effort (the copy may never have been opened);
+            // delete must succeed or the entry stays queued.
+            let _ = self.call_node(i, &encode_fid_op(OP_CLOSE, *local));
+            match self.call_node(i, &encode_fid_op(OP_DELETE, *local)) {
+                Ok(_) | Err(ClusterError::File(_)) => {
+                    done.push(*local);
+                    self.stats.orphans_collected += 1;
+                }
+                Err(_) => {}
+            }
+        }
+        self.pending_gc
+            .retain(|(s, l)| !(*s == i && done.contains(l)));
+    }
+
+    // ---- elasticity ----------------------------------------------------
+
+    /// Adds a fresh data server and returns its index. New placements
+    /// favour it immediately (it is the least-loaded server).
+    pub fn add_server(&mut self) -> usize {
+        let i = self.push_node();
+        self.stats.servers_added += 1;
+        i
+    }
+
+    /// Decommissions server `i`: migrates every file off it, then
+    /// removes it from the placement pool. Fails without side effects if
+    /// the server (or every possible target) is unavailable.
+    pub fn decommission(&mut self, i: usize) -> Result<(), ClusterError> {
+        self.require_live(i)?;
+        if !self.nodes[i].link_up {
+            return Err(ClusterError::Unreachable(i));
+        }
+        let victims: Vec<u64> = self
+            .map
+            .iter()
+            .filter(|(_, p)| p.server == i)
+            .map(|(gid, _)| *gid)
+            .collect();
+        for gid in victims {
+            let target = self
+                .live_node_indices()
+                .into_iter()
+                .filter(|&j| j != i)
+                .min_by_key(|&j| (self.server_load(j), j))
+                .ok_or(ClusterError::NoLiveServers)?;
+            self.migrate(gid, target)?;
+        }
+        self.nodes[i].removed = true;
+        self.stats.servers_removed += 1;
+        Ok(())
+    }
+
+    // ---- rebalancing ---------------------------------------------------
+
+    /// One background rebalance round: while the hottest live server
+    /// holds more than `rebalance_trigger_pct` percent of the total load
+    /// and moving its hottest file strictly narrows the imbalance, that
+    /// file is migrated to the coldest live server. Heat decays by half
+    /// at the end of the round so old traffic stops driving placement.
+    pub fn rebalance(&mut self) -> RebalanceReport {
+        let mut report = RebalanceReport::default();
+        for _ in 0..self.cfg.max_migrations_per_round {
+            let live = self.live_node_indices();
+            if live.len() < 2 {
+                break;
+            }
+            let total: u64 = live.iter().map(|&i| self.server_load(i)).sum();
+            if total == 0 {
+                break;
+            }
+            let &hot = live
+                .iter()
+                .max_by_key(|&&i| (self.server_load(i), std::cmp::Reverse(i)))
+                .expect("non-empty");
+            let &cold = live
+                .iter()
+                .min_by_key(|&&i| (self.server_load(i), i))
+                .expect("non-empty");
+            if hot == cold || self.server_load(hot) * 100 <= total * self.cfg.rebalance_trigger_pct
+            {
+                break;
+            }
+            // The hottest file on the hot server whose move narrows the
+            // gap; weight = 1 + heat.
+            let gap = self.server_load(hot) - self.server_load(cold);
+            let candidate = self
+                .map
+                .iter()
+                .filter(|(_, p)| p.server == hot)
+                .map(|(gid, _)| (*gid, 1 + self.heat.get(gid).copied().unwrap_or(0)))
+                .filter(|(_, w)| 2 * *w < gap)
+                .max_by_key(|&(gid, w)| (w, std::cmp::Reverse(gid)));
+            let Some((gid, _)) = candidate else { break };
+            match self.migrate(gid, cold) {
+                Ok(bytes) => {
+                    report.migrated += 1;
+                    report.bytes += bytes;
+                }
+                Err(_) => {
+                    report.aborted += 1;
+                    break;
+                }
+            }
+        }
+        for h in self.heat.values_mut() {
+            *h /= 2;
+        }
+        report
+    }
+
+    /// Migrates one file to `target` through the physical-copy path:
+    /// chunked reads from the source, writes to a fresh file on the
+    /// target, optional fingerprint verification of the target copy, and
+    /// only then deletion of the source. Any failure rolls back — the
+    /// placement map never points at a partial copy.
+    ///
+    /// Returns the number of bytes moved.
+    pub fn migrate(&mut self, gid: u64, target: usize) -> Result<u64, ClusterError> {
+        let p = self.resolve(gid)?;
+        if p.server == target {
+            return Ok(0);
+        }
+        self.require_live(p.server)?;
+        self.require_live(target)?;
+
+        // Size from the source, fresh file on the target.
+        let attr_reply = self.call_node(p.server, &encode_fid_op(OP_GET_ATTR, p.local))?;
+        let size = {
+            let mut d = Decoder::new(&attr_reply);
+            FileAttributes::decode(&mut d).expect("attr reply").size
+        };
+        let reply = self.call_node(target, &wire::encode_create(ServiceType::Basic))?;
+        let new_local = FileId(Decoder::new(&reply).u64().expect("create reply"));
+
+        match self.copy_file(gid, p, target, new_local, size) {
+            Ok(()) => {}
+            Err(e) => {
+                self.abort_migration(target, new_local);
+                return Err(e);
+            }
+        }
+
+        // Drop the tracked open on the source (migration holds none of
+        // its own by now) and delete it. `Busy` means a co-located
+        // client still has it open outside the master's view — roll the
+        // whole migration back rather than double-place the file.
+        if p.open {
+            self.call_node(p.server, &encode_fid_op(OP_CLOSE, p.local))?;
+        }
+        match self.call_node(p.server, &encode_fid_op(OP_DELETE, p.local)) {
+            Ok(_) => {}
+            Err(ClusterError::File(FileServiceError::Busy(_))) => {
+                if p.open {
+                    // Restore the tracked open we just dropped.
+                    let _ = self.call_node(p.server, &encode_fid_op(OP_OPEN, p.local));
+                }
+                self.abort_migration(target, new_local);
+                return Err(ClusterError::File(FileServiceError::Busy(p.local)));
+            }
+            Err(ClusterError::Unreachable(_)) => {
+                // Copy is complete and verified; the stale source copy is
+                // garbage, collected when the server next answers.
+                self.pending_gc.push((p.server, p.local));
+            }
+            Err(e) => return Err(e),
+        }
+
+        self.map.insert(
+            gid,
+            Placement {
+                server: target,
+                local: new_local,
+                open: p.open,
+            },
+        );
+        self.stats.migrations += 1;
+        self.stats.migrated_bytes += size;
+        self.publish();
+        Ok(size)
+    }
+
+    /// Chunked copy source → target, with optional read-back
+    /// verification. Leaves the target open iff the file was tracked
+    /// open (that reference carries the client's open across the move).
+    fn copy_file(
+        &mut self,
+        gid: u64,
+        p: Placement,
+        target: usize,
+        new_local: FileId,
+        size: u64,
+    ) -> Result<(), ClusterError> {
+        self.call_node(p.server, &encode_fid_op(OP_OPEN, p.local))?;
+        self.call_node(target, &encode_fid_op(OP_OPEN, new_local))?;
+        let chunk = self.cfg.migrate_chunk.max(1);
+        let mut src_fp = FNV_OFFSET;
+        let mut off = 0u64;
+        let copy_result: Result<(), ClusterError> = loop {
+            if off >= size {
+                break Ok(());
+            }
+            let n = chunk.min((size - off) as usize);
+            let data = match self.call_node(p.server, &encode_read(p.local, off, n)) {
+                Ok(d) => d,
+                Err(e) => break Err(e),
+            };
+            fnv1a(&mut src_fp, &data);
+            if let Err(e) = self.call_node(target, &encode_write(new_local, off, &data)) {
+                break Err(e);
+            }
+            off += n as u64;
+        };
+        // The migration's own source open is dropped whatever happened.
+        let _ = self.call_node(p.server, &encode_fid_op(OP_CLOSE, p.local));
+        copy_result?;
+
+        if self.cfg.verify_migrations {
+            let mut dst_fp = FNV_OFFSET;
+            let mut off = 0u64;
+            while off < size {
+                let n = chunk.min((size - off) as usize);
+                let data = self.call_node(target, &encode_read(new_local, off, n))?;
+                fnv1a(&mut dst_fp, &data);
+                off += n as u64;
+            }
+            if dst_fp != src_fp {
+                return Err(ClusterError::MigrationCorrupt {
+                    gid,
+                    expected: src_fp,
+                    got: dst_fp,
+                });
+            }
+        }
+        if !p.open {
+            self.call_node(target, &encode_fid_op(OP_CLOSE, new_local))?;
+        }
+        Ok(())
+    }
+
+    /// Rolls back a failed migration: the partial target copy is deleted
+    /// (or queued for GC if the target is unreachable).
+    fn abort_migration(&mut self, target: usize, local: FileId) {
+        self.stats.migrations_aborted += 1;
+        let _ = self.call_node(target, &encode_fid_op(OP_CLOSE, local));
+        match self.call_node(target, &encode_fid_op(OP_DELETE, local)) {
+            Ok(_) | Err(ClusterError::File(_)) => {}
+            Err(_) => self.pending_gc.push((target, local)),
+        }
+    }
+
+    // ---- verification --------------------------------------------------
+
+    /// FNV-1a fingerprint over the whole namespace: every cluster file's
+    /// id, size, and bytes, in cluster-id order. Reads the data servers
+    /// directly (out of band — no channel traffic, no heat), so two
+    /// clusters that executed the same logical operations fingerprint
+    /// identically regardless of server count or placement.
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut fp = FNV_OFFSET;
+        for (gid, p) in &self.map {
+            let handle = self.nodes[p.server].handle.clone();
+            let mut guard = handle.lock();
+            let fs = guard.file_service_mut();
+            let size = fs.get_attribute(p.local).expect("mapped file exists").size;
+            fnv1a(&mut fp, &gid.to_le_bytes());
+            fnv1a(&mut fp, &size.to_le_bytes());
+            if size > 0 {
+                fs.open(p.local).expect("fingerprint open");
+                let data = fs
+                    .read(p.local, 0, size as usize)
+                    .expect("fingerprint read");
+                fs.close(p.local).expect("fingerprint close");
+                fnv1a(&mut fp, &data);
+            }
+        }
+        fp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::new(n, ClusterConfig::default())
+    }
+
+    fn seed_files(c: &mut Cluster, count: usize, blocks: usize) -> Vec<u64> {
+        (0..count)
+            .map(|k| {
+                let gid = c.create().unwrap();
+                c.open(gid).unwrap();
+                c.write(gid, 0, &vec![k as u8 + 1; blocks * 512]).unwrap();
+                gid
+            })
+            .collect()
+    }
+
+    #[test]
+    fn files_spread_across_servers_and_round_trip() {
+        let mut c = cluster(4);
+        let gids = seed_files(&mut c, 8, 4);
+        // Least-loaded placement spreads 8 files evenly over 4 servers.
+        for i in 0..4 {
+            assert_eq!(c.files_on(i), 2);
+        }
+        for (k, gid) in gids.iter().enumerate() {
+            let data = c.read(*gid, 0, 4 * 512).unwrap();
+            assert_eq!(data, vec![k as u8 + 1; 4 * 512]);
+        }
+        assert_eq!(c.stats().creates, 8);
+        assert_eq!(c.stats().reads, 8);
+    }
+
+    #[test]
+    fn epoch_bumps_on_placement_mutations_only() {
+        let mut c = cluster(2);
+        let e0 = c.epoch();
+        let gid = c.create().unwrap();
+        assert_eq!(c.epoch(), e0 + 1);
+        c.open(gid).unwrap();
+        c.write(gid, 0, b"hello").unwrap();
+        let _ = c.read(gid, 0, 5).unwrap();
+        assert_eq!(c.epoch(), e0 + 1, "data path never bumps the epoch");
+        c.close(gid).unwrap();
+        c.delete(gid).unwrap();
+        assert_eq!(c.epoch(), e0 + 2);
+        assert_eq!(c.directory().lock().epoch(), c.epoch());
+    }
+
+    #[test]
+    fn heartbeat_death_and_rejoin_syncs_epoch() {
+        let mut c = cluster(2);
+        let gids = seed_files(&mut c, 4, 2);
+        c.set_link(1, false);
+        for _ in 0..c.cfg.heartbeat_miss_limit {
+            c.heartbeat_pulse();
+        }
+        assert!(!c.is_alive(1));
+        assert_eq!(c.live_servers(), 1);
+        // Files on the dead server are unavailable; others still serve.
+        let (dead_gids, live_gids): (Vec<_>, Vec<_>) = gids
+            .iter()
+            .partition(|g| c.placement_of(**g).unwrap().0 == 1);
+        assert!(matches!(
+            c.read(dead_gids[0], 0, 16),
+            Err(ClusterError::ServerUnavailable(1))
+        ));
+        assert!(c.read(live_gids[0], 0, 16).is_ok());
+        // New placements avoid the dead server.
+        let fresh = c.create().unwrap();
+        assert_eq!(c.placement_of(fresh).unwrap().0, 0);
+        // Rejoin: one good heartbeat brings it back and syncs the epoch.
+        c.set_link(1, true);
+        c.heartbeat_pulse();
+        assert!(c.is_alive(1));
+        assert_eq!(c.stats().rejoins, 1);
+        assert_eq!(c.node_epoch(1), c.epoch());
+        assert!(c.read(dead_gids[0], 0, 16).is_ok());
+    }
+
+    #[test]
+    fn delete_while_dead_gcs_on_rejoin() {
+        let mut c = cluster(2);
+        let gids = seed_files(&mut c, 4, 2);
+        let victim = *gids
+            .iter()
+            .find(|g| c.placement_of(**g).unwrap().0 == 1)
+            .unwrap();
+        for g in &gids {
+            c.close(*g).unwrap();
+        }
+        c.set_link(1, false);
+        for _ in 0..3 {
+            c.heartbeat_pulse();
+        }
+        assert!(!c.is_alive(1));
+        c.delete(victim).unwrap();
+        assert_eq!(c.pending_gc(), 1);
+        assert!(c.placement_of(victim).is_none());
+        c.set_link(1, true);
+        c.heartbeat_pulse();
+        assert_eq!(c.pending_gc(), 0, "rejoin collects the orphan");
+        assert_eq!(c.stats().orphans_collected, 1);
+    }
+
+    #[test]
+    fn rebalance_moves_hot_files_and_preserves_bytes() {
+        let mut c = cluster(2);
+        let gids = seed_files(&mut c, 6, 4);
+        // Heat up every file on server 0.
+        let hot: Vec<u64> = gids
+            .iter()
+            .copied()
+            .filter(|g| c.placement_of(*g).unwrap().0 == 0)
+            .collect();
+        for _ in 0..50 {
+            for g in &hot {
+                let _ = c.read(*g, 0, 512).unwrap();
+            }
+        }
+        // Kill server 1's share of the heat by adding two cold servers:
+        // server 0 now holds nearly all the load.
+        c.add_server();
+        c.add_server();
+        let fp_before = c.content_fingerprint();
+        let report = c.rebalance();
+        assert!(report.migrated > 0, "hot server must shed load");
+        assert_eq!(report.aborted, 0);
+        assert_eq!(c.content_fingerprint(), fp_before, "bytes survive moves");
+        assert!(c.files_on(0) < hot.len(), "server 0 shed at least one file");
+        // Reads still route correctly after the move.
+        for (k, gid) in gids.iter().enumerate() {
+            assert_eq!(c.read(*gid, 0, 512).unwrap(), vec![k as u8 + 1; 512]);
+        }
+    }
+
+    #[test]
+    fn decommission_drains_and_removes() {
+        let mut c = cluster(3);
+        let gids = seed_files(&mut c, 6, 2);
+        let fp = c.content_fingerprint();
+        c.decommission(2).unwrap();
+        assert_eq!(c.files_on(2), 0);
+        assert_eq!(c.live_servers(), 2);
+        assert_eq!(c.content_fingerprint(), fp);
+        for gid in &gids {
+            assert!(c.read(*gid, 0, 512).is_ok());
+        }
+        // The removed server takes no new placements and no heartbeats.
+        let before = c.stats().heartbeats;
+        c.heartbeat_pulse();
+        assert_eq!(c.stats().heartbeats, before + 2);
+        let fresh = c.create().unwrap();
+        assert_ne!(c.placement_of(fresh).unwrap().0, 2);
+    }
+
+    #[test]
+    fn lossy_channels_stay_exactly_once() {
+        let cfg = ClusterConfig {
+            data_net: NetConfig::lossy(0.3, 0.3, 42),
+            ..ClusterConfig::default()
+        };
+        let mut c = Cluster::new(2, cfg);
+        c.set_max_attempts(64);
+        let gid = c.create().unwrap();
+        c.open(gid).unwrap();
+        for k in 0..50u64 {
+            c.write(gid, k * 8, &k.to_le_bytes()).unwrap();
+        }
+        for k in 0..50u64 {
+            assert_eq!(c.read(gid, k * 8, 8).unwrap(), k.to_le_bytes());
+        }
+        // Replay caches stay bounded by the synchronous in-flight window.
+        assert!(c.replay_entries(0) <= 1);
+        assert!(c.replay_entries(1) <= 1);
+    }
+
+    #[test]
+    fn migration_of_externally_open_file_aborts_cleanly() {
+        let mut c = cluster(2);
+        let gid = c.create().unwrap();
+        c.open(gid).unwrap();
+        c.write(gid, 0, &[7u8; 2048]).unwrap();
+        c.close(gid).unwrap();
+        let (home, local) = c.placement_of(gid).unwrap();
+        // A co-located client opens the file outside the master's view.
+        let handle = c.server_handle(home);
+        handle.lock().file_service_mut().open(local).unwrap();
+        let target = 1 - home;
+        let err = c.migrate(gid, target).unwrap_err();
+        assert!(matches!(err, ClusterError::File(FileServiceError::Busy(_))));
+        assert_eq!(c.placement_of(gid).unwrap().0, home, "map unchanged");
+        assert_eq!(c.files_on(target), 0, "no partial copy left behind");
+        assert_eq!(c.stats().migrations_aborted, 1);
+        handle.lock().file_service_mut().close(local).unwrap();
+        c.open(gid).unwrap();
+        assert_eq!(c.read(gid, 0, 2048).unwrap(), vec![7u8; 2048]);
+    }
+}

@@ -1,0 +1,54 @@
+//! The published placement map: what clients cache, and the epoch that
+//! invalidates their cache.
+//!
+//! The master re-publishes the whole map under a bumped epoch after
+//! every placement mutation (create, delete, migration, decommission).
+//! Clients hold the [`SharedDirectory`] and compare epochs — an equal
+//! epoch means every cached `file → server` binding is still exact, so
+//! the data path stays one hop; a moved epoch costs one refresh, exactly
+//! like a lease-epoch bump costs one reattach round.
+
+use parking_lot::Mutex;
+use rhodos_file_service::FileId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A snapshot of the master's placement map, tagged with the placement
+/// epoch it was published under.
+#[derive(Debug, Default)]
+pub struct PlacementDirectory {
+    epoch: u64,
+    map: HashMap<u64, (usize, FileId)>,
+}
+
+impl PlacementDirectory {
+    /// The epoch this snapshot was published under. Monotone; equality
+    /// with a cached value certifies every cached binding.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Resolves a cluster file id to `(home server, local fid)`.
+    pub fn resolve(&self, gid: u64) -> Option<(usize, FileId)> {
+        self.map.get(&gid).copied()
+    }
+
+    /// Number of placed files.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the namespace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Replaces the snapshot (master-side; called on every epoch bump).
+    pub(crate) fn publish(&mut self, epoch: u64, map: HashMap<u64, (usize, FileId)>) {
+        self.epoch = epoch;
+        self.map = map;
+    }
+}
+
+/// The handle the master publishes through and clients resolve against.
+pub type SharedDirectory = Arc<Mutex<PlacementDirectory>>;

@@ -551,15 +551,26 @@ impl LeaseManager {
         let entries = self.grants.entry(token.fid).or_default();
         if mode == LeaseMode::Write || entries.iter().any(|g| g.mode == LeaseMode::Write) {
             // Cross-client conflict: keep whichever claim carries the
-            // later HLC grant stamp.
-            if let Some(rival) = entries.iter().position(|g| {
-                g.client != token.client && (mode == LeaseMode::Write || g.mode == LeaseMode::Write)
-            }) {
-                if entries[rival].stamp > grant_stamp {
-                    self.stats.reattach_rejected += 1;
-                    return None;
-                }
-                let loser = entries.remove(rival);
+            // later HLC grant stamp. Every conflicting entry is a rival —
+            // a write claim conflicts with *all* other holders, not just
+            // the first one found (stopping at the first rival let a
+            // write reattach land alongside surviving read grants,
+            // breaking single-writer across a crash).
+            let rivals: Vec<usize> = entries
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| {
+                    g.client != token.client
+                        && (mode == LeaseMode::Write || g.mode == LeaseMode::Write)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if rivals.iter().any(|&i| entries[i].stamp > grant_stamp) {
+                self.stats.reattach_rejected += 1;
+                return None;
+            }
+            for &i in rivals.iter().rev() {
+                let loser = entries.remove(i);
                 self.stats.reattach_rejected += 1;
                 let stamp = self.hlc.tick();
                 self.events.push(LeaseEvent::Fenced {
@@ -782,5 +793,85 @@ mod tests {
             .reattach(clock.now_us(), &early.token, early.mode, early.stamp)
             .is_none());
         assert_eq!(m.grant_set()[0].1, 2);
+    }
+
+    #[test]
+    fn write_reattach_fences_every_rival_read() {
+        // Regression: two readers reattach first, then a write claim with
+        // a later grant stamp arrives. The write must fence BOTH reads —
+        // the original code stopped at the first rival, leaving a live
+        // read grant alongside the exclusive write.
+        let (clock, mut m) = mgr();
+        let f = FileId(9);
+        let r2 = m
+            .try_acquire(clock.now_us(), 2, f, LeaseMode::Read)
+            .unwrap();
+        let r3 = m
+            .try_acquire(clock.now_us(), 3, f, LeaseMode::Read)
+            .unwrap();
+        // Client 1 recalls both reads and acquires the write later — but
+        // the fence notifications race the crash, so clients 2 and 3
+        // still believe their reads are live and will reattach them.
+        clock.advance(10);
+        for c in m
+            .try_acquire(clock.now_us(), 1, f, LeaseMode::Write)
+            .unwrap_err()
+        {
+            m.fence(f, c.client, c.seq);
+        }
+        let w = m
+            .try_acquire(clock.now_us(), 1, f, LeaseMode::Write)
+            .unwrap();
+        assert!(w.stamp > r2.stamp && w.stamp > r3.stamp);
+        m.server_crashed(clock.now_us());
+        // Stale read claims land first and are provisionally accepted.
+        m.reattach(clock.now_us(), &r2.token, r2.mode, r2.stamp)
+            .expect("read reattach accepted");
+        m.reattach(clock.now_us(), &r3.token, r3.mode, r3.stamp)
+            .expect("read reattach accepted");
+        // The later-stamped write claim fences both.
+        let winner = m
+            .reattach(clock.now_us(), &w.token, w.mode, w.stamp)
+            .expect("later HLC stamp wins");
+        assert_eq!(winner.mode, LeaseMode::Write);
+        let set = m.grant_set();
+        assert_eq!(set.len(), 1, "write lease must be exclusive: {set:?}");
+        assert_eq!((set[0].1, set[0].2), (1, LeaseMode::Write));
+    }
+
+    #[test]
+    fn write_reattach_rejected_when_any_rival_is_later() {
+        // Mirror case: if even one surviving rival carries a later stamp,
+        // the write claim must be rejected and every rival kept.
+        let (clock, mut m) = mgr();
+        let f = FileId(9);
+        let w = m
+            .try_acquire(clock.now_us(), 1, f, LeaseMode::Write)
+            .unwrap();
+        // Readers acquired after the write was recalled: later stamps.
+        clock.advance(10);
+        for c in m
+            .try_acquire(clock.now_us(), 2, f, LeaseMode::Read)
+            .unwrap_err()
+        {
+            m.fence(f, c.client, c.seq);
+        }
+        let r2 = m
+            .try_acquire(clock.now_us(), 2, f, LeaseMode::Read)
+            .unwrap();
+        let r3 = m
+            .try_acquire(clock.now_us(), 3, f, LeaseMode::Read)
+            .unwrap();
+        assert!(r2.stamp > w.stamp && r3.stamp > w.stamp);
+        m.server_crashed(clock.now_us());
+        m.reattach(clock.now_us(), &r2.token, r2.mode, r2.stamp)
+            .expect("read reattach accepted");
+        m.reattach(clock.now_us(), &r3.token, r3.mode, r3.stamp)
+            .expect("read reattach accepted");
+        assert!(m
+            .reattach(clock.now_us(), &w.token, w.mode, w.stamp)
+            .is_none());
+        let set = m.grant_set();
+        assert_eq!(set.len(), 2, "both later reads survive: {set:?}");
     }
 }

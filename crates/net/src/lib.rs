@@ -66,6 +66,14 @@ pub struct NetConfig {
     pub jitter_us: u64,
     /// Probability a transmission is lost entirely.
     pub drop_prob: f64,
+    /// Loss probability for the *reply* leg of an RPC exchange, when it
+    /// differs from the request leg. `None` keeps the lane symmetric
+    /// (replies drop with `drop_prob`). A one-way-lossy lane
+    /// (`drop_prob = 0`, `reply_drop_prob = Some(p)`) is the worst case
+    /// for server replay state: every operation executes, but its reply
+    /// — and the piggybacked ack it would have confirmed — keeps
+    /// getting lost.
+    pub reply_drop_prob: Option<f64>,
     /// Probability a delivered transmission arrives twice.
     pub duplicate_prob: f64,
     /// RNG seed — simulations are deterministic per seed.
@@ -78,6 +86,7 @@ impl Default for NetConfig {
             delay_us: 500,
             jitter_us: 100,
             drop_prob: 0.0,
+            reply_drop_prob: None,
             duplicate_prob: 0.0,
             seed: 0,
         }
@@ -95,6 +104,18 @@ impl NetConfig {
         Self {
             drop_prob,
             duplicate_prob,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// A one-way-lossy lane: requests always arrive, replies drop with
+    /// `reply_drop_prob`. Every operation executes server-side but its
+    /// acknowledgement keeps getting lost — the adversarial case for
+    /// replay-cache boundedness.
+    pub fn reply_lossy(reply_drop_prob: f64, seed: u64) -> Self {
+        Self {
+            reply_drop_prob: Some(reply_drop_prob),
             seed,
             ..Self::default()
         }
@@ -160,6 +181,20 @@ impl SimNetwork {
     /// Sends one message, advancing the clock by its transit time (or the
     /// timeout-equivalent delay when it is lost).
     pub fn transmit(&mut self) -> Delivery {
+        let p = self.config.drop_prob;
+        self.transmit_with(p)
+    }
+
+    /// Sends one *reply-leg* message: drops with `reply_drop_prob` when
+    /// the lane is asymmetric, with `drop_prob` otherwise. RNG draw order
+    /// is identical to [`Self::transmit`], so symmetric configurations
+    /// stay byte-for-byte deterministic with earlier traces.
+    pub fn transmit_reply(&mut self) -> Delivery {
+        let p = self.config.reply_drop_prob.unwrap_or(self.config.drop_prob);
+        self.transmit_with(p)
+    }
+
+    fn transmit_with(&mut self, drop_prob: f64) -> Delivery {
         self.stats.sent += 1;
         let jitter = if self.config.jitter_us > 0 {
             self.rng.gen_range(0..=self.config.jitter_us)
@@ -169,7 +204,7 @@ impl SimNetwork {
         let cost = self.config.delay_us + jitter;
         self.clock.advance(cost);
         self.stats.transit_us += cost;
-        if self.rng.gen_bool(self.config.drop_prob.clamp(0.0, 1.0)) {
+        if self.rng.gen_bool(drop_prob.clamp(0.0, 1.0)) {
             self.stats.lost += 1;
             return Delivery::Lost;
         }
@@ -354,7 +389,7 @@ impl RpcClient {
                 reply = server(req_id, min_live_seq);
             }
             // Reply leg.
-            match net.transmit() {
+            match net.transmit_reply() {
                 Delivery::Delivered { .. } => return Ok(reply),
                 Delivery::Lost => continue,
             }
@@ -684,6 +719,33 @@ mod more_tests {
         assert_eq!(counter, 1_000, "still exactly-once under pruning");
         assert!(cache.stats().peak_entries <= 1);
         assert!(cache.stats().replayed > 0, "seed 5 must duplicate");
+    }
+
+    #[test]
+    fn one_way_lossy_lane_drops_only_replies() {
+        // reply_drop_prob = 1.0, drop_prob = 0.0: every request arrives
+        // and executes, every reply is lost. The call exhausts its
+        // attempts, but the replay cache holds exactly one entry — each
+        // retry replays the same logical request id.
+        let mut n = SimNetwork::new(SimClock::new(), NetConfig::reply_lossy(1.0, 11));
+        let mut client = RpcClient::new(3);
+        client.max_attempts = 8;
+        let mut cache = ReplayCache::new();
+        let mut executed = 0u32;
+        let err = client
+            .call_with_ack(&mut n, |rid, ack| {
+                cache.execute_acked(rid, ack, || {
+                    executed += 1;
+                    vec![7]
+                })
+            })
+            .unwrap_err();
+        assert_eq!(err.attempts, 8);
+        assert_eq!(executed, 1, "retries of one call replay, not re-execute");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().replayed, 7);
+        // Symmetric configs are untouched: reply_lossy drops no requests.
+        assert_eq!(n.stats().lost, 8, "only the 8 reply legs were lost");
     }
 
     #[test]

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod rpc;
+pub mod wire;
 
 use rhodos_file_service::{
     FileAttributes, FileId, FileService, FileServiceError, ScrubFinding, ScrubOwner, ScrubReport,

@@ -23,405 +23,23 @@
 use crate::{
     is_device_fault, ReplicatedFiles, ReplicationConfig, ReplicationError, ReplicationStats,
 };
-use rhodos_disk_service::codec::{Decoder, Encoder};
-use rhodos_disk_service::DiskServiceError;
+use rhodos_disk_service::codec::Decoder;
 use rhodos_file_service::{
     FileAttributes, FileId, FileService, FileServiceError, LeaseGrant, LeaseMode, LeaseToken,
     ServiceType,
 };
 use rhodos_net::{NetConfig, ReplayCache, RpcClient, SimNetwork};
-use rhodos_simdisk::{DiskError, HlcStamp};
+use rhodos_simdisk::HlcStamp;
 
-// ---- wire format ------------------------------------------------------
-
-const OP_CREATE: u8 = 1;
-const OP_OPEN: u8 = 2;
-const OP_CLOSE: u8 = 3;
-const OP_DELETE: u8 = 4;
-const OP_WRITE: u8 = 5;
-const OP_READ: u8 = 6;
-const OP_GET_ATTR: u8 = 7;
-const OP_LEASE_ACQUIRE: u8 = 8;
-const OP_LEASE_RELEASE: u8 = 9;
-const OP_LEASE_RENEW: u8 = 10;
-const OP_LEASE_REATTACH: u8 = 11;
-const OP_WRITE_LEASED: u8 = 12;
-
-const REPLY_OK: u8 = 0;
-const REPLY_ERR: u8 = 1;
-
-fn encode_create(st: ServiceType) -> Vec<u8> {
-    let mut e = Encoder::new();
-    e.u8(OP_CREATE).u8(match st {
-        ServiceType::Basic => 0,
-        ServiceType::Transaction => 1,
-    });
-    e.finish()
-}
-
-fn encode_fid_op(op: u8, fid: FileId) -> Vec<u8> {
-    let mut e = Encoder::new();
-    e.u8(op).u64(fid.0);
-    e.finish()
-}
-
-fn encode_write(fid: FileId, offset: u64, data: &[u8]) -> Vec<u8> {
-    let mut e = Encoder::new();
-    e.u8(OP_WRITE).u64(fid.0).u64(offset).bytes(data);
-    e.finish()
-}
-
-fn encode_read(fid: FileId, offset: u64, len: usize) -> Vec<u8> {
-    let mut e = Encoder::new();
-    e.u8(OP_READ).u64(fid.0).u64(offset).u64(len as u64);
-    e.finish()
-}
-
-// ---- lease wire format -------------------------------------------------
-
-fn mode_code(mode: LeaseMode) -> u8 {
-    match mode {
-        LeaseMode::Read => 0,
-        LeaseMode::Write => 1,
-    }
-}
-
-fn decode_mode(d: &mut Decoder<'_>) -> LeaseMode {
-    match d.u8().expect("lease mode") {
-        0 => LeaseMode::Read,
-        _ => LeaseMode::Write,
-    }
-}
-
-fn encode_stamp(e: &mut Encoder, s: HlcStamp) {
-    e.u64(s.wall_us).u32(s.logical).u32(s.node);
-}
-
-fn decode_stamp(d: &mut Decoder<'_>) -> HlcStamp {
-    HlcStamp {
-        wall_us: d.u64().expect("stamp wall"),
-        logical: d.u32().expect("stamp logical"),
-        node: d.u32().expect("stamp node"),
-    }
-}
-
-fn encode_token(e: &mut Encoder, t: &LeaseToken) {
-    e.u64(t.client).u64(t.fid.0).u64(t.epoch).u64(t.seq);
-}
-
-fn decode_token(d: &mut Decoder<'_>) -> LeaseToken {
-    LeaseToken {
-        client: d.u64().expect("token client"),
-        fid: FileId(d.u64().expect("token fid")),
-        epoch: d.u64().expect("token epoch"),
-        seq: d.u64().expect("token seq"),
-    }
-}
-
-fn encode_grant(e: &mut Encoder, g: &LeaseGrant) {
-    encode_token(e, &g.token);
-    e.u8(mode_code(g.mode)).u64(g.expiry_us);
-    encode_stamp(e, g.stamp);
-}
-
-fn decode_grant(d: &mut Decoder<'_>) -> LeaseGrant {
-    let token = decode_token(d);
-    let mode = decode_mode(d);
-    let expiry_us = d.u64().expect("grant expiry");
-    let stamp = decode_stamp(d);
-    LeaseGrant {
-        token,
-        mode,
-        expiry_us,
-        stamp,
-    }
-}
-
-fn encode_lease_acquire(client: u64, fid: FileId, mode: LeaseMode) -> Vec<u8> {
-    let mut e = Encoder::new();
-    e.u8(OP_LEASE_ACQUIRE)
-        .u64(client)
-        .u64(fid.0)
-        .u8(mode_code(mode));
-    e.finish()
-}
-
-fn encode_token_op(op: u8, token: &LeaseToken) -> Vec<u8> {
-    let mut e = Encoder::new();
-    e.u8(op);
-    encode_token(&mut e, token);
-    e.finish()
-}
-
-fn encode_lease_reattach(token: &LeaseToken, mode: LeaseMode, stamp: HlcStamp) -> Vec<u8> {
-    let mut e = Encoder::new();
-    e.u8(OP_LEASE_REATTACH);
-    encode_token(&mut e, token);
-    e.u8(mode_code(mode));
-    encode_stamp(&mut e, stamp);
-    e.finish()
-}
-
-fn encode_write_leased(fid: FileId, offset: u64, data: &[u8], token: &LeaseToken) -> Vec<u8> {
-    let mut e = Encoder::new();
-    e.u8(OP_WRITE_LEASED).u64(fid.0).u64(offset).bytes(data);
-    encode_token(&mut e, token);
-    e.finish()
-}
-
-/// Executes one decoded request against the replica's file service and
-/// encodes the reply. This is the entire server: its only state besides
-/// the files themselves is the replay cache the caller wraps around it.
-fn serve(fs: &mut FileService, req: &[u8]) -> Vec<u8> {
-    let mut d = Decoder::new(req);
-    let op = d.u8().expect("self-generated request");
-    let result: Result<Vec<u8>, FileServiceError> = match op {
-        OP_CREATE => {
-            let st = match d.u8().expect("service type") {
-                0 => ServiceType::Basic,
-                _ => ServiceType::Transaction,
-            };
-            fs.create(st).map(|fid| {
-                let mut e = Encoder::new();
-                e.u64(fid.0);
-                e.finish()
-            })
-        }
-        OP_OPEN => fs.open(FileId(d.u64().expect("fid"))).map(|()| Vec::new()),
-        OP_CLOSE => fs.close(FileId(d.u64().expect("fid"))).map(|()| Vec::new()),
-        OP_DELETE => fs
-            .delete(FileId(d.u64().expect("fid")))
-            .map(|()| Vec::new()),
-        OP_WRITE => {
-            let fid = FileId(d.u64().expect("fid"));
-            let offset = d.u64().expect("offset");
-            let data = d.bytes().expect("data");
-            fs.write(fid, offset, data).map(|()| Vec::new())
-        }
-        OP_READ => {
-            let fid = FileId(d.u64().expect("fid"));
-            let offset = d.u64().expect("offset");
-            let len = d.u64().expect("len") as usize;
-            fs.read(fid, offset, len)
-        }
-        OP_GET_ATTR => fs.get_attribute(FileId(d.u64().expect("fid"))).map(|a| {
-            let mut e = Encoder::new();
-            a.encode(&mut e);
-            e.finish()
-        }),
-        OP_LEASE_ACQUIRE => {
-            let client = d.u64().expect("client");
-            let fid = FileId(d.u64().expect("fid"));
-            let mode = decode_mode(&mut d);
-            fs.lease_acquire(client, fid, mode).map(|(grant, size)| {
-                let mut e = Encoder::new();
-                encode_grant(&mut e, &grant);
-                e.u64(size);
-                e.finish()
-            })
-        }
-        OP_LEASE_RELEASE => {
-            let token = decode_token(&mut d);
-            fs.lease_release(&token);
-            Ok(Vec::new())
-        }
-        OP_LEASE_RENEW => {
-            let token = decode_token(&mut d);
-            fs.lease_renew(&token).map(|(expiry_us, stamp)| {
-                let mut e = Encoder::new();
-                e.u64(expiry_us);
-                encode_stamp(&mut e, stamp);
-                e.finish()
-            })
-        }
-        OP_LEASE_REATTACH => {
-            let token = decode_token(&mut d);
-            let mode = decode_mode(&mut d);
-            let stamp = decode_stamp(&mut d);
-            fs.lease_reattach(&token, mode, stamp).map(|grant| {
-                let mut e = Encoder::new();
-                encode_grant(&mut e, &grant);
-                e.finish()
-            })
-        }
-        OP_WRITE_LEASED => {
-            let fid = FileId(d.u64().expect("fid"));
-            let offset = d.u64().expect("offset");
-            let data = d.bytes().expect("data").to_vec();
-            let token = decode_token(&mut d);
-            fs.write_leased(fid, offset, data, &token)
-                .map(|()| Vec::new())
-        }
-        _ => unreachable!("unknown opcode {op}"),
-    };
-    let mut e = Encoder::new();
-    match result {
-        Ok(payload) => {
-            e.u8(REPLY_OK).bytes(&payload);
-        }
-        Err(err) => {
-            e.u8(REPLY_ERR);
-            encode_error(&mut e, &err);
-        }
-    }
-    e.finish()
-}
-
-fn decode_reply(buf: &[u8]) -> Result<Vec<u8>, FileServiceError> {
-    let mut d = Decoder::new(buf);
-    match d.u8().expect("reply tag") {
-        REPLY_OK => Ok(d.bytes().expect("payload").to_vec()),
-        _ => Err(decode_error(&mut d)),
-    }
-}
-
-fn encode_error(e: &mut Encoder, err: &FileServiceError) {
-    match err {
-        FileServiceError::NotFound(fid) => {
-            e.u8(1).u64(fid.0);
-        }
-        FileServiceError::NotOpen(fid) => {
-            e.u8(2).u64(fid.0);
-        }
-        FileServiceError::Busy(fid) => {
-            e.u8(3).u64(fid.0);
-        }
-        FileServiceError::BeyondEof { fid, offset, size } => {
-            e.u8(4).u64(fid.0).u64(*offset).u64(*size);
-        }
-        FileServiceError::FileTooLarge(fid) => {
-            e.u8(5).u64(fid.0);
-        }
-        FileServiceError::DirectoryFull => {
-            e.u8(6);
-        }
-        FileServiceError::Corrupt(fid) => {
-            e.u8(7).u64(fid.0);
-        }
-        FileServiceError::Disk(d) => {
-            e.u8(8);
-            encode_disk_error(e, d);
-        }
-        FileServiceError::LeaseFenced(fid) => {
-            e.u8(9).u64(fid.0);
-        }
-        FileServiceError::LeaseRejected(fid) => {
-            e.u8(10).u64(fid.0);
-        }
-        other => unreachable!("unencodable file-service error: {other}"),
-    }
-}
-
-fn encode_disk_error(e: &mut Encoder, err: &DiskServiceError) {
-    match err {
-        DiskServiceError::NoSpace {
-            requested,
-            largest_free,
-            total_free,
-        } => {
-            e.u8(1).u64(*requested).u64(*largest_free).u64(*total_free);
-        }
-        DiskServiceError::NoStableStorage => {
-            e.u8(2);
-        }
-        DiskServiceError::SizeMismatch { expected, got } => {
-            e.u8(3).u64(*expected as u64).u64(*got as u64);
-        }
-        DiskServiceError::BadExtent => {
-            e.u8(4);
-        }
-        DiskServiceError::Disk(d) => {
-            e.u8(5);
-            match d {
-                DiskError::OutOfRange {
-                    start,
-                    count,
-                    total,
-                } => {
-                    e.u8(1).u64(*start).u64(*count).u64(*total);
-                }
-                DiskError::BadSector(a) => {
-                    e.u8(2).u64(*a);
-                }
-                DiskError::Crashed => {
-                    e.u8(3);
-                }
-                DiskError::UnalignedBuffer { len } => {
-                    e.u8(4).u64(*len as u64);
-                }
-                DiskError::StableLost(a) => {
-                    e.u8(5).u64(*a);
-                }
-                other => unreachable!("unencodable disk error: {other}"),
-            }
-        }
-        other => unreachable!("unencodable disk-service error: {other}"),
-    }
-}
-
-fn decode_error(d: &mut Decoder<'_>) -> FileServiceError {
-    let fid = |d: &mut Decoder<'_>| FileId(d.u64().expect("fid"));
-    match d.u8().expect("error code") {
-        1 => FileServiceError::NotFound(fid(d)),
-        2 => FileServiceError::NotOpen(fid(d)),
-        3 => FileServiceError::Busy(fid(d)),
-        4 => FileServiceError::BeyondEof {
-            fid: fid(d),
-            offset: d.u64().expect("offset"),
-            size: d.u64().expect("size"),
-        },
-        5 => FileServiceError::FileTooLarge(fid(d)),
-        6 => FileServiceError::DirectoryFull,
-        7 => FileServiceError::Corrupt(fid(d)),
-        8 => FileServiceError::Disk(decode_disk_error(d)),
-        9 => FileServiceError::LeaseFenced(fid(d)),
-        10 => FileServiceError::LeaseRejected(fid(d)),
-        other => unreachable!("unknown error code {other}"),
-    }
-}
-
-fn decode_disk_error(d: &mut Decoder<'_>) -> DiskServiceError {
-    match d.u8().expect("disk error code") {
-        1 => DiskServiceError::NoSpace {
-            requested: d.u64().expect("requested"),
-            largest_free: d.u64().expect("largest_free"),
-            total_free: d.u64().expect("total_free"),
-        },
-        2 => DiskServiceError::NoStableStorage,
-        3 => DiskServiceError::SizeMismatch {
-            expected: d.u64().expect("expected") as usize,
-            got: d.u64().expect("got") as usize,
-        },
-        4 => DiskServiceError::BadExtent,
-        5 => DiskServiceError::Disk(match d.u8().expect("device error code") {
-            1 => DiskError::OutOfRange {
-                start: d.u64().expect("start"),
-                count: d.u64().expect("count"),
-                total: d.u64().expect("total"),
-            },
-            2 => DiskError::BadSector(d.u64().expect("addr")),
-            3 => DiskError::Crashed,
-            4 => DiskError::UnalignedBuffer {
-                len: d.u64().expect("len") as usize,
-            },
-            5 => DiskError::StableLost(d.u64().expect("addr")),
-            other => unreachable!("unknown device error code {other}"),
-        }),
-        other => unreachable!("unknown disk error code {other}"),
-    }
-}
+// The wire format (opcodes, codecs, `serve`, per-machine `Channel`)
+// lives in [`crate::wire`], shared with the cluster front-end.
+use crate::wire::{
+    decode_grant, decode_reply, decode_stamp, encode_create, encode_fid_op, encode_lease_acquire,
+    encode_lease_reattach, encode_read, encode_token_op, encode_write, encode_write_leased, serve,
+    Channel, OP_CLOSE, OP_DELETE, OP_GET_ATTR, OP_LEASE_RELEASE, OP_LEASE_RENEW, OP_OPEN,
+};
 
 // ---- the networked front-end ------------------------------------------
-
-/// One replica's transport endpoint: the lossy channel to its machine,
-/// the client-side retry state, and the server-side replay cache (which
-/// lives with the replica — a crash wipes it).
-#[derive(Debug)]
-struct Channel {
-    net: SimNetwork,
-    client: RpcClient,
-    cache: ReplayCache,
-}
 
 /// Aggregate RPC-layer statistics across all replica channels.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -945,8 +563,11 @@ impl ReplicatedRpcFiles {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::{decode_error, encode_error};
+    use rhodos_disk_service::codec::Encoder;
+    use rhodos_disk_service::DiskServiceError;
     use rhodos_file_service::FileServiceConfig;
-    use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
+    use rhodos_simdisk::{DiskError, DiskGeometry, LatencyModel, SimClock};
 
     fn rpc_cluster(n: usize, net_cfg: NetConfig) -> ReplicatedRpcFiles {
         let clock = SimClock::new();

@@ -376,3 +376,67 @@ fn hot_reread_is_zero_rpc_under_a_live_lease() {
     assert_eq!(agents[1].net_stats().sent, sent, "zero packets");
     assert!(agents[1].stats().rpcs_avoided_by_lease >= 20);
 }
+
+// --------------------------------------------- reattach/regrant fencing --
+
+/// Pinned regression for the PR 8 reattach audit: after a crash, stale
+/// claims from the previous epoch arrive in arbitrary order, and a write
+/// reattach whose grant stamp post-dates several already-reattached read
+/// claims must fence *all* of them. The original `LeaseManager::reattach`
+/// stopped at the first rival it found, so a second reattached reader
+/// survived alongside the freshly accepted exclusive write — two live
+/// holders where single-writer was promised.
+#[test]
+fn write_reattach_cannot_coexist_with_any_prior_regrant() {
+    use rhodos_file_service::{LeaseManager, LeaseMode, LeaseParams};
+
+    let clock = SimClock::new();
+    let mut m = LeaseManager::new(clock.clone(), LeaseParams::default());
+    let f = rhodos_file_service::FileId(1);
+    // Old-epoch history: clients 2 and 3 share a read lease; client 1
+    // later recalls them and takes the write — but the fence messages
+    // race the crash, so all three clients still believe they hold live
+    // grants and will re-present them.
+    let r2 = m
+        .try_acquire(clock.now_us(), 2, f, LeaseMode::Read)
+        .unwrap();
+    let r3 = m
+        .try_acquire(clock.now_us(), 3, f, LeaseMode::Read)
+        .unwrap();
+    clock.advance(10);
+    for c in m
+        .try_acquire(clock.now_us(), 1, f, LeaseMode::Write)
+        .unwrap_err()
+    {
+        m.fence(f, c.client, c.seq);
+    }
+    let w = m
+        .try_acquire(clock.now_us(), 1, f, LeaseMode::Write)
+        .unwrap();
+    m.server_crashed(clock.now_us());
+    // The stale read claims land first and are (provisionally) regranted
+    // in the new epoch.
+    let g2 = m
+        .reattach(clock.now_us(), &r2.token, r2.mode, r2.stamp)
+        .expect("read regrant");
+    let g3 = m
+        .reattach(clock.now_us(), &r3.token, r3.mode, r3.stamp)
+        .expect("read regrant");
+    // The write claim carries the latest HLC stamp: it must win, and it
+    // must fence BOTH regranted readers, not just the first.
+    let winner = m
+        .reattach(clock.now_us(), &w.token, w.mode, w.stamp)
+        .expect("latest-stamped write claim wins the reattach race");
+    assert_eq!(winner.mode, LeaseMode::Write);
+    let live = m.grant_set();
+    assert_eq!(
+        live.len(),
+        1,
+        "exactly one live holder after a write reattach: {live:?}"
+    );
+    assert_eq!(live[0].1, 1, "the write claimant is the survivor");
+    // And the regranted reader tokens are dead: their next validate
+    // fails, forcing a clean re-acquire instead of serving stale bytes.
+    assert!(!m.validate(&g2.token, clock.now_us(), false));
+    assert!(!m.validate(&g3.token, clock.now_us(), false));
+}

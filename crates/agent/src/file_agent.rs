@@ -15,7 +15,7 @@ use rhodos_cluster::SharedDirectory;
 use rhodos_disk_service::{SchedulerStats, BLOCK_SIZE};
 use rhodos_file_service::{
     BlockCache, CacheStats, FileAttributes, FileId, FileServiceError, LeaseMode, LeaseToken,
-    ScrubStats, ServiceType,
+    ParityStats, ScrubStats, ServiceType,
 };
 use rhodos_naming::{AttributedName, NamingError, NamingService, SystemName};
 use rhodos_net::{NetConfig, NetStats, SimNetwork};
@@ -104,6 +104,12 @@ pub struct AgentStats {
     /// Background-scrubber counters merged over every reachable server —
     /// latent faults found, repaired and (loudly) unrecoverable.
     pub scrub: ScrubStats,
+    /// Parity-tier technique counters merged over every reachable
+    /// server: which write path each stripe row took (full-stripe /
+    /// parity-delta / reconstruct), degraded reads served through
+    /// reconstruction, and rebuild progress. All zero on servers
+    /// running without `Redundancy::Parity`.
+    pub parity: ParityStats,
     /// RPCs issued to servers (request/reply exchanges — one per round
     /// trip, including lease acquire/renew traffic).
     pub rpcs_sent: u64,
@@ -337,10 +343,12 @@ impl FileAgent {
         }
         let mut scheduler = SchedulerStats::default();
         let mut scrub = ScrubStats::default();
+        let mut parity = ParityStats::default();
         for srv in &self.servers {
             let mut srv = srv.lock();
             let stats = srv.file_service_mut().stats();
             scrub.merge(&stats.scrub);
+            parity.merge(&stats.parity);
             for d in stats.disks {
                 scheduler.merge(&d.scheduler);
             }
@@ -350,6 +358,7 @@ impl FileAgent {
             round_trips: self.round_trips,
             scheduler,
             scrub,
+            parity,
             rpcs_sent: self.round_trips,
             rpcs_avoided_by_lease: self.rpcs_avoided,
             recalls,

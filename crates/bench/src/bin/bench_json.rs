@@ -17,7 +17,11 @@
 //! `rhodos_bench::experiments::e22_leases::stat_records`) — and
 //! `BENCH_cluster.json`: the E23 scale-out lane (per-server-count
 //! saturation, read percentiles and the cluster content fingerprint;
-//! see `rhodos_bench::experiments::e23_scaleout::stat_records`).
+//! see `rhodos_bench::experiments::e23_scaleout::stat_records`) — and
+//! `BENCH_raid.json`: the E21 erasure-coding lane (storage overhead per
+//! redundancy tier, full-stripe write bandwidth, naive vs coalesced
+//! small-write makespan, degraded-read p99 and rebuild/technique
+//! counters; see `rhodos_bench::experiments::e21_raid::stat_records`).
 //!
 //! Every lane is *gated* against its committed `*.baseline.json`:
 //! the latency and leases lanes fail the run if a `p99_us` or
@@ -76,6 +80,9 @@ fn main() {
     let cluster_records = rhodos_bench::experiments::e23_scaleout::stat_records();
     write_stat_lane("BENCH_cluster.json", &cluster_records);
 
+    let raid_records = rhodos_bench::experiments::e21_raid::stat_records();
+    write_stat_lane("BENCH_raid.json", &raid_records);
+
     let mut ok = true;
     ok &= gate_exact("BENCH_replication.baseline.json", &rep_records);
     ok &= gate_exact("BENCH_txn_commit.baseline.json", &txn_records);
@@ -83,6 +90,7 @@ fn main() {
     ok &= gate_latency(&lat_records);
     ok &= gate_leases(&lease_records);
     ok &= gate_cluster(&cluster_records);
+    ok &= gate_raid(&raid_records);
     if !ok {
         std::process::exit(1);
     }
@@ -212,6 +220,40 @@ fn gate_cluster(fresh: &[(String, u64)]) -> bool {
     }
     if ok {
         println!("cluster lane within 10% of {base_path}");
+    }
+    ok
+}
+
+/// Diffs the fresh E21 erasure-coding lane against the committed
+/// baseline: full-stripe write throughput more than 10% below baseline,
+/// or a degraded-read `p99_us` more than 10% above (25 us absolute
+/// floor), fails the run — the full-stripe fast path and transparent
+/// degraded service must not quietly erode. Overhead percentages and
+/// technique counters are informational (the committed-JSON diff still
+/// catches drift). Missing baseline (bootstrap) passes with a note.
+fn gate_raid(fresh: &[(String, u64)]) -> bool {
+    let base_path = "BENCH_raid.baseline.json";
+    let Ok(base_text) = std::fs::read_to_string(base_path) else {
+        println!("no {base_path}; skipping raid regression gate");
+        return true;
+    };
+    let baseline = parse_stat_rows(&base_text);
+    let mut ok = true;
+    for (stat, value) in fresh {
+        let Some((_, base)) = baseline.iter().find(|(s, _)| s == stat) else {
+            continue;
+        };
+        if stat.ends_with("kb_s") && *value < base - base / 10 {
+            println!("RAID THROUGHPUT REGRESSION: {stat} = {value} KB/s (baseline {base} KB/s)");
+            ok = false;
+        }
+        if stat.ends_with("p99_us") && *value > base + (base / 10).max(25) {
+            println!("RAID DEGRADED-READ REGRESSION: {stat} = {value} us (baseline {base} us)");
+            ok = false;
+        }
+    }
+    if ok {
+        println!("raid lane within 10% of {base_path}");
     }
     ok
 }

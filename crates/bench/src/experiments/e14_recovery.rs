@@ -5,7 +5,8 @@
 //! (§6.6). Sweeps fault scenarios and reports recovery outcomes.
 
 use crate::table::Table;
-use rhodos_file_service::{FileServiceConfig, LockLevel};
+use rhodos_file_service::{FileService, FileServiceConfig, LockLevel, Redundancy, ServiceType};
+use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
 use rhodos_txn::{TransactionService, TxnConfig};
 
 fn fresh() -> (TransactionService, rhodos_file_service::FileId) {
@@ -35,6 +36,20 @@ fn fault_counters(ts: &mut TransactionService) -> String {
     )
 }
 
+/// Parity-tier technique counters (`full/delta/reconstruct+degraded`):
+/// which write path the stripe rows took and how many reads ran through
+/// reconstruction. All zeros for the non-parity scenarios.
+fn fmt_parity(p: rhodos_file_service::ParityStats) -> String {
+    format!(
+        "{}/{}/{}+{}",
+        p.full_stripe_writes, p.parity_delta_writes, p.reconstruct_writes, p.degraded_reads
+    )
+}
+
+fn parity_counters(ts: &mut TransactionService) -> String {
+    fmt_parity(ts.file_service_mut().stats().parity)
+}
+
 fn check(ts: &mut TransactionService, fid: rhodos_file_service::FileId) -> bool {
     let t = ts.tbegin();
     if ts.topen(t, fid).is_err() {
@@ -56,6 +71,7 @@ pub fn run() -> String {
         "data intact",
         "redone txns",
         "bad/cksum/remap",
+        "parity f/d/r+dr",
     ]);
 
     // 1. Pure crash (volatile state lost).
@@ -69,6 +85,7 @@ pub fn run() -> String {
             if check(&mut ts, fid) { "yes" } else { "NO" }.into(),
             redone.len().to_string(),
             fault_counters(&mut ts),
+            parity_counters(&mut ts),
         ]);
     }
 
@@ -90,6 +107,7 @@ pub fn run() -> String {
             if check(&mut ts, fid) { "yes" } else { "NO" }.into(),
             redone.len().to_string(),
             fault_counters(&mut ts),
+            parity_counters(&mut ts),
         ]);
     }
 
@@ -114,6 +132,7 @@ pub fn run() -> String {
             if check(&mut ts, fid) { "yes" } else { "NO" }.into(),
             redone.len().to_string(),
             fault_counters(&mut ts),
+            parity_counters(&mut ts),
         ]);
     }
 
@@ -144,6 +163,7 @@ pub fn run() -> String {
             .into(),
             redone.len().to_string(),
             fault_counters(&mut ts),
+            parity_counters(&mut ts),
         ]);
     }
 
@@ -173,6 +193,51 @@ pub fn run() -> String {
             "n/a (excluded by the paper)".into(),
             "-".into(),
             fault_counters(&mut ts),
+            parity_counters(&mut ts),
+        ]);
+    }
+
+    // 6. Whole-disk loss inside a RAID-5 parity group: reads keep being
+    // served through reconstruction while a budgeted rebuild repopulates
+    // the spare (E21).
+    {
+        let mut f = FileService::striped(
+            5,
+            DiskGeometry::medium(),
+            LatencyModel::instant(),
+            SimClock::new(),
+            FileServiceConfig {
+                redundancy: Redundancy::Parity { k: 4, m: 1 },
+                ..FileServiceConfig::default()
+            },
+        )
+        .expect("format parity group");
+        let fid = f.create(ServiceType::Basic).unwrap();
+        f.open(fid).unwrap();
+        let payload: Vec<u8> = (0..8 * 8192u32).map(|i| i as u8).collect();
+        f.write(fid, 0, payload.clone()).unwrap();
+        f.flush_all().unwrap();
+        f.fail_disk(2).unwrap();
+        let degraded_ok = f.read(fid, 0, payload.len()).map(|d| d == payload) == Ok(true);
+        let report = f.rebuild(None).unwrap();
+        f.evict_caches().unwrap();
+        let rebuilt_ok = f.read(fid, 0, payload.len()).map(|d| d == payload) == Ok(true);
+        t.row_owned(vec![
+            "whole-disk loss in a 4+1 parity group".into(),
+            if report.complete {
+                format!("yes ({} pages rebuilt)", report.pages)
+            } else {
+                "NO".into()
+            },
+            if degraded_ok && rebuilt_ok {
+                "yes"
+            } else {
+                "NO"
+            }
+            .into(),
+            "-".into(),
+            "0/0/0".into(),
+            fmt_parity(f.stats().parity),
         ]);
     }
 
@@ -180,6 +245,8 @@ pub fn run() -> String {
     out.push_str(
         "\nbad/cksum/remap = media_errors / checksum_mismatches / remapped_sectors\n\
          observed by the main disk's checksum lane and spare-sector remap (E19).\n\
+         parity f/d/r+dr = full-stripe / parity-delta / reconstruct writes +\n\
+         degraded reads in the erasure-coded striping tier (E21).\n\
          \npaper: every failure class except catastrophes recovers; catastrophes\n\
          (losing a structure AND both stable replicas) are reported, not hidden.\n",
     );

@@ -23,5 +23,6 @@ pub mod e17_replication_failover;
 pub mod e18_group_commit;
 pub mod e19_self_healing;
 pub mod e20_contention;
+pub mod e21_raid;
 pub mod e22_leases;
 pub mod e23_scaleout;

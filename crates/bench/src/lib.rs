@@ -121,6 +121,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             e20_contention::run,
         ),
         (
+            "e21",
+            "Erasure-coded striping: RAID-5/6 parity groups vs the mirror",
+            e21_raid::run,
+        ),
+        (
             "e22",
             "Lease-based client cache coherence: zero-RPC hot reads",
             e22_leases::run,

@@ -30,7 +30,7 @@
 use crate::latency::LatencySummary;
 use rhodos_cluster::{Cluster, ClusterConfig};
 use rhodos_disk_service::BLOCK_SIZE;
-use rhodos_file_service::{FileService, FileServiceConfig, LockLevel};
+use rhodos_file_service::{FileService, FileServiceConfig, LockLevel, ParityStats, Redundancy};
 use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
 use rhodos_txn::{
     DataItem, FastPathStats, ShardConfig, SharedTransactionService, TransactionService, TxnConfig,
@@ -136,6 +136,30 @@ impl OpClass {
     }
 }
 
+/// Write payload sizes, in percent of write operations. The remainder
+/// after `small_pct + partial_pct` rewrites the whole file — on a
+/// parity-tier server with `file_blocks == k` that is a full stripe
+/// row, so the mix controls how often the server sees the full-stripe
+/// fast path versus the small-write read-modify-write penalty (E21).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteSizeMix {
+    /// Percent of writes that are 1 KiB sub-block overwrites.
+    pub small_pct: u64,
+    /// Percent that overwrite exactly one aligned block.
+    pub partial_pct: u64,
+}
+
+impl Default for WriteSizeMix {
+    /// 100% small writes — the classic E20 cell. The default draws no
+    /// extra randomness, keeping the E20 RNG stream byte-identical.
+    fn default() -> Self {
+        Self {
+            small_pct: 100,
+            partial_pct: 0,
+        }
+    }
+}
+
 /// Workload shape. `Default` is the full E20 cell.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
@@ -159,6 +183,13 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Lock-table / block-pool sharding arm.
     pub shards: ShardConfig,
+    /// Payload-size mix of the write operations.
+    pub write_sizes: WriteSizeMix,
+    /// Disks behind the server: 1 is the classic single-disk E20 cell,
+    /// more is a striped group (required for a parity tier).
+    pub disks: usize,
+    /// Redundancy tier of the backing file service.
+    pub redundancy: Redundancy,
 }
 
 impl Default for LoadgenConfig {
@@ -174,6 +205,9 @@ impl Default for LoadgenConfig {
             ops: 4000,
             seed: 42,
             shards: ShardConfig::default(),
+            write_sizes: WriteSizeMix::default(),
+            disks: 1,
+            redundancy: Redundancy::None,
         }
     }
 }
@@ -201,6 +235,9 @@ pub struct Trace {
     pub fast: FastPathStats,
     /// Block-pool hit rate (percent) over the measured operations.
     pub pool_hit_rate: f64,
+    /// Parity-tier technique counters over the measured operations
+    /// (all zero without a parity redundancy tier).
+    pub parity: ParityStats,
 }
 
 /// Latency percentiles and achieved throughput of one replay. Rates are
@@ -244,6 +281,7 @@ impl Trace {
             agents: agents.max(1),
             fast: FastPathStats::default(),
             pool_hit_rate: 0.0,
+            parity: ParityStats::default(),
         }
     }
 
@@ -303,16 +341,28 @@ impl Trace {
 /// Executes the configured mix serially against a real service and
 /// measures each operation's service time and resource footprint.
 pub fn trace(cfg: &LoadgenConfig) -> Trace {
-    let fs = FileService::single_disk(
-        DiskGeometry::large(),
-        LatencyModel::default(),
-        SimClock::new(),
-        FileServiceConfig {
-            cache_blocks: cfg.cache_blocks,
-            cache_shards: cfg.shards.cache_shards,
-            ..FileServiceConfig::default()
-        },
-    )
+    let fs_cfg = FileServiceConfig {
+        cache_blocks: cfg.cache_blocks,
+        cache_shards: cfg.shards.cache_shards,
+        redundancy: cfg.redundancy,
+        ..FileServiceConfig::default()
+    };
+    let fs = if cfg.disks > 1 {
+        FileService::striped(
+            cfg.disks,
+            DiskGeometry::large(),
+            LatencyModel::default(),
+            SimClock::new(),
+            fs_cfg,
+        )
+    } else {
+        FileService::single_disk(
+            DiskGeometry::large(),
+            LatencyModel::default(),
+            SimClock::new(),
+            fs_cfg,
+        )
+    }
     .expect("format loadgen file service");
     let ts = TransactionService::new(
         fs,
@@ -352,9 +402,10 @@ pub fn trace(cfg: &LoadgenConfig) -> Trace {
 
     let zipf = Zipf::new(cfg.files, cfg.skew);
     let mut rng = SplitMix64::new(cfg.seed);
-    let pool0 = {
+    let (pool0, parity0) = {
         let mut guard = s.lock();
-        guard.file_service_mut().stats().cache
+        let stats = guard.file_service_mut().stats();
+        (stats.cache, stats.parity)
     };
     let mut ops = Vec::with_capacity(cfg.ops);
     for i in 0..cfg.ops {
@@ -378,10 +429,23 @@ pub fn trace(cfg: &LoadgenConfig) -> Trace {
                 .expect("read op");
             }
             OpClass::Write => {
-                let payload = vec![i as u8; 1024];
+                // The default mix draws no randomness here, keeping the
+                // classic E20 RNG stream byte-identical.
+                let (woff, wlen) = if cfg.write_sizes == WriteSizeMix::default() {
+                    (offset, 1024)
+                } else {
+                    match rng.below(100) {
+                        p if p < cfg.write_sizes.small_pct => (offset, 1024),
+                        p if p < cfg.write_sizes.small_pct + cfg.write_sizes.partial_pct => {
+                            (offset, BS as usize)
+                        }
+                        _ => (0, file_bytes),
+                    }
+                };
+                let payload = vec![i as u8; wlen];
                 s.run_txn(|s, t| {
                     s.lock().topen(t, fid)?;
-                    s.lock().twrite(t, fid, offset, &payload)
+                    s.lock().twrite(t, fid, woff, &payload)
                 })
                 .expect("write op");
             }
@@ -418,9 +482,10 @@ pub fn trace(cfg: &LoadgenConfig) -> Trace {
             resources,
         });
     }
-    let pool1 = {
+    let (pool1, parity1) = {
         let mut guard = s.lock();
-        guard.file_service_mut().stats().cache
+        let stats = guard.file_service_mut().stats();
+        (stats.cache, stats.parity)
     };
     let delta = rhodos_file_service::CacheStats {
         hits: pool1.hits - pool0.hits,
@@ -433,6 +498,7 @@ pub fn trace(cfg: &LoadgenConfig) -> Trace {
         agents: cfg.agents.max(1),
         fast: s.fast_stats(),
         pool_hit_rate: delta.hit_rate(),
+        parity: parity1.delta_since(&parity0),
     }
 }
 
@@ -565,6 +631,7 @@ pub fn trace_cluster(cfg: &ClusterLoadConfig) -> ClusterTrace {
             agents: cfg.agents.max(1),
             fast: FastPathStats::default(),
             pool_hit_rate: 0.0,
+            parity: ParityStats::default(),
         },
         fingerprint: c.content_fingerprint(),
         migrations,

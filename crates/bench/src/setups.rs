@@ -1,7 +1,9 @@
 //! Standard service constructors shared by the experiments.
 
 use rhodos_disk_service::{DiskService, DiskServiceConfig};
-use rhodos_file_service::{FileService, FileServiceConfig, ParallelIo, StripePolicy, WritePolicy};
+use rhodos_file_service::{
+    FileService, FileServiceConfig, ParallelIo, Redundancy, StripePolicy, WritePolicy,
+};
 use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
 use rhodos_txn::{TransactionService, TxnConfig};
 
@@ -104,6 +106,43 @@ pub fn striped_file_service_raw_mode(
         },
     )
     .expect("format raw striped file service")
+}
+
+/// A file service over `ndisks` raw (cache-less) disks carrying a k+m
+/// erasure-coded parity tier (RAID-5 for m=1, RAID-6 for m=2), with an
+/// explicit I/O issue mode — [`ParallelIo::Never`] is the naive
+/// read-modify-write ablation of E21 (serial reads, serial writes, no
+/// shared elevator pass).
+pub fn parity_file_service_raw_mode(
+    ndisks: usize,
+    k: usize,
+    m: usize,
+    parallel_io: ParallelIo,
+) -> FileService {
+    let clock = SimClock::new();
+    let disks = (0..ndisks)
+        .map(|_| {
+            DiskService::with_stable(
+                DiskGeometry::large(),
+                LatencyModel::default(),
+                clock.clone(),
+                DiskServiceConfig {
+                    track_readahead: false,
+                    cache_tracks: 0,
+                },
+            )
+        })
+        .collect();
+    FileService::format(
+        disks,
+        FileServiceConfig {
+            redundancy: Redundancy::Parity { k, m },
+            cache_blocks: 2048,
+            parallel_io,
+            ..Default::default()
+        },
+    )
+    .expect("format parity file service")
 }
 
 /// A transaction service over a default single-disk file service.

@@ -40,6 +40,14 @@ pub enum FileServiceError {
     /// A lease request could not be honoured (stale epoch, closed
     /// reattach window, or lost an HLC race to a competing claim).
     LeaseRejected(FileId),
+    /// A parity stripe row has lost more units than its redundancy can
+    /// reconstruct (more than `m` erasures).
+    ParityLost {
+        /// File involved.
+        fid: FileId,
+        /// Stripe row that cannot be reconstructed.
+        row: u64,
+    },
     /// Underlying disk service failure.
     Disk(DiskServiceError),
 }
@@ -66,6 +74,12 @@ impl fmt::Display for FileServiceError {
             }
             FileServiceError::LeaseRejected(fid) => {
                 write!(f, "lease request on {fid} rejected")
+            }
+            FileServiceError::ParityLost { fid, row } => {
+                write!(
+                    f,
+                    "stripe row {row} of {fid} lost more units than parity covers"
+                )
             }
             FileServiceError::Disk(e) => write!(f, "disk service failure: {e}"),
         }

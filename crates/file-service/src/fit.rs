@@ -105,6 +105,14 @@ pub struct FileIndexTable {
     /// The file-specific attributes stored in the FIT.
     pub attrs: FileAttributes,
     descriptors: Vec<BlockDescriptor>,
+    /// Parity-unit descriptors when the service runs an erasure-coded
+    /// stripe tier: row `r`'s `m` parity units live at indices
+    /// `r*m .. (r+1)*m`. Empty in `Redundancy::None` mode.
+    parity: Vec<BlockDescriptor>,
+    /// While decoding: how many of the trailing entries streamed into
+    /// `descriptors` are really parity descriptors (split off by
+    /// [`Self::seal`]). Always zero for a sealed table.
+    pending_parity: u64,
 }
 
 impl FileIndexTable {
@@ -113,12 +121,53 @@ impl FileIndexTable {
         Self {
             attrs,
             descriptors: Vec::new(),
+            parity: Vec::new(),
+            pending_parity: 0,
         }
     }
 
     /// Number of data blocks in the file.
     pub fn block_count(&self) -> u64 {
         self.descriptors.len() as u64
+    }
+
+    /// Number of parity units protecting the file (zero without a
+    /// parity tier).
+    pub fn parity_count(&self) -> u64 {
+        self.parity.len() as u64
+    }
+
+    /// The descriptor of parity unit `index` (row `index / m`, parity
+    /// slot `index % m`).
+    pub fn parity_descriptor(&self, index: u64) -> Option<BlockDescriptor> {
+        self.parity.get(index as usize).copied()
+    }
+
+    /// All parity descriptors, in row-major order.
+    pub fn parity_descriptors(&self) -> &[BlockDescriptor] {
+        &self.parity
+    }
+
+    /// Appends one parity-unit descriptor (block `start..start+4` on
+    /// `disk`).
+    pub fn push_parity(&mut self, disk: u16, start: FragmentAddr) {
+        self.parity.push(BlockDescriptor {
+            disk,
+            addr: start,
+            contig: 1,
+        });
+    }
+
+    /// Data + parity descriptors — what persistence actually stores
+    /// (one concatenated stream, parity after data).
+    fn stored_count(&self) -> u64 {
+        (self.descriptors.len() + self.parity.len()) as u64
+    }
+
+    /// Number of indirect blocks this table needs on disk (data and
+    /// parity descriptors share the direct slots and indirect chain).
+    pub fn indirect_tables_required(&self) -> usize {
+        Self::indirect_tables_needed(self.stored_count())
     }
 
     /// The descriptor of logical block `index` (the paper's *block-index*).
@@ -257,19 +306,28 @@ impl FileIndexTable {
     /// Panics if `indirect_locs` does not match the number of indirect
     /// tables needed, or exceeds [`MAX_INDIRECT_TABLES`].
     pub fn encode_fit_fragment(&self, indirect_locs: &[(u16, FragmentAddr)]) -> Vec<u8> {
-        let needed = Self::indirect_tables_needed(self.block_count());
+        assert_eq!(self.pending_parity, 0, "encoding an unsealed FIT");
+        let needed = self.indirect_tables_required();
         assert_eq!(indirect_locs.len(), needed, "indirect location count");
         assert!(needed <= MAX_INDIRECT_TABLES, "file too large for one FIT");
         let mut e = Encoder::new();
         self.attrs.encode(&mut e);
-        e.u32(self.block_count() as u32);
-        for d in self.descriptors.iter().take(DIRECT_BLOCKS) {
+        e.u32(self.stored_count() as u32);
+        for d in self
+            .descriptors
+            .iter()
+            .chain(self.parity.iter())
+            .take(DIRECT_BLOCKS)
+        {
             d.encode(&mut e);
         }
         e.u16(indirect_locs.len() as u16);
         for (disk, addr) in indirect_locs {
             e.u16(*disk).u64(*addr);
         }
+        // Trailing parity count: old images decode this from the zero
+        // padding, yielding zero parity units — backward compatible.
+        e.u32(self.parity.len() as u32);
         let mut buf = e.finish();
         assert!(buf.len() <= FRAGMENT_SIZE, "FIT must fit in one fragment");
         buf.resize(FRAGMENT_SIZE, 0);
@@ -279,7 +337,14 @@ impl FileIndexTable {
     /// Serialises the spill descriptors into indirect-block images
     /// (each exactly [`BLOCK_SIZE`] bytes).
     pub fn encode_indirect_chunks(&self) -> Vec<Vec<u8>> {
-        self.descriptors[self.descriptors.len().min(DIRECT_BLOCKS)..]
+        assert_eq!(self.pending_parity, 0, "encoding an unsealed FIT");
+        let stored: Vec<&BlockDescriptor> = self
+            .descriptors
+            .iter()
+            .chain(self.parity.iter())
+            .skip(DIRECT_BLOCKS)
+            .collect();
+        stored
             .chunks(INDIRECT_CAP)
             .map(|chunk| {
                 let mut e = Encoder::new();
@@ -305,9 +370,9 @@ impl FileIndexTable {
     pub fn decode_fit_fragment(buf: &[u8]) -> Result<(Self, u64, IndirectLocs), DecodeError> {
         let mut d = Decoder::new(buf);
         let attrs = FileAttributes::decode(&mut d)?;
-        let total_blocks = d.u32()? as u64;
-        let direct_count = total_blocks.min(DIRECT_BLOCKS as u64);
-        let mut descriptors = Vec::with_capacity(total_blocks as usize);
+        let total_stored = d.u32()? as u64;
+        let direct_count = total_stored.min(DIRECT_BLOCKS as u64);
+        let mut descriptors = Vec::with_capacity(total_stored as usize);
         for _ in 0..direct_count {
             descriptors.push(BlockDescriptor::decode(&mut d)?);
         }
@@ -321,10 +386,45 @@ impl FileIndexTable {
             let addr = d.u64()?;
             indirect.push((disk, addr));
         }
-        if Self::indirect_tables_needed(total_blocks) != n_ind {
+        if Self::indirect_tables_needed(total_stored) != n_ind {
             return Err(DecodeError);
         }
-        Ok((Self { attrs, descriptors }, total_blocks, indirect))
+        // Pre-parity images end here; their zero padding decodes as a
+        // zero parity count.
+        let pending_parity = d.u32().unwrap_or(0) as u64;
+        if pending_parity > total_stored {
+            return Err(DecodeError);
+        }
+        let mut fit = Self {
+            attrs,
+            descriptors,
+            parity: Vec::new(),
+            pending_parity,
+        };
+        if n_ind == 0 {
+            fit.seal();
+        }
+        Ok((fit, total_stored, indirect))
+    }
+
+    /// Finishes loading a decoded table once every indirect chunk has
+    /// been appended: the trailing parity descriptors are split off
+    /// the concatenated stream into their own sequence. Idempotent;
+    /// [`Self::decode_fit_fragment`] seals tables with no indirect
+    /// chain itself.
+    pub fn seal(&mut self) {
+        if self.pending_parity == 0 {
+            return;
+        }
+        let cut = self.descriptors.len() - (self.pending_parity as usize);
+        self.parity = self.descriptors.split_off(cut);
+        self.pending_parity = 0;
+        // The stream's contig counts spanned the data/parity seam;
+        // recompute them over data alone.
+        self.recompute_contig();
+        for p in &mut self.parity {
+            p.contig = 1;
+        }
     }
 
     /// Appends descriptors decoded from one indirect-block image.
@@ -464,6 +564,54 @@ mod tests {
     #[test]
     fn direct_limit_is_half_a_megabyte() {
         assert_eq!(MAX_DIRECT_BYTES, 512 * 1024);
+    }
+
+    #[test]
+    fn parity_fit_round_trips_through_fragment() {
+        let mut t = fit();
+        t.append_run(0, 40, 2);
+        t.append_run(1, 40, 2);
+        t.push_parity(2, 200);
+        t.push_parity(3, 300);
+        assert_eq!(t.parity_count(), 2);
+        let frag = t.encode_fit_fragment(&[]);
+        let (decoded, total, ind) = FileIndexTable::decode_fit_fragment(&frag).unwrap();
+        assert_eq!(total, 6, "stored count covers data + parity");
+        assert!(ind.is_empty());
+        assert_eq!(decoded.block_count(), 4);
+        assert_eq!(decoded.parity_descriptors(), t.parity_descriptors());
+        assert_eq!(decoded, t);
+    }
+
+    #[test]
+    fn parity_fit_round_trips_through_indirect_chunks() {
+        let mut t = fit();
+        // Enough data + parity that the parity tail spills past the
+        // direct slots and across an indirect-chunk boundary.
+        for i in 0..700u64 {
+            t.append_run((i % 3) as u16, 10_000 + i * 8, 1);
+        }
+        for i in 0..175u64 {
+            t.push_parity(3, 90_000 + i * 4);
+        }
+        let needed = t.indirect_tables_required();
+        assert_eq!(needed, 2, "875 stored - 64 direct = 811 spill");
+        let chunks = t.encode_indirect_chunks();
+        assert_eq!(chunks.len(), needed);
+        let locs: Vec<(u16, FragmentAddr)> = (0..needed)
+            .map(|i| (0u16, 200_000 + i as u64 * 4))
+            .collect();
+        let frag = t.encode_fit_fragment(&locs);
+        let (mut decoded, total, ind) = FileIndexTable::decode_fit_fragment(&frag).unwrap();
+        assert_eq!(total, 875);
+        assert_eq!(ind, locs);
+        for c in &chunks {
+            decoded.extend_from_indirect_chunk(c).unwrap();
+        }
+        decoded.seal();
+        assert_eq!(decoded.block_count(), 700);
+        assert_eq!(decoded.parity_count(), 175);
+        assert_eq!(decoded, t);
     }
 
     #[test]

@@ -159,6 +159,23 @@ impl FileService {
                     .or_default()
                     .push((format!("{fid} indirect"), Extent::new(a, FRAGS_PER_BLOCK)));
             }
+            // Parity stripe units are metadata-referenced storage like any
+            // data block: unregistered they would read as leaks, and a
+            // bitmap that lost one is a double-allocation hazard.
+            for (i, d) in fit.parity_descriptors().iter().enumerate() {
+                let total = self.disk_total_fragments(d.disk as usize);
+                if total.is_none_or(|t| d.addr + FRAGS_PER_BLOCK > t) {
+                    report.issues.push(FsckIssue::DescriptorOutOfRange {
+                        fid,
+                        index: i as u64,
+                    });
+                    continue;
+                }
+                extents
+                    .entry(d.disk)
+                    .or_default()
+                    .push((format!("{fid} parity {i}"), d.block_extent()));
+            }
             let descs = fit.descriptors();
             let blocks = descs.len() as u64;
             report.blocks_checked += blocks;

@@ -57,6 +57,7 @@ mod error;
 mod fit;
 mod fsck;
 mod lease;
+pub mod parity;
 mod scrub;
 mod service;
 mod stripe;
@@ -73,6 +74,7 @@ pub use lease::{
     LeaseEvent, LeaseGrant, LeaseManager, LeaseMode, LeaseParams, LeaseStats, LeaseToken,
     PendingRecall, RecallAck, RecallRegistry, RecallTarget,
 };
+pub use parity::{ParityStats, RebuildReport, Redundancy};
 pub use scrub::{ScrubFinding, ScrubOwner, ScrubReport, ScrubStats};
 pub use service::{FileService, FileServiceConfig, FileServiceStats, ParallelIo};
 pub use stripe::StripePolicy;

@@ -10,9 +10,11 @@
 //! window: it walks the allocated extents of every disk in coalesced runs
 //! (through the per-spindle elevators), verifies each sector against its
 //! checksum, and repairs what it can on the spot — metadata fragments from
-//! their stable-storage mirrors, data blocks from the block pool. Faults
-//! it cannot repair locally are reported with enough ownership detail for
-//! a higher layer (the replication service) to fetch a peer's copy.
+//! their stable-storage mirrors, data blocks from the block pool, and (on
+//! an erasure-coded tier) any stripe unit by reconstructing it from its
+//! parity group. Faults it cannot repair locally are reported with enough
+//! ownership detail for a higher layer (the replication service) to fetch
+//! a peer's copy.
 
 use crate::attrs::FileId;
 use rhodos_disk_service::{Extent, FragmentAddr, SectorFaultKind};
@@ -68,12 +70,21 @@ pub enum ScrubOwner {
     /// An indirect FIT block (stable-backed when `fit_stable`).
     Indirect(FileId),
     /// A file data block — repairable from the block pool if resident,
-    /// otherwise only from a peer replica.
+    /// from its parity group when the service runs an erasure-coded
+    /// tier, otherwise only from a peer replica.
     Data {
         /// Owning file.
         fid: FileId,
         /// Logical block index within the file.
         block: u64,
+    },
+    /// A parity unit of an erasure-coded stripe row — always
+    /// recomputable from the row's data units.
+    Parity {
+        /// Owning file.
+        fid: FileId,
+        /// Parity-unit index (row `index / m`, slot `index % m`).
+        index: u64,
     },
 }
 
@@ -84,6 +95,7 @@ impl fmt::Display for ScrubOwner {
             ScrubOwner::Fit(fid) => write!(f, "{fid} FIT"),
             ScrubOwner::Indirect(fid) => write!(f, "{fid} indirect"),
             ScrubOwner::Data { fid, block } => write!(f, "{fid} block {block}"),
+            ScrubOwner::Parity { fid, index } => write!(f, "{fid} parity {index}"),
         }
     }
 }

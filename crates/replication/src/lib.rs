@@ -575,7 +575,14 @@ impl ReplicatedFiles {
                 }
                 false
             }
-            ScrubOwner::Directory | ScrubOwner::Fit(_) | ScrubOwner::Indirect(_) => {
+            // Parity units are derived data, but lock-step replicas hold
+            // identical bytes at identical addresses, so the physical
+            // copy used for metadata fragments is equally valid here
+            // (and the local scrubber already tried reconstruction).
+            ScrubOwner::Directory
+            | ScrubOwner::Fit(_)
+            | ScrubOwner::Indirect(_)
+            | ScrubOwner::Parity { .. } => {
                 let d = finding.disk as usize;
                 let frag = rhodos_disk_service::Extent::new(finding.addr, 1);
                 for j in peers {

@@ -20,7 +20,9 @@
 
 use proptest::prelude::*;
 use rhodos_disk_service::BLOCK_SIZE;
-use rhodos_file_service::{FileService, FileServiceConfig, ScrubOwner, ServiceType, WritePolicy};
+use rhodos_file_service::{
+    FileService, FileServiceConfig, Redundancy, ScrubOwner, ServiceType, WritePolicy,
+};
 use rhodos_replication::{ReplicatedFiles, ReplicationConfig};
 use rhodos_simdisk::{DiskGeometry, LatencyModel, SimClock};
 
@@ -430,5 +432,187 @@ proptest! {
     #[ignore = "full self-healing sweep; CI runs it with --ignored"]
     fn replicated_scrub_loses_nothing_while_a_peer_survives_full(rounds in rounds(12)) {
         replicated_case(rounds)?;
+    }
+}
+
+// --------------------------------------------------------- parity group --
+
+/// One erasure-coded chaos script: writes land on a k+m parity group
+/// AND a 2-way mirror ablation, up to `m` whole disks are lost, and a
+/// budgeted online rebuild runs under foreground traffic — optionally
+/// with a *second* disk loss striking mid-rebuild (RAID-6 only, still
+/// within the parity budget). At every step the parity group must read
+/// back byte-identical to the mirror.
+#[derive(Debug, Clone)]
+struct ParityScript {
+    m: usize,
+    writes: Vec<(u32, Vec<u8>)>,
+    lose: Vec<u8>,
+    mid_writes: Vec<(u32, Vec<u8>)>,
+    budget: u8,
+    second_loss: u8,
+    chaos: bool,
+}
+
+fn parity_scripts() -> impl Strategy<Value = ParityScript> {
+    (
+        1usize..=2,
+        proptest::collection::vec(
+            (0u32..80_000, proptest::collection::vec(any::<u8>(), 1..400)),
+            1..6,
+        ),
+        proptest::collection::vec(any::<u8>(), 1..=2),
+        proptest::collection::vec(
+            (0u32..80_000, proptest::collection::vec(any::<u8>(), 1..300)),
+            0..3,
+        ),
+        1u8..16,
+        (any::<u8>(), any::<bool>()),
+    )
+        .prop_map(
+            |(m, writes, mut lose, mid_writes, budget, (second_loss, chaos))| {
+                lose.truncate(m);
+                ParityScript {
+                    m,
+                    writes,
+                    lose,
+                    mid_writes,
+                    budget,
+                    second_loss,
+                    chaos,
+                }
+            },
+        )
+}
+
+fn parity_case(s: ParityScript) -> Result<(), TestCaseError> {
+    const K: usize = 4;
+    let ndisks = K + s.m + 1;
+    let mut fs = FileService::striped(
+        ndisks,
+        DiskGeometry::medium(),
+        LatencyModel::instant(),
+        SimClock::new(),
+        FileServiceConfig {
+            redundancy: Redundancy::Parity { k: K, m: s.m },
+            ..FileServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let clock = SimClock::new();
+    let replicas = (0..2).map(|_| replica(&clock)).collect();
+    let mut rf = ReplicatedFiles::new(replicas, ReplicationConfig::default());
+    let pfid = fs.create(ServiceType::Basic).unwrap();
+    fs.open(pfid).unwrap();
+    let mfid = rf.create(ServiceType::Basic).unwrap();
+    rf.open(mfid).unwrap();
+
+    let mut len = 0usize;
+    for (offset, data) in &s.writes {
+        let offset = *offset as u64;
+        fs.write(pfid, offset, data).unwrap();
+        rf.write(mfid, offset, data).unwrap();
+        len = len.max(offset as usize + data.len());
+    }
+    fs.flush_all().unwrap();
+    for i in 0..rf.replica_count() {
+        rf.replica_mut(i).flush_all().unwrap();
+    }
+
+    // Lose up to m whole disks (duplicates in the picks collapse).
+    let mut failed: Vec<usize> = Vec::new();
+    for pick in &s.lose {
+        let d = *pick as usize % ndisks;
+        if !failed.contains(&d) {
+            fs.fail_disk(d).unwrap();
+            failed.push(d);
+        }
+    }
+
+    // Degraded reads reconstruct transparently: byte-identical to the
+    // surviving mirror, never an error, while losses stay within m.
+    if len > 0 {
+        prop_assert_eq!(
+            fs.read(pfid, 0, len).unwrap(),
+            rf.read(mfid, 0, len).unwrap(),
+            "degraded read diverged from the mirror"
+        );
+    }
+
+    // Foreground writes keep landing while the group is degraded.
+    for (offset, data) in &s.mid_writes {
+        let offset = *offset as u64;
+        fs.write(pfid, offset, data).unwrap();
+        rf.write(mfid, offset, data).unwrap();
+        len = len.max(offset as usize + data.len());
+    }
+    fs.flush_all().unwrap();
+    for i in 0..rf.replica_count() {
+        rf.replica_mut(i).flush_all().unwrap();
+    }
+
+    // Budgeted online rebuild under load; for RAID-6 with one disk down
+    // a second loss may strike mid-rebuild and must still be absorbed.
+    let mut second_pending = s.chaos && s.m == 2 && failed.len() == 1;
+    let mut ticks = 0u32;
+    loop {
+        let r = fs.rebuild(Some(u64::from(s.budget))).unwrap();
+        ticks += 1;
+        if second_pending && !r.complete {
+            second_pending = false;
+            let mut d = s.second_loss as usize % ndisks;
+            while fs.degraded_disks()[d] {
+                d = (d + 1) % ndisks;
+            }
+            fs.fail_disk(d).unwrap();
+        }
+        if len > 0 {
+            prop_assert_eq!(
+                fs.read(pfid, 0, len).unwrap(),
+                rf.read(mfid, 0, len).unwrap(),
+                "foreground read diverged during rebuild"
+            );
+        }
+        if r.complete {
+            break;
+        }
+        prop_assert!(ticks < 100_000, "rebuild failed to converge");
+    }
+    prop_assert!(fs.degraded_disks().iter().all(|d| !d));
+
+    // Post-rebuild: cold reads off the rebuilt spare(s) match the
+    // mirror, and the allocation metadata is fsck-clean.
+    fs.evict_caches().unwrap();
+    if len > 0 {
+        prop_assert_eq!(
+            fs.read(pfid, 0, len).unwrap(),
+            rf.read(mfid, 0, len).unwrap(),
+            "post-rebuild read diverged from the mirror"
+        );
+    }
+    let report = fs.fsck().unwrap();
+    prop_assert!(report.is_clean(), "fsck: {:?}", report.issues);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fast subset for the normal test job.
+    #[test]
+    fn parity_group_matches_mirror_through_loss_and_rebuild(s in parity_scripts()) {
+        parity_case(s)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full sweep. Run with `--ignored` under a pinned
+    /// `PROPTEST_BASE_SEED` matrix in CI's bench-smoke step.
+    #[test]
+    #[ignore = "full self-healing sweep; CI runs it with --ignored"]
+    fn parity_group_matches_mirror_through_loss_and_rebuild_full(s in parity_scripts()) {
+        parity_case(s)?;
     }
 }

@@ -1,0 +1,130 @@
+//! Client-side cross-shard transactions.
+//!
+//! The paper's transaction agent (§3) buffers a client's transactional
+//! intent and ships it to *one* server; once files have homes on many
+//! servers (PR 8), a transaction touching several of them needs the 2PC
+//! coordinator in `rhodos-cluster`. [`CrossShardTxn`] is the thin
+//! client-side half: it buffers writes keyed by cluster gid — the
+//! client never needs to know placements — and [`CrossShardTxn::tend`]
+//! hands the whole op-set to the master-side coordinator in one call.
+//! All-or-nothing is the coordinator's contract; the agent only reports
+//! the outcome.
+
+use rhodos_cluster::{Cluster, ClusterError, CommitOutcome, CrossOp};
+
+/// A buffered multi-file transaction against cluster files. Writes
+/// accumulate locally (zero RPCs) until [`Self::tend`] drives the
+/// two-phase commit; dropping the buffer without `tend` is a free
+/// client-side abort — nothing ever left the machine.
+#[derive(Debug, Default, Clone)]
+pub struct CrossShardTxn {
+    ops: Vec<CrossOp>,
+}
+
+impl CrossShardTxn {
+    /// An empty transaction buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers a write of `data` at `offset` of cluster file `gid`.
+    /// Order is preserved: later writes to the same range win, exactly
+    /// as they would under the single-server transaction agent.
+    pub fn write(&mut self, gid: u64, offset: u64, data: &[u8]) -> &mut Self {
+        self.ops.push((gid, offset, data.to_vec()));
+        self
+    }
+
+    /// Buffered operations so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing has been buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The buffered op-set, for batching several clients' transactions
+    /// into one [`Cluster::commit_batch`] wave.
+    #[must_use]
+    pub fn into_ops(self) -> Vec<CrossOp> {
+        self.ops
+    }
+
+    /// Ends the transaction: drives the cluster's two-phase commit over
+    /// every buffered write. An empty buffer commits trivially without
+    /// touching the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownFile`] if a buffered gid is not mapped;
+    /// participant failures are not errors — they surface as
+    /// [`CommitOutcome::Aborted`].
+    pub fn tend(self, cluster: &mut Cluster) -> Result<CommitOutcome, ClusterError> {
+        if self.ops.is_empty() {
+            return Ok(CommitOutcome::Committed);
+        }
+        cluster.commit_cross_shard(&self.ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhodos_cluster::ClusterConfig;
+
+    fn cluster_with_files(n: usize) -> (Cluster, Vec<u64>) {
+        let mut c = Cluster::new(n, ClusterConfig::default());
+        let gids = (0..n)
+            .map(|k| {
+                let gid = c.create().unwrap();
+                c.open(gid).unwrap();
+                c.write(gid, 0, &vec![k as u8 + 1; 1024]).unwrap();
+                gid
+            })
+            .collect();
+        c.sync_all();
+        (c, gids)
+    }
+
+    #[test]
+    fn buffered_txn_commits_across_servers() {
+        let (mut c, gids) = cluster_with_files(3);
+        let mut txn = CrossShardTxn::new();
+        txn.write(gids[0], 0, b"left").write(gids[2], 9, b"right");
+        assert_eq!(txn.len(), 2);
+        assert_eq!(txn.tend(&mut c).unwrap(), CommitOutcome::Committed);
+        assert_eq!(c.read(gids[0], 0, 4).unwrap(), b"left");
+        assert_eq!(c.read(gids[2], 9, 5).unwrap(), b"right");
+        assert_eq!(c.stats().cross_commits, 1);
+    }
+
+    #[test]
+    fn empty_txn_commits_without_wire_traffic() {
+        let (mut c, _) = cluster_with_files(2);
+        let before = c.stats();
+        let txn = CrossShardTxn::new();
+        assert!(txn.is_empty());
+        assert_eq!(txn.tend(&mut c).unwrap(), CommitOutcome::Committed);
+        let after = c.stats();
+        assert_eq!(after.prepare_rpcs, before.prepare_rpcs);
+        assert_eq!(after.cross_commits, before.cross_commits);
+    }
+
+    #[test]
+    fn into_ops_feeds_a_batch_wave() {
+        let (mut c, gids) = cluster_with_files(2);
+        let mut a = CrossShardTxn::new();
+        a.write(gids[0], 0, b"aa");
+        let mut b = CrossShardTxn::new();
+        b.write(gids[1], 0, b"bb");
+        let outs = c.commit_batch(&[a.into_ops(), b.into_ops()]).unwrap();
+        assert_eq!(outs.len(), 2);
+        assert!(outs.iter().all(|o| *o == CommitOutcome::Committed));
+        assert_eq!(c.stats().decision_forces, 1, "wave shares one force");
+    }
+}

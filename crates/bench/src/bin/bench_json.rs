@@ -21,7 +21,11 @@
 //! `BENCH_raid.json`: the E21 erasure-coding lane (storage overhead per
 //! redundancy tier, full-stripe write bandwidth, naive vs coalesced
 //! small-write makespan, degraded-read p99 and rebuild/technique
-//! counters; see `rhodos_bench::experiments::e21_raid::stat_records`).
+//! counters; see `rhodos_bench::experiments::e21_raid::stat_records`) —
+//! and `BENCH_2pc.json`: the E24 cross-shard atomic-commit lane
+//! (commit p50/p99 per arm, prepares, flushes per commit and the
+//! content fingerprint that must match the single-shard ablation; see
+//! `rhodos_bench::experiments::e24_cross_shard::stat_records`).
 //!
 //! Every lane is *gated* against its committed `*.baseline.json`:
 //! the latency and leases lanes fail the run if a `p99_us` or
@@ -83,6 +87,9 @@ fn main() {
     let raid_records = rhodos_bench::experiments::e21_raid::stat_records();
     write_stat_lane("BENCH_raid.json", &raid_records);
 
+    let twopc_records = rhodos_bench::experiments::e24_cross_shard::stat_records();
+    write_stat_lane("BENCH_2pc.json", &twopc_records);
+
     let mut ok = true;
     ok &= gate_exact("BENCH_replication.baseline.json", &rep_records);
     ok &= gate_exact("BENCH_txn_commit.baseline.json", &txn_records);
@@ -91,6 +98,7 @@ fn main() {
     ok &= gate_leases(&lease_records);
     ok &= gate_cluster(&cluster_records);
     ok &= gate_raid(&raid_records);
+    ok &= gate_2pc(&twopc_records);
     if !ok {
         std::process::exit(1);
     }
@@ -254,6 +262,40 @@ fn gate_raid(fresh: &[(String, u64)]) -> bool {
     }
     if ok {
         println!("raid lane within 10% of {base_path}");
+    }
+    ok
+}
+
+/// Diffs the fresh E24 cross-shard 2PC lane against the committed
+/// baseline: a commit `p99_us` more than 10% above baseline (25 us
+/// absolute floor), or a `flushes_per_commit_x100` more than 10% above
+/// (10-point floor), fails the run — neither cross-shard commit latency
+/// nor the group-commit amortisation of 2PC forces may quietly erode.
+/// Fingerprints are identity rows, not gated. Missing baseline
+/// (bootstrap) passes with a note.
+fn gate_2pc(fresh: &[(String, u64)]) -> bool {
+    let base_path = "BENCH_2pc.baseline.json";
+    let Ok(base_text) = std::fs::read_to_string(base_path) else {
+        println!("no {base_path}; skipping 2pc regression gate");
+        return true;
+    };
+    let baseline = parse_stat_rows(&base_text);
+    let mut ok = true;
+    for (stat, value) in fresh {
+        let Some((_, base)) = baseline.iter().find(|(s, _)| s == stat) else {
+            continue;
+        };
+        if stat.ends_with("commit_p99_us") && *value > base + (base / 10).max(25) {
+            println!("2PC COMMIT-LATENCY REGRESSION: {stat} = {value} us (baseline {base} us)");
+            ok = false;
+        }
+        if stat.ends_with("flushes_per_commit_x100") && *value > base + (base / 10).max(10) {
+            println!("2PC FLUSH-AMORTISATION REGRESSION: {stat} = {value} (baseline {base})");
+            ok = false;
+        }
+    }
+    if ok {
+        println!("2pc lane within 10% of {base_path}");
     }
     ok
 }

@@ -155,6 +155,97 @@ fn measure(committers: usize, mode: GroupCommit) -> Outcome {
     }
 }
 
+/// The cross-shard row: the same wave pattern, but every committer is a
+/// 2PC *participant* — `prepare_participant` puts its durable `Prepared`
+/// record on the wave's shared force exactly as local commit records
+/// ride it, and the coordinator's commit decision (`resolve_prepared`)
+/// applies afterwards. The flush columns count prepare forces and
+/// `Prepared` records, so the table shows group commit amortising 2PC
+/// phase one the same way it amortises local `tend`.
+fn measure_cross(committers: usize) -> Outcome {
+    let mut ts = rig(GroupCommit::Auto);
+    let fids: Vec<_> = (0..committers)
+        .map(|_| ts.tcreate(LockLevel::Page).unwrap())
+        .collect();
+    for &fid in &fids {
+        let t = ts.tbegin();
+        ts.topen(t, fid).unwrap();
+        ts.twrite(t, fid, 0, &vec![0u8; 4 * 8192]).unwrap();
+        ts.tend(t).unwrap();
+    }
+    ts.flush_log().unwrap();
+    let s0 = ts.stats();
+    let (w0, b0): (Vec<u64>, Vec<u64>) = {
+        let stats = ts.file_service_mut().stats();
+        (
+            stats.disks.iter().map(|d| d.disk.write_ops).collect(),
+            stats.disks.iter().map(|d| d.disk.busy_us).collect(),
+        )
+    };
+    let clock = ts.file_service_mut().clock();
+    let t0 = clock.now_us();
+    let mut commit_samples = Vec::with_capacity(TOTAL_COMMITS);
+    let rounds = TOTAL_COMMITS / committers;
+    for round in 0..rounds {
+        let mut gtids = Vec::with_capacity(committers);
+        let mut enqueued_at = Vec::with_capacity(committers);
+        for (i, &fid) in fids.iter().enumerate() {
+            let t = ts.tbegin();
+            ts.topen(t, fid).unwrap();
+            let base = (((round + i) % 2) * 8192) as u64;
+            ts.twrite(t, fid, base, &vec![round as u8; 8192]).unwrap();
+            ts.twrite(t, fid, base + 2 * 8192, &vec![i as u8; 8192])
+                .unwrap();
+            let gtid = (round * committers + i) as u64 + 1;
+            enqueued_at.push(clock.now_us());
+            ts.prepare_participant(t, gtid).unwrap();
+            gtids.push(gtid);
+        }
+        // One force covers every participant's vote in the wave.
+        ts.flush_log().unwrap();
+        let wave_durable = clock.now_us();
+        commit_samples.extend(enqueued_at.iter().map(|&at| wave_durable - at));
+        for gtid in gtids {
+            assert!(ts.resolve_prepared(gtid, true).unwrap());
+        }
+    }
+    ts.flush_log().unwrap();
+    let s1 = ts.stats();
+    let fs_stats = ts.file_service_mut().stats();
+    let write_refs: u64 = fs_stats
+        .disks
+        .iter()
+        .zip(&w0)
+        .map(|(d, w)| d.disk.write_ops - w)
+        .sum();
+    let busiest_us = fs_stats
+        .disks
+        .iter()
+        .zip(&b0)
+        .map(|(d, b)| d.disk.busy_us - b)
+        .max()
+        .unwrap();
+    let sim_us = ts.file_service_mut().clock().now_us() - t0;
+    Outcome {
+        // The flush columns report the 2PC phase-one accounting: forces
+        // that carried `Prepared` records, and those records per force.
+        stats: TxnStats {
+            committed: s1.prepares - s0.prepares,
+            log_flushes: s1.prepare_flushes - s0.prepare_flushes,
+            records_flushed: s1.prepare_records_flushed - s0.prepare_records_flushed,
+            records_per_flush_hwm: s1.records_per_flush_hwm,
+            group_commits: s1.group_commits - s0.group_commits,
+            commit_batch_pages: s1.commit_batch_pages - s0.commit_batch_pages,
+            log_compactions: s1.log_compactions - s0.log_compactions,
+            ..s1
+        },
+        write_refs,
+        busiest_us,
+        sim_us,
+        commit_lat: LatencySummary::from_samples(&commit_samples),
+    }
+}
+
 /// The deterministic commit counters emitted as `BENCH_txn_commit.json`
 /// (8 committers, both modes) — a diffable baseline: any change to the
 /// pipeline's batching, the elevator apply, or the flush accounting
@@ -213,9 +304,11 @@ pub fn run() -> String {
     for committers in [1usize, 8, 32] {
         let serial = measure(committers, GroupCommit::Never);
         let group = measure(committers, GroupCommit::Auto);
+        let cross = measure_cross(committers);
         for (is_serial, name, o) in [
             (true, "serial ablation", &serial),
             (false, "group commit", &group),
+            (false, "cross-shard prepare", &cross),
         ] {
             let avg = if o.stats.log_flushes == 0 {
                 0.0
@@ -253,6 +346,9 @@ pub fn run() -> String {
         "\nSame {TOTAL_COMMITS} two-page commits per cell over {NDISKS} striped spindles.\n\
          Group commit forces the log once per wave and folds `Completed`\n\
          markers into the next force; the ablation forces every record.\n\
+         The cross-shard row runs the wave as 2PC participants: its flush\n\
+         columns count prepare forces and `Prepared` records per force —\n\
+         phase one amortises exactly like local commit.\n\
          Concurrent-wave flush reduction >= 4x: {} (worst {:.1}x); busiest-spindle\n\
          makespan never worse than serial: {}.\n",
         if worst_flush_ratio >= 4.0 {

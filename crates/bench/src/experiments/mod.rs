@@ -26,3 +26,4 @@ pub mod e20_contention;
 pub mod e21_raid;
 pub mod e22_leases;
 pub mod e23_scaleout;
+pub mod e24_cross_shard;

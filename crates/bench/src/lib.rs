@@ -135,6 +135,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "Scale-out: placement master + N data servers, byte-identical sharding",
             e23_scaleout::run,
         ),
+        (
+            "e24",
+            "Cross-shard atomic commit: 2PC over group commit, crash-recovered",
+            e24_cross_shard::run,
+        ),
     ]
 }
 

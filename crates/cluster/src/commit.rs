@@ -1,0 +1,925 @@
+//! Cross-shard atomic commit: two-phase commit with presumed abort.
+//!
+//! The master doubles as the 2PC coordinator (ROADMAP item 4, closing
+//! the loop the paper's §6 transaction service left open once files got
+//! homes on different servers). Phase one ships each participant's
+//! writes in an [`OP_TXN_PREPARE`] batch — the participant runs them
+//! under a fresh local transaction, appends a durable `Prepared` record,
+//! and votes only after one log force covers the whole batch. Phase two
+//! is governed by the coordinator's [`DecisionLog`]: a *commit* is
+//! decided by forcing a decision record; everything else is **presumed
+//! abort** — no record, no commit, so the coordinator never logs aborts
+//! and a torn decision record simply reads as "abort".
+//!
+//! Two robustness properties are load-bearing here:
+//!
+//! * **Orphan resolution** — a prepared participant that loses its
+//!   coordinator holds locks but never blocks forever:
+//!   [`Cluster::recover_coordinator`] replays the decision log and
+//!   sweeps every live server's in-doubt list
+//!   ([`OP_TXN_PREPARED_LIST`]), re-delivering the durable decision or
+//!   the presumed abort.
+//! * **Reconfigurable commit** (after Bravo's *Reconfigurable Atomic
+//!   Transaction Commit*) — the coordinator snapshots the placement
+//!   epoch before phase one and re-checks it before deciding; a file
+//!   migrated or failed over mid-prepare aborts the attempt and
+//!   re-targets by the new placement, so the transaction still commits
+//!   or aborts atomically across the reconfiguration.
+
+use crate::master::{Cluster, ClusterError};
+use rhodos_disk_service::codec::{Decoder, Encoder};
+use rhodos_file_service::{FileId, FileServiceError};
+use rhodos_replication::wire::{
+    decode_gtid_list, decode_txn_prepare, decode_votes, encode_error, encode_gtid_list,
+    encode_txn_decide, encode_txn_prepare, encode_txn_prepared_list, encode_votes, PrepareTxn,
+    OP_TXN_DECIDE, OP_TXN_PREPARE, OP_TXN_PREPARED_LIST, REPLY_ERR, REPLY_OK,
+};
+use rhodos_txn::{TransactionService, TxnError};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// One write of a cross-shard transaction: `(gid, offset, data)` in
+/// cluster ids (the coordinator resolves homes).
+pub type CrossOp = (u64, u64, Vec<u8>);
+
+/// Bound on placement-change re-targets per transaction; each retry
+/// re-resolves against the current epoch, so two is already enough for
+/// any single migration striking mid-prepare.
+const MAX_RETARGETS: usize = 4;
+
+// ---- the coordinator's durable decision record -------------------------
+
+/// Marker byte framing each decision record (commit-only: presumed
+/// abort means aborts are never logged).
+const DECISION_MAGIC: u8 = 0xD5;
+
+/// The coordinator's decision log, with the same crash discipline as
+/// the participants' intention logs: appends are cheap and volatile
+/// until [`DecisionLog::force`], a crash discards the unforced tail,
+/// and a *torn* crash leaves a half-written record that recovery must
+/// read as absence (presumed abort).
+#[derive(Debug, Default)]
+pub struct DecisionLog {
+    buf: Vec<u8>,
+    durable: usize,
+}
+
+impl DecisionLog {
+    /// Appends (unforced) the commit decision for `gtid`.
+    pub fn append_commit(&mut self, gtid: u64) {
+        self.buf.push(DECISION_MAGIC);
+        self.buf.extend_from_slice(&gtid.to_le_bytes());
+    }
+
+    /// Forces everything appended so far. One force may cover a whole
+    /// batch of decisions.
+    pub fn force(&mut self) {
+        self.durable = self.buf.len();
+    }
+
+    /// Simulated coordinator crash: the unforced tail vanishes.
+    pub fn crash(&mut self) {
+        self.buf.truncate(self.durable);
+    }
+
+    /// Simulated crash *during* the force: a prefix of the record being
+    /// written reaches stable storage — recovery must treat the torn
+    /// record as no decision at all.
+    pub fn crash_torn(&mut self) {
+        let keep = (self.buf.len() - self.durable).min(4);
+        self.buf.truncate(self.durable + keep);
+        self.durable = self.buf.len();
+    }
+
+    /// Replays the durable log: the set of global transaction ids with
+    /// a complete commit record. A torn tail terminates the scan and is
+    /// *discarded*, so post-recovery appends start on a record boundary
+    /// instead of burying every later decision behind the garbage.
+    pub fn recover(&mut self) -> BTreeSet<u64> {
+        let mut out = BTreeSet::new();
+        let mut i = 0;
+        while i + 9 <= self.durable && self.buf[i] == DECISION_MAGIC {
+            out.insert(u64::from_le_bytes(
+                self.buf[i + 1..i + 9].try_into().expect("8 bytes"),
+            ));
+            i += 9;
+        }
+        self.buf.truncate(i);
+        self.durable = i;
+        out
+    }
+
+    /// Durably recorded bytes (tests distinguish torn from clean).
+    pub fn durable_len(&self) -> usize {
+        self.durable
+    }
+}
+
+// ---- deterministic crash points ----------------------------------------
+
+/// Deterministic fault schedule for one
+/// [`Cluster::commit_cross_shard_chaos`] call — every 2PC step has a
+/// crash point before/after its log force. Each armed fault fires at
+/// most once (so a re-targeted retry runs clean and the protocol's own
+/// recovery is what gets tested). Server-indexed faults name the
+/// participant by data-server index.
+#[derive(Debug, Default, Clone)]
+pub struct CommitChaos {
+    /// This participant never receives its prepare (crashed before the
+    /// request — nothing of the transaction reaches its log).
+    pub crash_participant_before_prepare: Option<usize>,
+    /// This participant crashes right after its prepare force (vote
+    /// delivered); recovery must rebuild the in-doubt state before the
+    /// decision arrives.
+    pub crash_participant_after_prepare: Option<usize>,
+    /// This participant prepares durably but its vote is lost; the
+    /// coordinator presumes abort and never contacts it again — only
+    /// the orphan sweep can release it.
+    pub lose_prepare_ack: Option<usize>,
+    /// Migrate `(gid, target)` after the coordinator snapshots
+    /// placements but before the prepares go out: phase one runs
+    /// against stale placement and the attempt must re-target.
+    pub migrate_mid_prepare: Option<(u64, usize)>,
+    /// Coordinator crashes before any decision record is written:
+    /// presumed abort.
+    pub crash_coordinator_before_decision: bool,
+    /// Coordinator crashes mid-force, tearing the decision record:
+    /// still presumed abort.
+    pub torn_decision: bool,
+    /// Coordinator crashes after the decision is durable but before
+    /// delivering it: recovery must commit the orphans.
+    pub crash_coordinator_after_decision: bool,
+    /// This participant crashes before its decide is delivered (the
+    /// others get theirs); the sweep finishes it.
+    pub crash_participant_before_decide: Option<usize>,
+}
+
+/// How one cross-shard commit attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// Decision durable and delivered: every participant applied.
+    Committed,
+    /// Voted or presumed abort: no participant kept any effect.
+    Aborted,
+    /// The coordinator crashed mid-protocol. `decision_durable` tells
+    /// what its recovery must conclude: `true` re-delivers the commit,
+    /// `false` presumes abort.
+    CoordinatorCrashed {
+        /// The global transaction id left in limbo.
+        gtid: u64,
+        /// Whether the commit decision reached stable storage.
+        decision_durable: bool,
+    },
+}
+
+// ---- the server side ---------------------------------------------------
+
+/// The transaction-aware server loop: dispatches the 2PC opcodes
+/// against the server's [`TransactionService`] and everything else to
+/// the plain file-service [`wire::serve`] — one endpoint, both
+/// protocols, same at-most-once replay cache.
+///
+/// [`wire::serve`]: rhodos_replication::wire::serve
+pub fn serve_txn(ts: &mut TransactionService, req: &[u8]) -> Vec<u8> {
+    let mut d = Decoder::new(req);
+    let op = d.u8().expect("self-generated request");
+    if op < OP_TXN_PREPARE {
+        return rhodos_replication::wire::serve(ts.file_service_mut(), req);
+    }
+    let result: Result<Vec<u8>, FileServiceError> = match op {
+        OP_TXN_PREPARE => {
+            let batch = decode_txn_prepare(&mut d);
+            Ok(serve_prepare(ts, &batch))
+        }
+        OP_TXN_DECIDE => {
+            let gtid = d.u64().expect("gtid");
+            let commit = d.u8().expect("verdict") != 0;
+            let orphan = d.u8().expect("origin") != 0;
+            let res = if orphan {
+                ts.resolve_orphan(gtid, commit)
+            } else {
+                ts.resolve_prepared(gtid, commit)
+            };
+            match res {
+                Ok(resolved) => Ok(vec![u8::from(resolved)]),
+                Err(TxnError::File(e)) => Err(e),
+                Err(e) => unreachable!("resolve failures are file-service failures: {e}"),
+            }
+        }
+        OP_TXN_PREPARED_LIST => Ok(encode_gtid_list(&ts.prepared_gtids())),
+        _ => unreachable!("unknown txn opcode {op}"),
+    };
+    let mut e = Encoder::new();
+    match result {
+        Ok(payload) => {
+            e.u8(REPLY_OK).bytes(&payload);
+        }
+        Err(err) => {
+            e.u8(REPLY_ERR);
+            encode_error(&mut e, &err);
+        }
+    }
+    e.finish()
+}
+
+/// Phase one on the participant: each batched transaction runs under a
+/// fresh local transaction (any failure — missing file, lock conflict —
+/// is a *no* vote and an immediate local abort), then **one** log force
+/// makes every surviving `Prepared` record durable before any vote is
+/// reported. This is the group-commit amortisation applied to 2PC:
+/// records-per-prepare-flush scales with the batch, not with 1.
+fn serve_prepare(ts: &mut TransactionService, batch: &[PrepareTxn]) -> Vec<u8> {
+    let mut votes = Vec::with_capacity(batch.len());
+    for (gtid, ops) in batch {
+        let t = ts.tbegin();
+        let mut opened: HashSet<FileId> = HashSet::new();
+        let mut ok = true;
+        for (fid, offset, data) in ops {
+            if opened.insert(*fid) && ts.topen(t, *fid).is_err() {
+                ok = false;
+                break;
+            }
+            if ts.twrite(t, *fid, *offset, data).is_err() {
+                ok = false;
+                break;
+            }
+        }
+        let ok = ok && ts.prepare_participant(t, *gtid).is_ok();
+        if !ok {
+            let _ = ts.tabort(t);
+        }
+        votes.push(ok);
+    }
+    if ts.flush_log().is_err() {
+        // Votes that never became durable must not be reported yes.
+        for ((gtid, _), vote) in batch.iter().zip(votes.iter_mut()) {
+            if *vote {
+                let _ = ts.resolve_prepared(*gtid, false);
+                *vote = false;
+            }
+        }
+    }
+    encode_votes(&votes)
+}
+
+// ---- the coordinator ---------------------------------------------------
+
+impl Cluster {
+    /// Atomically commits a multi-file transaction whose files may live
+    /// on different data servers: full two-phase commit, even when every
+    /// file happens to share a home (uniformity keeps the single-shard
+    /// ablation byte-identical).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownFile`] for an unmapped gid; transport and
+    /// vote failures are *not* errors — they surface as
+    /// [`CommitOutcome::Aborted`].
+    pub fn commit_cross_shard(&mut self, ops: &[CrossOp]) -> Result<CommitOutcome, ClusterError> {
+        self.commit_cross_shard_chaos(ops, &CommitChaos::default())
+    }
+
+    /// [`Self::commit_cross_shard`] under a deterministic fault
+    /// schedule; each armed fault fires once.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::commit_cross_shard`].
+    pub fn commit_cross_shard_chaos(
+        &mut self,
+        ops: &[CrossOp],
+        chaos: &CommitChaos,
+    ) -> Result<CommitOutcome, ClusterError> {
+        let mut chaos = chaos.clone();
+        for _ in 0..MAX_RETARGETS {
+            let gtid = self.next_gtid;
+            self.next_gtid += 1;
+            let epoch0 = self.epoch();
+
+            // Resolve every op against the *current* placement. The
+            // snapshot can go stale the moment it is taken — that is
+            // what the epoch re-check below is for.
+            let mut by_server: BTreeMap<usize, Vec<(FileId, u64, Vec<u8>)>> = BTreeMap::new();
+            for (gid, offset, data) in ops {
+                let p = self.resolve(*gid)?;
+                by_server
+                    .entry(p.server)
+                    .or_default()
+                    .push((p.local, *offset, data.clone()));
+            }
+
+            // Mid-prepare reconfiguration: the file moves *after* the
+            // snapshot, so phase one below runs against stale placement.
+            if let Some((gid, target)) = chaos.migrate_mid_prepare.take() {
+                let _ = self.migrate(gid, target);
+            }
+
+            // Phase one: one prepare RPC per participant.
+            let mut prepared: Vec<usize> = Vec::new();
+            let mut orphaned: Vec<usize> = Vec::new();
+            let mut all_yes = true;
+            for (&server, server_ops) in &by_server {
+                if chaos
+                    .crash_participant_before_prepare
+                    .take_if(|s| *s == server)
+                    .is_some()
+                {
+                    self.crash_server(server);
+                    all_yes = false;
+                    continue;
+                }
+                self.stats.prepare_rpcs += 1;
+                let batch = [(gtid, server_ops.clone())];
+                let vote = match self.call_node_txn(server, &encode_txn_prepare(&batch)) {
+                    Ok(payload) => decode_votes(&payload).first().copied().unwrap_or(false),
+                    Err(_) => false,
+                };
+                if vote && chaos.lose_prepare_ack.take_if(|s| *s == server).is_some() {
+                    // Durably prepared, vote lost: the coordinator must
+                    // presume abort and never contact this orphan again.
+                    orphaned.push(server);
+                    all_yes = false;
+                    continue;
+                }
+                if vote {
+                    prepared.push(server);
+                    if chaos
+                        .crash_participant_after_prepare
+                        .take_if(|s| *s == server)
+                        .is_some()
+                    {
+                        self.crash_server(server);
+                    }
+                } else {
+                    all_yes = false;
+                }
+            }
+
+            // The reconfiguration check (Bravo): deciding commit against
+            // a placement that changed under us could apply half a
+            // transaction to a moved file. Abort the prepared votes and
+            // re-target by the new epoch.
+            if self.epoch() != epoch0 {
+                self.decide_abort(gtid, &prepared);
+                self.stats.retargets += 1;
+                continue;
+            }
+            if !all_yes {
+                self.decide_abort(gtid, &prepared);
+                self.stats.cross_aborts += 1;
+                debug_assert!(
+                    orphaned.iter().all(|s| !prepared.contains(s)),
+                    "orphans must not receive the abort"
+                );
+                return Ok(CommitOutcome::Aborted);
+            }
+
+            // Phase two: the decision. Commit exists iff its record is
+            // durable in the decision log.
+            if chaos.crash_coordinator_before_decision {
+                return Ok(CommitOutcome::CoordinatorCrashed {
+                    gtid,
+                    decision_durable: false,
+                });
+            }
+            self.decision_log.append_commit(gtid);
+            if chaos.torn_decision {
+                self.decision_log.crash_torn();
+                return Ok(CommitOutcome::CoordinatorCrashed {
+                    gtid,
+                    decision_durable: false,
+                });
+            }
+            self.decision_log.force();
+            self.stats.decision_forces += 1;
+            if chaos.crash_coordinator_after_decision {
+                return Ok(CommitOutcome::CoordinatorCrashed {
+                    gtid,
+                    decision_durable: true,
+                });
+            }
+
+            // Completion: deliver the decision (idempotent; a missed
+            // participant is the orphan sweep's job).
+            for &server in &prepared {
+                if chaos
+                    .crash_participant_before_decide
+                    .take_if(|s| *s == server)
+                    .is_some()
+                {
+                    self.crash_server(server);
+                    continue;
+                }
+                let _ = self.call_node_txn(server, &encode_txn_decide(gtid, true, false));
+            }
+            self.stats.cross_commits += 1;
+            self.note_cross_writes(ops);
+            return Ok(CommitOutcome::Committed);
+        }
+        self.stats.cross_aborts += 1;
+        Ok(CommitOutcome::Aborted)
+    }
+
+    /// Commits a wave of cross-shard transactions with 2PC batching:
+    /// one prepare RPC (and thus one participant log force) per server
+    /// for the whole wave, and one decision-log force for every commit
+    /// decision. This is E24's amortisation lever — flushes per commit
+    /// fall with the wave size exactly as E18's group commit does
+    /// locally.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownFile`] for an unmapped gid.
+    pub fn commit_batch(
+        &mut self,
+        txns: &[Vec<CrossOp>],
+    ) -> Result<Vec<CommitOutcome>, ClusterError> {
+        let epoch0 = self.epoch();
+        let first_gtid = self.next_gtid;
+        self.next_gtid += txns.len() as u64;
+
+        let mut by_server: BTreeMap<usize, Vec<PrepareTxn>> = BTreeMap::new();
+        let mut participants: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); txns.len()];
+        for (k, ops) in txns.iter().enumerate() {
+            let gtid = first_gtid + k as u64;
+            let mut per: BTreeMap<usize, Vec<(FileId, u64, Vec<u8>)>> = BTreeMap::new();
+            for (gid, offset, data) in ops {
+                let p = self.resolve(*gid)?;
+                per.entry(p.server)
+                    .or_default()
+                    .push((p.local, *offset, data.clone()));
+                participants[k].insert(p.server);
+            }
+            for (server, server_ops) in per {
+                by_server
+                    .entry(server)
+                    .or_default()
+                    .push((gtid, server_ops));
+            }
+        }
+
+        let mut votes: HashMap<(usize, u64), bool> = HashMap::new();
+        for (&server, batch) in &by_server {
+            self.stats.prepare_rpcs += 1;
+            match self.call_node_txn(server, &encode_txn_prepare(batch)) {
+                Ok(payload) => {
+                    for ((gtid, _), vote) in batch.iter().zip(decode_votes(&payload)) {
+                        votes.insert((server, *gtid), vote);
+                    }
+                }
+                Err(_) => {
+                    for (gtid, _) in batch {
+                        votes.insert((server, *gtid), false);
+                    }
+                }
+            }
+        }
+
+        let epoch_ok = self.epoch() == epoch0;
+        let committing: Vec<bool> = (0..txns.len())
+            .map(|k| {
+                let gtid = first_gtid + k as u64;
+                epoch_ok
+                    && participants[k]
+                        .iter()
+                        .all(|s| votes.get(&(*s, gtid)) == Some(&true))
+            })
+            .collect();
+        if committing.iter().any(|c| *c) {
+            for (k, c) in committing.iter().enumerate() {
+                if *c {
+                    self.decision_log.append_commit(first_gtid + k as u64);
+                }
+            }
+            // One force covers the whole wave's decisions.
+            self.decision_log.force();
+            self.stats.decision_forces += 1;
+        }
+
+        let mut outcomes = Vec::with_capacity(txns.len());
+        for (k, commit) in committing.iter().enumerate() {
+            let gtid = first_gtid + k as u64;
+            for &server in &participants[k] {
+                // A no-voter already rolled back locally; only prepared
+                // participants need the decision.
+                if votes.get(&(server, gtid)) == Some(&true) {
+                    let _ = self.call_node_txn(server, &encode_txn_decide(gtid, *commit, false));
+                }
+            }
+            if *commit {
+                self.stats.cross_commits += 1;
+                self.note_cross_writes(&txns[k]);
+                outcomes.push(CommitOutcome::Committed);
+            } else {
+                self.stats.cross_aborts += 1;
+                outcomes.push(CommitOutcome::Aborted);
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Coordinator recovery: replays the durable decision log, then
+    /// sweeps every live server's in-doubt list and re-delivers each
+    /// orphan's fate — the logged commit, or the presumed abort.
+    /// Returns `(committed, aborted)` orphan resolutions. Idempotent:
+    /// a second sweep finds nothing in doubt.
+    pub fn recover_coordinator(&mut self) -> (u64, u64) {
+        self.stats.coordinator_recoveries += 1;
+        self.decision_log.crash();
+        let committed = self.decision_log.recover();
+        let mut commits = 0;
+        let mut aborts = 0;
+        for server in self.live_node_indices() {
+            let Ok(payload) = self.call_node_txn(server, &encode_txn_prepared_list()) else {
+                continue;
+            };
+            for gtid in decode_gtid_list(&payload) {
+                let commit = committed.contains(&gtid);
+                if let Ok(reply) =
+                    self.call_node_txn(server, &encode_txn_decide(gtid, commit, true))
+                {
+                    if reply.first() == Some(&1) {
+                        self.stats.orphan_resolutions += 1;
+                        if commit {
+                            commits += 1;
+                        } else {
+                            aborts += 1;
+                        }
+                    }
+                }
+            }
+        }
+        (commits, aborts)
+    }
+
+    /// Global transaction ids currently in doubt anywhere in the
+    /// cluster (empty once every coordinator decision has landed — the
+    /// liveness bound of the chaos tests).
+    pub fn in_doubt_gtids(&mut self) -> Vec<u64> {
+        let mut out: BTreeSet<u64> = BTreeSet::new();
+        for server in self.live_node_indices() {
+            if let Ok(payload) = self.call_node_txn(server, &encode_txn_prepared_list()) {
+                out.extend(decode_gtid_list(&payload));
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Presumed abort to every participant that voted yes.
+    fn decide_abort(&mut self, gtid: u64, prepared: &[usize]) {
+        for &server in prepared {
+            let _ = self.call_node_txn(server, &encode_txn_decide(gtid, false, false));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::master::ClusterConfig;
+
+    /// A cluster with one seeded, synced file per server; file `k` lives
+    /// on server `k` (least-loaded placement round-robins an empty
+    /// cluster) and holds `blocks * 512` bytes of `k + 1`.
+    fn cluster_with_files(n: usize, blocks: usize) -> (Cluster, Vec<u64>) {
+        let mut c = Cluster::new(n, ClusterConfig::default());
+        let gids: Vec<u64> = (0..n)
+            .map(|k| {
+                let gid = c.create().unwrap();
+                c.open(gid).unwrap();
+                c.write(gid, 0, &vec![k as u8 + 1; blocks * 512]).unwrap();
+                gid
+            })
+            .collect();
+        c.sync_all();
+        (c, gids)
+    }
+
+    fn two_shard_ops(gids: &[u64]) -> Vec<CrossOp> {
+        vec![
+            (gids[0], 3, b"alpha".to_vec()),
+            (gids[1], 7, b"beta!".to_vec()),
+        ]
+    }
+
+    fn assert_applied(c: &mut Cluster, gids: &[u64]) {
+        assert_eq!(c.read(gids[0], 3, 5).unwrap(), b"alpha");
+        assert_eq!(c.read(gids[1], 7, 5).unwrap(), b"beta!");
+    }
+
+    fn assert_untouched(c: &mut Cluster, gids: &[u64]) {
+        assert_eq!(c.read(gids[0], 3, 5).unwrap(), vec![1u8; 5]);
+        assert_eq!(c.read(gids[1], 7, 5).unwrap(), vec![2u8; 5]);
+    }
+
+    #[test]
+    fn cross_shard_commit_applies_on_every_home() {
+        let (mut c, gids) = cluster_with_files(3, 2);
+        let out = c.commit_cross_shard(&two_shard_ops(&gids)).unwrap();
+        assert_eq!(out, CommitOutcome::Committed);
+        assert_applied(&mut c, &gids);
+        let s = c.stats();
+        assert_eq!(s.cross_commits, 1);
+        assert_eq!(s.prepare_rpcs, 2, "one prepare per participant");
+        assert_eq!(s.decision_forces, 1);
+        assert!(c.in_doubt_gtids().is_empty());
+    }
+
+    #[test]
+    fn single_shard_txn_still_runs_full_two_phase() {
+        // The ablation arm: both ops share a home, yet the protocol is
+        // byte-identical — one prepare, one decision force.
+        let (mut c, gids) = cluster_with_files(2, 2);
+        let ops = vec![
+            (gids[0], 0, b"one".to_vec()),
+            (gids[0], 512, b"two".to_vec()),
+        ];
+        assert_eq!(
+            c.commit_cross_shard(&ops).unwrap(),
+            CommitOutcome::Committed
+        );
+        assert_eq!(c.read(gids[0], 0, 3).unwrap(), b"one");
+        assert_eq!(c.read(gids[0], 512, 3).unwrap(), b"two");
+        assert_eq!(c.stats().prepare_rpcs, 1);
+        assert_eq!(c.stats().decision_forces, 1);
+    }
+
+    #[test]
+    fn unreachable_participant_aborts_everywhere() {
+        let (mut c, gids) = cluster_with_files(2, 2);
+        c.set_max_attempts(2);
+        c.set_link(1, false);
+        let out = c.commit_cross_shard(&two_shard_ops(&gids)).unwrap();
+        assert_eq!(out, CommitOutcome::Aborted);
+        c.set_link(1, true);
+        assert_untouched(&mut c, &gids);
+        assert_eq!(c.stats().cross_aborts, 1);
+        assert_eq!(c.stats().cross_commits, 0);
+        assert!(
+            c.in_doubt_gtids().is_empty(),
+            "prepared voter got the abort"
+        );
+    }
+
+    #[test]
+    fn coordinator_crash_before_decision_presumes_abort() {
+        let (mut c, gids) = cluster_with_files(2, 2);
+        let chaos = CommitChaos {
+            crash_coordinator_before_decision: true,
+            ..CommitChaos::default()
+        };
+        let out = c
+            .commit_cross_shard_chaos(&two_shard_ops(&gids), &chaos)
+            .unwrap();
+        assert!(matches!(
+            out,
+            CommitOutcome::CoordinatorCrashed {
+                decision_durable: false,
+                ..
+            }
+        ));
+        assert_eq!(c.in_doubt_gtids().len(), 1, "both homes hold one orphan");
+        let (commits, aborts) = c.recover_coordinator();
+        assert_eq!((commits, aborts), (0, 2), "presumed abort on both homes");
+        assert_untouched(&mut c, &gids);
+        assert!(c.in_doubt_gtids().is_empty());
+        assert_eq!(c.stats().orphan_resolutions, 2);
+        assert_eq!(c.stats().coordinator_recoveries, 1);
+    }
+
+    #[test]
+    fn coordinator_crash_after_decision_commits_orphans() {
+        let (mut c, gids) = cluster_with_files(2, 2);
+        let chaos = CommitChaos {
+            crash_coordinator_after_decision: true,
+            ..CommitChaos::default()
+        };
+        let out = c
+            .commit_cross_shard_chaos(&two_shard_ops(&gids), &chaos)
+            .unwrap();
+        assert!(matches!(
+            out,
+            CommitOutcome::CoordinatorCrashed {
+                decision_durable: true,
+                ..
+            }
+        ));
+        let (commits, aborts) = c.recover_coordinator();
+        assert_eq!((commits, aborts), (2, 0), "durable decision re-delivered");
+        assert_applied(&mut c, &gids);
+        assert!(c.in_doubt_gtids().is_empty());
+    }
+
+    #[test]
+    fn torn_decision_record_reads_as_abort() {
+        let (mut c, gids) = cluster_with_files(2, 2);
+        let chaos = CommitChaos {
+            torn_decision: true,
+            ..CommitChaos::default()
+        };
+        let out = c
+            .commit_cross_shard_chaos(&two_shard_ops(&gids), &chaos)
+            .unwrap();
+        assert!(matches!(
+            out,
+            CommitOutcome::CoordinatorCrashed {
+                decision_durable: false,
+                ..
+            }
+        ));
+        let (commits, aborts) = c.recover_coordinator();
+        assert_eq!((commits, aborts), (0, 2), "half a record is no decision");
+        assert_untouched(&mut c, &gids);
+    }
+
+    #[test]
+    fn participant_crash_after_prepare_recovers_in_doubt_and_commits() {
+        let (mut c, gids) = cluster_with_files(2, 2);
+        let chaos = CommitChaos {
+            crash_participant_after_prepare: Some(1),
+            ..CommitChaos::default()
+        };
+        let out = c
+            .commit_cross_shard_chaos(&two_shard_ops(&gids), &chaos)
+            .unwrap();
+        // Server 1 crashed after its prepare force; recovery rebuilt the
+        // in-doubt participant from the log and the decide landed on it.
+        assert_eq!(out, CommitOutcome::Committed);
+        assert_applied(&mut c, &gids);
+        assert!(c.in_doubt_gtids().is_empty());
+    }
+
+    #[test]
+    fn participant_crash_before_decide_is_swept_to_commit() {
+        let (mut c, gids) = cluster_with_files(2, 2);
+        let chaos = CommitChaos {
+            crash_participant_before_decide: Some(1),
+            ..CommitChaos::default()
+        };
+        let out = c
+            .commit_cross_shard_chaos(&two_shard_ops(&gids), &chaos)
+            .unwrap();
+        assert_eq!(out, CommitOutcome::Committed);
+        // Server 0 applied; server 1 is an orphan until the sweep.
+        assert_eq!(c.read(gids[0], 3, 5).unwrap(), b"alpha");
+        assert_eq!(c.in_doubt_gtids().len(), 1);
+        let (commits, aborts) = c.recover_coordinator();
+        assert_eq!((commits, aborts), (1, 0));
+        assert_applied(&mut c, &gids);
+    }
+
+    #[test]
+    fn lost_prepare_ack_leaves_orphan_the_sweep_aborts() {
+        let (mut c, gids) = cluster_with_files(2, 2);
+        let chaos = CommitChaos {
+            lose_prepare_ack: Some(1),
+            ..CommitChaos::default()
+        };
+        let out = c
+            .commit_cross_shard_chaos(&two_shard_ops(&gids), &chaos)
+            .unwrap();
+        assert_eq!(out, CommitOutcome::Aborted);
+        // Server 1 prepared durably but the coordinator never learned;
+        // presumed abort resolves it without any decision record.
+        assert_eq!(c.in_doubt_gtids().len(), 1);
+        let (commits, aborts) = c.recover_coordinator();
+        assert_eq!((commits, aborts), (0, 1));
+        assert_untouched(&mut c, &gids);
+        assert_eq!(c.decision_log.durable_len(), 0);
+    }
+
+    #[test]
+    fn migration_mid_prepare_retargets_and_commits() {
+        let (mut c, gids) = cluster_with_files(3, 2);
+        let chaos = CommitChaos {
+            migrate_mid_prepare: Some((gids[1], 2)),
+            ..CommitChaos::default()
+        };
+        let out = c
+            .commit_cross_shard_chaos(&two_shard_ops(&gids), &chaos)
+            .unwrap();
+        // First attempt ran against stale placement (or a moved epoch)
+        // and re-targeted; the retry resolved server 2 as the new home.
+        assert_eq!(out, CommitOutcome::Committed);
+        assert_eq!(c.placement_of(gids[1]).unwrap().0, 2);
+        assert_applied(&mut c, &gids);
+        assert!(c.stats().retargets >= 1);
+        assert!(c.in_doubt_gtids().is_empty());
+        assert_eq!(c.stats().cross_commits, 1);
+    }
+
+    #[test]
+    fn batch_commit_amortises_prepare_and_decision_forces() {
+        // 16 files alternating over 2 servers: each wave transaction
+        // touches its own pair, so the wave is conflict-free and every
+        // member can ride the shared prepare flush.
+        let (mut c, gids) = cluster_with_files(2, 2);
+        let extra: Vec<u64> = (0..14)
+            .map(|k| {
+                let gid = c.create().unwrap();
+                c.open(gid).unwrap();
+                c.write(gid, 0, &vec![k as u8 + 3; 1024]).unwrap();
+                gid
+            })
+            .collect();
+        let gids: Vec<u64> = gids.into_iter().chain(extra).collect();
+        let waves: Vec<Vec<CrossOp>> = (0..8u8)
+            .map(|k| {
+                vec![
+                    (gids[2 * k as usize], u64::from(k) * 16, vec![0xA0 | k; 8]),
+                    (
+                        gids[2 * k as usize + 1],
+                        u64::from(k) * 16,
+                        vec![0xB0 | k; 8],
+                    ),
+                ]
+            })
+            .collect();
+        let outs = c.commit_batch(&waves).unwrap();
+        assert!(outs.iter().all(|o| *o == CommitOutcome::Committed));
+        let s = c.stats();
+        assert_eq!(s.cross_commits, 8);
+        assert_eq!(s.prepare_rpcs, 2, "one batched prepare per server");
+        assert_eq!(s.decision_forces, 1, "one force covers the wave");
+        for k in 0..8u8 {
+            assert_eq!(
+                c.read(gids[2 * k as usize], u64::from(k) * 16, 8).unwrap(),
+                vec![0xA0 | k; 8]
+            );
+            assert_eq!(
+                c.read(gids[2 * k as usize + 1], u64::from(k) * 16, 8)
+                    .unwrap(),
+                vec![0xB0 | k; 8]
+            );
+        }
+        // Participant-side accounting: the wave rode one prepare flush.
+        let h = c.server_handle(0);
+        let ts = h.lock();
+        assert_eq!(ts.stats().prepares, 8);
+        assert!(ts.stats().records_per_prepare_flush() > 1.0);
+    }
+
+    #[test]
+    fn decision_log_recovery_scans_only_complete_records() {
+        let mut log = DecisionLog::default();
+        log.append_commit(7);
+        log.append_commit(9);
+        log.force();
+        log.append_commit(11);
+        log.crash_torn();
+        let committed = log.recover();
+        assert!(committed.contains(&7) && committed.contains(&9));
+        assert!(!committed.contains(&11), "torn record is presumed abort");
+        log.crash();
+        assert_eq!(log.recover().len(), 2);
+    }
+
+    #[test]
+    fn conflicting_cross_shard_txns_serialise_by_abort() {
+        // Two waves touching the same pages: the in-doubt first txn
+        // holds its locks, so batching both into one wave votes no for
+        // the second and commits only the first.
+        let (mut c, gids) = cluster_with_files(2, 2);
+        let waves = vec![two_shard_ops(&gids), two_shard_ops(&gids)];
+        let outs = c.commit_batch(&waves).unwrap();
+        assert_eq!(outs[0], CommitOutcome::Committed);
+        assert_eq!(outs[1], CommitOutcome::Aborted);
+        assert_applied(&mut c, &gids);
+        assert!(c.in_doubt_gtids().is_empty());
+    }
+
+    #[test]
+    fn migration_refuses_in_doubt_file_until_decision_lands() {
+        // Durable commit decision, then the participant crashes while
+        // in doubt: its crash-rebuilt prepared state holds no open
+        // count, so only the explicit in-doubt guard stops a migration
+        // from deleting the replica the pending commit will apply to.
+        let (mut c, gids) = cluster_with_files(2, 2);
+        let home = c.placement_of(gids[0]).unwrap().0;
+        let chaos = CommitChaos {
+            crash_coordinator_after_decision: true,
+            ..CommitChaos::default()
+        };
+        let out = c
+            .commit_cross_shard_chaos(&two_shard_ops(&gids), &chaos)
+            .unwrap();
+        assert!(matches!(
+            out,
+            CommitOutcome::CoordinatorCrashed {
+                decision_durable: true,
+                ..
+            }
+        ));
+        c.crash_server(home);
+        let err = c.migrate(gids[0], (home + 1) % 2).unwrap_err();
+        assert!(
+            matches!(err, ClusterError::File(FileServiceError::Busy(_))),
+            "in-doubt file must not move: {err:?}"
+        );
+        let (commits, _) = c.recover_coordinator();
+        assert!(commits >= 1, "both orphaned shards resolve to commit");
+        assert_applied(&mut c, &gids);
+        // Decision applied — the file is free to move again.
+        assert!(c.migrate(gids[0], (home + 1) % 2).is_ok());
+        assert_applied(&mut c, &gids);
+    }
+}

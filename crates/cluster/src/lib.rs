@@ -28,9 +28,11 @@
 //! off busy spindles through chunked, fingerprint-verified copies over
 //! the same wire protocol.
 
+mod commit;
 mod master;
 mod placement;
 
+pub use commit::{serve_txn, CommitChaos, CommitOutcome, CrossOp, DecisionLog};
 pub use master::{
     Cluster, ClusterConfig, ClusterError, ClusterStats, RebalanceReport, ServerHandle,
 };

@@ -182,6 +182,22 @@ pub struct ClusterStats {
     pub servers_added: u64,
     /// Servers decommissioned.
     pub servers_removed: u64,
+    /// Cross-shard transactions committed by the 2PC coordinator.
+    pub cross_commits: u64,
+    /// Cross-shard transactions aborted (voted no, unreachable
+    /// participant, or presumed abort).
+    pub cross_aborts: u64,
+    /// Prepare RPCs sent; each may carry a whole wave of transactions.
+    pub prepare_rpcs: u64,
+    /// Decision-log forces; batched decisions share one force.
+    pub decision_forces: u64,
+    /// Commit attempts re-targeted after a placement-epoch change
+    /// struck mid-prepare.
+    pub retargets: u64,
+    /// Coordinator recoveries (decision-log replays plus orphan sweep).
+    pub coordinator_recoveries: u64,
+    /// In-doubt participants resolved by the orphan sweep.
+    pub orphan_resolutions: u64,
     /// Current placement epoch.
     pub epoch: u64,
 }
@@ -199,9 +215,9 @@ pub struct RebalanceReport {
 
 /// Where a cluster file lives.
 #[derive(Debug, Clone, Copy)]
-struct Placement {
-    server: usize,
-    local: FileId,
+pub(crate) struct Placement {
+    pub(crate) server: usize,
+    pub(crate) local: FileId,
     open: bool,
 }
 
@@ -246,7 +262,12 @@ pub struct Cluster {
     /// (aborted migrations, deletes issued while the server was dead).
     pending_gc: Vec<(usize, FileId)>,
     directory: SharedDirectory,
-    stats: ClusterStats,
+    /// The 2PC coordinator's durable commit-decision records (presumed
+    /// abort: absence of a record is an abort).
+    pub(crate) decision_log: crate::commit::DecisionLog,
+    /// Next global (cross-shard) transaction id.
+    pub(crate) next_gtid: u64,
+    pub(crate) stats: ClusterStats,
 }
 
 impl Cluster {
@@ -269,6 +290,8 @@ impl Cluster {
             heat: BTreeMap::new(),
             pending_gc: Vec::new(),
             directory: Arc::new(Mutex::new(PlacementDirectory::default())),
+            decision_log: crate::commit::DecisionLog::default(),
+            next_gtid: 1,
             stats: ClusterStats::default(),
         };
         for _ in 0..n {
@@ -447,6 +470,78 @@ impl Cluster {
         }
     }
 
+    /// Like [`Self::call_node`], but serves the transaction-aware
+    /// endpoint: 2PC opcodes are dispatched against the server's whole
+    /// [`TransactionService`], plain file ops fall through to the
+    /// file-service loop — over the same at-most-once channel.
+    pub(crate) fn call_node_txn(&mut self, i: usize, req: &[u8]) -> Result<Vec<u8>, ClusterError> {
+        let node = &mut self.nodes[i];
+        if node.removed {
+            return Err(ClusterError::Removed(i));
+        }
+        if !node.link_up {
+            node.missed = node.missed.saturating_add(1);
+            return Err(ClusterError::Unreachable(i));
+        }
+        let handle = node.handle.clone();
+        let mut guard = handle.lock();
+        match node
+            .chan
+            .call_serve(req, |r| crate::commit::serve_txn(&mut guard, r))
+        {
+            Ok(payload) => Ok(payload),
+            Err(None) => {
+                node.missed = node.missed.saturating_add(1);
+                Err(ClusterError::Unreachable(i))
+            }
+            Err(Some(e)) => Err(ClusterError::File(e)),
+        }
+    }
+
+    /// Fault injection: crash data server `i` — volatile caches and the
+    /// unflushed log tail vanish, then local recovery replays the
+    /// durable log (rebuilding any in-doubt prepared participants). The
+    /// server's replay cache dies with the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or local recovery fails.
+    pub fn crash_server(&mut self, i: usize) {
+        let handle = self.nodes[i].handle.clone();
+        let mut guard = handle.lock();
+        guard.file_service_mut().simulate_crash();
+        guard.recover().expect("data server recovers");
+        self.nodes[i].chan.cache = rhodos_net::ReplayCache::new();
+        // Open counts are volatile server state; restore the master's
+        // view of which local files are open.
+        for p in self.map.values() {
+            if p.server == i && p.open {
+                let _ = guard.file_service_mut().open(p.local);
+            }
+        }
+    }
+
+    /// Flushes every data server's delayed-write cache to disk, making
+    /// plain (non-transactional) writes crash-durable — chaos tests and
+    /// experiments call this after seeding baseline data, before any
+    /// [`Self::crash_server`]. Transactional applies are write-through
+    /// and never need it.
+    pub fn sync_all(&mut self) {
+        for n in &self.nodes {
+            let mut guard = n.handle.lock();
+            let _ = guard.file_service_mut().flush_all();
+        }
+    }
+
+    /// Accounting for a committed cross-shard transaction's writes.
+    pub(crate) fn note_cross_writes(&mut self, ops: &[(u64, u64, Vec<u8>)]) {
+        for (gid, _, data) in ops {
+            *self.heat.entry(*gid).or_insert(0) += 1;
+            self.stats.writes += 1;
+            self.stats.bytes_written += data.len() as u64;
+        }
+    }
+
     fn require_live(&self, i: usize) -> Result<(), ClusterError> {
         if self.nodes[i].removed {
             return Err(ClusterError::Removed(i));
@@ -457,7 +552,7 @@ impl Cluster {
         Ok(())
     }
 
-    fn resolve(&self, gid: u64) -> Result<Placement, ClusterError> {
+    pub(crate) fn resolve(&self, gid: u64) -> Result<Placement, ClusterError> {
         self.map
             .get(&gid)
             .copied()
@@ -573,7 +668,7 @@ impl Cluster {
 
     // ---- liveness ------------------------------------------------------
 
-    fn live_node_indices(&self) -> Vec<usize> {
+    pub(crate) fn live_node_indices(&self) -> Vec<usize> {
         (0..self.nodes.len())
             .filter(|&i| {
                 let n = &self.nodes[i];
@@ -760,6 +855,19 @@ impl Cluster {
         self.require_live(p.server)?;
         self.require_live(target)?;
 
+        // A file referenced by an in-doubt prepared transaction must
+        // not move: the pending decision's intentions name *this*
+        // replica, and a crash-rebuilt participant holds no open count
+        // to make the delete below fail. Surfaces as `Busy`, like any
+        // other open conflict.
+        {
+            let handle = self.nodes[p.server].handle.clone();
+            let guard = handle.lock();
+            if guard.prepared_touches(p.local) {
+                return Err(ClusterError::File(FileServiceError::Busy(p.local)));
+            }
+        }
+
         // Size from the source, fresh file on the target.
         let attr_reply = self.call_node(p.server, &encode_fid_op(OP_GET_ATTR, p.local))?;
         let size = {
@@ -774,6 +882,18 @@ impl Cluster {
             Err(e) => {
                 self.abort_migration(target, new_local);
                 return Err(e);
+            }
+        }
+
+        // The chunked copy travelled the plain (delayed-write) path;
+        // force it to disk before the placement flips, or a target
+        // crash right after migration would lose the only copy.
+        {
+            let handle = self.nodes[target].handle.clone();
+            let mut guard = handle.lock();
+            if let Err(e) = guard.file_service_mut().flush_file(new_local) {
+                self.abort_migration(target, new_local);
+                return Err(ClusterError::File(e));
             }
         }
 

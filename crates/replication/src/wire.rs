@@ -42,6 +42,17 @@ pub const OP_LEASE_RENEW: u8 = 10;
 pub const OP_LEASE_REATTACH: u8 = 11;
 /// Opcode: write under a held write lease (fencing enforced).
 pub const OP_WRITE_LEASED: u8 = 12;
+/// Opcode: 2PC phase one — a *batch* of cross-shard transactions to
+/// prepare on this participant (one RPC, one log force for the whole
+/// batch). Not handled by [`serve`]: transaction-aware servers dispatch
+/// it to their own handler via [`Channel::call_serve`].
+pub const OP_TXN_PREPARE: u8 = 13;
+/// Opcode: 2PC phase two — deliver the commit/abort decision for one
+/// global transaction id.
+pub const OP_TXN_DECIDE: u8 = 14;
+/// Opcode: list the global transaction ids this participant holds
+/// in doubt (a recovering coordinator's orphan sweep).
+pub const OP_TXN_PREPARED_LIST: u8 = 15;
 
 /// Reply tag: success, payload follows.
 pub const REPLY_OK: u8 = 0;
@@ -182,6 +193,100 @@ pub fn encode_write_leased(fid: FileId, offset: u64, data: &[u8], token: &LeaseT
     e.u8(OP_WRITE_LEASED).u64(fid.0).u64(offset).bytes(data);
     encode_token(&mut e, token);
     e.finish()
+}
+
+// ---- cross-shard 2PC wire format ---------------------------------------
+
+/// One transaction of an [`OP_TXN_PREPARE`] batch: its global id and the
+/// writes `(fid, offset, data)` it performs on this participant.
+pub type PrepareTxn = (u64, Vec<(FileId, u64, Vec<u8>)>);
+
+/// Encodes an [`OP_TXN_PREPARE`] request carrying a whole batch of
+/// transactions destined for one participant.
+pub fn encode_txn_prepare(batch: &[PrepareTxn]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u8(OP_TXN_PREPARE).u32(batch.len() as u32);
+    for (gtid, ops) in batch {
+        e.u64(*gtid).u32(ops.len() as u32);
+        for (fid, offset, data) in ops {
+            e.u64(fid.0).u64(*offset).bytes(data);
+        }
+    }
+    e.finish()
+}
+
+/// Decodes an [`OP_TXN_PREPARE`] body (the opcode byte already
+/// consumed).
+pub fn decode_txn_prepare(d: &mut Decoder<'_>) -> Vec<PrepareTxn> {
+    let n = d.u32().expect("prepare batch len");
+    let mut batch = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let gtid = d.u64().expect("gtid");
+        let nops = d.u32().expect("prepare op count");
+        let mut ops = Vec::with_capacity(nops as usize);
+        for _ in 0..nops {
+            let fid = FileId(d.u64().expect("fid"));
+            let offset = d.u64().expect("offset");
+            let data = d.bytes().expect("data").to_vec();
+            ops.push((fid, offset, data));
+        }
+        batch.push((gtid, ops));
+    }
+    batch
+}
+
+/// Encodes the [`OP_TXN_PREPARE`] reply payload: one vote per batched
+/// transaction, in batch order.
+pub fn encode_votes(votes: &[bool]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u32(votes.len() as u32);
+    for v in votes {
+        e.u8(u8::from(*v));
+    }
+    e.finish()
+}
+
+/// Decodes an [`OP_TXN_PREPARE`] reply payload.
+pub fn decode_votes(payload: &[u8]) -> Vec<bool> {
+    let mut d = Decoder::new(payload);
+    let n = d.u32().expect("vote count");
+    (0..n).map(|_| d.u8().expect("vote") != 0).collect()
+}
+
+/// Encodes an [`OP_TXN_DECIDE`] request. `orphan` marks a decision
+/// re-delivered by the recovering coordinator's sweep rather than the
+/// original commit path.
+pub fn encode_txn_decide(gtid: u64, commit: bool, orphan: bool) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u8(OP_TXN_DECIDE)
+        .u64(gtid)
+        .u8(u8::from(commit))
+        .u8(u8::from(orphan));
+    e.finish()
+}
+
+/// Encodes an [`OP_TXN_PREPARED_LIST`] request.
+pub fn encode_txn_prepared_list() -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u8(OP_TXN_PREPARED_LIST);
+    e.finish()
+}
+
+/// Encodes a gtid-list reply payload ([`OP_TXN_PREPARED_LIST`]).
+pub fn encode_gtid_list(gtids: &[u64]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u32(gtids.len() as u32);
+    for g in gtids {
+        e.u64(*g);
+    }
+    e.finish()
+}
+
+/// Decodes a gtid-list reply payload.
+pub fn decode_gtid_list(payload: &[u8]) -> Vec<u64> {
+    let mut d = Decoder::new(payload);
+    let n = d.u32().expect("gtid count");
+    (0..n).map(|_| d.u64().expect("gtid")).collect()
 }
 
 /// Executes one decoded request against a file service and encodes the
@@ -458,12 +563,72 @@ impl Channel {
         fs: &mut FileService,
         req: &[u8],
     ) -> Result<Vec<u8>, Option<FileServiceError>> {
+        self.call_serve(req, |r| serve(fs, r))
+    }
+
+    /// [`Self::call`] with a caller-supplied server: the same at-most-once
+    /// retry/replay machinery, but `server` produces the reply — used by
+    /// transaction-aware endpoints that dispatch the 2PC opcodes
+    /// ([`OP_TXN_PREPARE`]…) beside the plain file-service ones.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::call`].
+    pub fn call_serve(
+        &mut self,
+        req: &[u8],
+        mut server: impl FnMut(&[u8]) -> Vec<u8>,
+    ) -> Result<Vec<u8>, Option<FileServiceError>> {
         let Channel { net, client, cache } = self;
         let reply = client
             .call_with_ack(net, |rid, ack| {
-                cache.execute_acked(rid, ack, || serve(fs, req))
+                cache.execute_acked(rid, ack, || server(req))
             })
             .map_err(|_: RpcExhausted| None)?;
         decode_reply(&reply).map_err(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_prepare_round_trip() {
+        let batch: Vec<PrepareTxn> = vec![
+            (7, vec![(FileId(3), 0, b"abc".to_vec())]),
+            (
+                9,
+                vec![(FileId(4), 128, b"xy".to_vec()), (FileId(5), 0, Vec::new())],
+            ),
+        ];
+        let req = encode_txn_prepare(&batch);
+        let mut d = Decoder::new(&req);
+        assert_eq!(d.u8().unwrap(), OP_TXN_PREPARE);
+        assert_eq!(decode_txn_prepare(&mut d), batch);
+    }
+
+    #[test]
+    fn votes_and_gtid_lists_round_trip() {
+        let votes = vec![true, false, true];
+        assert_eq!(decode_votes(&encode_votes(&votes)), votes);
+        let gtids = vec![1u64, 99, 12345];
+        assert_eq!(decode_gtid_list(&encode_gtid_list(&gtids)), gtids);
+        assert!(decode_gtid_list(&encode_gtid_list(&[])).is_empty());
+    }
+
+    #[test]
+    fn decide_wire_shape() {
+        let req = encode_txn_decide(42, true, false);
+        let mut d = Decoder::new(&req);
+        assert_eq!(d.u8().unwrap(), OP_TXN_DECIDE);
+        assert_eq!(d.u64().unwrap(), 42);
+        assert_eq!(d.u8().unwrap(), 1);
+        assert_eq!(d.u8().unwrap(), 0);
+        let list = encode_txn_prepared_list();
+        assert_eq!(
+            list[Decoder::new(&list).u8().map(|_| 0).unwrap()],
+            OP_TXN_PREPARED_LIST
+        );
     }
 }

@@ -25,14 +25,31 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
 
+/// One request queued on the group-commit pipeline: a local commit, or
+/// the prepare half of a cross-shard commit (whose durable `Prepared`
+/// vote rides the same shared log force as everyone else's records).
+#[derive(Debug, Clone, Copy)]
+enum PipeReq {
+    Commit(TxnId),
+    Prepare(TxnId, u64),
+}
+
+impl PipeReq {
+    fn txn(self) -> TxnId {
+        match self {
+            PipeReq::Commit(t) | PipeReq::Prepare(t, _) => t,
+        }
+    }
+}
+
 /// Shared state of the group-commit pipeline.
 #[derive(Debug, Default)]
 struct PipeState {
-    /// Transactions waiting to be committed by the current leader.
-    queue: Vec<TxnId>,
+    /// Requests waiting to be serviced by the current leader.
+    queue: Vec<PipeReq>,
     /// Whether some thread is currently acting as the leader.
     leader_active: bool,
-    /// Commit outcomes published by the leader, keyed by transaction.
+    /// Outcomes published by the leader, keyed by transaction.
     outcomes: HashMap<TxnId, Result<(), TxnError>>,
 }
 
@@ -398,11 +415,39 @@ impl SharedTransactionService {
         if self.mode == GroupCommit::Never {
             return self.inner.lock().tend(t);
         }
+        self.submit(PipeReq::Commit(t))
+    }
+
+    /// Prepares `t` as a cross-shard 2PC participant under global id
+    /// `gtid`, riding the group-commit pipeline: the durable `Prepared`
+    /// vote shares the leader's single log force with every other record
+    /// in the batch, so cross-shard prepares amortise exactly like local
+    /// commits. Returns once the vote is durable — only then may it be
+    /// reported to the coordinator. Under [`GroupCommit::Never`] the
+    /// prepare forces the log immediately (the serial ablation).
+    ///
+    /// # Errors
+    ///
+    /// As [`TransactionService::prepare_participant`], plus log-flush
+    /// failures.
+    pub fn prepare_cross_shard(&self, t: TxnId, gtid: u64) -> Result<(), TxnError> {
+        if self.mode == GroupCommit::Never {
+            let mut svc = self.inner.lock();
+            svc.prepare_participant(t, gtid)?;
+            return svc.flush_log();
+        }
+        self.submit(PipeReq::Prepare(t, gtid))
+    }
+
+    /// Queues `req` on the pipeline; the first arrival leads, everyone
+    /// else parks on the condvar until the leader publishes its outcome.
+    fn submit(&self, req: PipeReq) -> Result<(), TxnError> {
+        let t = req.txn();
         {
             let mut st = self.pipeline.state();
-            st.queue.push(t);
+            st.queue.push(req);
             if st.leader_active {
-                // Follower: the leader will commit us and publish.
+                // Follower: the leader will service us and publish.
                 loop {
                     if let Some(res) = st.outcomes.remove(&t) {
                         return res;
@@ -427,7 +472,7 @@ impl SharedTransactionService {
             // Give concurrently-arriving committers a scheduling slice to
             // pile into the queue before we seal the batch.
             std::thread::yield_now();
-            let batch: Vec<TxnId> = {
+            let batch: Vec<PipeReq> = {
                 let mut st = self.pipeline.state();
                 if st.queue.is_empty() {
                     st.leader_active = false;
@@ -440,16 +485,27 @@ impl SharedTransactionService {
             {
                 let mut svc = self.inner.lock();
                 let mut pending = Vec::new();
-                for &t in &batch {
-                    match svc.prepare_commit(t) {
-                        Ok(Prepared::Merged) => results.push((t, Ok(()))),
-                        Ok(Prepared::Pending(p)) => pending.push(p),
-                        Err(e) => results.push((t, Err(e))),
+                // Cross-shard prepares whose vote awaits the shared force.
+                let mut voted: Vec<TxnId> = Vec::new();
+                for &req in &batch {
+                    match req {
+                        PipeReq::Commit(t) => match svc.prepare_commit(t) {
+                            Ok(Prepared::Merged) => results.push((t, Ok(()))),
+                            Ok(Prepared::Pending(p)) => pending.push(p),
+                            Err(e) => results.push((t, Err(e))),
+                        },
+                        PipeReq::Prepare(t, gtid) => match svc.prepare_participant(t, gtid) {
+                            Ok(()) => voted.push(t),
+                            Err(e) => results.push((t, Err(e))),
+                        },
                     }
                 }
                 // One force covers every record the batch appended.
                 match svc.flush_log() {
                     Ok(()) => {
+                        for t in voted {
+                            results.push((t, Ok(())));
+                        }
                         for p in pending {
                             let t = p.txn();
                             results.push((t, svc.complete_commit(p)));
@@ -463,6 +519,9 @@ impl SharedTransactionService {
                         }
                     }
                     Err(e) => {
+                        for t in voted {
+                            results.push((t, Err(e.clone())));
+                        }
                         for p in pending {
                             results.push((p.txn(), Err(e.clone())));
                         }
@@ -742,6 +801,54 @@ mod tests {
         );
         let stats = s.lock().stats();
         assert_eq!(stats.begun, stats.committed + stats.aborted);
+    }
+
+    #[test]
+    fn cross_shard_prepares_ride_the_pipeline() {
+        // Concurrent preparers on disjoint files: every vote must be
+        // durable before `prepare_cross_shard` returns, and the prepares
+        // should share leader flushes like ordinary commits do.
+        let s = shared_mode(GroupCommit::Auto);
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 10;
+        let fids: Vec<_> = (0..THREADS)
+            .map(|_| s.lock().tcreate(LockLevel::Page).unwrap())
+            .collect();
+        std::thread::scope(|scope| {
+            for (w, fid) in fids.clone().into_iter().enumerate() {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let gtid = (w as u64) * PER_THREAD + i + 1;
+                        let t = s.lock().tbegin();
+                        s.lock().topen(t, fid).unwrap();
+                        s.lock().twrite(t, fid, 0, &gtid.to_le_bytes()).unwrap();
+                        s.prepare_cross_shard(t, gtid).unwrap();
+                        // Coordinator decides commit; resolution applies.
+                        assert!(s.lock().resolve_prepared(gtid, true).unwrap());
+                    }
+                });
+            }
+        });
+        let stats = s.lock().stats();
+        assert_eq!(stats.prepares, (THREADS as u64) * PER_THREAD);
+        assert_eq!(stats.prepare_records_flushed, stats.prepares);
+        assert!(
+            stats.prepare_flushes < stats.prepares,
+            "prepares must batch: {} flushes for {} prepares",
+            stats.prepare_flushes,
+            stats.prepares
+        );
+        for (w, fid) in fids.iter().enumerate() {
+            let raw = s
+                .run_txn(|s, t| {
+                    s.lock().topen(t, *fid)?;
+                    s.lock().tread(t, *fid, 0, 8)
+                })
+                .unwrap();
+            let got = u64::from_le_bytes(raw.try_into().unwrap());
+            assert_eq!(got, (w as u64) * PER_THREAD + PER_THREAD);
+        }
     }
 
     #[test]

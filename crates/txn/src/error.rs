@@ -39,6 +39,11 @@ pub enum TxnError {
         /// File size.
         size: u64,
     },
+    /// The transaction is a prepared cross-shard participant awaiting
+    /// its coordinator's decision; only
+    /// [`resolve_prepared`](crate::TransactionService::resolve_prepared)
+    /// may finish it.
+    InDoubt(TxnId),
     /// Underlying file-service failure.
     File(FileServiceError),
 }
@@ -59,6 +64,13 @@ impl fmt::Display for TxnError {
             }
             TxnError::BeyondEof { offset, size } => {
                 write!(f, "offset {offset} beyond end of file ({size} bytes)")
+            }
+            TxnError::InDoubt(t) => {
+                write!(
+                    f,
+                    "transaction {} is prepared in-doubt and awaits its coordinator's decision",
+                    t.0
+                )
             }
             TxnError::File(e) => write!(f, "file service failure: {e}"),
         }

@@ -134,6 +134,30 @@ pub enum LogRecord {
         /// The finished transaction.
         txn: TxnId,
     },
+    /// "This participant votes yes on global transaction `gtid` with these
+    /// intentions" — the durable first phase of a cross-shard two-phase
+    /// commit. A `Prepared` record with no later `Completed` or `Aborted`
+    /// for the same transaction leaves the participant *in doubt*:
+    /// recovery re-pins the tentative blocks and waits for the
+    /// coordinator's decision instead of rolling the transaction back.
+    Prepared {
+        /// Coordinator-assigned global transaction id.
+        gtid: u64,
+        /// The local transaction holding the locks.
+        txn: TxnId,
+        /// Its intentions, in application order.
+        intentions: Vec<Intention>,
+        /// Final logical sizes of the files it touched (see `Commit`).
+        sizes: Vec<(FileId, u64)>,
+    },
+    /// "This prepared transaction was decided abort and rolled back."
+    /// Written unforced — presumed abort makes its durability optional: a
+    /// crash that loses it merely re-enters the in-doubt state, and the
+    /// orphan sweep re-delivers the same abort.
+    Aborted {
+        /// The rolled-back transaction.
+        txn: TxnId,
+    },
 }
 
 const LOG_MAGIC: u32 = 0x52_4C_4F_47; // "RLOG"
@@ -149,6 +173,13 @@ impl LogRecord {
                 sizes,
             } => Self::encode_commit(*txn, intentions, sizes),
             LogRecord::Completed { txn } => Self::encode_completed(*txn),
+            LogRecord::Prepared {
+                gtid,
+                txn,
+                intentions,
+                sizes,
+            } => Self::encode_prepared(*gtid, *txn, intentions, sizes),
+            LogRecord::Aborted { txn } => Self::encode_aborted(*txn),
         }
     }
 
@@ -173,6 +204,33 @@ impl LogRecord {
     pub fn encode_completed(txn: TxnId) -> Vec<u8> {
         let mut body = Encoder::new();
         body.u8(1).u64(txn.0);
+        Self::frame(body)
+    }
+
+    /// Serialises a `Prepared` record directly from borrowed intentions
+    /// (see [`Self::encode_commit`]).
+    pub fn encode_prepared(
+        gtid: u64,
+        txn: TxnId,
+        intentions: &[Intention],
+        sizes: &[(FileId, u64)],
+    ) -> Vec<u8> {
+        let mut body = Encoder::new();
+        body.u8(2).u64(gtid).u64(txn.0).u32(intentions.len() as u32);
+        for i in intentions {
+            i.encode(&mut body);
+        }
+        body.u32(sizes.len() as u32);
+        for (fid, size) in sizes {
+            body.u64(fid.0).u64(*size);
+        }
+        Self::frame(body)
+    }
+
+    /// Serialises an `Aborted` marker.
+    pub fn encode_aborted(txn: TxnId) -> Vec<u8> {
+        let mut body = Encoder::new();
+        body.u8(3).u64(txn.0);
         Self::frame(body)
     }
 
@@ -221,6 +279,29 @@ impl LogRecord {
                 }
             }
             1 => LogRecord::Completed {
+                txn: TxnId(bd.u64()?),
+            },
+            2 => {
+                let gtid = bd.u64()?;
+                let txn = TxnId(bd.u64()?);
+                let n = bd.u32()? as usize;
+                let mut intentions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    intentions.push(Intention::decode(&mut bd)?);
+                }
+                let nsizes = bd.u32()? as usize;
+                let mut sizes = Vec::with_capacity(nsizes);
+                for _ in 0..nsizes {
+                    sizes.push((FileId(bd.u64()?), bd.u64()?));
+                }
+                LogRecord::Prepared {
+                    gtid,
+                    txn,
+                    intentions,
+                    sizes,
+                }
+            }
+            3 => LogRecord::Aborted {
                 txn: TxnId(bd.u64()?),
             },
             _ => return Err(DecodeError),
@@ -333,6 +414,42 @@ mod tests {
     fn empty_log_decodes_empty() {
         assert!(LogRecord::decode_log(&[0u8; 128]).is_empty());
         assert!(LogRecord::decode_log(&[]).is_empty());
+    }
+
+    #[test]
+    fn prepared_and_aborted_round_trip() {
+        let LogRecord::Commit {
+            txn, intentions, ..
+        } = sample_commit()
+        else {
+            unreachable!()
+        };
+        let prep = LogRecord::Prepared {
+            gtid: 41,
+            txn,
+            intentions,
+            sizes: vec![(FileId(1), 30_000)],
+        };
+        let bytes = prep.encode();
+        let (back, used) = LogRecord::decode_one(&bytes).unwrap().unwrap();
+        assert_eq!(back, prep);
+        assert_eq!(used, bytes.len());
+        if let LogRecord::Prepared {
+            gtid,
+            txn,
+            intentions,
+            sizes,
+        } = &prep
+        {
+            assert_eq!(
+                LogRecord::encode_prepared(*gtid, *txn, intentions, sizes),
+                bytes
+            );
+        }
+        let ab = LogRecord::Aborted { txn: TxnId(7) };
+        assert_eq!(LogRecord::encode_aborted(TxnId(7)), ab.encode());
+        let (back, _) = LogRecord::decode_one(&ab.encode()).unwrap().unwrap();
+        assert_eq!(back, ab);
     }
 
     #[test]

@@ -179,6 +179,19 @@ pub struct TxnStats {
     pub commit_batch_pages: u64,
     /// Intention-log compactions performed.
     pub log_compactions: u64,
+    /// Cross-shard `Prepared` votes logged (2PC phase one).
+    pub prepares: u64,
+    /// Prepared transactions rolled back by presumed abort — the
+    /// coordinator's decision log had no commit record for them.
+    pub presumed_aborts: u64,
+    /// In-doubt transactions resolved by the orphan sweep (coordinator
+    /// lost, decision recovered from the master's decision log).
+    pub orphan_resolutions: u64,
+    /// Log flushes that made at least one `Prepared` record durable.
+    pub prepare_flushes: u64,
+    /// `Prepared` records made durable, total (per-flush average is
+    /// [`TxnStats::records_per_prepare_flush`]).
+    pub prepare_records_flushed: u64,
 }
 
 impl TxnStats {
@@ -188,6 +201,17 @@ impl TxnStats {
             0.0
         } else {
             self.records_flushed as f64 / self.log_flushes as f64
+        }
+    }
+
+    /// Average `Prepared` records made durable per prepare-carrying flush
+    /// — the 2PC analogue of [`TxnStats::records_per_flush_avg`]: above
+    /// 1.0 means cross-shard prepares are riding shared log forces.
+    pub fn records_per_prepare_flush(&self) -> f64 {
+        if self.prepare_flushes == 0 {
+            0.0
+        } else {
+            self.prepare_records_flushed as f64 / self.prepare_flushes as f64
         }
     }
 }
@@ -228,6 +252,18 @@ impl PreparedCommit {
     pub fn txn(&self) -> TxnId {
         self.txn
     }
+}
+
+/// A participant's in-doubt half of a cross-shard transaction: the
+/// `Prepared` record is durable, the locks are held, and only the
+/// coordinator's decision (or the orphan sweep consulting the recovered
+/// decision log) may resolve it — local aborts and timeouts must not.
+#[derive(Debug)]
+struct PreparedParticipant {
+    txn: TxnId,
+    intentions: Vec<Intention>,
+    sizes: Vec<(FileId, u64)>,
+    has_effects: bool,
 }
 
 #[derive(Debug)]
@@ -295,11 +331,18 @@ pub struct TransactionService {
     /// recovery resets the shards in place to keep those handles valid.
     tables: [Arc<StripedLockTable>; 3],
     active: HashMap<TxnId, ActiveTxn>,
+    /// In-doubt cross-shard participants by coordinator-assigned global
+    /// transaction id. Entries survive [`Self::recover`] (rebuilt from
+    /// durable `Prepared` records) and leave only via
+    /// [`Self::resolve_prepared`].
+    prepared: HashMap<u64, PreparedParticipant>,
     next_txn: u64,
     log_fid: FileId,
     log_tail: u64,
     /// Log records appended since the last [`Self::flush_log`].
     unflushed_records: u64,
+    /// `Prepared` records among [`Self::unflushed_records`].
+    unflushed_prepares: u64,
     /// Tentative WAL blocks whose commits have applied but whose
     /// `Completed` markers are not yet durable. They stay allocated until
     /// the next flush: were they freed (and reused) earlier, a crash
@@ -343,10 +386,12 @@ impl TransactionService {
             config,
             tables: [mk(), mk(), mk()],
             active: HashMap::new(),
+            prepared: HashMap::new(),
             next_txn: 1,
             log_fid,
             log_tail,
             unflushed_records: 0,
+            unflushed_prepares: 0,
             deferred_frees: Vec::new(),
             appended_lsn: log_tail,
             durable_lsn: log_tail,
@@ -1056,8 +1101,13 @@ impl TransactionService {
             }
             self.stats.records_per_flush_hwm =
                 self.stats.records_per_flush_hwm.max(self.unflushed_records);
+            if self.unflushed_prepares > 0 {
+                self.stats.prepare_flushes += 1;
+                self.stats.prepare_records_flushed += self.unflushed_prepares;
+            }
             self.durable_lsn = self.appended_lsn;
             self.unflushed_records = 0;
+            self.unflushed_prepares = 0;
         }
         // Tentative blocks of applied commits become reusable only now:
         // their `Completed` markers are durable, so no redo can follow the
@@ -1112,6 +1162,9 @@ impl TransactionService {
     /// failures writing the log.
     pub fn prepare_commit(&mut self, t: TxnId) -> Result<Prepared, TxnError> {
         self.txn(t)?;
+        if self.in_doubt(t) {
+            return Err(TxnError::InDoubt(t));
+        }
         if !self.children_of(t).is_empty() {
             return Err(TxnError::ChildrenActive(t));
         }
@@ -1200,6 +1253,190 @@ impl TransactionService {
         Ok(())
     }
 
+    // ---- cross-shard 2PC participant ------------------------------------
+
+    /// Whether `t` is the local half of an in-doubt cross-shard
+    /// transaction (a durable `Prepared` vote awaiting its decision).
+    fn in_doubt(&self, t: TxnId) -> bool {
+        self.prepared.values().any(|p| p.txn == t)
+    }
+
+    /// Phase one of a cross-shard commit, participant side: assembles the
+    /// intentions list exactly as [`Self::prepare_commit`] would, appends
+    /// a durable `Prepared` record under the coordinator's global
+    /// transaction id, and parks the transaction *in doubt* — locks stay
+    /// held, timeouts no longer apply, and only
+    /// [`Self::resolve_prepared`] may finish it. The record is appended
+    /// unforced so a batch of prepares rides one [`Self::flush_log`]; the
+    /// vote must not be reported to the coordinator before that flush.
+    ///
+    /// Deferred deletions (`tdelete`) are not part of the cross-shard
+    /// protocol, mirroring the single-shard limitation that deletes are
+    /// absent from durable records.
+    ///
+    /// # Errors
+    ///
+    /// [`TxnError::NotActive`], [`TxnError::InDoubt`],
+    /// [`TxnError::ChildrenActive`] (also returned for a nested `t` —
+    /// only top-level transactions prepare); file-service failures
+    /// writing the log.
+    pub fn prepare_participant(&mut self, t: TxnId, gtid: u64) -> Result<(), TxnError> {
+        self.txn(t)?;
+        if self.in_doubt(t) {
+            return Err(TxnError::InDoubt(t));
+        }
+        if !self.children_of(t).is_empty() || self.txn(t)?.parent.is_some() {
+            return Err(TxnError::ChildrenActive(t));
+        }
+        let txn = self.active.get(&t).expect("checked");
+        let mut intentions: Vec<Intention> = Vec::new();
+        let mut pages: Vec<(&(FileId, u64), &TentativePage)> = txn.tentative_pages.iter().collect();
+        pages.sort_by_key(|(k, _)| **k);
+        for ((fid, idx), p) in pages {
+            intentions.push(Intention::Page {
+                fid: *fid,
+                index: *idx,
+                tentative_disk: p.disk,
+                tentative_addr: p.addr,
+            });
+        }
+        for (fid, off, bytes) in &txn.tentative_records {
+            intentions.push(Intention::Record {
+                fid: *fid,
+                offset: *off,
+                data: bytes.clone(),
+            });
+        }
+        let sizes: Vec<(FileId, u64)> = txn.tentative_sizes.iter().map(|(f, s)| (*f, *s)).collect();
+        let has_effects = !intentions.is_empty();
+        if has_effects {
+            let bytes = LogRecord::encode_prepared(gtid, t, &intentions, &sizes);
+            // Count before the append: under `GroupCommit::Never` the
+            // append flushes immediately and must see this prepare.
+            self.unflushed_prepares += 1;
+            if let Err(e) = self.append_log_bytes(&bytes) {
+                self.unflushed_prepares = self.unflushed_prepares.saturating_sub(1);
+                return Err(e);
+            }
+        }
+        self.stats.prepares += 1;
+        self.prepared.insert(
+            gtid,
+            PreparedParticipant {
+                txn: t,
+                intentions,
+                sizes,
+                has_effects,
+            },
+        );
+        Ok(())
+    }
+
+    /// Phase two of a cross-shard commit, participant side: applies or
+    /// rolls back the in-doubt transaction under `gtid`. Idempotent —
+    /// an unknown `gtid` returns `Ok(false)` so at-most-once retries and
+    /// duplicate decisions are harmless. Works both crash-free (the
+    /// active transaction still holds its tentative state) and after
+    /// [`Self::recover`] rebuilt the in-doubt entry from the log.
+    ///
+    /// The `Completed`/`Aborted` marker is appended unforced: a crash
+    /// before it is durable merely re-enters the in-doubt state, and the
+    /// orphan sweep re-delivers the same (idempotent) decision.
+    ///
+    /// # Errors
+    ///
+    /// File-service failures applying intentions or writing the log.
+    pub fn resolve_prepared(&mut self, gtid: u64, commit: bool) -> Result<bool, TxnError> {
+        let Some(p) = self.prepared.remove(&gtid) else {
+            return Ok(false);
+        };
+        let t = p.txn;
+        let crash_free = self.active.contains_key(&t);
+        if commit {
+            for (fid, size) in &p.sizes {
+                if self.fs.exists(*fid) {
+                    self.fs.ensure_size(*fid, *size)?;
+                }
+            }
+            // Post-crash resolves take the recovery-grade apply: serial,
+            // tolerant of deleted files, FIT-aliasing guarded (the apply
+            // may already have run before the crash ate the marker).
+            self.apply_intentions(&p.intentions, ReadSource::Main, !crash_free)?;
+            if p.has_effects {
+                self.append_log(&LogRecord::Completed { txn: t })?;
+            }
+            self.finish(t, true);
+        } else {
+            if p.has_effects {
+                self.append_log(&LogRecord::Aborted { txn: t })?;
+            }
+            if crash_free {
+                // The prepared entry is gone, so the normal abort path —
+                // which frees tentative blocks and deletes files created
+                // inside the transaction — is permitted again.
+                self.tabort(t)?;
+            } else {
+                // After a crash only the intentions name the tentative
+                // blocks (re-pinned by recovery); free them directly.
+                for i in &p.intentions {
+                    if let Intention::Page {
+                        tentative_disk,
+                        tentative_addr,
+                        ..
+                    } = i
+                    {
+                        self.fs
+                            .free_detached_block(*tentative_disk, *tentative_addr)?;
+                    }
+                }
+                self.finish(t, false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// [`Self::resolve_prepared`] arriving via the orphan sweep — the
+    /// participant lost its coordinator and the decision was recovered
+    /// from the master's decision log (`commit == false` is a presumed
+    /// abort: no durable decision record existed).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::resolve_prepared`].
+    pub fn resolve_orphan(&mut self, gtid: u64, commit: bool) -> Result<bool, TxnError> {
+        let resolved = self.resolve_prepared(gtid, commit)?;
+        if resolved {
+            self.stats.orphan_resolutions += 1;
+            if !commit {
+                self.stats.presumed_aborts += 1;
+            }
+        }
+        Ok(resolved)
+    }
+
+    /// Global transaction ids of every in-doubt prepared participant,
+    /// sorted — what an orphaned server reports to the recovering
+    /// coordinator.
+    pub fn prepared_gtids(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.prepared.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether any in-doubt prepared participant references `fid`.
+    /// Such a file must not be migrated or deleted out from under the
+    /// pending decision: the intentions name *this* replica, and after
+    /// a crash the transaction no longer holds an open count to protect
+    /// it.
+    pub fn prepared_touches(&self, fid: FileId) -> bool {
+        self.prepared.values().any(|p| {
+            p.sizes.iter().any(|(f, _)| *f == fid)
+                || p.intentions.iter().any(|i| match i {
+                    Intention::Page { fid: f, .. } | Intention::Record { fid: f, .. } => *f == fid,
+                })
+        })
+    }
+
     /// Quiescent housekeeping: when nothing is active, everything in the
     /// log has completed, so reclaim it once it outgrows the threshold.
     /// Returns whether a compaction ran.
@@ -1208,7 +1445,10 @@ impl TransactionService {
     ///
     /// File-service failures recreating the log.
     pub fn maybe_compact_log(&mut self) -> Result<bool, TxnError> {
-        if self.active.is_empty() && self.log_tail > self.config.log_compact_threshold {
+        if self.active.is_empty()
+            && self.prepared.is_empty()
+            && self.log_tail > self.config.log_compact_threshold
+        {
             self.compact_log()?;
             return Ok(true);
         }
@@ -1483,6 +1723,9 @@ impl TransactionService {
     /// [`TxnError::NotActive`] if the transaction does not exist.
     pub fn tabort(&mut self, t: TxnId) -> Result<(), TxnError> {
         self.txn(t)?;
+        if self.in_doubt(t) {
+            return Err(TxnError::InDoubt(t));
+        }
         for child in self.children_of(t) {
             self.tabort(child)?;
         }
@@ -1575,7 +1818,11 @@ impl TransactionService {
             }
         }
         for v in &victims {
-            if self.active.contains_key(v) {
+            // In-doubt participants must never be timeout-aborted: their
+            // vote is durable and only the coordinator's decision (or the
+            // orphan sweep) may resolve them — 2PC's inherent blocking
+            // window, bounded by orphan resolution rather than by LT.
+            if self.active.contains_key(v) && !self.in_doubt(*v) {
                 self.stats.timeout_aborts += 1;
                 let _ = self.tabort(*v);
             }
@@ -1597,6 +1844,9 @@ impl TransactionService {
     /// Fails if the log itself is unrecoverable.
     pub fn recover(&mut self) -> Result<Vec<TxnId>, TxnError> {
         self.active.clear();
+        // In-doubt state is rebuilt from the durable `Prepared` records
+        // below; whatever was in memory is stale.
+        self.prepared.clear();
         // Pre-crash deferred frees are stale: the allocation rebuild
         // below reclaims unreferenced blocks itself.
         self.deferred_frees.clear();
@@ -1620,6 +1870,7 @@ impl TransactionService {
         // Anything appended but unflushed before the crash is gone; the
         // durable horizon restarts at the recovered tail.
         self.unflushed_records = 0;
+        self.unflushed_prepares = 0;
         self.durable_lsn = self.appended_lsn;
         let (records, valid_len) = LogRecord::decode_log_prefix(&image);
         // Resume appending at the end of the *valid* prefix, not the
@@ -1632,6 +1883,7 @@ impl TransactionService {
         self.log_tail = valid_len as u64;
         type CommitBody = (Vec<Intention>, Vec<(FileId, u64)>);
         let mut committed: HashMap<TxnId, CommitBody> = HashMap::new();
+        let mut in_doubt: Vec<(u64, TxnId, CommitBody)> = Vec::new();
         for rec in records {
             match rec {
                 LogRecord::Commit {
@@ -1643,6 +1895,18 @@ impl TransactionService {
                 }
                 LogRecord::Completed { txn } => {
                     committed.remove(&txn);
+                    in_doubt.retain(|(_, t, _)| *t != txn);
+                }
+                LogRecord::Prepared {
+                    gtid,
+                    txn,
+                    intentions,
+                    sizes,
+                } => {
+                    in_doubt.push((gtid, txn, (intentions, sizes)));
+                }
+                LogRecord::Aborted { txn } => {
+                    in_doubt.retain(|(_, t, _)| *t != txn);
                 }
             }
         }
@@ -1672,10 +1936,58 @@ impl TransactionService {
             self.apply_intentions(&intentions, ReadSource::Main, true)?;
             self.append_log(&LogRecord::Completed { txn: t })?;
         }
+        // Rebuild the in-doubt participants: their tentative blocks were
+        // also reclaimed by the allocation rebuild, and their locks died
+        // with the tables — re-pin and re-acquire both, so the isolation
+        // the vote promised holds until the decision arrives.
+        for (gtid, t, (intentions, sizes)) in in_doubt {
+            self.repin_tentative_blocks(&intentions)?;
+            self.reacquire_locks(t, &intentions)?;
+            if self.next_txn <= t.0 {
+                self.next_txn = t.0 + 1;
+            }
+            self.prepared.insert(
+                gtid,
+                PreparedParticipant {
+                    txn: t,
+                    intentions,
+                    sizes,
+                    has_effects: true,
+                },
+            );
+        }
         // One flush covers every redo's `Completed` marker (and leaves
         // nothing deferred from before the crash).
         self.flush_log()?;
         Ok(redone)
+    }
+
+    /// Re-establishes the locks an in-doubt prepared participant held
+    /// before the crash, at the granularity its files are configured
+    /// for. In-doubt transactions never conflict with each other (their
+    /// grants predate the crash), so grant outcomes are not checked.
+    fn reacquire_locks(&mut self, t: TxnId, intentions: &[Intention]) -> Result<(), TxnError> {
+        let now = self.fs.clock().now_us();
+        for i in intentions {
+            let fid = match i {
+                Intention::Page { fid, .. } | Intention::Record { fid, .. } => *fid,
+            };
+            if !self.fs.exists(fid) {
+                continue;
+            }
+            let level = self.lock_level_of(fid)?;
+            let item = match (level, i) {
+                (LockLevel::Page, Intention::Page { index, .. }) => DataItem::Page(fid, *index),
+                (LockLevel::Record, Intention::Record { offset, data, .. }) => {
+                    DataItem::Record(fid, *offset, *offset + data.len().max(1) as u64)
+                }
+                // File-level files, or a granularity change since the
+                // prepare: the whole-file item in the level's table.
+                _ => DataItem::File(fid),
+            };
+            self.tables[table_index(level)].set_lock(t.0, t.0, item, LockMode::Iwrite, now);
+        }
+        Ok(())
     }
 
     /// After the allocation rebuild, tentative blocks named by redo
@@ -1715,6 +2027,10 @@ impl TransactionService {
         assert!(
             self.active.is_empty(),
             "compact_log requires a quiescent service"
+        );
+        assert!(
+            self.prepared.is_empty(),
+            "compact_log must not discard in-doubt Prepared records"
         );
         self.fs.close(self.log_fid)?;
         self.fs.delete(self.log_fid)?;
@@ -2216,6 +2532,164 @@ mod tests {
         ts.topen(t, fid).unwrap();
         ts.twrite(t, fid, 0, b"after").unwrap();
         ts.tend(t).unwrap();
+    }
+
+    // ---- cross-shard 2PC participant ------------------------------------
+
+    fn prepared_write(ts: &mut TransactionService, fid: FileId, gtid: u64, data: &[u8]) -> TxnId {
+        let t = ts.tbegin();
+        ts.topen(t, fid).unwrap();
+        ts.twrite(t, fid, 0, data).unwrap();
+        ts.prepare_participant(t, gtid).unwrap();
+        ts.flush_log().unwrap();
+        t
+    }
+
+    #[test]
+    fn prepare_then_commit_applies_writes() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        prepared_write(&mut ts, fid, 77, b"cross");
+        assert_eq!(ts.prepared_gtids(), vec![77]);
+        assert!(ts.resolve_prepared(77, true).unwrap());
+        assert!(ts.prepared_gtids().is_empty());
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        assert_eq!(ts.tread(t2, fid, 0, 5).unwrap(), b"cross");
+        ts.tend(t2).unwrap();
+        assert_eq!(ts.stats().prepares, 1);
+        assert_eq!(ts.stats().committed, 2);
+    }
+
+    #[test]
+    fn prepare_then_abort_discards_writes() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        let t0 = ts.tbegin();
+        ts.topen(t0, fid).unwrap();
+        ts.twrite(t0, fid, 0, b"base").unwrap();
+        ts.tend(t0).unwrap();
+        prepared_write(&mut ts, fid, 5, b"gone");
+        assert!(ts.resolve_prepared(5, false).unwrap());
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        assert_eq!(ts.tread(t2, fid, 0, 4).unwrap(), b"base");
+        ts.tend(t2).unwrap();
+        // Unknown gtid: idempotent no-op.
+        assert!(!ts.resolve_prepared(5, false).unwrap());
+        assert!(!ts.resolve_prepared(999, true).unwrap());
+    }
+
+    #[test]
+    fn in_doubt_blocks_tend_tabort_and_timeout() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        let t = prepared_write(&mut ts, fid, 9, b"held");
+        assert_eq!(ts.tend(t), Err(TxnError::InDoubt(t)));
+        assert_eq!(ts.tabort(t), Err(TxnError::InDoubt(t)));
+        assert_eq!(ts.prepare_participant(t, 10), Err(TxnError::InDoubt(t)));
+        // The deadlock timeout must never pick an in-doubt victim.
+        let clock = ts.file_service_mut().clock();
+        clock.advance(10 * TxnConfig::default().lt_us);
+        assert!(ts.tick().is_empty());
+        // The lock is genuinely still held: another writer blocks.
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        assert!(matches!(
+            ts.twrite(t2, fid, 0, b"nope"),
+            Err(TxnError::WouldBlock { .. })
+        ));
+        ts.tabort(t2).unwrap();
+        assert!(ts.resolve_prepared(9, true).unwrap());
+    }
+
+    #[test]
+    fn prepared_state_survives_crash_and_commits() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        prepared_write(&mut ts, fid, 41, b"vote");
+        ts.file_service_mut().simulate_crash();
+        assert!(ts.recover().unwrap().is_empty());
+        // Still in doubt, and still isolated: the re-acquired lock blocks
+        // a new writer.
+        assert_eq!(ts.prepared_gtids(), vec![41]);
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        assert!(matches!(
+            ts.twrite(t2, fid, 0, b"nope"),
+            Err(TxnError::WouldBlock { .. })
+        ));
+        ts.tabort(t2).unwrap();
+        // Late decision commits byte-identically.
+        assert!(ts.resolve_prepared(41, true).unwrap());
+        let t3 = ts.tbegin();
+        ts.topen(t3, fid).unwrap();
+        assert_eq!(ts.tread(t3, fid, 0, 4).unwrap(), b"vote");
+        ts.tend(t3).unwrap();
+    }
+
+    #[test]
+    fn prepared_state_survives_crash_and_aborts() {
+        let (mut ts, fid) = setup(LockLevel::Page);
+        let t0 = ts.tbegin();
+        ts.topen(t0, fid).unwrap();
+        ts.twrite(t0, fid, 0, b"keep").unwrap();
+        ts.tend(t0).unwrap();
+        prepared_write(&mut ts, fid, 42, b"lose");
+        ts.file_service_mut().simulate_crash();
+        ts.recover().unwrap();
+        assert_eq!(ts.prepared_gtids(), vec![42]);
+        assert!(ts.resolve_orphan(42, false).unwrap());
+        assert_eq!(ts.stats().orphan_resolutions, 1);
+        assert_eq!(ts.stats().presumed_aborts, 1);
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        assert_eq!(ts.tread(t2, fid, 0, 4).unwrap(), b"keep");
+        ts.tend(t2).unwrap();
+        // A second crash+recover finds nothing in doubt (the `Aborted`
+        // marker, flushed by resolve's next group flush, erased it) —
+        // or, if the marker was still unflushed, the prepare re-surfaces
+        // and the same presumed abort re-applies idempotently.
+        ts.flush_log().unwrap();
+        ts.file_service_mut().simulate_crash();
+        ts.recover().unwrap();
+        assert!(ts.prepared_gtids().is_empty());
+    }
+
+    #[test]
+    fn resolve_after_crash_is_idempotent_when_marker_was_torn() {
+        // Crash-after-apply-but-before-durable-marker: the decision is
+        // re-delivered and must not double-apply or corrupt.
+        let (mut ts, fid) = setup(LockLevel::Page);
+        prepared_write(&mut ts, fid, 8, b"once");
+        assert!(ts.resolve_prepared(8, true).unwrap());
+        // The `Completed` marker is unforced — crash before any flush.
+        ts.file_service_mut().simulate_crash();
+        ts.recover().unwrap();
+        // The prepare record is durable but the completion is gone: the
+        // participant is in doubt again.
+        assert_eq!(ts.prepared_gtids(), vec![8]);
+        assert!(ts.resolve_prepared(8, true).unwrap());
+        let t2 = ts.tbegin();
+        ts.topen(t2, fid).unwrap();
+        assert_eq!(ts.tread(t2, fid, 0, 4).unwrap(), b"once");
+        ts.tend(t2).unwrap();
+    }
+
+    #[test]
+    fn prepare_flush_accounting_batches() {
+        let (mut ts, fa) = setup(LockLevel::Page);
+        let fb = ts.tcreate(LockLevel::Page).unwrap();
+        let t1 = ts.tbegin();
+        ts.topen(t1, fa).unwrap();
+        ts.twrite(t1, fa, 0, b"one").unwrap();
+        let t2 = ts.tbegin();
+        ts.topen(t2, fb).unwrap();
+        ts.twrite(t2, fb, 0, b"two").unwrap();
+        ts.prepare_participant(t1, 1).unwrap();
+        ts.prepare_participant(t2, 2).unwrap();
+        ts.flush_log().unwrap();
+        assert_eq!(ts.stats().prepare_flushes, 1);
+        assert_eq!(ts.stats().prepare_records_flushed, 2);
+        assert!((ts.stats().records_per_prepare_flush() - 2.0).abs() < f64::EPSILON);
+        ts.resolve_prepared(1, true).unwrap();
+        ts.resolve_prepared(2, true).unwrap();
     }
 }
 
